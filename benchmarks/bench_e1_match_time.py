@@ -1,0 +1,52 @@
+"""E1 — §4.2.3 "Time": match cost across the indexing strategies.
+
+Paper claims: "Matching is very fast with our approach because only a
+single search over a COND relation is necessary"; the simplified scheme
+"may be slower in some cases since re-computation of joins is necessary
+whenever a change is made"; Rete pays hierarchical propagation on every
+token either way.
+
+Run: pytest benchmarks/bench_e1_match_time.py --benchmark-only
+Table: python -m repro.bench.report e1
+"""
+
+import pytest
+
+from repro.bench.drivers import (
+    build_system,
+    drive_stream,
+    inserts_as_events,
+)
+from repro.bench.report import CORE_STRATEGIES, report_e1
+
+
+@pytest.mark.parametrize("strategy", CORE_STRATEGIES)
+def test_insert_stream_throughput(benchmark, medium_workload, strategy):
+    """Time a 200-insert stream through each strategy."""
+    program, stream = medium_workload
+    events = inserts_as_events(stream)
+
+    def run():
+        wm, _strategy = build_system(program, strategy)
+        drive_stream(wm, events)
+
+    benchmark(run)
+
+
+class TestE1Shape:
+    def test_simplified_recomputes_joins_others_do_not(self):
+        _, rows = report_e1(rule_counts=(10,), stream_length=150)
+        by_name = {r["strategy"]: r for r in rows}
+        assert by_name["simplified"]["joins_computed"] > 0
+        assert by_name["rete"]["joins_computed"] == 0
+
+    def test_pattern_matching_uses_cond_searches(self):
+        _, rows = report_e1(rule_counts=(10,), stream_length=150)
+        by_name = {r["strategy"]: r for r in rows}
+        # One COND search per insert event (plus none for Rete).
+        assert by_name["patterns"]["cond_searches"] >= 150
+        assert by_name["rete"]["cond_searches"] == 0
+
+    def test_all_strategies_processed_all_events(self):
+        _, rows = report_e1(rule_counts=(10,), stream_length=100)
+        assert {r["events"] for r in rows} == {100}

@@ -1,0 +1,71 @@
+"""E2 — §4.2.3 "Space": storage footprint of each strategy.
+
+Paper claims: the Rete network "is an inherently redundant storage
+structure since it stores a token for each WM element satisfying a rule
+condition"; the simplified scheme stores "no intermediate results"; the
+matching-pattern scheme "consumes a lot of space for storing matching
+patterns ... a trade-off between matching time and space"; POSTGRES
+markers are "clearly lower ... as rule identifiers require much less
+space compared to the full data tuples".
+
+Run: pytest benchmarks/bench_e2_space.py --benchmark-only
+Table: python -m repro.bench.report e2
+"""
+
+import pytest
+
+from repro.bench.drivers import (
+    build_system,
+    drive_stream,
+    inserts_as_events,
+)
+from repro.bench.report import CORE_STRATEGIES, report_e2
+
+
+@pytest.mark.parametrize("strategy", CORE_STRATEGIES)
+def test_space_report_cost(benchmark, medium_workload, strategy):
+    """Time producing the space report on a loaded strategy (cheap)."""
+    program, stream = medium_workload
+    wm, attached = build_system(program, strategy)
+    drive_stream(wm, inserts_as_events(stream))
+    benchmark(attached.space_report)
+
+
+class TestE2Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        _, rows = report_e2(stream_length=250)
+        return {r["strategy"]: r for r in rows}
+
+    def test_rete_stores_redundant_tokens(self, rows):
+        assert rows["rete"]["stored_tokens"] > 0
+        assert rows["rete"]["estimated_cells"] > rows["simplified"][
+            "estimated_cells"
+        ]
+
+    def test_simplified_stores_no_intermediate_results(self, rows):
+        assert rows["simplified"]["stored_tokens"] == 0
+        assert rows["simplified"]["stored_patterns"] == 0
+
+    def test_patterns_trade_space_for_time(self, rows):
+        assert rows["patterns"]["stored_patterns"] > 0
+        assert (
+            rows["patterns"]["estimated_cells"]
+            > rows["simplified"]["estimated_cells"]
+        )
+
+    def test_marker_space_is_cheapest_aux_per_entry(self, rows):
+        # One cell per marker entry: far below Rete's token cells.
+        assert rows["markers"]["estimated_cells"] == rows["markers"][
+            "marker_entries"
+        ]
+        assert (
+            rows["markers"]["estimated_cells"]
+            < rows["rete"]["estimated_cells"]
+        )
+
+    def test_sharing_reduces_rete_tokens(self, rows):
+        assert (
+            rows["rete-shared"]["stored_tokens"]
+            <= rows["rete"]["stored_tokens"]
+        )

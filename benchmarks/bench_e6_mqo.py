@@ -1,0 +1,75 @@
+"""E6 — §3.2/§6: multiple-query-optimized (shared) Rete networks.
+
+Paper claim: "since it is the case that multiple conditions have to be
+evaluated and these conditions may share simpler conditions, such as
+selections or joins, it would be advantageous to build a global compiled
+plan that avoids multiple relation accesses" — the MQO-optimized network
+the authors planned to study ([SELL86], §6 future work).
+
+Run: pytest benchmarks/bench_e6_mqo.py --benchmark-only
+Table: python -m repro.bench.report e6
+"""
+
+import pytest
+
+from repro.bench.drivers import build_system, drive_stream, inserts_as_events
+from repro.bench.report import report_e6
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_insert_stream,
+    generate_program,
+)
+
+OVERLAPPING = WorkloadSpec(
+    rules=25, classes=4, shared_condition_pool=6, seed=5
+)
+
+
+@pytest.fixture(scope="module")
+def overlapping_workload():
+    workload = generate_program(OVERLAPPING)
+    return workload.program, generate_insert_stream(OVERLAPPING, 200)
+
+
+@pytest.mark.parametrize("strategy", ["rete", "rete-shared"])
+def test_overlapping_rules_throughput(benchmark, overlapping_workload, strategy):
+    program, stream = overlapping_workload
+    events = inserts_as_events(stream)
+
+    def run():
+        wm, _ = build_system(program, strategy)
+        drive_stream(wm, events)
+
+    benchmark(run)
+
+
+class TestE6Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        _, rows = report_e6(stream_length=200)
+        return rows
+
+    def _pick(self, rows, pool, strategy):
+        for row in rows:
+            if row["overlap_pool"] == pool and row["strategy"] == strategy:
+                return row
+        raise AssertionError(f"missing row {pool}/{strategy}")
+
+    def test_sharing_reduces_node_counts(self, rows):
+        naive = self._pick(rows, 6, "rete")
+        shared = self._pick(rows, 6, "rete-shared")
+        assert shared["alpha_memories"] < naive["alpha_memories"]
+        assert shared["join_nodes"] < naive["join_nodes"]
+
+    def test_sharing_reduces_match_work(self, rows):
+        naive = self._pick(rows, 6, "rete")
+        shared = self._pick(rows, 6, "rete-shared")
+        assert shared["activations"] < naive["activations"]
+
+    def test_overlap_amplifies_the_benefit(self, rows):
+        def ratio(pool):
+            naive = self._pick(rows, pool, "rete")
+            shared = self._pick(rows, pool, "rete-shared")
+            return shared["alpha_memories"] / naive["alpha_memories"]
+
+        assert ratio(6) < ratio("none")

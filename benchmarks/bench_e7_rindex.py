@@ -1,0 +1,83 @@
+"""E7 — §4.2.3: R-trees as fast matching devices on COND relations.
+
+Paper claims: "Building indices such as R-trees or R+-trees on COND
+relations can help in speeding up this process.  Another significant
+advantage of such indices is their use in answering queries on the rulebase
+itself", e.g. "Give me all the rules that apply on employees older than 55."
+
+Run: pytest benchmarks/bench_e7_rindex.py --benchmark-only
+Table: python -m repro.bench.report e7
+"""
+
+import pytest
+
+from repro.bench.report import _rules_with_selections, report_e7
+from repro.engine import WorkingMemory
+from repro.lang import analyze_program, parse_program
+from repro.match.common import match_condition
+from repro.rindex import ConditionIndex
+
+
+@pytest.fixture(scope="module", params=[100, 400])
+def indexed_rulebase(request):
+    count = request.param
+    program = parse_program(_rules_with_selections(count))
+    analyses = analyze_program(program.rules, program.schemas)
+    index = ConditionIndex(analyses, program.schemas)
+    wm = WorkingMemory(program.schemas)
+    wmes = [
+        wm.insert("Emp", (i * 7 % 1000, i * 13 % 1000, i % 5))
+        for i in range(100)
+    ]
+    return program, analyses, index, wmes
+
+
+def test_rtree_point_lookup(benchmark, indexed_rulebase):
+    _, _, index, wmes = indexed_rulebase
+
+    def run():
+        total = 0
+        for wme in wmes:
+            total += len(index.conditions_matching(wme))
+        return total
+
+    benchmark(run)
+
+
+def test_linear_condition_scan(benchmark, indexed_rulebase):
+    program, analyses, _, wmes = indexed_rulebase
+    schema = program.schemas["Emp"]
+
+    def run():
+        total = 0
+        for wme in wmes:
+            for analysis in analyses.values():
+                for condition in analysis.conditions:
+                    if match_condition(condition, schema, wme) is not None:
+                        total += 1
+        return total
+
+    benchmark(run)
+
+
+def test_rulebase_region_query(benchmark, indexed_rulebase):
+    """The paper's rule-base query, as a timed operation."""
+    _, _, index, _ = indexed_rulebase
+    benchmark(lambda: index.rules_in_region("Emp", {"age": (">", 550)}))
+
+
+class TestE7Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        _, rows = report_e7(condition_counts=(50, 400), probes=150)
+        return {r["conditions"]: r for r in rows}
+
+    def test_rtree_beats_linear_scan(self, rows):
+        assert rows[400]["rtree_ms"] < rows[400]["linear_ms"]
+
+    def test_advantage_grows_with_rulebase_size(self, rows):
+        assert rows[400]["speedup"] >= rows[50]["speedup"] * 0.8
+
+    def test_index_never_misses(self, rows):
+        for row in rows.values():
+            assert row["rtree_hits"] >= row["exact_hits"]

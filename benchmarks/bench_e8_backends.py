@@ -1,0 +1,92 @@
+"""E8 — §3.2: persisting Rete memories in a DBMS.
+
+Paper claim: the straightforward DBMS implementation of the Rete network
+"offers several advantages, such as simplicity and re-usability of existing
+technology" — the memories become LEFT/RIGHT relations, at an I/O cost.
+This bench compares the plain in-memory Rete against the DBMS-Rete with
+its memory relations stored in the in-memory engine and in SQLite.
+
+Run: pytest benchmarks/bench_e8_backends.py --benchmark-only
+Table: python -m repro.bench.report e8
+"""
+
+import pytest
+
+from repro.bench.report import report_e8
+from repro.engine import WorkingMemory
+from repro.instrument import Counters
+from repro.lang import analyze_program
+from repro.match.rete import DbmsReteStrategy, ReteStrategy
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_insert_stream,
+    generate_program,
+)
+
+SPEC = WorkloadSpec(rules=10, classes=4, seed=13)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    generated = generate_program(SPEC)
+    analyses = analyze_program(
+        generated.program.rules, generated.program.schemas
+    )
+    return generated.program, analyses, generate_insert_stream(SPEC, 120)
+
+
+def _drive(program, analyses, stream, cls, **kwargs):
+    wm = WorkingMemory(program.schemas)
+    cls(wm, analyses, counters=Counters(), **kwargs)
+    for class_name, values in stream:
+        wm.insert(class_name, values)
+
+
+def test_plain_rete(benchmark, workload):
+    program, analyses, stream = workload
+    benchmark(lambda: _drive(program, analyses, stream, ReteStrategy))
+
+
+def test_dbms_rete_memory_backend(benchmark, workload):
+    program, analyses, stream = workload
+    benchmark(
+        lambda: _drive(
+            program, analyses, stream, DbmsReteStrategy,
+            memory_backend="memory",
+        )
+    )
+
+
+def test_dbms_rete_sqlite_backend(benchmark, workload):
+    program, analyses, stream = workload
+    benchmark(
+        lambda: _drive(
+            program, analyses, stream, DbmsReteStrategy,
+            memory_backend="sqlite",
+        )
+    )
+
+
+class TestE8Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        _, rows = report_e8(stream_length=120)
+        return {r["configuration"]: r for r in rows}
+
+    def test_all_backends_reach_same_matches(self, rows):
+        adds = {r["conflict_adds"] for r in rows.values()}
+        assert len(adds) == 1
+
+    def test_persistence_writes_memory_relations(self, rows):
+        assert rows["rete (no persistence)"]["tuple_writes"] == 0
+        assert rows["rete-dbms memory"]["tuple_writes"] > 0
+        assert (
+            rows["rete-dbms sqlite"]["tuple_writes"]
+            == rows["rete-dbms memory"]["tuple_writes"]
+        )
+
+    def test_persistence_costs_time(self, rows):
+        assert (
+            rows["rete-dbms sqlite"]["us/event"]
+            >= rows["rete (no persistence)"]["us/event"]
+        )

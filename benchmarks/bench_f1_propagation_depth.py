@@ -1,0 +1,65 @@
+"""F1 — Figure 1: propagation delay vs chain depth.
+
+Paper claim (§4): "the propagation delay of inserting a token into C2 ...
+will be significant if the number of single input nodes n is large.  No
+speed-up by parallel processing is possible because all operations must be
+done sequentially."  The flat matching-pattern scheme detects the match
+with a single COND search regardless of depth.
+
+Run: pytest benchmarks/bench_f1_propagation_depth.py --benchmark-only
+Table: python -m repro.bench.report f1
+"""
+
+import pytest
+
+from repro.bench.drivers import build_system
+from repro.bench.report import report_f1
+from repro.workload.programs import chain_program
+
+DEPTHS = (2, 6, 12)
+
+
+def _fill_then_insert(source, strategy_name, depth):
+    wm, strategy = build_system(source, strategy_name)
+    for i in range(1, depth):
+        wm.insert(f"C{i}", (0, "live"))
+    return wm, strategy
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+@pytest.mark.parametrize("strategy", ["rete", "patterns"])
+def test_chain_completion_insert(benchmark, strategy, depth):
+    """Time the insert that completes a depth-n chain."""
+    source = chain_program(depth)
+
+    def run():
+        wm, _strategy = _fill_then_insert(source, strategy, depth)
+        wm.insert("C0", (0, "live"))
+
+    benchmark(run)
+
+
+class TestF1Shape:
+    """The figure's qualitative content, asserted."""
+
+    def test_rete_cost_grows_with_depth(self):
+        _, rows = report_f1(depths=(2, 8))
+        rete = {r["depth"]: r["match_searches"] for r in rows
+                if r["strategy"] == "rete"}
+        assert rete[8] > rete[2]
+
+    def test_pattern_match_is_depth_independent(self):
+        _, rows = report_f1(depths=(2, 8))
+        patterns = {r["depth"]: r["match_searches"] for r in rows
+                    if r["strategy"] == "patterns"}
+        assert patterns[2] == patterns[8] == 1
+
+    def test_pattern_maintenance_grows_but_is_separate(self):
+        _, rows = report_f1(depths=(2, 8))
+        maintenance = {r["depth"]: r["maintenance_ops"] for r in rows
+                       if r["strategy"] == "patterns"}
+        assert maintenance[8] > maintenance[2]
+
+    def test_both_detect_the_match(self):
+        _, rows = report_f1(depths=(4,))
+        assert all(r["conflict_adds"] == 1 for r in rows)

@@ -1,0 +1,18 @@
+"""Shared benchmark fixtures and helpers."""
+
+import pytest
+
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_insert_stream,
+    generate_program,
+)
+
+
+@pytest.fixture(scope="module")
+def medium_workload():
+    """A mid-size synthetic workload reused across timing benchmarks."""
+    spec = WorkloadSpec(rules=20, classes=5, seed=7)
+    workload = generate_program(spec)
+    stream = generate_insert_stream(spec, 200)
+    return workload.program, stream

@@ -1,0 +1,95 @@
+"""Triggers and alerters over an employee database (§2.3 of the paper).
+
+Reproduces the paper's two framings of the same machinery:
+
+1. the Stonebraker "ALWAYS" trigger — *"a trigger that forces Mike's
+   salary to always be equal to Sam's salary"* — expressed as a production
+   whose RHS enforces the invariant whenever an update breaks it; and
+2. Buneman & Clemons-style add/delete triggers and alerters, monitored by
+   the match layer via :class:`repro.TriggerManager`.
+
+    python examples/employee_triggers.py
+"""
+
+from repro import ProductionSystem, TriggerManager, WorkingMemory
+from repro.storage import RelationSchema
+
+# The paper's QUEL trigger:
+#   range of E is EMP
+#   replace ALWAYS EMP (salary = E.salary)
+#   where EMP.name = "Mike" and E.name = "Sam"
+ALWAYS_RULE = """
+(literalize Emp name salary dept)
+
+(p mike-follows-sam
+    (Emp ^name Sam ^salary <S>)
+    (Emp ^name Mike ^salary <> <S>)
+    -->
+    (modify 2 ^salary <S>)
+    (write |trigger: set Mike's salary to| <S>))
+"""
+
+
+def always_trigger_demo() -> None:
+    print("== ALWAYS trigger: Mike's salary follows Sam's ==")
+    system = ProductionSystem(ALWAYS_RULE)
+    system.insert("Emp", {"name": "Sam", "salary": 900, "dept": "Toy"})
+    mike = system.insert("Emp", {"name": "Mike", "salary": 500, "dept": "Toy"})
+    system.run()
+
+    def mike_salary():
+        return next(
+            t.values[1] for t in system.wm.tuples("Emp") if t.values[0] == "Mike"
+        )
+
+    assert mike_salary() == 900
+    print(f"  after initial load: Mike earns {mike_salary()}")
+
+    # The paper's update: replace EMP (salary = 1000) where EMP.name = "Sam"
+    sam = next(t for t in system.wm.tuples("Emp") if t.values[0] == "Sam")
+    system.modify(sam, {"salary": 1000})
+    system.run()
+    assert mike_salary() == 1000
+    print(f"  after Sam's raise to 1000: Mike earns {mike_salary()}")
+
+
+def alerter_demo() -> None:
+    print("\n== add/delete triggers and alerters ==")
+    wm = WorkingMemory(
+        {
+            "Emp": RelationSchema("Emp", ("name", "salary", "dept")),
+            "Dept": RelationSchema("Dept", ("dept", "budget")),
+        }
+    )
+    manager = TriggerManager(wm)
+
+    # Simple trigger (single-relation condition).
+    manager.define_alerter("high-pay", "(Emp ^salary > 1000)")
+    # Complex trigger (multi-relation join, Buneman & Clemons' class 2).
+    manager.define_alerter(
+        "overspent",
+        "(Emp ^dept <D> ^salary <S>) (Dept ^dept <D> ^budget {<B> < <S>})",
+    )
+
+    wm.insert("Dept", ("Toy", 800))
+    ann = wm.insert("Emp", ("Ann", 1200, "Toy"))   # fires both
+    wm.insert("Emp", ("Bob", 700, "Toy"))          # fires neither
+    wm.remove(ann)                                 # clears both
+
+    for alert in manager.alerts:
+        print(f"  {alert}")
+    kinds = [(a.trigger, a.kind) for a in manager.alerts]
+    assert kinds.count(("high-pay", "satisfied")) == 1
+    assert kinds.count(("overspent", "satisfied")) == 1
+    assert kinds.count(("high-pay", "violated")) == 1
+    assert kinds.count(("overspent", "violated")) == 1
+    print("  OK: join trigger fired and cleared exactly once each")
+
+
+def main() -> None:
+    always_trigger_demo()
+    alerter_demo()
+
+
+if __name__ == "__main__":
+    main()

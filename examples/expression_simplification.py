@@ -1,0 +1,105 @@
+"""Algebraic simplification — the paper's Example 2, extended.
+
+The paper's motivating rules PlusOX (0 + x -> x) and TimesOX (0 * x -> 0)
+are joined by the symmetric identities so a batch of expressions simplifies
+to fixpoint.  Each simplification is a ``modify``, i.e. a delete + insert
+that re-enters the match network (§3.1).
+
+    python examples/expression_simplification.py
+"""
+
+from repro import ProductionSystem
+
+RULES = """
+(literalize Goal Type Object)
+(literalize Expression Name Arg1 Op Arg2)
+
+; 0 + x -> x        (the paper's PlusOX)
+(p PlusOX
+    (Goal ^Type Simplify ^Object <N>)
+    (Expression ^Name <N> ^Arg1 0 ^Op + ^Arg2 <X>)
+    -->
+    (modify 2 ^Op nil ^Arg1 nil))
+
+; x + 0 -> x
+(p PlusXO
+    (Goal ^Type Simplify ^Object <N>)
+    (Expression ^Name <N> ^Arg1 <X> ^Op + ^Arg2 0)
+    -->
+    (modify 2 ^Op nil ^Arg2 nil))
+
+; 0 * x -> 0        (the paper's TimesOX)
+(p TimesOX
+    (Goal ^Type Simplify ^Object <N>)
+    (Expression ^Name <N> ^Arg1 0 ^Op '*' ^Arg2 <X>)
+    -->
+    (modify 2 ^Op nil ^Arg2 nil))
+
+; x * 0 -> 0
+(p TimesXO
+    (Goal ^Type Simplify ^Object <N>)
+    (Expression ^Name <N> ^Arg1 <X> ^Op '*' ^Arg2 0)
+    -->
+    (modify 2 ^Op nil ^Arg1 nil))
+
+; 1 * x -> x
+(p TimesOneX
+    (Goal ^Type Simplify ^Object <N>)
+    (Expression ^Name <N> ^Arg1 1 ^Op '*' ^Arg2 <X>)
+    -->
+    (modify 2 ^Op nil ^Arg1 nil))
+
+; x - 0 -> x
+(p MinusXO
+    (Goal ^Type Simplify ^Object <N>)
+    (Expression ^Name <N> ^Arg1 <X> ^Op - ^Arg2 0)
+    -->
+    (modify 2 ^Op nil ^Arg2 nil))
+"""
+
+EXPRESSIONS = [
+    ("e1", 0, "+", 42),   # -> 42
+    ("e2", 0, "*", 9),    # -> 0
+    ("e3", 7, "+", 0),    # -> 7
+    ("e4", 1, "*", 13),   # -> 13
+    ("e5", 5, "-", 0),    # -> 5
+    ("e6", 3, "*", 4),    # not simplifiable by these identities
+]
+
+
+def residual(values):
+    """Render the simplified expression (nil fields dropped)."""
+    _, arg1, op, arg2 = values
+    parts = [str(p) for p in (arg1, op, arg2) if p is not None]
+    return " ".join(parts) if parts else "nil"
+
+
+def main() -> None:
+    system = ProductionSystem(RULES, strategy="patterns")
+    for name, arg1, op, arg2 in EXPRESSIONS:
+        system.insert("Goal", {"Type": "Simplify", "Object": name})
+        system.insert(
+            "Expression",
+            {"Name": name, "Arg1": arg1, "Op": op, "Arg2": arg2},
+        )
+    result = system.run()
+    print(f"fired {result.cycles} simplification steps:")
+    for record in result.fired:
+        print(f"  {record.instantiation.rule_name:10s} on "
+              f"{record.instantiation.binding_map().get('N')}")
+    print("\nexpressions after simplification:")
+    final = {}
+    for wme in system.wm.tuples("Expression"):
+        final[wme.values[0]] = residual(wme.values)
+        original = next(e for e in EXPRESSIONS if e[0] == wme.values[0])
+        print(f"  {original[1]} {original[2]} {original[3]:>2}   ->   "
+              f"{residual(wme.values)}")
+    assert final == {
+        "e1": "42", "e2": "0", "e3": "7", "e4": "13", "e5": "5",
+        "e6": "3 * 4",
+    }, final
+    print("\nOK: all identities applied, e6 untouched")
+
+
+if __name__ == "__main__":
+    main()

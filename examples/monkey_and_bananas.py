@@ -1,0 +1,47 @@
+"""Monkey-and-bananas: classic multi-step production-system planning.
+
+Forward chaining over a small state space: the monkey walks to the chair,
+pushes it under the bananas, climbs, and grabs — four rule firings whose
+each ``modify`` re-enters the match network.  Uses MEA resolution (goal
+element first), the strategy OPS5 programs of this style relied on.
+
+    python examples/monkey_and_bananas.py
+"""
+
+from repro import ProductionSystem
+from repro.workload import monkey_bananas_program
+
+
+def main() -> None:
+    system = ProductionSystem(
+        monkey_bananas_program(), strategy="patterns", resolution="mea"
+    )
+    system.insert("Goal", {"status": "active"})
+    system.insert("Monkey", {"at": "door", "on": "floor", "holding": None})
+    system.insert("Object", {"name": "chair", "at": "corner"})
+    system.insert("Object", {"name": "bananas", "at": "ceiling"})
+
+    result = system.run(max_cycles=20)
+
+    print("plan executed:")
+    for record in result.fired:
+        print(f"  {record.cycle}. {record.instantiation.rule_name}")
+    monkey = next(iter(system.wm.tuples("Monkey")))
+    goal = next(iter(system.wm.tuples("Goal")))
+    print(f"\nmonkey: at={monkey.values[0]} on={monkey.values[1]} "
+          f"holding={monkey.values[2]}")
+    print(f"goal:   {goal.values[0]}")
+
+    assert result.halted
+    assert [r.instantiation.rule_name for r in result.fired] == [
+        "go-to-chair",
+        "push-chair",
+        "climb-chair",
+        "grab-bananas",
+    ]
+    assert monkey.values[2] == "bananas"
+    print("\nOK: 4-step plan found and executed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""A knowledge base that outlives the process (the paper's §1 premise).
+
+Working memory lives in a SQLite file; the program runs for a while,
+"crashes" (we simply drop the session), and a second session re-attaches
+to the same file: the match network is rebuilt by replay and the run
+continues exactly where it stopped.
+
+    python examples/persistent_kb.py
+"""
+
+import os
+import tempfile
+
+from repro import ProductionSystem
+
+RULES = """
+(literalize Ticket id stage)
+(literalize Done id)
+
+(p triage (Ticket ^id <I> ^stage new)      --> (modify 1 ^stage triaged))
+(p work   (Ticket ^id <I> ^stage triaged)  --> (modify 1 ^stage review))
+(p close  (Ticket ^id <I> ^stage review)   --> (remove 1) (make Done ^id <I>))
+"""
+
+
+def stage_counts(system):
+    counts = {}
+    for ticket in system.wm.tuples("Ticket"):
+        counts[ticket.values[1]] = counts.get(ticket.values[1], 0) + 1
+    counts["done"] = len(list(system.wm.tuples("Done")))
+    return counts
+
+
+def main() -> None:
+    handle, db = tempfile.mkstemp(suffix=".sqlite")
+    os.close(handle)
+    os.unlink(db)  # start from a fresh file
+    try:
+        print(f"session 1: opening {os.path.basename(db)}")
+        first = ProductionSystem(RULES, backend="sqlite", path=db)
+        for i in range(6):
+            first.insert("Ticket", (i, "new"))
+        # Process only part of the backlog, then "crash".
+        for _ in range(7):
+            first.step(1)
+        mid = stage_counts(first)
+        print(f"  after 7 firings: {mid}")
+        first.wm.catalog.close()
+        del first
+
+        print("session 2: re-attaching to the same database")
+        second = ProductionSystem(RULES, backend="sqlite", path=db)
+        resumed = stage_counts(second)
+        print(f"  state found on disk: {resumed}")
+        assert resumed == mid, (resumed, mid)
+        assert second.eligible(), "unfinished work must still match"
+        second.run()
+        final = stage_counts(second)
+        print(f"  after finishing the run: {final}")
+        assert final == {"done": 6}
+        second.wm.catalog.close()
+        print("\nOK: the second session resumed and completed the backlog")
+    finally:
+        if os.path.exists(db):
+            os.unlink(db)
+
+
+if __name__ == "__main__":
+    main()

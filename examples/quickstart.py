@@ -1,0 +1,64 @@
+"""Quickstart: define rules, insert working-memory elements, run the cycle.
+
+A production system is OPS5 text (literalize declarations + (p ...) rules)
+handed to :class:`repro.ProductionSystem`.  Every WM change is matched
+incrementally by the selected strategy — here the paper's matching-pattern
+scheme (§4.2) — and ``run()`` drives the Match/Select/Act loop of Figure 2.
+
+    python examples/quickstart.py
+"""
+
+from repro import ProductionSystem
+
+RULES = """
+(literalize Order id item qty status)
+(literalize Stock item level)
+
+; Fill an order when stock suffices: decrement stock, mark shipped.
+(p ship-order
+    (Order ^id <O> ^item <I> ^qty <Q> ^status pending)
+    (Stock ^item <I> ^level {<L> >= <Q>})
+    -->
+    (modify 2 ^level (compute <L> - <Q>))
+    (modify 1 ^status shipped)
+    (write |shipped order| <O>))
+
+; Flag an order we cannot fill.
+(p flag-shortage
+    (Order ^id <O> ^item <I> ^qty <Q> ^status pending)
+    (Stock ^item <I> ^level {<L> < <Q>})
+    -->
+    (modify 1 ^status short)
+    (write |shortage for order| <O>))
+"""
+
+
+def main() -> None:
+    system = ProductionSystem(RULES, strategy="patterns", resolution="fifo")
+
+    system.insert("Stock", {"item": "widget", "level": 10})
+    system.insert("Stock", {"item": "gadget", "level": 1})
+    system.insert("Order", {"id": 1, "item": "widget", "qty": 4, "status": "pending"})
+    system.insert("Order", {"id": 2, "item": "widget", "qty": 6, "status": "pending"})
+    system.insert("Order", {"id": 3, "item": "gadget", "qty": 5, "status": "pending"})
+    system.insert("Order", {"id": 4, "item": "widget", "qty": 1, "status": "pending"})
+
+    result = system.run()
+
+    print(f"cycles run: {result.cycles}")
+    for line in system.output:
+        print(" ", *line)
+    print("\nfinal working memory:")
+    for class_name in ("Order", "Stock"):
+        for wme in system.wm.tuples(class_name):
+            print(" ", wme)
+
+    statuses = sorted(
+        (t.values[0], t.values[3]) for t in system.wm.tuples("Order")
+    )
+    assert statuses == [(1, "shipped"), (2, "shipped"), (3, "short"), (4, "short")], statuses
+    print("\nOK: orders 1-2 shipped (stock drained 10->0), 3-4 short")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Querying the rule base itself with an R-tree index (§4.2.3, [LIN87]).
+
+The paper: "questions of the form *Give me all the rules that apply on
+employees older than 55* can be easily answered using such an index ...
+Notice that this is not possible in systems, such as POSTGRES, where rule
+information is stored together with the actual data."
+
+    python examples/rulebase_queries.py
+"""
+
+from repro import ConditionIndex, analyze_program, parse_program
+
+RULES = """
+(literalize Emp name age salary dno)
+
+(p retirement-notice   (Emp ^age > 64) --> (remove 1))
+(p senior-review       (Emp ^age > 55 ^salary > 900) --> (remove 1))
+(p early-career-bonus  (Emp ^age < 30) --> (remove 1))
+(p toy-dept-audit      (Emp ^dno 7) --> (remove 1))
+(p name-check          (Emp ^name Mike) --> (remove 1))
+(p pay-band            (Emp ^salary > 500 ^salary < 1500) --> (remove 1))
+"""
+
+
+def main() -> None:
+    program = parse_program(RULES)
+    analyses = analyze_program(program.rules, program.schemas)
+    index = ConditionIndex(analyses, program.schemas)
+    print(f"indexed {len(index)} condition elements into per-class R-trees")
+    tree = index.tree("Emp")
+    print(f"Emp tree: {len(tree)} boxes, height {tree.height}\n")
+
+    queries = [
+        ("rules that apply on employees older than 55", {"age": (">", 55)}),
+        ("rules that apply to 25-year-olds", {"age": ("=", 25)}),
+        (
+            "rules touching salaries above 2000",
+            {"salary": (">", 2000)},
+        ),
+        ("rules that apply in department 7", {"dno": ("=", 7)}),
+    ]
+    for description, region in queries:
+        rules = sorted(index.rules_in_region("Emp", region))
+        print(f"{description}:")
+        for rule in rules:
+            print(f"    {rule}")
+        print()
+
+    over_55 = index.rules_in_region("Emp", {"age": (">", 55)})
+    assert "retirement-notice" in over_55
+    assert "senior-review" in over_55
+    assert "early-career-bonus" not in over_55
+    assert "pay-band" in over_55  # no age restriction: applies at any age
+    young = index.rules_in_region("Emp", {"age": ("=", 25)})
+    assert "retirement-notice" not in young
+    assert "early-career-bonus" in young
+    rich = index.rules_in_region("Emp", {"salary": (">", 2000)})
+    assert "pay-band" not in rich
+    print("OK: region queries prune rules whose conditions cannot overlap")
+
+
+if __name__ == "__main__":
+    main()

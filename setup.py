@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows ``pip install -e .`` (and ``python setup.py develop``) in offline
+environments whose setuptools lacks the ``wheel`` package that PEP 660
+editable builds require; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

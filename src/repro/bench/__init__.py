@@ -1,0 +1,29 @@
+"""Benchmark harness: drivers, table rendering, experiment reports."""
+
+from repro.bench.drivers import (
+    Event,
+    StrategyRun,
+    build_system,
+    compare_strategies,
+    drive_stream,
+    inserts_as_events,
+    resolve_program,
+    run_stream,
+)
+from repro.bench.report import REPORTS, main
+from repro.bench.tables import format_value, render_table
+
+__all__ = [
+    "Event",
+    "REPORTS",
+    "StrategyRun",
+    "build_system",
+    "compare_strategies",
+    "drive_stream",
+    "format_value",
+    "inserts_as_events",
+    "main",
+    "render_table",
+    "resolve_program",
+    "run_stream",
+]

@@ -1,0 +1,120 @@
+"""Benchmark drivers: build a system, drive a WM stream, collect metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.wm import WorkingMemory
+from repro.instrument import Counters, SpaceReport
+from repro.lang.analysis import RuleAnalysis, analyze_program
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+from repro.match import STRATEGIES, MatchStrategy
+from repro.storage.schema import Value
+from repro.storage.tuples import StoredTuple
+
+#: Event stream element: ("insert", (class, values)) or ("delete", index).
+Event = tuple[str, object]
+
+
+@dataclass
+class StrategyRun:
+    """Metrics of one strategy over one stream."""
+
+    strategy: str
+    events: int = 0
+    wall_seconds: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+    space: SpaceReport | None = None
+    conflict_additions: int = 0
+    conflict_size: int = 0
+
+    def row(self, *counter_names: str) -> dict:
+        """A table row with selected counters."""
+        row: dict = {
+            "strategy": self.strategy,
+            "events": self.events,
+            "ms": self.wall_seconds * 1000.0,
+            "us/event": (
+                self.wall_seconds * 1e6 / self.events if self.events else 0.0
+            ),
+        }
+        for name in counter_names:
+            row[name] = self.counters.get(name, 0)
+        return row
+
+
+def resolve_program(source: str | Program) -> tuple[Program, dict[str, RuleAnalysis]]:
+    """Parse (if needed) and analyze a program."""
+    program = parse_program(source) if isinstance(source, str) else source
+    return program, analyze_program(program.rules, program.schemas)
+
+
+def build_system(
+    source: str | Program,
+    strategy_name: str,
+    backend: str = "memory",
+) -> tuple[WorkingMemory, MatchStrategy]:
+    """A fresh WM plus one attached strategy with its own counters."""
+    program, analyses = resolve_program(source)
+    wm = WorkingMemory(program.schemas, backend=backend)
+    strategy = STRATEGIES[strategy_name](wm, analyses, counters=Counters())
+    return wm, strategy
+
+
+def drive_stream(
+    wm: WorkingMemory,
+    events: list[Event],
+) -> tuple[int, list[StoredTuple]]:
+    """Apply an event stream; returns (#events, live tuples)."""
+    live: list[StoredTuple] = []
+    for kind, payload in events:
+        if kind == "insert":
+            class_name, values = payload  # type: ignore[misc]
+            live.append(wm.insert(class_name, values))
+        elif kind == "delete":
+            index = payload  # type: ignore[assignment]
+            wm.remove(live.pop(index % len(live)))
+        else:
+            raise ValueError(f"unknown event kind {kind!r}")
+    return len(events), live
+
+
+def inserts_as_events(
+    stream: list[tuple[str, tuple[Value, ...]]]
+) -> list[Event]:
+    """Wrap a plain insert stream as events."""
+    return [("insert", item) for item in stream]
+
+
+def run_stream(
+    source: str | Program,
+    events: list[Event],
+    strategy_name: str,
+    backend: str = "memory",
+) -> StrategyRun:
+    """Drive *events* through one strategy, measuring time and counters."""
+    wm, strategy = build_system(source, strategy_name, backend=backend)
+    start = time.perf_counter()
+    count, _live = drive_stream(wm, events)
+    elapsed = time.perf_counter() - start
+    return StrategyRun(
+        strategy=strategy.strategy_name,
+        events=count,
+        wall_seconds=elapsed,
+        counters=strategy.counters.as_dict(),
+        space=strategy.space_report(),
+        conflict_additions=strategy.conflict_set.additions,
+        conflict_size=len(strategy.conflict_set),
+    )
+
+
+def compare_strategies(
+    source: str | Program,
+    events: list[Event],
+    strategy_names: list[str] | None = None,
+) -> list[StrategyRun]:
+    """Run the same stream over several strategies."""
+    names = strategy_names or sorted(STRATEGIES)
+    return [run_stream(source, events, name) for name in names]

@@ -1,0 +1,42 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_value(value: object) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e9:
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
+    parts.append(header)
+    parts.append("  ".join("-" * width for width in widths))
+    for line in cells:
+        parts.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+    return "\n".join(parts)

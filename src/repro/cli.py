@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+    python -m repro.cli run program.ops [--strategy patterns]
+                                        [--resolution lex] [--max-cycles N]
+                                        [--backend memory] [--quiet]
+    python -m repro.cli check program.ops
+    python -m repro.cli format program.ops
+    python -m repro.cli report [f1 e1 ... e9]
+
+``run`` executes an OPS5 program file (literalize + rules + top-level
+``(make ...)`` initial elements) through the recognize-act cycle and prints
+the firing trace, ``(write ...)`` output, and the final working memory.
+``check`` validates a program and summarizes its rules; ``format``
+normalizes it back to canonical text; ``report`` regenerates the
+experiment tables of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine.interpreter import ProductionSystem
+from repro.errors import ReproError
+from repro.lang.analysis import analyze_program
+from repro.lang.format import format_program
+from repro.lang.parser import parse_program
+from repro.match import STRATEGIES
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    system = ProductionSystem(
+        _read(args.file),
+        strategy=args.strategy,
+        resolution=args.resolution,
+        backend=args.backend,
+        seed=args.seed,
+    )
+    result = system.run(max_cycles=args.max_cycles)
+    if not args.quiet:
+        for record in result.fired:
+            print(f"{record.cycle:4d}. {record.instantiation}")
+        for line in system.output:
+            print("write:", *line)
+    status = (
+        "halted" if result.halted
+        else "cycle limit reached" if result.exhausted
+        else "quiescent"
+    )
+    print(f"{result.cycles} cycles, {status}")
+    if not args.quiet:
+        print("final working memory:")
+        for class_name in system.wm.schemas:
+            for wme in system.wm.tuples(class_name):
+                print(" ", wme)
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    program = parse_program(_read(args.file))
+    analyses = analyze_program(program.rules, program.schemas)
+    print(
+        f"{len(program.schemas)} classes, {len(program.rules)} rules, "
+        f"{len(program.initial_elements)} initial elements"
+    )
+    for analysis in analyses.values():
+        positive = len(analysis.positive_conditions())
+        negated = len(analysis.negated_conditions())
+        joins = sum(
+            1 for component in analysis.components if len(component) > 1
+        )
+        print(
+            f"  {analysis.name}: {positive}+{negated} conditions, "
+            f"{joins} join component(s), "
+            f"{len(analysis.rule.actions)} action(s)"
+        )
+    return 0
+
+
+def cmd_format(args: argparse.Namespace) -> int:
+    program = parse_program(_read(args.file))
+    print(format_program(program))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    system = ProductionSystem(_read(args.file), strategy=args.strategy)
+    names = args.rules or list(system.analyses)
+    for name in names:
+        print(system.explain(name))
+        print()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import main as report_main
+
+    report_main(args.experiments)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Production rule systems in a DBMS environment "
+        "(Sellis/Lin/Raschid, SIGMOD 1988)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run an OPS5 program file")
+    run.add_argument("file")
+    run.add_argument(
+        "--strategy", default="patterns", choices=sorted(STRATEGIES)
+    )
+    run.add_argument(
+        "--resolution",
+        default="lex",
+        choices=["lex", "mea", "priority", "fifo", "random"],
+    )
+    run.add_argument("--backend", default="memory",
+                     choices=["memory", "sqlite"])
+    run.add_argument("--max-cycles", type=int, default=10_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--quiet", action="store_true")
+    run.set_defaults(handler=cmd_run)
+
+    check = commands.add_parser("check", help="validate and summarize rules")
+    check.add_argument("file")
+    check.set_defaults(handler=cmd_check)
+
+    fmt = commands.add_parser("format", help="normalize a program to text")
+    fmt.add_argument("file")
+    fmt.set_defaults(handler=cmd_format)
+
+    explain = commands.add_parser(
+        "explain",
+        help="diagnose why rules are (not) satisfied by the initial WM",
+    )
+    explain.add_argument("file")
+    explain.add_argument("rules", nargs="*")
+    explain.add_argument(
+        "--strategy", default="patterns", choices=sorted(STRATEGIES)
+    )
+    explain.set_defaults(handler=cmd_explain)
+
+    report = commands.add_parser(
+        "report", help="regenerate experiment tables"
+    )
+    report.add_argument("experiments", nargs="*")
+    report.set_defaults(handler=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,301 @@
+"""The recognize-act interpreter: Match → Select → Act (§2.1, Figure 2).
+
+:class:`ProductionSystem` is the library's main façade: it owns working
+memory, a pluggable match strategy, a conflict-resolution strategy with
+refraction, and the action executor, and it runs the OPS5 cycle:
+
+    Match   — incremental, maintained by the strategy on every WM change;
+    Select  — pick one unfired instantiation from the conflict set, halt
+              when none remains;
+    Act     — execute the RHS, whose WM changes re-enter Match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.actions import ActionExecutor, ActionOutcome, HostFunction
+from repro.engine.conflict import ConflictSet, Instantiation, InstantiationKey
+from repro.engine.resolution import Resolver, make_resolver
+from repro.engine.wm import WorkingMemory
+from repro.errors import ExecutionError
+from repro.instrument import Counters
+from repro.lang.analysis import RuleAnalysis, analyze_program
+from repro.lang.ast import Program, Rule
+from repro.lang.parser import parse_program
+from repro.match import STRATEGIES, MatchStrategy
+from repro.storage.schema import RelationSchema, Value
+from repro.storage.tuples import StoredTuple
+
+
+@dataclass
+class FiredRule:
+    """Trace record of one Act step."""
+
+    cycle: int
+    instantiation: Instantiation
+    outcome: ActionOutcome
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event from the engine's OPS5-``watch``-style trace stream.
+
+    ``kind`` is ``"insert"``, ``"remove"``, ``"fire"`` or ``"halt"``;
+    ``detail`` carries the WM element or :class:`FiredRule`.
+    """
+
+    kind: str
+    cycle: int
+    detail: object
+
+    def __str__(self) -> str:
+        if self.kind == "insert":
+            return f"=>WM: {self.detail}"
+        if self.kind == "remove":
+            return f"<=WM: {self.detail}"
+        if self.kind == "fire":
+            assert isinstance(self.detail, FiredRule)
+            return f"FIRE {self.cycle}: {self.detail.instantiation}"
+        return "HALT"
+
+
+class _WmTracer:
+    """Forwards WM changes into the engine's trace stream."""
+
+    def __init__(self, system: "ProductionSystem") -> None:
+        self._system = system
+
+    def on_insert(self, wme: StoredTuple) -> None:
+        self._system._emit("insert", wme)
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        self._system._emit("remove", wme)
+
+
+@dataclass
+class RunResult:
+    """Summary of a :meth:`ProductionSystem.run` call."""
+
+    cycles: int
+    halted: bool
+    exhausted: bool
+    fired: list[FiredRule] = field(default_factory=list)
+
+    @property
+    def fired_rule_names(self) -> list[str]:
+        return [f.instantiation.rule_name for f in self.fired]
+
+
+class ProductionSystem:
+    """An OPS5-style production system over a relational working memory.
+
+    ``firing`` selects the Act granularity:
+
+    * ``"instance"`` (OPS5, default) — one instantiation per cycle;
+    * ``"set"`` — §5.1's DBMS style: "Traditionally, DBMS support
+      set-at-a-time processing ... A selected production will execute
+      simultaneously against all combinations of these sets of tuples."
+      Each cycle selects a rule (via the resolver) and fires *every*
+      eligible instantiation of it, skipping those invalidated by earlier
+      firings of the same batch.
+    """
+
+    def __init__(
+        self,
+        source: str | Program | None = None,
+        rules: list[Rule] | None = None,
+        schemas: dict[str, RelationSchema] | None = None,
+        strategy: str | type[MatchStrategy] = "patterns",
+        resolution: str | Resolver = "lex",
+        backend: str = "memory",
+        seed: int = 0,
+        counters: Counters | None = None,
+        firing: str = "instance",
+        path: str | None = None,
+    ) -> None:
+        if firing not in ("instance", "set"):
+            raise ExecutionError(
+                f"unknown firing mode {firing!r}; use 'instance' or 'set'"
+            )
+        self.firing = firing
+        program = self._resolve_program(source, rules, schemas)
+        self.program = program
+        self.analyses: dict[str, RuleAnalysis] = analyze_program(
+            program.rules, program.schemas
+        )
+        self.counters = counters or Counters()
+        self.wm = WorkingMemory(
+            program.schemas,
+            backend=backend,
+            counters=self.counters,
+            path=path,
+        )
+        strategy_cls = (
+            STRATEGIES[strategy] if isinstance(strategy, str) else strategy
+        )
+        self.strategy: MatchStrategy = strategy_cls(
+            self.wm, self.analyses, counters=self.counters
+        )
+        self.resolver: Resolver = (
+            make_resolver(resolution, seed)
+            if isinstance(resolution, str)
+            else resolution
+        )
+        self.executor = ActionExecutor(self.wm)
+        self.output: list[tuple[Value, ...]] = []
+        self._fired_keys: set[InstantiationKey] = set()
+        self._tracers: list = []
+        self._current_cycle = 0
+        self._wm_tracer: _WmTracer | None = None
+        for class_name, values in program.initial_elements:
+            self.insert(class_name, values)
+
+    @staticmethod
+    def _resolve_program(
+        source: str | Program | None,
+        rules: list[Rule] | None,
+        schemas: dict[str, RelationSchema] | None,
+    ) -> Program:
+        if isinstance(source, str):
+            return parse_program(source)
+        if isinstance(source, Program):
+            return source
+        if rules is not None and schemas is not None:
+            return Program(schemas=dict(schemas), rules=list(rules))
+        raise ExecutionError(
+            "ProductionSystem needs OPS5 source text, a Program, or "
+            "rules + schemas"
+        )
+
+    # -- working-memory access ------------------------------------------------
+
+    @property
+    def conflict_set(self) -> ConflictSet:
+        return self.strategy.conflict_set
+
+    def insert(
+        self, class_name: str, values: tuple[Value, ...] | dict[str, Value]
+    ) -> StoredTuple:
+        """Insert a WM element (user-level ``make``)."""
+        if isinstance(values, dict):
+            schema = self.wm.schema(class_name)
+            values = schema.row_from_mapping(values)
+        return self.wm.insert(class_name, values)
+
+    def remove(self, wme: StoredTuple) -> StoredTuple:
+        """Remove a WM element (user-level ``remove``)."""
+        return self.wm.remove(wme)
+
+    def modify(self, wme: StoredTuple, changes: dict[str, Value]) -> StoredTuple:
+        """Modify a WM element (delete + insert, §3.1)."""
+        return self.wm.modify(wme, changes)
+
+    def register_function(self, name: str, function: HostFunction) -> None:
+        """Expose a host function to ``(call ...)`` actions."""
+        self.executor.register(name, function)
+
+    def explain(self, rule_name: str):
+        """Diagnose why *rule_name* is (not) satisfied; see
+        :meth:`repro.match.base.MatchStrategy.explain`."""
+        return self.strategy.explain(rule_name)
+
+    # -- the recognize-act cycle ---------------------------------------------------
+
+    def eligible(self) -> list[Instantiation]:
+        """Conflict-set entries that refraction has not yet consumed."""
+        return [
+            instantiation
+            for instantiation in self.conflict_set
+            if instantiation.key not in self._fired_keys
+        ]
+
+    # -- tracing (OPS5 "watch") -------------------------------------------------
+
+    def add_trace(self, callback) -> None:
+        """Register a callback receiving :class:`TraceEvent` objects.
+
+        The first registration also hooks WM changes, so inserts/removes
+        (including those performed by RHS actions) appear in the stream.
+        """
+        if self._wm_tracer is None:
+            self._wm_tracer = _WmTracer(self)
+            self.wm.add_listener(self._wm_tracer)
+        self._tracers.append(callback)
+
+    def remove_trace(self, callback) -> None:
+        """Unregister a trace callback."""
+        self._tracers.remove(callback)
+
+    def _emit(self, kind: str, detail: object) -> None:
+        if not self._tracers:
+            return
+        event = TraceEvent(kind=kind, cycle=self._current_cycle, detail=detail)
+        for callback in list(self._tracers):
+            callback(event)
+
+    def mark_fired(self, instantiation: Instantiation) -> None:
+        """Record *instantiation* as fired (refraction), e.g. by an
+        external transaction scheduler."""
+        self._fired_keys.add(instantiation.key)
+
+    def step(self, cycle: int = 0) -> FiredRule | None:
+        """One Select + Act step; returns None when nothing is eligible.
+
+        In ``"set"`` firing mode this fires the whole batch for the
+        selected rule and returns the *first* firing's record (all are
+        appended to run traces by :meth:`run`).
+        """
+        records = self.step_records(cycle)
+        return records[0] if records else None
+
+    def step_records(self, cycle: int = 0) -> list[FiredRule]:
+        """One Select + Act step, returning every firing it performed."""
+        candidates = self.eligible()
+        if not candidates:
+            return []
+        chosen = self.resolver(candidates)
+        if self.firing == "set":
+            batch = [
+                inst
+                for inst in candidates
+                if inst.rule_name == chosen.rule_name
+            ]
+        else:
+            batch = [chosen]
+        records: list[FiredRule] = []
+        self._current_cycle = cycle
+        analysis = self.analyses[chosen.rule_name]
+        for instantiation in batch:
+            self._fired_keys.add(instantiation.key)
+            if instantiation is not chosen and instantiation not in self.conflict_set:
+                continue  # invalidated by an earlier firing of this batch
+            outcome = self.executor.execute(analysis, instantiation)
+            self.output.extend(outcome.written)
+            record = FiredRule(
+                cycle=cycle, instantiation=instantiation, outcome=outcome
+            )
+            records.append(record)
+            self._emit("fire", record)
+            if outcome.halted:
+                self._emit("halt", record)
+                break
+        return records
+
+    def run(self, max_cycles: int = 10_000) -> RunResult:
+        """Run the cycle until halt, exhaustion, or *max_cycles*."""
+        fired: list[FiredRule] = []
+        for cycle in range(1, max_cycles + 1):
+            records = self.step_records(cycle)
+            if not records:
+                return RunResult(
+                    cycles=cycle - 1, halted=False, exhausted=False, fired=fired
+                )
+            fired.extend(records)
+            if any(record.outcome.halted for record in records):
+                return RunResult(
+                    cycles=cycle, halted=True, exhausted=False, fired=fired
+                )
+        return RunResult(
+            cycles=max_cycles, halted=False, exhausted=True, fired=fired
+        )

@@ -1,0 +1,85 @@
+"""Conflict-resolution strategies (the Select step of §2.1).
+
+"One may use user-defined priorities or, in general, order rules according
+to some static or dynamic criteria and then fire the rules in that order."
+OPS5's own LEX and MEA strategies order by recency of the matched elements;
+``priority`` uses rule salience; ``fifo`` fires oldest matches first; and
+``random`` (seeded) models the paper's "arbitrarily selected" transaction
+of §5.2.
+
+All strategies apply *refraction*: an instantiation that has fired does not
+fire again (tracked by the engine, not here).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from repro.engine.conflict import Instantiation
+from repro.errors import ExecutionError
+
+Resolver = Callable[[Sequence[Instantiation]], Instantiation]
+
+
+def _recency_key(instantiation: Instantiation) -> tuple:
+    """LEX ordering key: timetags descending, then specificity."""
+    specificity = sum(
+        1 for wme in instantiation.wmes if wme is not None
+    )
+    return (instantiation.timetags, specificity)
+
+
+def lex(candidates: Sequence[Instantiation]) -> Instantiation:
+    """OPS5 LEX: most recent matched elements win."""
+    return max(candidates, key=_recency_key)
+
+
+def mea(candidates: Sequence[Instantiation]) -> Instantiation:
+    """OPS5 MEA: recency of the *first* condition element dominates."""
+
+    def key(instantiation: Instantiation) -> tuple:
+        first = instantiation.wmes[0]
+        first_tag = first.timetag if first is not None else 0
+        return (first_tag, *_recency_key(instantiation))
+
+    return max(candidates, key=key)
+
+
+def priority(candidates: Sequence[Instantiation]) -> Instantiation:
+    """Highest salience wins; LEX breaks ties."""
+    return max(candidates, key=lambda i: (i.salience, *_recency_key(i)))
+
+
+def fifo(candidates: Sequence[Instantiation]) -> Instantiation:
+    """Oldest instantiation (smallest newest-timetag) fires first."""
+    return min(candidates, key=_recency_key)
+
+
+class SeededRandom:
+    """The arbitrary selection of §5.2, reproducible via a seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def __call__(self, candidates: Sequence[Instantiation]) -> Instantiation:
+        ordered = sorted(candidates, key=lambda i: i.key)
+        return ordered[self._rng.randrange(len(ordered))]
+
+
+def make_resolver(name: str, seed: int = 0) -> Resolver:
+    """Build a resolver by name: lex, mea, priority, fifo, random."""
+    if name == "lex":
+        return lex
+    if name == "mea":
+        return mea
+    if name == "priority":
+        return priority
+    if name == "fifo":
+        return fifo
+    if name == "random":
+        return SeededRandom(seed)
+    raise ExecutionError(
+        f"unknown conflict-resolution strategy {name!r}; "
+        "choose from lex, mea, priority, fifo, random"
+    )

@@ -1,0 +1,123 @@
+"""Working memory: the WM relations of the paper, with change notification.
+
+Working memory is a set of relations (one per literalized class) stored in a
+:class:`~repro.storage.catalog.Catalog`, so it can live in memory or in
+SQLite.  Every insert/delete is announced to registered listeners — the
+match strategies — which is exactly Figure 2 of the paper: "Changes to
+Working Memory → propagate → Rete Network".
+
+A *modify* is a delete followed by an insert (§3.1), so the new element gets
+a fresh timetag, as in OPS5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Protocol
+
+from repro.errors import MatchError
+from repro.instrument import Counters
+from repro.storage.catalog import Catalog
+from repro.storage.schema import RelationSchema, Value
+from repro.storage.table import Table
+from repro.storage.tuples import StoredTuple
+
+
+class WMListener(Protocol):
+    """Anything notified of WM changes (match strategies, view maintainers)."""
+
+    def on_insert(self, wme: StoredTuple) -> None:
+        """Called after *wme* is stored."""
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        """Called after *wme* is removed."""
+
+
+class WorkingMemory:
+    """The WM relations plus listener fan-out."""
+
+    def __init__(
+        self,
+        schemas: dict[str, RelationSchema],
+        backend: str = "memory",
+        counters: Counters | None = None,
+        path: str | None = None,
+    ) -> None:
+        self.counters = counters or Counters()
+        self.catalog = Catalog(
+            backend=backend, counters=self.counters, path=path
+        )
+        self.schemas = dict(schemas)
+        for schema in schemas.values():
+            self.catalog.create(schema)
+        self._listeners: list[WMListener] = []
+
+    # -- listeners ------------------------------------------------------------
+
+    def add_listener(self, listener: WMListener) -> None:
+        """Register *listener* for subsequent WM changes."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: WMListener) -> None:
+        """Unregister *listener*."""
+        self._listeners.remove(listener)
+
+    # -- access ----------------------------------------------------------------
+
+    def relation(self, class_name: str) -> Table:
+        """Return the WM relation for *class_name*."""
+        if class_name not in self.schemas:
+            raise MatchError(f"unknown WM class {class_name!r}")
+        return self.catalog.get(class_name)
+
+    def schema(self, class_name: str) -> RelationSchema:
+        """Return the schema of *class_name*."""
+        try:
+            return self.schemas[class_name]
+        except KeyError:
+            raise MatchError(f"unknown WM class {class_name!r}") from None
+
+    def tuples(self, class_name: str) -> Iterator[StoredTuple]:
+        """Iterate over the current elements of *class_name*."""
+        return self.relation(class_name).scan()
+
+    def get(self, class_name: str, tid: int) -> StoredTuple:
+        """Fetch one element by tuple id."""
+        return self.relation(class_name).get(tid)
+
+    def size(self) -> int:
+        """Total number of WM elements across all classes."""
+        return sum(len(self.relation(name)) for name in self.schemas)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(
+        self, class_name: str, values: tuple[Value, ...] | dict[str, Value]
+    ) -> StoredTuple:
+        """Insert a WM element and notify listeners; returns the element."""
+        table = self.relation(class_name)
+        if isinstance(values, dict):
+            wme = table.insert_mapping(values)
+        else:
+            wme = table.insert(values)
+        for listener in list(self._listeners):
+            listener.on_insert(wme)
+        return wme
+
+    def remove(self, wme: StoredTuple) -> StoredTuple:
+        """Delete a WM element and notify listeners; returns the element."""
+        removed = self.relation(wme.relation).delete(wme.tid)
+        for listener in list(self._listeners):
+            listener.on_delete(removed)
+        return removed
+
+    def modify(
+        self, wme: StoredTuple, changes: dict[str, Value]
+    ) -> StoredTuple:
+        """Update fields of *wme*: delete + insert with a fresh timetag."""
+        schema = self.schema(wme.relation)
+        new_values = list(wme.values)
+        for attribute, value in changes.items():
+            new_values[schema.position(attribute)] = value
+        self.remove(wme)
+        return self.insert(wme.relation, tuple(new_values))

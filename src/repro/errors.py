@@ -1,0 +1,62 @@
+"""Exception hierarchy shared by every subsystem.
+
+Keeping all exceptions in one module lets callers catch ``ReproError`` to
+handle any library failure, or a specific subclass for finer control, without
+importing the subsystem that raised it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema was malformed or violated (bad arity, dup names)."""
+
+
+class CatalogError(ReproError):
+    """A relation name was missing from, or duplicated in, a catalog."""
+
+
+class StorageError(ReproError):
+    """A low-level storage operation failed (unknown tuple id, bad index)."""
+
+
+class QueryError(ReproError):
+    """A query referenced unknown attributes or produced an invalid plan."""
+
+
+class ParseError(ReproError):
+    """OPS5 source text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class RuleError(ReproError):
+    """A rule definition is semantically invalid (e.g. unbound RHS var)."""
+
+
+class MatchError(ReproError):
+    """A match strategy was driven incorrectly (unknown class, bad token)."""
+
+
+class ExecutionError(ReproError):
+    """The recognize-act interpreter hit an invalid action at run time."""
+
+
+class TransactionError(ReproError):
+    """A transaction was used after commit/abort or violated 2PL."""
+
+
+class DeadlockError(TransactionError):
+    """The transaction was chosen as a deadlock victim and must abort."""
+
+
+class IndexError_(ReproError):
+    """An R-tree/predicate-index operation failed (name avoids builtin)."""

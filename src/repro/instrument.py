@@ -1,0 +1,105 @@
+"""Operation counters used to compare strategies analytically.
+
+The paper argues about *operations* (searches of COND relations, token
+propagations, join re-computations) rather than milliseconds, so every
+subsystem increments a shared :class:`Counters` object.  Benchmarks report
+both wall time and these counts; tests assert on the counts because they are
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Mutable bag of operation counts.
+
+    Attributes (all start at zero):
+        comparisons: Scalar value comparisons performed.
+        tuple_reads: Stored tuples materialized from a relation.
+        tuple_writes: Tuples inserted into or deleted from a relation.
+        index_lookups: Hash/R-tree index probes.
+        scans: Full relation scans started.
+        tokens: Rete tokens propagated through the network.
+        node_activations: Rete node activations (one- or two-input).
+        patterns_created: Matching-pattern tuples created (§4.2).
+        patterns_updated: Matching-pattern counter increments/decrements.
+        cond_searches: Searches over a COND relation.
+        joins_computed: Join evaluations performed by the simplified
+            strategy (§4.1 re-computation cost).
+        false_drops: Candidates that failed act-time validation.
+        lock_waits: Times a transaction blocked on a lock.
+        aborts: Transactions aborted (deadlock victims or validation).
+    """
+
+    comparisons: int = 0
+    tuple_reads: int = 0
+    tuple_writes: int = 0
+    index_lookups: int = 0
+    scans: int = 0
+    tokens: int = 0
+    node_activations: int = 0
+    patterns_created: int = 0
+    patterns_updated: int = 0
+    cond_searches: int = 0
+    joins_computed: int = 0
+    false_drops: int = 0
+    lock_waits: int = 0
+    aborts: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Return a plain ``{name: count}`` snapshot."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def snapshot(self) -> "Counters":
+        """Return an independent copy of the current counts."""
+        return Counters(**self.as_dict())
+
+    def diff(self, earlier: "Counters") -> dict[str, int]:
+        """Return counts accumulated since the *earlier* snapshot."""
+        now = self.as_dict()
+        before = earlier.as_dict()
+        return {name: now[name] - before[name] for name in now}
+
+    def __add__(self, other: "Counters") -> "Counters":
+        merged = Counters()
+        for f in fields(self):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+
+@dataclass
+class SpaceReport:
+    """Storage footprint of one match strategy (paper §4.2.3 "Space").
+
+    ``estimated_cells`` is the number of stored attribute values across all
+    auxiliary structures — the unit the paper reasons in when it says the
+    Rete network is "inherently redundant" and that matching patterns "trade
+    space for time".
+    """
+
+    strategy: str = ""
+    wm_tuples: int = 0
+    stored_tokens: int = 0
+    stored_patterns: int = 0
+    marker_entries: int = 0
+    estimated_cells: int = 0
+    detail: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        """Return a flat dictionary for table rendering."""
+        return {
+            "strategy": self.strategy,
+            "wm_tuples": self.wm_tuples,
+            "stored_tokens": self.stored_tokens,
+            "stored_patterns": self.stored_patterns,
+            "marker_entries": self.marker_entries,
+            "estimated_cells": self.estimated_cells,
+        }

@@ -1,0 +1,170 @@
+"""Fluent programmatic rule construction.
+
+The OPS5 text syntax is faithful to the paper but noisy to write from
+Python.  :func:`ce` and :class:`RuleBuilder` build the same AST directly::
+
+    rule = (
+        RuleBuilder("R1")
+        .when("Emp", name="Mike", salary=var("S"), dno=var("D"))
+        .when("Dept", dno=var("D"), dname="Toy")
+        .unless("Audit", dno=var("D"))
+        .remove(1)
+        .build()
+    )
+
+Keyword values: a plain scalar is an equality test, :func:`var` references a
+rule variable, and :func:`test` attaches an operator (``test(">", 100)`` or
+``test("<", var("S"))``).  Multiple tests on one attribute use a tuple.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuleError
+from repro.lang.ast import (
+    Action,
+    AttributeTest,
+    BindAction,
+    CallAction,
+    ComputeExpr,
+    ConditionElement,
+    Constant,
+    ConstExpr,
+    Expression,
+    HaltAction,
+    MakeAction,
+    ModifyAction,
+    Operand,
+    RemoveAction,
+    Rule,
+    Variable,
+    VarExpr,
+    WriteAction,
+)
+from repro.storage.schema import Value
+
+
+def var(name: str) -> Variable:
+    """Reference the rule variable ``<name>``."""
+    return Variable(name)
+
+
+class _OpTest:
+    """Internal marker produced by :func:`test`."""
+
+    def __init__(self, op: str, operand: Operand) -> None:
+        self.op = op
+        self.operand = operand
+
+
+def test(op: str, operand: Variable | Value) -> _OpTest:
+    """An attribute test with an explicit operator."""
+    wrapped = operand if isinstance(operand, Variable) else Constant(operand)
+    return _OpTest(op, wrapped)
+
+
+def _tests_for(attribute: str, spec: object) -> list[AttributeTest]:
+    if isinstance(spec, tuple):
+        tests: list[AttributeTest] = []
+        for part in spec:
+            tests.extend(_tests_for(attribute, part))
+        return tests
+    if isinstance(spec, _OpTest):
+        return [AttributeTest(attribute, spec.op, spec.operand)]
+    if isinstance(spec, Variable):
+        return [AttributeTest(attribute, "=", spec)]
+    return [AttributeTest(attribute, "=", Constant(spec))]
+
+
+def ce(class_name: str, negated: bool = False, **attrs: object) -> ConditionElement:
+    """Build one condition element from keyword tests."""
+    tests: list[AttributeTest] = []
+    for attribute, spec in attrs.items():
+        tests.extend(_tests_for(attribute, spec))
+    return ConditionElement(class_name, tuple(tests), negated=negated)
+
+
+def expr(value: Variable | Value | Expression) -> Expression:
+    """Coerce a Python value or :func:`var` reference to an RHS expression."""
+    if isinstance(value, (ConstExpr, VarExpr, ComputeExpr)):
+        return value
+    if isinstance(value, Variable):
+        return VarExpr(value.name)
+    return ConstExpr(value)
+
+
+def compute(op: str, left: Variable | Value | Expression,
+            right: Variable | Value | Expression) -> ComputeExpr:
+    """Build a ``(compute left op right)`` expression."""
+    return ComputeExpr(op, expr(left), expr(right))
+
+
+class RuleBuilder:
+    """Accumulates condition elements and actions, then builds a Rule."""
+
+    def __init__(self, name: str, salience: int = 0) -> None:
+        self._name = name
+        self._salience = salience
+        self._ces: list[ConditionElement] = []
+        self._actions: list[Action] = []
+
+    def when(self, class_name: str, **attrs: object) -> "RuleBuilder":
+        """Add a positive condition element."""
+        self._ces.append(ce(class_name, **attrs))
+        return self
+
+    def unless(self, class_name: str, **attrs: object) -> "RuleBuilder":
+        """Add a negated condition element."""
+        self._ces.append(ce(class_name, negated=True, **attrs))
+        return self
+
+    def make(self, class_name: str, **attrs: Variable | Value | Expression) -> "RuleBuilder":
+        """Add a (make ...) action."""
+        assignments = tuple((a, expr(v)) for a, v in attrs.items())
+        self._actions.append(MakeAction(class_name, assignments))
+        return self
+
+    def remove(self, ce_index: int) -> "RuleBuilder":
+        """Add a (remove k) action (1-based condition number)."""
+        self._actions.append(RemoveAction(ce_index))
+        return self
+
+    def modify(self, ce_index: int, **attrs: Variable | Value | Expression) -> "RuleBuilder":
+        """Add a (modify k ...) action."""
+        assignments = tuple((a, expr(v)) for a, v in attrs.items())
+        self._actions.append(ModifyAction(ce_index, assignments))
+        return self
+
+    def halt(self) -> "RuleBuilder":
+        """Add a (halt) action."""
+        self._actions.append(HaltAction())
+        return self
+
+    def write(self, *values: Variable | Value | Expression) -> "RuleBuilder":
+        """Add a (write ...) action."""
+        self._actions.append(WriteAction(tuple(expr(v) for v in values)))
+        return self
+
+    def bind(self, variable: Variable | str,
+             value: Variable | Value | Expression) -> "RuleBuilder":
+        """Add a (bind <v> expr) action."""
+        name = variable.name if isinstance(variable, Variable) else variable
+        self._actions.append(BindAction(name, expr(value)))
+        return self
+
+    def call(self, function: str, *values: Variable | Value | Expression) -> "RuleBuilder":
+        """Add a (call fn ...) action."""
+        self._actions.append(
+            CallAction(function, tuple(expr(v) for v in values))
+        )
+        return self
+
+    def build(self) -> Rule:
+        """Produce the immutable Rule."""
+        if not self._ces:
+            raise RuleError(f"rule {self._name!r} has no condition elements")
+        return Rule(
+            name=self._name,
+            condition_elements=tuple(self._ces),
+            actions=tuple(self._actions),
+            salience=self._salience,
+        )

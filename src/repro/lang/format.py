@@ -1,0 +1,175 @@
+"""Formatting rules back to OPS5 text.
+
+``parse_program(format_program(p))`` reproduces the same AST — the
+round-trip is property-tested — so rule bases can be persisted, diffed,
+and reloaded as text.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    Action,
+    AttributeTest,
+    BindAction,
+    CallAction,
+    ComputeExpr,
+    ConditionElement,
+    Constant,
+    ConstExpr,
+    DisjunctionTest,
+    Expression,
+    HaltAction,
+    MakeAction,
+    ModifyAction,
+    Operand,
+    Program,
+    RemoveAction,
+    Rule,
+    Variable,
+    VarExpr,
+    WriteAction,
+)
+from repro.lang.lexer import _SYMBOL_CHARS
+from repro.storage.schema import Value
+
+_RESERVED_SYMBOLS = {"nil", "*", "-", "-->"}
+
+
+def _needs_quoting(text: str) -> bool:
+    if not text or text.lower() in _RESERVED_SYMBOLS:
+        return True
+    if text.startswith("-"):  # would lex as negation or a negative number
+        return True
+    if any(ch not in _SYMBOL_CHARS for ch in text):
+        return True
+    try:  # text that would lex as a number must be quoted
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def format_value(value: Value) -> str:
+    """One scalar in re-parseable OPS5 form."""
+    if value is None:
+        return "nil"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if _needs_quoting(value):
+        return f"|{value}|"
+    return value
+
+
+def format_operand(operand: Operand) -> str:
+    """A constant or variable operand."""
+    if isinstance(operand, Variable):
+        return f"<{operand.name}>"
+    return format_value(operand.value)
+
+
+def format_expression(expression: Expression) -> str:
+    """An RHS expression."""
+    if isinstance(expression, ConstExpr):
+        return format_value(expression.value)
+    if isinstance(expression, VarExpr):
+        return f"<{expression.name}>"
+    if isinstance(expression, ComputeExpr):
+        return (
+            "(compute "
+            f"{_compute_body(expression)})"
+        )
+    raise TypeError(f"cannot format expression {expression!r}")
+
+
+def _compute_body(expression: ComputeExpr) -> str:
+    # Left-associative chains print flat; nested right operands recurse
+    # into their own (compute ...) form.
+    left = (
+        _compute_body(expression.left)
+        if isinstance(expression.left, ComputeExpr)
+        else format_expression(expression.left)
+    )
+    right = format_expression(expression.right)
+    return f"{left} {expression.op} {right}"
+
+
+def _format_test(test) -> str:
+    if isinstance(test, DisjunctionTest):
+        inner = " ".join(format_value(value) for value in test.values)
+        return f"^{test.attribute} << {inner} >>"
+    operand = format_operand(test.operand)
+    if test.op == "=":
+        return f"^{test.attribute} {operand}"
+    return f"^{test.attribute} {test.op} {operand}"
+
+
+def format_condition_element(ce: ConditionElement) -> str:
+    """One (possibly negated) condition element."""
+    parts = [ce.class_name]
+    parts.extend(_format_test(test) for test in ce.tests)
+    body = " ".join(parts)
+    return f"-({body})" if ce.negated else f"({body})"
+
+
+def format_action(action: Action) -> str:
+    """One RHS action."""
+    if isinstance(action, MakeAction):
+        assignments = " ".join(
+            f"^{attribute} {format_expression(expression)}"
+            for attribute, expression in action.assignments
+        )
+        body = f"make {action.class_name}"
+        return f"({body} {assignments})" if assignments else f"({body})"
+    if isinstance(action, RemoveAction):
+        return f"(remove {action.ce_index})"
+    if isinstance(action, ModifyAction):
+        assignments = " ".join(
+            f"^{attribute} {format_expression(expression)}"
+            for attribute, expression in action.assignments
+        )
+        return f"(modify {action.ce_index} {assignments})".rstrip() + (
+            "" if assignments else ""
+        )
+    if isinstance(action, HaltAction):
+        return "(halt)"
+    if isinstance(action, WriteAction):
+        body = " ".join(format_expression(e) for e in action.expressions)
+        return f"(write {body})" if body else "(write)"
+    if isinstance(action, BindAction):
+        return f"(bind <{action.variable}> {format_expression(action.expression)})"
+    if isinstance(action, CallAction):
+        body = " ".join(format_expression(e) for e in action.expressions)
+        return f"(call {action.function} {body})".rstrip() + (
+            "" if body else ""
+        )
+    raise TypeError(f"cannot format action {action!r}")
+
+
+def format_rule(rule: Rule) -> str:
+    """One production in OPS5 text."""
+    lines = [f"(p {rule.name}"]
+    if rule.salience:
+        lines.append(f"    (salience {rule.salience})")
+    for ce in rule.condition_elements:
+        lines.append(f"    {format_condition_element(ce)}")
+    lines.append("    -->")
+    for action in rule.actions:
+        lines.append(f"    {format_action(action)}")
+    return "\n".join(lines) + ")"
+
+
+def format_program(program: Program) -> str:
+    """A whole program: literalize declarations, rules, initial makes."""
+    blocks = [
+        f"(literalize {schema.name} {' '.join(schema.attributes)})"
+        for schema in program.schemas.values()
+    ]
+    blocks.extend(format_rule(rule) for rule in program.rules)
+    for class_name, values in program.initial_elements:
+        assignments = " ".join(
+            f"^{attribute} {format_value(value)}"
+            for attribute, value in values.items()
+        )
+        body = f"make {class_name}"
+        blocks.append(f"({body} {assignments})" if assignments else f"({body})")
+    return "\n\n".join(blocks)

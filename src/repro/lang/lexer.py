@@ -1,0 +1,214 @@
+"""Tokenizer for the OPS5-flavoured rule language.
+
+Token kinds::
+
+    LPAREN RPAREN   ( )
+    LBRACE RBRACE   { }
+    ATTR            ^name          (attribute selector)
+    VAR             <x>            (rule variable)
+    ARROW           -->
+    MINUS           -              (condition negation)
+    OP              = <> < <= > >=
+    NUMBER          7  -3  2.5
+    STRING          |quoted text|  'quoted'  "quoted"
+    SYMBOL          Mike  Toy  nil  *  compute  +
+
+Comments run from ``;`` to end of line.  The paper's ``↑`` is accepted as a
+synonym for ``^``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+_SYMBOL_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    "_-+*/?!.$%&@~"
+)
+_QUOTE_PAIRS = {"|": "|", "'": "'", '"': '"'}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    value: object
+    line: int
+    column: int
+
+
+class _Cursor:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _number_value(text: str) -> int | float:
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, raising :class:`ParseError` on bad input."""
+    cursor = _Cursor(source)
+    tokens: list[Token] = []
+
+    def emit(kind: str, text: str, value: object, line: int, column: int) -> None:
+        tokens.append(Token(kind, text, value, line, column))
+
+    while not cursor.at_end():
+        ch = cursor.peek()
+        line, column = cursor.line, cursor.column
+        if ch in " \t\r\n":
+            cursor.advance()
+            continue
+        if ch == ";":
+            while not cursor.at_end() and cursor.peek() != "\n":
+                cursor.advance()
+            continue
+        if ch == "(":
+            cursor.advance()
+            emit("LPAREN", "(", "(", line, column)
+            continue
+        if ch == ")":
+            cursor.advance()
+            emit("RPAREN", ")", ")", line, column)
+            continue
+        if ch == "{":
+            cursor.advance()
+            emit("LBRACE", "{", "{", line, column)
+            continue
+        if ch == "}":
+            cursor.advance()
+            emit("RBRACE", "}", "}", line, column)
+            continue
+        if ch in ("^", "↑"):  # ^ or the paper's up-arrow
+            cursor.advance()
+            name = _read_symbol_text(cursor)
+            if not name:
+                raise ParseError("'^' must be followed by an attribute name", line, column)
+            emit("ATTR", f"^{name}", name, line, column)
+            continue
+        if ch in _QUOTE_PAIRS:
+            closing = _QUOTE_PAIRS[ch]
+            cursor.advance()
+            chars: list[str] = []
+            while True:
+                if cursor.at_end():
+                    raise ParseError("unterminated string literal", line, column)
+                nxt = cursor.advance()
+                if nxt == closing:
+                    break
+                chars.append(nxt)
+            text = "".join(chars)
+            emit("STRING", text, text, line, column)
+            continue
+        if ch == "<":
+            token = _read_angle(cursor, line, column)
+            tokens.append(token)
+            continue
+        if ch == ">":
+            cursor.advance()
+            if cursor.peek() == "=":
+                cursor.advance()
+                emit("OP", ">=", ">=", line, column)
+            elif cursor.peek() == ">":
+                cursor.advance()
+                emit("DRANGLE", ">>", ">>", line, column)
+            else:
+                emit("OP", ">", ">", line, column)
+            continue
+        if ch == "=":
+            cursor.advance()
+            emit("OP", "=", "=", line, column)
+            continue
+        if ch == "-":
+            if cursor.peek(1) == "-" and cursor.peek(2) == ">":
+                cursor.advance()
+                cursor.advance()
+                cursor.advance()
+                emit("ARROW", "-->", "-->", line, column)
+                continue
+            if cursor.peek(1).isdigit() or (
+                cursor.peek(1) == "." and cursor.peek(2).isdigit()
+            ):
+                text = _read_symbol_text(cursor)
+                emit("NUMBER", text, _number_value(text), line, column)
+                continue
+            cursor.advance()
+            emit("MINUS", "-", "-", line, column)
+            continue
+        if ch in _SYMBOL_CHARS:
+            text = _read_symbol_text(cursor)
+            if _is_number(text):
+                emit("NUMBER", text, _number_value(text), line, column)
+            else:
+                emit("SYMBOL", text, text, line, column)
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+    return tokens
+
+
+def _read_symbol_text(cursor: _Cursor) -> str:
+    chars: list[str] = []
+    while not cursor.at_end() and cursor.peek() in _SYMBOL_CHARS:
+        chars.append(cursor.advance())
+    return "".join(chars)
+
+
+def _read_angle(cursor: _Cursor, line: int, column: int) -> Token:
+    """Disambiguate ``<x>`` (variable) from ``<``, ``<=``, ``<>``, ``<<``."""
+    cursor.advance()  # consume '<'
+    nxt = cursor.peek()
+    if nxt == "=":
+        cursor.advance()
+        return Token("OP", "<=", "<=", line, column)
+    if nxt == ">":
+        cursor.advance()
+        return Token("OP", "<>", "<>", line, column)
+    if nxt == "<":
+        cursor.advance()
+        return Token("DLANGLE", "<<", "<<", line, column)
+    # A variable looks like <name>; anything else is the bare < operator.
+    name = _read_symbol_text(cursor)
+    if name and cursor.peek() == ">":
+        cursor.advance()
+        return Token("VAR", f"<{name}>", name, line, column)
+    if name:
+        raise ParseError(
+            f"malformed variable '<{name}' (missing '>')", line, column
+        )
+    return Token("OP", "<", "<", line, column)

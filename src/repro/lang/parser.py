@@ -1,0 +1,368 @@
+"""Recursive-descent parser for the OPS5-flavoured rule language.
+
+Grammar (informally)::
+
+    program    := (literalize | production)*
+    literalize := "(" "literalize" SYMBOL attr-name+ ")"
+    production := "(" "p" SYMBOL [salience] ce+ "-->" action* ")"
+    ce         := ["-"] "(" SYMBOL slot* ")"
+    slot       := ATTR value-spec
+    value-spec := operand | OP operand | "{" test+ "}"
+    test       := operand | OP operand
+    operand    := NUMBER | STRING | SYMBOL | VAR     (SYMBOL "*" = don't care,
+                                                      "nil" = None)
+    action     := "(" "make" SYMBOL (ATTR expr)* ")"
+                | "(" "remove" NUMBER+ ")"
+                | "(" "modify" NUMBER (ATTR expr)* ")"
+                | "(" "halt" ")"
+                | "(" "write" expr* ")"
+                | "(" "bind" VAR expr ")"
+                | "(" "call" SYMBOL expr* ")"
+    expr       := NUMBER | STRING | SYMBOL | VAR
+                | "(" "compute" expr (OPSYM expr)* ")"
+
+Salience: ``(p name (salience N) ...)`` — an extension for the priority
+conflict-resolution strategy; plain OPS5 text never uses it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    Action,
+    AttributeTest,
+    BindAction,
+    CallAction,
+    ComputeExpr,
+    ConditionElement,
+    Constant,
+    ConstExpr,
+    DisjunctionTest,
+    Expression,
+    HaltAction,
+    MakeAction,
+    ModifyAction,
+    Operand,
+    Program,
+    RemoveAction,
+    Rule,
+    Variable,
+    VarExpr,
+    WriteAction,
+)
+from repro.lang.lexer import Token, tokenize
+from repro.storage.schema import RelationSchema
+
+_COMPUTE_OPS = {"+", "-", "*", "/", "mod"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            last = self._tokens[-1] if self._tokens else None
+            raise ParseError(
+                "unexpected end of input",
+                last.line if last else 0,
+                last.column if last else 0,
+            )
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, what: str) -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {what}, got {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def _at(self, kind: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == kind
+
+    # -- program -------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self._peek() is not None:
+            self._expect("LPAREN", "'('")
+            head = self._expect("SYMBOL", "'literalize' or 'p'")
+            if head.value == "literalize":
+                schema = self._parse_literalize()
+                if schema.name in program.schemas:
+                    raise ParseError(
+                        f"class {schema.name!r} literalized twice",
+                        head.line,
+                        head.column,
+                    )
+                program.schemas[schema.name] = schema
+            elif head.value == "p":
+                rule = self._parse_production()
+                if any(r.name == rule.name for r in program.rules):
+                    raise ParseError(
+                        f"rule {rule.name!r} defined twice", head.line, head.column
+                    )
+                program.rules.append(rule)
+            elif head.value == "make":
+                # Top-level (make Class ^attr value ...): initial WM.
+                program.initial_elements.append(self._parse_toplevel_make())
+            else:
+                raise ParseError(
+                    f"expected 'literalize', 'p' or 'make', got {head.text!r}",
+                    head.line,
+                    head.column,
+                )
+        return program
+
+    def _parse_toplevel_make(self) -> tuple[str, dict]:
+        class_token = self._expect("SYMBOL", "class name")
+        values: dict = {}
+        while self._at("ATTR"):
+            attr = self._next()
+            operand = self._parse_operand()
+            if operand is None or isinstance(operand, Variable):
+                raise ParseError(
+                    "top-level (make ...) values must be constants",
+                    attr.line,
+                    attr.column,
+                )
+            values[str(attr.value)] = operand.value
+        self._expect("RPAREN", "')'")
+        return (str(class_token.value), values)
+
+    def _parse_literalize(self) -> RelationSchema:
+        name = self._expect("SYMBOL", "class name")
+        attributes: list[str] = []
+        while not self._at("RPAREN"):
+            attributes.append(self._expect("SYMBOL", "attribute name").value)
+        self._expect("RPAREN", "')'")
+        return RelationSchema(str(name.value), tuple(attributes))
+
+    # -- productions ----------------------------------------------------------
+
+    def _parse_production(self) -> Rule:
+        name = self._expect("SYMBOL", "rule name")
+        salience = 0
+        ces: list[ConditionElement] = []
+        # optional (salience N)
+        if self._at("LPAREN"):
+            mark = self._pos
+            self._next()
+            token = self._peek()
+            if token is not None and token.kind == "SYMBOL" and token.value == "salience":
+                self._next()
+                salience = int(self._expect("NUMBER", "salience value").value)
+                self._expect("RPAREN", "')'")
+            else:
+                self._pos = mark
+        while not self._at("ARROW"):
+            ces.append(self._parse_condition_element())
+        self._expect("ARROW", "'-->'")
+        actions: list[Action] = []
+        while not self._at("RPAREN"):
+            actions.extend(self._parse_action())
+        self._expect("RPAREN", "')'")
+        return Rule(
+            name=str(name.value),
+            condition_elements=tuple(ces),
+            actions=tuple(actions),
+            salience=salience,
+        )
+
+    def _parse_condition_element(self) -> ConditionElement:
+        negated = False
+        if self._at("MINUS"):
+            self._next()
+            negated = True
+        self._expect("LPAREN", "'(' starting a condition element")
+        class_name = self._expect("SYMBOL", "class name")
+        tests: list[AttributeTest] = []
+        while not self._at("RPAREN"):
+            attr = self._expect("ATTR", "'^attribute'")
+            tests.extend(self._parse_value_spec(str(attr.value)))
+        self._expect("RPAREN", "')'")
+        return ConditionElement(
+            class_name=str(class_name.value), tests=tuple(tests), negated=negated
+        )
+
+    def _parse_value_spec(self, attribute: str) -> list[AttributeTest]:
+        if self._at("LBRACE"):
+            self._next()
+            tests: list[AttributeTest] = []
+            while not self._at("RBRACE"):
+                tests.extend(self._parse_single_test(attribute))
+            self._expect("RBRACE", "'}'")
+            if not tests:
+                raise ParseError(f"empty '{{}}' test on ^{attribute}")
+            return tests
+        return self._parse_single_test(attribute)
+
+    def _parse_single_test(self, attribute: str) -> list:
+        if self._at("DLANGLE"):
+            return [self._parse_disjunction(attribute)]
+        op = "="
+        if self._at("OP"):
+            op = str(self._next().value)
+        operand = self._parse_operand()
+        if operand is None:  # don't care '*'
+            if op != "=":
+                raise ParseError(f"'*' cannot follow operator {op!r} on ^{attribute}")
+            return []
+        return [AttributeTest(attribute, op, operand)]
+
+    def _parse_disjunction(self, attribute: str) -> DisjunctionTest:
+        opener = self._expect("DLANGLE", "'<<'")
+        values: list = []
+        while not self._at("DRANGLE"):
+            operand = self._parse_operand()
+            if operand is None or isinstance(operand, Variable):
+                raise ParseError(
+                    "a '<< >>' disjunction may contain only constants",
+                    opener.line,
+                    opener.column,
+                )
+            values.append(operand.value)
+        self._expect("DRANGLE", "'>>'")
+        if not values:
+            raise ParseError(
+                "empty '<< >>' disjunction", opener.line, opener.column
+            )
+        return DisjunctionTest(attribute, tuple(values))
+
+    def _parse_operand(self) -> Operand | None:
+        token = self._next()
+        if token.kind == "MINUS":
+            # A bare '-' in value position is the minus symbol constant
+            # (e.g. ^Op -); as a CE prefix it is negation, handled earlier.
+            return Constant("-")
+        if token.kind == "VAR":
+            return Variable(str(token.value))
+        if token.kind == "NUMBER":
+            return Constant(token.value)
+        if token.kind == "STRING":
+            return Constant(str(token.value))
+        if token.kind == "SYMBOL":
+            text = str(token.value)
+            if text == "*":
+                return None
+            if text.lower() == "nil":
+                return Constant(None)
+            return Constant(text)
+        raise ParseError(
+            f"expected a value, got {token.text!r}", token.line, token.column
+        )
+
+    # -- actions ---------------------------------------------------------------
+
+    def _parse_action(self) -> list[Action]:
+        self._expect("LPAREN", "'(' starting an action")
+        head = self._expect("SYMBOL", "action name")
+        name = str(head.value)
+        if name == "make":
+            class_name = self._expect("SYMBOL", "class name")
+            assignments = self._parse_assignments()
+            self._expect("RPAREN", "')'")
+            return [MakeAction(str(class_name.value), assignments)]
+        if name == "remove":
+            indices: list[int] = []
+            while not self._at("RPAREN"):
+                indices.append(int(self._expect("NUMBER", "condition number").value))
+            self._expect("RPAREN", "')'")
+            if not indices:
+                raise ParseError("(remove) needs >= 1 condition number", head.line, head.column)
+            return [RemoveAction(i) for i in indices]
+        if name == "modify":
+            index = int(self._expect("NUMBER", "condition number").value)
+            assignments = self._parse_assignments()
+            self._expect("RPAREN", "')'")
+            return [ModifyAction(index, assignments)]
+        if name == "halt":
+            self._expect("RPAREN", "')'")
+            return [HaltAction()]
+        if name == "write":
+            expressions: list[Expression] = []
+            while not self._at("RPAREN"):
+                expressions.append(self._parse_expression())
+            self._expect("RPAREN", "')'")
+            return [WriteAction(tuple(expressions))]
+        if name == "bind":
+            var = self._expect("VAR", "a variable")
+            expression = self._parse_expression()
+            self._expect("RPAREN", "')'")
+            return [BindAction(str(var.value), expression)]
+        if name == "call":
+            fn = self._expect("SYMBOL", "function name")
+            expressions = []
+            while not self._at("RPAREN"):
+                expressions.append(self._parse_expression())
+            self._expect("RPAREN", "')'")
+            return [CallAction(str(fn.value), tuple(expressions))]
+        raise ParseError(f"unknown action {name!r}", head.line, head.column)
+
+    def _parse_assignments(self) -> tuple[tuple[str, Expression], ...]:
+        assignments: list[tuple[str, Expression]] = []
+        while self._at("ATTR"):
+            attr = self._next()
+            assignments.append((str(attr.value), self._parse_expression()))
+        return tuple(assignments)
+
+    def _parse_expression(self) -> Expression:
+        token = self._next()
+        if token.kind == "VAR":
+            return VarExpr(str(token.value))
+        if token.kind == "NUMBER":
+            return ConstExpr(token.value)
+        if token.kind == "STRING":
+            return ConstExpr(str(token.value))
+        if token.kind == "SYMBOL":
+            text = str(token.value)
+            return ConstExpr(None) if text.lower() == "nil" else ConstExpr(text)
+        if token.kind == "LPAREN":
+            head = self._expect("SYMBOL", "'compute'")
+            if head.value != "compute":
+                raise ParseError(
+                    f"only (compute ...) is allowed in expressions, got "
+                    f"{head.text!r}",
+                    head.line,
+                    head.column,
+                )
+            expr = self._parse_expression()
+            while not self._at("RPAREN"):
+                op_token = self._next()
+                op = str(op_token.value)
+                if op not in _COMPUTE_OPS:
+                    raise ParseError(
+                        f"unknown compute operator {op!r}",
+                        op_token.line,
+                        op_token.column,
+                    )
+                right = self._parse_expression()
+                expr = ComputeExpr(op, expr, right)
+            self._expect("RPAREN", "')'")
+            return expr
+        raise ParseError(
+            f"expected an expression, got {token.text!r}", token.line, token.column
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse a whole OPS5 program (literalize declarations + rules)."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single ``(p ...)`` production."""
+    program = parse_program(source)
+    if len(program.rules) != 1 or program.schemas:
+        raise ParseError("expected exactly one production")
+    return program.rules[0]

@@ -1,0 +1,47 @@
+"""Match strategies: the paper's rule-indexing schemes.
+
+===================  ==========================================
+Strategy             Paper section
+===================  ==========================================
+Rete network         §3.1 (OPS5); ``ReteStrategy``
+DBMS Rete            §3.2 (persisted memories); ``DbmsReteStrategy``
+Shared (MQO) Rete    §3.2/§6 future work; ``SharedReteStrategy``
+Simplified queries   §4.1; ``SimplifiedStrategy``
+Matching patterns    §4.2 (the contribution); ``MatchingPatternsStrategy``
+Tuple markers        §2.3/§3.2 (POSTGRES); ``BasicLockingStrategy``
+===================  ==========================================
+"""
+
+from repro.match.base import MatchStrategy
+from repro.match.markers import BasicLockingStrategy, PredicateIndexingStrategy
+from repro.match.patterns import MatchingPatternsStrategy
+from repro.match.query import IndexedSimplifiedStrategy, SimplifiedStrategy
+from repro.match.rete import DbmsReteStrategy, ReteStrategy, SharedReteStrategy
+
+#: All strategy classes, keyed by their ``strategy_name``.
+STRATEGIES = {
+    cls.strategy_name: cls
+    for cls in (
+        ReteStrategy,
+        SharedReteStrategy,
+        DbmsReteStrategy,
+        SimplifiedStrategy,
+        IndexedSimplifiedStrategy,
+        MatchingPatternsStrategy,
+        BasicLockingStrategy,
+        PredicateIndexingStrategy,
+    )
+}
+
+__all__ = [
+    "BasicLockingStrategy",
+    "DbmsReteStrategy",
+    "IndexedSimplifiedStrategy",
+    "MatchStrategy",
+    "MatchingPatternsStrategy",
+    "PredicateIndexingStrategy",
+    "ReteStrategy",
+    "STRATEGIES",
+    "SharedReteStrategy",
+    "SimplifiedStrategy",
+]

@@ -1,0 +1,178 @@
+"""The match-strategy interface.
+
+Each of the paper's indexing schemes — the (DBMS) Rete network (§3),
+the simplified re-evaluation algorithm (§4.1), the matching-pattern scheme
+(§4.2) and the tuple-marker scheme (§2.3/[STON86a]) — implements this one
+interface: it listens to WM changes and maintains a
+:class:`~repro.engine.conflict.ConflictSet`.  The engine and the benchmarks
+are strategy-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.conflict import ConflictSet, Instantiation
+from repro.engine.wm import WorkingMemory
+from repro.errors import MatchError
+from repro.instrument import Counters, SpaceReport
+from repro.lang.analysis import RuleAnalysis
+from repro.storage.tuples import StoredTuple
+
+
+@dataclass
+class ConditionDiagnosis:
+    """Why one condition element is (un)satisfied."""
+
+    cond_number: int
+    class_name: str
+    negated: bool
+    display: str
+    matching_elements: int
+    satisfied: bool
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class RuleDiagnosis:
+    """The explain() result for one rule."""
+
+    rule_name: str
+    instantiations: int
+    conditions: list[ConditionDiagnosis] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        return self.instantiations > 0
+
+    def blocking_conditions(self) -> list[ConditionDiagnosis]:
+        """The conditions currently preventing the rule from matching."""
+        return [c for c in self.conditions if not c.satisfied]
+
+    def __str__(self) -> str:
+        lines = [
+            f"{self.rule_name}: "
+            + (
+                f"{self.instantiations} instantiation(s) in the conflict set"
+                if self.satisfied
+                else "not satisfied"
+            )
+        ]
+        for condition in self.conditions:
+            mark = "ok " if condition.satisfied else "BLK"
+            polarity = "-" if condition.negated else " "
+            lines.append(
+                f"  [{mark}] {polarity}({condition.display}) — "
+                f"{condition.matching_elements} matching element(s)"
+            )
+        return "\n".join(lines)
+
+
+class MatchStrategy:
+    """Base class wiring a strategy to a WM and a conflict set.
+
+    Subclasses implement :meth:`on_insert` / :meth:`on_delete` and
+    :meth:`space_report`.  Construction registers the strategy as a WM
+    listener; WM elements already present are replayed so a strategy can be
+    attached to a non-empty working memory.
+    """
+
+    #: Short identifier used in benchmark tables.
+    strategy_name = "abstract"
+
+    def __init__(
+        self,
+        wm: WorkingMemory,
+        analyses: dict[str, RuleAnalysis],
+        counters: Counters | None = None,
+    ) -> None:
+        self.wm = wm
+        self.analyses = dict(analyses)
+        self.counters = counters or wm.counters
+        self.conflict_set = ConflictSet()
+        self._prepare()
+        wm.add_listener(self)
+        for class_name in wm.schemas:
+            for wme in wm.tuples(class_name):
+                self.on_insert(wme)
+
+    # -- hooks ------------------------------------------------------------
+
+    def _prepare(self) -> None:
+        """Strategy-specific compilation; runs before replay/registration."""
+
+    def on_insert(self, wme: StoredTuple) -> None:
+        """Propagate a WM insertion."""
+        raise NotImplementedError
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        """Propagate a WM deletion."""
+        raise NotImplementedError
+
+    def space_report(self) -> SpaceReport:
+        """Report the strategy's auxiliary-storage footprint (§4.2.3)."""
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    def explain(self, rule_name: str) -> RuleDiagnosis:
+        """Why is *rule_name* (not) in the conflict set?
+
+        Reports, per condition element, how many WM elements satisfy it in
+        isolation — the RULE-DEF Check-bit view of §4.1.1 — plus the
+        current instantiation count.  A positive condition with zero
+        matching elements, or a negated one with any, is flagged as
+        blocking.  (Per-condition satisfaction is necessary, not
+        sufficient: join conditions can each be satisfiable without a
+        consistent combination existing.)
+        """
+        from repro.match.common import match_condition
+
+        analysis = self.analyses.get(rule_name)
+        if analysis is None:
+            raise MatchError(f"no rule named {rule_name!r}")
+        diagnosis = RuleDiagnosis(
+            rule_name=rule_name,
+            instantiations=len(self.conflict_set.for_rule(rule_name)),
+        )
+        for condition in analysis.conditions:
+            schema = self.wm.schema(condition.class_name)
+            matching = sum(
+                1
+                for wme in self.wm.tuples(condition.class_name)
+                if match_condition(condition, schema, wme) is not None
+            )
+            satisfied = (matching == 0) if condition.negated else (matching > 0)
+            diagnosis.conditions.append(
+                ConditionDiagnosis(
+                    cond_number=condition.cond_number,
+                    class_name=condition.class_name,
+                    negated=condition.negated,
+                    display=str(condition.ce).strip("()-"),
+                    matching_elements=matching,
+                    satisfied=satisfied,
+                )
+            )
+        return diagnosis
+
+    def detach(self) -> None:
+        """Stop listening to WM changes."""
+        self.wm.remove_listener(self)
+
+    def instantiations(self) -> list[Instantiation]:
+        """Current conflict set contents."""
+        return self.conflict_set.instantiations()
+
+    def conflict_set_keys(self) -> set:
+        """Hashable snapshot of the conflict set (for cross-strategy tests)."""
+        return {inst.key for inst in self.conflict_set}
+
+    def _analysis_list(self) -> list[RuleAnalysis]:
+        return list(self.analyses.values())
+
+    def _wm_cells(self) -> int:
+        """Attribute cells stored in the WM relations themselves."""
+        total = 0
+        for class_name, schema in self.wm.schemas.items():
+            total += len(self.wm.relation(class_name)) * schema.arity
+        return total

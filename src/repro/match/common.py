@@ -1,0 +1,61 @@
+"""Helpers shared by the query, pattern and marker strategies."""
+
+from __future__ import annotations
+
+from repro.engine.conflict import Instantiation
+from repro.lang.analysis import AnalyzedCondition, RuleAnalysis
+from repro.storage.predicate import compare, compile_predicate
+from repro.storage.query import QueryResult
+from repro.storage.schema import RelationSchema, Value
+from repro.storage.tuples import StoredTuple
+
+Bindings = dict[str, Value]
+
+
+def match_condition(
+    condition: AnalyzedCondition,
+    schema: RelationSchema,
+    wme: StoredTuple,
+    bindings: Bindings | None = None,
+) -> Bindings | None:
+    """Match one WM element against one condition element.
+
+    Checks the constant tests, unifies ``=``-variables (consistently with
+    *bindings* and with repeated occurrences inside the element), and checks
+    residual tests whose variable is already bound (by *bindings* or within
+    this element).  Residual tests on variables bound only by *other*
+    condition elements are skipped — they are join conditions, to be checked
+    when combinations are formed.
+
+    Returns the extended bindings on success, ``None`` on failure.
+    """
+    check = compile_predicate(condition.constant_predicate, schema)
+    if not check(wme.values):
+        return None
+    env: Bindings = dict(bindings or {})
+    for attribute, variable in condition.equalities:
+        value = wme.values[schema.position(attribute)]
+        if variable in env:
+            if not compare("=", env[variable], value):
+                return None
+        else:
+            env[variable] = value
+    for test in condition.residual:
+        if test.variable not in env:
+            continue  # a join condition; checked at combination time
+        value = wme.values[schema.position(test.attribute)]
+        if not compare(test.op, value, env[test.variable]):
+            return None
+    return env
+
+
+def result_to_instantiation(
+    analysis: RuleAnalysis, result: QueryResult
+) -> Instantiation:
+    """Convert a query result over a rule's conjuncts to an instantiation."""
+    return Instantiation(
+        rule_name=analysis.name,
+        wmes=result.rows,
+        bindings=result.bindings,
+        salience=analysis.rule.salience,
+    )

@@ -1,0 +1,7 @@
+"""The two [STON86a] rule-indexing schemes the paper contrasts (§2.3, §3.2):
+Basic Locking (tuple markers) and Predicate Indexing (R-tree search)."""
+
+from repro.match.markers.predicate_indexing import PredicateIndexingStrategy
+from repro.match.markers.strategy import BasicLockingStrategy, marker_name
+
+__all__ = ["BasicLockingStrategy", "PredicateIndexingStrategy", "marker_name"]

@@ -1,0 +1,141 @@
+"""Predicate Indexing — the second [STON86a] rule-indexing scheme (§2.3).
+
+"In Predicate Indexing, a data structure similar to a discrimination
+network is built.  Such a structure allows for the efficient search and
+detection of conditions (LHS's) affected by the insertion of a specific
+tuple ...  it is suggested that a variation to R-trees, R+-trees, are used
+for that reason.  Using Predicate Indexing implies no special treatment of
+insertions to base relations, but a search of the whole tree is required
+whenever one asks for the conditions affected by an update."
+
+Contrast with Basic Locking (:class:`BasicLockingStrategy`): no markers are
+stored on data tuples (zero insert-time marking cost and zero marker
+space), but every update pays an R-tree search; candidate rules still
+require full LHS validation, so false drops remain.  §2.3's conclusion —
+"it is not possible to choose one implementation to efficiently support any
+rule-based environment" — is what benchmark E9 measures.
+"""
+
+from __future__ import annotations
+
+from repro.instrument import SpaceReport
+from repro.lang.analysis import AnalyzedCondition, RuleAnalysis
+from repro.match.base import MatchStrategy
+from repro.match.common import match_condition, result_to_instantiation
+from repro.rindex.condition_index import ConditionIndex
+from repro.storage.query import evaluate
+from repro.storage.tuples import StoredTuple
+
+
+class PredicateIndexingStrategy(MatchStrategy):
+    """R-tree detection of affected conditions + full LHS validation."""
+
+    strategy_name = "predicate-index"
+
+    def _prepare(self) -> None:
+        self.condition_index = ConditionIndex(self.analyses, self.wm.schemas)
+        self._conditions: dict[tuple[str, int], tuple[RuleAnalysis, AnalyzedCondition]] = {}
+        for analysis in self.analyses.values():
+            for condition in analysis.conditions:
+                self._conditions[(analysis.name, condition.cond_number)] = (
+                    analysis,
+                    condition,
+                )
+
+    def _affected(
+        self, wme: StoredTuple
+    ) -> list[tuple[RuleAnalysis, AnalyzedCondition]]:
+        """Search the predicate index for conditions the tuple may satisfy."""
+        self.counters.index_lookups += 1
+        hits = self.condition_index.conditions_matching(wme)
+        return [self._conditions[hit] for hit in hits]
+
+    def on_insert(self, wme: StoredTuple) -> None:
+        schema = self.wm.schema(wme.relation)
+        blocked: list[tuple[RuleAnalysis, AnalyzedCondition]] = []
+        candidates: list[tuple[RuleAnalysis, AnalyzedCondition]] = []
+        for analysis, condition in self._affected(wme):
+            self.counters.comparisons += 1
+            if match_condition(condition, schema, wme) is None:
+                continue  # an index false hit (boxes over-approximate)
+            if condition.negated:
+                blocked.append((analysis, condition))
+            else:
+                candidates.append((analysis, condition))
+        for analysis, condition in blocked:
+            self._retract_blocked(analysis, condition, wme)
+        for analysis, condition in candidates:
+            self._validate_candidate(analysis, condition, wme)
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        self.conflict_set.remove_wme(wme)
+        schema = self.wm.schema(wme.relation)
+        for analysis, condition in self._affected(wme):
+            if not condition.negated:
+                continue
+            self.counters.comparisons += 1
+            if match_condition(condition, schema, wme) is None:
+                continue
+            found = False
+            for result in evaluate(
+                analysis.to_conjuncts(), self.wm.catalog, counters=self.counters
+            ):
+                found = True
+                self.conflict_set.add(result_to_instantiation(analysis, result))
+            if not found:
+                self.counters.false_drops += 1
+
+    # -- candidate validation (same economics as POSTGRES, §3.2) -----------
+
+    def _validate_candidate(
+        self,
+        analysis: RuleAnalysis,
+        condition: AnalyzedCondition,
+        wme: StoredTuple,
+    ) -> None:
+        found = False
+        for result in evaluate(
+            analysis.to_conjuncts(),
+            self.wm.catalog,
+            counters=self.counters,
+            seed_index=condition.index,
+            seed_row=wme,
+        ):
+            found = True
+            self.conflict_set.add(result_to_instantiation(analysis, result))
+        if not found:
+            self.counters.false_drops += 1
+
+    def _retract_blocked(
+        self,
+        analysis: RuleAnalysis,
+        condition: AnalyzedCondition,
+        wme: StoredTuple,
+    ) -> None:
+        schema = self.wm.schema(wme.relation)
+        for instantiation in self.conflict_set.for_rule(analysis.name):
+            env = match_condition(
+                condition, schema, wme, instantiation.binding_map()
+            )
+            if env is not None:
+                self.conflict_set.remove(instantiation)
+
+    # -- accounting ---------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        # The index stores one box (arity intervals, 2 endpoints each) per
+        # condition element; nothing lives on the data tuples.
+        cells = 0
+        for class_name, schema in self.wm.schemas.items():
+            tree = self.condition_index.tree(class_name)
+            if tree is not None:
+                cells += len(tree) * schema.arity * 2
+        return SpaceReport(
+            strategy=self.strategy_name,
+            wm_tuples=self.wm.size(),
+            stored_tokens=0,
+            stored_patterns=0,
+            marker_entries=0,
+            estimated_cells=cells,
+            detail={"indexed_conditions": len(self.condition_index)},
+        )

@@ -1,0 +1,142 @@
+"""Tuple-marker rule indexing — the Basic Locking / POSTGRES scheme.
+
+§2.3/§3.2 of the paper: "POSTGRES uses a dual approach, i.e. it stores
+identifiers of possibly qualifying rules with the data ... The space
+overhead ... is clearly lower than that of the Rete Network, as rule
+identifiers require much less space compared to the full data tuples ...
+However, the process of identifying qualifying rules is more expensive ...
+as more false drops may arise."
+
+Each WM tuple carries markers ``"<rule>.<cen>"`` for every condition element
+it satisfies *in isolation*.  A change collects the tuple's markers, treats
+every marked rule as a candidate, and must then check the rule's whole LHS
+("POSTGRES will of course check the conditions of the rules before the
+corresponding actions are performed") — the full-evaluation step whose
+frequent failure is exactly the false-drop cost the paper criticizes.
+"""
+
+from __future__ import annotations
+
+from repro.instrument import SpaceReport
+from repro.lang.analysis import AnalyzedCondition, RuleAnalysis
+from repro.match.base import MatchStrategy
+from repro.match.common import match_condition, result_to_instantiation
+from repro.storage.query import evaluate
+from repro.storage.tuples import StoredTuple
+
+
+def marker_name(rule_name: str, cond_number: int) -> str:
+    """The marker identifying one condition element."""
+    return f"{rule_name}.{cond_number}"
+
+
+class BasicLockingStrategy(MatchStrategy):
+    """Rule markers on data tuples, validated by full LHS evaluation."""
+
+    strategy_name = "markers"
+
+    def _prepare(self) -> None:
+        self._by_class: dict[str, list[tuple[RuleAnalysis, AnalyzedCondition]]] = {}
+        for analysis in self.analyses.values():
+            for condition in analysis.conditions:
+                self._by_class.setdefault(condition.class_name, []).append(
+                    (analysis, condition)
+                )
+
+    def on_insert(self, wme: StoredTuple) -> None:
+        table = self.wm.relation(wme.relation)
+        schema = self.wm.schema(wme.relation)
+        candidates: list[tuple[RuleAnalysis, AnalyzedCondition]] = []
+        blocked: list[tuple[RuleAnalysis, AnalyzedCondition]] = []
+        for analysis, condition in self._by_class.get(wme.relation, []):
+            self.counters.comparisons += 1
+            if match_condition(condition, schema, wme) is None:
+                continue
+            table.add_marker(
+                wme.tid, marker_name(analysis.name, condition.cond_number)
+            )
+            if condition.negated:
+                blocked.append((analysis, condition))
+            else:
+                candidates.append((analysis, condition))
+        for analysis, condition in blocked:
+            self._retract_blocked(analysis, condition, wme)
+        for analysis, condition in candidates:
+            self._validate_candidate(analysis, condition, wme)
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        self.conflict_set.remove_wme(wme)
+        schema = self.wm.schema(wme.relation)
+        for analysis, condition in self._by_class.get(wme.relation, []):
+            if not condition.negated:
+                continue
+            self.counters.comparisons += 1
+            if match_condition(condition, schema, wme) is None:
+                continue
+            # A blocker disappeared; the rule may have become satisfiable.
+            found = False
+            for result in evaluate(
+                analysis.to_conjuncts(), self.wm.catalog, counters=self.counters
+            ):
+                found = True
+                self.conflict_set.add(result_to_instantiation(analysis, result))
+            if not found:
+                self.counters.false_drops += 1
+
+    # -- candidate validation ------------------------------------------------
+
+    def _validate_candidate(
+        self,
+        analysis: RuleAnalysis,
+        condition: AnalyzedCondition,
+        wme: StoredTuple,
+    ) -> None:
+        """The full LHS check POSTGRES performs on a marker hit."""
+        found = False
+        for result in evaluate(
+            analysis.to_conjuncts(),
+            self.wm.catalog,
+            counters=self.counters,
+            seed_index=condition.index,
+            seed_row=wme,
+        ):
+            found = True
+            self.conflict_set.add(result_to_instantiation(analysis, result))
+        if not found:
+            self.counters.false_drops += 1
+
+    def _retract_blocked(
+        self,
+        analysis: RuleAnalysis,
+        condition: AnalyzedCondition,
+        wme: StoredTuple,
+    ) -> None:
+        schema = self.wm.schema(wme.relation)
+        for instantiation in self.conflict_set.for_rule(analysis.name):
+            env = match_condition(
+                condition, schema, wme, instantiation.binding_map()
+            )
+            if env is not None:
+                self.conflict_set.remove(instantiation)
+
+    # -- accounting -----------------------------------------------------------
+
+    def marked_rules(self, wme: StoredTuple) -> set[str]:
+        """Rule names marked on *wme* (the POSTGRES candidate lookup)."""
+        markers = self.wm.relation(wme.relation).markers(wme.tid)
+        return {marker.rsplit(".", 1)[0] for marker in markers}
+
+    def space_report(self) -> SpaceReport:
+        marker_entries = sum(
+            self.wm.relation(name).marker_count() for name in self.wm.schemas
+        )
+        return SpaceReport(
+            strategy=self.strategy_name,
+            wm_tuples=self.wm.size(),
+            stored_tokens=0,
+            stored_patterns=0,
+            marker_entries=marker_entries,
+            # A marker is one rule-id cell on the data tuple.
+            estimated_cells=marker_entries,
+            detail={"marker_entries": marker_entries},
+        )

@@ -1,0 +1,26 @@
+"""Matching-pattern strategy (§4.2 of the paper — the core contribution)."""
+
+from repro.match.patterns.pattern import (
+    PatternTuple,
+    Restrictions,
+    Slot,
+    merge,
+    slot_display,
+    specialize,
+    template_restrictions,
+)
+from repro.match.patterns.store import PatternStore, make_stores
+from repro.match.patterns.strategy import MatchingPatternsStrategy
+
+__all__ = [
+    "MatchingPatternsStrategy",
+    "PatternStore",
+    "PatternTuple",
+    "Restrictions",
+    "Slot",
+    "make_stores",
+    "merge",
+    "slot_display",
+    "specialize",
+    "template_restrictions",
+]

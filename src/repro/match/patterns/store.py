@@ -1,0 +1,352 @@
+"""The COND relations of the matching-pattern scheme.
+
+One :class:`PatternStore` per WM class, holding original condition rows and
+the matching patterns accumulated by propagation.  Patterns are indexed by
+(RID, CEN) and deduplicated by their restriction row, so re-derivation of an
+existing pattern increments its counters instead of storing a copy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.instrument import Counters
+from repro.lang.analysis import AnalyzedCondition, RuleAnalysis
+from repro.match.common import match_condition
+from repro.match.patterns.pattern import (
+    PatternTuple,
+    Restrictions,
+    merge,
+    specialize,
+    template_restrictions,
+)
+from repro.storage.predicate import compare
+from repro.storage.schema import RelationSchema, Value
+from repro.storage.tuples import StoredTuple
+
+
+class PatternStore:
+    """All pattern tuples for one WM class (the class's COND relation)."""
+
+    def __init__(
+        self, class_name: str, schema: RelationSchema, counters: Counters
+    ) -> None:
+        self.class_name = class_name
+        self.schema = schema
+        self.counters = counters
+        # (rid, cen) -> restrictions -> pattern
+        self._groups: dict[tuple[str, int], dict[Restrictions, PatternTuple]] = {}
+        self._templates: dict[tuple[str, int], PatternTuple] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_template(
+        self, analysis: RuleAnalysis, condition: AnalyzedCondition
+    ) -> PatternTuple:
+        """Install the original row for *condition* at compile time."""
+        restrictions = template_restrictions(condition, self.schema)
+        pattern = PatternTuple(
+            rid=analysis.name,
+            cen=condition.cond_number,
+            restrictions=restrictions,
+            rce=analysis.related_conditions(condition.index),
+            original=True,
+        )
+        key = (pattern.rid, pattern.cen)
+        self._groups.setdefault(key, {})[restrictions] = pattern
+        self._templates[key] = pattern
+        self.counters.patterns_created += 1
+        return pattern
+
+    # -- access -----------------------------------------------------------------
+
+    def template(self, rid: str, cen: int) -> PatternTuple:
+        """The original row for (rid, cen)."""
+        return self._templates[(rid, cen)]
+
+    def group(self, rid: str, cen: int) -> list[PatternTuple]:
+        """Every pattern (template + specializations) for (rid, cen)."""
+        return list(self._groups.get((rid, cen), {}).values())
+
+    def groups(self) -> Iterator[tuple[tuple[str, int], list[PatternTuple]]]:
+        """Iterate over (key, patterns) for every condition in this store."""
+        for key, patterns in self._groups.items():
+            yield key, list(patterns.values())
+
+    def pattern_count(self) -> int:
+        """Total stored rows (templates included)."""
+        return sum(len(group) for group in self._groups.values())
+
+    def derived_count(self) -> int:
+        """Stored matching patterns (templates excluded)."""
+        return self.pattern_count() - len(self._templates)
+
+    # -- matching ---------------------------------------------------------------
+
+    def matches_of(
+        self,
+        condition: AnalyzedCondition,
+        rid: str,
+        wme: StoredTuple,
+    ) -> list[tuple[PatternTuple, dict[str, Value]]]:
+        """Patterns of (rid, condition) that *wme* satisfies, with bindings.
+
+        A tuple satisfies a pattern when it satisfies the underlying
+        condition element *and* agrees with every pinned constant slot.
+        This is the paper's "Search relation COND-C for tuples matching t".
+        """
+        self.counters.cond_searches += 1
+        results: list[tuple[PatternTuple, dict[str, Value]]] = []
+        group = self._groups.get((rid, condition.cond_number))
+        if not group:
+            return results
+        env = match_condition(condition, self.schema, wme)
+        self.counters.comparisons += 1
+        if env is None:
+            return results
+        for pattern in group.values():
+            self.counters.comparisons += 1
+            if self._tuple_agrees(pattern.restrictions, wme):
+                results.append((pattern, env))
+        return results
+
+    def _tuple_agrees(self, restrictions: Restrictions, wme: StoredTuple) -> bool:
+        for slot, value in zip(restrictions, wme.values):
+            if slot is not None and slot[0] == "const":
+                if not compare("=", slot[1], value):
+                    return False
+        return True
+
+    def compatible_with(
+        self, rid: str, cen: int, desired: Restrictions
+    ) -> list[tuple[PatternTuple, Restrictions]]:
+        """Patterns unifiable with *desired*, with the merged restrictions."""
+        results: list[tuple[PatternTuple, Restrictions]] = []
+        for pattern in self.group(rid, cen):
+            self.counters.comparisons += 1
+            merged = merge(pattern.restrictions, desired)
+            if merged is not None:
+                results.append((pattern, merged))
+        return results
+
+    def find_or_create(
+        self,
+        source: PatternTuple,
+        merged: Restrictions,
+    ) -> tuple[PatternTuple, bool]:
+        """Return the pattern with *merged* restrictions, creating it from
+        *source* (counters copied) when absent.  Second result: created?
+        """
+        key = (source.rid, source.cen)
+        group = self._groups.setdefault(key, {})
+        existing = group.get(merged)
+        if existing is not None:
+            return existing, False
+        pattern = PatternTuple(
+            rid=source.rid,
+            cen=source.cen,
+            restrictions=merged,
+            rce=source.rce,
+            supports={k: set(v) for k, v in source.supports.items()},
+            original=False,
+        )
+        group[merged] = pattern
+        self.counters.patterns_created += 1
+        return pattern, True
+
+    def discard(self, pattern: PatternTuple) -> None:
+        """Drop a fully-unsupported derived pattern."""
+        if pattern.original:
+            return
+        group = self._groups.get((pattern.rid, pattern.cen))
+        if group is not None:
+            group.pop(pattern.restrictions, None)
+
+    # -- compaction (§4.2.3 future work) ----------------------------------------
+
+    def compact(
+        self,
+        max_per_condition: int | None = None,
+        on_transfer=None,
+    ) -> int:
+        """Compact redundant matching patterns; returns how many were
+        dropped.
+
+        §4.2.3: "it is obvious that there is a lot of redundancy among
+        matching patterns.  Compacting them in a nice way without
+        sacrificing performance is crucial."  Two modes:
+
+        * **Subsumption (always).**  A derived pattern P is dropped when a
+          sibling Q of the same (RID, CEN) is at least as general and
+          carries at least P's support for every related condition —
+          strictly lossless.
+        * **Folding (when *max_per_condition* is given).**  While a
+          condition's group exceeds the cap, its least-supported derived
+          pattern is *folded* into the most general sibling that covers
+          its restrictions (the original row always qualifies): the
+          folded pattern's support sets are unioned into the target, then
+          the pattern is dropped.  No support is ever lost — matching
+          stays complete — but the target now over-claims joinability for
+          bindings the contributor only supported more narrowly, so the
+          fire gate may admit more candidates whose act-time selection
+          comes back empty (counted false drops).  Space for precision,
+          the paper's trade.
+
+        *on_transfer(target, rce_index, contributors)* is invoked for every
+        folded support set so the owner can maintain its reverse index.
+        """
+        removed = 0
+        for key, group in list(self._groups.items()):
+            removed += self._compact_subsumed(group)
+            if max_per_condition is not None:
+                removed += self._fold_group(
+                    key, group, max_per_condition, on_transfer
+                )
+        return removed
+
+    def _compact_subsumed(self, group: dict) -> int:
+        removed = 0
+        for candidate in list(group.values()):
+            if candidate.original or candidate.restrictions not in group:
+                continue
+            for other in list(group.values()):
+                if other is candidate:
+                    continue
+                if _generalizes(
+                    other.restrictions, candidate.restrictions
+                ) and _covers_supports(other, candidate):
+                    del group[candidate.restrictions]
+                    removed += 1
+                    break
+        return removed
+
+    def _fold_group(
+        self,
+        key: tuple[str, int],
+        group: dict,
+        max_per_condition: int,
+        on_transfer,
+    ) -> int:
+        removed = 0
+        while len(group) > max(max_per_condition, 1):
+            derived = [p for p in group.values() if not p.original]
+            if not derived:
+                break
+            victim = min(
+                derived,
+                key=lambda p: (
+                    sum(len(b) for b in p.supports.values()),
+                    repr(p.restrictions),
+                ),
+            )
+            target = self._most_general_cover(group, victim)
+            if target is None:
+                break
+            for rce_index, bucket in victim.supports.items():
+                if not bucket:
+                    continue
+                target.supports.setdefault(rce_index, set()).update(bucket)
+                if on_transfer is not None:
+                    on_transfer(target, rce_index, frozenset(bucket))
+            del group[victim.restrictions]
+            removed += 1
+        return removed
+
+    @staticmethod
+    def _most_general_cover(group: dict, victim: PatternTuple):
+        covers = [
+            p
+            for p in group.values()
+            if p is not victim
+            and _generalizes(p.restrictions, victim.restrictions)
+        ]
+        if not covers:
+            return None
+        # Fewest pinned constants = most general; originals win ties.
+        return min(
+            covers,
+            key=lambda p: (
+                sum(
+                    1
+                    for slot in p.restrictions
+                    if slot is not None and slot[0] == "const"
+                ),
+                not p.original,
+            ),
+        )
+
+    # -- bindings / display ---------------------------------------------------------
+
+    def pattern_bindings(
+        self, condition: AnalyzedCondition, pattern: PatternTuple
+    ) -> dict[str, Value]:
+        """Variable bindings implied by the pattern's pinned slots."""
+        template = template_restrictions(condition, self.schema)
+        bindings: dict[str, Value] = {}
+        for slot, original in zip(pattern.restrictions, template):
+            if (
+                slot is not None
+                and slot[0] == "const"
+                and original is not None
+                and original[0] == "var"
+            ):
+                bindings[str(original[1])] = slot[1]
+        return bindings
+
+    def display_rows(
+        self, negated_indices_of: dict[str, frozenset[int]]
+    ) -> list[dict[str, str]]:
+        """All rows in the paper's table format, templates first."""
+        rows: list[dict[str, str]] = []
+        for (rid, _cen), group in sorted(self._groups.items()):
+            negated = negated_indices_of.get(rid, frozenset())
+            ordered = sorted(
+                group.values(), key=lambda p: (not p.original, repr(p.restrictions))
+            )
+            for pattern in ordered:
+                rows.append(pattern.display_row(self.schema, negated))
+        return rows
+
+    def cell_count(self) -> int:
+        """Stored cells: one per attribute slot + RID/CEN/RCE/Mark columns."""
+        per_row = self.schema.arity + 4
+        return self.pattern_count() * per_row
+
+
+def _generalizes(general: Restrictions, specific: Restrictions) -> bool:
+    """True when every tuple matching *specific* also matches *general*."""
+    for general_slot, specific_slot in zip(general, specific):
+        if general_slot is None or general_slot[0] == "var":
+            continue  # unconstrained (or variable) slot admits anything
+        if general_slot != specific_slot:
+            return False
+    return True
+
+
+def _covers_supports(general: PatternTuple, specific: PatternTuple) -> bool:
+    """True when *general* carries at least *specific*'s support per mark."""
+    for rce_index, bucket in specific.supports.items():
+        if not bucket <= general.supports.get(rce_index, set()):
+            return False
+    return True
+
+
+def make_stores(
+    analyses: dict[str, RuleAnalysis],
+    schemas: dict[str, RelationSchema],
+    counters: Counters,
+) -> dict[str, PatternStore]:
+    """Build one store per class and install every condition's template."""
+    stores: dict[str, PatternStore] = {}
+    for analysis in analyses.values():
+        for condition in analysis.conditions:
+            store = stores.get(condition.class_name)
+            if store is None:
+                store = PatternStore(
+                    condition.class_name,
+                    schemas[condition.class_name],
+                    counters,
+                )
+                stores[condition.class_name] = store
+            store.add_template(analysis, condition)
+    return stores

@@ -1,0 +1,383 @@
+"""The matching-pattern match strategy — the paper's core contribution (§4.2).
+
+Matching a changed tuple is "a single search over a COND relation"; pattern
+propagation then records, in the COND relations of the *related* condition
+elements, which bindings are now joinable ("we are actually doing the join
+in an incremental way").  A tuple matching patterns whose Marks cover every
+related condition puts the rule into the conflict set.
+
+Paper-mandated refinements implemented here:
+
+* counters instead of Mark bits (§4.2.2) so deletions and multiply-supported
+  patterns work — realized as *support sets* of contributing WM elements, so
+  that a deletion withdraws exactly what the insertion contributed (the
+  counter the paper describes is the set's size);
+* inverted marks for negated condition elements (§4.2.2): their counter
+  counts blockers and the mark is "set" while it is zero.
+
+Exactness: a matching pattern "does not store pointers to ... the actual
+tuples of the WM relations.  These tuples must be selected before executing
+the RHS actions" (§5.1).  That selection runs immediately when a pattern
+fires, so the conflict set always holds real, validated instantiations;
+fired candidates that select zero combinations are counted as false drops
+(the same failure economics the paper describes for POSTGRES markers in
+§3.2, at a much lower rate).
+"""
+
+from __future__ import annotations
+
+from repro.instrument import SpaceReport
+from repro.lang.analysis import AnalyzedCondition, RuleAnalysis
+from repro.match.base import MatchStrategy
+from repro.match.common import match_condition, result_to_instantiation
+from repro.match.patterns.pattern import (
+    PatternTuple,
+    WmeKey,
+    specialize,
+    template_restrictions,
+)
+from repro.match.patterns.store import PatternStore, make_stores
+from repro.storage.query import evaluate
+from repro.storage.schema import Value
+from repro.storage.tuples import StoredTuple
+
+
+class MatchingPatternsStrategy(MatchStrategy):
+    """§4.2: COND relations with matching patterns and mark counters."""
+
+    strategy_name = "patterns"
+
+    def _prepare(self) -> None:
+        self.stores: dict[str, PatternStore] = make_stores(
+            self.analyses, self.wm.schemas, self.counters
+        )
+        self._by_class: dict[str, list[tuple[RuleAnalysis, AnalyzedCondition]]] = {}
+        self._negated_indices: dict[str, frozenset[int]] = {}
+        # (wme key) -> {(pattern, rce index)} reverse map for exact deletion.
+        self._support_index: dict[WmeKey, set[tuple[PatternTuple, int]]] = {}
+        # §4.2.3 parallelism accounting: per-event maintenance operations
+        # grouped by target COND relation.  Propagation to distinct COND
+        # relations is independent, so a parallel system's maintenance
+        # makespan is the per-event *maximum* over relations, while a
+        # serial one pays the sum.
+        self.maintenance_serial_ops = 0
+        self.maintenance_parallel_ops = 0
+        self._event_profile: dict[str, int] = {}
+        for analysis in self.analyses.values():
+            self._negated_indices[analysis.name] = frozenset(
+                c.index for c in analysis.conditions if c.negated
+            )
+            for condition in analysis.conditions:
+                self._by_class.setdefault(condition.class_name, []).append(
+                    (analysis, condition)
+                )
+
+    # -- WM change entry points ------------------------------------------------
+
+    def on_insert(self, wme: StoredTuple) -> None:
+        self._event_profile = {}
+        for analysis, condition in self._by_class.get(wme.relation, []):
+            store = self.stores[condition.class_name]
+            matches = store.matches_of(condition, analysis.name, wme)
+            if not matches:
+                continue
+            bindings = matches[0][1]
+            if condition.negated:
+                self._retract_blocked(analysis, condition, wme)
+                self._propagate(
+                    analysis,
+                    store.template(analysis.name, condition.cond_number),
+                    bindings,
+                    contributor=(wme.relation, wme.tid),
+                    check_compatibility=False,
+                )
+            else:
+                patterns = [p for p, _ in matches]
+                if self._union_full(analysis, condition, patterns):
+                    self._select_seeded(analysis, condition, wme)
+                for source in patterns:
+                    self._propagate(
+                        analysis,
+                        source,
+                        bindings,
+                        contributor=(wme.relation, wme.tid),
+                        check_compatibility=True,
+                    )
+        self._close_event_profile()
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        self._event_profile = {}
+        self.conflict_set.remove_wme(wme)
+        contributor: WmeKey = (wme.relation, wme.tid)
+        entries = self._support_index.pop(contributor, set())
+        transitions: list[tuple[PatternTuple, AnalyzedCondition, RuleAnalysis]] = []
+        for pattern, rce_index in entries:
+            analysis = self.analyses[pattern.rid]
+            negated = self._negated_indices[pattern.rid]
+            condition = analysis.conditions[pattern.index]
+            was_full = pattern.is_full(negated)
+            if not pattern.remove_support(rce_index, contributor):
+                continue
+            self.counters.patterns_updated += 1
+            self._tally_maintenance(condition.class_name)
+            if (
+                rce_index in negated
+                and not was_full
+                and pattern.is_full(negated)
+                and not condition.negated
+            ):
+                transitions.append((pattern, condition, analysis))
+            if pattern.all_zero() and not pattern.original:
+                self.stores[condition.class_name].discard(pattern)
+        for pattern, condition, analysis in transitions:
+            self._select_pattern(analysis, condition, pattern)
+        self._close_event_profile()
+
+    # -- §4.2.3 parallelism accounting ------------------------------------------
+
+    def _tally_maintenance(self, class_name: str) -> None:
+        self._event_profile[class_name] = (
+            self._event_profile.get(class_name, 0) + 1
+        )
+
+    def _close_event_profile(self) -> None:
+        if not self._event_profile:
+            return
+        self.maintenance_serial_ops += sum(self._event_profile.values())
+        self.maintenance_parallel_ops += max(self._event_profile.values())
+        self._event_profile = {}
+
+    def parallel_speedup_estimate(self) -> float:
+        """Maintenance speedup if propagation to distinct COND relations
+        ran in parallel (§4.2.3: "our scheme can be fully parallelized").
+
+        Ratio of serial maintenance operations to the sum of per-event
+        maxima over target relations; 1.0 when nothing was parallelizable.
+        """
+        if self.maintenance_parallel_ops == 0:
+            return 1.0
+        return self.maintenance_serial_ops / self.maintenance_parallel_ops
+
+    # -- propagation (the maintenance process, §4.2.2 / §5) -------------------
+
+    def _propagate(
+        self,
+        analysis: RuleAnalysis,
+        source: PatternTuple,
+        bindings: dict[str, Value],
+        contributor: WmeKey,
+        check_compatibility: bool,
+    ) -> None:
+        """Propagate one matched pattern's bindings to its related COND rows.
+
+        For a positive source this records support; for a negated source
+        (``check_compatibility=False``) it records a blocker.  Both create
+        new matching patterns when the propagated bindings specialize an
+        existing row.
+        """
+        negated = self._negated_indices[analysis.name]
+        source_negated = source.index in negated
+        for related_index in source.rce:
+            related = analysis.conditions[related_index]
+            if source_negated and related.negated:
+                continue  # blockers only matter to positive conditions
+            store = self.stores[related.class_name]
+            desired = specialize(
+                template_restrictions(related, store.schema), bindings
+            )
+            for target, merged in store.compatible_with(
+                analysis.name, related.cond_number, desired
+            ):
+                if check_compatibility and not self._marks_compatible(
+                    source, target, negated
+                ):
+                    continue
+                if merged == target.restrictions:
+                    adjusted = target
+                else:
+                    adjusted, created = store.find_or_create(target, merged)
+                    if created:
+                        self._register_copied_supports(adjusted)
+                self._record(adjusted, source.index, contributor)
+
+    def _record(
+        self, pattern: PatternTuple, rce_index: int, contributor: WmeKey
+    ) -> None:
+        if pattern.add_support(rce_index, contributor):
+            self.counters.patterns_updated += 1
+            analysis = self.analyses[pattern.rid]
+            self._tally_maintenance(
+                analysis.conditions[pattern.index].class_name
+            )
+            self._support_index.setdefault(contributor, set()).add(
+                (pattern, rce_index)
+            )
+
+    def _register_copied_supports(self, pattern: PatternTuple) -> None:
+        """Index the contributors a freshly-created pattern inherited."""
+        for rce_index, bucket in pattern.supports.items():
+            for contributor in bucket:
+                self._support_index.setdefault(contributor, set()).add(
+                    (pattern, rce_index)
+                )
+
+    def _union_full(
+        self,
+        analysis: RuleAnalysis,
+        condition: AnalyzedCondition,
+        matched: list[PatternTuple],
+    ) -> bool:
+        """Fire gate: every positive related condition is supported by some
+        matched pattern.
+
+        A single pattern carrying all Marks (the paper's criterion) implies
+        this, but support recorded on sibling specializations also counts —
+        merging into an existing pattern does not re-copy marks, so the
+        single-pattern test alone can miss completions.  Candidates passing
+        this gate still go through exact act-time selection (§5.1), which
+        also enforces negated conditions, so over-admission costs only a
+        counted false drop.
+        """
+        negated = self._negated_indices[analysis.name]
+        for related_index in analysis.related_conditions(condition.index):
+            if related_index in negated:
+                continue
+            if not any(p.count(related_index) > 0 for p in matched):
+                return False
+        return True
+
+    @staticmethod
+    def _marks_compatible(
+        source: PatternTuple, target: PatternTuple, negated: frozenset[int]
+    ) -> bool:
+        """§4.2.2: "each Mark bit must be set in T if the corresponding Mark
+        bit is set in the matching tuple M" — over the third-party positive
+        related conditions the two patterns share."""
+        shared = set(source.rce) & set(target.rce)
+        for index in shared:
+            if index in negated:
+                continue
+            if target.count(index) > 0 and source.count(index) == 0:
+                return False
+        return True
+
+    # -- act-time selection (§5.1) -----------------------------------------------
+
+    def _select_seeded(
+        self,
+        analysis: RuleAnalysis,
+        condition: AnalyzedCondition,
+        wme: StoredTuple,
+    ) -> None:
+        """Select WM combinations for a fired pattern matched by *wme*."""
+        found = False
+        for result in evaluate(
+            analysis.to_conjuncts(),
+            self.wm.catalog,
+            counters=self.counters,
+            seed_index=condition.index,
+            seed_row=wme,
+        ):
+            found = True
+            self.conflict_set.add(result_to_instantiation(analysis, result))
+        if not found:
+            self.counters.false_drops += 1
+
+    def _select_pattern(
+        self,
+        analysis: RuleAnalysis,
+        condition: AnalyzedCondition,
+        pattern: PatternTuple,
+    ) -> None:
+        """Select WM combinations within a pattern's pinned bindings."""
+        store = self.stores[condition.class_name]
+        seed_bindings = store.pattern_bindings(condition, pattern)
+        found = False
+        for result in evaluate(
+            analysis.to_conjuncts(),
+            self.wm.catalog,
+            counters=self.counters,
+            seed_bindings=seed_bindings,
+        ):
+            found = True
+            self.conflict_set.add(result_to_instantiation(analysis, result))
+        if not found:
+            self.counters.false_drops += 1
+
+    def _retract_blocked(
+        self,
+        analysis: RuleAnalysis,
+        condition: AnalyzedCondition,
+        wme: StoredTuple,
+    ) -> None:
+        """A new negated-condition witness retracts blocked instantiations."""
+        schema = self.wm.schema(wme.relation)
+        for instantiation in self.conflict_set.for_rule(analysis.name):
+            env = match_condition(
+                condition, schema, wme, instantiation.binding_map()
+            )
+            if env is not None:
+                self.conflict_set.remove(instantiation)
+
+    # -- compaction (§4.2.3 future work) ---------------------------------------
+
+    def compact(self, max_per_condition: int | None = None) -> int:
+        """Compact the COND relations; returns the patterns removed.
+
+        Without a cap only strictly-subsumed patterns go; with
+        *max_per_condition* each condition's group is folded down to the
+        cap, trading match precision (counted false drops) for space — see
+        :meth:`repro.match.patterns.store.PatternStore.compact`.
+        """
+
+        def on_transfer(target: PatternTuple, rce_index: int, contributors) -> None:
+            for contributor in contributors:
+                self._support_index.setdefault(contributor, set()).add(
+                    (target, rce_index)
+                )
+
+        return sum(
+            store.compact(max_per_condition, on_transfer)
+            for store in self.stores.values()
+        )
+
+    # -- display / accounting ------------------------------------------------------
+
+    def explain(self, rule_name: str):
+        """Base diagnosis enriched with the COND relations' mark state."""
+        diagnosis = super().explain(rule_name)
+        analysis = self.analyses[rule_name]
+        negated = self._negated_indices[rule_name]
+        for entry in diagnosis.conditions:
+            condition = analysis.condition(entry.cond_number)
+            store = self.stores[condition.class_name]
+            group = store.group(rule_name, entry.cond_number)
+            entry.detail["patterns"] = len(group)
+            entry.detail["full_patterns"] = sum(
+                1 for p in group if p.is_full(negated)
+            )
+            entry.detail["mark_bits"] = sorted(
+                {p.mark_bits(negated) for p in group}
+            )
+        return diagnosis
+
+    def cond_rows(self, class_name: str) -> list[dict[str, str]]:
+        """The COND relation of *class_name* in the paper's table format."""
+        return self.stores[class_name].display_rows(self._negated_indices)
+
+    def space_report(self) -> SpaceReport:
+        patterns = sum(store.pattern_count() for store in self.stores.values())
+        derived = sum(store.derived_count() for store in self.stores.values())
+        cells = sum(store.cell_count() for store in self.stores.values())
+        return SpaceReport(
+            strategy=self.strategy_name,
+            wm_tuples=self.wm.size(),
+            stored_tokens=0,
+            stored_patterns=patterns,
+            marker_entries=0,
+            estimated_cells=cells,
+            detail={
+                "templates": patterns - derived,
+                "derived_patterns": derived,
+            },
+        )

@@ -1,0 +1,25 @@
+"""The simplified query-re-evaluation strategy (§4.1 of the paper)."""
+
+from repro.match.query.cond_relations import (
+    CondRelations,
+    RuleDefRelation,
+    restriction_display,
+)
+from repro.match.query.planner import (
+    apply_recommended_indexes,
+    recommend_indexes,
+)
+from repro.match.query.strategy import (
+    IndexedSimplifiedStrategy,
+    SimplifiedStrategy,
+)
+
+__all__ = [
+    "CondRelations",
+    "IndexedSimplifiedStrategy",
+    "RuleDefRelation",
+    "SimplifiedStrategy",
+    "apply_recommended_indexes",
+    "recommend_indexes",
+    "restriction_display",
+]

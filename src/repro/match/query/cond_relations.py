@@ -1,0 +1,195 @@
+"""COND relations and the RULE-DEF relation (§4.1.1 of the paper).
+
+"There are two basic types of relations: the Working Memory Relations (WM)
+and the Condition Relations (COND). ... All condition elements in rules that
+refer to a class of WM elements, say C, are stored in a corresponding COND
+relation."  RULE-DEF "contains one tuple for each condition of each rule",
+with a Check bit showing whether the condition element is currently
+satisfied.
+
+This module materializes those relations exactly as the paper's tables show
+them (T1/T2 of the reproduction index): one COND-<class> table whose
+attribute columns hold the condition's restriction in display form
+(constants verbatim, variables as ``<x>``, don't-cares as ``*``, operator
+tests as ``op value``), plus the RULE-DEF table with Check bits.
+"""
+
+from __future__ import annotations
+
+from repro.lang.analysis import AnalyzedCondition, RuleAnalysis
+from repro.storage.catalog import Catalog
+from repro.storage.predicate import (
+    And,
+    Comparison,
+    Membership,
+    Predicate,
+    TruePredicate,
+)
+from repro.storage.schema import RelationSchema, Value
+
+
+def _constant_display(value: Value) -> str:
+    if value is None:
+        return "nil"
+    return str(value)
+
+
+def restriction_display(
+    condition: AnalyzedCondition, attribute: str
+) -> str:
+    """Render one attribute's restriction the way the paper's tables do."""
+    parts: list[str] = []
+    for comparison in _comparisons(condition.constant_predicate):
+        if isinstance(comparison, Membership):
+            if comparison.attribute == attribute:
+                inner = " ".join(
+                    _constant_display(v) for v in comparison.values
+                )
+                parts.append(f"<< {inner} >>")
+            continue
+        if comparison.attribute == attribute:
+            if comparison.op == "=":
+                parts.append(_constant_display(comparison.value))
+            else:
+                parts.append(f"{comparison.op} {_constant_display(comparison.value)}")
+    for attr, variable in condition.equalities:
+        if attr == attribute:
+            parts.append(f"<{variable}>")
+    for residual in condition.residual:
+        if residual.attribute == attribute:
+            parts.append(f"{residual.op} <{residual.variable}>")
+    if not parts:
+        return "*"
+    return " & ".join(parts)
+
+
+def _comparisons(predicate: Predicate) -> list:
+    if isinstance(predicate, TruePredicate):
+        return []
+    if isinstance(predicate, (Comparison, Membership)):
+        return [predicate]
+    if isinstance(predicate, And):
+        result: list = []
+        for part in predicate.parts:
+            result.extend(_comparisons(part))
+        return result
+    return []
+
+
+class CondRelations:
+    """Builds and owns the COND-<class> tables for a rule set."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        analyses: dict[str, RuleAnalysis],
+        schemas: dict[str, RelationSchema],
+        prefix: str = "COND",
+    ) -> None:
+        self.catalog = catalog
+        self.prefix = prefix
+        self._classes: set[str] = set()
+        for analysis in analyses.values():
+            for condition in analysis.conditions:
+                self._ensure_table(condition.class_name, schemas)
+                self._insert_condition(analysis, condition, schemas)
+
+    def _table_name(self, class_name: str) -> str:
+        return f"{self.prefix}-{class_name}"
+
+    def _ensure_table(
+        self, class_name: str, schemas: dict[str, RelationSchema]
+    ) -> None:
+        if class_name in self._classes:
+            return
+        schema = schemas[class_name]
+        self.catalog.create(
+            RelationSchema(
+                self._table_name(class_name),
+                ("rule_id", "cen", "negated", *schema.attributes),
+            )
+        )
+        self._classes.add(class_name)
+
+    def _insert_condition(
+        self,
+        analysis: RuleAnalysis,
+        condition: AnalyzedCondition,
+        schemas: dict[str, RelationSchema],
+    ) -> None:
+        schema = schemas[condition.class_name]
+        restrictions = tuple(
+            restriction_display(condition, attribute)
+            for attribute in schema.attributes
+        )
+        self.catalog.get(self._table_name(condition.class_name)).insert(
+            (
+                analysis.name,
+                condition.cond_number,
+                1 if condition.negated else 0,
+                *restrictions,
+            )
+        )
+
+    def classes(self) -> set[str]:
+        """Classes that have a COND relation."""
+        return set(self._classes)
+
+    def rows(self, class_name: str) -> list[dict[str, Value]]:
+        """The COND-<class> contents as attribute dictionaries."""
+        table = self.catalog.get(self._table_name(class_name))
+        return [row.as_mapping(table.schema) for row in table.scan()]
+
+    def cell_count(self) -> int:
+        """Stored cells across all COND relations (space accounting)."""
+        total = 0
+        for class_name in self._classes:
+            table = self.catalog.get(self._table_name(class_name))
+            total += len(table) * table.schema.arity
+        return total
+
+
+class RuleDefRelation:
+    """The RULE-DEF relation: one row per condition, with its Check bit."""
+
+    SCHEMA = RelationSchema("RULE-DEF", ("rule_id", "cond_no", "check"))
+
+    def __init__(
+        self, catalog: Catalog, analyses: dict[str, RuleAnalysis]
+    ) -> None:
+        self.catalog = catalog
+        self.table = catalog.create(self.SCHEMA)
+        self._row_tids: dict[tuple[str, int], int] = {}
+        for analysis in analyses.values():
+            for condition in analysis.conditions:
+                row = self.table.insert(
+                    (analysis.name, condition.cond_number, 0)
+                )
+                self._row_tids[(analysis.name, condition.cond_number)] = row.tid
+
+    def set_check(self, rule_id: str, cond_number: int, satisfied: bool) -> None:
+        """Set/reset one Check bit (stored as a fresh row, old row dropped)."""
+        key = (rule_id, cond_number)
+        old_tid = self._row_tids[key]
+        old = self.table.get(old_tid)
+        bit = 1 if satisfied else 0
+        if old.values[2] == bit:
+            return
+        self.table.delete(old_tid)
+        row = self.table.insert((rule_id, cond_number, bit))
+        self._row_tids[key] = row.tid
+
+    def check(self, rule_id: str, cond_number: int) -> bool:
+        """Read one Check bit."""
+        return bool(self.table.get(self._row_tids[(rule_id, cond_number)]).values[2])
+
+    def all_set(self, rule_id: str, cond_numbers: list[int]) -> bool:
+        """True when every listed Check bit is set."""
+        return all(self.check(rule_id, n) for n in cond_numbers)
+
+    def rows(self) -> list[tuple[str, int, int]]:
+        """Contents sorted by (rule, condition number) — the paper's T2."""
+        return sorted(
+            (row.values[0], row.values[1], row.values[2])
+            for row in self.table.scan()
+        )

@@ -1,0 +1,63 @@
+"""Physical-design helper: index recommendations for WM relations.
+
+§4.1.2: "the performance of the system largely depends on the efficiency
+of processing joins" — the evaluator probes equality indexes when they
+exist (:meth:`repro.storage.table.Table.select_eq`), so building hash
+indexes on the attributes rules join or select on is the obvious physical
+design.  :func:`recommend_indexes` derives that attribute set from the
+analyzed rules and :func:`apply_recommended_indexes` builds them.
+"""
+
+from __future__ import annotations
+
+from repro.engine.wm import WorkingMemory
+from repro.lang.analysis import RuleAnalysis
+from repro.storage.predicate import And, Comparison, Predicate
+
+
+def _equality_attributes(predicate: Predicate) -> set[str]:
+    if isinstance(predicate, Comparison) and predicate.op == "=":
+        return {predicate.attribute}
+    if isinstance(predicate, And):
+        result: set[str] = set()
+        for part in predicate.parts:
+            result |= _equality_attributes(part)
+        return result
+    return set()
+
+
+def recommend_indexes(
+    analyses: dict[str, RuleAnalysis]
+) -> dict[str, set[str]]:
+    """Attributes worth indexing, per WM class.
+
+    An attribute qualifies when some condition element binds or joins on
+    it with ``=`` (the evaluator probes these), or tests it against an
+    equality constant (selective scans become lookups).
+    """
+    recommendations: dict[str, set[str]] = {}
+    for analysis in analyses.values():
+        for condition in analysis.conditions:
+            attributes = {attr for attr, _var in condition.equalities}
+            attributes |= _equality_attributes(condition.constant_predicate)
+            if attributes:
+                recommendations.setdefault(
+                    condition.class_name, set()
+                ).update(attributes)
+    return recommendations
+
+
+def apply_recommended_indexes(
+    wm: WorkingMemory, analyses: dict[str, RuleAnalysis]
+) -> int:
+    """Create the recommended hash indexes; returns how many were built."""
+    built = 0
+    for class_name, attributes in recommend_indexes(analyses).items():
+        if class_name not in wm.schemas:
+            continue
+        table = wm.relation(class_name)
+        for attribute in sorted(attributes):
+            if attribute not in table.indexed_attributes():
+                table.create_index(attribute)
+                built += 1
+    return built

@@ -1,0 +1,201 @@
+"""The simplified algorithm of §4.1: re-evaluate LHSs as queries.
+
+"The first alternative is to treat the LHS of each rule as a query to be
+evaluated against working memory elements, thus eliminating the need of any
+redundant storage."  On every insert the COND relation of the changed class
+is searched for condition elements the new tuple satisfies; each hit
+re-evaluates the owning rule's LHS as a conjunctive query *seeded* with the
+tuple.  Deletions retract instantiations built on the tuple and re-evaluate
+rules whose negated conditions may have become satisfiable.
+
+No intermediate join results are stored — the space/time trade-off §4.2.3
+contrasts with the matching-pattern scheme.
+"""
+
+from __future__ import annotations
+
+from repro.engine.conflict import Instantiation
+from repro.instrument import SpaceReport
+from repro.lang.analysis import AnalyzedCondition, RuleAnalysis
+from repro.match.base import MatchStrategy
+from repro.match.common import match_condition, result_to_instantiation
+from repro.match.query.cond_relations import CondRelations, RuleDefRelation
+from repro.storage.catalog import Catalog
+from repro.storage.query import evaluate
+from repro.storage.tuples import StoredTuple
+
+
+class SimplifiedStrategy(MatchStrategy):
+    """§4.1: COND relations + RULE-DEF check bits + query re-evaluation."""
+
+    strategy_name = "simplified"
+
+    #: When true, an R-tree over the conditions' variable-free boxes prunes
+    #: the COND search (§4.1.2: "one can use intelligent indexing
+    #: techniques such as R-trees ... to check if a given tuple satisfies
+    #: conditions stored in the COND relations").
+    _use_condition_index = False
+
+    def _prepare(self) -> None:
+        # COND and RULE-DEF live in their own catalog so they never collide
+        # with WM relation names and their space is separately accountable.
+        self.meta_catalog = Catalog(counters=self.counters)
+        self.cond_relations = CondRelations(
+            self.meta_catalog, self.analyses, self.wm.schemas
+        )
+        self.rule_def = RuleDefRelation(self.meta_catalog, self.analyses)
+        # (class, analysis, condition) routing table.
+        self._by_class: dict[str, list[tuple[RuleAnalysis, AnalyzedCondition]]] = {}
+        for analysis in self.analyses.values():
+            for condition in analysis.conditions:
+                self._by_class.setdefault(condition.class_name, []).append(
+                    (analysis, condition)
+                )
+        self.condition_index = None
+        if self._use_condition_index:
+            from repro.rindex.condition_index import ConditionIndex
+
+            self.condition_index = ConditionIndex(
+                self.analyses, self.wm.schemas
+            )
+        # Per-condition count of WM elements satisfying it in isolation,
+        # which drives the Check bits.
+        self._satisfier_counts: dict[tuple[str, int], int] = {}
+        # A negated condition starts satisfied: no element blocks it yet.
+        for analysis in self.analyses.values():
+            for condition in analysis.conditions:
+                if condition.negated:
+                    self.rule_def.set_check(
+                        analysis.name, condition.cond_number, satisfied=True
+                    )
+
+    def _candidates(
+        self, wme: StoredTuple
+    ) -> list[tuple[RuleAnalysis, AnalyzedCondition]]:
+        """Conditions on the tuple's class worth matching against it.
+
+        With the R-tree, conditions whose variable-free box cannot contain
+        the tuple are pruned before the (exact) ``match_condition`` check;
+        the index over-approximates, so nothing is ever missed.
+        """
+        entries = self._by_class.get(wme.relation, [])
+        if self.condition_index is None:
+            return entries
+        self.counters.index_lookups += 1
+        hits = set(self.condition_index.conditions_matching(wme))
+        return [
+            (analysis, condition)
+            for analysis, condition in entries
+            if (analysis.name, condition.cond_number) in hits
+        ]
+
+    # -- change propagation ------------------------------------------------
+
+    def on_insert(self, wme: StoredTuple) -> None:
+        entries = self._candidates(wme)
+        schema = self.wm.schema(wme.relation)
+        self.counters.cond_searches += 1
+        for analysis, condition in entries:
+            self.counters.comparisons += 1
+            env = match_condition(condition, schema, wme)
+            if env is None:
+                continue
+            self._bump_check(analysis, condition, +1)
+            if condition.negated:
+                self._retract_blocked(analysis, condition, wme)
+            else:
+                self._evaluate_seeded(analysis, condition, wme)
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        self.conflict_set.remove_wme(wme)
+        entries = self._candidates(wme)
+        schema = self.wm.schema(wme.relation)
+        self.counters.cond_searches += 1
+        for analysis, condition in entries:
+            self.counters.comparisons += 1
+            env = match_condition(condition, schema, wme)
+            if env is None:
+                continue
+            self._bump_check(analysis, condition, -1)
+            if condition.negated:
+                # The deleted element may have been the only witness
+                # blocking some combinations: re-evaluate the whole LHS.
+                self._evaluate_full(analysis)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _evaluate_seeded(
+        self,
+        analysis: RuleAnalysis,
+        condition: AnalyzedCondition,
+        wme: StoredTuple,
+    ) -> None:
+        specs = analysis.to_conjuncts()
+        for result in evaluate(
+            specs,
+            self.wm.catalog,
+            counters=self.counters,
+            seed_index=condition.index,
+            seed_row=wme,
+        ):
+            self.conflict_set.add(result_to_instantiation(analysis, result))
+
+    def _evaluate_full(self, analysis: RuleAnalysis) -> None:
+        specs = analysis.to_conjuncts()
+        for result in evaluate(specs, self.wm.catalog, counters=self.counters):
+            self.conflict_set.add(result_to_instantiation(analysis, result))
+
+    def _retract_blocked(
+        self,
+        analysis: RuleAnalysis,
+        condition: AnalyzedCondition,
+        wme: StoredTuple,
+    ) -> None:
+        """A new element matches a negated condition: retract blocked insts."""
+        schema = self.wm.schema(wme.relation)
+        for instantiation in self.conflict_set.for_rule(analysis.name):
+            env = match_condition(
+                condition, schema, wme, instantiation.binding_map()
+            )
+            if env is not None:
+                self.conflict_set.remove(instantiation)
+
+    # -- check bits ---------------------------------------------------------------
+
+    def _bump_check(
+        self, analysis: RuleAnalysis, condition: AnalyzedCondition, delta: int
+    ) -> None:
+        key = (analysis.name, condition.cond_number)
+        count = self._satisfier_counts.get(key, 0) + delta
+        self._satisfier_counts[key] = count
+        if condition.negated:
+            # A negated condition's Check bit is set while *no* element
+            # satisfies its pattern.
+            self.rule_def.set_check(*key, satisfied=count == 0)
+        else:
+            self.rule_def.set_check(*key, satisfied=count > 0)
+
+    # -- accounting ------------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        cond_cells = self.cond_relations.cell_count()
+        rule_def_cells = len(self.rule_def.table) * self.rule_def.SCHEMA.arity
+        return SpaceReport(
+            strategy=self.strategy_name,
+            wm_tuples=self.wm.size(),
+            stored_tokens=0,
+            stored_patterns=0,
+            marker_entries=0,
+            estimated_cells=cond_cells + rule_def_cells,
+            detail={
+                "cond_cells": cond_cells,
+                "rule_def_cells": rule_def_cells,
+            },
+        )
+
+
+class IndexedSimplifiedStrategy(SimplifiedStrategy):
+    """§4.1 + the R-tree condition index of §4.1.2/§4.2.3."""
+
+    strategy_name = "simplified-indexed"
+    _use_condition_index = True

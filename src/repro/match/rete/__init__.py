@@ -1,0 +1,37 @@
+"""Rete match network (§3 of the paper)."""
+
+from repro.match.rete.builder import NetworkBuilder, ReteNetwork, build_network
+from repro.match.rete.runtime import (
+    AlphaMemory,
+    BetaMemory,
+    JoinNode,
+    JoinTest,
+    MemoryMirror,
+    NegativeNode,
+    ProductionNode,
+    ReteRuntime,
+    Token,
+)
+from repro.match.rete.strategy import (
+    DbmsReteStrategy,
+    ReteStrategy,
+    SharedReteStrategy,
+)
+
+__all__ = [
+    "AlphaMemory",
+    "BetaMemory",
+    "DbmsReteStrategy",
+    "JoinNode",
+    "JoinTest",
+    "MemoryMirror",
+    "NegativeNode",
+    "NetworkBuilder",
+    "ProductionNode",
+    "ReteNetwork",
+    "ReteRuntime",
+    "ReteStrategy",
+    "SharedReteStrategy",
+    "Token",
+    "build_network",
+]

@@ -1,0 +1,447 @@
+"""Rete network runtime: tokens, memories, join/negative/production nodes.
+
+This follows the classic OPS5/Forgy structure (§3.1 of the paper): tuples
+tagged "+"/"−" enter through per-class alpha tests; surviving tuples land in
+alpha memories; two-input join nodes pair them with partial matches (tokens)
+held in beta memories; tokens reaching a production node put the rule into
+the conflict set together with the satisfying elements.
+
+Deletion uses token-tree retraction (each token knows its children), so a
+"−" tag undoes exactly what the "+" tag built.  Negative nodes keep
+per-token join-result sets, the standard treatment of OPS5's negated
+condition elements.
+
+Memories optionally *mirror* their contents into storage-engine tables —
+the LEFT/RIGHT relations of the paper's §3.2 DBMS implementation — so space
+and I/O accounting flows through the storage counters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.engine.conflict import ConflictSet, Instantiation
+from repro.instrument import Counters
+from repro.lang.analysis import RuleAnalysis
+from repro.storage.catalog import Catalog
+from repro.storage.predicate import compare
+from repro.storage.schema import RelationSchema
+from repro.storage.tuples import StoredTuple
+
+WmeKey = tuple[str, int]
+
+
+def wme_key(wme: StoredTuple) -> WmeKey:
+    """Stable identity of a WM element."""
+    return (wme.relation, wme.tid)
+
+
+@dataclass(frozen=True)
+class JoinTest:
+    """One inter-element test at a two-input node.
+
+    Compares the candidate element's attribute (at ``own_position``) with an
+    attribute of an element earlier in the token, ``levels_up`` levels above
+    the candidate (1 = the immediately preceding condition element).
+    """
+
+    own_position: int
+    op: str
+    levels_up: int
+    other_position: int
+
+    def key(self) -> tuple:
+        return (self.own_position, self.op, self.levels_up, self.other_position)
+
+
+class Token:
+    """A partial match: a chain of WM elements, one per condition element."""
+
+    __slots__ = ("parent", "wme", "node", "children")
+
+    def __init__(
+        self, parent: "Token | None", wme: StoredTuple | None, node: object
+    ) -> None:
+        self.parent = parent
+        self.wme = wme
+        self.node = node
+        self.children: list[Token] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    def chain(self) -> list[StoredTuple | None]:
+        """WM elements from the first condition element to this level."""
+        wmes: list[StoredTuple | None] = []
+        token: Token | None = self
+        while token is not None and token.parent is not None:
+            wmes.append(token.wme)
+            token = token.parent
+        wmes.reverse()
+        return wmes
+
+    def ancestor(self, levels_up: int) -> "Token":
+        """The token *levels_up* levels above this one (1 = parent)."""
+        token = self
+        for _ in range(levels_up):
+            token = token.parent
+        return token
+
+
+class MemoryMirror:
+    """Mirrors a memory's contents into a storage-engine table (§3.2)."""
+
+    def __init__(self, catalog: Catalog, name: str, arity: int) -> None:
+        attributes = tuple(f"w{i + 1}" for i in range(max(arity, 1)))
+        self.table = catalog.create(RelationSchema(name, attributes))
+        self._rows: dict[int, int] = {}
+
+    def add(self, handle: int, tids: tuple[int | None, ...]) -> None:
+        row = self.table.insert(tuple(tids) or (None,))
+        self._rows[handle] = row.tid
+
+    def remove(self, handle: int) -> None:
+        row_tid = self._rows.pop(handle, None)
+        if row_tid is not None:
+            self.table.delete(row_tid)
+
+    def cells(self) -> int:
+        return len(self.table) * self.table.schema.arity
+
+
+class AlphaMemory:
+    """Stores the WM elements passing one constant-test conjunction."""
+
+    def __init__(
+        self,
+        name: str,
+        class_name: str,
+        test: Callable[[tuple], bool],
+        counters: Counters,
+        mirror: MemoryMirror | None = None,
+    ) -> None:
+        self.name = name
+        self.class_name = class_name
+        self.test = test
+        self.counters = counters
+        self.mirror = mirror
+        self.items: dict[WmeKey, StoredTuple] = {}
+        self.successors: list[JoinNode | NegativeNode] = []
+
+    def try_activate(self, wme: StoredTuple) -> bool:
+        """Run the constant test; admit and propagate on success."""
+        self.counters.node_activations += 1
+        self.counters.comparisons += 1
+        if not self.test(wme.values):
+            return False
+        self.items[wme_key(wme)] = wme
+        if self.mirror is not None:
+            self.mirror.add(id(wme), (wme.tid,))
+        self.counters.tokens += 1
+        for successor in list(self.successors):
+            successor.right_activate(wme)
+        return True
+
+    def retract(self, wme: StoredTuple) -> bool:
+        """Remove *wme* if present; returns whether it was stored."""
+        if self.items.pop(wme_key(wme), None) is None:
+            return False
+        if self.mirror is not None:
+            self.mirror.remove(id(wme))
+        return True
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class BetaMemory:
+    """Stores tokens covering a prefix of a rule's condition elements."""
+
+    def __init__(
+        self,
+        name: str,
+        level: int,
+        counters: Counters,
+        mirror: MemoryMirror | None = None,
+    ) -> None:
+        self.name = name
+        self.level = level  # number of condition elements covered
+        self.counters = counters
+        self.mirror = mirror
+        self.items: list[Token] = []
+        self.children: list[JoinNode | NegativeNode] = []
+        self.dummy_token: Token | None = None
+
+    def make_dummy(self) -> Token:
+        """Install the dummy top token (for the network root)."""
+        self.dummy_token = Token(None, None, self)
+        self.items.append(self.dummy_token)
+        return self.dummy_token
+
+    def left_activate(self, runtime: "ReteRuntime", parent: Token,
+                      wme: StoredTuple | None) -> None:
+        self.counters.node_activations += 1
+        token = Token(parent, wme, self)
+        self.items.append(token)
+        self.counters.tokens += 1
+        if wme is not None:
+            runtime.register_token(wme, token)
+        if self.mirror is not None:
+            tids = tuple(
+                w.tid if w is not None else None for w in token.chain()
+            )
+            self.mirror.add(id(token), tids)
+        for child in list(self.children):
+            child.left_activate_new_token(runtime, token)
+
+    def remove_token(self, token: Token) -> None:
+        self.items.remove(token)
+        if self.mirror is not None:
+            self.mirror.remove(id(token))
+        for child in self.children:
+            child.forget_token(token)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def _run_join_tests(
+    tests: tuple[JoinTest, ...],
+    token: Token,
+    wme: StoredTuple,
+    counters: Counters,
+) -> bool:
+    for test in tests:
+        other = token.ancestor(test.levels_up - 1).wme
+        counters.comparisons += 1
+        if other is None:
+            return False
+        if not compare(
+            test.op, wme.values[test.own_position], other.values[test.other_position]
+        ):
+            return False
+    return True
+
+
+class JoinNode:
+    """Two-input node joining a beta memory (LEFT) and alpha memory (RIGHT)."""
+
+    def __init__(
+        self,
+        name: str,
+        bmem: BetaMemory,
+        amem: AlphaMemory,
+        tests: tuple[JoinTest, ...],
+        counters: Counters,
+    ) -> None:
+        self.name = name
+        self.bmem = bmem
+        self.amem = amem
+        self.tests = tests
+        self.counters = counters
+        self.children: list[BetaMemory | NegativeNode | ProductionNode] = []
+        bmem.children.append(self)
+        amem.successors.append(self)
+        self.runtime: ReteRuntime | None = None
+
+    def left_activate_new_token(self, runtime: "ReteRuntime", token: Token) -> None:
+        self.counters.node_activations += 1
+        for wme in list(self.amem.items.values()):
+            if _run_join_tests(self.tests, token, wme, self.counters):
+                for child in list(self.children):
+                    child.left_activate(runtime, token, wme)
+
+    def right_activate(self, wme: StoredTuple) -> None:
+        self.counters.node_activations += 1
+        runtime = self.runtime
+        for token in list(self.bmem.items):
+            if _run_join_tests(self.tests, token, wme, self.counters):
+                for child in list(self.children):
+                    child.left_activate(runtime, token, wme)
+
+    def forget_token(self, token: Token) -> None:
+        """A LEFT token disappeared; plain joins keep no per-token state."""
+
+
+class NegativeNode:
+    """Two-input node for a negated condition element.
+
+    Sits in a join node's position: LEFT input is a beta memory, RIGHT an
+    alpha memory.  A LEFT token propagates (with a ``None`` element slot)
+    exactly while it has no join partner on the RIGHT.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bmem: BetaMemory,
+        amem: AlphaMemory,
+        tests: tuple[JoinTest, ...],
+        counters: Counters,
+    ) -> None:
+        self.name = name
+        self.bmem = bmem
+        self.amem = amem
+        self.tests = tests
+        self.counters = counters
+        self.children: list[BetaMemory | NegativeNode | ProductionNode] = []
+        self.results: dict[Token, set[WmeKey]] = {}
+        bmem.children.append(self)
+        amem.successors.append(self)
+        self.runtime: ReteRuntime | None = None
+
+    def left_activate_new_token(self, runtime: "ReteRuntime", token: Token) -> None:
+        self.counters.node_activations += 1
+        matches = {
+            wme_key(wme)
+            for wme in self.amem.items.values()
+            if _run_join_tests(self.tests, token, wme, self.counters)
+        }
+        self.results[token] = matches
+        for key in matches:
+            runtime.register_negative(key, self, token)
+        if not matches:
+            for child in list(self.children):
+                child.left_activate(runtime, token, None)
+
+    def right_activate(self, wme: StoredTuple) -> None:
+        self.counters.node_activations += 1
+        runtime = self.runtime
+        key = wme_key(wme)
+        for token, matches in list(self.results.items()):
+            if _run_join_tests(self.tests, token, wme, self.counters):
+                was_empty = not matches
+                matches.add(key)
+                runtime.register_negative(key, self, token)
+                if was_empty:
+                    self._retract_propagation(runtime, token)
+
+    def wme_unblocked(self, runtime: "ReteRuntime", key: WmeKey, token: Token) -> None:
+        """A RIGHT witness vanished; re-propagate when none remain."""
+        matches = self.results.get(token)
+        if matches is None:
+            return
+        matches.discard(key)
+        if not matches:
+            for child in list(self.children):
+                child.left_activate(runtime, token, None)
+
+    def _retract_propagation(self, runtime: "ReteRuntime", token: Token) -> None:
+        """Remove this node's downstream tokens built on *token*."""
+        mine = [
+            child
+            for child in list(token.children)
+            if child.wme is None and child.node in self._downstream_nodes()
+        ]
+        for child in mine:
+            runtime.delete_token(child)
+
+    def _downstream_nodes(self) -> set[object]:
+        return set(self.children)
+
+    def forget_token(self, token: Token) -> None:
+        """LEFT token retracted: drop its join-result bookkeeping."""
+        self.results.pop(token, None)
+
+    def stored_results(self) -> int:
+        """Number of (token, witness) pairs held (space accounting)."""
+        return sum(len(matches) for matches in self.results.values())
+
+
+class ProductionNode:
+    """Terminal node: reports instantiations to the conflict set."""
+
+    def __init__(
+        self,
+        analysis: RuleAnalysis,
+        conflict_set: ConflictSet,
+        counters: Counters,
+        schemas: dict[str, RelationSchema],
+    ) -> None:
+        self.analysis = analysis
+        self.conflict_set = conflict_set
+        self.counters = counters
+        self.schemas = schemas
+        self.items: list[Token] = []
+
+    def left_activate(self, runtime: "ReteRuntime", parent: Token,
+                      wme: StoredTuple | None) -> None:
+        self.counters.node_activations += 1
+        token = Token(parent, wme, self)
+        self.items.append(token)
+        if wme is not None:
+            runtime.register_token(wme, token)
+        self.conflict_set.add(self._instantiation(token))
+
+    def token_deleted(self, token: Token) -> None:
+        self.items.remove(token)
+        self.conflict_set.remove(self._instantiation(token))
+
+    def _instantiation(self, token: Token) -> Instantiation:
+        wmes = tuple(token.chain())
+        bindings: dict[str, object] = {}
+        for condition, wme in zip(self.analysis.conditions, wmes):
+            if wme is None:
+                continue
+            schema = self.schemas[condition.class_name]
+            for attribute, variable in condition.equalities:
+                if variable not in bindings:
+                    bindings[variable] = wme.values[schema.position(attribute)]
+        return Instantiation(
+            rule_name=self.analysis.name,
+            wmes=wmes,
+            bindings=tuple(sorted(bindings.items())),
+            salience=self.analysis.rule.salience,
+        )
+
+
+class ReteRuntime:
+    """Per-network mutable state: WME registries and retraction machinery."""
+
+    def __init__(self, counters: Counters) -> None:
+        self.counters = counters
+        self.wme_tokens: dict[WmeKey, list[Token]] = {}
+        self.wme_alpha: dict[WmeKey, list[AlphaMemory]] = {}
+        self.wme_negatives: dict[WmeKey, list[tuple[NegativeNode, Token]]] = {}
+
+    def register_token(self, wme: StoredTuple, token: Token) -> None:
+        self.wme_tokens.setdefault(wme_key(wme), []).append(token)
+
+    def register_alpha(self, wme: StoredTuple, amem: AlphaMemory) -> None:
+        self.wme_alpha.setdefault(wme_key(wme), []).append(amem)
+
+    def register_negative(
+        self, key: WmeKey, node: NegativeNode, token: Token
+    ) -> None:
+        self.wme_negatives.setdefault(key, []).append((node, token))
+
+    def remove_wme(self, wme: StoredTuple) -> None:
+        """Process a "−" token: full retraction of everything built on it."""
+        key = wme_key(wme)
+        for amem in self.wme_alpha.pop(key, []):
+            amem.retract(wme)
+        # Iterate the live bucket: deleting a token also deletes its
+        # descendants, which may themselves be registered under this wme
+        # (self-joins put one element at several chain levels).
+        bucket = self.wme_tokens.get(key)
+        while bucket:
+            self.delete_token(bucket[0])
+        self.wme_tokens.pop(key, None)
+        for node, token in self.wme_negatives.pop(key, []):
+            node.wme_unblocked(self, key, token)
+
+    def delete_token(self, token: Token) -> None:
+        """Delete *token* and every descendant (retraction)."""
+        while token.children:
+            self.delete_token(token.children[0])
+        node = token.node
+        if isinstance(node, ProductionNode):
+            node.token_deleted(token)
+        elif isinstance(node, BetaMemory):
+            node.remove_token(token)
+        if token.parent is not None:
+            token.parent.children.remove(token)
+        if token.wme is not None:
+            bucket = self.wme_tokens.get(wme_key(token.wme))
+            if bucket and token in bucket:
+                bucket.remove(token)

@@ -1,0 +1,99 @@
+"""Rete network as a match strategy.
+
+Three flavours, all over the same compiled network:
+
+* ``ReteStrategy``            — OPS5-style, memories in main memory (§3.1).
+* ``SharedReteStrategy``      — multiple-query-optimized network (§3.2/§6).
+* ``DbmsReteStrategy``        — memories mirrored into LEFT/RIGHT relations
+                                of a storage catalog (§3.2), optionally on
+                                the SQLite backend.
+"""
+
+from __future__ import annotations
+
+from repro.engine.wm import WorkingMemory
+from repro.instrument import Counters, SpaceReport
+from repro.lang.analysis import RuleAnalysis
+from repro.match.base import MatchStrategy
+from repro.match.rete.builder import ReteNetwork, build_network
+from repro.storage.catalog import Catalog
+from repro.storage.tuples import StoredTuple
+
+
+class ReteStrategy(MatchStrategy):
+    """Classic Rete: one network, unshared nodes, in-memory memories."""
+
+    strategy_name = "rete"
+    _share = False
+    _mirror_backend: str | None = None
+
+    def _prepare(self) -> None:
+        self.mirror_catalog: Catalog | None = None
+        if self._mirror_backend is not None:
+            self.mirror_catalog = Catalog(
+                backend=self._mirror_backend, counters=self.counters
+            )
+        self.network: ReteNetwork = build_network(
+            self.analyses,
+            self.wm.schemas,
+            counters=self.counters,
+            share=self._share,
+            mirror_catalog=self.mirror_catalog,
+        )
+        self.conflict_set = self.network.conflict_set
+
+    def on_insert(self, wme: StoredTuple) -> None:
+        self.network.insert(wme)
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        self.network.remove(wme)
+
+    def space_report(self) -> SpaceReport:
+        network = self.network
+        stored = network.stored_tokens()
+        cells = network.stored_cells()
+        if self.mirror_catalog is not None:
+            detail_cells = sum(
+                len(t) * t.schema.arity for t in self.mirror_catalog.tables()
+            )
+        else:
+            detail_cells = cells
+        return SpaceReport(
+            strategy=self.strategy_name,
+            wm_tuples=self.wm.size(),
+            stored_tokens=stored,
+            stored_patterns=0,
+            marker_entries=0,
+            estimated_cells=cells,
+            detail={
+                "alpha_memories": len(network.alpha_memories),
+                "beta_memories": len(network.beta_memories),
+                "join_nodes": len(network.join_nodes),
+                "negative_nodes": len(network.negative_nodes),
+                "mirror_cells": detail_cells,
+            },
+        )
+
+
+class SharedReteStrategy(ReteStrategy):
+    """Rete with MQO-style node sharing across rules."""
+
+    strategy_name = "rete-shared"
+    _share = True
+
+
+class DbmsReteStrategy(ReteStrategy):
+    """Rete whose memories are persisted as relations (§3.2)."""
+
+    strategy_name = "rete-dbms"
+    _mirror_backend = "memory"
+
+    def __init__(
+        self,
+        wm: WorkingMemory,
+        analyses: dict[str, RuleAnalysis],
+        counters: Counters | None = None,
+        memory_backend: str = "memory",
+    ) -> None:
+        self._mirror_backend = memory_backend
+        super().__init__(wm, analyses, counters)

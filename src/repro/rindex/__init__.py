@@ -1,0 +1,47 @@
+"""R-tree predicate indexing over condition relations (§4.2.3, [LIN87])."""
+
+from repro.rindex.condition_index import (
+    ConditionId,
+    ConditionIndex,
+    condition_box,
+)
+from repro.rindex.interval import (
+    Box,
+    FULL_INTERVAL,
+    Interval,
+    KEY_MAX,
+    KEY_MIN,
+    Key,
+    approx,
+    box_area,
+    box_contains_point,
+    box_union,
+    boxes_intersect,
+    enlargement,
+    full_box,
+    interval_for,
+    key_of,
+)
+from repro.rindex.rtree import RTree
+
+__all__ = [
+    "Box",
+    "ConditionId",
+    "ConditionIndex",
+    "FULL_INTERVAL",
+    "Interval",
+    "KEY_MAX",
+    "KEY_MIN",
+    "Key",
+    "RTree",
+    "approx",
+    "box_area",
+    "box_contains_point",
+    "box_union",
+    "boxes_intersect",
+    "condition_box",
+    "enlargement",
+    "full_box",
+    "interval_for",
+    "key_of",
+]

@@ -1,0 +1,158 @@
+"""Indexing rule conditions with R-trees (§4.2.3, [LIN87]).
+
+Each class gets an R-tree over its attribute space; every condition element
+on that class contributes the hyper-rectangle of its variable-free
+restrictions (variable and don't-care slots span the full axis).  Two uses,
+both from the paper:
+
+* ``conditions_matching(tuple)`` — "efficient implementation of selection,
+  i.e. variable-free condition checking" during matching;
+* ``rules_in_region(...)`` — rule-base queries such as "Give me all the
+  rules that apply on employees older than 55", which tuple-marker schemes
+  like POSTGRES cannot answer because "rule information is stored together
+  with the actual data".
+"""
+
+from __future__ import annotations
+
+from repro.lang.analysis import AnalyzedCondition, RuleAnalysis
+from repro.rindex.interval import (
+    Box,
+    FULL_INTERVAL,
+    Interval,
+    interval_for,
+    key_of,
+)
+from repro.rindex.rtree import RTree
+from repro.storage.predicate import And, Comparison, Predicate, TruePredicate
+from repro.storage.schema import RelationSchema, Value
+from repro.storage.tuples import StoredTuple
+
+#: A condition's identity in query results: (rule name, condition number).
+ConditionId = tuple[str, int]
+
+
+def condition_box(
+    condition: AnalyzedCondition, schema: RelationSchema
+) -> Box:
+    """The hyper-rectangle of a condition's variable-free restrictions."""
+    intervals: list[Interval] = [FULL_INTERVAL] * schema.arity
+
+    def narrow(position: int, interval: Interval) -> None:
+        current = intervals[position]
+        low = max(current.low, interval.low)
+        high = min(current.high, interval.high)
+        intervals[position] = Interval(low, high)
+
+    def visit(predicate: Predicate) -> None:
+        if isinstance(predicate, Comparison):
+            narrow(
+                schema.position(predicate.attribute),
+                interval_for(predicate.op, predicate.value),
+            )
+        elif isinstance(predicate, And):
+            for part in predicate.parts:
+                visit(part)
+
+    visit(condition.constant_predicate)
+    return tuple(intervals)
+
+
+class ConditionIndex:
+    """Per-class R-trees over every condition element of a rule set."""
+
+    def __init__(
+        self,
+        analyses: dict[str, RuleAnalysis],
+        schemas: dict[str, RelationSchema],
+        max_entries: int = 8,
+        bulk: bool = True,
+    ) -> None:
+        self.schemas = schemas
+        self._trees: dict[str, RTree] = {}
+        self._count = 0
+        if bulk:
+            # The whole rule base is known: STR-pack one tree per class.
+            per_class: dict[str, list] = {}
+            for analysis in analyses.values():
+                for condition in analysis.conditions:
+                    schema = schemas[condition.class_name]
+                    per_class.setdefault(condition.class_name, []).append(
+                        (
+                            condition_box(condition, schema),
+                            (analysis.name, condition.cond_number),
+                        )
+                    )
+            for class_name, items in per_class.items():
+                self._trees[class_name] = RTree.bulk_load(
+                    schemas[class_name].arity, items, max_entries=max_entries
+                )
+                self._count += len(items)
+        else:
+            for analysis in analyses.values():
+                for condition in analysis.conditions:
+                    self.add_condition(analysis.name, condition, max_entries)
+
+    def add_condition(
+        self,
+        rule_name: str,
+        condition: AnalyzedCondition,
+        max_entries: int = 8,
+    ) -> None:
+        """Index one condition element."""
+        schema = self.schemas[condition.class_name]
+        tree = self._trees.get(condition.class_name)
+        if tree is None:
+            tree = RTree(schema.arity, max_entries=max_entries)
+            self._trees[condition.class_name] = tree
+        tree.insert(
+            condition_box(condition, schema),
+            (rule_name, condition.cond_number),
+        )
+        self._count += 1
+
+    def remove_condition(self, class_name: str, condition_id: ConditionId) -> None:
+        """Drop one condition element from the index."""
+        self._trees[class_name].remove(condition_id)
+        self._count -= 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def tree(self, class_name: str) -> RTree | None:
+        """The R-tree for one class (None when no condition mentions it)."""
+        return self._trees.get(class_name)
+
+    # -- queries ----------------------------------------------------------------
+
+    def conditions_matching(self, wme: StoredTuple) -> list[ConditionId]:
+        """Condition ids whose variable-free box contains *wme*.
+
+        An over-approximation by construction (boxes ignore ``<>`` tests
+        and variable constraints); exact matching happens downstream.
+        """
+        tree = self._trees.get(wme.relation)
+        if tree is None:
+            return []
+        point = tuple(key_of(value) for value in wme.values)
+        return sorted(tree.search_point(point))
+
+    def rules_in_region(
+        self,
+        class_name: str,
+        restrictions: dict[str, tuple[str, Value]],
+    ) -> set[str]:
+        """Rule-base query: rules with a condition intersecting the region.
+
+        *restrictions* maps attribute name to ``(op, value)``, e.g.
+        ``{"age": (">", 55)}`` for "rules that apply on employees older
+        than 55".
+        """
+        tree = self._trees.get(class_name)
+        if tree is None:
+            return set()
+        schema = self.schemas[class_name]
+        box: list[Interval] = [FULL_INTERVAL] * schema.arity
+        for attribute, (op, value) in restrictions.items():
+            box[schema.position(attribute)] = interval_for(op, value)
+        return {rule for rule, _cen in tree.search_box(tuple(box))}

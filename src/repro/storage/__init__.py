@@ -1,0 +1,63 @@
+"""Relational storage substrate.
+
+The minimal DBMS the paper's algorithms run on: schemas, tables with tuple
+ids/timetags/markers, hash indexes, predicates, a seeded conjunctive-query
+evaluator, and two interchangeable backends (in-memory and SQLite).
+"""
+
+from repro.storage.catalog import BACKENDS, Catalog
+from repro.storage.predicate import (
+    And,
+    AttributeComparison,
+    Comparison,
+    Membership,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    compare,
+    conjunction,
+    negate_operator,
+    reverse_operator,
+)
+from repro.storage.query import (
+    Bindings,
+    ConjunctSpec,
+    QueryResult,
+    VariableTest,
+    evaluate,
+)
+from repro.storage.schema import RelationSchema, Value, check_value
+from repro.storage.sqlite_backend import SqliteTable
+from repro.storage.table import MemoryTable, Table, TimetagClock
+from repro.storage.tuples import StoredTuple
+
+__all__ = [
+    "BACKENDS",
+    "And",
+    "AttributeComparison",
+    "Bindings",
+    "Catalog",
+    "Comparison",
+    "Membership",
+    "ConjunctSpec",
+    "MemoryTable",
+    "Not",
+    "Or",
+    "Predicate",
+    "QueryResult",
+    "RelationSchema",
+    "SqliteTable",
+    "StoredTuple",
+    "Table",
+    "TimetagClock",
+    "TruePredicate",
+    "Value",
+    "VariableTest",
+    "check_value",
+    "compare",
+    "conjunction",
+    "evaluate",
+    "negate_operator",
+    "reverse_operator",
+]

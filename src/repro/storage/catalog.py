@@ -1,0 +1,114 @@
+"""The catalog: a named collection of tables sharing one timetag clock.
+
+A :class:`Catalog` plays the role of "the database" in the paper: it holds
+the WM relations, and match strategies may register their own auxiliary
+relations (LEFT/RIGHT memories, COND relations) beside them.  All tables
+share a single :class:`~repro.storage.table.TimetagClock` so recency is
+globally comparable, and a single :class:`~repro.instrument.Counters` so
+operation counts aggregate across relations.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterator
+
+from repro.errors import CatalogError
+from repro.instrument import Counters
+from repro.storage.schema import RelationSchema
+from repro.storage.sqlite_backend import SqliteTable
+from repro.storage.table import MemoryTable, Table, TimetagClock
+
+#: Backends selectable at catalog construction.
+BACKENDS = ("memory", "sqlite")
+
+
+class Catalog:
+    """Registry of relations with a shared clock and counters.
+
+    With ``backend="sqlite"`` the relations live in a SQLite database —
+    in memory by default, or on disk when *path* is given, which is the
+    paper's opening premise: "a large knowledge base cannot, and perhaps
+    should not, for space reasons, reside in main memory."
+    """
+
+    def __init__(
+        self,
+        backend: str = "memory",
+        counters: Counters | None = None,
+        path: str | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise CatalogError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        if path is not None and backend != "sqlite":
+            raise CatalogError("a database path requires backend='sqlite'")
+        self.backend = backend
+        self.path = path
+        self.clock = TimetagClock()
+        self.counters = counters or Counters()
+        self._tables: dict[str, Table] = {}
+        self._connection: sqlite3.Connection | None = None
+        if backend == "sqlite":
+            # Autocommit: every write is durable immediately, so a closed
+            # or crashed session never rolls back acknowledged inserts.
+            self._connection = sqlite3.connect(
+                path or ":memory:", isolation_level=None
+            )
+
+    def create(self, schema: RelationSchema) -> Table:
+        """Create a table for *schema*; error if the name exists."""
+        if schema.name in self._tables:
+            raise CatalogError(f"relation {schema.name!r} already exists")
+        if self.backend == "sqlite":
+            table: Table = SqliteTable(
+                schema,
+                clock=self.clock,
+                counters=self.counters,
+                connection=self._connection,
+            )
+            # A file-backed database may already hold rows from an earlier
+            # session; keep recency monotone across reopens.
+            if self.path is not None:
+                newest = max((row.timetag for row in table.scan()), default=0)
+                self.clock.advance_to(newest)
+        else:
+            table = MemoryTable(schema, clock=self.clock, counters=self.counters)
+        self._tables[schema.name] = table
+        return table
+
+    def get(self, name: str) -> Table:
+        """Return the table named *name*."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no relation named {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        """True when a relation named *name* exists."""
+        return name in self._tables
+
+    def drop(self, name: str) -> None:
+        """Remove the relation *name* and its contents."""
+        table = self.get(name)
+        table.clear()
+        del self._tables[name]
+
+    def names(self) -> list[str]:
+        """All relation names, in creation order."""
+        return list(self._tables)
+
+    def tables(self) -> Iterator[Table]:
+        """Iterate over all tables in creation order."""
+        return iter(self._tables.values())
+
+    def total_tuples(self) -> int:
+        """Sum of row counts over every relation (space accounting)."""
+        return sum(len(table) for table in self._tables.values())
+
+    def close(self) -> None:
+        """Release backend resources (SQLite connection, if any)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None

@@ -1,0 +1,243 @@
+"""Predicates over stored tuples.
+
+These are the comparison semantics shared by every matcher in the library:
+OPS5 predicate tests (``=``, ``<>``, ``<``, ``<=``, ``>``, ``>=``) applied to
+dynamically typed values.  Mixed-type *ordering* comparisons simply fail
+(return ``False``) instead of raising, matching OPS5's behaviour of a test
+not being satisfied; equality across numeric types follows Python (``1 ==
+1.0``), while a string never equals a number.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.storage.schema import RelationSchema, Value
+
+#: Operators recognized everywhere, in OPS5 spelling (``<>`` is not-equal).
+OPERATORS = ("=", "<>", "<", "<=", ">", ">=")
+
+_NEGATION = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_REVERSAL = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def negate_operator(op: str) -> str:
+    """Return the operator testing the complement of *op*."""
+    return _NEGATION[op]
+
+
+def reverse_operator(op: str) -> str:
+    """Return *op* with its operands swapped (``a < b`` -> ``b > a``)."""
+    return _REVERSAL[op]
+
+
+def _orderable(left: Value, right: Value) -> bool:
+    if left is None or right is None:
+        return False
+    left_numeric = isinstance(left, (int, float))
+    right_numeric = isinstance(right, (int, float))
+    if left_numeric != right_numeric:
+        return False
+    return True
+
+
+def compare(op: str, left: Value, right: Value) -> bool:
+    """Evaluate ``left op right`` under OPS5 semantics."""
+    if op == "=":
+        if isinstance(left, str) != isinstance(right, str):
+            return False
+        return left == right
+    if op == "<>":
+        return not compare("=", left, right)
+    if not _orderable(left, right):
+        return False
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise QueryError(f"unknown comparison operator {op!r}")
+
+
+class Predicate:
+    """Base class for boolean conditions over one row."""
+
+    def matches(self, schema: RelationSchema, values: tuple[Value, ...]) -> bool:
+        """Evaluate this predicate against one row."""
+        raise NotImplementedError
+
+    def attributes(self) -> set[str]:
+        """Attribute names this predicate reads (used by planners)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches every row."""
+
+    def matches(self, schema: RelationSchema, values: tuple[Value, ...]) -> bool:
+        return True
+
+    def attributes(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``attribute op constant``."""
+
+    attribute: str
+    op: str
+    value: Value
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, schema: RelationSchema, values: tuple[Value, ...]) -> bool:
+        return compare(self.op, values[schema.position(self.attribute)], self.value)
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+
+@dataclass(frozen=True)
+class Membership(Predicate):
+    """``attribute IN {values}`` — OPS5's ``<< a b c >>`` disjunction."""
+
+    attribute: str
+    values: tuple[Value, ...]
+
+    def matches(self, schema: RelationSchema, values: tuple[Value, ...]) -> bool:
+        actual = values[schema.position(self.attribute)]
+        return any(compare("=", actual, candidate) for candidate in self.values)
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+
+@dataclass(frozen=True)
+class AttributeComparison(Predicate):
+    """``left_attribute op right_attribute`` within one row."""
+
+    left: str
+    op: str
+    right: str
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, schema: RelationSchema, values: tuple[Value, ...]) -> bool:
+        return compare(
+            self.op,
+            values[schema.position(self.left)],
+            values[schema.position(self.right)],
+        )
+
+    def attributes(self) -> set[str]:
+        return {self.left, self.right}
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates; empty conjunction is true."""
+
+    parts: tuple[Predicate, ...]
+
+    def matches(self, schema: RelationSchema, values: tuple[Value, ...]) -> bool:
+        return all(part.matches(schema, values) for part in self.parts)
+
+    def attributes(self) -> set[str]:
+        result: set[str] = set()
+        for part in self.parts:
+            result |= part.attributes()
+        return result
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates; empty disjunction is false."""
+
+    parts: tuple[Predicate, ...]
+
+    def matches(self, schema: RelationSchema, values: tuple[Value, ...]) -> bool:
+        return any(part.matches(schema, values) for part in self.parts)
+
+    def attributes(self) -> set[str]:
+        result: set[str] = set()
+        for part in self.parts:
+            result |= part.attributes()
+        return result
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    part: Predicate
+
+    def matches(self, schema: RelationSchema, values: tuple[Value, ...]) -> bool:
+        return not self.part.matches(schema, values)
+
+    def attributes(self) -> set[str]:
+        return self.part.attributes()
+
+
+def conjunction(parts: Iterable[Predicate]) -> Predicate:
+    """Build the simplest predicate equivalent to ``AND(parts)``."""
+    flat: list[Predicate] = []
+    for part in parts:
+        if isinstance(part, TruePredicate):
+            continue
+        if isinstance(part, And):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return TruePredicate()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def compile_predicate(
+    predicate: Predicate, schema: RelationSchema
+) -> Callable[[tuple[Value, ...]], bool]:
+    """Bind *predicate* to *schema*, returning a fast row -> bool callable.
+
+    Attribute positions are resolved once here instead of per row, which
+    matters when a matcher scans large WM relations.
+    """
+    if isinstance(predicate, TruePredicate):
+        return lambda values: True
+    if isinstance(predicate, Comparison):
+        pos = schema.position(predicate.attribute)
+        op, const = predicate.op, predicate.value
+        return lambda values: compare(op, values[pos], const)
+    if isinstance(predicate, Membership):
+        pos = schema.position(predicate.attribute)
+        candidates = predicate.values
+        return lambda values: any(
+            compare("=", values[pos], c) for c in candidates
+        )
+    if isinstance(predicate, AttributeComparison):
+        left = schema.position(predicate.left)
+        right = schema.position(predicate.right)
+        op = predicate.op
+        return lambda values: compare(op, values[left], values[right])
+    if isinstance(predicate, And):
+        compiled = [compile_predicate(p, schema) for p in predicate.parts]
+        return lambda values: all(fn(values) for fn in compiled)
+    if isinstance(predicate, Or):
+        compiled = [compile_predicate(p, schema) for p in predicate.parts]
+        return lambda values: any(fn(values) for fn in compiled)
+    if isinstance(predicate, Not):
+        inner = compile_predicate(predicate.part, schema)
+        return lambda values: not inner(values)
+    raise QueryError(f"cannot compile predicate {predicate!r}")

@@ -1,0 +1,278 @@
+"""Seeded conjunctive-query evaluation (select-project-join).
+
+This is the query machinery behind the "simplified algorithm" of §4.1: the
+LHS of a rule is an ordinary conjunctive query over the WM relations, and
+every WM change re-evaluates the affected LHSs *seeded* with the changed
+tuple.  The evaluator here is strategy-neutral: it works on
+:class:`ConjunctSpec` descriptions, chooses a greedy join order (most-bound
+conjunct first — "the system will have to come up with optimal plans", §4.1.2),
+uses equality indexes where available, and supports negated conjuncts via
+NOT EXISTS semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.instrument import Counters
+from repro.storage.catalog import Catalog
+from repro.storage.predicate import Predicate, TruePredicate, compare, compile_predicate
+from repro.storage.schema import Value
+from repro.storage.tuples import StoredTuple
+
+#: A variable substitution produced during evaluation.
+Bindings = dict[str, Value]
+
+
+@dataclass(frozen=True)
+class VariableTest:
+    """A non-equality test between an attribute and a bound variable."""
+
+    attribute: str
+    op: str
+    variable: str
+
+
+@dataclass(frozen=True)
+class ConjunctSpec:
+    """One conjunct of a conjunctive query.
+
+    Attributes:
+        relation: WM relation the conjunct ranges over.
+        constant: Variable-free predicate restricting the relation.
+        equalities: ``{attribute: variable}`` equality bindings.  The first
+            conjunct mentioning a variable binds it; later mentions join.
+        residual: Non-equality variable tests (``attr < <x>`` style).
+        negated: When true the conjunct is satisfied by the *absence* of any
+            matching tuple (OPS5 ``-`` condition elements).
+    """
+
+    relation: str
+    constant: Predicate = field(default_factory=TruePredicate)
+    equalities: tuple[tuple[str, str], ...] = ()
+    residual: tuple[VariableTest, ...] = ()
+    negated: bool = False
+
+    def variables(self) -> set[str]:
+        """All variables this conjunct mentions."""
+        names = {var for _, var in self.equalities}
+        names |= {test.variable for test in self.residual}
+        return names
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One satisfying combination.
+
+    ``rows`` holds one :class:`StoredTuple` per *positive* conjunct, in the
+    original conjunct order; negated conjuncts contribute ``None``.
+    """
+
+    rows: tuple[StoredTuple | None, ...]
+    bindings: tuple[tuple[str, Value], ...]
+
+    def binding_map(self) -> Bindings:
+        """Bindings as a dictionary."""
+        return dict(self.bindings)
+
+
+#: A residual test whose variable was unbound when its row matched:
+#: (value from the matched row, operator, variable still to be bound).
+_Deferred = tuple[Value, str, str]
+
+
+def _match_conjunct(
+    spec: ConjunctSpec,
+    row: StoredTuple,
+    bindings: Bindings,
+    catalog: Catalog,
+    counters: Counters,
+) -> tuple[Bindings, list[_Deferred]] | None:
+    """Try to extend *bindings* so that *row* satisfies *spec*.
+
+    Returns ``(extended bindings, deferred residual tests)``, or ``None``
+    when the row fails a constant test, an equality join, or a residual
+    test whose variable is already bound.  Residual tests on not-yet-bound
+    variables are deferred to the caller, to be checked once some later
+    conjunct binds them.
+    """
+    table = catalog.get(spec.relation)
+    check = compile_predicate(spec.constant, table.schema)
+    counters.comparisons += 1
+    if not check(row.values):
+        return None
+    extended = dict(bindings)
+    for attribute, variable in spec.equalities:
+        value = row.values[table.schema.position(attribute)]
+        if variable in extended:
+            counters.comparisons += 1
+            if not compare("=", extended[variable], value):
+                return None
+        else:
+            extended[variable] = value
+    deferred: list[_Deferred] = []
+    for test in spec.residual:
+        value = row.values[table.schema.position(test.attribute)]
+        if test.variable not in extended:
+            deferred.append((value, test.op, test.variable))
+            continue
+        counters.comparisons += 1
+        if not compare(test.op, value, extended[test.variable]):
+            return None
+    return extended, deferred
+
+
+def _settle_deferred(
+    pending: list[_Deferred], bindings: Bindings, counters: Counters
+) -> list[_Deferred] | None:
+    """Check deferred tests whose variable is now bound.
+
+    Returns the still-pending subset, or ``None`` when a test fails.
+    """
+    remaining: list[_Deferred] = []
+    for value, op, variable in pending:
+        if variable in bindings:
+            counters.comparisons += 1
+            if not compare(op, value, bindings[variable]):
+                return None
+        else:
+            remaining.append((value, op, variable))
+    return remaining
+
+
+def _candidate_rows(
+    spec: ConjunctSpec, bindings: Bindings, catalog: Catalog
+) -> Iterator[StoredTuple]:
+    """Fetch candidate rows for *spec*, using bound equalities as probes."""
+    table = catalog.get(spec.relation)
+    probes = {
+        attribute: bindings[variable]
+        for attribute, variable in spec.equalities
+        if variable in bindings
+    }
+    if probes:
+        yield from table.select_eq(probes)
+    else:
+        yield from table.select(spec.constant)
+
+
+def _boundness(spec: ConjunctSpec, bound: set[str]) -> tuple[int, int]:
+    """Greedy ordering key: (-#bound equality vars, -#constant attrs)."""
+    bound_eqs = sum(1 for _, var in spec.equalities if var in bound)
+    constants = len(spec.constant.attributes())
+    return (-bound_eqs, -constants)
+
+
+def _order_remaining(
+    remaining: list[int], specs: list[ConjunctSpec], bound: set[str]
+) -> int:
+    """Pick the next conjunct index to evaluate.
+
+    Positive conjuncts are preferred over negated ones (a negated conjunct
+    is only safe once all its variables are bound), and among positives the
+    most-bound, most-restricted one goes first.
+    """
+
+    def key(i: int) -> tuple[int, tuple[int, int], int]:
+        spec = specs[i]
+        unsafe = int(spec.negated and not spec.variables() <= bound)
+        return (unsafe, _boundness(spec, bound), i)
+
+    return min(remaining, key=key)
+
+
+def evaluate(
+    specs: list[ConjunctSpec],
+    catalog: Catalog,
+    counters: Counters | None = None,
+    seed_index: int | None = None,
+    seed_row: StoredTuple | None = None,
+    seed_bindings: Bindings | None = None,
+) -> Iterator[QueryResult]:
+    """Enumerate all satisfying combinations of *specs*.
+
+    When *seed_index*/*seed_row* are given, the conjunct at that index is
+    pinned to the seed row — the §4.1.2 pattern of evaluating a rule LHS
+    "against" a newly inserted tuple.  *seed_bindings* pre-binds variables.
+
+    Negated conjuncts never contribute a row; they must find no match once
+    their variables are bound (NOT EXISTS).
+    """
+    counters = counters if counters is not None else Counters()
+    rows: list[StoredTuple | None] = [None] * len(specs)
+    bindings: Bindings = dict(seed_bindings or {})
+    remaining = list(range(len(specs)))
+    pending: list[_Deferred] = []
+
+    if seed_index is not None:
+        if seed_row is None:
+            raise QueryError("seed_index given without seed_row")
+        spec = specs[seed_index]
+        if spec.negated:
+            raise QueryError("cannot seed a negated conjunct with a row")
+        seeded = _match_conjunct(spec, seed_row, bindings, catalog, counters)
+        if seeded is None:
+            return
+        bindings, pending = seeded
+        rows[seed_index] = seed_row
+        remaining.remove(seed_index)
+
+    yield from _evaluate_rest(
+        specs, remaining, rows, bindings, pending, catalog, counters
+    )
+
+
+def _evaluate_rest(
+    specs: list[ConjunctSpec],
+    remaining: list[int],
+    rows: list[StoredTuple | None],
+    bindings: Bindings,
+    pending: list[_Deferred],
+    catalog: Catalog,
+    counters: Counters,
+) -> Iterator[QueryResult]:
+    if not remaining:
+        if pending:
+            unbound = sorted({variable for _, _, variable in pending})
+            raise QueryError(
+                f"residual tests on variables {unbound} that no conjunct "
+                "binds with '='"
+            )
+        yield QueryResult(
+            rows=tuple(rows), bindings=tuple(sorted(bindings.items()))
+        )
+        return
+    bound = set(bindings)
+    index = _order_remaining(remaining, specs, bound)
+    spec = specs[index]
+    rest = [i for i in remaining if i != index]
+    if spec.negated:
+        if not spec.variables() <= bound:
+            raise QueryError(
+                f"negated conjunct on {spec.relation!r} has variables not "
+                "bound by any positive conjunct"
+            )
+        counters.joins_computed += 1
+        for row in _candidate_rows(spec, bindings, catalog):
+            if _match_conjunct(spec, row, bindings, catalog, counters) is not None:
+                return  # a witness exists; NOT EXISTS fails
+        yield from _evaluate_rest(
+            specs, rest, rows, bindings, pending, catalog, counters
+        )
+        return
+    counters.joins_computed += 1
+    for row in _candidate_rows(spec, bindings, catalog):
+        matched = _match_conjunct(spec, row, bindings, catalog, counters)
+        if matched is None:
+            continue
+        extended, deferred = matched
+        still_pending = _settle_deferred(pending + deferred, extended, counters)
+        if still_pending is None:
+            continue
+        rows[index] = row
+        yield from _evaluate_rest(
+            specs, rest, rows, extended, still_pending, catalog, counters
+        )
+        rows[index] = None

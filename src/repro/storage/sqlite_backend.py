@@ -1,0 +1,199 @@
+"""SQLite-backed tables.
+
+§3.2 of the paper argues that a "straightforward implementation" of the Rete
+network in a DBMS offers "simplicity and re-usability of existing
+technology".  This backend demonstrates exactly that path: the same
+:class:`~repro.storage.table.Table` interface realized on the stdlib
+``sqlite3`` module, so any match strategy can persist its WM relations and
+memories in a real relational engine.
+
+Values are stored natively (SQLite is dynamically typed like OPS5 working
+memory); ``None`` maps to SQL NULL.  Because SQL's NULL never compares equal
+while OPS5's ``nil`` does, equality probes against ``None`` use ``IS NULL``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterator
+
+from repro.errors import StorageError
+from repro.instrument import Counters
+from repro.storage.schema import RelationSchema, Value
+from repro.storage.table import Table, TimetagClock
+from repro.storage.tuples import StoredTuple
+
+_SQL_IDENT_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def _quote_ident(name: str) -> str:
+    """Return *name* as a safe, quoted SQL identifier."""
+    if '"' in name:
+        raise StorageError(f"identifier {name!r} contains a double quote")
+    return f'"{name}"'
+
+
+class SqliteTable(Table):
+    """A table stored in a SQLite database (one SQL table + marker table)."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        clock: TimetagClock | None = None,
+        counters: Counters | None = None,
+        connection: sqlite3.Connection | None = None,
+    ) -> None:
+        super().__init__(schema, clock, counters)
+        self._conn = connection or sqlite3.connect(
+            ":memory:", isolation_level=None
+        )
+        self._owns_connection = connection is None
+        self._table = _quote_ident(f"t_{schema.name}")
+        self._marker_table = _quote_ident(f"m_{schema.name}")
+        self._columns = [_quote_ident(f"a_{a}") for a in schema.attributes]
+        self._indexed: set[str] = set()
+        columns_sql = ", ".join(f"{c} BLOB" for c in self._columns)
+        self._conn.execute(
+            f"CREATE TABLE IF NOT EXISTS {self._table} "
+            f"(tid INTEGER PRIMARY KEY AUTOINCREMENT, "
+            f"timetag INTEGER, {columns_sql})"
+        )
+        self._conn.execute(
+            f"CREATE TABLE IF NOT EXISTS {self._marker_table} "
+            "(tid INTEGER, marker TEXT, PRIMARY KEY (tid, marker))"
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _row_from_sql(self, record: tuple) -> StoredTuple:
+        tid, timetag, *values = record
+        self.counters.tuple_reads += 1
+        return StoredTuple(
+            relation=self.schema.name,
+            tid=tid,
+            timetag=timetag,
+            values=tuple(values),
+        )
+
+    def _column(self, attribute: str) -> str:
+        self.schema.position(attribute)  # validates the name
+        return _quote_ident(f"a_{attribute}")
+
+    # -- Table primitives ----------------------------------------------------
+
+    def insert(self, values: tuple[Value, ...]) -> StoredTuple:
+        self.schema.validate_row(values)
+        timetag = self.clock.tick()
+        placeholders = ", ".join("?" for _ in range(self.schema.arity + 1))
+        cursor = self._conn.execute(
+            f"INSERT INTO {self._table} "
+            f"(timetag, {', '.join(self._columns)}) VALUES ({placeholders})",
+            (timetag, *values),
+        )
+        self.counters.tuple_writes += 1
+        return StoredTuple(
+            relation=self.schema.name,
+            tid=cursor.lastrowid,
+            timetag=timetag,
+            values=tuple(values),
+        )
+
+    def delete(self, tid: int) -> StoredTuple:
+        row = self.get(tid)
+        self._conn.execute(f"DELETE FROM {self._table} WHERE tid = ?", (tid,))
+        self._conn.execute(
+            f"DELETE FROM {self._marker_table} WHERE tid = ?", (tid,)
+        )
+        self.counters.tuple_writes += 1
+        return row
+
+    def get(self, tid: int) -> StoredTuple:
+        record = self._conn.execute(
+            f"SELECT tid, timetag, {', '.join(self._columns)} "
+            f"FROM {self._table} WHERE tid = ?",
+            (tid,),
+        ).fetchone()
+        if record is None:
+            raise StorageError(
+                f"relation {self.schema.name!r} has no tuple #{tid}"
+            )
+        return self._row_from_sql(record)
+
+    def scan(self) -> Iterator[StoredTuple]:
+        cursor = self._conn.execute(
+            f"SELECT tid, timetag, {', '.join(self._columns)} "
+            f"FROM {self._table} ORDER BY tid"
+        )
+        for record in cursor.fetchall():
+            yield self._row_from_sql(record)
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute(
+            f"SELECT COUNT(*) FROM {self._table}"
+        ).fetchone()
+        return count
+
+    def create_index(self, attribute: str) -> None:
+        column = self._column(attribute)
+        index_name = _quote_ident(f"ix_{self.schema.name}_{attribute}")
+        self._conn.execute(
+            f"CREATE INDEX IF NOT EXISTS {index_name} "
+            f"ON {self._table} ({column})"
+        )
+        self._indexed.add(attribute)
+
+    def indexed_attributes(self) -> set[str]:
+        return set(self._indexed)
+
+    def lookup(self, attribute: str, value: Value) -> Iterator[StoredTuple]:
+        column = self._column(attribute)
+        self.counters.index_lookups += 1
+        if value is None:
+            where, params = f"{column} IS NULL", ()
+        else:
+            where, params = f"{column} = ?", (value,)
+        cursor = self._conn.execute(
+            f"SELECT tid, timetag, {', '.join(self._columns)} "
+            f"FROM {self._table} WHERE {where} ORDER BY tid",
+            params,
+        )
+        for record in cursor.fetchall():
+            row = self._row_from_sql(record)
+            # SQLite compares 1 and 1.0 equal and is case-sensitive for
+            # text, matching repro semantics; but it also treats the blob
+            # b'x' distinctly, which we never store.  A str/number probe
+            # mismatch cannot match in SQLite, so no post-filter is needed.
+            yield row
+
+    # -- markers -------------------------------------------------------------
+
+    def add_marker(self, tid: int, marker: str) -> None:
+        self.get(tid)
+        self._conn.execute(
+            f"INSERT OR IGNORE INTO {self._marker_table} (tid, marker) "
+            "VALUES (?, ?)",
+            (tid, marker),
+        )
+
+    def remove_marker(self, tid: int, marker: str) -> None:
+        self._conn.execute(
+            f"DELETE FROM {self._marker_table} WHERE tid = ? AND marker = ?",
+            (tid, marker),
+        )
+
+    def markers(self, tid: int) -> frozenset[str]:
+        rows = self._conn.execute(
+            f"SELECT marker FROM {self._marker_table} WHERE tid = ?", (tid,)
+        ).fetchall()
+        return frozenset(marker for (marker,) in rows)
+
+    def marker_count(self) -> int:
+        (count,) = self._conn.execute(
+            f"SELECT COUNT(*) FROM {self._marker_table}"
+        ).fetchone()
+        return count
+
+    def close(self) -> None:
+        """Close the connection when this table owns it."""
+        if self._owns_connection:
+            self._conn.close()

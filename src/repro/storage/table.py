@@ -1,0 +1,275 @@
+"""Table interface and the in-memory backend.
+
+A :class:`Table` is the storage abstraction every higher layer builds on:
+WM relations, the LEFT/RIGHT memories of the DBMS Rete (§3.2), and the COND
+relations of §4.1/§4.2 are all Tables.  The in-memory backend keeps rows in
+a dict keyed by tuple id and maintains optional hash indexes per attribute;
+:mod:`repro.storage.sqlite_backend` provides the same interface on SQLite.
+
+Tables also carry per-tuple *marker* sets, the mechanism behind the Basic
+Locking rule-indexing scheme the paper contrasts with (§2.3, [STON86a]):
+markers name the conditions whose read set includes the tuple.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import StorageError
+from repro.instrument import Counters
+from repro.storage.predicate import Predicate, compile_predicate
+from repro.storage.schema import RelationSchema, Value
+from repro.storage.tuples import StoredTuple
+
+
+class TimetagClock:
+    """Monotone counter handing out OPS5 timetags across relations."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def tick(self) -> int:
+        """Return the next timetag."""
+        self._next += 1
+        return self._next
+
+    def advance_to(self, value: int) -> None:
+        """Ensure future timetags exceed *value* (persistent reopen)."""
+        self._next = max(self._next, value)
+
+    @property
+    def current(self) -> int:
+        """The most recently issued timetag (0 before any tick)."""
+        return self._next
+
+
+class Table:
+    """Abstract table; subclasses implement the storage primitives."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        clock: TimetagClock | None = None,
+        counters: Counters | None = None,
+    ) -> None:
+        self.schema = schema
+        self.clock = clock or TimetagClock()
+        self.counters = counters or Counters()
+
+    # -- primitives every backend implements -------------------------------
+
+    def insert(self, values: tuple[Value, ...]) -> StoredTuple:
+        """Store a new row; return it with fresh tid and timetag."""
+        raise NotImplementedError
+
+    def delete(self, tid: int) -> StoredTuple:
+        """Remove and return the row with id *tid*."""
+        raise NotImplementedError
+
+    def get(self, tid: int) -> StoredTuple:
+        """Return the row with id *tid*."""
+        raise NotImplementedError
+
+    def scan(self) -> Iterator[StoredTuple]:
+        """Yield every stored row (order unspecified but deterministic)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def create_index(self, attribute: str) -> None:
+        """Build (or re-build) an equality index on *attribute*."""
+        raise NotImplementedError
+
+    def indexed_attributes(self) -> set[str]:
+        """Attributes with an equality index available."""
+        raise NotImplementedError
+
+    def lookup(self, attribute: str, value: Value) -> Iterator[StoredTuple]:
+        """Yield rows whose *attribute* equals *value*.
+
+        Uses the index when one exists, otherwise scans.
+        """
+        raise NotImplementedError
+
+    # -- markers (Basic Locking, §2.3) --------------------------------------
+
+    def add_marker(self, tid: int, marker: str) -> None:
+        """Attach *marker* (a condition id) to tuple *tid*."""
+        raise NotImplementedError
+
+    def remove_marker(self, tid: int, marker: str) -> None:
+        """Detach *marker* from tuple *tid* (no-op when absent)."""
+        raise NotImplementedError
+
+    def markers(self, tid: int) -> frozenset[str]:
+        """Return the marker set of tuple *tid*."""
+        raise NotImplementedError
+
+    def marker_count(self) -> int:
+        """Total marker entries across all tuples (space accounting)."""
+        raise NotImplementedError
+
+    # -- derived operations shared by all backends --------------------------
+
+    def insert_mapping(self, mapping: dict[str, Value]) -> StoredTuple:
+        """Insert a row given ``{attribute: value}``."""
+        return self.insert(self.schema.row_from_mapping(mapping))
+
+    def select(self, predicate: Predicate) -> Iterator[StoredTuple]:
+        """Yield rows satisfying *predicate* (naive scan fallback)."""
+        self.counters.scans += 1
+        check = compile_predicate(predicate, self.schema)
+        for row in self.scan():
+            self.counters.comparisons += 1
+            if check(row.values):
+                yield row
+
+    def select_eq(self, pairs: dict[str, Value]) -> Iterator[StoredTuple]:
+        """Yield rows matching every ``attribute = value`` in *pairs*.
+
+        Prefers the most selective available index, then filters the rest.
+        """
+        if not pairs:
+            yield from self.scan()
+            return
+        indexed = [a for a in pairs if a in self.indexed_attributes()]
+        if indexed:
+            probe = indexed[0]
+            rest = {a: v for a, v in pairs.items() if a != probe}
+            candidates: Iterable[StoredTuple] = self.lookup(probe, pairs[probe])
+        else:
+            rest = dict(pairs)
+            self.counters.scans += 1
+            candidates = self.scan()
+        positions = {a: self.schema.position(a) for a in rest}
+        for row in candidates:
+            self.counters.comparisons += len(rest)
+            if all(row.values[positions[a]] == v for a, v in rest.items()):
+                yield row
+
+    def clear(self) -> None:
+        """Delete every row."""
+        for row in list(self.scan()):
+            self.delete(row.tid)
+
+
+class MemoryTable(Table):
+    """Dict-backed table with per-attribute hash indexes."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        clock: TimetagClock | None = None,
+        counters: Counters | None = None,
+    ) -> None:
+        super().__init__(schema, clock, counters)
+        self._rows: dict[int, StoredTuple] = {}
+        self._next_tid = 0
+        self._indexes: dict[str, dict[Value, set[int]]] = {}
+        self._markers: dict[int, set[str]] = {}
+        self._marker_total = 0
+
+    def insert(self, values: tuple[Value, ...]) -> StoredTuple:
+        self.schema.validate_row(values)
+        self._next_tid += 1
+        row = StoredTuple(
+            relation=self.schema.name,
+            tid=self._next_tid,
+            timetag=self.clock.tick(),
+            values=tuple(values),
+        )
+        self._rows[row.tid] = row
+        for attribute, index in self._indexes.items():
+            pos = self.schema.position(attribute)
+            index.setdefault(values[pos], set()).add(row.tid)
+        self.counters.tuple_writes += 1
+        return row
+
+    def delete(self, tid: int) -> StoredTuple:
+        try:
+            row = self._rows.pop(tid)
+        except KeyError:
+            raise StorageError(
+                f"relation {self.schema.name!r} has no tuple #{tid}"
+            ) from None
+        for attribute, index in self._indexes.items():
+            pos = self.schema.position(attribute)
+            bucket = index.get(row.values[pos])
+            if bucket is not None:
+                bucket.discard(tid)
+                if not bucket:
+                    del index[row.values[pos]]
+        dropped = self._markers.pop(tid, None)
+        if dropped:
+            self._marker_total -= len(dropped)
+        self.counters.tuple_writes += 1
+        return row
+
+    def get(self, tid: int) -> StoredTuple:
+        try:
+            row = self._rows[tid]
+        except KeyError:
+            raise StorageError(
+                f"relation {self.schema.name!r} has no tuple #{tid}"
+            ) from None
+        self.counters.tuple_reads += 1
+        return row
+
+    def scan(self) -> Iterator[StoredTuple]:
+        for row in list(self._rows.values()):
+            self.counters.tuple_reads += 1
+            yield row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def create_index(self, attribute: str) -> None:
+        pos = self.schema.position(attribute)
+        index: dict[Value, set[int]] = {}
+        for row in self._rows.values():
+            index.setdefault(row.values[pos], set()).add(row.tid)
+        self._indexes[attribute] = index
+
+    def indexed_attributes(self) -> set[str]:
+        return set(self._indexes)
+
+    def lookup(self, attribute: str, value: Value) -> Iterator[StoredTuple]:
+        index = self._indexes.get(attribute)
+        if index is None:
+            pos = self.schema.position(attribute)
+            self.counters.scans += 1
+            for row in list(self._rows.values()):
+                self.counters.tuple_reads += 1
+                self.counters.comparisons += 1
+                if row.values[pos] == value:
+                    yield row
+            return
+        self.counters.index_lookups += 1
+        for tid in sorted(index.get(value, ())):
+            row = self._rows.get(tid)
+            if row is not None:
+                self.counters.tuple_reads += 1
+                yield row
+
+    def add_marker(self, tid: int, marker: str) -> None:
+        if tid not in self._rows:
+            raise StorageError(
+                f"relation {self.schema.name!r} has no tuple #{tid}"
+            )
+        bucket = self._markers.setdefault(tid, set())
+        if marker not in bucket:
+            bucket.add(marker)
+            self._marker_total += 1
+
+    def remove_marker(self, tid: int, marker: str) -> None:
+        bucket = self._markers.get(tid)
+        if bucket and marker in bucket:
+            bucket.discard(marker)
+            self._marker_total -= 1
+
+    def markers(self, tid: int) -> frozenset[str]:
+        return frozenset(self._markers.get(tid, ()))
+
+    def marker_count(self) -> int:
+        return self._marker_total

@@ -1,0 +1,55 @@
+"""Transactional concurrent execution of conflict sets (§5 of the paper)."""
+
+from repro.txn.locks import (
+    LockManager,
+    LockRequest,
+    relation_target,
+    tuple_target,
+)
+from repro.txn.scheduler import (
+    POLICIES,
+    ConcurrentRunResult,
+    ConcurrentScheduler,
+    RoundStats,
+)
+from repro.txn.serializability import (
+    History,
+    Operation,
+    conflict_graph,
+    count_equivalent_serial_orders,
+    equivalent_serial_order,
+    is_serializable,
+)
+from repro.txn.transactions import (
+    ABORTED,
+    BLOCKED,
+    COMMITTED,
+    READY,
+    SKIPPED,
+    RuleTransaction,
+    plan_locks,
+)
+
+__all__ = [
+    "ABORTED",
+    "BLOCKED",
+    "COMMITTED",
+    "ConcurrentRunResult",
+    "ConcurrentScheduler",
+    "History",
+    "LockManager",
+    "LockRequest",
+    "Operation",
+    "POLICIES",
+    "READY",
+    "RoundStats",
+    "RuleTransaction",
+    "SKIPPED",
+    "conflict_graph",
+    "count_equivalent_serial_orders",
+    "equivalent_serial_order",
+    "is_serializable",
+    "plan_locks",
+    "relation_target",
+    "tuple_target",
+]

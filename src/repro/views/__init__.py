@@ -1,0 +1,14 @@
+"""Triggers, alerters, and materialized views built on the match layer."""
+
+from repro.views.matview import MaterializedView, ViewManager, ViewStats
+from repro.views.triggers import Alert, Trigger, TriggerCallback, TriggerManager
+
+__all__ = [
+    "Alert",
+    "MaterializedView",
+    "Trigger",
+    "TriggerCallback",
+    "TriggerManager",
+    "ViewManager",
+    "ViewStats",
+]

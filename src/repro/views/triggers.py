@@ -1,0 +1,177 @@
+"""Triggers and alerters over working memory (§2.3 of the paper).
+
+"A trigger is a condition and an associated action to be executed if the
+database comes to a state that makes the condition true.  An alerter is a
+trigger that sends a message to a user or an application program if its
+condition is met."
+
+A :class:`TriggerManager` compiles trigger conditions (ordinary rule LHSs)
+with any match strategy and invokes Python callbacks when a condition
+becomes satisfied (an ``add`` trigger) or stops being satisfied (a
+``delete`` trigger) — Buneman & Clemons' two trigger classes.  Because the
+condition machinery is the production-system matcher, this demonstrates the
+paper's point that "the problem of identifying applicable rules is the same
+as the problems of supporting triggers and materialized views".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.engine.conflict import Instantiation
+from repro.engine.wm import WorkingMemory
+from repro.errors import RuleError
+from repro.instrument import Counters
+from repro.lang.analysis import analyze_rule
+from repro.lang.ast import ConditionElement, Rule
+from repro.lang.parser import parse_program
+from repro.match import STRATEGIES, MatchStrategy
+
+#: Callback invoked with the satisfying (or no-longer-satisfying) match.
+TriggerCallback = Callable[[Instantiation], None]
+
+
+@dataclass
+class Trigger:
+    """One registered trigger."""
+
+    name: str
+    rule: Rule
+    on_satisfied: TriggerCallback | None = None
+    on_violated: TriggerCallback | None = None
+    fired: int = 0
+    cleared: int = 0
+
+
+@dataclass
+class Alert:
+    """A message produced by an alerter."""
+
+    trigger: str
+    kind: str  # "satisfied" or "violated"
+    instantiation: Instantiation
+
+    def __str__(self) -> str:
+        return f"[{self.trigger}] {self.kind}: {self.instantiation}"
+
+
+class TriggerManager:
+    """Monitors trigger conditions against a WorkingMemory."""
+
+    def __init__(
+        self,
+        wm: WorkingMemory,
+        strategy: str | type[MatchStrategy] = "patterns",
+        counters: Counters | None = None,
+    ) -> None:
+        self.wm = wm
+        self.counters = counters or wm.counters
+        self._strategy_cls = (
+            STRATEGIES[strategy] if isinstance(strategy, str) else strategy
+        )
+        self._triggers: dict[str, Trigger] = {}
+        self._strategies: dict[str, MatchStrategy] = {}
+        self.alerts: list[Alert] = []
+
+    # -- registration --------------------------------------------------------
+
+    def define(
+        self,
+        name: str,
+        condition: str | list[ConditionElement],
+        on_satisfied: TriggerCallback | None = None,
+        on_violated: TriggerCallback | None = None,
+    ) -> Trigger:
+        """Register a trigger.
+
+        *condition* is OPS5 LHS text (one or more condition elements, e.g.
+        ``"(Emp ^salary > 1000) -(Audit ^dno <D>)"`` — note any variables
+        must obey rule scoping) or a list of pre-built condition elements.
+        """
+        if name in self._triggers:
+            raise RuleError(f"trigger {name!r} already defined")
+        ces = (
+            self._parse_condition(name, condition)
+            if isinstance(condition, str)
+            else tuple(condition)
+        )
+        rule = Rule(name=f"__trigger_{name}", condition_elements=ces)
+        trigger = Trigger(
+            name=name,
+            rule=rule,
+            on_satisfied=on_satisfied,
+            on_violated=on_violated,
+        )
+        analysis = analyze_rule(rule, self.wm.schemas)
+        strategy = self._strategy_cls(
+            self.wm, {rule.name: analysis}, counters=self.counters
+        )
+        strategy.conflict_set.add_listener(
+            lambda inst, t=trigger: self._satisfied(t, inst),
+            lambda inst, t=trigger: self._violated(t, inst),
+        )
+        # Replay of pre-existing WM content happened inside the strategy
+        # constructor, before the listener attached; fire for those now.
+        for instantiation in strategy.conflict_set:
+            self._satisfied(trigger, instantiation)
+        self._triggers[name] = trigger
+        self._strategies[name] = strategy
+        return trigger
+
+    def define_alerter(
+        self, name: str, condition: str | list[ConditionElement]
+    ) -> Trigger:
+        """A trigger whose action is appending to :attr:`alerts`."""
+        return self.define(
+            name,
+            condition,
+            on_satisfied=lambda inst: self.alerts.append(
+                Alert(name, "satisfied", inst)
+            ),
+            on_violated=lambda inst: self.alerts.append(
+                Alert(name, "violated", inst)
+            ),
+        )
+
+    def drop(self, name: str) -> None:
+        """Unregister a trigger and stop monitoring its condition."""
+        trigger = self._triggers.pop(name, None)
+        if trigger is None:
+            raise RuleError(f"no trigger named {name!r}")
+        self._strategies.pop(name).detach()
+
+    def _parse_condition(
+        self, name: str, text: str
+    ) -> tuple[ConditionElement, ...]:
+        program = parse_program(f"(p __trigger_{name} {text} --> (halt))")
+        return program.rules[0].condition_elements
+
+    # -- callbacks --------------------------------------------------------------
+
+    def _satisfied(self, trigger: Trigger, instantiation: Instantiation) -> None:
+        trigger.fired += 1
+        if trigger.on_satisfied is not None:
+            trigger.on_satisfied(instantiation)
+
+    def _violated(self, trigger: Trigger, instantiation: Instantiation) -> None:
+        trigger.cleared += 1
+        if trigger.on_violated is not None:
+            trigger.on_violated(instantiation)
+
+    # -- introspection --------------------------------------------------------------
+
+    def triggers(self) -> list[str]:
+        """Names of registered triggers."""
+        return list(self._triggers)
+
+    def trigger(self, name: str) -> Trigger:
+        """Look up one trigger."""
+        try:
+            return self._triggers[name]
+        except KeyError:
+            raise RuleError(f"no trigger named {name!r}") from None
+
+    def satisfied_matches(self, name: str) -> list[Instantiation]:
+        """Current matches of a trigger's condition."""
+        return self._strategies[self.trigger(name).name].instantiations()

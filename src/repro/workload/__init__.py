@@ -1,0 +1,39 @@
+"""Workload generation: the paper's example programs + synthetic families."""
+
+from repro.workload.generator import (
+    GeneratedWorkload,
+    WorkloadSpec,
+    generate_insert_stream,
+    generate_program,
+    generate_workload,
+    mixed_stream,
+)
+from repro.workload.programs import (
+    EXAMPLE2_SOURCE,
+    EXAMPLE3_SOURCE,
+    EXAMPLE4_SOURCE,
+    EXAMPLE5_INSERTS,
+    chain_program,
+    contended_rules_program,
+    counter_program,
+    independent_rules_program,
+    monkey_bananas_program,
+)
+
+__all__ = [
+    "EXAMPLE2_SOURCE",
+    "EXAMPLE3_SOURCE",
+    "EXAMPLE4_SOURCE",
+    "EXAMPLE5_INSERTS",
+    "GeneratedWorkload",
+    "WorkloadSpec",
+    "chain_program",
+    "contended_rules_program",
+    "counter_program",
+    "generate_insert_stream",
+    "generate_program",
+    "generate_workload",
+    "independent_rules_program",
+    "mixed_stream",
+    "monkey_bananas_program",
+]

@@ -1,0 +1,182 @@
+"""Synthetic rule-base and WM-stream generation.
+
+The paper's implicit workload parameters — number of rules, number of WM
+classes, join arity of the LHSs, selectivity of the variable-free tests,
+and how much conditions overlap across rules — are all knobs of
+:class:`WorkloadSpec`.  Generation is fully seeded, so every benchmark run
+is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.lang.ast import Program, Rule
+from repro.lang.builder import RuleBuilder, test, var
+from repro.storage.schema import RelationSchema, Value
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic production-system workload.
+
+    Attributes:
+        classes: Number of WM classes (relations).
+        attributes: Attributes per class (``a0`` is the join attribute).
+        rules: Number of productions.
+        min_conditions / max_conditions: LHS size range; adjacent
+            conditions chain-join on ``a0``.
+        constant_probability: Chance a condition carries an equality test
+            on ``a1`` (selectivity knob).
+        comparison_probability: Chance of an extra ``>`` test on ``a2``.
+        negation_probability: Chance a non-first condition is negated.
+        domain: Attribute values are drawn from ``0..domain-1``.
+        shared_condition_pool: When > 0, conditions are drawn from a pool
+            of this size so rules overlap (the §3.2 sharing/MQO knob).
+        seed: RNG seed.
+    """
+
+    classes: int = 4
+    attributes: int = 3
+    rules: int = 10
+    min_conditions: int = 1
+    max_conditions: int = 3
+    constant_probability: float = 0.7
+    comparison_probability: float = 0.2
+    negation_probability: float = 0.0
+    domain: int = 8
+    shared_condition_pool: int = 0
+    seed: int = 0
+
+    def class_name(self, index: int) -> str:
+        return f"K{index}"
+
+    def attribute_name(self, index: int) -> str:
+        return f"a{index}"
+
+
+@dataclass
+class GeneratedWorkload:
+    """A generated program plus its spec (for labeling bench rows)."""
+
+    spec: WorkloadSpec
+    program: Program
+    insert_stream: list[tuple[str, tuple[Value, ...]]] = field(
+        default_factory=list
+    )
+
+
+def _schemas(spec: WorkloadSpec) -> dict[str, RelationSchema]:
+    return {
+        spec.class_name(i): RelationSchema(
+            spec.class_name(i),
+            tuple(spec.attribute_name(j) for j in range(spec.attributes)),
+        )
+        for i in range(spec.classes)
+    }
+
+
+def _condition_choices(
+    spec: WorkloadSpec, rng: random.Random
+) -> list[tuple[str, dict]]:
+    """Pre-draw a pool of (class, extra tests) condition skeletons."""
+    pool_size = spec.shared_condition_pool or 10_000
+    pool: list[tuple[str, dict]] = []
+    for _ in range(min(pool_size, 10_000) if spec.shared_condition_pool else 0):
+        pool.append(_draw_condition(spec, rng))
+    return pool
+
+
+def _draw_condition(spec: WorkloadSpec, rng: random.Random) -> tuple[str, dict]:
+    class_name = spec.class_name(rng.randrange(spec.classes))
+    extras: dict = {}
+    if spec.attributes >= 2 and rng.random() < spec.constant_probability:
+        extras[spec.attribute_name(1)] = rng.randrange(spec.domain)
+    if spec.attributes >= 3 and rng.random() < spec.comparison_probability:
+        extras[spec.attribute_name(2)] = test(">", rng.randrange(spec.domain))
+    return class_name, extras
+
+
+def generate_program(spec: WorkloadSpec) -> GeneratedWorkload:
+    """Generate the schemas and rules of *spec* (no WM stream yet)."""
+    rng = random.Random(spec.seed)
+    schemas = _schemas(spec)
+    pool = _condition_choices(spec, rng)
+    rules: list[Rule] = []
+    for rule_index in range(spec.rules):
+        count = rng.randint(spec.min_conditions, spec.max_conditions)
+        builder = RuleBuilder(f"rule{rule_index}")
+        for position in range(count):
+            if pool:
+                class_name, extras = pool[rng.randrange(len(pool))]
+            else:
+                class_name, extras = _draw_condition(spec, rng)
+            attrs = dict(extras)
+            # Chain join: every condition binds the shared variable <j>.
+            attrs[spec.attribute_name(0)] = var("j")
+            negated = (
+                position > 0 and rng.random() < spec.negation_probability
+            )
+            if negated:
+                builder.unless(class_name, **attrs)
+            else:
+                builder.when(class_name, **attrs)
+        builder.remove(1)
+        rules.append(builder.build())
+    program = Program(schemas=schemas, rules=rules)
+    return GeneratedWorkload(spec=spec, program=program)
+
+
+def generate_insert_stream(
+    spec: WorkloadSpec,
+    count: int,
+    seed: int | None = None,
+) -> list[tuple[str, tuple[Value, ...]]]:
+    """A stream of *count* tuple insertions matching the spec's domains."""
+    rng = random.Random(spec.seed + 1 if seed is None else seed)
+    stream: list[tuple[str, tuple[Value, ...]]] = []
+    for _ in range(count):
+        class_name = spec.class_name(rng.randrange(spec.classes))
+        values = tuple(
+            rng.randrange(spec.domain) for _ in range(spec.attributes)
+        )
+        stream.append((class_name, values))
+    return stream
+
+
+def generate_workload(
+    spec: WorkloadSpec, stream_length: int = 200
+) -> GeneratedWorkload:
+    """Program plus insert stream in one call."""
+    workload = generate_program(spec)
+    workload.insert_stream = generate_insert_stream(spec, stream_length)
+    return workload
+
+
+def mixed_stream(
+    spec: WorkloadSpec,
+    count: int,
+    delete_fraction: float = 0.3,
+    seed: int | None = None,
+) -> list[tuple[str, object]]:
+    """A stream of ("insert", (class, values)) / ("delete", index) events.
+
+    Delete events reference the i-th still-live insert by position, letting
+    the driver resolve actual tuple ids at run time.
+    """
+    rng = random.Random((spec.seed + 2) if seed is None else seed)
+    events: list[tuple[str, object]] = []
+    live = 0
+    for _ in range(count):
+        if live > 0 and rng.random() < delete_fraction:
+            events.append(("delete", rng.randrange(live)))
+            live -= 1
+        else:
+            class_name = spec.class_name(rng.randrange(spec.classes))
+            values = tuple(
+                rng.randrange(spec.domain) for _ in range(spec.attributes)
+            )
+            events.append(("insert", (class_name, values)))
+            live += 1
+    return events

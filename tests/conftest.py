@@ -1,0 +1,31 @@
+"""Shared fixtures: the paper's example programs as parse-ready sources.
+
+The sources themselves live in :mod:`repro.workload.programs` so library
+users get them too; the fixtures just re-export them for tests.
+"""
+
+import pytest
+
+from repro.workload.programs import (
+    EXAMPLE2_SOURCE,
+    EXAMPLE3_SOURCE,
+    EXAMPLE4_SOURCE,
+)
+
+
+@pytest.fixture
+def example2_source():
+    """Example 2 (§3.1): PlusOX/TimesOX algebraic simplification."""
+    return EXAMPLE2_SOURCE
+
+
+@pytest.fixture
+def example3_source():
+    """Example 3 (§3.2): the employee deletion rules R1/R2."""
+    return EXAMPLE3_SOURCE
+
+
+@pytest.fixture
+def example4_source():
+    """Example 4 (§4.2.1): the cyclic three-way join Rule-1."""
+    return EXAMPLE4_SOURCE

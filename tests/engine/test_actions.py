@@ -1,0 +1,170 @@
+"""RHS action execution tests."""
+
+import pytest
+
+from repro.engine import (
+    ActionExecutor,
+    Instantiation,
+    WorkingMemory,
+    evaluate_expression,
+)
+from repro.errors import ExecutionError
+from repro.lang import analyze_rule, parse_program
+from repro.lang.ast import ComputeExpr, ConstExpr, VarExpr
+from repro.storage import RelationSchema
+
+SCHEMAS = {
+    "Emp": RelationSchema("Emp", ("name", "salary")),
+    "Log": RelationSchema("Log", ("msg",)),
+}
+
+
+def setup(rule_source):
+    program = parse_program(rule_source)
+    schemas = dict(SCHEMAS)
+    schemas.update(program.schemas)
+    analysis = analyze_rule(program.rules[0], schemas)
+    wm = WorkingMemory(schemas)
+    executor = ActionExecutor(wm)
+    return analysis, wm, executor
+
+
+def instantiate(analysis, wmes, bindings=()):
+    return Instantiation(
+        rule_name=analysis.name, wmes=tuple(wmes), bindings=tuple(bindings)
+    )
+
+
+class TestEvaluateExpression:
+    def test_constant(self):
+        assert evaluate_expression(ConstExpr(5), {}) == 5
+
+    def test_variable(self):
+        assert evaluate_expression(VarExpr("x"), {"x": "hi"}) == "hi"
+
+    def test_unbound_variable(self):
+        with pytest.raises(ExecutionError, match="unbound"):
+            evaluate_expression(VarExpr("x"), {})
+
+    def test_compute(self):
+        expr = ComputeExpr("+", VarExpr("x"), ConstExpr(2))
+        assert evaluate_expression(expr, {"x": 3}) == 5
+
+    @pytest.mark.parametrize(
+        "op,expected", [("+", 7), ("-", 3), ("*", 10), ("/", 2.5), ("mod", 1)]
+    )
+    def test_arithmetic_operators(self, op, expected):
+        assert evaluate_expression(
+            ComputeExpr(op, ConstExpr(5), ConstExpr(2)), {}
+        ) == expected
+
+    def test_integer_division_stays_int(self):
+        assert evaluate_expression(
+            ComputeExpr("/", ConstExpr(6), ConstExpr(2)), {}
+        ) == 3
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            evaluate_expression(ComputeExpr("/", ConstExpr(1), ConstExpr(0)), {})
+
+    def test_non_numeric_compute(self):
+        with pytest.raises(ExecutionError, match="numeric"):
+            evaluate_expression(ComputeExpr("+", ConstExpr("a"), ConstExpr(1)), {})
+
+
+class TestActions:
+    def test_make_inserts(self):
+        analysis, wm, executor = setup(
+            "(p R (Emp ^name <N>) --> (make Log ^msg <N>))"
+        )
+        emp = wm.insert("Emp", ("Mike", 100))
+        outcome = executor.execute(
+            analysis, instantiate(analysis, [emp], [("N", "Mike")])
+        )
+        assert [t.values for t in wm.tuples("Log")] == [("Mike",)]
+        assert len(outcome.inserted) == 1
+
+    def test_remove_deletes_matched_element(self):
+        analysis, wm, executor = setup("(p R (Emp ^name Mike) --> (remove 1))")
+        emp = wm.insert("Emp", ("Mike", 100))
+        outcome = executor.execute(analysis, instantiate(analysis, [emp]))
+        assert wm.size() == 0
+        assert outcome.removed == [emp]
+
+    def test_remove_twice_is_noop(self):
+        analysis, wm, executor = setup(
+            "(p R (Emp ^name Mike) --> (remove 1) (remove 1))"
+        )
+        emp = wm.insert("Emp", ("Mike", 100))
+        outcome = executor.execute(analysis, instantiate(analysis, [emp]))
+        assert len(outcome.removed) == 1
+
+    def test_remove_element_already_gone(self):
+        analysis, wm, executor = setup("(p R (Emp ^name Mike) --> (remove 1))")
+        emp = wm.insert("Emp", ("Mike", 100))
+        wm.remove(emp)  # another rule got there first
+        outcome = executor.execute(analysis, instantiate(analysis, [emp]))
+        assert outcome.removed == []
+
+    def test_modify_replaces_with_fresh_timetag(self):
+        analysis, wm, executor = setup(
+            "(p R (Emp ^name Mike ^salary <S>) --> "
+            "(modify 1 ^salary (compute <S> + 10)))"
+        )
+        emp = wm.insert("Emp", ("Mike", 100))
+        outcome = executor.execute(
+            analysis, instantiate(analysis, [emp], [("S", 100)])
+        )
+        (updated,) = wm.tuples("Emp")
+        assert updated.values == ("Mike", 110)
+        assert updated.timetag > emp.timetag
+        assert outcome.removed == [emp]
+        assert outcome.inserted == [updated]
+
+    def test_halt_stops_and_flags(self):
+        analysis, wm, executor = setup(
+            "(p R (Emp ^name Mike) --> (halt) (make Log ^msg after))"
+        )
+        emp = wm.insert("Emp", ("Mike", 100))
+        outcome = executor.execute(analysis, instantiate(analysis, [emp]))
+        assert outcome.halted
+        assert list(wm.tuples("Log")) == []  # nothing after halt
+
+    def test_write_collects_values(self):
+        analysis, wm, executor = setup(
+            "(p R (Emp ^name <N> ^salary <S>) --> (write <N> |earns| <S>))"
+        )
+        emp = wm.insert("Emp", ("Mike", 100))
+        outcome = executor.execute(
+            analysis,
+            instantiate(analysis, [emp], [("N", "Mike"), ("S", 100)]),
+        )
+        assert outcome.written == [("Mike", "earns", 100)]
+
+    def test_bind_extends_environment(self):
+        analysis, wm, executor = setup(
+            "(p R (Emp ^salary <S>) --> "
+            "(bind <T> (compute <S> * 2)) (make Emp ^name new ^salary <T>))"
+        )
+        emp = wm.insert("Emp", ("Mike", 100))
+        executor.execute(analysis, instantiate(analysis, [emp], [("S", 100)]))
+        values = {t.values for t in wm.tuples("Emp")}
+        assert ("new", 200) in values
+
+    def test_call_invokes_host_function(self):
+        analysis, wm, executor = setup(
+            "(p R (Emp ^name <N>) --> (call notify <N>))"
+        )
+        calls = []
+        executor.register("notify", lambda *args: calls.append(args))
+        emp = wm.insert("Emp", ("Mike", 100))
+        executor.execute(analysis, instantiate(analysis, [emp], [("N", "Mike")]))
+        assert calls == [("Mike",)]
+
+    def test_call_without_registration(self):
+        analysis, wm, executor = setup(
+            "(p R (Emp ^name Mike) --> (call missing))"
+        )
+        emp = wm.insert("Emp", ("Mike", 100))
+        with pytest.raises(ExecutionError, match="no registered host function"):
+            executor.execute(analysis, instantiate(analysis, [emp]))

@@ -1,0 +1,100 @@
+"""Conflict set and instantiation tests."""
+
+from repro.engine import ConflictSet, Instantiation
+from repro.storage.tuples import StoredTuple
+
+
+def wme(relation, tid, timetag=None):
+    return StoredTuple(relation, tid, timetag or tid, (tid,))
+
+
+def inst(rule, *wmes, salience=0):
+    return Instantiation(rule_name=rule, wmes=tuple(wmes), salience=salience)
+
+
+class TestInstantiation:
+    def test_identity_is_rule_plus_wme_slots(self):
+        a = inst("R", wme("Emp", 1), wme("Dept", 2))
+        b = Instantiation(
+            "R",
+            (wme("Emp", 1), wme("Dept", 2)),
+            bindings=(("x", 1),),  # bindings do not affect identity
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_negated_slot_is_part_of_identity(self):
+        a = inst("R", wme("Emp", 1), None)
+        b = inst("R", wme("Emp", 1))
+        assert a != b
+
+    def test_timetags_descending(self):
+        i = inst("R", wme("A", 1, 5), wme("B", 2, 9), None)
+        assert i.timetags == (9, 5)
+
+    def test_positive_wmes_skips_negated(self):
+        i = inst("R", wme("A", 1), None, wme("B", 2))
+        assert [w.tid for w in i.positive_wmes()] == [1, 2]
+
+    def test_str(self):
+        assert str(inst("R", wme("A", 1), None)) == "R[A#1, -]"
+
+
+class TestConflictSet:
+    def test_add_remove(self):
+        cs = ConflictSet()
+        i = inst("R", wme("A", 1))
+        assert cs.add(i)
+        assert not cs.add(i)  # dedupe
+        assert i in cs
+        assert len(cs) == 1
+        assert cs.remove(i)
+        assert not cs.remove(i)
+        assert len(cs) == 0
+
+    def test_remove_wme_retracts_every_referencing_instantiation(self):
+        cs = ConflictSet()
+        shared = wme("A", 1)
+        i1 = inst("R1", shared, wme("B", 2))
+        i2 = inst("R2", shared)
+        i3 = inst("R3", wme("B", 2))
+        for i in (i1, i2, i3):
+            cs.add(i)
+        removed = cs.remove_wme(shared)
+        assert {r.rule_name for r in removed} == {"R1", "R2"}
+        assert len(cs) == 1
+        assert i3 in cs
+
+    def test_remove_wme_on_unreferenced_element(self):
+        cs = ConflictSet()
+        assert cs.remove_wme(wme("A", 99)) == []
+
+    def test_for_rule(self):
+        cs = ConflictSet()
+        cs.add(inst("R1", wme("A", 1)))
+        cs.add(inst("R1", wme("A", 2)))
+        cs.add(inst("R2", wme("A", 3)))
+        assert len(cs.for_rule("R1")) == 2
+
+    def test_counters(self):
+        cs = ConflictSet()
+        i = inst("R", wme("A", 1))
+        cs.add(i)
+        cs.remove(i)
+        assert cs.additions == 1
+        assert cs.removals == 1
+
+    def test_clear(self):
+        cs = ConflictSet()
+        cs.add(inst("R", wme("A", 1)))
+        cs.clear()
+        assert len(cs) == 0
+        assert cs.remove_wme(wme("A", 1)) == []
+
+    def test_same_wme_in_two_slots(self):
+        cs = ConflictSet()
+        shared = wme("A", 1)
+        i = inst("R", shared, shared)
+        cs.add(i)
+        assert cs.remove_wme(shared) == [i]
+        assert len(cs) == 0

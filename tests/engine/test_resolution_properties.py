@@ -1,0 +1,83 @@
+"""Property tests for conflict-resolution strategies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Instantiation, fifo, lex, make_resolver, mea, priority
+from repro.storage.tuples import StoredTuple
+
+RESOLVERS = [lex, mea, priority, fifo]
+
+
+def make_instantiation(index, timetags, salience):
+    wmes = tuple(
+        StoredTuple("A", index * 100 + i + 1, tag, (tag,))
+        for i, tag in enumerate(timetags)
+    )
+    return Instantiation(
+        rule_name=f"r{index}", wmes=wmes, salience=salience
+    )
+
+
+candidate_lists = st.lists(
+    st.tuples(
+        st.lists(st.integers(1, 50), min_size=1, max_size=3),
+        st.integers(-3, 3),
+    ),
+    min_size=1,
+    max_size=8,
+).map(
+    lambda specs: [
+        make_instantiation(i, tags, salience)
+        for i, (tags, salience) in enumerate(specs)
+    ]
+)
+
+
+class TestResolverProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(candidate_lists)
+    def test_resolvers_pick_from_the_candidates(self, candidates):
+        for resolver in RESOLVERS:
+            assert resolver(candidates) in candidates
+
+    @settings(max_examples=60, deadline=None)
+    @given(candidate_lists)
+    def test_resolvers_are_order_insensitive_on_distinct_keys(self, candidates):
+        # With unique recency keys, the pick must not depend on list order
+        # (LEX/MEA/FIFO tie-break only on timetags, so those must differ).
+        keys = [i.timetags for i in candidates]
+        if len(set(keys)) != len(keys):
+            return
+        for resolver in RESOLVERS:
+            forward = resolver(candidates)
+            backward = resolver(list(reversed(candidates)))
+            assert forward.key == backward.key
+
+    @settings(max_examples=60, deadline=None)
+    @given(candidate_lists)
+    def test_lex_pick_dominates_by_recency(self, candidates):
+        chosen = lex(candidates)
+        for other in candidates:
+            assert chosen.timetags >= other.timetags
+
+    @settings(max_examples=60, deadline=None)
+    @given(candidate_lists)
+    def test_priority_never_picks_lower_salience(self, candidates):
+        chosen = priority(candidates)
+        top = max(i.salience for i in candidates)
+        assert chosen.salience == top
+
+    @settings(max_examples=60, deadline=None)
+    @given(candidate_lists)
+    def test_fifo_is_lex_reversed_extreme(self, candidates):
+        oldest = fifo(candidates)
+        for other in candidates:
+            assert oldest.timetags <= other.timetags
+
+    @settings(max_examples=30, deadline=None)
+    @given(candidate_lists, st.integers(0, 99))
+    def test_seeded_random_is_reproducible(self, candidates, seed):
+        first = make_resolver("random", seed)(candidates)
+        second = make_resolver("random", seed)(candidates)
+        assert first.key == second.key

@@ -1,0 +1,96 @@
+"""Set-at-a-time firing tests (§5.1 of the paper)."""
+
+import pytest
+
+from repro.engine import ProductionSystem
+from repro.errors import ExecutionError
+
+PAY = """
+(literalize Emp name paid)
+(literalize Payout name)
+(p pay-all
+    (Emp ^name <N> ^paid no)
+    -->
+    (modify 1 ^paid yes)
+    (make Payout ^name <N>))
+"""
+
+
+class TestSetFiring:
+    def test_whole_rule_batch_fires_in_one_cycle(self):
+        system = ProductionSystem(PAY, firing="set")
+        for name in ("a", "b", "c", "d"):
+            system.insert("Emp", (name, "no"))
+        result = system.run()
+        assert result.cycles == 1  # one Select, four Acts
+        assert len(result.fired) == 4
+        assert len(list(system.wm.tuples("Payout"))) == 4
+
+    def test_instance_mode_takes_one_cycle_each(self):
+        system = ProductionSystem(PAY, firing="instance")
+        for name in ("a", "b", "c"):
+            system.insert("Emp", (name, "no"))
+        result = system.run()
+        assert result.cycles == 3
+
+    def test_same_final_state_as_instance_mode(self):
+        def final(firing):
+            system = ProductionSystem(PAY, firing=firing)
+            for name in ("a", "b"):
+                system.insert("Emp", (name, "no"))
+            system.run()
+            return sorted(t.values for t in system.wm.tuples("Emp"))
+
+        assert final("set") == final("instance")
+
+    def test_invalidated_batch_members_are_skipped(self):
+        # Two rules consume the same token; within one rule's batch, an
+        # earlier firing can invalidate a later instantiation.
+        source = """
+        (literalize T v)
+        (literalize L v)
+        (p eat (T ^v <V>) (T ^v <> <V>) --> (remove 1) (make L ^v <V>))
+        """
+        system = ProductionSystem(source, firing="set", resolution="fifo")
+        system.insert("T", (1,))
+        system.insert("T", (2,))
+        result = system.run(max_cycles=10)
+        # The batch holds (1,2) and (2,1); firing the first removes T(1),
+        # invalidating the second instantiation mid-batch.
+        assert len(list(system.wm.tuples("L"))) <= 2
+        remaining = [t.values[0] for t in system.wm.tuples("T")]
+        assert len(remaining) <= 1
+        assert not result.exhausted
+
+    def test_halt_stops_mid_batch(self):
+        source = """
+        (literalize T v)
+        (p stop (T ^v <V>) --> (halt))
+        """
+        system = ProductionSystem(source, firing="set")
+        for i in range(5):
+            system.insert("T", (i,))
+        result = system.run()
+        assert result.halted
+        assert len(result.fired) == 1
+
+    def test_unknown_firing_mode_rejected(self):
+        with pytest.raises(ExecutionError, match="firing mode"):
+            ProductionSystem(PAY, firing="bulk")
+
+    def test_set_mode_still_alternates_rules(self):
+        source = """
+        (literalize A v)
+        (literalize B v)
+        (literalize L tag)
+        (p ra (A ^v <V>) --> (remove 1) (make L ^tag a))
+        (p rb (B ^v <V>) --> (remove 1) (make L ^tag b))
+        """
+        system = ProductionSystem(source, firing="set", resolution="fifo")
+        for i in range(3):
+            system.insert("A", (i,))
+            system.insert("B", (i,))
+        result = system.run()
+        assert result.cycles == 2  # one batch per rule
+        tags = sorted(t.values[0] for t in system.wm.tuples("L"))
+        assert tags == ["a", "a", "a", "b", "b", "b"]

@@ -1,0 +1,88 @@
+"""Engine trace stream tests (OPS5 'watch')."""
+
+import pytest
+
+from repro.engine import ProductionSystem, TraceEvent
+
+SOURCE = """
+(literalize T v)
+(literalize Log v)
+(p step (T ^v <V>) --> (remove 1) (make Log ^v <V>))
+(p stop (Log ^v 2) --> (halt))
+"""
+
+
+@pytest.fixture
+def traced_system():
+    system = ProductionSystem(SOURCE, resolution="fifo")
+    events = []
+    system.add_trace(events.append)
+    return system, events
+
+
+class TestTrace:
+    def test_wm_changes_traced(self, traced_system):
+        system, events = traced_system
+        wme = system.insert("T", (1,))
+        system.remove(wme)
+        assert [e.kind for e in events] == ["insert", "remove"]
+        assert events[0].detail is wme
+
+    def test_fire_events_carry_cycle_and_record(self, traced_system):
+        system, events = traced_system
+        system.insert("T", (1,))
+        system.run()
+        fires = [e for e in events if e.kind == "fire"]
+        assert len(fires) == 1
+        assert fires[0].cycle == 1
+        assert fires[0].detail.instantiation.rule_name == "step"
+
+    def test_rhs_changes_appear_in_stream(self, traced_system):
+        system, events = traced_system
+        system.insert("T", (1,))
+        system.run()
+        kinds = [e.kind for e in events]
+        # insert T, fire step (remove T + make Log interleaved before the
+        # fire event completes the Act step)
+        assert kinds.count("remove") == 1
+        assert kinds.count("insert") == 2
+
+    def test_halt_event(self, traced_system):
+        system, events = traced_system
+        system.insert("T", (2,))
+        system.run()
+        assert events[-1].kind == "halt"
+
+    def test_event_rendering(self, traced_system):
+        system, events = traced_system
+        system.insert("T", (1,))
+        system.run()
+        rendered = [str(e) for e in events]
+        assert any(r.startswith("=>WM:") for r in rendered)
+        assert any(r.startswith("<=WM:") for r in rendered)
+        assert any(r.startswith("FIRE") for r in rendered)
+
+    def test_remove_trace(self, traced_system):
+        system, events = traced_system
+        system.remove_trace(events.append)
+        system.insert("T", (1,))
+        assert events == []
+
+    def test_multiple_tracers(self):
+        system = ProductionSystem(SOURCE)
+        a, b = [], []
+        system.add_trace(a.append)
+        system.add_trace(b.append)
+        system.insert("T", (1,))
+        assert len(a) == len(b) == 1
+
+    def test_no_tracer_no_overhead(self):
+        system = ProductionSystem(SOURCE)
+        system.insert("T", (1,))
+        assert system._tracers == []
+
+
+def test_trace_event_is_immutable():
+    event = TraceEvent(kind="insert", cycle=0, detail=None)
+    with pytest.raises(AttributeError):
+        event.kind = "remove"

@@ -1,0 +1,85 @@
+"""Working-memory tests."""
+
+import pytest
+
+from repro.engine import WorkingMemory
+from repro.errors import MatchError
+from repro.storage import RelationSchema
+
+SCHEMAS = {
+    "Emp": RelationSchema("Emp", ("name", "salary")),
+    "Dept": RelationSchema("Dept", ("dno",)),
+}
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def on_insert(self, wme):
+        self.events.append(("+", wme.relation, wme.tid))
+
+    def on_delete(self, wme):
+        self.events.append(("-", wme.relation, wme.tid))
+
+
+@pytest.fixture
+def wm():
+    return WorkingMemory(SCHEMAS)
+
+
+class TestWorkingMemory:
+    def test_insert_tuple_and_mapping(self, wm):
+        a = wm.insert("Emp", ("Mike", 100))
+        b = wm.insert("Emp", {"name": "Sam"})
+        assert a.values == ("Mike", 100)
+        assert b.values == ("Sam", None)
+
+    def test_unknown_class_rejected(self, wm):
+        with pytest.raises(MatchError, match="unknown WM class"):
+            wm.insert("Ghost", (1,))
+        with pytest.raises(MatchError):
+            wm.relation("Ghost")
+
+    def test_listeners_notified_in_order(self, wm):
+        rec = Recorder()
+        wm.add_listener(rec)
+        a = wm.insert("Emp", ("Mike", 100))
+        wm.remove(a)
+        assert rec.events == [("+", "Emp", a.tid), ("-", "Emp", a.tid)]
+
+    def test_remove_listener(self, wm):
+        rec = Recorder()
+        wm.add_listener(rec)
+        wm.remove_listener(rec)
+        wm.insert("Emp", ("Mike", 100))
+        assert rec.events == []
+
+    def test_modify_is_delete_plus_insert(self, wm):
+        rec = Recorder()
+        wm.add_listener(rec)
+        old = wm.insert("Emp", ("Mike", 100))
+        new = wm.modify(old, {"salary": 200})
+        assert new.values == ("Mike", 200)
+        assert new.tid != old.tid
+        assert new.timetag > old.timetag
+        assert rec.events == [
+            ("+", "Emp", old.tid),
+            ("-", "Emp", old.tid),
+            ("+", "Emp", new.tid),
+        ]
+
+    def test_size_counts_all_classes(self, wm):
+        wm.insert("Emp", ("Mike", 100))
+        wm.insert("Dept", (1,))
+        assert wm.size() == 2
+
+    def test_get(self, wm):
+        a = wm.insert("Emp", ("Mike", 100))
+        assert wm.get("Emp", a.tid).values == ("Mike", 100)
+
+    def test_sqlite_backend(self):
+        wm = WorkingMemory(SCHEMAS, backend="sqlite")
+        a = wm.insert("Emp", ("Mike", 100))
+        assert wm.get("Emp", a.tid).values == ("Mike", 100)
+        wm.catalog.close()

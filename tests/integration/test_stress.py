@@ -1,0 +1,105 @@
+"""Soak tests: larger workloads, deep recursion, long churn."""
+
+import random
+
+import pytest
+
+from repro.engine import ProductionSystem, WorkingMemory
+from repro.instrument import Counters
+from repro.lang import analyze_program
+from repro.match import STRATEGIES
+from repro.workload import (
+    WorkloadSpec,
+    generate_program,
+    mixed_stream,
+)
+
+
+def test_large_generated_workload_equivalence():
+    """40 rules, 600 mixed events, the two headline strategies agree."""
+    spec = WorkloadSpec(
+        rules=40,
+        classes=6,
+        min_conditions=1,
+        max_conditions=3,
+        negation_probability=0.15,
+        seed=99,
+    )
+    workload = generate_program(spec)
+    analyses = analyze_program(workload.program.rules, workload.program.schemas)
+    wm = WorkingMemory(workload.program.schemas)
+    rete = STRATEGIES["rete"](wm, analyses, counters=Counters())
+    patterns = STRATEGIES["patterns"](wm, analyses, counters=Counters())
+    live = []
+    for kind, payload in mixed_stream(spec, 600, delete_fraction=0.35):
+        if kind == "insert":
+            class_name, values = payload
+            live.append(wm.insert(class_name, values))
+        else:
+            wm.remove(live.pop(payload))
+    assert rete.conflict_set_keys() == patterns.conflict_set_keys()
+
+
+def test_long_recognize_act_run():
+    """A 500-cycle counter run stays linear and exact."""
+    system = ProductionSystem(
+        """
+        (literalize Counter value limit)
+        (p up (Counter ^value <V> ^limit {<L> > <V>})
+            --> (modify 1 ^value (compute <V> + 1)))
+        """
+    )
+    system.insert("Counter", {"value": 0, "limit": 500})
+    result = system.run(max_cycles=600)
+    assert result.cycles == 500
+    (counter,) = system.wm.tuples("Counter")
+    assert counter.values == (500, 500)
+
+
+def test_deep_transitive_closure_converges():
+    """Closure of a 12-node chain: 66 derived edges, all strategies."""
+    rules = """
+    (literalize Edge from to)
+    (p transitive
+        (Edge ^from <A> ^to <B>)
+        (Edge ^from <B> ^to <C>)
+        -(Edge ^from <A> ^to <C>)
+        -->
+        (make Edge ^from <A> ^to <C>))
+    """
+    n = 12
+    expected = n * (n - 1) // 2
+    for strategy in ("rete", "patterns"):
+        system = ProductionSystem(rules, strategy=strategy)
+        for i in range(n - 1):
+            system.insert("Edge", (i, i + 1))
+        result = system.run(max_cycles=2000)
+        assert not result.exhausted
+        assert len(list(system.wm.tuples("Edge"))) == expected
+
+
+@pytest.mark.parametrize("strategy", ["patterns", "rete"])
+def test_compaction_under_sustained_churn(strategy):
+    """Periodic folding compaction never corrupts matching."""
+    spec = WorkloadSpec(rules=15, classes=4, seed=31)
+    workload = generate_program(spec)
+    analyses = analyze_program(workload.program.rules, workload.program.schemas)
+    wm = WorkingMemory(workload.program.schemas)
+    reference = STRATEGIES["rete"](wm, analyses, counters=Counters())
+    subject = STRATEGIES[strategy](wm, analyses, counters=Counters())
+    rng = random.Random(31)
+    live = []
+    for step in range(400):
+        if rng.random() < 0.6 or not live:
+            class_name = spec.class_name(rng.randrange(spec.classes))
+            values = tuple(
+                rng.randrange(spec.domain) for _ in range(spec.attributes)
+            )
+            live.append(wm.insert(class_name, values))
+        else:
+            wm.remove(live.pop(rng.randrange(len(live))))
+        if strategy == "patterns" and step % 50 == 49:
+            subject.compact(max_per_condition=3)
+        if step % 25 == 0:
+            assert subject.conflict_set_keys() == reference.conflict_set_keys()
+    assert subject.conflict_set_keys() == reference.conflict_set_keys()

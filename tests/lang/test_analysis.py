@@ -1,0 +1,191 @@
+"""Rule-analysis tests: validation, normalization, join components."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.lang import (
+    RuleBuilder,
+    analyze_program,
+    analyze_rule,
+    parse_program,
+    parse_rule,
+    test as optest,
+    var,
+)
+from repro.storage import Comparison, TruePredicate
+from repro.storage.query import VariableTest
+from repro.storage.schema import RelationSchema
+
+SCHEMAS = {
+    "Emp": RelationSchema("Emp", ("name", "salary", "dno", "manager")),
+    "Dept": RelationSchema("Dept", ("dno", "dname", "floor", "manager")),
+}
+
+
+def analyze(source, schemas=None):
+    program = parse_program(source)
+    merged = dict(SCHEMAS)
+    merged.update(program.schemas)
+    return analyze_rule(program.rules[0], schemas or merged)
+
+
+class TestNormalization:
+    def test_constant_tests_become_predicate(self):
+        analysis = analyze("(p R (Emp ^name Mike ^salary > 100) --> (remove 1))")
+        (cond,) = analysis.conditions
+        assert Comparison("name", "=", "Mike") in cond.constant_predicate.parts
+        assert Comparison("salary", ">", 100) in cond.constant_predicate.parts
+
+    def test_no_tests_is_true_predicate(self):
+        analysis = analyze("(p R (Emp ^dno <D>) --> (remove 1))")
+        (cond,) = analysis.conditions
+        assert isinstance(cond.constant_predicate, TruePredicate)
+
+    def test_equality_variables_collected(self):
+        analysis = analyze(
+            "(p R (Emp ^name <N> ^dno <D>) (Dept ^dno <D>) --> (remove 1))"
+        )
+        assert analysis.conditions[0].equalities == (("name", "N"), ("dno", "D"))
+        assert analysis.conditions[1].equalities == (("dno", "D"),)
+
+    def test_residual_tests_collected(self, example3_source):
+        program = parse_program(example3_source)
+        analysis = analyze_rule(program.rule("R1"), program.schemas)
+        second = analysis.conditions[1]
+        assert second.equalities == (("name", "M"), ("salary", "S1"))
+        assert second.residual == (VariableTest("salary", "<", "S"),)
+
+    def test_cond_numbers_are_one_based(self, example4_source):
+        program = parse_program(example4_source)
+        analysis = analyze_rule(program.rules[0], program.schemas)
+        assert [c.cond_number for c in analysis.conditions] == [1, 2, 3]
+        assert analysis.condition(2).class_name == "B"
+
+    def test_to_conjuncts_round_trip(self):
+        analysis = analyze(
+            "(p R (Emp ^dno <D>) -(Dept ^dno <D>) --> (remove 1))"
+        )
+        specs = analysis.to_conjuncts()
+        assert specs[0].relation == "Emp"
+        assert not specs[0].negated
+        assert specs[1].negated
+
+
+class TestValidation:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(RuleError, match="never literalized"):
+            analyze("(p R (Ghost ^x 1) --> (halt))")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(RuleError, match="no attribute"):
+            analyze("(p R (Emp ^shoe 1) --> (halt))")
+
+    def test_negated_condition_variable_must_be_bound(self):
+        with pytest.raises(RuleError, match="not bound by an earlier"):
+            analyze("(p R (Emp ^name Mike) -(Dept ^dno <D>) --> (remove 1))")
+
+    def test_negated_condition_variable_bound_later_rejected(self):
+        # OPS5 evaluates in LHS order: a negated CE cannot use a variable
+        # that only a *later* positive CE binds.
+        with pytest.raises(RuleError, match="not bound by an earlier"):
+            analyze("(p R -(Dept ^dno <D>) (Emp ^dno <D>) --> (remove 2))")
+
+    def test_residual_variable_must_be_bound(self):
+        with pytest.raises(RuleError, match="never bound"):
+            analyze("(p R (Emp ^salary < <S>) --> (remove 1))")
+
+    def test_rhs_variable_must_be_bound(self):
+        with pytest.raises(RuleError, match="never binds"):
+            analyze("(p R (Emp ^name Mike) --> (make Emp ^name <Z>))")
+
+    def test_bind_introduces_rhs_variable(self):
+        analysis = analyze(
+            "(p R (Emp ^name Mike) --> (bind <Z> 7) (make Emp ^salary <Z>))"
+        )
+        assert analysis.name == "R"
+
+    def test_make_unknown_class_rejected(self):
+        with pytest.raises(RuleError, match="unliteralized"):
+            analyze("(p R (Emp ^name Mike) --> (make Ghost ^x 1))")
+
+    def test_make_unknown_attribute_rejected(self):
+        with pytest.raises(RuleError):
+            analyze("(p R (Emp ^name Mike) --> (make Emp ^shoe 1))")
+
+    def test_remove_index_out_of_range(self):
+        with pytest.raises(RuleError, match="references condition 2"):
+            analyze("(p R (Emp ^name Mike) --> (remove 2))")
+
+    def test_remove_negated_condition_rejected(self):
+        with pytest.raises(RuleError, match="negated"):
+            analyze(
+                "(p R (Emp ^dno <D>) -(Dept ^dno <D>) --> (remove 2))"
+            )
+
+    def test_all_negative_lhs_rejected(self):
+        with pytest.raises(RuleError, match="positive condition"):
+            parse_rule("(p R -(Emp ^name Mike) --> (halt))")
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = parse_rule("(p R (Emp ^name Mike) --> (halt))")
+        with pytest.raises(RuleError, match="defined twice"):
+            analyze_program([rule, rule], SCHEMAS)
+
+
+class TestJoinComponents:
+    def test_example4_is_one_component(self, example4_source):
+        program = parse_program(example4_source)
+        analysis = analyze_rule(program.rules[0], program.schemas)
+        assert analysis.components == ((0, 1, 2),)
+        assert analysis.related_conditions(0) == (1, 2)
+        assert analysis.related_conditions(1) == (0, 2)
+
+    def test_disconnected_conditions_are_separate_components(self):
+        analysis = analyze(
+            "(p R (Emp ^name Mike) (Dept ^dname Toy) --> (remove 1))"
+        )
+        assert analysis.components == ((0,), (1,))
+        assert analysis.related_conditions(0) == ()
+
+    def test_chain_join_connects_transitively(self):
+        analysis = analyze(
+            "(p R (Emp ^dno <D> ^name <N>) (Dept ^dno <D> ^manager <M>) "
+            "(Emp ^name <M>) --> (remove 1))"
+        )
+        assert analysis.components == ((0, 1, 2),)
+
+    def test_variable_classes_map(self, example4_source):
+        program = parse_program(example4_source)
+        analysis = analyze_rule(program.rules[0], program.schemas)
+        assert analysis.variable_classes == {
+            "x": {0, 1},
+            "y": {1, 2},
+            "z": {0, 2},
+        }
+
+    def test_conditions_on_class(self, example3_source):
+        program = parse_program(example3_source)
+        analysis = analyze_rule(program.rule("R1"), program.schemas)
+        assert len(analysis.conditions_on("Emp")) == 2
+        assert analysis.conditions_on("Dept") == ()
+
+
+class TestBuilderIntegration:
+    def test_builder_rule_analyzes_like_parsed_rule(self):
+        built = (
+            RuleBuilder("R1")
+            .when("Emp", name="Mike", salary=var("S"), manager=var("M"))
+            .when("Emp", name=var("M"), salary=(var("S1"), optest("<", var("S"))))
+            .remove(1)
+            .build()
+        )
+        parsed = parse_program(
+            """
+            (p R1
+                (Emp ^name Mike ^salary <S> ^manager <M>)
+                (Emp ^name <M> ^salary {<S1> < <S>})
+                -->
+                (remove 1))
+            """
+        ).rules[0]
+        assert built == parsed

@@ -1,0 +1,107 @@
+"""Tests for OPS5 value disjunctions ``<< a b c >>``."""
+
+import pytest
+
+from repro.engine import ProductionSystem, WorkingMemory
+from repro.errors import ParseError, RuleError
+from repro.instrument import Counters
+from repro.lang import analyze_program, format_rule, parse_program, parse_rule
+from repro.lang.ast import DisjunctionTest
+from repro.match import STRATEGIES
+from repro.storage.predicate import Membership
+
+
+class TestParsing:
+    def test_disjunction_parses(self):
+        rule = parse_rule(
+            "(p r (Emp ^dept << Toy Shoe 7 nil >>) --> (halt))"
+        )
+        (test,) = rule.condition_elements[0].tests
+        assert test == DisjunctionTest("dept", ("Toy", "Shoe", 7, None))
+
+    def test_empty_disjunction_rejected(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_rule("(p r (Emp ^dept << >>) --> (halt))")
+
+    def test_variable_inside_disjunction_rejected(self):
+        with pytest.raises(ParseError, match="constants"):
+            parse_rule("(p r (Emp ^dept << <X> >>) --> (halt))")
+
+    def test_inside_brace_conjunction(self):
+        rule = parse_rule(
+            "(p r (Emp ^dept {<< Toy Shoe >> <D>}) --> (halt))"
+        )
+        tests = rule.condition_elements[0].tests
+        assert isinstance(tests[0], DisjunctionTest)
+        assert tests[1].operand.name == "D"
+
+    def test_round_trip(self):
+        rule = parse_rule(
+            "(p r (Emp ^dept << Toy |odd name| 3 >>) --> (remove 1))"
+        )
+        assert parse_rule(format_rule(rule)) == rule
+
+
+class TestSemantics:
+    def test_membership_predicate_in_analysis(self):
+        program = parse_program(
+            "(literalize Emp dept)"
+            "(p r (Emp ^dept << Toy Shoe >>) --> (remove 1))"
+        )
+        analyses = analyze_program(program.rules, program.schemas)
+        predicate = analyses["r"].conditions[0].constant_predicate
+        assert predicate == Membership("dept", ("Toy", "Shoe"))
+
+    def test_all_strategies_agree(self):
+        source = """
+        (literalize Emp name dept n)
+        (p watched (Emp ^dept << Toy Shoe >> ^name <N>) --> (remove 1))
+        (p range (Emp ^n << 1 2 3 >> ^dept <D>) --> (remove 1))
+        """
+        program = parse_program(source)
+        analyses = analyze_program(program.rules, program.schemas)
+        wm = WorkingMemory(program.schemas)
+        strategies = [
+            STRATEGIES[name](wm, analyses, counters=Counters())
+            for name in sorted(STRATEGIES)
+        ]
+        wm.insert("Emp", ("Ann", "Toy", 1))
+        wm.insert("Emp", ("Bob", "Hat", 9))
+        wm.insert("Emp", ("Cid", "Shoe", 2))
+        reference = strategies[0].conflict_set_keys()
+        assert len(reference) == 4  # Ann x2 rules, Cid x2 rules
+        for strategy in strategies[1:]:
+            assert strategy.conflict_set_keys() == reference
+
+    def test_engine_fires_on_disjunction(self):
+        system = ProductionSystem(
+            """
+            (literalize T v)
+            (literalize Hit v)
+            (p pick (T ^v << a c >>) --> (remove 1) (make Hit ^v 1))
+            """
+        )
+        for value in ("a", "b", "c"):
+            system.insert("T", (value,))
+        system.run()
+        assert len(list(system.wm.tuples("Hit"))) == 2
+        assert [t.values[0] for t in system.wm.tuples("T")] == ["b"]
+
+    def test_disjunction_on_unknown_attribute_rejected(self):
+        program = parse_program(
+            "(literalize Emp dept)"
+            "(p r (Emp ^shoe << a >>) --> (remove 1))"
+        )
+        with pytest.raises(RuleError, match="no attribute"):
+            analyze_program(program.rules, program.schemas)
+
+    def test_numeric_equality_semantics(self):
+        system = ProductionSystem(
+            """
+            (literalize T v)
+            (p pick (T ^v << 1 2 >>) --> (remove 1))
+            """
+        )
+        system.insert("T", (1.0,))  # 1.0 == 1 under OPS5 equality
+        system.run()
+        assert list(system.wm.tuples("T")) == []

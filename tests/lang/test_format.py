@@ -1,0 +1,140 @@
+"""Formatter tests: readable output plus parse/format round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import parse_program, parse_rule
+from repro.lang.ast import (
+    AttributeTest,
+    ComputeExpr,
+    ConditionElement,
+    Constant,
+    ConstExpr,
+    MakeAction,
+    Program,
+    Rule,
+    Variable,
+    VarExpr,
+)
+from repro.lang.format import (
+    format_program,
+    format_rule,
+    format_value,
+)
+from repro.storage.schema import RelationSchema
+
+
+class TestFormatValue:
+    def test_plain_symbol_unquoted(self):
+        assert format_value("Mike") == "Mike"
+
+    def test_nil(self):
+        assert format_value(None) == "nil"
+
+    def test_numbers(self):
+        assert format_value(7) == "7"
+        assert format_value(-2.5) == "-2.5"
+
+    def test_reserved_and_odd_strings_quoted(self):
+        assert format_value("*") == "|*|"
+        assert format_value("nil") == "|nil|"
+        assert format_value("hello world") == "|hello world|"
+        assert format_value("12") == "|12|"
+        assert format_value("-x") == "|-x|"
+        assert format_value("") == "||"
+
+
+class TestFormatRule:
+    def test_example_renders_and_reparses(self, example3_source):
+        program = parse_program(example3_source)
+        for rule in program.rules:
+            text = format_rule(rule)
+            assert parse_rule(text) == rule
+
+    def test_salience_rendered(self):
+        rule = parse_rule("(p r (salience 3) (Emp ^a 1) --> (halt))")
+        text = format_rule(rule)
+        assert "(salience 3)" in text
+        assert parse_rule(text) == rule
+
+    def test_negated_condition_rendered(self):
+        rule = parse_rule("(p r (Emp ^d <D>) -(Audit ^d <D>) --> (remove 1))")
+        text = format_rule(rule)
+        assert "-(Audit" in text
+        assert parse_rule(text) == rule
+
+    def test_all_action_kinds_round_trip(self):
+        source = """
+        (p r (Emp ^a <X> ^b > 3)
+        -->
+        (make Emp ^a (compute <X> + 1 * 2) ^b nil)
+        (modify 1 ^b 9)
+        (remove 1)
+        (bind <Y> 5)
+        (write |hi| <Y>)
+        (call log <X>)
+        (halt))
+        """
+        rule = parse_rule(source)
+        assert parse_rule(format_rule(rule)) == rule
+
+    def test_program_round_trip(self, example2_source):
+        program = parse_program(example2_source)
+        again = parse_program(format_program(program))
+        assert again.schemas == program.schemas
+        assert again.rules == program.rules
+
+
+values = st.one_of(
+    st.integers(-99, 99),
+    st.text(
+        alphabet="abcXYZ*+- 0123456789_|".replace("|", ""), max_size=6
+    ),
+    st.none(),
+)
+attr_names = st.sampled_from(["a", "b", "c"])
+ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+var_names = st.sampled_from(["x", "y", "z"])
+
+operands = st.one_of(
+    values.map(Constant),
+    var_names.map(Variable),
+)
+
+
+def make_ce(draws):
+    tests = tuple(
+        AttributeTest(attr, op, operand) for attr, op, operand in draws
+    )
+    return ConditionElement("R", tests)
+
+
+ces = st.lists(
+    st.tuples(attr_names, ops, operands), min_size=0, max_size=4
+).map(make_ce)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(ces, min_size=1, max_size=3), st.integers(0, 5))
+def test_random_rules_round_trip(condition_elements, salience):
+    rule = Rule(
+        name="gen",
+        condition_elements=tuple(condition_elements),
+        actions=(
+            MakeAction(
+                "R",
+                (
+                    ("a", ConstExpr(1)),
+                    ("b", ComputeExpr("+", ConstExpr(2), VarExpr("q"))),
+                ),
+            ),
+        ),
+        salience=salience,
+    )
+    program = Program(
+        schemas={"R": RelationSchema("R", ("a", "b", "c"))}, rules=[rule]
+    )
+    text = format_program(program)
+    reparsed = parse_program(text)
+    assert reparsed.rules == [rule]
+    assert reparsed.schemas == program.schemas

@@ -1,0 +1,103 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)]
+
+
+class TestBasicTokens:
+    def test_parens_and_braces(self):
+        assert kinds("( ) { }") == ["LPAREN", "RPAREN", "LBRACE", "RBRACE"]
+
+    def test_attribute(self):
+        (token,) = tokenize("^salary")
+        assert token.kind == "ATTR"
+        assert token.value == "salary"
+
+    def test_paper_up_arrow_is_attribute(self):
+        (token,) = tokenize("↑salary")
+        assert token.kind == "ATTR"
+        assert token.value == "salary"
+
+    def test_attribute_without_name_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("^ )")
+
+    def test_variable(self):
+        (token,) = tokenize("<S1>")
+        assert token.kind == "VAR"
+        assert token.value == "S1"
+
+    def test_malformed_variable_raises(self):
+        with pytest.raises(ParseError, match="missing '>'"):
+            tokenize("<abc ")
+
+    def test_arrow(self):
+        assert kinds("-->") == ["ARROW"]
+
+    def test_minus_alone_is_negation_marker(self):
+        assert kinds("- (") == ["MINUS", "LPAREN"]
+
+    def test_numbers(self):
+        assert values("7 -3 2.5 -0.5") == [7, -3, 2.5, -0.5]
+        assert kinds("7 -3 2.5") == ["NUMBER"] * 3
+
+    def test_symbols(self):
+        assert values("Mike Toy PlusOX") == ["Mike", "Toy", "PlusOX"]
+        assert kinds("Mike") == ["SYMBOL"]
+
+    def test_star_and_arith_are_symbols(self):
+        assert kinds("* + /") == ["SYMBOL"] * 3
+
+    def test_operators(self):
+        assert values("= <> < <= > >=") == ["=", "<>", "<", "<=", ">", ">="]
+        assert kinds("= <> < <= > >=") == ["OP"] * 6
+
+    def test_strings_three_quote_styles(self):
+        assert values("|hello world| 'a' \"b\"") == ["hello world", "a", "b"]
+        assert kinds("|x|") == ["STRING"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("|abc")
+
+    def test_comment_skipped(self):
+        assert values("Mike ; a comment\nSam") == ["Mike", "Sam"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("#")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestRealisticInput:
+    def test_condition_with_brace_test(self):
+        tokens = tokenize("(Emp ^name <M> ^salary {<S1> < <S>})")
+        assert [t.kind for t in tokens] == [
+            "LPAREN", "SYMBOL", "ATTR", "VAR", "ATTR",
+            "LBRACE", "VAR", "OP", "VAR", "RBRACE", "RPAREN",
+        ]
+
+    def test_negated_condition(self):
+        tokens = tokenize("-(Dept ^dno <D>)")
+        assert tokens[0].kind == "MINUS"
+        assert tokens[1].kind == "LPAREN"
+
+    def test_whole_rule_round_trip(self, example3_source):
+        tokens = tokenize(example3_source)
+        assert tokens[0].kind == "LPAREN"
+        assert tokens[-1].kind == "RPAREN"
+        assert sum(1 for t in tokens if t.kind == "ARROW") == 2

@@ -1,0 +1,178 @@
+"""Parser tests, built around the paper's own examples."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import (
+    AttributeTest,
+    ComputeExpr,
+    Constant,
+    ConstExpr,
+    HaltAction,
+    MakeAction,
+    ModifyAction,
+    RemoveAction,
+    Variable,
+    VarExpr,
+    WriteAction,
+    parse_program,
+    parse_rule,
+)
+
+
+class TestLiteralize:
+    def test_literalize_defines_schema(self):
+        program = parse_program("(literalize Emp name age salary dno)")
+        schema = program.schemas["Emp"]
+        assert schema.attributes == ("name", "age", "salary", "dno")
+
+    def test_duplicate_literalize_raises(self):
+        with pytest.raises(ParseError, match="literalized twice"):
+            parse_program("(literalize E a) (literalize E b)")
+
+
+class TestConditionElements:
+    def test_example2_plusox_structure(self, example2_source):
+        program = parse_program(example2_source)
+        plusox = program.rule("PlusOX")
+        goal, expression = plusox.condition_elements
+        assert goal.class_name == "Goal"
+        assert goal.tests == (
+            AttributeTest("Type", "=", Constant("Simplify")),
+            AttributeTest("Object", "=", Variable("N")),
+        )
+        assert expression.class_name == "Expression"
+        assert AttributeTest("Arg1", "=", Constant(0)) in expression.tests
+        assert AttributeTest("Op", "=", Constant("+")) in expression.tests
+
+    def test_example3_brace_test(self, example3_source):
+        program = parse_program(example3_source)
+        r1 = program.rule("R1")
+        second = r1.condition_elements[1]
+        salary_tests = second.tests_on("salary")
+        assert salary_tests == (
+            AttributeTest("salary", "=", Variable("S1")),
+            AttributeTest("salary", "<", Variable("S")),
+        )
+
+    def test_negated_condition(self):
+        rule = parse_rule(
+            "(p R (Emp ^dno <D>) -(Dept ^dno <D>) --> (remove 1))"
+        )
+        assert not rule.condition_elements[0].negated
+        assert rule.condition_elements[1].negated
+
+    def test_dont_care_star_produces_no_test(self):
+        rule = parse_rule("(p R (Emp ^name * ^dno 3) --> (halt))")
+        (ce,) = rule.condition_elements
+        assert ce.tests == (AttributeTest("dno", "=", Constant(3)),)
+
+    def test_nil_is_none(self):
+        rule = parse_rule("(p R (Emp ^name nil) --> (halt))")
+        assert rule.condition_elements[0].tests[0].operand == Constant(None)
+
+    def test_operator_tests(self):
+        rule = parse_rule("(p R (Emp ^age > 55 ^dno <> 3) --> (halt))")
+        (ce,) = rule.condition_elements
+        assert ce.tests == (
+            AttributeTest("age", ">", Constant(55)),
+            AttributeTest("dno", "<>", Constant(3)),
+        )
+
+    def test_star_after_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("(p R (Emp ^age > *) --> (halt))")
+
+    def test_empty_brace_rejected(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_rule("(p R (Emp ^age {}) --> (halt))")
+
+
+class TestActions:
+    def test_modify_with_nil(self, example2_source):
+        program = parse_program(example2_source)
+        (action,) = program.rule("PlusOX").actions
+        assert action == ModifyAction(
+            2, (("Op", ConstExpr(None)), ("Arg1", ConstExpr(None)))
+        )
+
+    def test_remove_multiple_indices_expands(self):
+        rule = parse_rule("(p R (Emp ^dno 1) --> (remove 1 1))")
+        assert rule.actions == (RemoveAction(1), RemoveAction(1))
+
+    def test_remove_without_index_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("(p R (Emp ^dno 1) --> (remove))")
+
+    def test_make_with_expressions(self):
+        rule = parse_rule(
+            "(p R (Emp ^salary <S>) --> "
+            "(make Emp ^salary (compute <S> + 10) ^name New))"
+        )
+        (action,) = rule.actions
+        assert isinstance(action, MakeAction)
+        attr, expr = action.assignments[0]
+        assert attr == "salary"
+        assert expr == ComputeExpr("+", VarExpr("S"), ConstExpr(10))
+
+    def test_compute_left_associative_chain(self):
+        rule = parse_rule(
+            "(p R (Emp ^salary <S>) --> (write (compute <S> + 1 * 2)))"
+        )
+        (action,) = rule.actions
+        (expr,) = action.expressions
+        assert expr == ComputeExpr(
+            "*", ComputeExpr("+", VarExpr("S"), ConstExpr(1)), ConstExpr(2)
+        )
+
+    def test_halt_write_bind_call(self):
+        rule = parse_rule(
+            "(p R (Emp ^name <N>) --> "
+            "(bind <X> 5) (write |name:| <N> <X>) (call log <N>) (halt))"
+        )
+        kinds = [type(a).__name__ for a in rule.actions]
+        assert kinds == ["BindAction", "WriteAction", "CallAction", "HaltAction"]
+        write = rule.actions[1]
+        assert isinstance(write, WriteAction)
+        assert write.expressions[0] == ConstExpr("name:")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ParseError, match="unknown action"):
+            parse_rule("(p R (Emp ^dno 1) --> (explode))")
+
+    def test_halt_action_singleton(self):
+        rule = parse_rule("(p R (Emp ^dno 1) --> (halt))")
+        assert rule.actions == (HaltAction(),)
+
+
+class TestProductions:
+    def test_salience_extension(self):
+        rule = parse_rule("(p R (salience 5) (Emp ^dno 1) --> (halt))")
+        assert rule.salience == 5
+
+    def test_default_salience_zero(self):
+        rule = parse_rule("(p R (Emp ^dno 1) --> (halt))")
+        assert rule.salience == 0
+
+    def test_duplicate_rule_rejected(self):
+        source = "(p R (Emp ^a 1) --> (halt)) (p R (Emp ^a 1) --> (halt))"
+        with pytest.raises(ParseError, match="defined twice"):
+            parse_program(source)
+
+    def test_rule_without_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("(p R (Emp ^dno 1) (halt))")
+
+    def test_program_with_rules_and_schemas(self, example3_source):
+        program = parse_program(example3_source)
+        assert set(program.schemas) == {"Emp", "Dept"}
+        assert [r.name for r in program.rules] == ["R1", "R2"]
+
+    def test_unknown_toplevel_form_rejected(self):
+        with pytest.raises(ParseError, match="literalize"):
+            parse_program("(defrule R)")
+
+    def test_rule_lookup_missing(self, example3_source):
+        program = parse_program(example3_source)
+        with pytest.raises(Exception, match="no rule named"):
+            program.rule("R99")

@@ -1,0 +1,90 @@
+"""Tests for the Predicate Indexing strategy (§2.3/[STON86a])."""
+
+import random
+
+from repro.engine import WorkingMemory
+from repro.instrument import Counters
+from repro.lang import analyze_program, parse_program
+from repro.match.markers import BasicLockingStrategy, PredicateIndexingStrategy
+
+SOURCE = """
+(literalize Emp name age dno)
+(literalize Dept dno dname)
+(p senior (Emp ^age > 55) --> (remove 1))
+(p works-in (Emp ^name <N> ^dno <D>) (Dept ^dno <D>) --> (remove 1))
+(p unstaffed (Dept ^dno <D> ^dname <W>) -(Emp ^dno <D>) --> (remove 1))
+"""
+
+
+def build(cls):
+    program = parse_program(SOURCE)
+    analyses = analyze_program(program.rules, program.schemas)
+    wm = WorkingMemory(program.schemas)
+    return wm, cls(wm, analyses, counters=Counters())
+
+
+class TestPredicateIndexing:
+    def test_registered(self):
+        from repro.match import STRATEGIES
+
+        assert STRATEGIES["predicate-index"] is PredicateIndexingStrategy
+
+    def test_detects_selections(self):
+        wm, strategy = build(PredicateIndexingStrategy)
+        wm.insert("Emp", ("Ann", 60, 1))
+        assert len(strategy.conflict_set) == 1
+
+    def test_detects_joins_and_negation(self):
+        wm, strategy = build(PredicateIndexingStrategy)
+        dept = wm.insert("Dept", (1, "Toy"))
+        assert {i.rule_name for i in strategy.instantiations()} == {"unstaffed"}
+        emp = wm.insert("Emp", ("Ann", 30, 1))
+        assert {i.rule_name for i in strategy.instantiations()} == {"works-in"}
+        wm.remove(emp)
+        assert {i.rule_name for i in strategy.instantiations()} == {"unstaffed"}
+
+    def test_no_marker_storage(self):
+        wm, strategy = build(PredicateIndexingStrategy)
+        emp = wm.insert("Emp", ("Ann", 60, 1))
+        assert wm.relation("Emp").markers(emp.tid) == frozenset()
+        report = strategy.space_report()
+        assert report.marker_entries == 0
+        assert report.detail["indexed_conditions"] == 5
+
+    def test_every_update_searches_the_index(self):
+        wm, strategy = build(PredicateIndexingStrategy)
+        before = strategy.counters.index_lookups
+        wm.insert("Emp", ("Ann", 30, 1))
+        assert strategy.counters.index_lookups == before + 1
+
+    def test_agrees_with_basic_locking_under_churn(self):
+        program = parse_program(SOURCE)
+        analyses = analyze_program(program.rules, program.schemas)
+        wm = WorkingMemory(program.schemas)
+        markers = BasicLockingStrategy(wm, analyses, counters=Counters())
+        indexed = PredicateIndexingStrategy(wm, analyses, counters=Counters())
+        rng = random.Random(2)
+        live = []
+        for _ in range(200):
+            if rng.random() < 0.65 or not live:
+                if rng.random() < 0.7:
+                    live.append(
+                        wm.insert(
+                            "Emp",
+                            (rng.choice("ab"), rng.randint(20, 70),
+                             rng.randint(1, 3)),
+                        )
+                    )
+                else:
+                    live.append(
+                        wm.insert("Dept", (rng.randint(1, 3), "Toy"))
+                    )
+            else:
+                wm.remove(live.pop(rng.randrange(len(live))))
+            assert markers.conflict_set_keys() == indexed.conflict_set_keys()
+
+    def test_false_drops_counted(self):
+        wm, strategy = build(PredicateIndexingStrategy)
+        wm.insert("Emp", ("Ann", 30, 9))  # works-in candidate, no dept 9
+        assert strategy.counters.false_drops >= 1
+        assert len(strategy.conflict_set) == 0

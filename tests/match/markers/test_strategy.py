@@ -1,0 +1,96 @@
+"""Tests for the tuple-marker (Basic Locking / POSTGRES) strategy."""
+
+from repro.engine import WorkingMemory
+from repro.lang import analyze_program, parse_program
+from repro.match.markers import BasicLockingStrategy, marker_name
+
+
+def build(source):
+    program = parse_program(source)
+    analyses = analyze_program(program.rules, program.schemas)
+    wm = WorkingMemory(program.schemas)
+    return wm, BasicLockingStrategy(wm, analyses)
+
+
+SOURCE = """
+(literalize Emp name dno)
+(literalize Dept dno dname)
+(p R1 (Emp ^name <N> ^dno <D>) (Dept ^dno <D>) --> (remove 1))
+(p R2 (Emp ^dno <D>) (Dept ^dno <D> ^dname Toy) --> (remove 1))
+"""
+
+
+class TestMarkers:
+    def test_markers_set_on_satisfying_tuples(self):
+        wm, markers = build(SOURCE)
+        emp = wm.insert("Emp", ("Mike", 1))
+        tagged = wm.relation("Emp").markers(emp.tid)
+        assert marker_name("R1", 1) in tagged
+        assert marker_name("R2", 1) in tagged
+
+    def test_marked_rules_lookup(self):
+        wm, markers = build(SOURCE)
+        emp = wm.insert("Emp", ("Mike", 1))
+        assert markers.marked_rules(emp) == {"R1", "R2"}
+
+    def test_non_matching_tuple_gets_no_marker(self):
+        source = """
+        (literalize Emp name dno)
+        (p only-mike (Emp ^name Mike) --> (remove 1))
+        """
+        wm, markers = build(source)
+        sam = wm.insert("Emp", ("Sam", 1))
+        assert wm.relation("Emp").markers(sam.tid) == frozenset()
+
+    def test_conflict_set_correct(self):
+        wm, markers = build(SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Dept", (1, "Toy"))
+        assert len(markers.conflict_set) == 2  # R1 and R2
+
+    def test_false_drops_counted(self):
+        """§3.2: 'a new insertion to that relation will trigger both of
+        these rules, even though it should not be fired because there are
+        no matching Dept tuples.'"""
+        wm, markers = build(SOURCE)
+        wm.insert("Emp", ("Mike", 1))  # no Dept yet: both validations fail
+        assert markers.counters.false_drops == 2
+        assert len(markers.conflict_set) == 0
+
+    def test_deletion_retracts(self):
+        wm, markers = build(SOURCE)
+        emp = wm.insert("Emp", ("Mike", 1))
+        wm.insert("Dept", (1, "Toy"))
+        wm.remove(emp)
+        assert len(markers.conflict_set) == 0
+
+    def test_negation(self):
+        source = """
+        (literalize Emp name dno)
+        (literalize Audit dno)
+        (p unaudited (Emp ^name <N> ^dno <D>) -(Audit ^dno <D>) --> (remove 1))
+        """
+        wm, markers = build(source)
+        audit = wm.insert("Audit", (1,))
+        wm.insert("Emp", ("Mike", 1))
+        assert len(markers.conflict_set) == 0
+        wm.remove(audit)
+        assert len(markers.conflict_set) == 1
+        wm.insert("Audit", (1,))
+        assert len(markers.conflict_set) == 0
+
+    def test_space_report_counts_marker_entries(self):
+        wm, markers = build(SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        report = markers.space_report()
+        assert report.strategy == "markers"
+        assert report.marker_entries == 2
+        # §3.2: marker space is lower than storing full tuples — one cell
+        # per marker.
+        assert report.estimated_cells == report.marker_entries
+
+    def test_markers_disappear_with_tuple(self):
+        wm, markers = build(SOURCE)
+        emp = wm.insert("Emp", ("Mike", 1))
+        wm.remove(emp)
+        assert markers.space_report().marker_entries == 0

@@ -1,0 +1,159 @@
+"""T3/T4: the paper's Example 4 initial COND relations and Example 5 trace.
+
+This is the reproduction's golden test: §4.2.1 gives the initial COND-A,
+COND-B and COND-C rows for Rule-1, and Example 5 inserts B(4,5,b), C(c,7,8),
+A(4,a,8), B(4,7,b) and tabulates the matching patterns accumulated in COND-A
+and COND-B, noting that "when B(4,7,b) is inserted, the last tuple in COND-B
+causes Rule-1 to be put in the conflict set because all Mark bits are set."
+"""
+
+import pytest
+
+from repro.engine import WorkingMemory
+from repro.lang import analyze_program, parse_program
+from repro.match.patterns import MatchingPatternsStrategy
+
+
+@pytest.fixture
+def system(example4_source):
+    program = parse_program(example4_source)
+    analyses = analyze_program(program.rules, program.schemas)
+    wm = WorkingMemory(program.schemas)
+    return wm, MatchingPatternsStrategy(wm, analyses)
+
+
+def rows(strategy, class_name, attrs):
+    return {
+        tuple(row[a] for a in attrs) + (row["Mark"],)
+        for row in strategy.cond_rows(class_name)
+    }
+
+
+class TestExample4InitialState:
+    """T3: the initial contents of the three COND relations."""
+
+    def test_cond_a_initial(self, system):
+        _, strategy = system
+        assert rows(strategy, "A", ("A1", "A2", "A3")) == {
+            ("<x>", "a", "<z>", "00"),
+        }
+
+    def test_cond_b_initial(self, system):
+        _, strategy = system
+        assert rows(strategy, "B", ("B1", "B2", "B3")) == {
+            ("<x>", "<y>", "b", "00"),
+        }
+
+    def test_cond_c_initial(self, system):
+        _, strategy = system
+        assert rows(strategy, "C", ("C1", "C2", "C3")) == {
+            ("c", "<y>", "<z>", "00"),
+        }
+
+    def test_rce_lists(self, system):
+        _, strategy = system
+        (row_a,) = strategy.cond_rows("A")
+        assert row_a["RCE"] == "2,3"
+        (row_b,) = strategy.cond_rows("B")
+        assert row_b["RCE"] == "1,3"
+        (row_c,) = strategy.cond_rows("C")
+        assert row_c["RCE"] == "1,2"
+
+
+class TestExample5Trace:
+    """T4: replaying the paper's insert sequence step by step."""
+
+    def test_after_b45(self, system):
+        wm, strategy = system
+        wm.insert("B", (4, 5, "b"))
+        assert rows(strategy, "A", ("A1", "A2", "A3")) == {
+            ("<x>", "a", "<z>", "00"),
+            ("4", "a", "<z>", "10"),  # "By tuple B(4,5,b)"
+        }
+        assert len(strategy.conflict_set) == 0
+
+    def test_after_c78(self, system):
+        wm, strategy = system
+        wm.insert("B", (4, 5, "b"))
+        wm.insert("C", ("c", 7, 8))
+        assert rows(strategy, "A", ("A1", "A2", "A3")) == {
+            ("<x>", "a", "<z>", "00"),
+            ("4", "a", "<z>", "10"),
+            ("<x>", "a", "8", "01"),  # "By tuple C(c,7,8)"
+        }
+        assert rows(strategy, "B", ("B1", "B2", "B3")) == {
+            ("<x>", "<y>", "b", "00"),
+            ("<x>", "7", "b", "01"),  # "By tuple C(c,7,8)"
+        }
+        assert len(strategy.conflict_set) == 0
+
+    def test_after_a4a8(self, system):
+        wm, strategy = system
+        wm.insert("B", (4, 5, "b"))
+        wm.insert("C", ("c", 7, 8))
+        wm.insert("A", (4, "a", 8))
+        b_rows = rows(strategy, "B", ("B1", "B2", "B3"))
+        assert ("4", "<y>", "b", "10") in b_rows  # "By tuple A(4,a,8)"
+        assert ("4", "7", "b", "11") in b_rows  # "By tuple A(4,a,8)"
+        assert len(strategy.conflict_set) == 0
+
+    def test_final_tables_and_conflict_set(self, system):
+        wm, strategy = system
+        wm.insert("B", (4, 5, "b"))
+        wm.insert("C", ("c", 7, 8))
+        wm.insert("A", (4, "a", 8))
+        wm.insert("B", (4, 7, "b"))
+        # The paper's final COND-A table.
+        assert rows(strategy, "A", ("A1", "A2", "A3")) == {
+            ("<x>", "a", "<z>", "00"),
+            ("4", "a", "<z>", "10"),
+            ("<x>", "a", "8", "01"),
+            ("4", "a", "8", "11"),  # "By tuple B(4,7,b)"
+        }
+        # The paper's final COND-B table.
+        assert rows(strategy, "B", ("B1", "B2", "B3")) == {
+            ("<x>", "<y>", "b", "00"),
+            ("<x>", "7", "b", "01"),
+            ("4", "<y>", "b", "10"),
+            ("4", "7", "b", "11"),
+        }
+        # "the last tuple in COND-B causes Rule-1 to be put in the conflict
+        # set because all Mark bits are set"
+        assert len(strategy.conflict_set) == 1
+        (inst,) = strategy.instantiations()
+        assert inst.rule_name == "Rule-1"
+        assert inst.binding_map() == {"x": 4, "y": 7, "z": 8}
+
+    def test_instantiation_references_the_right_tuples(self, system):
+        wm, strategy = system
+        b1 = wm.insert("B", (4, 5, "b"))
+        c = wm.insert("C", ("c", 7, 8))
+        a = wm.insert("A", (4, "a", 8))
+        b2 = wm.insert("B", (4, 7, "b"))
+        (inst,) = strategy.instantiations()
+        assert inst.key == (
+            "Rule-1",
+            (("A", a.tid), ("B", b2.tid), ("C", c.tid)),
+        )
+
+    def test_deleting_a_contributor_retracts_and_unmarks(self, system):
+        wm, strategy = system
+        wm.insert("B", (4, 5, "b"))
+        c = wm.insert("C", ("c", 7, 8))
+        wm.insert("A", (4, "a", 8))
+        wm.insert("B", (4, 7, "b"))
+        wm.remove(c)
+        assert len(strategy.conflict_set) == 0
+        # every pattern whose support came (only) from C loses its C mark
+        for row in strategy.cond_rows("A"):
+            assert row["Mark"][1] == "0"  # second mark is C's
+
+    def test_reinserting_contributor_restores(self, system):
+        wm, strategy = system
+        wm.insert("B", (4, 5, "b"))
+        c = wm.insert("C", ("c", 7, 8))
+        wm.insert("A", (4, "a", 8))
+        wm.insert("B", (4, 7, "b"))
+        wm.remove(c)
+        wm.insert("C", ("c", 7, 8))
+        assert len(strategy.conflict_set) == 1

@@ -1,0 +1,101 @@
+"""Tests for the §4.2.3 extensions: compaction and parallel maintenance."""
+
+import random
+
+from repro.engine import WorkingMemory
+from repro.instrument import Counters
+from repro.lang import analyze_program, parse_program
+from repro.match.patterns import MatchingPatternsStrategy
+from repro.match.rete import ReteStrategy
+
+JOIN_SOURCE = """
+(literalize Emp name dno)
+(literalize Dept dno dname)
+(p works-in (Emp ^name <N> ^dno <D>) (Dept ^dno <D>) --> (remove 1))
+"""
+
+THREE_WAY = """
+(literalize A v)
+(literalize B v)
+(literalize C v)
+(p tri (A ^v <x>) (B ^v <x>) (C ^v <x>) --> (remove 1))
+"""
+
+
+def build(source, cls=MatchingPatternsStrategy):
+    program = parse_program(source)
+    analyses = analyze_program(program.rules, program.schemas)
+    wm = WorkingMemory(program.schemas)
+    return wm, cls(wm, analyses, counters=Counters())
+
+
+class TestCompaction:
+    def test_compaction_removes_subsumed_patterns(self):
+        wm, strategy = build(JOIN_SOURCE)
+        # Many departments with the same dno pattern create redundant rows
+        # once a fully-pinned sibling exists.
+        for i in range(5):
+            wm.insert("Dept", (1, f"d{i}"))
+        wm.insert("Emp", ("Mike", 1))
+        before = strategy.space_report().stored_patterns
+        removed = strategy.compact()
+        after = strategy.space_report().stored_patterns
+        assert after == before - removed
+
+    def test_compaction_never_removes_templates(self):
+        wm, strategy = build(JOIN_SOURCE)
+        wm.insert("Dept", (1, "Toy"))
+        strategy.compact()
+        for class_name in ("Emp", "Dept"):
+            names = {
+                (p.rid, p.cen)
+                for _, group in strategy.stores[class_name].groups()
+                for p in group
+                if p.original
+            }
+            assert names  # original rows survive
+
+    def test_conflict_set_unchanged_by_compaction(self):
+        wm, strategy = build(THREE_WAY)
+        rng = random.Random(3)
+        live = []
+        for step in range(150):
+            if rng.random() < 0.65 or not live:
+                cls = rng.choice(["A", "B", "C"])
+                live.append(wm.insert(cls, (rng.randint(1, 4),)))
+            else:
+                wm.remove(live.pop(rng.randrange(len(live))))
+            if step % 10 == 0:
+                strategy.compact()
+        # Cross-check against a fresh Rete over the same final WM.
+        program = parse_program(THREE_WAY)
+        analyses = analyze_program(program.rules, program.schemas)
+        reference = ReteStrategy(wm, analyses, counters=Counters())
+        assert strategy.conflict_set_keys() == reference.conflict_set_keys()
+
+    def test_matching_still_works_after_compaction(self):
+        wm, strategy = build(THREE_WAY)
+        wm.insert("A", (1,))
+        wm.insert("B", (1,))
+        strategy.compact()
+        wm.insert("C", (1,))
+        assert len(strategy.conflict_set) == 1
+
+
+class TestParallelMaintenanceEstimate:
+    def test_no_maintenance_means_speedup_one(self):
+        _, strategy = build(JOIN_SOURCE)
+        assert strategy.parallel_speedup_estimate() == 1.0
+
+    def test_multi_target_propagation_is_parallelizable(self):
+        wm, strategy = build(THREE_WAY)
+        # An A insert propagates to both COND-B and COND-C: serial ops
+        # exceed the per-event max.
+        wm.insert("A", (1,))
+        assert strategy.maintenance_serial_ops > strategy.maintenance_parallel_ops
+        assert strategy.parallel_speedup_estimate() > 1.0
+
+    def test_single_target_propagation_is_serial(self):
+        wm, strategy = build(JOIN_SOURCE)
+        wm.insert("Dept", (1, "Toy"))  # propagates only to COND-Emp
+        assert strategy.parallel_speedup_estimate() == 1.0

@@ -1,0 +1,126 @@
+"""Unit tests for pattern slots, specialization, merging, and marks."""
+
+from repro.lang import analyze_program, parse_program
+from repro.match.patterns import (
+    PatternTuple,
+    merge,
+    slot_display,
+    specialize,
+    template_restrictions,
+)
+
+
+def condition_of(source, rule, cen):
+    program = parse_program(source)
+    analyses = analyze_program(program.rules, program.schemas)
+    return analyses[rule].condition(cen), program.schemas
+
+
+SOURCE = """
+(literalize A A1 A2 A3)
+(p R (A ^A1 <x> ^A2 a ^A3 > 5) --> (halt))
+"""
+
+
+class TestTemplates:
+    def test_template_slots(self):
+        condition, schemas = condition_of(SOURCE, "R", 1)
+        template = template_restrictions(condition, schemas["A"])
+        # <x> is a variable slot, 'a' a pinned constant, '> 5' renders as
+        # a don't-care slot (the operator test applies via the condition).
+        assert template == (("var", "x"), ("const", "a"), None)
+
+    def test_specialize_pins_bound_variables(self):
+        condition, schemas = condition_of(SOURCE, "R", 1)
+        template = template_restrictions(condition, schemas["A"])
+        assert specialize(template, {"x": 4}) == (
+            ("const", 4),
+            ("const", "a"),
+            None,
+        )
+
+    def test_specialize_ignores_unbound(self):
+        condition, schemas = condition_of(SOURCE, "R", 1)
+        template = template_restrictions(condition, schemas["A"])
+        assert specialize(template, {"q": 9}) == template
+
+
+class TestMerge:
+    def test_merge_constants_must_agree(self):
+        assert merge((("const", 1),), (("const", 1),)) == (("const", 1),)
+        assert merge((("const", 1),), (("const", 2),)) is None
+
+    def test_merge_keeps_most_specific(self):
+        left = (("var", "x"), ("const", "a"), None)
+        right = (("const", 4), ("const", "a"), None)
+        assert merge(left, right) == (("const", 4), ("const", "a"), None)
+        assert merge(right, left) == (("const", 4), ("const", "a"), None)
+
+    def test_merge_var_with_none(self):
+        assert merge((("var", "x"),), (None,)) == (("var", "x"),)
+
+
+class TestSlotDisplay:
+    def test_display_forms(self):
+        assert slot_display(None) == "*"
+        assert slot_display(("var", "x")) == "<x>"
+        assert slot_display(("const", 4)) == "4"
+        assert slot_display(("const", None)) == "nil"
+
+
+class TestMarks:
+    def make(self, rce=(1, 2)):
+        return PatternTuple(
+            rid="R", cen=1, restrictions=(None,), rce=rce
+        )
+
+    def test_support_add_remove(self):
+        pattern = self.make()
+        assert pattern.add_support(1, ("B", 1))
+        assert not pattern.add_support(1, ("B", 1))  # dedupe
+        assert pattern.count(1) == 1
+        assert pattern.remove_support(1, ("B", 1))
+        assert not pattern.remove_support(1, ("B", 1))
+        assert pattern.count(1) == 0
+
+    def test_mark_bits_positive(self):
+        pattern = self.make()
+        pattern.add_support(1, ("B", 1))
+        assert pattern.mark_bits(frozenset()) == "10"
+        pattern.add_support(2, ("C", 1))
+        assert pattern.mark_bits(frozenset()) == "11"
+
+    def test_mark_bits_negated_inverted(self):
+        pattern = self.make()
+        # rce index 2 negated: mark set while count == 0
+        assert pattern.mark_bits(frozenset({2})) == "01"
+        pattern.add_support(2, ("N", 1))
+        assert pattern.mark_bits(frozenset({2})) == "00"
+
+    def test_is_full(self):
+        pattern = self.make()
+        assert not pattern.is_full(frozenset())
+        pattern.add_support(1, ("B", 1))
+        pattern.add_support(2, ("C", 1))
+        assert pattern.is_full(frozenset())
+
+    def test_is_full_with_negated(self):
+        pattern = self.make()
+        pattern.add_support(1, ("B", 1))
+        assert pattern.is_full(frozenset({2}))  # no blocker
+        pattern.add_support(2, ("N", 1))
+        assert not pattern.is_full(frozenset({2}))
+
+    def test_blocks(self):
+        pattern = self.make()
+        assert not pattern.blocks(frozenset({2}))
+        pattern.add_support(2, ("N", 1))
+        assert pattern.blocks(frozenset({2}))
+
+    def test_all_zero(self):
+        pattern = self.make()
+        assert pattern.all_zero()
+        pattern.add_support(1, ("B", 1))
+        assert not pattern.all_zero()
+        pattern.remove_support(1, ("B", 1))
+        assert pattern.all_zero()

@@ -1,0 +1,128 @@
+"""Unit tests for the PatternStore (COND relation container)."""
+
+import pytest
+
+from repro.instrument import Counters
+from repro.lang import analyze_program, parse_program
+from repro.match.patterns.pattern import PatternTuple
+from repro.match.patterns.store import PatternStore, make_stores
+
+
+def build_store():
+    program = parse_program(
+        """
+        (literalize A a1 a2)
+        (literalize B b1 b2)
+        (p R (A ^a1 <x> ^a2 k) (B ^b1 <x>) --> (halt))
+        """
+    )
+    analyses = analyze_program(program.rules, program.schemas)
+    stores = make_stores(analyses, program.schemas, Counters())
+    return stores, analyses["R"]
+
+
+class TestStoreBasics:
+    def test_templates_installed(self):
+        stores, _ = build_store()
+        assert stores["A"].pattern_count() == 1
+        assert stores["B"].pattern_count() == 1
+        assert stores["A"].template("R", 1).original
+        assert stores["A"].derived_count() == 0
+
+    def test_group_lists_all_variants(self):
+        stores, _ = build_store()
+        template = stores["A"].template("R", 1)
+        created, was_new = stores["A"].find_or_create(
+            template, (("const", 4), ("const", "k"))
+        )
+        assert was_new
+        assert len(stores["A"].group("R", 1)) == 2
+        again, was_new2 = stores["A"].find_or_create(
+            template, (("const", 4), ("const", "k"))
+        )
+        assert not was_new2
+        assert again is created
+
+    def test_find_or_create_copies_supports(self):
+        stores, _ = build_store()
+        template = stores["A"].template("R", 1)
+        template.add_support(1, ("B", 9))
+        created, _ = stores["A"].find_or_create(
+            template, (("const", 4), ("const", "k"))
+        )
+        assert created.count(1) == 1
+        # ... as an independent copy
+        created.add_support(1, ("B", 10))
+        assert template.count(1) == 1
+
+    def test_discard_only_removes_derived(self):
+        stores, _ = build_store()
+        template = stores["A"].template("R", 1)
+        created, _ = stores["A"].find_or_create(
+            template, (("const", 4), ("const", "k"))
+        )
+        stores["A"].discard(template)  # no-op
+        assert stores["A"].pattern_count() == 2
+        stores["A"].discard(created)
+        assert stores["A"].pattern_count() == 1
+
+    def test_cell_count_scales_with_patterns(self):
+        stores, _ = build_store()
+        base = stores["A"].cell_count()
+        template = stores["A"].template("R", 1)
+        stores["A"].find_or_create(template, (("const", 4), ("const", "k")))
+        assert stores["A"].cell_count() > base
+
+
+class TestStoreCompaction:
+    def _with_specializations(self):
+        stores, analysis = build_store()
+        store = stores["A"]
+        template = store.template("R", 1)
+        general, _ = store.find_or_create(
+            template, (("var", "x"), ("const", "k"))
+        )
+        specific, _ = store.find_or_create(
+            template, (("const", 4), ("const", "k"))
+        )
+        return store, template, specific
+
+    def test_subsumption_requires_support_coverage(self):
+        store, template, specific = self._with_specializations()
+        specific.add_support(1, ("B", 1))
+        removed = store.compact()
+        # the specialization holds support its cover lacks: kept
+        assert removed == 0
+        assert store.pattern_count() == 2
+
+    def test_subsumed_pattern_removed_when_covered(self):
+        store, template, specific = self._with_specializations()
+        specific.add_support(1, ("B", 1))
+        template.add_support(1, ("B", 1))
+        removed = store.compact()
+        assert removed == 1
+        assert specific.restrictions not in {
+            p.restrictions for p in store.group("R", 1)
+        }
+
+    def test_folding_respects_cap_and_transfers_support(self):
+        store, template, specific = self._with_specializations()
+        specific.add_support(1, ("B", 7))
+        transfers = []
+        removed = store.compact(
+            max_per_condition=1,
+            on_transfer=lambda target, k, contributors: transfers.append(
+                (target, k, set(contributors))
+            ),
+        )
+        assert removed == 1
+        assert len(store.group("R", 1)) == 1
+        (survivor,) = store.group("R", 1)
+        assert survivor.original
+        assert survivor.count(1) == 1  # folded support arrived
+        assert transfers and transfers[0][2] == {("B", 7)}
+
+    def test_folding_never_drops_originals(self):
+        store, template, _ = self._with_specializations()
+        store.compact(max_per_condition=0)
+        assert any(p.original for p in store.group("R", 1))

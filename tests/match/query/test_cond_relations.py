@@ -1,0 +1,104 @@
+"""T1/T2: the paper's §4.1.1 COND and RULE-DEF tables for Example 2."""
+
+import pytest
+
+from repro.lang import analyze_program, parse_program
+from repro.match.query import CondRelations, RuleDefRelation
+from repro.storage import Catalog
+
+
+@pytest.fixture
+def example2(example2_source):
+    program = parse_program(example2_source)
+    analyses = analyze_program(program.rules, program.schemas)
+    return program, analyses
+
+
+class TestCondRelationsT1:
+    """§4.1.1: 'the rule set of Example 2 can be represented as two COND
+    relations', COND-Goal and COND-Expression."""
+
+    def test_cond_goal_contents(self, example2):
+        program, analyses = example2
+        catalog = Catalog()
+        cond = CondRelations(catalog, analyses, program.schemas)
+        rows = {
+            (r["rule_id"], r["Type"], r["Object"])
+            for r in cond.rows("Goal")
+        }
+        # Paper's COND-Goal: (Plus0x, Simplify, <#>) and (Time0x, Simplify, <#>)
+        assert rows == {
+            ("PlusOX", "Simplify", "<N>"),
+            ("TimesOX", "Simplify", "<N>"),
+        }
+
+    def test_cond_expression_contents(self, example2):
+        program, analyses = example2
+        catalog = Catalog()
+        cond = CondRelations(catalog, analyses, program.schemas)
+        rows = {
+            (r["rule_id"], r["Name"], r["Arg1"], r["Op"], r["Arg2"])
+            for r in cond.rows("Expression")
+        }
+        # Paper's COND-Expression: (Plus0x, <#>, 0, '+', *) and
+        # (Time0x, <#>, 0, '*', *) — <X> is a don't-care connection-wise but
+        # we render the variable name the rule text uses.
+        assert rows == {
+            ("PlusOX", "<N>", "0", "+", "<X>"),
+            ("TimesOX", "<N>", "0", "*", "<X>"),
+        }
+
+    def test_one_cond_relation_per_class(self, example2):
+        program, analyses = example2
+        catalog = Catalog()
+        cond = CondRelations(catalog, analyses, program.schemas)
+        assert cond.classes() == {"Goal", "Expression"}
+
+    def test_cell_count(self, example2):
+        program, analyses = example2
+        catalog = Catalog()
+        cond = CondRelations(catalog, analyses, program.schemas)
+        assert cond.cell_count() > 0
+
+
+class TestRuleDefT2:
+    """§4.1.1: 'RULE-DEF contains one tuple for each condition of each
+    rule' with a Check bit."""
+
+    def test_one_row_per_condition(self, example2):
+        program, analyses = example2
+        catalog = Catalog()
+        rule_def = RuleDefRelation(catalog, analyses)
+        assert rule_def.rows() == [
+            ("PlusOX", 1, 0),
+            ("PlusOX", 2, 0),
+            ("TimesOX", 1, 0),
+            ("TimesOX", 2, 0),
+        ]
+
+    def test_check_bit_set_and_reset(self, example2):
+        program, analyses = example2
+        catalog = Catalog()
+        rule_def = RuleDefRelation(catalog, analyses)
+        rule_def.set_check("PlusOX", 1, True)
+        assert rule_def.check("PlusOX", 1)
+        assert not rule_def.check("PlusOX", 2)
+        rule_def.set_check("PlusOX", 1, False)
+        assert not rule_def.check("PlusOX", 1)
+
+    def test_all_set(self, example2):
+        program, analyses = example2
+        catalog = Catalog()
+        rule_def = RuleDefRelation(catalog, analyses)
+        rule_def.set_check("PlusOX", 1, True)
+        rule_def.set_check("PlusOX", 2, True)
+        assert rule_def.all_set("PlusOX", [1, 2])
+        assert not rule_def.all_set("TimesOX", [1, 2])
+
+    def test_set_check_idempotent(self, example2):
+        program, analyses = example2
+        catalog = Catalog()
+        rule_def = RuleDefRelation(catalog, analyses)
+        rule_def.set_check("PlusOX", 1, True)
+        rule_def.set_check("PlusOX", 1, True)
+        assert rule_def.check("PlusOX", 1)

@@ -1,0 +1,78 @@
+"""Tests for the R-tree-accelerated simplified strategy (§4.1.2/§4.2.3)."""
+
+import random
+
+from repro.engine import WorkingMemory
+from repro.instrument import Counters
+from repro.lang import analyze_program, parse_program
+from repro.match.query import IndexedSimplifiedStrategy, SimplifiedStrategy
+
+
+def build_pair(source):
+    program = parse_program(source)
+    analyses = analyze_program(program.rules, program.schemas)
+    wm = WorkingMemory(program.schemas)
+    plain = SimplifiedStrategy(wm, analyses, counters=Counters())
+    indexed = IndexedSimplifiedStrategy(wm, analyses, counters=Counters())
+    return wm, plain, indexed
+
+
+MANY_SELECTIONS = "\n".join(
+    ["(literalize Emp age salary dno)"]
+    + [
+        f"(p band{i} (Emp ^age > {i * 10} ^age < {i * 10 + 15}) --> (remove 1))"
+        for i in range(9)
+    ]
+)
+
+
+class TestIndexedSimplified:
+    def test_registered_under_its_own_name(self):
+        from repro.match import STRATEGIES
+
+        assert STRATEGIES["simplified-indexed"] is IndexedSimplifiedStrategy
+
+    def test_same_conflict_set_as_plain(self):
+        wm, plain, indexed = build_pair(MANY_SELECTIONS)
+        rng = random.Random(0)
+        live = []
+        for _ in range(150):
+            if rng.random() < 0.7 or not live:
+                live.append(wm.insert("Emp", (rng.randint(0, 99), 100, 1)))
+            else:
+                wm.remove(live.pop(rng.randrange(len(live))))
+            assert plain.conflict_set_keys() == indexed.conflict_set_keys()
+
+    def test_index_prunes_condition_checks(self):
+        wm, plain, indexed = build_pair(MANY_SELECTIONS)
+        wm.insert("Emp", (42, 100, 1))
+        # The plain strategy compares the tuple against all 9 conditions;
+        # the indexed one only against boxes containing age=42.
+        assert indexed.counters.comparisons < plain.counters.comparisons
+        assert indexed.counters.index_lookups > 0
+
+    def test_join_rules_still_work(self):
+        source = """
+        (literalize Emp name dno)
+        (literalize Dept dno dname)
+        (p works-in (Emp ^name <N> ^dno <D>) (Dept ^dno <D>) --> (remove 1))
+        """
+        wm, plain, indexed = build_pair(source)
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Dept", (1, "Toy"))
+        assert len(indexed.conflict_set) == 1
+        assert plain.conflict_set_keys() == indexed.conflict_set_keys()
+
+    def test_negation_still_works(self):
+        source = """
+        (literalize Emp name dno)
+        (literalize Audit dno)
+        (p clean (Emp ^name <N> ^dno <D>) -(Audit ^dno <D>) --> (remove 1))
+        """
+        wm, plain, indexed = build_pair(source)
+        wm.insert("Emp", ("Mike", 1))
+        audit = wm.insert("Audit", (1,))
+        assert plain.conflict_set_keys() == indexed.conflict_set_keys() == set()
+        wm.remove(audit)
+        assert plain.conflict_set_keys() == indexed.conflict_set_keys()
+        assert len(indexed.conflict_set) == 1

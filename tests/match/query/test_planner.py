@@ -1,0 +1,72 @@
+"""Index-recommendation tests."""
+
+from repro.engine import WorkingMemory
+from repro.instrument import Counters
+from repro.lang import analyze_program, parse_program
+from repro.match.query import (
+    SimplifiedStrategy,
+    apply_recommended_indexes,
+    recommend_indexes,
+)
+
+SOURCE = """
+(literalize Emp name salary dno)
+(literalize Dept dno dname floor)
+(p works-in (Emp ^name <N> ^dno <D>) (Dept ^dno <D>) --> (remove 1))
+(p toy (Dept ^dname Toy ^floor > 2) --> (remove 1))
+"""
+
+
+def analyzed():
+    program = parse_program(SOURCE)
+    return program, analyze_program(program.rules, program.schemas)
+
+
+class TestRecommendIndexes:
+    def test_join_and_binding_attributes_recommended(self):
+        _, analyses = analyzed()
+        recs = recommend_indexes(analyses)
+        assert recs["Emp"] == {"name", "dno"}
+        assert "dno" in recs["Dept"]
+
+    def test_equality_constants_recommended(self):
+        _, analyses = analyzed()
+        assert "dname" in recommend_indexes(analyses)["Dept"]
+
+    def test_inequality_tests_not_recommended(self):
+        _, analyses = analyzed()
+        assert "floor" not in recommend_indexes(analyses)["Dept"]
+
+    def test_apply_builds_indexes(self):
+        program, analyses = analyzed()
+        wm = WorkingMemory(program.schemas)
+        built = apply_recommended_indexes(wm, analyses)
+        assert built == 4
+        assert wm.relation("Emp").indexed_attributes() == {"name", "dno"}
+
+    def test_apply_is_idempotent(self):
+        program, analyses = analyzed()
+        wm = WorkingMemory(program.schemas)
+        apply_recommended_indexes(wm, analyses)
+        assert apply_recommended_indexes(wm, analyses) == 0
+
+    def test_indexes_speed_up_simplified_matching(self):
+        program, analyses = analyzed()
+
+        def run(with_indexes):
+            # WM-table I/O lands on the WM's counters, so measure those.
+            wm = WorkingMemory(program.schemas)
+            strategy = SimplifiedStrategy(wm, analyses, counters=Counters())
+            if with_indexes:
+                apply_recommended_indexes(wm, analyses)
+            for i in range(60):
+                wm.insert("Emp", (f"e{i}", 100, i % 10))
+            for d in range(10):
+                wm.insert("Dept", (d, "Toy", 1))
+            return strategy, wm.counters
+
+        plain, plain_io = run(False)
+        indexed, indexed_io = run(True)
+        assert indexed.conflict_set_keys() == plain.conflict_set_keys()
+        assert indexed_io.tuple_reads < plain_io.tuple_reads
+        assert indexed_io.index_lookups > 0

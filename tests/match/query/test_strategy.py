@@ -1,0 +1,111 @@
+"""Behavioural tests for the §4.1 simplified strategy."""
+
+from repro.engine import WorkingMemory
+from repro.lang import analyze_program, parse_program
+from repro.match.query import SimplifiedStrategy
+
+
+def build(source):
+    program = parse_program(source)
+    analyses = analyze_program(program.rules, program.schemas)
+    wm = WorkingMemory(program.schemas)
+    return wm, SimplifiedStrategy(wm, analyses)
+
+
+JOIN_SOURCE = """
+(literalize Emp name dno)
+(literalize Dept dno dname)
+(p works-in (Emp ^name <N> ^dno <D>) (Dept ^dno <D>) --> (remove 1))
+"""
+
+
+class TestSimplifiedMatching:
+    def test_insert_seeds_query(self):
+        wm, simp = build(JOIN_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Dept", (1, "Toy"))
+        assert len(simp.conflict_set) == 1
+
+    def test_join_recomputed_on_every_change(self):
+        wm, simp = build(JOIN_SOURCE)
+        wm.insert("Dept", (1, "Toy"))
+        before = simp.counters.snapshot()
+        wm.insert("Emp", ("Mike", 1))
+        # §4.1: "re-computation of joins is necessary whenever a change is
+        # made to the working memory"
+        assert simp.counters.diff(before)["joins_computed"] >= 1
+
+    def test_delete_retracts(self):
+        wm, simp = build(JOIN_SOURCE)
+        emp = wm.insert("Emp", ("Mike", 1))
+        wm.insert("Dept", (1, "Toy"))
+        wm.remove(emp)
+        assert len(simp.conflict_set) == 0
+
+    def test_no_intermediate_storage(self):
+        wm, simp = build(JOIN_SOURCE)
+        for i in range(20):
+            wm.insert("Emp", (f"e{i}", 1))
+        wm.insert("Dept", (1, "Toy"))
+        report = simp.space_report()
+        # Only the static COND/RULE-DEF rows — independent of WM size.
+        assert report.stored_tokens == 0
+        assert report.stored_patterns == 0
+        empty_wm, empty_simp = build(JOIN_SOURCE)
+        assert (
+            report.estimated_cells
+            == empty_simp.space_report().estimated_cells
+        )
+
+
+NEGATION_SOURCE = """
+(literalize Emp name dno)
+(literalize Audit dno)
+(p unaudited (Emp ^name <N> ^dno <D>) -(Audit ^dno <D>) --> (remove 1))
+"""
+
+
+class TestSimplifiedNegation:
+    def test_insert_witness_retracts(self):
+        wm, simp = build(NEGATION_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        assert len(simp.conflict_set) == 1
+        wm.insert("Audit", (1,))
+        assert len(simp.conflict_set) == 0
+
+    def test_delete_witness_reevaluates(self):
+        wm, simp = build(NEGATION_SOURCE)
+        audit = wm.insert("Audit", (1,))
+        wm.insert("Emp", ("Mike", 1))
+        assert len(simp.conflict_set) == 0
+        wm.remove(audit)
+        assert len(simp.conflict_set) == 1
+
+    def test_witness_only_blocks_compatible_bindings(self):
+        wm, simp = build(NEGATION_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Emp", ("Sam", 2))
+        wm.insert("Audit", (1,))
+        (inst,) = simp.instantiations()
+        assert inst.binding_map()["N"] == "Sam"
+
+
+class TestCheckBits:
+    def test_check_bits_track_satisfaction(self):
+        wm, simp = build(JOIN_SOURCE)
+        assert not simp.rule_def.check("works-in", 1)
+        emp = wm.insert("Emp", ("Mike", 1))
+        assert simp.rule_def.check("works-in", 1)
+        assert not simp.rule_def.check("works-in", 2)
+        wm.insert("Dept", (1, "Toy"))
+        assert simp.rule_def.all_set("works-in", [1, 2])
+        wm.remove(emp)
+        assert not simp.rule_def.check("works-in", 1)
+
+    def test_negated_check_bit_defaults_set(self):
+        wm, simp = build(NEGATION_SOURCE)
+        assert simp.rule_def.check("unaudited", 2)
+        audit = wm.insert("Audit", (1,))
+        assert not simp.rule_def.check("unaudited", 2)
+        wm.remove(audit)
+        assert simp.rule_def.check("unaudited", 2)

@@ -1,0 +1,119 @@
+"""Network-compilation tests, including the Figure 3 topology (F3)."""
+
+from repro.engine import WorkingMemory
+from repro.lang import analyze_program, parse_program
+from repro.match.rete import ReteStrategy, SharedReteStrategy, build_network
+
+
+def compile_network(source, share=False):
+    program = parse_program(source)
+    analyses = analyze_program(program.rules, program.schemas)
+    return build_network(analyses, program.schemas, share=share)
+
+
+class TestFigure3Topology:
+    """Figure 3: the network compiled from the two rules of Example 2."""
+
+    def test_figure3_topology(self, example2_source):
+        network = compile_network(example2_source)
+        # Naive compilation: one alpha memory per condition element —
+        # 2 rules x 2 CEs.  The class check plus the constant tests of each
+        # CE fold into the alpha memory's one-input test chain.
+        assert len(network.alpha_memories) == 4
+        assert {am.class_name for am in network.alpha_memories} == {
+            "Goal",
+            "Expression",
+        }
+        # One two-input node per CE, terminal per rule.
+        assert len(network.join_nodes) == 4
+        assert len(network.production_nodes) == 2
+        # The join on <N> is a single equality test at the Expression level.
+        terminal_joins = [
+            j for j in network.join_nodes if j.amem.class_name == "Expression"
+        ]
+        for join in terminal_joins:
+            assert len(join.tests) == 1
+            (test,) = join.tests
+            assert test.op == "="
+            assert test.levels_up == 1
+
+    def test_shared_network_collapses_common_goal_test(self, example2_source):
+        shared = compile_network(example2_source, share=True)
+        naive = compile_network(example2_source, share=False)
+        # Both rules test the identical (Goal ^Type Simplify ^Object <N>)
+        # condition: sharing folds the two Goal alpha memories into one and
+        # shares the first join.
+        assert len(shared.alpha_memories) == 3
+        assert len(naive.alpha_memories) == 4
+        assert len(shared.join_nodes) <= len(naive.join_nodes)
+
+    def test_node_count(self, example2_source):
+        network = compile_network(example2_source)
+        assert network.node_count() == 4 + 4 + 0 + 2
+
+
+class TestChainNetworks:
+    """Figure 1: the chain C1 ∧ C2 ∧ ... ∧ Cn."""
+
+    def _chain_source(self, n):
+        lines = ["(literalize C0 v)"]
+        ces = ["(C0 ^v <x>)"]
+        for i in range(1, n):
+            lines.append(f"(literalize C{i} v)")
+            ces.append(f"(C{i} ^v <x>)")
+        lines.append(f"(p chain {' '.join(ces)} --> (halt))")
+        return "\n".join(lines)
+
+    def test_chain_depth_matches_condition_count(self):
+        network = compile_network(self._chain_source(5))
+        assert len(network.join_nodes) == 5
+        assert len(network.beta_memories) == 5  # top + 4 intermediate
+
+    def test_propagation_cost_grows_with_depth(self):
+        """§4's complaint: inserting into a deep chain costs activations."""
+        costs = {}
+        for n in (2, 6):
+            source = self._chain_source(n)
+            program = parse_program(source)
+            analyses = analyze_program(program.rules, program.schemas)
+            wm = WorkingMemory(program.schemas)
+            strategy = ReteStrategy(wm, analyses)
+            # fill every class, then measure one insert into C0
+            for i in range(n):
+                wm.insert(f"C{i}", (1,))
+            before = strategy.counters.snapshot()
+            wm.insert("C0", (1,))
+            costs[n] = strategy.counters.diff(before)["node_activations"]
+        assert costs[6] > costs[2]
+
+
+class TestSharing:
+    def test_identical_rules_share_everything_but_production(self):
+        source = """
+        (literalize E a b)
+        (p r1 (E ^a 1 ^b <x>) (E ^a 2 ^b <x>) --> (halt))
+        (p r2 (E ^a 1 ^b <x>) (E ^a 2 ^b <x>) --> (remove 1))
+        """
+        shared = compile_network(source, share=True)
+        naive = compile_network(source, share=False)
+        assert len(shared.alpha_memories) == 2
+        assert len(naive.alpha_memories) == 4
+        assert len(shared.join_nodes) == 2
+        assert len(naive.join_nodes) == 4
+        assert len(shared.production_nodes) == 2
+
+    def test_shared_and_naive_agree_on_matches(self):
+        source = """
+        (literalize E a b)
+        (p r1 (E ^a 1 ^b <x>) (E ^a 2 ^b <x>) --> (halt))
+        (p r2 (E ^a 1 ^b <x>) (E ^a 2 ^b <x>) --> (remove 1))
+        """
+        program = parse_program(source)
+        analyses = analyze_program(program.rules, program.schemas)
+        wm = WorkingMemory(program.schemas)
+        naive = ReteStrategy(wm, analyses)
+        shared = SharedReteStrategy(wm, analyses)
+        wm.insert("E", (1, 7))
+        wm.insert("E", (2, 7))
+        assert naive.conflict_set_keys() == shared.conflict_set_keys()
+        assert len(naive.conflict_set) == 2

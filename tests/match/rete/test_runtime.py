@@ -1,0 +1,196 @@
+"""Rete runtime behaviour: propagation, retraction, negation, memories."""
+
+import pytest
+
+from repro.engine import WorkingMemory
+from repro.lang import analyze_program, parse_program
+from repro.match.rete import DbmsReteStrategy, ReteStrategy
+
+
+def build(source, strategy_cls=ReteStrategy, **kwargs):
+    program = parse_program(source)
+    analyses = analyze_program(program.rules, program.schemas)
+    wm = WorkingMemory(program.schemas)
+    return wm, strategy_cls(wm, analyses, **kwargs)
+
+
+JOIN_SOURCE = """
+(literalize Emp name dno)
+(literalize Dept dno dname)
+(p works-in (Emp ^name <N> ^dno <D>) (Dept ^dno <D> ^dname <W>) --> (remove 1))
+"""
+
+
+class TestJoinPropagation:
+    def test_left_then_right_arrival(self):
+        wm, rete = build(JOIN_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        assert len(rete.conflict_set) == 0  # queued, waiting for a match
+        wm.insert("Dept", (1, "Toy"))
+        assert len(rete.conflict_set) == 1
+
+    def test_right_then_left_arrival(self):
+        wm, rete = build(JOIN_SOURCE)
+        wm.insert("Dept", (1, "Toy"))
+        wm.insert("Emp", ("Mike", 1))
+        assert len(rete.conflict_set) == 1
+
+    def test_non_joining_tuples_stay_queued(self):
+        wm, rete = build(JOIN_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Dept", (2, "Toy"))
+        assert len(rete.conflict_set) == 0
+
+    def test_multiple_matches_produce_multiple_instantiations(self):
+        wm, rete = build(JOIN_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Emp", ("Sam", 1))
+        wm.insert("Dept", (1, "Toy"))
+        assert len(rete.conflict_set) == 2
+
+    def test_retraction_of_left_element(self):
+        wm, rete = build(JOIN_SOURCE)
+        emp = wm.insert("Emp", ("Mike", 1))
+        wm.insert("Dept", (1, "Toy"))
+        wm.remove(emp)
+        assert len(rete.conflict_set) == 0
+
+    def test_retraction_of_right_element(self):
+        wm, rete = build(JOIN_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        dept = wm.insert("Dept", (1, "Toy"))
+        wm.remove(dept)
+        assert len(rete.conflict_set) == 0
+
+    def test_retraction_then_reinsertion(self):
+        wm, rete = build(JOIN_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        dept = wm.insert("Dept", (1, "Toy"))
+        wm.remove(dept)
+        wm.insert("Dept", (1, "Shoe"))
+        assert len(rete.conflict_set) == 1
+
+    def test_bindings_exposed(self):
+        wm, rete = build(JOIN_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Dept", (1, "Toy"))
+        (inst,) = rete.instantiations()
+        assert inst.binding_map() == {"N": "Mike", "D": 1, "W": "Toy"}
+
+
+NEGATION_SOURCE = """
+(literalize Emp name dno)
+(literalize Audit dno)
+(p unaudited (Emp ^name <N> ^dno <D>) -(Audit ^dno <D>) --> (remove 1))
+"""
+
+
+class TestNegation:
+    def test_fires_without_witness(self):
+        wm, rete = build(NEGATION_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        assert len(rete.conflict_set) == 1
+
+    def test_witness_blocks(self):
+        wm, rete = build(NEGATION_SOURCE)
+        wm.insert("Audit", (1,))
+        wm.insert("Emp", ("Mike", 1))
+        assert len(rete.conflict_set) == 0
+
+    def test_witness_arriving_later_retracts(self):
+        wm, rete = build(NEGATION_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Audit", (1,))
+        assert len(rete.conflict_set) == 0
+
+    def test_unrelated_witness_does_not_block(self):
+        wm, rete = build(NEGATION_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Audit", (2,))
+        assert len(rete.conflict_set) == 1
+
+    def test_last_witness_removal_reenables(self):
+        wm, rete = build(NEGATION_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        a1 = wm.insert("Audit", (1,))
+        a2 = wm.insert("Audit", (1,))
+        wm.remove(a1)
+        assert len(rete.conflict_set) == 0  # a2 still blocks
+        wm.remove(a2)
+        assert len(rete.conflict_set) == 1
+
+    def test_negated_slot_is_none(self):
+        wm, rete = build(NEGATION_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        (inst,) = rete.instantiations()
+        assert inst.wmes[1] is None
+
+
+class TestSelfJoin:
+    SOURCE = """
+    (literalize Node id parent)
+    (p edge (Node ^id <P> ^parent *) (Node ^parent <P> ^id <C>) --> (remove 2))
+    """
+
+    def test_element_matching_both_roles(self):
+        wm, rete = build(self.SOURCE)
+        wm.insert("Node", (1, 1))  # its own parent: matches both CEs
+        assert len(rete.conflict_set) == 1
+
+    def test_self_join_retraction(self):
+        wm, rete = build(self.SOURCE)
+        node = wm.insert("Node", (1, 1))
+        wm.insert("Node", (2, 1))
+        assert len(rete.conflict_set) == 2
+        wm.remove(node)
+        assert len(rete.conflict_set) == 0
+
+
+class TestDbmsMemories:
+    def test_memories_mirrored_into_relations(self):
+        program = parse_program(JOIN_SOURCE)
+        analyses = analyze_program(program.rules, program.schemas)
+        wm = WorkingMemory(program.schemas)
+        rete = DbmsReteStrategy(wm, analyses)
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Dept", (1, "Toy"))
+        mirrored = sum(len(t) for t in rete.mirror_catalog.tables())
+        assert mirrored > 0
+
+    def test_mirror_rows_removed_on_retraction(self):
+        program = parse_program(JOIN_SOURCE)
+        analyses = analyze_program(program.rules, program.schemas)
+        wm = WorkingMemory(program.schemas)
+        rete = DbmsReteStrategy(wm, analyses)
+        emp = wm.insert("Emp", ("Mike", 1))
+        dept = wm.insert("Dept", (1, "Toy"))
+        wm.remove(emp)
+        wm.remove(dept)
+        assert sum(len(t) for t in rete.mirror_catalog.tables()) == 0
+
+    def test_sqlite_mirror_backend(self):
+        program = parse_program(JOIN_SOURCE)
+        analyses = analyze_program(program.rules, program.schemas)
+        wm = WorkingMemory(program.schemas)
+        rete = DbmsReteStrategy(wm, analyses, memory_backend="sqlite")
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Dept", (1, "Toy"))
+        assert len(rete.conflict_set) == 1
+        rete.mirror_catalog.close()
+
+
+class TestSpaceReport:
+    def test_tokens_counted(self):
+        wm, rete = build(JOIN_SOURCE)
+        wm.insert("Emp", ("Mike", 1))
+        wm.insert("Dept", (1, "Toy"))
+        report = rete.space_report()
+        assert report.strategy == "rete"
+        assert report.stored_tokens > 0
+        assert report.estimated_cells > 0
+        assert report.detail["join_nodes"] == 2
+
+    def test_empty_network_stores_nothing(self):
+        wm, rete = build(JOIN_SOURCE)
+        report = rete.space_report()
+        assert report.stored_tokens == 0

@@ -1,0 +1,89 @@
+"""Tests for the explain() diagnostics."""
+
+import pytest
+
+from repro.engine import ProductionSystem
+from repro.errors import MatchError
+
+SOURCE = """
+(literalize Emp name dno)
+(literalize Dept dno dname)
+(literalize Audit dno)
+(p works-toy
+    (Emp ^name <N> ^dno <D>)
+    (Dept ^dno <D> ^dname Toy)
+    -(Audit ^dno <D>)
+    -->
+    (remove 1))
+"""
+
+
+@pytest.fixture(params=["patterns", "rete", "simplified", "markers"])
+def system(request):
+    return ProductionSystem(SOURCE, strategy=request.param)
+
+
+class TestExplain:
+    def test_unknown_rule(self, system):
+        with pytest.raises(MatchError, match="no rule named"):
+            system.explain("ghost")
+
+    def test_empty_wm_blocks_positive_conditions(self, system):
+        diagnosis = system.explain("works-toy")
+        assert not diagnosis.satisfied
+        blocking = {c.cond_number for c in diagnosis.blocking_conditions()}
+        assert blocking == {1, 2}  # negated condition 3 is fine when empty
+
+    def test_partial_satisfaction_identified(self, system):
+        system.insert("Emp", ("Mike", 1))
+        diagnosis = system.explain("works-toy")
+        (emp, dept, audit) = diagnosis.conditions
+        assert emp.satisfied and emp.matching_elements == 1
+        assert not dept.satisfied
+        assert audit.satisfied  # no blockers
+        assert diagnosis.blocking_conditions() == [dept]
+
+    def test_full_satisfaction(self, system):
+        system.insert("Emp", ("Mike", 1))
+        system.insert("Dept", (1, "Toy"))
+        diagnosis = system.explain("works-toy")
+        assert diagnosis.satisfied
+        assert diagnosis.instantiations == 1
+        assert diagnosis.blocking_conditions() == []
+
+    def test_negated_condition_blocks_when_witnessed(self, system):
+        system.insert("Emp", ("Mike", 1))
+        system.insert("Dept", (1, "Toy"))
+        system.insert("Audit", (1,))
+        diagnosis = system.explain("works-toy")
+        assert not diagnosis.satisfied
+        (audit,) = diagnosis.blocking_conditions()
+        assert audit.negated
+        assert audit.matching_elements == 1
+
+    def test_rendering(self, system):
+        system.insert("Emp", ("Mike", 1))
+        text = str(system.explain("works-toy"))
+        assert "works-toy: not satisfied" in text
+        assert "[BLK]" in text
+        assert "[ok ]" in text
+
+
+class TestPatternsExplainDetail:
+    def test_mark_state_included(self):
+        system = ProductionSystem(SOURCE, strategy="patterns")
+        system.insert("Emp", ("Mike", 1))
+        diagnosis = system.explain("works-toy")
+        dept = diagnosis.conditions[1]
+        assert dept.detail["patterns"] >= 1
+        assert "mark_bits" in dept.detail
+        assert dept.detail["full_patterns"] >= 0
+
+    def test_full_pattern_visible_when_satisfiable(self):
+        system = ProductionSystem(SOURCE, strategy="patterns")
+        system.insert("Emp", ("Mike", 1))
+        system.insert("Dept", (1, "Toy"))
+        diagnosis = system.explain("works-toy")
+        assert any(
+            c.detail.get("full_patterns", 0) > 0 for c in diagnosis.conditions
+        )

@@ -1,0 +1,97 @@
+"""STR bulk-loading tests."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.lang import analyze_program, parse_program
+from repro.rindex import ConditionIndex, Interval, RTree, key_of
+from repro.bench.report import _rules_with_selections
+
+
+def box1d(low, high):
+    return (Interval(key_of(low), key_of(high)),)
+
+
+def box2d(xl, xh, yl, yh):
+    return (Interval(key_of(xl), key_of(xh)), Interval(key_of(yl), key_of(yh)))
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = RTree.bulk_load(1, [])
+        assert len(tree) == 0
+        assert list(tree.search_point((key_of(1),))) == []
+
+    def test_single(self):
+        tree = RTree.bulk_load(1, [(box1d(0, 10), "a")])
+        assert set(tree.search_point((key_of(5),))) == {"a"}
+
+    def test_matches_incremental_results(self):
+        rng = random.Random(7)
+        items = []
+        for i in range(200):
+            xl = rng.randint(-100, 100)
+            yl = rng.randint(-100, 100)
+            items.append((box2d(xl, xl + rng.randint(0, 20),
+                                yl, yl + rng.randint(0, 20)), i))
+        packed = RTree.bulk_load(2, items, max_entries=6)
+        incremental = RTree(2, max_entries=6)
+        for box, payload in items:
+            incremental.insert(box, payload)
+        assert len(packed) == len(incremental) == 200
+        for _ in range(50):
+            point = (key_of(rng.randint(-110, 110)),
+                     key_of(rng.randint(-110, 110)))
+            assert set(packed.search_point(point)) == set(
+                incremental.search_point(point)
+            )
+
+    def test_packed_tree_is_shallower_or_equal(self):
+        items = [(box1d(i, i + 5), i) for i in range(0, 500, 2)]
+        packed = RTree.bulk_load(1, items, max_entries=6)
+        incremental = RTree(1, max_entries=6)
+        for box, payload in items:
+            incremental.insert(box, payload)
+        assert packed.height <= incremental.height
+
+    def test_duplicate_payload_rejected(self):
+        with pytest.raises(IndexError_):
+            RTree.bulk_load(1, [(box1d(0, 1), "a"), (box1d(2, 3), "a")])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(IndexError_):
+            RTree.bulk_load(2, [(box1d(0, 1), "a")])
+
+    def test_mutations_after_bulk_load(self):
+        items = [(box1d(i * 10, i * 10 + 5), i) for i in range(40)]
+        tree = RTree.bulk_load(1, items, max_entries=4)
+        tree.insert(box1d(1000, 1005), "late")
+        tree.remove(3)
+        assert set(tree.search_point((key_of(1002),))) == {"late"}
+        assert set(tree.search_point((key_of(32),))) == set()
+
+
+class TestConditionIndexBulk:
+    def test_bulk_and_incremental_agree(self):
+        program = parse_program(_rules_with_selections(120))
+        analyses = analyze_program(program.rules, program.schemas)
+        bulk = ConditionIndex(analyses, program.schemas, bulk=True)
+        incremental = ConditionIndex(analyses, program.schemas, bulk=False)
+        assert len(bulk) == len(incremental)
+        from repro.engine import WorkingMemory
+
+        wm = WorkingMemory(program.schemas)
+        for i in range(40):
+            wme = wm.insert("Emp", (i * 23 % 1000, i * 31 % 1000, i % 3))
+            assert bulk.conditions_matching(wme) == (
+                incremental.conditions_matching(wme)
+            )
+
+    def test_bulk_tree_not_taller(self):
+        program = parse_program(_rules_with_selections(200))
+        analyses = analyze_program(program.rules, program.schemas)
+        bulk = ConditionIndex(analyses, program.schemas, bulk=True)
+        incremental = ConditionIndex(analyses, program.schemas, bulk=False)
+        assert bulk.tree("Emp").height <= incremental.tree("Emp").height

@@ -1,0 +1,125 @@
+"""Condition-index tests, including the paper's rule-base query example."""
+
+import pytest
+
+from repro.engine import WorkingMemory
+from repro.lang import analyze_program, parse_program
+from repro.match.common import match_condition
+from repro.rindex import ConditionIndex, condition_box, key_of
+
+SOURCE = """
+(literalize Emp name age salary dno)
+(p senior     (Emp ^age > 55) --> (remove 1))
+(p wellpaid   (Emp ^salary > 1000) --> (remove 1))
+(p young-rich (Emp ^age < 30 ^salary > 2000) --> (remove 1))
+(p mike       (Emp ^name Mike) --> (remove 1))
+(p dept-pair  (Emp ^dno <D>) (Emp ^dno <D> ^age > 60) --> (remove 1))
+"""
+
+
+@pytest.fixture
+def setup():
+    program = parse_program(SOURCE)
+    analyses = analyze_program(program.rules, program.schemas)
+    index = ConditionIndex(analyses, program.schemas)
+    return program, analyses, index
+
+
+def emp(program, **attrs):
+    wm = WorkingMemory(program.schemas)
+    return wm.insert("Emp", attrs)
+
+
+class TestConditionsMatching:
+    def test_point_lookup_finds_covering_conditions(self, setup):
+        program, _, index = setup
+        wme = emp(program, name="Ann", age=60, salary=500, dno=1)
+        hits = index.conditions_matching(wme)
+        rules = {rule for rule, _ in hits}
+        assert "senior" in rules
+        assert "wellpaid" not in rules
+        assert "mike" not in rules
+
+    def test_variable_conditions_span_full_axis(self, setup):
+        program, _, index = setup
+        wme = emp(program, name="Ann", age=20, salary=100, dno=7)
+        rules = {rule for rule, _ in index.conditions_matching(wme)}
+        # dept-pair's first condition has only a variable: matches anything.
+        assert ("dept-pair") in rules
+
+    def test_index_agrees_with_exact_matching(self, setup):
+        program, analyses, index = setup
+        cases = [
+            {"name": "Mike", "age": 62, "salary": 3000, "dno": 1},
+            {"name": "Ann", "age": 25, "salary": 2500, "dno": 2},
+            {"name": "Bob", "age": 40, "salary": 100, "dno": 3},
+        ]
+        for attrs in cases:
+            wme = emp(program, **attrs)
+            indexed = set(index.conditions_matching(wme))
+            exact = set()
+            for analysis in analyses.values():
+                for condition in analysis.conditions:
+                    env = match_condition(
+                        condition, program.schemas["Emp"], wme
+                    )
+                    if env is not None:
+                        exact.add((analysis.name, condition.cond_number))
+            # The index may over-approximate but never miss.
+            assert exact <= indexed
+
+    def test_unknown_class_returns_empty(self, setup):
+        program, _, index = setup
+        other = parse_program("(literalize Ghost g)")
+        wm = WorkingMemory(other.schemas)
+        wme = wm.insert("Ghost", (1,))
+        assert index.conditions_matching(wme) == []
+
+
+class TestRuleBaseQueries:
+    def test_paper_example_query(self, setup):
+        """'Give me all the rules that apply on employees older than 55.'"""
+        _, _, index = setup
+        rules = index.rules_in_region("Emp", {"age": (">", 55)})
+        assert "senior" in rules
+        assert "dept-pair" in rules  # its second condition needs age > 60
+        assert "mike" in rules  # no age restriction: applies at any age
+        assert "young-rich" not in rules  # age < 30 cannot exceed 55
+
+    def test_region_on_two_attributes(self, setup):
+        _, _, index = setup
+        rules = index.rules_in_region(
+            "Emp", {"age": ("<", 25), "salary": (">", 2500)}
+        )
+        assert "young-rich" in rules
+        assert "senior" not in rules
+
+    def test_equality_region(self, setup):
+        _, _, index = setup
+        rules = index.rules_in_region("Emp", {"name": ("=", "Mike")})
+        assert "mike" in rules
+
+    def test_unknown_class(self, setup):
+        _, _, index = setup
+        assert index.rules_in_region("Ghost", {}) == set()
+
+
+class TestMaintenance:
+    def test_remove_condition(self, setup):
+        program, analyses, index = setup
+        before = len(index)
+        index.remove_condition("Emp", ("senior", 1))
+        assert len(index) == before - 1
+        rules = index.rules_in_region("Emp", {"age": (">", 70)})
+        assert "senior" not in rules
+
+    def test_condition_box_shape(self, setup):
+        program, analyses, _ = setup
+        condition = analyses["young-rich"].condition(1)
+        box = condition_box(condition, program.schemas["Emp"])
+        age_axis = box[program.schemas["Emp"].position("age")]
+        assert age_axis.contains_key(key_of(29))
+        # Strict bounds close over-approximately (the boundary key stays
+        # in the box; exact matching filters it downstream).
+        assert age_axis.contains_key(key_of(30))
+        assert not age_axis.contains_key(key_of(31))

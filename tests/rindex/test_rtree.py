@@ -1,0 +1,200 @@
+"""R-tree unit and property tests (vs a naive linear index)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.rindex import (
+    FULL_INTERVAL,
+    Interval,
+    RTree,
+    box_contains_point,
+    boxes_intersect,
+    interval_for,
+    key_of,
+)
+
+
+def box1d(low, high):
+    return (Interval(key_of(low), key_of(high)),)
+
+
+def box2d(xlow, xhigh, ylow, yhigh):
+    return (
+        Interval(key_of(xlow), key_of(xhigh)),
+        Interval(key_of(ylow), key_of(yhigh)),
+    )
+
+
+class TestIntervals:
+    def test_contains_key(self):
+        interval = Interval(key_of(1), key_of(5))
+        assert interval.contains_key(key_of(1))
+        assert interval.contains_key(key_of(5))
+        assert not interval.contains_key(key_of(6))
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(IndexError_):
+            Interval(key_of(5), key_of(1))
+
+    def test_intersects(self):
+        a = Interval(key_of(1), key_of(5))
+        b = Interval(key_of(5), key_of(9))
+        c = Interval(key_of(6), key_of(9))
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_union(self):
+        a = Interval(key_of(1), key_of(3))
+        b = Interval(key_of(5), key_of(9))
+        assert a.union(b) == Interval(key_of(1), key_of(9))
+
+    def test_interval_for_operators(self):
+        assert interval_for("=", 5).contains_key(key_of(5))
+        assert not interval_for("=", 5).contains_key(key_of(6))
+        assert interval_for("<", 5).contains_key(key_of(-100))
+        assert interval_for(">=", 5).contains_key(key_of(5))
+        # <> over-approximates to the full axis
+        assert interval_for("<>", 5) == FULL_INTERVAL
+
+    def test_mixed_type_ordering(self):
+        # None < numbers < strings in key space
+        assert key_of(None) < key_of(-1e9) < key_of("a")
+        assert Interval(key_of(0), key_of("z")).contains_key(key_of("m"))
+
+
+class TestRTreeBasics:
+    def test_insert_and_point_query(self):
+        tree = RTree(1)
+        tree.insert(box1d(0, 10), "a")
+        tree.insert(box1d(20, 30), "b")
+        assert set(tree.search_point((key_of(5),))) == {"a"}
+        assert set(tree.search_point((key_of(25),))) == {"b"}
+        assert set(tree.search_point((key_of(15),))) == set()
+
+    def test_overlapping_boxes(self):
+        tree = RTree(1)
+        tree.insert(box1d(0, 10), "a")
+        tree.insert(box1d(5, 15), "b")
+        assert set(tree.search_point((key_of(7),))) == {"a", "b"}
+
+    def test_box_query(self):
+        tree = RTree(2)
+        tree.insert(box2d(0, 10, 0, 10), "a")
+        tree.insert(box2d(20, 30, 20, 30), "b")
+        hits = set(tree.search_box(box2d(5, 25, 5, 25)))
+        assert hits == {"a", "b"}
+        assert set(tree.search_box(box2d(11, 19, 0, 50))) == set()
+
+    def test_duplicate_payload_rejected(self):
+        tree = RTree(1)
+        tree.insert(box1d(0, 1), "a")
+        with pytest.raises(IndexError_):
+            tree.insert(box1d(2, 3), "a")
+
+    def test_dimension_mismatch(self):
+        tree = RTree(2)
+        with pytest.raises(IndexError_):
+            tree.insert(box1d(0, 1), "a")
+        with pytest.raises(IndexError_):
+            list(tree.search_point((key_of(1),)))
+
+    def test_remove(self):
+        tree = RTree(1)
+        tree.insert(box1d(0, 10), "a")
+        tree.insert(box1d(5, 15), "b")
+        tree.remove("a")
+        assert set(tree.search_point((key_of(7),))) == {"b"}
+        assert len(tree) == 1
+
+    def test_remove_missing(self):
+        tree = RTree(1)
+        with pytest.raises(IndexError_):
+            tree.remove("ghost")
+
+    def test_tree_splits_and_grows(self):
+        tree = RTree(1, max_entries=4)
+        for i in range(50):
+            tree.insert(box1d(i * 10, i * 10 + 5), i)
+        assert tree.height > 1
+        assert len(tree) == 50
+        for i in range(50):
+            assert set(tree.search_point((key_of(i * 10 + 2),))) == {i}
+
+
+class _NaiveIndex:
+    def __init__(self):
+        self.items = {}
+
+    def insert(self, box, payload):
+        self.items[payload] = box
+
+    def remove(self, payload):
+        del self.items[payload]
+
+    def search_point(self, point):
+        return {
+            p for p, b in self.items.items() if box_contains_point(b, point)
+        }
+
+    def search_box(self, box):
+        return {p for p, b in self.items.items() if boxes_intersect(b, box)}
+
+
+bounds = st.tuples(st.integers(-50, 50), st.integers(-50, 50)).map(
+    lambda t: (min(t), max(t))
+)
+
+
+class TestRTreeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(bounds, bounds), min_size=1, max_size=60), st.data())
+    def test_matches_naive_index(self, raw_boxes, data):
+        tree = RTree(2, max_entries=4)
+        naive = _NaiveIndex()
+        for i, (bx, by) in enumerate(raw_boxes):
+            box = box2d(bx[0], bx[1], by[0], by[1])
+            tree.insert(box, i)
+            naive.insert(box, i)
+        # random deletions
+        to_delete = data.draw(
+            st.lists(
+                st.sampled_from(range(len(raw_boxes))),
+                unique=True,
+                max_size=len(raw_boxes) // 2,
+            )
+        )
+        for payload in to_delete:
+            tree.remove(payload)
+            naive.remove(payload)
+        for _ in range(10):
+            x = data.draw(st.integers(-60, 60))
+            y = data.draw(st.integers(-60, 60))
+            point = (key_of(x), key_of(y))
+            assert set(tree.search_point(point)) == naive.search_point(point)
+        query = box2d(-10, 10, -10, 10)
+        assert set(tree.search_box(query)) == naive.search_box(query)
+
+    def test_random_churn_stays_consistent(self):
+        rng = random.Random(5)
+        tree = RTree(1, max_entries=4)
+        naive = _NaiveIndex()
+        alive = []
+        for step in range(400):
+            if rng.random() < 0.65 or not alive:
+                low = rng.randint(-100, 100)
+                high = low + rng.randint(0, 30)
+                box = box1d(low, high)
+                tree.insert(box, step)
+                naive.insert(box, step)
+                alive.append(step)
+            else:
+                victim = alive.pop(rng.randrange(len(alive)))
+                tree.remove(victim)
+                naive.remove(victim)
+            point = (key_of(rng.randint(-110, 110)),)
+            assert set(tree.search_point(point)) == naive.search_point(point)
+        assert len(tree) == len(alive)

@@ -1,0 +1,71 @@
+"""Tests for the catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage import Catalog, RelationSchema
+
+
+EMP = RelationSchema("Emp", ("name", "age"))
+DEPT = RelationSchema("Dept", ("dno", "dname"))
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def catalog(request):
+    cat = Catalog(backend=request.param)
+    yield cat
+    cat.close()
+
+
+class TestCatalog:
+    def test_create_and_get(self, catalog):
+        table = catalog.create(EMP)
+        assert catalog.get("Emp") is table
+
+    def test_duplicate_create_raises(self, catalog):
+        catalog.create(EMP)
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.create(EMP)
+
+    def test_get_missing_raises(self, catalog):
+        with pytest.raises(CatalogError, match="no relation"):
+            catalog.get("Nope")
+
+    def test_has(self, catalog):
+        catalog.create(EMP)
+        assert catalog.has("Emp")
+        assert not catalog.has("Dept")
+
+    def test_names_in_creation_order(self, catalog):
+        catalog.create(EMP)
+        catalog.create(DEPT)
+        assert catalog.names() == ["Emp", "Dept"]
+
+    def test_drop(self, catalog):
+        catalog.create(EMP)
+        catalog.drop("Emp")
+        assert not catalog.has("Emp")
+
+    def test_shared_clock_across_relations(self, catalog):
+        emp = catalog.create(EMP)
+        dept = catalog.create(DEPT)
+        first = emp.insert(("Mike", 30))
+        second = dept.insert((1, "Toy"))
+        assert second.timetag == first.timetag + 1
+
+    def test_total_tuples(self, catalog):
+        emp = catalog.create(EMP)
+        dept = catalog.create(DEPT)
+        emp.insert(("Mike", 30))
+        dept.insert((1, "Toy"))
+        dept.insert((2, "Shoe"))
+        assert catalog.total_tuples() == 3
+
+    def test_shared_counters(self, catalog):
+        emp = catalog.create(EMP)
+        emp.insert(("Mike", 30))
+        assert catalog.counters.tuple_writes == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CatalogError, match="unknown backend"):
+            Catalog(backend="oracle")

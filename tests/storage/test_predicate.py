@@ -1,0 +1,188 @@
+"""Unit and property tests for predicate evaluation semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.storage import (
+    And,
+    AttributeComparison,
+    Comparison,
+    Not,
+    Or,
+    RelationSchema,
+    TruePredicate,
+    compare,
+    conjunction,
+    negate_operator,
+    reverse_operator,
+)
+from repro.storage.predicate import OPERATORS, compile_predicate
+
+SCHEMA = RelationSchema("R", ("a", "b", "c"))
+
+values = st.one_of(
+    st.integers(-50, 50),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=4),
+    st.none(),
+)
+
+
+class TestCompare:
+    def test_numeric_equality_across_types(self):
+        assert compare("=", 1, 1.0)
+
+    def test_string_never_equals_number(self):
+        assert not compare("=", "1", 1)
+
+    def test_none_equals_none(self):
+        assert compare("=", None, None)
+
+    def test_ordering(self):
+        assert compare("<", 1, 2)
+        assert compare(">=", "b", "a")
+        assert not compare(">", 1, 2)
+
+    def test_mixed_type_ordering_fails_quietly(self):
+        assert not compare("<", "a", 1)
+        assert not compare("<", 1, "a")
+        assert not compare("<", None, 1)
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            compare("~", 1, 2)
+
+    @given(values, values)
+    def test_not_equal_is_complement(self, left, right):
+        assert compare("<>", left, right) == (not compare("=", left, right))
+
+    @given(st.sampled_from(OPERATORS), values, values)
+    def test_negate_operator_complements(self, op, left, right):
+        # Complement holds for (in)equality always, and for ordering ops
+        # whenever the operands are orderable.  Unorderable operands fail
+        # both an ordering test and its complement (OPS5 semantics), so
+        # there we only check the two cannot both be true.
+        orderable = (
+            left is not None
+            and right is not None
+            and isinstance(left, str) == isinstance(right, str)
+        )
+        direct = compare(op, left, right)
+        complement = compare(negate_operator(op), left, right)
+        if op in ("=", "<>") or orderable:
+            assert direct == (not complement)
+        else:
+            assert not (direct and complement)
+
+    @given(st.sampled_from(OPERATORS), values, values)
+    def test_reverse_operator_swaps(self, op, left, right):
+        assert compare(op, left, right) == compare(
+            reverse_operator(op), right, left
+        )
+
+
+class TestPredicates:
+    def test_true_predicate(self):
+        assert TruePredicate().matches(SCHEMA, (1, 2, 3))
+
+    def test_comparison(self):
+        pred = Comparison("b", ">", 5)
+        assert pred.matches(SCHEMA, (0, 6, 0))
+        assert not pred.matches(SCHEMA, (0, 5, 0))
+
+    def test_comparison_rejects_bad_operator(self):
+        with pytest.raises(QueryError):
+            Comparison("a", "!!", 1)
+
+    def test_attribute_comparison(self):
+        pred = AttributeComparison("a", "<", "b")
+        assert pred.matches(SCHEMA, (1, 2, 0))
+        assert not pred.matches(SCHEMA, (2, 1, 0))
+
+    def test_and_or_not(self):
+        pred = And((Comparison("a", "=", 1), Comparison("b", "=", 2)))
+        assert pred.matches(SCHEMA, (1, 2, 0))
+        assert not pred.matches(SCHEMA, (1, 3, 0))
+        pred = Or((Comparison("a", "=", 9), Comparison("b", "=", 2)))
+        assert pred.matches(SCHEMA, (0, 2, 0))
+        assert Not(Comparison("a", "=", 1)).matches(SCHEMA, (2, 0, 0))
+
+    def test_attributes_collected(self):
+        pred = And(
+            (Comparison("a", "=", 1), AttributeComparison("b", "<", "c"))
+        )
+        assert pred.attributes() == {"a", "b", "c"}
+
+    def test_conjunction_flattens(self):
+        pred = conjunction(
+            [
+                TruePredicate(),
+                And((Comparison("a", "=", 1),)),
+                Comparison("b", "=", 2),
+            ]
+        )
+        assert isinstance(pred, And)
+        assert len(pred.parts) == 2
+
+    def test_conjunction_of_nothing_is_true(self):
+        assert isinstance(conjunction([]), TruePredicate)
+
+    def test_conjunction_of_one_unwraps(self):
+        single = Comparison("a", "=", 1)
+        assert conjunction([single]) is single
+
+
+class TestMembership:
+    def test_matches_any_listed_value(self):
+        from repro.storage import Membership
+
+        pred = Membership("b", ("x", 3, None))
+        assert pred.matches(SCHEMA, (0, "x", 0))
+        assert pred.matches(SCHEMA, (0, 3, 0))
+        assert pred.matches(SCHEMA, (0, None, 0))
+        assert not pred.matches(SCHEMA, (0, "y", 0))
+
+    def test_numeric_equality_semantics(self):
+        from repro.storage import Membership
+
+        pred = Membership("b", (1,))
+        assert pred.matches(SCHEMA, (0, 1.0, 0))
+        assert not pred.matches(SCHEMA, (0, "1", 0))
+
+    def test_attributes(self):
+        from repro.storage import Membership
+
+        assert Membership("b", (1,)).attributes() == {"b"}
+
+    @given(st.tuples(values, values, values), st.lists(values, max_size=4))
+    def test_compiled_matches_interpreted(self, row, candidates):
+        from repro.storage import Membership
+
+        pred = Membership("b", tuple(candidates))
+        compiled = compile_predicate(pred, SCHEMA)
+        assert compiled(row) == pred.matches(SCHEMA, row)
+
+
+class TestCompilePredicate:
+    @given(
+        st.tuples(values, values, values),
+        st.sampled_from(OPERATORS),
+        values,
+    )
+    def test_compiled_matches_interpreted_comparison(self, row, op, const):
+        pred = Comparison("b", op, const)
+        compiled = compile_predicate(pred, SCHEMA)
+        assert compiled(row) == pred.matches(SCHEMA, row)
+
+    def test_compiled_nested(self):
+        pred = Or(
+            (
+                And((Comparison("a", "=", 1), Not(Comparison("b", "=", 2)))),
+                AttributeComparison("a", "=", "c"),
+            )
+        )
+        compiled = compile_predicate(pred, SCHEMA)
+        for row in [(1, 3, 0), (1, 2, 1), (5, 0, 5), (5, 0, 4)]:
+            assert compiled(row) == pred.matches(SCHEMA, row)

@@ -1,0 +1,167 @@
+"""Tests for seeded conjunctive-query evaluation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.storage import (
+    Catalog,
+    Comparison,
+    ConjunctSpec,
+    RelationSchema,
+    VariableTest,
+    evaluate,
+)
+
+
+@pytest.fixture
+def db():
+    catalog = Catalog()
+    emp = catalog.create(RelationSchema("Emp", ("name", "salary", "dno")))
+    dept = catalog.create(RelationSchema("Dept", ("dno", "dname", "floor")))
+    emp.insert(("Mike", 100, 1))
+    emp.insert(("Sam", 200, 1))
+    emp.insert(("Ann", 300, 2))
+    dept.insert((1, "Toy", 1))
+    dept.insert((2, "Shoe", 3))
+    return catalog
+
+
+def names(results, index=0):
+    return sorted(r.rows[index].values[0] for r in results)
+
+
+class TestSingleConjunct:
+    def test_constant_selection(self, db):
+        spec = ConjunctSpec("Emp", constant=Comparison("salary", ">", 150))
+        assert names(evaluate([spec], db)) == ["Ann", "Sam"]
+
+    def test_equality_binding_produces_bindings(self, db):
+        spec = ConjunctSpec("Emp", equalities=(("name", "n"), ("dno", "d")))
+        results = list(evaluate([spec], db))
+        assert len(results) == 3
+        maps = {r.binding_map()["n"]: r.binding_map()["d"] for r in results}
+        assert maps == {"Mike": 1, "Sam": 1, "Ann": 2}
+
+    def test_seed_row_pins_conjunct(self, db):
+        emp = db.get("Emp")
+        mike = next(emp.select_eq({"name": "Mike"}))
+        spec = ConjunctSpec("Emp", equalities=(("dno", "d"),))
+        results = list(evaluate([spec], db, seed_index=0, seed_row=mike))
+        assert len(results) == 1
+        assert results[0].rows[0].values[0] == "Mike"
+
+    def test_seed_row_failing_constant_yields_nothing(self, db):
+        emp = db.get("Emp")
+        mike = next(emp.select_eq({"name": "Mike"}))
+        spec = ConjunctSpec("Emp", constant=Comparison("salary", ">", 150))
+        assert list(evaluate([spec], db, seed_index=0, seed_row=mike)) == []
+
+    def test_seed_index_without_row_raises(self, db):
+        with pytest.raises(QueryError):
+            list(evaluate([ConjunctSpec("Emp")], db, seed_index=0))
+
+
+class TestJoins:
+    def test_two_way_join(self, db):
+        specs = [
+            ConjunctSpec("Emp", equalities=(("dno", "d"), ("name", "n"))),
+            ConjunctSpec(
+                "Dept",
+                constant=Comparison("dname", "=", "Toy"),
+                equalities=(("dno", "d"),),
+            ),
+        ]
+        results = list(evaluate(specs, db))
+        assert names(results) == ["Mike", "Sam"]
+
+    def test_join_respects_seed_bindings(self, db):
+        specs = [ConjunctSpec("Emp", equalities=(("dno", "d"),))]
+        results = list(evaluate(specs, db, seed_bindings={"d": 2}))
+        assert names(results) == ["Ann"]
+
+    def test_self_join_with_residual_test(self, db):
+        # Employees earning less than Sam.
+        specs = [
+            ConjunctSpec(
+                "Emp",
+                constant=Comparison("name", "=", "Sam"),
+                equalities=(("salary", "s"),),
+            ),
+            ConjunctSpec(
+                "Emp",
+                equalities=(("name", "n"),),
+                residual=(VariableTest("salary", "<", "s"),),
+            ),
+        ]
+        results = list(evaluate(specs, db))
+        assert sorted(r.binding_map()["n"] for r in results) == ["Mike"]
+
+    def test_three_way_join(self, db):
+        db.create(RelationSchema("Mgr", ("dno", "boss")))
+        db.get("Mgr").insert((1, "Zoe"))
+        specs = [
+            ConjunctSpec("Emp", equalities=(("dno", "d"), ("name", "n"))),
+            ConjunctSpec("Dept", equalities=(("dno", "d"),)),
+            ConjunctSpec("Mgr", equalities=(("dno", "d"), ("boss", "b"))),
+        ]
+        results = list(evaluate(specs, db))
+        assert names(results) == ["Mike", "Sam"]
+        assert all(r.binding_map()["b"] == "Zoe" for r in results)
+
+    def test_cartesian_product_when_no_shared_vars(self, db):
+        specs = [ConjunctSpec("Emp"), ConjunctSpec("Dept")]
+        assert len(list(evaluate(specs, db))) == 6
+
+
+class TestNegation:
+    def test_negated_conjunct_blocks_match(self, db):
+        # Employees in a department that has NO Toy entry.
+        specs = [
+            ConjunctSpec("Emp", equalities=(("dno", "d"), ("name", "n"))),
+            ConjunctSpec(
+                "Dept",
+                constant=Comparison("dname", "=", "Toy"),
+                equalities=(("dno", "d"),),
+                negated=True,
+            ),
+        ]
+        results = list(evaluate(specs, db))
+        assert names(results) == ["Ann"]
+        assert results[0].rows[1] is None
+
+    def test_negated_conjunct_with_unbound_variable_raises(self, db):
+        specs = [
+            ConjunctSpec("Dept", equalities=(("dno", "d"),), negated=True)
+        ]
+        with pytest.raises(QueryError, match="not.*bound|unbound"):
+            list(evaluate(specs, db))
+
+    def test_cannot_seed_negated_conjunct(self, db):
+        emp = db.get("Emp")
+        row = next(emp.scan())
+        specs = [ConjunctSpec("Emp", negated=True)]
+        with pytest.raises(QueryError):
+            list(evaluate(specs, db, seed_index=0, seed_row=row))
+
+
+class TestPlanner:
+    def test_counters_record_join_work(self, db):
+        specs = [
+            ConjunctSpec("Emp", equalities=(("dno", "d"),)),
+            ConjunctSpec("Dept", equalities=(("dno", "d"),)),
+        ]
+        counters = db.counters
+        before = counters.snapshot()
+        list(evaluate(specs, db, counters=counters))
+        assert counters.diff(before)["joins_computed"] >= 2
+
+    def test_index_used_when_available(self, db):
+        db.get("Dept").create_index("dno")
+        specs = [
+            ConjunctSpec("Emp", equalities=(("dno", "d"),)),
+            ConjunctSpec("Dept", equalities=(("dno", "d"),)),
+        ]
+        before = db.counters.snapshot()
+        results = list(evaluate(specs, db, counters=db.counters))
+        assert len(results) == 3
+        assert db.counters.diff(before)["index_lookups"] >= 1

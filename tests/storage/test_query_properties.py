@@ -1,0 +1,204 @@
+"""Property tests: the query evaluator vs a brute-force reference.
+
+The seeded backtracking evaluator with its greedy planner, index probes and
+deferred residual tests must return exactly the combinations a naive
+nested-loop evaluation over the cartesian product returns.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    Catalog,
+    Comparison,
+    ConjunctSpec,
+    RelationSchema,
+    TruePredicate,
+    VariableTest,
+    compare,
+    evaluate,
+)
+
+SCHEMA_R = RelationSchema("R", ("a", "b"))
+SCHEMA_S = RelationSchema("S", ("a", "b"))
+
+rows = st.tuples(st.integers(0, 3), st.integers(0, 3))
+
+
+def brute_force(specs, catalog):
+    """Reference: nested loops over all rows, checking everything."""
+    tables = {name: list(catalog.get(name).scan()) for name in catalog.names()}
+    positive = [i for i, s in enumerate(specs) if not s.negated]
+    negative = [i for i, s in enumerate(specs) if s.negated]
+    results = set()
+    for combo in itertools.product(
+        *(tables[specs[i].relation] for i in positive)
+    ):
+        rows_by_index = dict(zip(positive, combo))
+        bindings = {}
+        ok = True
+        for index, row in rows_by_index.items():
+            spec = specs[index]
+            schema = catalog.get(spec.relation).schema
+            if not spec.constant.matches(schema, row.values):
+                ok = False
+                break
+            for attribute, variable in spec.equalities:
+                value = row.values[schema.position(attribute)]
+                if variable in bindings:
+                    if not compare("=", bindings[variable], value):
+                        ok = False
+                        break
+                else:
+                    bindings[variable] = value
+            if not ok:
+                break
+        if not ok:
+            continue
+        for index, row in rows_by_index.items():
+            spec = specs[index]
+            schema = catalog.get(spec.relation).schema
+            for test in spec.residual:
+                value = row.values[schema.position(test.attribute)]
+                if not compare(test.op, value, bindings[test.variable]):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if not ok:
+            continue
+        for index in negative:
+            spec = specs[index]
+            schema = catalog.get(spec.relation).schema
+            for row in tables[spec.relation]:
+                if not spec.constant.matches(schema, row.values):
+                    continue
+                witness = True
+                for attribute, variable in spec.equalities:
+                    value = row.values[schema.position(attribute)]
+                    if not compare("=", bindings[variable], value):
+                        witness = False
+                        break
+                if witness:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            results.add(
+                tuple(
+                    (rows_by_index[i].relation, rows_by_index[i].tid)
+                    if i in rows_by_index
+                    else None
+                    for i in range(len(specs))
+                )
+            )
+    return results
+
+
+def result_keys(specs, catalog):
+    return {
+        tuple(
+            (row.relation, row.tid) if row is not None else None
+            for row in result.rows
+        )
+        for result in evaluate(specs, catalog)
+    }
+
+
+def make_catalog(r_rows, s_rows, index_r=False):
+    catalog = Catalog()
+    r = catalog.create(SCHEMA_R)
+    s = catalog.create(SCHEMA_S)
+    if index_r:
+        r.create_index("a")
+    for row in r_rows:
+        r.insert(row)
+    for row in s_rows:
+        s.insert(row)
+    return catalog
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(rows, max_size=6),
+    st.lists(rows, max_size=6),
+    st.booleans(),
+)
+def test_equality_join_matches_brute_force(r_rows, s_rows, index_r):
+    catalog = make_catalog(r_rows, s_rows, index_r)
+    specs = [
+        ConjunctSpec("R", equalities=(("a", "x"),)),
+        ConjunctSpec("S", equalities=(("a", "x"), ("b", "y"))),
+    ]
+    assert result_keys(specs, catalog) == brute_force(specs, catalog)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(rows, max_size=6), st.lists(rows, max_size=6))
+def test_residual_join_matches_brute_force(r_rows, s_rows):
+    catalog = make_catalog(r_rows, s_rows)
+    specs = [
+        ConjunctSpec("R", equalities=(("a", "x"),)),
+        ConjunctSpec(
+            "S",
+            equalities=(("b", "y"),),
+            residual=(VariableTest("a", "<", "x"),),
+        ),
+    ]
+    assert result_keys(specs, catalog) == brute_force(specs, catalog)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(rows, max_size=6), st.lists(rows, max_size=6))
+def test_negated_conjunct_matches_brute_force(r_rows, s_rows):
+    catalog = make_catalog(r_rows, s_rows)
+    specs = [
+        ConjunctSpec("R", equalities=(("a", "x"),)),
+        ConjunctSpec("S", equalities=(("a", "x"),), negated=True),
+    ]
+    assert result_keys(specs, catalog) == brute_force(specs, catalog)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(rows, max_size=6),
+    st.lists(rows, max_size=6),
+    st.integers(0, 3),
+)
+def test_constant_filter_matches_brute_force(r_rows, s_rows, const):
+    catalog = make_catalog(r_rows, s_rows)
+    specs = [
+        ConjunctSpec(
+            "R",
+            constant=Comparison("b", "=", const),
+            equalities=(("a", "x"),),
+        ),
+        ConjunctSpec("S", equalities=(("a", "x"),)),
+    ]
+    assert result_keys(specs, catalog) == brute_force(specs, catalog)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(rows, min_size=1, max_size=6), st.lists(rows, max_size=6))
+def test_seeded_evaluation_is_a_restriction(r_rows, s_rows):
+    """Seeding at conjunct 0 returns exactly the full results whose first
+    row is the seed."""
+    catalog = make_catalog(r_rows, s_rows)
+    specs = [
+        ConjunctSpec("R", equalities=(("a", "x"),)),
+        ConjunctSpec("S", equalities=(("a", "x"),)),
+    ]
+    full = result_keys(specs, catalog)
+    seeded_union = set()
+    for seed in catalog.get("R").scan():
+        for result in evaluate(specs, catalog, seed_index=0, seed_row=seed):
+            key = tuple(
+                (row.relation, row.tid) if row is not None else None
+                for row in result.rows
+            )
+            assert key[0] == ("R", seed.tid)
+            seeded_union.add(key)
+    assert seeded_union == full

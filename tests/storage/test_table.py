@@ -1,0 +1,228 @@
+"""Backend-parameterized tests for table operations.
+
+Every test runs against both the in-memory backend and the SQLite backend,
+asserting the Table contract the matchers depend on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import (
+    Comparison,
+    MemoryTable,
+    RelationSchema,
+    SqliteTable,
+    TimetagClock,
+)
+
+SCHEMA = RelationSchema("Emp", ("name", "age", "dno"))
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def table(request):
+    if request.param == "memory":
+        yield MemoryTable(SCHEMA)
+    else:
+        t = SqliteTable(SCHEMA)
+        yield t
+        t.close()
+
+
+class TestBasicOperations:
+    def test_insert_assigns_increasing_tids_and_timetags(self, table):
+        first = table.insert(("Mike", 30, 1))
+        second = table.insert(("Sam", 40, 1))
+        assert second.tid > first.tid
+        assert second.timetag > first.timetag
+
+    def test_get_returns_inserted_row(self, table):
+        row = table.insert(("Mike", 30, 1))
+        fetched = table.get(row.tid)
+        assert fetched.values == ("Mike", 30, 1)
+        assert fetched.relation == "Emp"
+
+    def test_get_missing_raises(self, table):
+        with pytest.raises(StorageError):
+            table.get(999)
+
+    def test_delete_removes_row(self, table):
+        row = table.insert(("Mike", 30, 1))
+        deleted = table.delete(row.tid)
+        assert deleted.values == row.values
+        assert len(table) == 0
+        with pytest.raises(StorageError):
+            table.get(row.tid)
+
+    def test_delete_missing_raises(self, table):
+        with pytest.raises(StorageError):
+            table.delete(1)
+
+    def test_tids_never_reused(self, table):
+        first = table.insert(("Mike", 30, 1))
+        table.delete(first.tid)
+        second = table.insert(("Sam", 40, 1))
+        assert second.tid != first.tid
+
+    def test_scan_yields_all_rows(self, table):
+        names = {"a", "b", "c"}
+        for name in names:
+            table.insert((name, 1, 1))
+        assert {row.values[0] for row in table.scan()} == names
+
+    def test_len(self, table):
+        assert len(table) == 0
+        table.insert(("Mike", 30, 1))
+        assert len(table) == 1
+
+    def test_none_values_roundtrip(self, table):
+        row = table.insert((None, None, None))
+        assert table.get(row.tid).values == (None, None, None)
+
+    def test_insert_mapping(self, table):
+        row = table.insert_mapping({"name": "Mike", "dno": 4})
+        assert row.values == ("Mike", None, 4)
+
+    def test_clear(self, table):
+        for i in range(5):
+            table.insert(("x", i, i))
+        table.clear()
+        assert len(table) == 0
+
+
+class TestSelection:
+    def test_select_by_predicate(self, table):
+        table.insert(("Mike", 30, 1))
+        table.insert(("Sam", 40, 1))
+        old = list(table.select(Comparison("age", ">", 35)))
+        assert [row.values[0] for row in old] == ["Sam"]
+
+    def test_select_eq_without_index(self, table):
+        table.insert(("Mike", 30, 1))
+        table.insert(("Sam", 40, 2))
+        rows = list(table.select_eq({"dno": 2}))
+        assert [row.values[0] for row in rows] == ["Sam"]
+
+    def test_select_eq_multiple_attributes(self, table):
+        table.insert(("Mike", 30, 1))
+        table.insert(("Mike", 40, 2))
+        rows = list(table.select_eq({"name": "Mike", "dno": 2}))
+        assert [row.values[1] for row in rows] == [40]
+
+    def test_select_eq_empty_pairs_scans(self, table):
+        table.insert(("Mike", 30, 1))
+        assert len(list(table.select_eq({}))) == 1
+
+    def test_lookup_with_index(self, table):
+        table.create_index("dno")
+        table.insert(("Mike", 30, 1))
+        table.insert(("Sam", 40, 2))
+        table.insert(("Ann", 25, 2))
+        rows = list(table.lookup("dno", 2))
+        assert {row.values[0] for row in rows} == {"Sam", "Ann"}
+        assert "dno" in table.indexed_attributes()
+
+    def test_index_created_after_inserts_sees_existing_rows(self, table):
+        table.insert(("Mike", 30, 7))
+        table.create_index("dno")
+        assert [r.values[0] for r in table.lookup("dno", 7)] == ["Mike"]
+
+    def test_index_tracks_deletes(self, table):
+        table.create_index("dno")
+        row = table.insert(("Mike", 30, 7))
+        table.delete(row.tid)
+        assert list(table.lookup("dno", 7)) == []
+
+    def test_lookup_none_value(self, table):
+        table.create_index("age")
+        table.insert(("Mike", None, 1))
+        table.insert(("Sam", 40, 1))
+        assert [r.values[0] for r in table.lookup("age", None)] == ["Mike"]
+
+    def test_lookup_without_index_falls_back_to_scan(self, table):
+        table.insert(("Mike", 30, 1))
+        assert [r.values[0] for r in table.lookup("name", "Mike")] == ["Mike"]
+
+
+class TestMarkers:
+    def test_markers_start_empty(self, table):
+        row = table.insert(("Mike", 30, 1))
+        assert table.markers(row.tid) == frozenset()
+
+    def test_add_and_remove_marker(self, table):
+        row = table.insert(("Mike", 30, 1))
+        table.add_marker(row.tid, "R1.c1")
+        table.add_marker(row.tid, "R2.c1")
+        assert table.markers(row.tid) == {"R1.c1", "R2.c1"}
+        table.remove_marker(row.tid, "R1.c1")
+        assert table.markers(row.tid) == {"R2.c1"}
+
+    def test_marker_add_is_idempotent(self, table):
+        row = table.insert(("Mike", 30, 1))
+        table.add_marker(row.tid, "R1.c1")
+        table.add_marker(row.tid, "R1.c1")
+        assert table.marker_count() == 1
+
+    def test_marker_on_missing_tuple_raises(self, table):
+        with pytest.raises(StorageError):
+            table.add_marker(42, "R1.c1")
+
+    def test_markers_dropped_on_delete(self, table):
+        row = table.insert(("Mike", 30, 1))
+        table.add_marker(row.tid, "R1.c1")
+        table.delete(row.tid)
+        assert table.marker_count() == 0
+
+
+class TestSharedClock:
+    def test_clock_shared_between_tables(self):
+        clock = TimetagClock()
+        emp = MemoryTable(SCHEMA, clock=clock)
+        dept = MemoryTable(RelationSchema("Dept", ("dno",)), clock=clock)
+        first = emp.insert(("Mike", 30, 1))
+        second = dept.insert((1,))
+        assert second.timetag == first.timetag + 1
+
+
+values = st.one_of(st.integers(-5, 5), st.sampled_from(["a", "b"]), st.none())
+rows = st.tuples(values, values, values)
+
+
+class TestTableProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(rows, max_size=25))
+    def test_backends_agree_on_contents(self, data):
+        memory = MemoryTable(SCHEMA)
+        sqlite = SqliteTable(SCHEMA)
+        try:
+            for row in data:
+                memory.insert(row)
+                sqlite.insert(row)
+            assert sorted(
+                (r.tid, r.values) for r in memory.scan()
+            ) == sorted((r.tid, r.values) for r in sqlite.scan())
+        finally:
+            sqlite.close()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(rows, min_size=1, max_size=25), st.data())
+    def test_insert_delete_leaves_consistent_index(self, data, draw):
+        table = MemoryTable(SCHEMA)
+        table.create_index("age")
+        inserted = [table.insert(row) for row in data]
+        to_delete = draw.draw(
+            st.lists(st.sampled_from(inserted), unique=True, max_size=len(inserted))
+        )
+        for row in to_delete:
+            table.delete(row.tid)
+        remaining = {r.tid for r in inserted} - {r.tid for r in to_delete}
+        assert {r.tid for r in table.scan()} == remaining
+        for row in inserted:
+            hits = {r.tid for r in table.lookup("age", row.values[1])}
+            assert hits == {
+                r.tid
+                for r in table.scan()
+                if r.values[1] == row.values[1]
+                or (r.values[1] is None and row.values[1] is None)
+            }

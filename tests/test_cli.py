@@ -1,0 +1,127 @@
+"""CLI tests (run/check/format/report)."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+(literalize Counter value limit)
+(p count-up
+    (Counter ^value <V> ^limit {<L> > <V>})
+    -->
+    (modify 1 ^value (compute <V> + 1))
+    (write |now at| (compute <V> + 1)))
+(make Counter ^value 0 ^limit 3)
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "counter.ops"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestRun:
+    def test_runs_program_with_initial_elements(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "3 cycles" in out
+        assert "write: now at 3" in out
+        assert "Counter" in out
+
+    def test_quiet_mode(self, program_file, capsys):
+        assert main(["run", program_file, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "write:" not in out
+        assert "3 cycles" in out
+
+    @pytest.mark.parametrize("strategy", ["rete", "simplified", "markers"])
+    def test_strategy_selection(self, program_file, strategy, capsys):
+        assert main(["run", program_file, "--strategy", strategy]) == 0
+        assert "3 cycles" in capsys.readouterr().out
+
+    def test_max_cycles(self, program_file, capsys):
+        assert main(["run", program_file, "--max-cycles", "2"]) == 0
+        assert "cycle limit reached" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.ops"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ops"
+        bad.write_text("(p broken")
+        assert main(["run", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_summary(self, program_file, capsys):
+        assert main(["check", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "1 classes, 1 rules, 1 initial elements" in out
+        assert "count-up" in out
+
+    def test_semantic_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ops"
+        bad.write_text(
+            "(literalize T x)(p r (T ^x <V>) --> (make T ^x <Z>))"
+        )
+        assert main(["check", str(bad)]) == 1
+
+
+class TestFormat:
+    def test_round_trips(self, program_file, capsys):
+        assert main(["format", program_file]) == 0
+        text = capsys.readouterr().out
+        from repro.lang import parse_program
+
+        program = parse_program(text)
+        assert [r.name for r in program.rules] == ["count-up"]
+        assert program.initial_elements == [
+            ("Counter", {"value": 0, "limit": 3})
+        ]
+
+
+class TestExplain:
+    def test_explains_all_rules(self, program_file, capsys):
+        assert main(["explain", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "count-up" in out
+        # the initial (make Counter ...) satisfies the condition
+        assert "1 instantiation" in out
+
+    def test_explains_named_rule(self, program_file, capsys):
+        assert main(["explain", program_file, "count-up"]) == 0
+        assert "count-up" in capsys.readouterr().out
+
+    def test_unknown_rule_is_an_error(self, program_file, capsys):
+        assert main(["explain", program_file, "ghost"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_single_experiment(self, capsys):
+        assert main(["report", "f1"]) == 0
+        assert "F1" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["report", "zz"])
+
+
+class TestTopLevelMake:
+    def test_initial_elements_loaded_by_production_system(self):
+        from repro import ProductionSystem
+
+        system = ProductionSystem(PROGRAM)
+        (counter,) = system.wm.tuples("Counter")
+        assert counter.values == (0, 3)
+
+    def test_variables_rejected_in_toplevel_make(self):
+        from repro.errors import ParseError
+        from repro.lang import parse_program
+
+        with pytest.raises(ParseError, match="constants"):
+            parse_program("(literalize T x)(make T ^x <V>)")

@@ -1,0 +1,54 @@
+"""Exception-hierarchy tests: everything is catchable as ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SchemaError,
+    errors.CatalogError,
+    errors.StorageError,
+    errors.QueryError,
+    errors.ParseError,
+    errors.RuleError,
+    errors.MatchError,
+    errors.ExecutionError,
+    errors.TransactionError,
+    errors.DeadlockError,
+    errors.IndexError_,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_errors_are_repro_errors(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_deadlock_is_a_transaction_error():
+    assert issubclass(errors.DeadlockError, errors.TransactionError)
+
+
+def test_parse_error_carries_location():
+    error = errors.ParseError("bad token", line=3, column=7)
+    assert error.line == 3
+    assert error.column == 7
+    assert "line 3" in str(error)
+
+
+def test_parse_error_without_location():
+    error = errors.ParseError("bad token")
+    assert "line" not in str(error)
+
+
+def test_library_operations_raise_catchable_errors():
+    from repro import ProductionSystem
+
+    with pytest.raises(errors.ReproError):
+        ProductionSystem("(p broken")
+    with pytest.raises(errors.ReproError):
+        ProductionSystem(
+            "(literalize T x)(p r (Ghost ^y 1) --> (halt))"
+        )

@@ -1,0 +1,52 @@
+"""Tests for operation counters and space reports."""
+
+from repro.instrument import Counters, SpaceReport
+
+
+class TestCounters:
+    def test_starts_at_zero(self):
+        counters = Counters()
+        assert all(v == 0 for v in counters.as_dict().values())
+
+    def test_reset(self):
+        counters = Counters(comparisons=5, tokens=2)
+        counters.reset()
+        assert counters.comparisons == 0
+        assert counters.tokens == 0
+
+    def test_snapshot_is_independent(self):
+        counters = Counters(comparisons=1)
+        snap = counters.snapshot()
+        counters.comparisons += 10
+        assert snap.comparisons == 1
+
+    def test_diff(self):
+        counters = Counters(comparisons=1, tuple_reads=4)
+        before = counters.snapshot()
+        counters.comparisons += 9
+        diff = counters.diff(before)
+        assert diff["comparisons"] == 9
+        assert diff["tuple_reads"] == 0
+
+    def test_add(self):
+        total = Counters(comparisons=1) + Counters(comparisons=2, tokens=3)
+        assert total.comparisons == 3
+        assert total.tokens == 3
+
+    def test_as_dict_keys_are_stable(self):
+        keys = set(Counters().as_dict())
+        assert {"comparisons", "false_drops", "lock_waits"} <= keys
+
+
+class TestSpaceReport:
+    def test_as_dict(self):
+        report = SpaceReport(
+            strategy="x", wm_tuples=1, stored_tokens=2, estimated_cells=9
+        )
+        d = report.as_dict()
+        assert d["strategy"] == "x"
+        assert d["stored_tokens"] == 2
+        assert d["estimated_cells"] == 9
+
+    def test_detail_defaults_empty(self):
+        assert SpaceReport().detail == {}

@@ -1,0 +1,153 @@
+"""Lock-manager tests: modes, granularities, upgrades, deadlock."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.txn import LockManager, relation_target, tuple_target
+
+T1, T2, T3 = 1, 2, 3
+EMP1 = tuple_target("Emp", 1)
+EMP2 = tuple_target("Emp", 2)
+EMP = relation_target("Emp")
+
+
+@pytest.fixture
+def locks():
+    return LockManager()
+
+
+class TestTupleLocks:
+    def test_shared_locks_compatible(self, locks):
+        assert locks.try_acquire(T1, EMP1, "S")
+        assert locks.try_acquire(T2, EMP1, "S")
+
+    def test_exclusive_blocks_shared(self, locks):
+        assert locks.try_acquire(T1, EMP1, "X")
+        assert not locks.try_acquire(T2, EMP1, "S")
+        assert locks.waits_for[T2] == {T1}
+
+    def test_shared_blocks_exclusive(self, locks):
+        assert locks.try_acquire(T1, EMP1, "S")
+        assert not locks.try_acquire(T2, EMP1, "X")
+
+    def test_different_tuples_independent(self, locks):
+        assert locks.try_acquire(T1, EMP1, "X")
+        assert locks.try_acquire(T2, EMP2, "X")
+
+    def test_reacquire_is_noop(self, locks):
+        assert locks.try_acquire(T1, EMP1, "S")
+        assert locks.try_acquire(T1, EMP1, "S")
+
+    def test_upgrade_when_sole_holder(self, locks):
+        assert locks.try_acquire(T1, EMP1, "S")
+        assert locks.try_acquire(T1, EMP1, "X")
+        assert locks.mode_of(T1, EMP1) == "X"
+
+    def test_upgrade_blocked_by_other_reader(self, locks):
+        assert locks.try_acquire(T1, EMP1, "S")
+        assert locks.try_acquire(T2, EMP1, "S")
+        assert not locks.try_acquire(T1, EMP1, "X")
+
+    def test_x_implies_s(self, locks):
+        assert locks.try_acquire(T1, EMP1, "X")
+        assert locks.try_acquire(T1, EMP1, "S")  # no downgrade needed
+
+    def test_unknown_mode(self, locks):
+        with pytest.raises(TransactionError):
+            locks.try_acquire(T1, EMP1, "Z")
+
+
+class TestRelationLocks:
+    def test_relation_s_blocks_insert_intent(self, locks):
+        """§5.2: the negative-dependency read lock delays inserters."""
+        assert locks.try_acquire(T1, EMP, "S")
+        assert not locks.try_acquire(T2, EMP, "IX")
+
+    def test_insert_intent_blocks_relation_s(self, locks):
+        assert locks.try_acquire(T1, EMP, "IX")
+        assert not locks.try_acquire(T2, EMP, "S")
+
+    def test_insert_intents_compatible(self, locks):
+        assert locks.try_acquire(T1, EMP, "IX")
+        assert locks.try_acquire(T2, EMP, "IX")
+
+    def test_relation_s_blocks_tuple_x(self, locks):
+        assert locks.try_acquire(T1, EMP, "S")
+        assert not locks.try_acquire(T2, EMP1, "X")
+
+    def test_tuple_x_blocks_relation_s(self, locks):
+        assert locks.try_acquire(T1, EMP1, "X")
+        assert not locks.try_acquire(T2, EMP, "S")
+
+    def test_relation_s_compatible_with_tuple_s(self, locks):
+        assert locks.try_acquire(T1, EMP, "S")
+        assert locks.try_acquire(T2, EMP1, "S")
+
+    def test_other_relations_unaffected(self, locks):
+        assert locks.try_acquire(T1, EMP, "S")
+        assert locks.try_acquire(T2, relation_target("Dept"), "IX")
+
+
+class TestRelease:
+    def test_release_unblocks(self, locks):
+        locks.try_acquire(T1, EMP1, "X")
+        assert not locks.try_acquire(T2, EMP1, "S")
+        locks.release_all(T1)
+        assert locks.try_acquire(T2, EMP1, "S")
+
+    def test_release_clears_waits_for(self, locks):
+        locks.try_acquire(T1, EMP1, "X")
+        locks.try_acquire(T2, EMP1, "S")
+        locks.release_all(T2)
+        assert T2 not in locks.waits_for
+
+    def test_release_clears_cross_granularity_state(self, locks):
+        locks.try_acquire(T1, EMP1, "X")
+        locks.release_all(T1)
+        assert locks.try_acquire(T2, EMP, "S")
+
+    def test_held_by(self, locks):
+        locks.try_acquire(T1, EMP1, "S")
+        locks.try_acquire(T1, EMP, "IX")
+        assert locks.held_by(T1) == {EMP1, EMP}
+
+
+class TestDeadlockDetection:
+    def test_no_deadlock_when_no_waiting(self, locks):
+        locks.try_acquire(T1, EMP1, "X")
+        assert locks.deadlocked() is None
+
+    def test_simple_cycle_detected(self, locks):
+        locks.try_acquire(T1, EMP1, "X")
+        locks.try_acquire(T2, EMP2, "X")
+        locks.try_acquire(T1, EMP2, "S")  # T1 waits on T2
+        locks.try_acquire(T2, EMP1, "S")  # T2 waits on T1
+        cycle = locks.deadlocked()
+        assert cycle is not None
+        assert set(cycle) == {T1, T2}
+
+    def test_wait_chain_without_cycle(self, locks):
+        locks.try_acquire(T1, EMP1, "X")
+        locks.try_acquire(T2, EMP1, "S")  # T2 waits on T1
+        locks.try_acquire(T3, EMP2, "X")
+        assert locks.deadlocked() is None
+
+    def test_three_way_cycle(self, locks):
+        targets = [tuple_target("Emp", i) for i in (1, 2, 3)]
+        for txn, target in zip((T1, T2, T3), targets):
+            locks.try_acquire(txn, target, "X")
+        locks.try_acquire(T1, targets[1], "S")
+        locks.try_acquire(T2, targets[2], "S")
+        locks.try_acquire(T3, targets[0], "S")
+        cycle = locks.deadlocked()
+        assert cycle is not None
+        assert set(cycle) == {T1, T2, T3}
+
+    def test_abort_breaks_cycle(self, locks):
+        locks.try_acquire(T1, EMP1, "X")
+        locks.try_acquire(T2, EMP2, "X")
+        locks.try_acquire(T1, EMP2, "S")
+        locks.try_acquire(T2, EMP1, "S")
+        locks.release_all(T2)
+        assert locks.deadlocked() is None
+        assert locks.try_acquire(T1, EMP2, "S")

@@ -1,0 +1,58 @@
+"""Multi-round concurrent execution: Δadd across rounds (§5.2)."""
+
+from repro.engine import ProductionSystem
+from repro.txn import ConcurrentScheduler, is_serializable
+
+CASCADE = """
+(literalize Seed x)
+(literalize Stage1 x)
+(literalize Stage2 x)
+(p first  (Seed ^x <V>)   --> (remove 1) (make Stage1 ^x <V>))
+(p second (Stage1 ^x <V>) --> (remove 1) (make Stage2 ^x <V>))
+"""
+
+
+class TestRounds:
+    def test_delta_add_forms_the_next_round(self):
+        """Ψ2 is exactly the transactions the Ψ1 commits enabled."""
+        system = ProductionSystem(CASCADE)
+        for i in range(3):
+            system.insert("Seed", (i,))
+        scheduler = ConcurrentScheduler(system)
+        result = scheduler.run()
+        assert [r.transactions for r in result.rounds] == [3, 3]
+        assert [r.committed for r in result.rounds] == [3, 3]
+        assert len(list(system.wm.tuples("Stage2"))) == 3
+        assert is_serializable(result.history)
+
+    def test_round_snapshot_excludes_mid_round_additions(self):
+        """Transactions added by Ψ1's own commits run in Ψ2, matching the
+        paper's staging: 'the second conflict set will be identical to the
+        set Ψ_{f1+1}'."""
+        system = ProductionSystem(CASCADE)
+        system.insert("Seed", (1,))
+        scheduler = ConcurrentScheduler(system)
+        first = scheduler.run_round()
+        assert first.transactions == 1
+        # the Stage1 rule instantiation exists but was NOT run in round 1
+        assert len(system.eligible()) == 1
+        second = scheduler.run_round()
+        assert second.transactions == 1
+        assert scheduler.run_round().transactions == 0
+
+    def test_cross_round_history_is_serializable(self):
+        system = ProductionSystem(CASCADE)
+        for i in range(4):
+            system.insert("Seed", (i,))
+        result = ConcurrentScheduler(system).run()
+        assert is_serializable(result.history)
+        # commits ordered: all firsts precede the seconds they enabled
+        order = result.history.commit_order
+        assert len(order) == 8
+
+    def test_max_rounds_cap(self):
+        system = ProductionSystem(CASCADE)
+        system.insert("Seed", (1,))
+        result = ConcurrentScheduler(system).run(max_rounds=1)
+        assert len(result.rounds) == 1
+        assert len(system.eligible()) == 1  # the enabled second stage waits

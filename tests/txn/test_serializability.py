@@ -1,0 +1,224 @@
+"""E5: serializability of concurrent conflict-set execution (§5.2).
+
+The paper's claim: with 2PL on WM and COND relations and commit points
+after maintenance, the interleaved execution of a conflict set is
+equivalent to *some* serial execution of the same set.  We verify the
+conflict graph is acyclic, and that the concurrent final WM state equals
+the final state of replaying the equivalent serial order.
+"""
+
+import itertools
+
+import pytest
+
+from repro.engine import ProductionSystem
+from repro.txn import (
+    ConcurrentScheduler,
+    History,
+    Operation,
+    conflict_graph,
+    count_equivalent_serial_orders,
+    equivalent_serial_order,
+    is_serializable,
+    tuple_target,
+)
+
+INDEPENDENT_SOURCE = """
+(literalize T0 x)
+(literalize T1 x)
+(literalize L x)
+(p r0 (T0 ^x <V>) --> (remove 1) (make L ^x <V>))
+(p r1 (T1 ^x <V>) --> (remove 1) (make L ^x <V>))
+"""
+
+CONFLICT_SOURCE = """
+(literalize Acct id bal)
+(p drain (Acct ^id <I> ^bal {<B> > 0}) --> (modify 1 ^bal 0))
+"""
+
+
+def wm_state(ps):
+    state = {}
+    for name in ps.wm.schemas:
+        state[name] = sorted(t.values for t in ps.wm.tuples(name))
+    return state
+
+
+class TestHistoryPrimitives:
+    def test_conflict_requires_write(self):
+        a = Operation(1, "r", tuple_target("E", 1))
+        b = Operation(2, "r", tuple_target("E", 1))
+        c = Operation(2, "w", tuple_target("E", 1))
+        assert not a.conflicts_with(b)
+        assert a.conflicts_with(c)
+        assert not a.conflicts_with(Operation(1, "w", tuple_target("E", 1)))
+
+    def test_conflict_requires_same_target(self):
+        a = Operation(1, "w", tuple_target("E", 1))
+        b = Operation(2, "w", tuple_target("E", 2))
+        assert not a.conflicts_with(b)
+
+    def test_serializable_history(self):
+        history = History()
+        history.record(1, "w", tuple_target("E", 1))
+        history.record(2, "r", tuple_target("E", 1))
+        assert is_serializable(history)
+        assert equivalent_serial_order(history) == [1, 2]
+
+    def test_non_serializable_history(self):
+        history = History()
+        history.record(1, "w", tuple_target("E", 1))
+        history.record(2, "w", tuple_target("E", 1))
+        history.record(2, "w", tuple_target("E", 2))
+        history.record(1, "w", tuple_target("E", 2))
+        assert not is_serializable(history)
+        with pytest.raises(ValueError):
+            equivalent_serial_order(history)
+
+    def test_count_orders_independent(self):
+        history = History()
+        for txn in (1, 2, 3):
+            history.record(txn, "w", tuple_target("E", txn))
+        assert count_equivalent_serial_orders(history) == 6
+
+    def test_count_orders_chain(self):
+        history = History()
+        history.record(1, "w", tuple_target("E", 1))
+        history.record(2, "r", tuple_target("E", 1))
+        history.record(2, "w", tuple_target("E", 2))
+        history.record(3, "r", tuple_target("E", 2))
+        assert count_equivalent_serial_orders(history) == 1
+
+    def test_count_orders_cap(self):
+        history = History()
+        for txn in range(20):
+            history.record(txn, "w", tuple_target("E", txn))
+        with pytest.raises(ValueError, match="too many"):
+            count_equivalent_serial_orders(history)
+
+
+class TestConcurrentExecution:
+    def test_independent_transactions_fully_parallel(self):
+        ps = ProductionSystem(INDEPENDENT_SOURCE)
+        ps.insert("T0", {"x": 0})
+        ps.insert("T1", {"x": 1})
+        scheduler = ConcurrentScheduler(ps)
+        result = scheduler.run()
+        (stats,) = result.rounds
+        assert stats.committed == 2
+        assert stats.makespan_ticks < stats.serial_steps
+        assert is_serializable(result.history)
+
+    def test_history_always_serializable(self, example3_source):
+        ps = ProductionSystem(example3_source)
+        ps.insert("Emp", {"name": "Mike", "salary": 200, "dno": 1, "manager": "Sam"})
+        ps.insert("Emp", {"name": "Sam", "salary": 100, "dno": 2, "manager": None})
+        ps.insert("Dept", {"dno": 2, "dname": "Toy", "floor": 1, "manager": None})
+        result = ConcurrentScheduler(ps).run()
+        assert is_serializable(result.history)
+
+    def test_concurrent_state_matches_some_serial_execution(self):
+        def serial_final(order):
+            ps = ProductionSystem(CONFLICT_SOURCE)
+            for i in order:
+                ps.insert("Acct", {"id": i, "bal": 10})
+            ps.run()
+            return wm_state(ps)
+
+        ps = ProductionSystem(CONFLICT_SOURCE)
+        for i in (1, 2, 3):
+            ps.insert("Acct", {"id": i, "bal": 10})
+        result = ConcurrentScheduler(ps).run()
+        assert is_serializable(result.history)
+        concurrent_state = wm_state(ps)
+        serial_states = [
+            serial_final(order) for order in itertools.permutations((1, 2, 3))
+        ]
+        assert concurrent_state in serial_states
+
+    def test_delta_del_skips_invalidated_transactions(self):
+        """§5.2: transactions in Δdel of an earlier commit must not run."""
+        source = """
+        (literalize T x)
+        (p eat-a (T ^x <V>) --> (remove 1))
+        (p eat-b (T ^x <V>) --> (remove 1))
+        """
+        ps = ProductionSystem(source)
+        ps.insert("T", {"x": 1})
+        result = ConcurrentScheduler(ps).run()
+        total_committed = result.committed
+        total_skipped = sum(r.skipped for r in result.rounds)
+        assert total_committed == 1  # only one rule consumed the tuple
+        assert total_skipped == 1
+        assert len(list(ps.wm.tuples("T"))) == 0
+
+    def test_mutual_delete_deadlock_resolved(self):
+        """§5.2: 'This could lead to a deadlock of the two transactions.'"""
+        source = """
+        (literalize A x)
+        (literalize B x)
+        (p delA (A ^x <V>) (B ^x <V>) --> (remove 1))
+        (p delB (A ^x <V>) (B ^x <V>) --> (remove 2))
+        """
+        ps = ProductionSystem(source)
+        ps.insert("A", {"x": 1})
+        ps.insert("B", {"x": 1})
+        result = ConcurrentScheduler(ps).run()
+        assert sum(r.deadlock_aborts for r in result.rounds) >= 1
+        assert is_serializable(result.history)
+        # Equivalent to one of the two serial outcomes.
+        a_left = len(list(ps.wm.tuples("A")))
+        b_left = len(list(ps.wm.tuples("B")))
+        assert (a_left, b_left) in {(0, 1), (1, 0)}
+
+    def test_negative_dependency_blocks_inserter(self):
+        """§5.2: negatively dependent txns take relation read locks that
+        delay inserters, keeping the schedule serializable."""
+        source = """
+        (literalize Emp dno)
+        (literalize Audit dno)
+        (literalize Flag dno)
+        (p protect (Emp ^dno <D>) -(Audit ^dno <D>) --> (remove 1) (make Flag ^dno <D>))
+        (p audit-everything (Emp ^dno <D>) --> (make Audit ^dno <D>))
+        """
+        ps = ProductionSystem(source)
+        ps.insert("Emp", {"dno": 1})
+        result = ConcurrentScheduler(ps).run()
+        assert is_serializable(result.history)
+
+    def test_refraction_across_rounds(self):
+        ps = ProductionSystem(INDEPENDENT_SOURCE)
+        ps.insert("T0", {"x": 0})
+        scheduler = ConcurrentScheduler(ps)
+        first = scheduler.run()
+        second = scheduler.run()
+        assert first.committed == 1
+        assert second.committed == 0
+
+
+class TestSpeedupMeasures:
+    def test_speedup_grows_with_independent_parallelism(self):
+        def run_with(n):
+            parts = []
+            for i in range(n):
+                parts.append(f"(literalize T{i} x)")
+                parts.append(f"(literalize L{i} x)")
+                parts.append(
+                    f"(p r{i} (T{i} ^x <V>) --> (remove 1) (make L{i} ^x <V>))"
+                )
+            ps = ProductionSystem("\n".join(parts))
+            for i in range(n):
+                ps.insert(f"T{i}", {"x": i})
+            result = ConcurrentScheduler(ps).run()
+            return result.rounds[0].speedup
+
+        assert run_with(6) > run_with(2) >= 1.0
+
+    def test_critical_path_bound_reported(self):
+        ps = ProductionSystem(INDEPENDENT_SOURCE)
+        ps.insert("T0", {"x": 0})
+        ps.insert("T1", {"x": 1})
+        result = ConcurrentScheduler(ps).run()
+        (stats,) = result.rounds
+        assert stats.total_updates == 4  # 2 removes + 2 makes
+        assert stats.critical_path_bound <= stats.total_updates

@@ -1,0 +1,145 @@
+"""Unit tests for lock planning and transaction stepping (§5.1–5.2)."""
+
+import pytest
+
+from repro.engine import ProductionSystem
+from repro.txn import (
+    COMMITTED,
+    History,
+    LockManager,
+    RuleTransaction,
+    SKIPPED,
+    plan_locks,
+    relation_target,
+    tuple_target,
+)
+
+SOURCE = """
+(literalize Emp name dno)
+(literalize Audit dno)
+(literalize Log x)
+(p guard
+    (Emp ^name <N> ^dno <D>)
+    -(Audit ^dno <D>)
+    -->
+    (remove 1)
+    (make Log ^x <N>))
+"""
+
+
+@pytest.fixture
+def system():
+    ps = ProductionSystem(SOURCE)
+    ps.insert("Emp", ("Mike", 1))
+    return ps
+
+
+def the_instantiation(ps):
+    (inst,) = ps.conflict_set.instantiations()
+    return inst
+
+
+class TestPlanLocks:
+    def test_plan_contents(self, system):
+        inst = the_instantiation(system)
+        analysis = system.analyses["guard"]
+        requests = plan_locks(analysis, inst)
+        targets = [(r.target, r.mode) for r in requests]
+        emp = inst.wmes[0]
+        # S on the retrieved tuple, relation-S for the negative dependency,
+        # X upgrade for the remove, IX for the insert into Log.
+        assert (tuple_target("Emp", emp.tid), "S") in targets
+        assert (relation_target("Audit"), "S") in targets
+        assert (tuple_target("Emp", emp.tid), "X") in targets
+        assert (relation_target("Log"), "IX") in targets
+
+    def test_s_locks_precede_x_upgrades(self, system):
+        inst = the_instantiation(system)
+        requests = plan_locks(system.analyses["guard"], inst)
+        modes = [r.mode for r in requests]
+        assert modes.index("S") < modes.index("X")
+
+    def test_no_duplicate_requests(self, system):
+        inst = the_instantiation(system)
+        requests = plan_locks(system.analyses["guard"], inst)
+        assert len(requests) == len({(r.target, r.mode) for r in requests})
+
+
+class TestRuleTransaction:
+    def _txn(self, system, txn_id=1):
+        inst = the_instantiation(system)
+        return RuleTransaction.build(
+            txn_id, inst, system.analyses["guard"]
+        )
+
+    def test_steps_acquire_then_execute(self, system):
+        txn = self._txn(system)
+        locks = LockManager()
+        history = History()
+        lock_steps = len(txn.requests)
+        for _ in range(lock_steps):
+            assert txn.step(system, locks, history)
+            assert not txn.finished
+        assert txn.step(system, locks, history)  # the execute step
+        assert txn.state == COMMITTED
+        assert locks.held_by(txn.txn_id) == set()
+        assert history.commit_order == [1]
+        assert len(list(system.wm.tuples("Log"))) == 1
+
+    def test_blocked_step_reports_no_progress(self, system):
+        txn = self._txn(system)
+        locks = LockManager()
+        history = History()
+        emp = txn.instantiation.wmes[0]
+        locks.try_acquire(99, tuple_target("Emp", emp.tid), "X")
+        assert not txn.step(system, locks, history)
+        assert txn.state == "blocked"
+        assert system.counters.lock_waits == 1
+
+    def test_delta_del_skips_at_execute(self, system):
+        txn = self._txn(system)
+        locks = LockManager()
+        history = History()
+        for _ in range(len(txn.requests)):
+            txn.step(system, locks, history)
+        # Invalidate before the execute step (simulating another commit).
+        system.insert("Audit", (1,))
+        assert txn.step(system, locks, history)
+        assert txn.state == SKIPPED
+        assert history.commit_order == []
+        assert len(list(system.wm.tuples("Log"))) == 0
+        assert locks.held_by(txn.txn_id) == set()
+
+    def test_abort_rewinds_for_retry(self, system):
+        txn = self._txn(system)
+        locks = LockManager()
+        history = History()
+        for _ in range(2):
+            txn.step(system, locks, history)
+        txn.abort(locks)
+        assert txn.pc == 0
+        assert txn.retries_left == 2
+        assert locks.held_by(txn.txn_id) == set()
+        # Can run to completion after the rewind.
+        while not txn.finished:
+            txn.step(system, locks, history)
+        assert txn.state == COMMITTED
+
+    def test_retries_exhaust_to_skipped(self, system):
+        txn = self._txn(system)
+        locks = LockManager()
+        for _ in range(3):
+            txn.abort(locks)
+        assert txn.state == SKIPPED
+
+    def test_history_records_reads_and_writes(self, system):
+        txn = self._txn(system)
+        locks = LockManager()
+        history = History()
+        while not txn.finished:
+            txn.step(system, locks, history)
+        kinds = {(op.kind, op.target[0]) for op in history.operations}
+        assert ("r", "tuple") in kinds  # the retrieved Emp tuple
+        assert ("r", "rel") in kinds    # the negative dependency on Audit
+        assert ("w", "tuple") in kinds  # the remove and the Log insert
+        assert ("w", "rel") in kinds

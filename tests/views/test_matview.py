@@ -1,0 +1,154 @@
+"""Materialized-view maintenance tests, incl. incremental == recomputed."""
+
+import random
+
+import pytest
+
+from repro.engine import WorkingMemory
+from repro.errors import RuleError
+from repro.storage import RelationSchema
+from repro.views import MaterializedView, ViewManager
+
+SCHEMAS = {
+    "Emp": RelationSchema("Emp", ("name", "salary", "dno")),
+    "Dept": RelationSchema("Dept", ("dno", "dname")),
+}
+
+
+@pytest.fixture
+def wm():
+    return WorkingMemory(SCHEMAS)
+
+
+def toy_view(wm, name="toy"):
+    return MaterializedView(
+        name,
+        wm,
+        "(Emp ^name <N> ^dno <D>) (Dept ^dno <D> ^dname Toy)",
+        select=["N", "D"],
+    )
+
+
+class TestBasicMaintenance:
+    def test_view_starts_empty(self, wm):
+        assert toy_view(wm).rows() == set()
+
+    def test_insert_adds_row(self, wm):
+        view = toy_view(wm)
+        wm.insert("Emp", ("Mike", 500, 1))
+        wm.insert("Dept", (1, "Toy"))
+        assert view.rows() == {("Mike", 1)}
+
+    def test_delete_removes_row(self, wm):
+        view = toy_view(wm)
+        emp = wm.insert("Emp", ("Mike", 500, 1))
+        wm.insert("Dept", (1, "Toy"))
+        wm.remove(emp)
+        assert view.rows() == set()
+
+    def test_view_over_preexisting_data(self, wm):
+        wm.insert("Emp", ("Mike", 500, 1))
+        wm.insert("Dept", (1, "Toy"))
+        view = toy_view(wm)
+        assert view.rows() == {("Mike", 1)}
+
+    def test_bag_semantics_with_duplicates(self, wm):
+        # Two Toy departments with the same dno attribute value cannot
+        # exist (tids differ), but two different depts named Toy with the
+        # same number do produce the same projected row twice.
+        view = toy_view(wm)
+        wm.insert("Emp", ("Mike", 500, 1))
+        d1 = wm.insert("Dept", (1, "Toy"))
+        d2 = wm.insert("Dept", (1, "Toy"))
+        assert view.rows() == {("Mike", 1)}
+        assert view.multiplicity(("Mike", 1)) == 2
+        wm.remove(d1)
+        assert view.rows() == {("Mike", 1)}  # still supported by d2
+        wm.remove(d2)
+        assert view.rows() == set()
+
+    def test_stats(self, wm):
+        view = toy_view(wm)
+        emp = wm.insert("Emp", ("Mike", 500, 1))
+        wm.insert("Dept", (1, "Toy"))
+        wm.remove(emp)
+        assert view.stats.inserts == 1
+        assert view.stats.deletes == 1
+
+    def test_select_unbound_variable_rejected(self, wm):
+        with pytest.raises(RuleError, match="never binds"):
+            MaterializedView(
+                "bad", wm, "(Emp ^name <N>)", select=["Z"]
+            )
+
+    def test_stored_table_mirrors_rows(self, wm):
+        view = toy_view(wm)
+        wm.insert("Emp", ("Mike", 500, 1))
+        wm.insert("Dept", (1, "Toy"))
+        assert {t.values for t in view.table.scan()} == {("Mike", 1)}
+
+
+class TestIncrementalEqualsRecomputed:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_churn(self, wm, seed):
+        view = toy_view(wm)
+        rng = random.Random(seed)
+        live = []
+        for _ in range(120):
+            if rng.random() < 0.65 or not live:
+                if rng.random() < 0.6:
+                    live.append(
+                        wm.insert(
+                            "Emp",
+                            (rng.choice("abc"), rng.randint(1, 9) * 100,
+                             rng.randint(1, 3)),
+                        )
+                    )
+                else:
+                    live.append(
+                        wm.insert(
+                            "Dept",
+                            (rng.randint(1, 3), rng.choice(["Toy", "Shoe"])),
+                        )
+                    )
+            else:
+                wm.remove(live.pop(rng.randrange(len(live))))
+            assert view.rows() == view.refresh_from_scratch()
+
+
+class TestViewManager:
+    def test_create_and_get(self, wm):
+        manager = ViewManager(wm)
+        view = manager.create(
+            "toy",
+            "(Emp ^name <N> ^dno <D>) (Dept ^dno <D> ^dname Toy)",
+            select=["N"],
+        )
+        assert manager.get("toy") is view
+        assert manager.names() == ["toy"]
+
+    def test_duplicate_rejected(self, wm):
+        manager = ViewManager(wm)
+        manager.create("v", "(Emp ^name <N>)", select=["N"])
+        with pytest.raises(RuleError, match="already exists"):
+            manager.create("v", "(Emp ^name <N>)", select=["N"])
+
+    def test_drop_stops_maintenance(self, wm):
+        manager = ViewManager(wm)
+        view = manager.create("v", "(Emp ^name <N>)", select=["N"])
+        manager.drop("v")
+        wm.insert("Emp", ("Mike", 500, 1))
+        assert view.rows() == set()
+        with pytest.raises(RuleError):
+            manager.get("v")
+
+    def test_multiple_views_independent(self, wm):
+        manager = ViewManager(wm)
+        names = manager.create("names", "(Emp ^name <N>)", select=["N"])
+        rich = manager.create(
+            "rich", "(Emp ^name <N> ^salary > 1000)", select=["N"]
+        )
+        wm.insert("Emp", ("Mike", 500, 1))
+        wm.insert("Emp", ("Sam", 2000, 1))
+        assert names.rows() == {("Mike",), ("Sam",)}
+        assert rich.rows() == {("Sam",)}

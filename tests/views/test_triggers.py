@@ -1,0 +1,136 @@
+"""Trigger and alerter tests."""
+
+import pytest
+
+from repro.engine import WorkingMemory
+from repro.errors import RuleError
+from repro.storage import RelationSchema
+from repro.views import TriggerManager
+
+SCHEMAS = {
+    "Emp": RelationSchema("Emp", ("name", "salary", "dno")),
+    "Dept": RelationSchema("Dept", ("dno", "dname")),
+}
+
+
+@pytest.fixture
+def wm():
+    return WorkingMemory(SCHEMAS)
+
+
+@pytest.fixture
+def manager(wm):
+    return TriggerManager(wm)
+
+
+class TestTriggers:
+    def test_simple_trigger_fires_on_insert(self, wm, manager):
+        hits = []
+        manager.define(
+            "high-salary", "(Emp ^salary > 1000)", on_satisfied=hits.append
+        )
+        wm.insert("Emp", ("Mike", 500, 1))
+        assert hits == []
+        wm.insert("Emp", ("Sam", 2000, 1))
+        assert len(hits) == 1
+        assert hits[0].positive_wmes()[0].values == ("Sam", 2000, 1)
+
+    def test_complex_trigger_with_join(self, wm, manager):
+        """Buneman & Clemons' 'complex' triggers: multi-relation joins."""
+        hits = []
+        manager.define(
+            "toy-emp",
+            "(Emp ^dno <D>) (Dept ^dno <D> ^dname Toy)",
+            on_satisfied=hits.append,
+        )
+        wm.insert("Emp", ("Mike", 500, 1))
+        assert hits == []
+        wm.insert("Dept", (1, "Toy"))
+        assert len(hits) == 1
+
+    def test_delete_trigger(self, wm, manager):
+        violations = []
+        manager.define(
+            "watched", "(Emp ^salary > 1000)", on_violated=violations.append
+        )
+        sam = wm.insert("Emp", ("Sam", 2000, 1))
+        wm.remove(sam)
+        assert len(violations) == 1
+
+    def test_trigger_over_preexisting_data(self, wm):
+        wm.insert("Emp", ("Sam", 2000, 1))
+        manager = TriggerManager(wm)
+        hits = []
+        manager.define(
+            "late", "(Emp ^salary > 1000)", on_satisfied=hits.append
+        )
+        assert len(hits) == 1
+
+    def test_counts_tracked(self, wm, manager):
+        trigger = manager.define("t", "(Emp ^salary > 1000)")
+        sam = wm.insert("Emp", ("Sam", 2000, 1))
+        wm.remove(sam)
+        assert trigger.fired == 1
+        assert trigger.cleared == 1
+
+    def test_duplicate_name_rejected(self, wm, manager):
+        manager.define("t", "(Emp ^salary > 1000)")
+        with pytest.raises(RuleError, match="already defined"):
+            manager.define("t", "(Emp ^salary > 0)")
+
+    def test_drop_stops_monitoring(self, wm, manager):
+        hits = []
+        manager.define("t", "(Emp ^salary > 1000)", on_satisfied=hits.append)
+        manager.drop("t")
+        wm.insert("Emp", ("Sam", 2000, 1))
+        assert hits == []
+        with pytest.raises(RuleError):
+            manager.trigger("t")
+
+    def test_satisfied_matches(self, wm, manager):
+        manager.define("t", "(Emp ^salary > 1000)")
+        wm.insert("Emp", ("Sam", 2000, 1))
+        wm.insert("Emp", ("Ann", 3000, 1))
+        assert len(manager.satisfied_matches("t")) == 2
+
+    def test_negated_condition_trigger(self, wm, manager):
+        hits = []
+        manager.define(
+            "deptless",
+            "(Emp ^dno <D>) -(Dept ^dno <D>)",
+            on_satisfied=hits.append,
+        )
+        wm.insert("Emp", ("Mike", 500, 9))
+        assert len(hits) == 1
+        wm.insert("Dept", (9, "Toy"))
+        assert manager.trigger("deptless").cleared == 1
+
+
+class TestAlerters:
+    def test_alerter_records_messages(self, wm, manager):
+        manager.define_alerter("watch", "(Emp ^salary > 1000)")
+        sam = wm.insert("Emp", ("Sam", 2000, 1))
+        wm.remove(sam)
+        kinds = [(a.trigger, a.kind) for a in manager.alerts]
+        assert kinds == [("watch", "satisfied"), ("watch", "violated")]
+        assert "watch" in str(manager.alerts[0])
+
+    def test_alerters_with_multiple_triggers(self, wm, manager):
+        manager.define_alerter("a", "(Emp ^salary > 1000)")
+        manager.define_alerter("b", "(Emp ^dno 7)")
+        wm.insert("Emp", ("Sam", 2000, 7))
+        assert {a.trigger for a in manager.alerts} == {"a", "b"}
+
+
+@pytest.mark.parametrize("strategy", ["rete", "simplified", "patterns", "markers"])
+def test_triggers_work_over_any_strategy(wm, strategy):
+    manager = TriggerManager(wm, strategy=strategy)
+    hits = []
+    manager.define(
+        "toy-emp",
+        "(Emp ^dno <D>) (Dept ^dno <D> ^dname Toy)",
+        on_satisfied=hits.append,
+    )
+    wm.insert("Emp", ("Mike", 500, 1))
+    wm.insert("Dept", (1, "Toy"))
+    assert len(hits) == 1

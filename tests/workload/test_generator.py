@@ -1,0 +1,164 @@
+"""Workload-generator tests: determinism, validity, knob behaviour."""
+
+import pytest
+
+from repro.engine import ProductionSystem, WorkingMemory
+from repro.lang import analyze_program
+from repro.match import STRATEGIES
+from repro.workload import (
+    EXAMPLE5_INSERTS,
+    WorkloadSpec,
+    chain_program,
+    contended_rules_program,
+    counter_program,
+    generate_insert_stream,
+    generate_program,
+    generate_workload,
+    independent_rules_program,
+    mixed_stream,
+    monkey_bananas_program,
+)
+
+
+class TestGeneratedPrograms:
+    def test_deterministic_for_same_seed(self):
+        a = generate_program(WorkloadSpec(seed=4))
+        b = generate_program(WorkloadSpec(seed=4))
+        assert a.program.rules == b.program.rules
+
+    def test_different_seeds_differ(self):
+        a = generate_program(WorkloadSpec(seed=1, rules=20))
+        b = generate_program(WorkloadSpec(seed=2, rules=20))
+        assert a.program.rules != b.program.rules
+
+    def test_rule_count_honoured(self):
+        workload = generate_program(WorkloadSpec(rules=17))
+        assert len(workload.program.rules) == 17
+
+    def test_generated_rules_analyze_cleanly(self):
+        workload = generate_program(
+            WorkloadSpec(rules=30, min_conditions=1, max_conditions=4, seed=9)
+        )
+        analyses = analyze_program(
+            workload.program.rules, workload.program.schemas
+        )
+        assert len(analyses) == 30
+
+    def test_negation_probability(self):
+        spec = WorkloadSpec(
+            rules=30, min_conditions=2, max_conditions=3,
+            negation_probability=0.8, seed=2,
+        )
+        workload = generate_program(spec)
+        negated = sum(
+            1
+            for rule in workload.program.rules
+            for ce in rule.condition_elements
+            if ce.negated
+        )
+        assert negated > 0
+
+    def test_generated_rules_run_under_every_strategy(self):
+        spec = WorkloadSpec(rules=8, classes=3, seed=6)
+        workload = generate_workload(spec, stream_length=60)
+        reference = None
+        for name in sorted(STRATEGIES):
+            wm = WorkingMemory(workload.program.schemas)
+            strategy = STRATEGIES[name](
+                wm,
+                analyze_program(
+                    workload.program.rules, workload.program.schemas
+                ),
+            )
+            for class_name, values in workload.insert_stream:
+                wm.insert(class_name, values)
+            keys = strategy.conflict_set_keys()
+            if reference is None:
+                reference = keys
+            else:
+                assert keys == reference, name
+
+    def test_shared_pool_creates_overlap(self):
+        spec = WorkloadSpec(rules=20, shared_condition_pool=3, seed=1)
+        workload = generate_program(spec)
+        signatures = [
+            ce.class_name + str(sorted(str(t) for t in ce.tests))
+            for rule in workload.program.rules
+            for ce in rule.condition_elements
+        ]
+        assert len(set(signatures)) < len(signatures)
+
+
+class TestStreams:
+    def test_insert_stream_respects_domain(self):
+        spec = WorkloadSpec(domain=3, classes=2, attributes=2, seed=5)
+        for class_name, values in generate_insert_stream(spec, 100):
+            assert class_name in ("K0", "K1")
+            assert all(0 <= v < 3 for v in values)
+
+    def test_insert_stream_deterministic(self):
+        spec = WorkloadSpec(seed=8)
+        assert generate_insert_stream(spec, 50) == generate_insert_stream(
+            spec, 50
+        )
+
+    def test_mixed_stream_delete_indices_valid(self):
+        spec = WorkloadSpec(seed=3)
+        live = 0
+        for kind, payload in mixed_stream(spec, 200, delete_fraction=0.4):
+            if kind == "insert":
+                live += 1
+            else:
+                assert 0 <= payload < live
+                live -= 1
+
+
+class TestCannedPrograms:
+    def test_chain_program_depths(self):
+        ps = ProductionSystem(chain_program(3))
+        for i in range(3):
+            ps.insert(f"C{i}", (0, "live"))
+        assert len(ps.conflict_set) == 1
+
+    def test_chain_program_rejects_zero(self):
+        with pytest.raises(ValueError):
+            chain_program(0)
+
+    def test_counter_program_halts_at_limit(self):
+        ps = ProductionSystem(counter_program(4))
+        ps.insert("Counter", {"value": 0, "limit": 4})
+        result = ps.run()
+        assert result.halted
+
+    def test_independent_rules_all_fire(self):
+        ps = ProductionSystem(independent_rules_program(3))
+        for i in range(3):
+            ps.insert(f"T{i}", {"x": i})
+        result = ps.run()
+        assert sorted(result.fired_rule_names) == ["r0", "r1", "r2"]
+
+    def test_contended_rules_all_fire(self):
+        ps = ProductionSystem(contended_rules_program(3))
+        ps.insert("Shared", {"x": 0})
+        for i in range(3):
+            ps.insert(f"T{i}", {"x": i})
+        result = ps.run()
+        assert len(result.fired) == 3
+        (shared,) = ps.wm.tuples("Shared")
+        assert shared.values == (3,)
+
+    def test_monkey_bananas_plan(self):
+        ps = ProductionSystem(monkey_bananas_program(), resolution="mea")
+        ps.insert("Goal", {"status": "active"})
+        ps.insert("Monkey", {"at": "door", "on": "floor", "holding": None})
+        ps.insert("Object", {"name": "chair", "at": "corner"})
+        ps.insert("Object", {"name": "bananas", "at": "ceiling"})
+        result = ps.run(max_cycles=20)
+        assert result.halted
+        monkey = next(iter(ps.wm.tuples("Monkey")))
+        assert monkey.values[2] == "bananas"  # holding
+        goal = next(iter(ps.wm.tuples("Goal")))
+        assert goal.values[0] == "satisfied"
+
+    def test_example5_inserts_shape(self):
+        assert [cls for cls, _ in EXAMPLE5_INSERTS] == ["B", "C", "A", "B"]
