@@ -58,6 +58,14 @@ from repro.match import (
     SharedReteStrategy,
     SimplifiedStrategy,
 )
+from repro.obs import (
+    JsonlFileSink,
+    MetricsRegistry,
+    Observability,
+    PhaseStatsSink,
+    RingBufferSink,
+    RunManifest,
+)
 from repro.rindex import ConditionIndex, RTree
 from repro.storage import Catalog, RelationSchema, StoredTuple
 from repro.txn import (
@@ -81,16 +89,22 @@ __all__ = [
     "Counters",
     "DbmsReteStrategy",
     "Instantiation",
+    "JsonlFileSink",
     "MatchStrategy",
     "MatchingPatternsStrategy",
     "MaterializedView",
+    "MetricsRegistry",
+    "Observability",
     "POLICIES",
+    "PhaseStatsSink",
     "ProductionSystem",
     "Program",
     "RTree",
     "RelationSchema",
     "ReproError",
     "ReteStrategy",
+    "RingBufferSink",
+    "RunManifest",
     "Rule",
     "RuleBuilder",
     "RunResult",

@@ -11,6 +11,7 @@ from repro.lang.analysis import RuleAnalysis, analyze_program
 from repro.lang.ast import Program
 from repro.lang.parser import parse_program
 from repro.match import STRATEGIES, MatchStrategy
+from repro.obs import Observability
 from repro.storage.schema import Value
 from repro.storage.tuples import StoredTuple
 
@@ -29,6 +30,7 @@ class StrategyRun:
     space: SpaceReport | None = None
     conflict_additions: int = 0
     conflict_size: int = 0
+    metrics: dict | None = None
 
     def row(self, *counter_names: str) -> dict:
         """A table row with selected counters."""
@@ -55,10 +57,11 @@ def build_system(
     source: str | Program,
     strategy_name: str,
     backend: str = "memory",
+    obs: Observability | None = None,
 ) -> tuple[WorkingMemory, MatchStrategy]:
     """A fresh WM plus one attached strategy with its own counters."""
     program, analyses = resolve_program(source)
-    wm = WorkingMemory(program.schemas, backend=backend)
+    wm = WorkingMemory(program.schemas, backend=backend, obs=obs)
     strategy = STRATEGIES[strategy_name](wm, analyses, counters=Counters())
     return wm, strategy
 
@@ -93,12 +96,21 @@ def run_stream(
     events: list[Event],
     strategy_name: str,
     backend: str = "memory",
+    obs: Observability | None = None,
 ) -> StrategyRun:
-    """Drive *events* through one strategy, measuring time and counters."""
-    wm, strategy = build_system(source, strategy_name, backend=backend)
+    """Drive *events* through one strategy, measuring time and counters.
+
+    With an enabled *obs*, the run's final metrics snapshot (including the
+    absorbed operation counters) is attached as ``StrategyRun.metrics``.
+    """
+    wm, strategy = build_system(source, strategy_name, backend=backend, obs=obs)
     start = time.perf_counter()
     count, _live = drive_stream(wm, events)
     elapsed = time.perf_counter() - start
+    metrics_snapshot = None
+    if obs is not None and obs.enabled:
+        obs.metrics.absorb_counters(strategy.counters)
+        metrics_snapshot = obs.metrics.snapshot()
     return StrategyRun(
         strategy=strategy.strategy_name,
         events=count,
@@ -107,6 +119,7 @@ def run_stream(
         space=strategy.space_report(),
         conflict_additions=strategy.conflict_set.additions,
         conflict_size=len(strategy.conflict_set),
+        metrics=metrics_snapshot,
     )
 
 

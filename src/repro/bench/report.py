@@ -26,10 +26,10 @@ from repro.bench.drivers import (
 )
 from repro.bench.tables import render_table
 from repro.engine.interpreter import ProductionSystem
+from repro.obs import repro_footer
 from repro.lang.analysis import analyze_program
 from repro.lang.parser import parse_program
 from repro.rindex.condition_index import ConditionIndex
-from repro.rindex.interval import key_of
 from repro.txn.scheduler import ConcurrentScheduler
 from repro.txn.serializability import count_equivalent_serial_orders
 from repro.workload.generator import (
@@ -479,6 +479,7 @@ def main(argv: list[str] | None = None) -> str:
             )
         title, rows = REPORTS[name]()
         blocks.append(render_table(rows, title=title))
+    blocks.append(repro_footer(CORE_STRATEGIES))
     output = "\n\n".join(blocks)
     print(output)
     return output

@@ -3,21 +3,30 @@
     python -m repro.cli run program.ops [--strategy patterns]
                                         [--resolution lex] [--max-cycles N]
                                         [--backend memory] [--quiet]
+                                        [--trace-out t.jsonl]
+                                        [--metrics-out m.json]
+                                        [--manifest [DIR]]
+    python -m repro.cli stats program.ops
     python -m repro.cli check program.ops
     python -m repro.cli format program.ops
     python -m repro.cli report [f1 e1 ... e9]
 
 ``run`` executes an OPS5 program file (literalize + rules + top-level
 ``(make ...)`` initial elements) through the recognize-act cycle and prints
-the firing trace, ``(write ...)`` output, and the final working memory.
-``check`` validates a program and summarizes its rules; ``format``
-normalizes it back to canonical text; ``report`` regenerates the
-experiment tables of EXPERIMENTS.md.
+the firing trace, ``(write ...)`` output, and the final working memory;
+``--trace-out`` streams spans/events as JSON lines, ``--metrics-out``
+writes the final metrics snapshot, ``--manifest`` records the run under
+``runs/<run_id>/``.  ``stats`` runs the program with the phase-stats sink
+and prints a per-rule Match/Select/Act cost table.  ``check`` validates a
+program and summarizes its rules; ``format`` normalizes it back to
+canonical text; ``report`` regenerates the experiment tables of
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.engine.interpreter import ProductionSystem
@@ -26,6 +35,14 @@ from repro.lang.analysis import analyze_program
 from repro.lang.format import format_program
 from repro.lang.parser import parse_program
 from repro.match import STRATEGIES
+from repro.obs import (
+    JsonlFileSink,
+    Observability,
+    PhaseStatsSink,
+    RunManifest,
+    git_sha,
+    program_hash,
+)
 
 
 def _read(path: str) -> str:
@@ -33,13 +50,29 @@ def _read(path: str) -> str:
         return handle.read()
 
 
+def _run_status(result) -> str:
+    return (
+        "halted" if result.halted
+        else "cycle limit reached" if result.exhausted
+        else "quiescent"
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    obs = Observability()
+    if args.trace_out:
+        obs.add_sink(JsonlFileSink(args.trace_out))
+    want_metrics = bool(args.metrics_out) or args.manifest is not None
+    if want_metrics:
+        obs.enable_metrics()
     system = ProductionSystem(
-        _read(args.file),
+        source,
         strategy=args.strategy,
         resolution=args.resolution,
         backend=args.backend,
         seed=args.seed,
+        obs=obs,
     )
     result = system.run(max_cycles=args.max_cycles)
     if not args.quiet:
@@ -47,17 +80,67 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"{record.cycle:4d}. {record.instantiation}")
         for line in system.output:
             print("write:", *line)
-    status = (
-        "halted" if result.halted
-        else "cycle limit reached" if result.exhausted
-        else "quiescent"
-    )
+    status = _run_status(result)
     print(f"{result.cycles} cycles, {status}")
     if not args.quiet:
         print("final working memory:")
         for class_name in system.wm.schemas:
             for wme in system.wm.tuples(class_name):
                 print(" ", wme)
+    snapshot = system.snapshot_metrics() if want_metrics else {}
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, default=str)
+            handle.write("\n")
+    obs.close()
+    if args.manifest is not None:
+        manifest = RunManifest(
+            program_hash=program_hash(source),
+            program_path=args.file,
+            strategy=args.strategy,
+            resolution=args.resolution,
+            backend=args.backend,
+            firing="instance",
+            seed=args.seed,
+            command=list(sys.argv[1:]) or ["run", args.file],
+            git_sha=git_sha(),
+            metrics=snapshot,
+            trace_path=args.trace_out,
+            metrics_path=args.metrics_out,
+            result={"cycles": result.cycles, "status": status},
+        )
+        print("manifest:", manifest.write(base_dir=args.manifest))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.bench.tables import render_table
+
+    sink = PhaseStatsSink()
+    obs = Observability(sinks=[sink], collect_metrics=True)
+    system = ProductionSystem(
+        _read(args.file),
+        strategy=args.strategy,
+        resolution=args.resolution,
+        backend=args.backend,
+        seed=args.seed,
+        obs=obs,
+    )
+    result = system.run(max_cycles=args.max_cycles)
+    rows = sink.table_rows()
+    columns = ["rule", "fires", "match_us", "select_us", "act_us", "total_us"]
+    title = (
+        f"{args.file} — per-rule phase costs "
+        f"({args.strategy}/{args.resolution})"
+    )
+    print(render_table(rows, columns=columns, title=title))
+    totals = sink.totals()
+    print(
+        f"\n{result.cycles} cycles, {_run_status(result)}; "
+        f"total {totals['total_us']:.0f} us "
+        f"(match {totals['match_us']:.0f}, select {totals['select_us']:.0f}, "
+        f"act {totals['act_us']:.0f})"
+    )
     return 0
 
 
@@ -127,7 +210,42 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-cycles", type=int, default=10_000)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--quiet", action="store_true")
+    run.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write spans and events as JSON lines to FILE",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the final metrics snapshot as JSON to FILE",
+    )
+    run.add_argument(
+        "--manifest",
+        nargs="?",
+        const="runs",
+        metavar="DIR",
+        help="record the run under DIR/<run_id>/ (default: runs/)",
+    )
     run.set_defaults(handler=cmd_run)
+
+    stats = commands.add_parser(
+        "stats", help="per-rule Match/Select/Act cost table for one run"
+    )
+    stats.add_argument("file")
+    stats.add_argument(
+        "--strategy", default="patterns", choices=sorted(STRATEGIES)
+    )
+    stats.add_argument(
+        "--resolution",
+        default="lex",
+        choices=["lex", "mea", "priority", "fifo", "random"],
+    )
+    stats.add_argument("--backend", default="memory",
+                       choices=["memory", "sqlite"])
+    stats.add_argument("--max-cycles", type=int, default=10_000)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.set_defaults(handler=cmd_stats)
 
     check = commands.add_parser("check", help="validate and summarize rules")
     check.add_argument("file")

@@ -12,6 +12,7 @@ refraction, and the action executor, and it runs the OPS5 cycle:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.engine.actions import ActionExecutor, ActionOutcome, HostFunction
@@ -24,6 +25,8 @@ from repro.lang.analysis import RuleAnalysis, analyze_program
 from repro.lang.ast import Program, Rule
 from repro.lang.parser import parse_program
 from repro.match import STRATEGIES, MatchStrategy
+from repro.obs import Observability
+from repro.obs.metrics import SIZE_BUCKETS
 from repro.storage.schema import RelationSchema, Value
 from repro.storage.tuples import StoredTuple
 
@@ -57,7 +60,41 @@ class TraceEvent:
         if self.kind == "fire":
             assert isinstance(self.detail, FiredRule)
             return f"FIRE {self.cycle}: {self.detail.instantiation}"
-        return "HALT"
+        if self.kind == "halt":
+            if isinstance(self.detail, FiredRule):
+                return (
+                    f"HALT {self.cycle}: "
+                    f"{self.detail.instantiation.rule_name}"
+                )
+            return f"HALT {self.cycle}"
+        return f"{self.kind.upper()} {self.cycle}: {self.detail}"
+
+
+class TraceEventSink:
+    """One registered OPS5-``watch`` callback, as an observability sink.
+
+    The classic :class:`TraceEvent` stream is a view over the engine's
+    event bus: each ``add_trace`` callback becomes one of these sinks,
+    which converts bus events of the four public kinds back into
+    :class:`TraceEvent` objects.  Spans and other event kinds flowing
+    through the same bus are ignored here.
+    """
+
+    KINDS = frozenset(("insert", "remove", "fire", "halt"))
+
+    def __init__(self, callback) -> None:
+        self.callback = callback
+
+    def emit(self, record: dict) -> None:
+        if record.get("type") != "event" or record.get("kind") not in self.KINDS:
+            return
+        self.callback(
+            TraceEvent(
+                kind=record["kind"],
+                cycle=record.get("cycle", 0),
+                detail=record.get("detail"),
+            )
+        )
 
 
 class _WmTracer:
@@ -113,6 +150,7 @@ class ProductionSystem:
         counters: Counters | None = None,
         firing: str = "instance",
         path: str | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if firing not in ("instance", "set"):
             raise ExecutionError(
@@ -125,11 +163,13 @@ class ProductionSystem:
             program.rules, program.schemas
         )
         self.counters = counters or Counters()
+        self.obs = obs or Observability()
         self.wm = WorkingMemory(
             program.schemas,
             backend=backend,
             counters=self.counters,
             path=path,
+            obs=self.obs,
         )
         strategy_cls = (
             STRATEGIES[strategy] if isinstance(strategy, str) else strategy
@@ -145,9 +185,12 @@ class ProductionSystem:
         self.executor = ActionExecutor(self.wm)
         self.output: list[tuple[Value, ...]] = []
         self._fired_keys: set[InstantiationKey] = set()
-        self._tracers: list = []
+        self._trace_sinks: list[TraceEventSink] = []
         self._current_cycle = 0
-        self._wm_tracer: _WmTracer | None = None
+        # WM changes always feed the event bus; _emit bails out in one
+        # check when no sink is attached, so the idle cost is negligible.
+        self._wm_tracer = _WmTracer(self)
+        self.wm.add_listener(self._wm_tracer)
         for class_name, values in program.initial_elements:
             self.insert(class_name, values)
 
@@ -212,27 +255,37 @@ class ProductionSystem:
 
     # -- tracing (OPS5 "watch") -------------------------------------------------
 
+    @property
+    def _tracers(self) -> list:
+        """The registered trace callbacks (compatibility view)."""
+        return [sink.callback for sink in self._trace_sinks]
+
     def add_trace(self, callback) -> None:
         """Register a callback receiving :class:`TraceEvent` objects.
 
-        The first registration also hooks WM changes, so inserts/removes
-        (including those performed by RHS actions) appear in the stream.
+        The callback is attached to the observability event bus as a
+        :class:`TraceEventSink`, so WM inserts/removes (including those
+        performed by RHS actions), firings and halts appear in the stream
+        exactly as under the pre-obs API.
         """
-        if self._wm_tracer is None:
-            self._wm_tracer = _WmTracer(self)
-            self.wm.add_listener(self._wm_tracer)
-        self._tracers.append(callback)
+        sink = TraceEventSink(callback)
+        self._trace_sinks.append(sink)
+        self.obs.add_sink(sink)
 
     def remove_trace(self, callback) -> None:
         """Unregister a trace callback."""
-        self._tracers.remove(callback)
+        for sink in self._trace_sinks:
+            if sink.callback == callback:
+                self._trace_sinks.remove(sink)
+                self.obs.remove_sink(sink)
+                return
+        raise ValueError(f"{callback!r} is not a registered trace callback")
 
     def _emit(self, kind: str, detail: object) -> None:
-        if not self._tracers:
+        obs = self.obs
+        if not obs.sinks:
             return
-        event = TraceEvent(kind=kind, cycle=self._current_cycle, detail=detail)
-        for callback in list(self._tracers):
-            callback(event)
+        obs.event(kind, cycle=self._current_cycle, detail=detail)
 
     def mark_fired(self, instantiation: Instantiation) -> None:
         """Record *instantiation* as fired (refraction), e.g. by an
@@ -251,10 +304,17 @@ class ProductionSystem:
 
     def step_records(self, cycle: int = 0) -> list[FiredRule]:
         """One Select + Act step, returning every firing it performed."""
-        candidates = self.eligible()
-        if not candidates:
-            return []
-        chosen = self.resolver(candidates)
+        obs = self.obs
+        observing = obs.enabled
+        started = time.perf_counter() if observing else 0.0
+        with obs.span("select", cycle=cycle) as span:
+            candidates = self.eligible()
+            if not candidates:
+                span.set("rule", "(none)")
+                return []
+            chosen = self.resolver(candidates)
+            span.set("rule", chosen.rule_name)
+            span.set("conflict_set", len(candidates))
         if self.firing == "set":
             batch = [
                 inst
@@ -266,21 +326,62 @@ class ProductionSystem:
         records: list[FiredRule] = []
         self._current_cycle = cycle
         analysis = self.analyses[chosen.rule_name]
-        for instantiation in batch:
-            self._fired_keys.add(instantiation.key)
-            if instantiation is not chosen and instantiation not in self.conflict_set:
-                continue  # invalidated by an earlier firing of this batch
-            outcome = self.executor.execute(analysis, instantiation)
-            self.output.extend(outcome.written)
-            record = FiredRule(
-                cycle=cycle, instantiation=instantiation, outcome=outcome
+        tracing = obs.tracer.enabled
+        with obs.span("act", cycle=cycle, rule=chosen.rule_name) as act_span:
+            if tracing:
+                obs.tracer.set_context(rule=chosen.rule_name)
+            try:
+                for instantiation in batch:
+                    self._fired_keys.add(instantiation.key)
+                    if (
+                        instantiation is not chosen
+                        and instantiation not in self.conflict_set
+                    ):
+                        continue  # invalidated by an earlier batch firing
+                    outcome = self.executor.execute(analysis, instantiation)
+                    self.output.extend(outcome.written)
+                    record = FiredRule(
+                        cycle=cycle, instantiation=instantiation, outcome=outcome
+                    )
+                    records.append(record)
+                    self._emit("fire", record)
+                    if outcome.halted:
+                        self._emit("halt", record)
+                        break
+            finally:
+                if tracing:
+                    obs.tracer.clear_context("rule")
+            act_span.set("fires", len(records))
+        if observing:
+            metrics = obs.metrics
+            metrics.counter("engine.cycles").inc()
+            metrics.counter("engine.fires").inc(len(records))
+            metrics.histogram("engine.conflict_set_size", SIZE_BUCKETS).observe(
+                len(candidates)
             )
-            records.append(record)
-            self._emit("fire", record)
-            if outcome.halted:
-                self._emit("halt", record)
-                break
+            metrics.histogram("engine.cycle_us").observe(
+                (time.perf_counter() - started) * 1e6
+            )
         return records
+
+    def snapshot_metrics(self) -> dict:
+        """Fold final state into the metrics registry; return the snapshot.
+
+        Absorbs the analytic operation counters (``ops.*`` gauges) and
+        records the closing gauges the paper reasons about: WM size,
+        conflict-set size and the strategy's auxiliary-storage footprint
+        (pattern-table cardinality, stored tokens, estimated cells).
+        """
+        metrics = self.obs.metrics
+        metrics.absorb_counters(self.counters)
+        metrics.gauge("engine.wm_size").set(self.wm.size())
+        metrics.gauge("engine.conflict_set").set(len(self.conflict_set))
+        space = self.strategy.space_report()
+        metrics.gauge("match.stored_patterns").set(space.stored_patterns)
+        metrics.gauge("match.stored_tokens").set(space.stored_tokens)
+        metrics.gauge("match.marker_entries").set(space.marker_entries)
+        metrics.gauge("match.aux_cells").set(space.estimated_cells)
+        return metrics.snapshot()
 
     def run(self, max_cycles: int = 10_000) -> RunResult:
         """Run the cycle until halt, exhaustion, or *max_cycles*."""

@@ -17,6 +17,7 @@ from typing import Protocol
 
 from repro.errors import MatchError
 from repro.instrument import Counters
+from repro.obs import Observability
 from repro.storage.catalog import Catalog
 from repro.storage.schema import RelationSchema, Value
 from repro.storage.table import Table
@@ -42,10 +43,12 @@ class WorkingMemory:
         backend: str = "memory",
         counters: Counters | None = None,
         path: str | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.counters = counters or Counters()
+        self.obs = obs or Observability()
         self.catalog = Catalog(
-            backend=backend, counters=self.counters, path=path
+            backend=backend, counters=self.counters, path=path, obs=self.obs
         )
         self.schemas = dict(schemas)
         for schema in schemas.values():

@@ -10,6 +10,7 @@ are strategy-agnostic.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.engine.conflict import ConflictSet, Instantiation
@@ -17,6 +18,7 @@ from repro.engine.wm import WorkingMemory
 from repro.errors import MatchError
 from repro.instrument import Counters, SpaceReport
 from repro.lang.analysis import RuleAnalysis
+from repro.obs import Observability
 from repro.storage.tuples import StoredTuple
 
 
@@ -80,15 +82,21 @@ class MatchStrategy:
     #: Short identifier used in benchmark tables.
     strategy_name = "abstract"
 
+    #: Span name for this strategy's match work (§4.2.3's cost unit);
+    #: subclasses override it with their algorithm-specific label.
+    match_span_name = "match.work"
+
     def __init__(
         self,
         wm: WorkingMemory,
         analyses: dict[str, RuleAnalysis],
         counters: Counters | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.wm = wm
         self.analyses = dict(analyses)
         self.counters = counters or wm.counters
+        self.obs = obs or wm.obs
         self.conflict_set = ConflictSet()
         self._prepare()
         wm.add_listener(self)
@@ -108,6 +116,32 @@ class MatchStrategy:
     def on_delete(self, wme: StoredTuple) -> None:
         """Propagate a WM deletion."""
         raise NotImplementedError
+
+    def _trace_match(self, op: str, wme: StoredTuple, impl) -> None:
+        """Run ``impl(wme)`` inside this strategy's match span.
+
+        The disabled path is a single predicate check before delegating,
+        so un-observed matching costs what it did before the obs layer.
+        When enabled, the span carries the strategy, operation and changed
+        relation, and per-event counter/latency metrics are recorded.
+        """
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            impl(wme)
+            return
+        started = time.perf_counter()
+        with obs.span(
+            self.match_span_name,
+            strategy=self.strategy_name,
+            op=op,
+            relation=wme.relation,
+        ):
+            impl(wme)
+        metrics = obs.metrics
+        metrics.counter("match.wm_events").inc()
+        metrics.histogram("match.event_us").observe(
+            (time.perf_counter() - started) * 1e6
+        )
 
     def space_report(self) -> SpaceReport:
         """Report the strategy's auxiliary-storage footprint (§4.2.3)."""

@@ -31,6 +31,7 @@ class PredicateIndexingStrategy(MatchStrategy):
     """R-tree detection of affected conditions + full LHS validation."""
 
     strategy_name = "predicate-index"
+    match_span_name = "match.predicate_probe"
 
     def _prepare(self) -> None:
         self.condition_index = ConditionIndex(self.analyses, self.wm.schemas)
@@ -51,6 +52,12 @@ class PredicateIndexingStrategy(MatchStrategy):
         return [self._conditions[hit] for hit in hits]
 
     def on_insert(self, wme: StoredTuple) -> None:
+        self._trace_match("insert", wme, self._insert_impl)
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        self._trace_match("delete", wme, self._delete_impl)
+
+    def _insert_impl(self, wme: StoredTuple) -> None:
         schema = self.wm.schema(wme.relation)
         blocked: list[tuple[RuleAnalysis, AnalyzedCondition]] = []
         candidates: list[tuple[RuleAnalysis, AnalyzedCondition]] = []
@@ -67,7 +74,7 @@ class PredicateIndexingStrategy(MatchStrategy):
         for analysis, condition in candidates:
             self._validate_candidate(analysis, condition, wme)
 
-    def on_delete(self, wme: StoredTuple) -> None:
+    def _delete_impl(self, wme: StoredTuple) -> None:
         self.conflict_set.remove_wme(wme)
         schema = self.wm.schema(wme.relation)
         for analysis, condition in self._affected(wme):

@@ -34,6 +34,7 @@ class BasicLockingStrategy(MatchStrategy):
     """Rule markers on data tuples, validated by full LHS evaluation."""
 
     strategy_name = "markers"
+    match_span_name = "match.alpha_test"
 
     def _prepare(self) -> None:
         self._by_class: dict[str, list[tuple[RuleAnalysis, AnalyzedCondition]]] = {}
@@ -44,6 +45,12 @@ class BasicLockingStrategy(MatchStrategy):
                 )
 
     def on_insert(self, wme: StoredTuple) -> None:
+        self._trace_match("insert", wme, self._insert_impl)
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        self._trace_match("delete", wme, self._delete_impl)
+
+    def _insert_impl(self, wme: StoredTuple) -> None:
         table = self.wm.relation(wme.relation)
         schema = self.wm.schema(wme.relation)
         candidates: list[tuple[RuleAnalysis, AnalyzedCondition]] = []
@@ -64,7 +71,7 @@ class BasicLockingStrategy(MatchStrategy):
         for analysis, condition in candidates:
             self._validate_candidate(analysis, condition, wme)
 
-    def on_delete(self, wme: StoredTuple) -> None:
+    def _delete_impl(self, wme: StoredTuple) -> None:
         self.conflict_set.remove_wme(wme)
         schema = self.wm.schema(wme.relation)
         for analysis, condition in self._by_class.get(wme.relation, []):

@@ -46,6 +46,7 @@ class MatchingPatternsStrategy(MatchStrategy):
     """§4.2: COND relations with matching patterns and mark counters."""
 
     strategy_name = "patterns"
+    match_span_name = "match.pattern_propagation"
 
     def _prepare(self) -> None:
         self.stores: dict[str, PatternStore] = make_stores(
@@ -75,6 +76,12 @@ class MatchingPatternsStrategy(MatchStrategy):
     # -- WM change entry points ------------------------------------------------
 
     def on_insert(self, wme: StoredTuple) -> None:
+        self._trace_match("insert", wme, self._insert_impl)
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        self._trace_match("delete", wme, self._delete_impl)
+
+    def _insert_impl(self, wme: StoredTuple) -> None:
         self._event_profile = {}
         for analysis, condition in self._by_class.get(wme.relation, []):
             store = self.stores[condition.class_name]
@@ -105,7 +112,7 @@ class MatchingPatternsStrategy(MatchStrategy):
                     )
         self._close_event_profile()
 
-    def on_delete(self, wme: StoredTuple) -> None:
+    def _delete_impl(self, wme: StoredTuple) -> None:
         self._event_profile = {}
         self.conflict_set.remove_wme(wme)
         contributor: WmeKey = (wme.relation, wme.tid)

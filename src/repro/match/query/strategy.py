@@ -14,7 +14,6 @@ contrasts with the matching-pattern scheme.
 
 from __future__ import annotations
 
-from repro.engine.conflict import Instantiation
 from repro.instrument import SpaceReport
 from repro.lang.analysis import AnalyzedCondition, RuleAnalysis
 from repro.match.base import MatchStrategy
@@ -29,6 +28,7 @@ class SimplifiedStrategy(MatchStrategy):
     """§4.1: COND relations + RULE-DEF check bits + query re-evaluation."""
 
     strategy_name = "simplified"
+    match_span_name = "match.join_recompute"
 
     #: When true, an R-tree over the conditions' variable-free boxes prunes
     #: the COND search (§4.1.2: "one can use intelligent indexing
@@ -92,6 +92,12 @@ class SimplifiedStrategy(MatchStrategy):
     # -- change propagation ------------------------------------------------
 
     def on_insert(self, wme: StoredTuple) -> None:
+        self._trace_match("insert", wme, self._insert_impl)
+
+    def on_delete(self, wme: StoredTuple) -> None:
+        self._trace_match("delete", wme, self._delete_impl)
+
+    def _insert_impl(self, wme: StoredTuple) -> None:
         entries = self._candidates(wme)
         schema = self.wm.schema(wme.relation)
         self.counters.cond_searches += 1
@@ -106,7 +112,7 @@ class SimplifiedStrategy(MatchStrategy):
             else:
                 self._evaluate_seeded(analysis, condition, wme)
 
-    def on_delete(self, wme: StoredTuple) -> None:
+    def _delete_impl(self, wme: StoredTuple) -> None:
         self.conflict_set.remove_wme(wme)
         entries = self._candidates(wme)
         schema = self.wm.schema(wme.relation)

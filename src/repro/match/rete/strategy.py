@@ -24,6 +24,7 @@ class ReteStrategy(MatchStrategy):
     """Classic Rete: one network, unshared nodes, in-memory memories."""
 
     strategy_name = "rete"
+    match_span_name = "match.token_propagation"
     _share = False
     _mirror_backend: str | None = None
 
@@ -43,10 +44,10 @@ class ReteStrategy(MatchStrategy):
         self.conflict_set = self.network.conflict_set
 
     def on_insert(self, wme: StoredTuple) -> None:
-        self.network.insert(wme)
+        self._trace_match("insert", wme, self.network.insert)
 
     def on_delete(self, wme: StoredTuple) -> None:
-        self.network.remove(wme)
+        self._trace_match("delete", wme, self.network.remove)
 
     def space_report(self) -> SpaceReport:
         network = self.network

@@ -1,0 +1,164 @@
+"""Counters, gauges and fixed-bucket histograms.
+
+The registry absorbs the flat operation bag of
+:class:`repro.instrument.Counters` (the paper's analytic unit) and extends
+it with the dimensions the paper only argues about qualitatively: cycle
+latency, conflict-set size, pattern-table cardinality, lock-wait time.
+
+Everything is plain Python and snapshot-able to JSON; no third-party
+dependency, no background thread.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.instrument import Counters
+
+#: Default bucket bounds for microsecond latencies (upper-inclusive).
+LATENCY_BUCKETS_US = (1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
+
+#: Default bucket bounds for small cardinalities (conflict-set size, ticks).
+SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class CounterMetric:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> None:
+        """Add *delta* (must be non-negative)."""
+        self.value += delta
+
+
+class Gauge:
+    """A point-in-time value (pattern-table cardinality, WM size, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are upper-inclusive bounds; observations above the last
+    bound land in the implicit overflow bucket (rendered ``+Inf``).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: tuple[float, ...]) -> None:
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary of this histogram."""
+        labels = [str(b) for b in self.buckets] + ["+Inf"]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": dict(zip(labels, self.counts)),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges and histograms.
+
+    Instruments are created on first use, so call sites never need to
+    declare them up front::
+
+        registry.counter("engine.fires").inc()
+        registry.histogram("engine.cycle_us").observe(42.0)
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, CounterMetric] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> CounterMetric:
+        """The counter named *name*, created on first use."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = CounterMetric(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named *name*, created on first use."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS_US
+    ) -> Histogram:
+        """The histogram named *name*, created on first use with *buckets*."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, buckets)
+        return metric
+
+    def absorb_counters(self, counters: Counters, prefix: str = "ops.") -> None:
+        """Mirror an :class:`~repro.instrument.Counters` bag as gauges.
+
+        The operation counts stay authoritative in ``instrument`` (tests
+        assert on them); this copies the current values under
+        ``<prefix><name>`` so one snapshot carries both worlds.
+        """
+        for name, value in counters.as_dict().items():
+            self.gauge(prefix + name).set(value)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready snapshot of every instrument."""
+        return {
+            "counters": {n: m.value for n, m in sorted(self._counters.items())},
+            "gauges": {n: m.value for n, m in sorted(self._gauges.items())},
+            "histograms": {
+                n: m.as_dict() for n, m in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot serialized as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent, default=str)

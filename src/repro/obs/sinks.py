@@ -1,0 +1,121 @@
+"""Pluggable destinations for spans and events.
+
+A sink is anything with ``emit(record: dict)`` (and optionally
+``close()``).  Records are either spans (``{"type": "span", ...}``, see
+:mod:`repro.obs.tracing`) or point events (``{"type": "event", "kind":
+..., "cycle": ..., "detail": ...}``).  ``detail`` may be a live object
+(a :class:`~repro.storage.tuples.StoredTuple`, a ``FiredRule``); sinks
+that serialize must stringify it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from typing import IO, Protocol
+
+
+class Sink(Protocol):
+    """Destination for observability records."""
+
+    def emit(self, record: dict) -> None:
+        """Receive one span or event record."""
+
+
+class CallbackSink:
+    """Adapts a plain callable into a sink."""
+
+    def __init__(self, callback) -> None:
+        self.callback = callback
+
+    def emit(self, record: dict) -> None:
+        self.callback(record)
+
+
+class RingBufferSink:
+    """Keeps the last *capacity* records in memory (flight recorder)."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        self._buffer: deque[dict] = deque(maxlen=capacity)
+
+    def emit(self, record: dict) -> None:
+        self._buffer.append(record)
+
+    def records(self) -> list[dict]:
+        """All buffered records, oldest first."""
+        return list(self._buffer)
+
+    def spans(self, name: str | None = None) -> list[dict]:
+        """Buffered spans, optionally filtered by span name."""
+        return [
+            r
+            for r in self._buffer
+            if r.get("type") == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        """Buffered point events, optionally filtered by kind."""
+        return [
+            r
+            for r in self._buffer
+            if r.get("type") == "event"
+            and (kind is None or r.get("kind") == kind)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        """Drop all buffered records."""
+        self._buffer.clear()
+
+
+class ConsoleSink:
+    """Human-readable rendering, one line per record, indented by depth."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.stream = stream or sys.stderr
+
+    def emit(self, record: dict) -> None:
+        if record.get("type") == "span":
+            indent = "  " * record.get("depth", 0)
+            attrs = " ".join(
+                f"{k}={v}" for k, v in record.get("attrs", {}).items()
+            )
+            line = (
+                f"{indent}{record['name']} {record['dur_us']:.1f}us"
+                + (f" [{attrs}]" if attrs else "")
+            )
+        else:
+            detail = record.get("detail")
+            line = f"* {record.get('kind')} cycle={record.get('cycle')}" + (
+                f" {detail}" if detail is not None else ""
+            )
+        print(line, file=self.stream)
+
+
+class JsonlFileSink:
+    """Appends records as JSON lines; non-JSON values are stringified."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: IO[str] | None = None
+
+    def emit(self, record: dict) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, default=str) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the output file."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def close_sink(sink: object) -> None:
+    """Call ``close()`` on sinks that have one."""
+    close = getattr(sink, "close", None)
+    if callable(close):
+        close()

@@ -1,0 +1,95 @@
+"""Per-rule, per-phase cost aggregation over the span stream.
+
+:class:`PhaseStatsSink` is a sink that folds spans into a
+rule × {match, select, act} cost table — the answer to "where did the
+run spend its time, and which rule caused it?".  Attribution rules:
+
+* ``select`` and ``act`` spans carry the chosen rule as an attribute;
+* ``match.*`` spans inherit the firing rule from the tracer context, so
+  maintenance triggered by a rule's RHS is charged to that rule;
+* match work caused by initial WM loading (no rule firing) lands in the
+  synthetic ``(init)`` row, and idle select probes in ``(quiescent)``.
+
+Because ``match.*`` spans nest inside the ``act`` span that triggered
+them, the reported ``act_us`` is the act time *minus* the nested match
+time (never below zero); ``total_us`` sums the three phases.
+"""
+
+from __future__ import annotations
+
+RULE_INIT = "(init)"
+RULE_QUIESCENT = "(quiescent)"
+
+
+class PhaseStatsSink:
+    """Aggregates spans into per-rule Match/Select/Act microsecond costs."""
+
+    def __init__(self) -> None:
+        self._rows: dict[str, dict[str, float]] = {}
+
+    def emit(self, record: dict) -> None:
+        if record.get("type") != "span":
+            return
+        name = record["name"]
+        attrs = record.get("attrs", {})
+        if name.startswith("match."):
+            phase = "match"
+        elif name == "select":
+            phase = "select"
+        elif name == "act":
+            phase = "act"
+        else:
+            return
+        rule = attrs.get("rule")
+        if rule is None:
+            rule = RULE_INIT
+        elif rule == "(none)":
+            rule = RULE_QUIESCENT
+        row = self._rows.setdefault(
+            str(rule),
+            {"match_us": 0.0, "select_us": 0.0, "act_us": 0.0, "fires": 0},
+        )
+        row[f"{phase}_us"] += record["dur_us"]
+        if phase == "act":
+            row["fires"] += int(attrs.get("fires", 1))
+
+    def table_rows(self) -> list[dict]:
+        """Table rows (dicts) sorted by total cost, most expensive first.
+
+        ``act_us`` excludes nested match time; ``total_us`` is the sum of
+        the three exclusive phases.
+        """
+        rows: list[dict] = []
+        for rule, row in self._rows.items():
+            act_exclusive = max(row["act_us"] - row["match_us"], 0.0)
+            rows.append(
+                {
+                    "rule": rule,
+                    "fires": int(row["fires"]),
+                    "match_us": row["match_us"],
+                    "select_us": row["select_us"],
+                    "act_us": act_exclusive,
+                    "total_us": row["match_us"]
+                    + row["select_us"]
+                    + act_exclusive,
+                }
+            )
+        rows.sort(key=lambda r: r["total_us"], reverse=True)
+        return rows
+
+    def totals(self) -> dict:
+        """Grand totals across every rule row."""
+        totals = {
+            "fires": 0,
+            "match_us": 0.0,
+            "select_us": 0.0,
+            "act_us": 0.0,
+            "total_us": 0.0,
+        }
+        for row in self.table_rows():
+            totals["fires"] += row["fires"]
+            totals["match_us"] += row["match_us"]
+            totals["select_us"] += row["select_us"]
+            totals["act_us"] += row["act_us"]
+            totals["total_us"] += row["total_us"]
+        return totals

@@ -1,0 +1,135 @@
+"""Nested timed spans for the Match/Select/Act phases and below.
+
+The paper costs its algorithms in *operations*; wall-clock attribution is
+the missing half — "where did cycle 37 spend its time?".  A
+:class:`Tracer` produces nested spans (``cycle`` → ``select``/``act`` →
+``match.*`` → ``storage.sql``) that are fanned out to the sinks of the
+owning :class:`~repro.obs.Observability`.
+
+Spans are emitted on *exit* (post-order), so a child appears before its
+parent in the stream; each carries the nesting ``depth`` at entry so
+consumers can rebuild the tree.  When no sink is attached,
+:meth:`Tracer.span` returns a shared no-op span, keeping the disabled
+path allocation-free.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class NullSpan:
+    """Shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key: str, value: object) -> None:
+        """Discard an attribute (tracing is off)."""
+
+    def add(self, key: str, delta: int = 1) -> None:
+        """Discard an increment (tracing is off)."""
+
+
+#: The singleton handed out by a disabled tracer.
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One timed region; use as a context manager via :meth:`Tracer.span`.
+
+    Attributes set with :meth:`set`/:meth:`add` are merged over the
+    tracer's ambient context (explicit attributes win), so match work
+    triggered while a rule fires is attributed to that rule without the
+    strategies knowing about the engine.
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_wall", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self._wall = 0.0
+        self._depth = 0
+
+    def __enter__(self) -> "Span":
+        self._depth = self._tracer._depth
+        self._tracer._depth += 1
+        self._wall = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        duration_us = (time.perf_counter() - self._start) * 1e6
+        tracer = self._tracer
+        tracer._depth -= 1
+        merged = dict(tracer.context)
+        merged.update(self.attrs)
+        tracer._emit(
+            {
+                "type": "span",
+                "name": self.name,
+                "ts": self._wall,
+                "dur_us": duration_us,
+                "depth": self._depth,
+                "attrs": merged,
+            }
+        )
+        return False
+
+    def set(self, key: str, value: object) -> None:
+        """Attach/overwrite one attribute."""
+        self.attrs[key] = value
+
+    def add(self, key: str, delta: int = 1) -> None:
+        """Increment a numeric attribute (default 0)."""
+        self.attrs[key] = self.attrs.get(key, 0) + delta
+
+
+class Tracer:
+    """Produces spans and fans the finished records out to sinks.
+
+    The sink list is shared by reference with the owning
+    :class:`~repro.obs.Observability`, so attaching a sink there enables
+    tracing here.
+    """
+
+    def __init__(self, sinks: list | None = None) -> None:
+        self._sinks = sinks if sinks is not None else []
+        #: Ambient attributes merged into every span (e.g. the firing rule).
+        self.context: dict[str, object] = {}
+        self._depth = 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one sink will receive spans."""
+        return bool(self._sinks)
+
+    def span(self, name: str, **attrs: object) -> Span | NullSpan:
+        """Open a span named *name*; returns :data:`NULL_SPAN` if disabled."""
+        if not self._sinks:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def set_context(self, **attrs: object) -> None:
+        """Set ambient attributes inherited by subsequent spans."""
+        self.context.update(attrs)
+
+    def clear_context(self, *keys: str) -> None:
+        """Drop ambient attributes (all of them when no keys given)."""
+        if not keys:
+            self.context.clear()
+            return
+        for key in keys:
+            self.context.pop(key, None)
+
+    def _emit(self, record: dict) -> None:
+        for sink in self._sinks:
+            sink.emit(record)

@@ -15,6 +15,7 @@ from collections.abc import Iterator
 
 from repro.errors import CatalogError
 from repro.instrument import Counters
+from repro.obs import Observability
 from repro.storage.schema import RelationSchema
 from repro.storage.sqlite_backend import SqliteTable
 from repro.storage.table import MemoryTable, Table, TimetagClock
@@ -37,6 +38,7 @@ class Catalog:
         backend: str = "memory",
         counters: Counters | None = None,
         path: str | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if backend not in BACKENDS:
             raise CatalogError(
@@ -48,6 +50,7 @@ class Catalog:
         self.path = path
         self.clock = TimetagClock()
         self.counters = counters or Counters()
+        self.obs = obs
         self._tables: dict[str, Table] = {}
         self._connection: sqlite3.Connection | None = None
         if backend == "sqlite":
@@ -67,6 +70,7 @@ class Catalog:
                 clock=self.clock,
                 counters=self.counters,
                 connection=self._connection,
+                obs=self.obs,
             )
             # A file-backed database may already hold rows from an earlier
             # session; keep recency monotone across reopens.

@@ -15,10 +15,12 @@ while OPS5's ``nil`` does, equality probes against ``None`` use ``IS NULL``.
 from __future__ import annotations
 
 import sqlite3
+import time
 from collections.abc import Iterator
 
 from repro.errors import StorageError
 from repro.instrument import Counters
+from repro.obs import Observability
 from repro.storage.schema import RelationSchema, Value
 from repro.storage.table import Table, TimetagClock
 from repro.storage.tuples import StoredTuple
@@ -42,8 +44,9 @@ class SqliteTable(Table):
         clock: TimetagClock | None = None,
         counters: Counters | None = None,
         connection: sqlite3.Connection | None = None,
+        obs: Observability | None = None,
     ) -> None:
-        super().__init__(schema, clock, counters)
+        super().__init__(schema, clock, counters, obs=obs)
         self._conn = connection or sqlite3.connect(
             ":memory:", isolation_level=None
         )
@@ -65,6 +68,31 @@ class SqliteTable(Table):
 
     # -- helpers ------------------------------------------------------------
 
+    def _execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        """Run one statement, tracing it when observability is enabled.
+
+        Each backend call becomes a ``storage.sql`` span carrying the
+        statement verb and target relation, plus a per-statement counter
+        and latency histogram — the paper's "straightforward
+        implementation ... in a DBMS" made visible statement by statement.
+        """
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return self._conn.execute(sql, params)
+        started = time.perf_counter()
+        with obs.span(
+            "storage.sql",
+            verb=sql.split(None, 1)[0].upper(),
+            relation=self.schema.name,
+        ):
+            cursor = self._conn.execute(sql, params)
+        metrics = obs.metrics
+        metrics.counter("storage.sql_statements").inc()
+        metrics.histogram("storage.sql_us").observe(
+            (time.perf_counter() - started) * 1e6
+        )
+        return cursor
+
     def _row_from_sql(self, record: tuple) -> StoredTuple:
         tid, timetag, *values = record
         self.counters.tuple_reads += 1
@@ -85,7 +113,7 @@ class SqliteTable(Table):
         self.schema.validate_row(values)
         timetag = self.clock.tick()
         placeholders = ", ".join("?" for _ in range(self.schema.arity + 1))
-        cursor = self._conn.execute(
+        cursor = self._execute(
             f"INSERT INTO {self._table} "
             f"(timetag, {', '.join(self._columns)}) VALUES ({placeholders})",
             (timetag, *values),
@@ -100,15 +128,15 @@ class SqliteTable(Table):
 
     def delete(self, tid: int) -> StoredTuple:
         row = self.get(tid)
-        self._conn.execute(f"DELETE FROM {self._table} WHERE tid = ?", (tid,))
-        self._conn.execute(
+        self._execute(f"DELETE FROM {self._table} WHERE tid = ?", (tid,))
+        self._execute(
             f"DELETE FROM {self._marker_table} WHERE tid = ?", (tid,)
         )
         self.counters.tuple_writes += 1
         return row
 
     def get(self, tid: int) -> StoredTuple:
-        record = self._conn.execute(
+        record = self._execute(
             f"SELECT tid, timetag, {', '.join(self._columns)} "
             f"FROM {self._table} WHERE tid = ?",
             (tid,),
@@ -120,7 +148,7 @@ class SqliteTable(Table):
         return self._row_from_sql(record)
 
     def scan(self) -> Iterator[StoredTuple]:
-        cursor = self._conn.execute(
+        cursor = self._execute(
             f"SELECT tid, timetag, {', '.join(self._columns)} "
             f"FROM {self._table} ORDER BY tid"
         )
@@ -128,7 +156,7 @@ class SqliteTable(Table):
             yield self._row_from_sql(record)
 
     def __len__(self) -> int:
-        (count,) = self._conn.execute(
+        (count,) = self._execute(
             f"SELECT COUNT(*) FROM {self._table}"
         ).fetchone()
         return count
@@ -136,7 +164,7 @@ class SqliteTable(Table):
     def create_index(self, attribute: str) -> None:
         column = self._column(attribute)
         index_name = _quote_ident(f"ix_{self.schema.name}_{attribute}")
-        self._conn.execute(
+        self._execute(
             f"CREATE INDEX IF NOT EXISTS {index_name} "
             f"ON {self._table} ({column})"
         )
@@ -152,7 +180,7 @@ class SqliteTable(Table):
             where, params = f"{column} IS NULL", ()
         else:
             where, params = f"{column} = ?", (value,)
-        cursor = self._conn.execute(
+        cursor = self._execute(
             f"SELECT tid, timetag, {', '.join(self._columns)} "
             f"FROM {self._table} WHERE {where} ORDER BY tid",
             params,
@@ -169,26 +197,26 @@ class SqliteTable(Table):
 
     def add_marker(self, tid: int, marker: str) -> None:
         self.get(tid)
-        self._conn.execute(
+        self._execute(
             f"INSERT OR IGNORE INTO {self._marker_table} (tid, marker) "
             "VALUES (?, ?)",
             (tid, marker),
         )
 
     def remove_marker(self, tid: int, marker: str) -> None:
-        self._conn.execute(
+        self._execute(
             f"DELETE FROM {self._marker_table} WHERE tid = ? AND marker = ?",
             (tid, marker),
         )
 
     def markers(self, tid: int) -> frozenset[str]:
-        rows = self._conn.execute(
+        rows = self._execute(
             f"SELECT marker FROM {self._marker_table} WHERE tid = ?", (tid,)
         ).fetchall()
         return frozenset(marker for (marker,) in rows)
 
     def marker_count(self) -> int:
-        (count,) = self._conn.execute(
+        (count,) = self._execute(
             f"SELECT COUNT(*) FROM {self._marker_table}"
         ).fetchone()
         return count

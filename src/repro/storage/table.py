@@ -17,6 +17,7 @@ from collections.abc import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.instrument import Counters
+from repro.obs import Observability
 from repro.storage.predicate import Predicate, compile_predicate
 from repro.storage.schema import RelationSchema, Value
 from repro.storage.tuples import StoredTuple
@@ -51,10 +52,14 @@ class Table:
         schema: RelationSchema,
         clock: TimetagClock | None = None,
         counters: Counters | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.schema = schema
         self.clock = clock or TimetagClock()
         self.counters = counters or Counters()
+        #: Optional :class:`repro.obs.Observability`; backends that issue
+        #: per-statement calls (SQLite) trace through it when enabled.
+        self.obs = obs
 
     # -- primitives every backend implements -------------------------------
 

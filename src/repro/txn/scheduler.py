@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.interpreter import ProductionSystem
+from repro.obs.metrics import SIZE_BUCKETS
 from repro.txn.locks import LockManager
 from repro.txn.serializability import History
 from repro.txn.transactions import COMMITTED, SKIPPED, RuleTransaction
@@ -142,6 +143,32 @@ class ConcurrentScheduler:
         stats = RoundStats(transactions=len(transactions))
         if not transactions:
             return stats
+        obs = self.system.obs
+        with obs.span(
+            "txn.round", policy=self.policy, transactions=len(transactions)
+        ) as round_span:
+            self._drain(transactions, stats)
+            round_span.set("committed", stats.committed)
+            round_span.set("makespan_ticks", stats.makespan_ticks)
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("txn.rounds").inc()
+            metrics.counter("txn.commits").inc(stats.committed)
+            metrics.counter("txn.deadlock_aborts").inc(stats.deadlock_aborts)
+            metrics.histogram(
+                "txn.makespan_ticks", buckets=SIZE_BUCKETS
+            ).observe(stats.makespan_ticks)
+            wait_hist = metrics.histogram(
+                "txn.lock_wait_ticks", buckets=SIZE_BUCKETS
+            )
+            for transaction in transactions:
+                wait_hist.observe(transaction.blocked_ticks)
+        return stats
+
+    def _drain(
+        self, transactions: list[RuleTransaction], stats: RoundStats
+    ) -> None:
+        """Tick the transactions of one snapshot until all finish."""
         locks = LockManager()
         while any(not t.finished for t in transactions):
             progressed = False
@@ -189,7 +216,6 @@ class ConcurrentScheduler:
                     )
             elif transaction.state == SKIPPED:
                 stats.skipped += 1
-        return stats
 
     def _apply_prevention(
         self, transactions: list[RuleTransaction], locks: LockManager

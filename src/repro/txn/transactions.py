@@ -88,6 +88,7 @@ class RuleTransaction:
     pc: int = 0
     state: str = READY
     steps_taken: int = 0
+    blocked_ticks: int = 0
     retries_left: int = 3
     outcome: ActionOutcome | None = None
 
@@ -130,9 +131,30 @@ class RuleTransaction:
                 self.steps_taken += 1
                 return True
             self.state = BLOCKED
+            self.blocked_ticks += 1
             system.counters.lock_waits += 1
+            obs = system.obs
+            if obs.enabled:
+                obs.metrics.counter("txn.lock_waits").inc()
+                obs.event(
+                    "lock_wait",
+                    txn=self.txn_id,
+                    rule=self.instantiation.rule_name,
+                    target=list(request.target),
+                    mode=request.mode,
+                )
             return False
-        self._execute(system, locks, history)
+        obs = system.obs
+        if obs.tracer.enabled:
+            with obs.span(
+                "txn.commit",
+                txn=self.txn_id,
+                rule=self.instantiation.rule_name,
+            ) as span:
+                self._execute(system, locks, history)
+                span.set("state", self.state)
+        else:
+            self._execute(system, locks, history)
         self.steps_taken += 1
         return True
 

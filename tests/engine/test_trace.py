@@ -86,3 +86,35 @@ def test_trace_event_is_immutable():
     event = TraceEvent(kind="insert", cycle=0, detail=None)
     with pytest.raises(AttributeError):
         event.kind = "remove"
+
+
+class TestEventRendering:
+    """__str__ coverage for all four public kinds."""
+
+    def test_insert(self):
+        assert str(TraceEvent("insert", 0, "T#1(1)")) == "=>WM: T#1(1)"
+
+    def test_remove(self):
+        assert str(TraceEvent("remove", 3, "T#1(1)")) == "<=WM: T#1(1)"
+
+    def test_fire_carries_cycle(self, traced_system):
+        system, events = traced_system
+        system.insert("T", (1,))
+        system.run()
+        fire = next(e for e in events if e.kind == "fire")
+        assert str(fire).startswith(f"FIRE {fire.cycle}: ")
+        assert "step" in str(fire)
+
+    def test_halt_carries_cycle_and_rule(self, traced_system):
+        system, events = traced_system
+        system.insert("T", (2,))
+        system.run()
+        halt = events[-1]
+        assert halt.kind == "halt"
+        assert str(halt) == f"HALT {halt.cycle}: stop"
+
+    def test_halt_without_record_still_shows_cycle(self):
+        assert str(TraceEvent("halt", 7, None)) == "HALT 7"
+
+    def test_unknown_kind_falls_back(self):
+        assert str(TraceEvent("probe", 2, "x")) == "PROBE 2: x"

@@ -1,10 +1,8 @@
 """Unit tests for the PatternStore (COND relation container)."""
 
-import pytest
 
 from repro.instrument import Counters
 from repro.lang import analyze_program, parse_program
-from repro.match.patterns.pattern import PatternTuple
 from repro.match.patterns.store import PatternStore, make_stores
 
 

@@ -1,6 +1,5 @@
 """Rete runtime behaviour: propagation, retraction, negation, memories."""
 
-import pytest
 
 from repro.engine import WorkingMemory
 from repro.lang import analyze_program, parse_program

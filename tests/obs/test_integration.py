@@ -1,0 +1,118 @@
+"""End-to-end wiring: engine, storage and txn layers feed one bus."""
+
+from repro.engine import ProductionSystem
+from repro.obs import Observability, RingBufferSink
+from repro.txn import ConcurrentScheduler
+from repro.workload.programs import contended_rules_program
+
+SOURCE = """
+(literalize T v)
+(literalize Log v)
+(p step (T ^v <V>) --> (remove 1) (make Log ^v <V>))
+"""
+
+
+def build(source=SOURCE, **kwargs):
+    sink = RingBufferSink()
+    obs = Observability(sinks=[sink], collect_metrics=True)
+    system = ProductionSystem(source, resolution="fifo", obs=obs, **kwargs)
+    return system, sink, obs
+
+
+class TestEngineSpans:
+    def test_cycle_phases_traced(self):
+        system, sink, _ = build()
+        system.insert("T", (1,))
+        system.run()
+        assert sink.spans("select")
+        [act] = sink.spans("act")
+        assert act["attrs"]["rule"] == "step"
+
+    def test_match_work_attributed_to_firing_rule(self):
+        system, sink, _ = build()
+        system.insert("T", (1,))
+        system.run()
+        match_spans = [s for s in sink.spans() if s["name"].startswith("match.")]
+        assert match_spans
+        # the RHS (make Log ...) triggers match work inside step's act span
+        assert any(s["attrs"].get("rule") == "step" for s in match_spans)
+        # the initial insert has no firing rule
+        assert any("rule" not in s["attrs"] for s in match_spans)
+
+    def test_engine_metrics_collected(self):
+        system, _, obs = build()
+        system.insert("T", (1,))
+        system.run()
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["engine.fires"] == 1
+        assert snapshot["counters"]["engine.cycles"] >= 1
+        assert snapshot["histograms"]["engine.cycle_us"]["count"] >= 1
+
+    def test_snapshot_metrics_includes_ops_and_space(self):
+        system, _, _ = build()
+        system.insert("T", (1,))
+        system.run()
+        snapshot = system.snapshot_metrics()
+        assert "ops.comparisons" in snapshot["gauges"]
+        assert "engine.wm_size" in snapshot["gauges"]
+        assert "match.stored_patterns" in snapshot["gauges"]
+
+
+class TestTraceCompat:
+    def test_classic_tracer_rides_the_bus_with_other_sinks(self):
+        system, sink, _ = build()
+        events = []
+        system.add_trace(events.append)
+        system.insert("T", (1,))
+        assert [e.kind for e in events] == ["insert"]
+        assert sink.events("insert")
+
+
+class TestStorageSpans:
+    def test_sqlite_statements_traced(self):
+        system, sink, obs = build(backend="sqlite")
+        system.insert("T", (1,))
+        system.run()
+        spans = sink.spans("storage.sql")
+        assert spans
+        assert {s["attrs"]["verb"] for s in spans} & {"INSERT", "SELECT", "DELETE"}
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["storage.sql_statements"] == len(spans)
+
+    def test_memory_backend_emits_no_sql_spans(self):
+        system, sink, _ = build()
+        system.insert("T", (1,))
+        assert sink.spans("storage.sql") == []
+
+
+class TestTxnSpans:
+    def test_round_and_commit_spans(self):
+        system, sink, obs = build(contended_rules_program(3))
+        system.insert("Shared", {"x": 0})
+        for i in range(3):
+            system.insert(f"T{i}", {"x": i})
+        result = ConcurrentScheduler(system).run()
+        assert result.committed > 0
+        rounds = sink.spans("txn.round")
+        assert len(rounds) == len(result.rounds)
+        assert rounds[0]["attrs"]["committed"] == result.rounds[0].committed
+        commits = sink.spans("txn.commit")
+        assert len(commits) >= result.committed
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["txn.commits"] == result.committed
+        assert snapshot["histograms"]["txn.makespan_ticks"]["count"] == len(
+            result.rounds
+        )
+
+    def test_lock_waits_mirrored_as_events(self):
+        system, sink, obs = build(contended_rules_program(4))
+        system.insert("Shared", {"x": 0})
+        for i in range(4):
+            system.insert(f"T{i}", {"x": i})
+        ConcurrentScheduler(system).run()
+        waits = sink.events("lock_wait")
+        assert len(waits) == system.counters.lock_waits
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"].get("txn.lock_waits", 0) == len(waits)
+        if waits:
+            assert {"txn", "rule", "target", "mode"} <= set(waits[0])

@@ -1,0 +1,68 @@
+"""Run-manifest tests: hashing, ids, on-disk layout, footer."""
+
+import json
+
+from repro.obs import RunManifest, git_sha, new_run_id, program_hash, repro_footer
+
+
+class TestHelpers:
+    def test_program_hash_is_stable_and_short(self):
+        assert program_hash("(p r ...)") == program_hash("(p r ...)")
+        assert len(program_hash("x")) == 16
+        assert program_hash("a") != program_hash("b")
+
+    def test_new_run_id_sortable_and_unique(self):
+        first = new_run_id(clock=1_700_000_000.0)
+        second = new_run_id(clock=1_700_000_001.0)
+        assert first < second
+        assert first != new_run_id(clock=1_700_000_000.5)
+
+    def test_git_sha_in_this_repo(self):
+        sha = git_sha()
+        assert sha is None or len(sha) == 40
+
+    def test_git_sha_outside_repo(self, tmp_path):
+        assert git_sha(cwd=str(tmp_path)) is None
+
+
+class TestRunManifest:
+    def test_as_dict_sections(self):
+        manifest = RunManifest(
+            run_id="r1",
+            program_hash="abc",
+            program_path="p.ops",
+            strategy="patterns",
+            resolution="lex",
+            backend="memory",
+            seed=3,
+        )
+        d = manifest.as_dict()
+        assert d["run_id"] == "r1"
+        assert d["program"] == {"path": "p.ops", "hash": "abc"}
+        assert d["config"]["strategy"] == "patterns"
+        assert d["config"]["seed"] == 3
+
+    def test_write_creates_run_dir_with_metrics(self, tmp_path):
+        manifest = RunManifest(run_id="r2", metrics={"counters": {"c": 1}})
+        path = manifest.write(base_dir=str(tmp_path))
+        assert path.endswith("manifest.json")
+        on_disk = json.loads(open(path).read())
+        assert on_disk["run_id"] == "r2"
+        metrics_path = tmp_path / "r2" / "metrics.json"
+        assert json.loads(metrics_path.read_text()) == {"counters": {"c": 1}}
+        assert on_disk["artifacts"]["metrics"] == str(metrics_path)
+
+    def test_write_respects_existing_metrics_path(self, tmp_path):
+        manifest = RunManifest(
+            run_id="r3", metrics={"x": 1}, metrics_path="elsewhere.json"
+        )
+        manifest.write(base_dir=str(tmp_path))
+        assert not (tmp_path / "r3" / "metrics.json").exists()
+
+
+def test_repro_footer_shape():
+    footer = repro_footer(["rete", "patterns"])
+    assert footer.startswith("repro: git ")
+    assert "python " in footer
+    assert "strategies: rete, patterns" in footer
+    assert "\n" not in footer

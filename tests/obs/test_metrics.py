@@ -1,0 +1,81 @@
+"""Metrics registry tests: counters, gauges, histograms, snapshots."""
+
+import json
+
+import pytest
+
+from repro.instrument import Counters
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Histogram
+
+
+class TestCounterAndGauge:
+    def test_counter_memoized_and_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.fires").inc()
+        registry.counter("engine.fires").inc(4)
+        assert registry.counter("engine.fires").value == 5
+
+    def test_gauge_set_overwrites(self):
+        registry = MetricsRegistry()
+        registry.gauge("wm_size").set(10)
+        registry.gauge("wm_size").set(7)
+        assert registry.gauge("wm_size").value == 7
+
+
+class TestHistogram:
+    def test_bucketing_is_upper_inclusive(self):
+        hist = Histogram("h", (1, 10, 100))
+        for value in (0.5, 1, 5, 10, 99, 1000):
+            hist.observe(value)
+        d = hist.as_dict()
+        assert d["buckets"]["1.0"] == 2      # 0.5 and 1
+        assert d["buckets"]["10.0"] == 2     # 5 and 10
+        assert d["buckets"]["100.0"] == 1    # 99
+        assert d["buckets"]["+Inf"] == 1     # 1000
+
+    def test_summary_stats(self):
+        hist = Histogram("h", (10,))
+        hist.observe(2)
+        hist.observe(8)
+        assert hist.count == 2
+        assert hist.total == 10
+        assert hist.min == 2
+        assert hist.max == 8
+        assert hist.mean == 5
+
+    def test_empty_histogram(self):
+        hist = Histogram("h", (1,))
+        assert hist.mean == 0.0
+        assert hist.as_dict()["min"] is None
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (10, 1))
+
+
+class TestRegistry:
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(42)
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"]["c"] == 1
+        assert parsed["gauges"]["g"] == 1.5
+        assert parsed["histograms"]["h"]["count"] == 1
+
+    def test_absorb_counters_mirrors_as_gauges(self):
+        registry = MetricsRegistry()
+        counters = Counters(comparisons=9, false_drops=2)
+        registry.absorb_counters(counters)
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["ops.comparisons"] == 9
+        assert snapshot["gauges"]["ops.false_drops"] == 2
+
+    def test_histogram_buckets_fixed_on_first_use(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h", buckets=(1, 2))
+        second = registry.histogram("h", buckets=(5, 6))
+        assert second is first
+        assert first.buckets == (1.0, 2.0)

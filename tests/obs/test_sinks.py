@@ -1,0 +1,93 @@
+"""Sink tests: ring buffer, console rendering, JSONL file output."""
+
+import io
+import json
+
+from repro.obs import (
+    CallbackSink,
+    ConsoleSink,
+    JsonlFileSink,
+    Observability,
+    RingBufferSink,
+    close_sink,
+)
+
+SPAN = {"type": "span", "name": "s", "ts": 0.0, "dur_us": 1.5, "depth": 1,
+        "attrs": {"op": "insert"}}
+EVENT = {"type": "event", "kind": "fire", "cycle": 2, "detail": "r1"}
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        sink = RingBufferSink(capacity=2)
+        for i in range(3):
+            sink.emit({"type": "event", "kind": "e", "cycle": i})
+        assert len(sink) == 2
+        assert [r["cycle"] for r in sink.records()] == [1, 2]
+
+    def test_span_and_event_filters(self):
+        sink = RingBufferSink()
+        sink.emit(SPAN)
+        sink.emit(EVENT)
+        assert sink.spans() == [SPAN]
+        assert sink.spans("other") == []
+        assert sink.events("fire") == [EVENT]
+        assert sink.events("halt") == []
+
+    def test_clear(self):
+        sink = RingBufferSink()
+        sink.emit(EVENT)
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestConsole:
+    def test_span_line_indented_by_depth(self):
+        stream = io.StringIO()
+        ConsoleSink(stream).emit(SPAN)
+        assert stream.getvalue() == "  s 1.5us [op=insert]\n"
+
+    def test_event_line(self):
+        stream = io.StringIO()
+        ConsoleSink(stream).emit(EVENT)
+        assert stream.getvalue() == "* fire cycle=2 r1\n"
+
+
+class TestJsonlFile:
+    def test_writes_valid_json_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlFileSink(str(path))
+        sink.emit(SPAN)
+        sink.emit(EVENT)
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["type"] for line in lines] == ["span", "event"]
+
+    def test_stringifies_live_objects(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlFileSink(str(path))
+        sink.emit({"type": "event", "kind": "insert", "detail": object()})
+        sink.close()
+        json.loads(path.read_text())  # must not raise
+
+    def test_close_without_emit(self, tmp_path):
+        JsonlFileSink(str(tmp_path / "never.jsonl")).close()
+
+
+class TestHelpers:
+    def test_callback_sink(self):
+        seen = []
+        CallbackSink(seen.append).emit(EVENT)
+        assert seen == [EVENT]
+
+    def test_close_sink_tolerates_closeless_sinks(self):
+        close_sink(RingBufferSink())  # no close() — must not raise
+
+    def test_observability_close_closes_file_sinks(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlFileSink(str(path))
+        obs = Observability(sinks=[sink])
+        obs.event("fire", cycle=1)
+        obs.close()
+        assert sink._handle is None
+        assert path.exists()

@@ -1,0 +1,76 @@
+"""PhaseStatsSink tests: folding spans into the per-rule phase table."""
+
+from repro.engine import ProductionSystem
+from repro.obs import Observability, PhaseStatsSink
+from repro.obs.stats import RULE_INIT, RULE_QUIESCENT
+
+SOURCE = """
+(literalize T v)
+(literalize Log v)
+(p step (T ^v <V>) --> (remove 1) (make Log ^v <V>))
+"""
+
+
+def span(name, dur_us, **attrs):
+    return {"type": "span", "name": name, "ts": 0.0, "dur_us": dur_us,
+            "depth": 0, "attrs": attrs}
+
+
+class TestFolding:
+    def test_match_without_rule_lands_in_init(self):
+        sink = PhaseStatsSink()
+        sink.emit(span("match.pattern_propagation", 5.0))
+        [row] = sink.table_rows()
+        assert row["rule"] == RULE_INIT
+        assert row["match_us"] == 5.0
+
+    def test_idle_select_lands_in_quiescent(self):
+        sink = PhaseStatsSink()
+        sink.emit(span("select", 2.0, rule="(none)"))
+        [row] = sink.table_rows()
+        assert row["rule"] == RULE_QUIESCENT
+        assert row["select_us"] == 2.0
+
+    def test_act_excludes_nested_match_time(self):
+        sink = PhaseStatsSink()
+        sink.emit(span("match.join_recompute", 30.0, rule="r"))
+        sink.emit(span("act", 100.0, rule="r", fires=1))
+        [row] = sink.table_rows()
+        assert row["match_us"] == 30.0
+        assert row["act_us"] == 70.0
+        assert row["total_us"] == 100.0
+
+    def test_act_never_negative(self):
+        sink = PhaseStatsSink()
+        sink.emit(span("match.work", 50.0, rule="r"))
+        sink.emit(span("act", 10.0, rule="r"))
+        [row] = sink.table_rows()
+        assert row["act_us"] == 0.0
+
+    def test_non_phase_records_ignored(self):
+        sink = PhaseStatsSink()
+        sink.emit(span("storage.sql", 1.0))
+        sink.emit({"type": "event", "kind": "fire", "cycle": 1})
+        assert sink.table_rows() == []
+
+    def test_rows_sorted_by_total_desc(self):
+        sink = PhaseStatsSink()
+        sink.emit(span("select", 1.0, rule="cheap"))
+        sink.emit(span("select", 9.0, rule="dear"))
+        assert [r["rule"] for r in sink.table_rows()] == ["dear", "cheap"]
+
+
+class TestAgainstEngine:
+    def test_run_produces_rule_rows_and_totals(self):
+        sink = PhaseStatsSink()
+        obs = Observability(sinks=[sink])
+        system = ProductionSystem(SOURCE, resolution="fifo", obs=obs)
+        system.insert("T", (1,))
+        system.run()
+        rows = {r["rule"]: r for r in sink.table_rows()}
+        assert "step" in rows
+        assert rows["step"]["fires"] == 1
+        assert rows["step"]["total_us"] > 0
+        totals = sink.totals()
+        assert totals["fires"] == 1
+        assert totals["total_us"] >= rows["step"]["total_us"]

@@ -1,0 +1,115 @@
+"""Span tracer tests: nesting, attributes, ambient context, disabled path."""
+
+from repro.obs import NULL_SPAN, Observability, RingBufferSink
+from repro.obs.tracing import Tracer
+
+
+class TestDisabled:
+    def test_span_without_sinks_is_null(self):
+        obs = Observability()
+        assert obs.span("anything") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.set("k", 1)
+            span.add("n")
+
+    def test_metrics_only_mode_still_null_spans(self):
+        obs = Observability(collect_metrics=True)
+        assert obs.enabled
+        assert obs.span("x") is NULL_SPAN
+
+    def test_disabled_by_default(self):
+        assert not Observability().enabled
+
+
+class TestSpans:
+    def test_span_emitted_on_exit_with_duration(self):
+        sink = RingBufferSink()
+        obs = Observability(sinks=[sink])
+        with obs.span("work", op="insert"):
+            pass
+        [record] = sink.records()
+        assert record["type"] == "span"
+        assert record["name"] == "work"
+        assert record["dur_us"] >= 0
+        assert record["attrs"] == {"op": "insert"}
+
+    def test_nesting_depth_and_postorder(self):
+        sink = RingBufferSink()
+        obs = Observability(sinks=[sink])
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        names = [r["name"] for r in sink.spans()]
+        assert names == ["inner", "outer"]  # child emitted first
+        depths = {r["name"]: r["depth"] for r in sink.spans()}
+        assert depths == {"outer": 0, "inner": 1}
+
+    def test_set_and_add(self):
+        sink = RingBufferSink()
+        obs = Observability(sinks=[sink])
+        with obs.span("s") as span:
+            span.set("rule", "r1")
+            span.add("hits")
+            span.add("hits", 2)
+        [record] = sink.spans("s")
+        assert record["attrs"] == {"rule": "r1", "hits": 3}
+
+    def test_ambient_context_merged_and_overridable(self):
+        sink = RingBufferSink()
+        tracer = Tracer([sink])
+        tracer.set_context(rule="firing-rule", phase="act")
+        with tracer.span("match.work", phase="match"):
+            pass
+        tracer.clear_context("rule")
+        with tracer.span("later"):
+            pass
+        first, second = sink.spans()
+        assert first["attrs"]["rule"] == "firing-rule"
+        assert first["attrs"]["phase"] == "match"  # explicit attr wins
+        assert "rule" not in second["attrs"]
+
+    def test_clear_context_without_keys_drops_all(self):
+        tracer = Tracer([RingBufferSink()])
+        tracer.set_context(a=1, b=2)
+        tracer.clear_context()
+        assert tracer.context == {}
+
+
+class TestEvents:
+    def test_event_reaches_every_sink(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        obs = Observability(sinks=[a, b])
+        obs.event("fire", cycle=3, detail="r1")
+        for sink in (a, b):
+            [record] = sink.events("fire")
+            assert record["cycle"] == 3
+            assert record["detail"] == "r1"
+
+    def test_event_extra_fields(self):
+        sink = RingBufferSink()
+        obs = Observability(sinks=[sink])
+        obs.event("lock_wait", txn=4, mode="X")
+        [record] = sink.events("lock_wait")
+        assert record["txn"] == 4
+        assert record["mode"] == "X"
+
+    def test_event_without_sinks_is_noop(self):
+        Observability().event("fire", cycle=1)  # must not raise
+
+
+class TestSinkManagement:
+    def test_add_sink_enables_tracing(self):
+        obs = Observability()
+        assert not obs.tracer.enabled
+        obs.add_sink(RingBufferSink())
+        assert obs.tracer.enabled
+        assert obs.enabled
+
+    def test_remove_sink_disables_again(self):
+        sink = RingBufferSink()
+        obs = Observability(sinks=[sink])
+        obs.remove_sink(sink)
+        assert not obs.enabled
+        assert obs.span("x") is NULL_SPAN

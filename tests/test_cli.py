@@ -56,6 +56,63 @@ class TestRun:
         assert "error" in capsys.readouterr().err
 
 
+class TestRunArtifacts:
+    def test_trace_and_metrics_out(self, program_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        assert main([
+            "run", program_file, "--quiet",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert any(r["type"] == "span" for r in records)
+        assert any(r["type"] == "event" for r in records)
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["engine.fires"] == 3
+        assert "ops.comparisons" in snapshot["gauges"]
+
+    def test_manifest_written(self, program_file, tmp_path, capsys):
+        import json
+
+        runs = tmp_path / "runs"
+        assert main([
+            "run", program_file, "--quiet", "--manifest", str(runs),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "manifest:" in out
+        [run_dir] = list(runs.iterdir())
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["config"]["strategy"] == "patterns"
+        assert manifest["program"]["path"] == program_file
+        assert manifest["result"] == {"cycles": 3, "status": "quiescent"}
+        assert (run_dir / "metrics.json").exists()
+
+
+class TestStats:
+    def test_per_rule_phase_table(self, program_file, capsys):
+        assert main(["stats", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "count-up" in out
+        for column in ("fires", "match_us", "select_us", "act_us", "total_us"):
+            assert column in out
+        assert "3 cycles" in out
+
+    def test_bundled_example_program(self, capsys):
+        import os
+
+        example = os.path.join(
+            os.path.dirname(__file__), "..", "examples", "orders.ops"
+        )
+        assert main(["stats", example]) == 0
+        out = capsys.readouterr().out
+        assert "ship-order" in out
+        assert "flag-shortage" in out
+
+
 class TestCheck:
     def test_summary(self, program_file, capsys):
         assert main(["check", program_file]) == 0

@@ -37,6 +37,19 @@ class TestCounters:
         keys = set(Counters().as_dict())
         assert {"comparisons", "false_drops", "lock_waits"} <= keys
 
+    def test_add_leaves_operands_untouched(self):
+        left = Counters(comparisons=1)
+        right = Counters(comparisons=2)
+        total = left + right
+        assert (left.comparisons, right.comparisons) == (1, 2)
+        assert total is not left and total is not right
+
+    def test_diff_covers_every_counter(self):
+        counters = Counters()
+        diff = counters.diff(counters.snapshot())
+        assert set(diff) == set(counters.as_dict())
+        assert all(v == 0 for v in diff.values())
+
 
 class TestSpaceReport:
     def test_as_dict(self):

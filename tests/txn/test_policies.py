@@ -1,6 +1,5 @@
 """Deadlock-handling policy tests: detect vs wound-wait vs wait-die."""
 
-import itertools
 
 import pytest
 
