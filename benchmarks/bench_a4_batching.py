@@ -1,0 +1,97 @@
+"""A4 — §4.2.3: batched (set-at-a-time) vs tuple-at-a-time propagation.
+
+Paper claim: matching-pattern maintenance is flat and set-oriented — the
+work a WM change triggers decomposes into independent groups per target
+COND relation, so changes need not be fed to the match network one tuple
+at a time.  This bench drives the same logical event stream through the
+delta pipeline at several batch sizes, on both storage backends; batching
+collapses per-row SQL round trips into ``executemany`` statements (one
+per relation group, one transaction per batch) and per-tuple maintenance
+calls into one ``on_delta`` per batch.
+
+Run: pytest benchmarks/bench_a4_batching.py --benchmark-only
+Table: python -m repro.bench.report a4
+"""
+
+import pytest
+
+from repro.bench.drivers import build_system, drive_stream, inserts_as_events
+from repro.bench.report import report_a4
+from repro.obs import Observability
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_insert_stream,
+    generate_program,
+)
+
+SPEC = WorkloadSpec(rules=15, classes=5, seed=23)
+STREAM_LENGTH = 200
+
+
+@pytest.fixture(scope="module")
+def workload():
+    generated = generate_program(SPEC)
+    events = inserts_as_events(generate_insert_stream(SPEC, STREAM_LENGTH))
+    return generated.program, events
+
+
+def _drive(program, events, backend, batch_size):
+    wm, strategy = build_system(program, "patterns", backend=backend)
+    drive_stream(wm, events, batch_size=batch_size)
+    return strategy
+
+
+@pytest.mark.parametrize("batch_size", [1, 16, 64])
+def test_memory_backend(benchmark, workload, batch_size):
+    program, events = workload
+    benchmark(lambda: _drive(program, events, "memory", batch_size))
+
+
+@pytest.mark.parametrize("batch_size", [1, 16, 64])
+def test_sqlite_backend(benchmark, workload, batch_size):
+    program, events = workload
+    benchmark(lambda: _drive(program, events, "sqlite", batch_size))
+
+
+class TestA4Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        _, rows = report_a4(stream_length=200)
+        return rows
+
+    def test_conflict_set_invariant_across_batch_sizes(self, rows):
+        for backend in ("memory", "sqlite"):
+            adds = {
+                r["conflict_adds"] for r in rows if r["backend"] == backend
+            }
+            assert len(adds) == 1
+
+    def test_sqlite_statements_fall_at_least_2x(self, rows):
+        by_batch = {
+            r["batch"]: r["sql_stmts"] for r in rows if r["backend"] == "sqlite"
+        }
+        largest = max(by_batch)
+        assert by_batch[largest] * 2 <= by_batch[1]
+
+    def test_batches_are_counted(self, rows):
+        for row in rows:
+            if row["batch"] > 1:
+                assert row["batches"] > 0
+            else:
+                assert row["batches"] == 0
+
+
+def test_storage_layer_statement_collapse(workload):
+    """Pure storage view: apply_batch amortizes SQL per relation group."""
+    from repro.engine.wm import WorkingMemory
+
+    program, events = workload
+    statements = {}
+    for batch_size in (1, 64):
+        obs = Observability(collect_metrics=True)
+        wm = WorkingMemory(program.schemas, backend="sqlite", obs=obs)
+        drive_stream(wm, events, batch_size=batch_size)
+        statements[batch_size] = (
+            obs.metrics.counter("storage.sql_statements").value
+        )
+    assert statements[64] * 2 <= statements[1]

@@ -69,18 +69,64 @@ def build_system(
 def drive_stream(
     wm: WorkingMemory,
     events: list[Event],
+    batch_size: int = 1,
 ) -> tuple[int, list[StoredTuple]]:
-    """Apply an event stream; returns (#events, live tuples)."""
-    live: list[StoredTuple] = []
+    """Apply an event stream; returns (#events, live tuples).
+
+    With ``batch_size`` > 1, events are applied set-at-a-time through
+    :meth:`WorkingMemory.apply_batch` in groups of up to *batch_size*
+    operations, exercising the batched storage and match paths.  The
+    delete indexing is computed over the same ``live`` sequence as the
+    tuple-at-a-time path, so both paths realize the identical logical
+    stream.
+    """
+    live: list[StoredTuple | None] = []
+    if batch_size <= 1:
+        for kind, payload in events:
+            if kind == "insert":
+                class_name, values = payload  # type: ignore[misc]
+                live.append(wm.insert(class_name, values))
+            elif kind == "delete":
+                index = payload  # type: ignore[assignment]
+                wm.remove(live.pop(index % len(live)))
+            else:
+                raise ValueError(f"unknown event kind {kind!r}")
+        return len(events), live
+
+    pending: list[tuple] = []
+    pending_slots: list[int] = []  # live[] indexes awaiting their tuple
+
+    def flush() -> None:
+        if not pending:
+            return
+        batch = wm.apply_batch(pending)
+        for slot, delta in zip(pending_slots, batch.inserts):
+            live[slot] = delta.wme
+        pending.clear()
+        pending_slots.clear()
+
     for kind, payload in events:
         if kind == "insert":
             class_name, values = payload  # type: ignore[misc]
-            live.append(wm.insert(class_name, values))
+            pending.append(("insert", class_name, values))
+            live.append(None)
+            pending_slots.append(len(live) - 1)
         elif kind == "delete":
-            index = payload  # type: ignore[assignment]
-            wm.remove(live.pop(index % len(live)))
+            index = payload % len(live)  # type: ignore[operator]
+            if live[index] is None:
+                # Deleting an element of the open batch: apply it first so
+                # the delete references a stored tuple.
+                flush()
+            wme = live.pop(index)
+            pending.append(("delete", wme))
+            pending_slots[:] = [
+                slot - 1 if slot > index else slot for slot in pending_slots
+            ]
         else:
             raise ValueError(f"unknown event kind {kind!r}")
+        if len(pending) >= batch_size:
+            flush()
+    flush()
     return len(events), live
 
 
@@ -97,6 +143,7 @@ def run_stream(
     strategy_name: str,
     backend: str = "memory",
     obs: Observability | None = None,
+    batch_size: int = 1,
 ) -> StrategyRun:
     """Drive *events* through one strategy, measuring time and counters.
 
@@ -105,7 +152,7 @@ def run_stream(
     """
     wm, strategy = build_system(source, strategy_name, backend=backend, obs=obs)
     start = time.perf_counter()
-    count, _live = drive_stream(wm, events)
+    count, _live = drive_stream(wm, events, batch_size=batch_size)
     elapsed = time.perf_counter() - start
     metrics_snapshot = None
     if obs is not None and obs.enabled:

@@ -3,6 +3,7 @@
     python -m repro.cli run program.ops [--strategy patterns]
                                         [--resolution lex] [--max-cycles N]
                                         [--backend memory] [--quiet]
+                                        [--batch-size N]
                                         [--trace-out t.jsonl]
                                         [--metrics-out m.json]
                                         [--manifest [DIR]]
@@ -73,6 +74,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         seed=args.seed,
         obs=obs,
+        batch_size=args.batch_size,
     )
     result = system.run(max_cycles=args.max_cycles)
     if not args.quiet:
@@ -101,6 +103,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             resolution=args.resolution,
             backend=args.backend,
             firing="instance",
+            batch_size=args.batch_size,
             seed=args.seed,
             command=list(sys.argv[1:]) or ["run", args.file],
             git_sha=git_sha(),
@@ -209,6 +212,15 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["memory", "sqlite"])
     run.add_argument("--max-cycles", type=int, default=10_000)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help="act-phase delta batch size; 1 (default) propagates WM "
+        "changes tuple-at-a-time, N>1 delivers them to the match "
+        "strategies as batches of up to N deltas (§4.2.3)",
+    )
     run.add_argument("--quiet", action="store_true")
     run.add_argument(
         "--trace-out",

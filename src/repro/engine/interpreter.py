@@ -15,11 +15,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.delta import INSERT, DeltaBatch
 from repro.engine.actions import ActionExecutor, ActionOutcome, HostFunction
 from repro.engine.conflict import ConflictSet, Instantiation, InstantiationKey
 from repro.engine.resolution import Resolver, make_resolver
 from repro.engine.wm import WorkingMemory
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, StorageError
 from repro.instrument import Counters
 from repro.lang.analysis import RuleAnalysis, analyze_program
 from repro.lang.ast import Program, Rule
@@ -109,6 +110,13 @@ class _WmTracer:
     def on_delete(self, wme: StoredTuple) -> None:
         self._system._emit("remove", wme)
 
+    def on_delta(self, batch: DeltaBatch) -> None:
+        """Unfold a delta batch into the classic per-element trace events."""
+        for delta in batch:
+            self._system._emit(
+                "insert" if delta.op == INSERT else "remove", delta.wme
+            )
+
 
 @dataclass
 class RunResult:
@@ -136,6 +144,19 @@ class ProductionSystem:
       Each cycle selects a rule (via the resolver) and fires *every*
       eligible instantiation of it, skipping those invalidated by earlier
       firings of the same batch.
+
+    ``batch_size`` selects the Act→Match granularity (§4.2.3's
+    set-orientation).  With the default 1, every ``make``/``remove``/
+    ``modify`` propagates to the match network immediately — the classic
+    tuple-at-a-time behaviour, bit-for-bit.  With N > 1 the act phase
+    buffers WM change notifications and delivers them to the strategies
+    as :class:`~repro.delta.DeltaBatch` objects of up to N deltas
+    (flushing at cycle end regardless), so maintenance runs
+    set-at-a-time.  Instantiations invalidated by not-yet-propagated
+    deletions are suppressed by a storage liveness check; a firing blocked
+    by a not-yet-propagated negated-condition witness is only suppressed
+    once the batch flushes, the one (documented) semantic difference of
+    batched act.
     """
 
     def __init__(
@@ -151,12 +172,18 @@ class ProductionSystem:
         firing: str = "instance",
         path: str | None = None,
         obs: Observability | None = None,
+        batch_size: int = 1,
     ) -> None:
         if firing not in ("instance", "set"):
             raise ExecutionError(
                 f"unknown firing mode {firing!r}; use 'instance' or 'set'"
             )
+        if not isinstance(batch_size, int) or batch_size < 1:
+            raise ExecutionError(
+                f"batch_size must be a positive integer, got {batch_size!r}"
+            )
         self.firing = firing
+        self.batch_size = batch_size
         program = self._resolve_program(source, rules, schemas)
         self.program = program
         self.analyses: dict[str, RuleAnalysis] = analyze_program(
@@ -287,6 +314,20 @@ class ProductionSystem:
             return
         obs.event(kind, cycle=self._current_cycle, detail=detail)
 
+    def _instantiation_live(self, instantiation: Instantiation) -> bool:
+        """True while every matched element still exists in storage.
+
+        The batched act path uses this instead of the (lagging) conflict
+        set to skip instantiations whose support was removed by an earlier
+        firing whose deltas have not been propagated yet.
+        """
+        for wme in instantiation.positive_wmes():
+            try:
+                self.wm.get(wme.relation, wme.tid)
+            except StorageError:
+                return False
+        return True
+
     def mark_fired(self, instantiation: Instantiation) -> None:
         """Record *instantiation* as fired (refraction), e.g. by an
         external transaction scheduler."""
@@ -327,17 +368,26 @@ class ProductionSystem:
         self._current_cycle = cycle
         analysis = self.analyses[chosen.rule_name]
         tracing = obs.tracer.enabled
+        batching = self.batch_size > 1
         with obs.span("act", cycle=cycle, rule=chosen.rule_name) as act_span:
             if tracing:
                 obs.tracer.set_context(rule=chosen.rule_name)
+            if batching:
+                self.wm.begin_batch()
             try:
                 for instantiation in batch:
                     self._fired_keys.add(instantiation.key)
-                    if (
-                        instantiation is not chosen
-                        and instantiation not in self.conflict_set
-                    ):
-                        continue  # invalidated by an earlier batch firing
+                    if instantiation is not chosen:
+                        # Invalidated by an earlier firing of this batch?
+                        # With deferred match maintenance the conflict set
+                        # lags, so also require the matched elements to
+                        # still exist in storage.
+                        if instantiation not in self.conflict_set:
+                            continue
+                        if batching and not self._instantiation_live(
+                            instantiation
+                        ):
+                            continue
                     outcome = self.executor.execute(analysis, instantiation)
                     self.output.extend(outcome.written)
                     record = FiredRule(
@@ -348,7 +398,14 @@ class ProductionSystem:
                     if outcome.halted:
                         self._emit("halt", record)
                         break
+                    if (
+                        batching
+                        and self.wm.pending_deltas() >= self.batch_size
+                    ):
+                        self.wm.flush_batch()
             finally:
+                if batching:
+                    self.wm.end_batch()
                 if tracing:
                     obs.tracer.clear_context("rule")
             act_span.set("fires", len(records))

@@ -8,13 +8,30 @@ Working Memory → propagate → Rete Network".
 
 A *modify* is a delete followed by an insert (§3.1), so the new element gets
 a fresh timetag, as in OPS5.
+
+Two change-propagation granularities exist (§4.2.3's set-orientation):
+
+* tuple-at-a-time — :meth:`WorkingMemory.insert` / :meth:`remove` notify
+  listeners immediately, as the seed implementation always did;
+* set-at-a-time — :meth:`apply_batch` applies a whole operation list to
+  storage first (grouped per relation, one backend transaction) and then
+  notifies each listener *once* with a :class:`~repro.delta.DeltaBatch`;
+  :meth:`begin_batch`/:meth:`flush_batch`/:meth:`end_batch` buffer the
+  notifications of ordinary mutations the same way (used by the act phase
+  and the transaction layer, where returned tuples must be real
+  immediately but maintenance may run per batch).
+
+Listeners that implement ``on_delta(batch)`` receive the batch whole;
+anything else gets the classic per-tuple callbacks in batch order.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
+from contextlib import contextmanager
 from typing import Protocol
 
+from repro.delta import DELETE, INSERT, Delta, DeltaBatch
 from repro.errors import MatchError
 from repro.instrument import Counters
 from repro.obs import Observability
@@ -25,7 +42,11 @@ from repro.storage.tuples import StoredTuple
 
 
 class WMListener(Protocol):
-    """Anything notified of WM changes (match strategies, view maintainers)."""
+    """Anything notified of WM changes (match strategies, view maintainers).
+
+    Implementing ``on_delta(batch: DeltaBatch)`` is optional; listeners
+    that do are handed change batches whole on the set-at-a-time path.
+    """
 
     def on_insert(self, wme: StoredTuple) -> None:
         """Called after *wme* is stored."""
@@ -54,6 +75,7 @@ class WorkingMemory:
         for schema in schemas.values():
             self.catalog.create(schema)
         self._listeners: list[WMListener] = []
+        self._pending: list[Delta] | None = None
 
     # -- listeners ------------------------------------------------------------
 
@@ -97,21 +119,31 @@ class WorkingMemory:
     def insert(
         self, class_name: str, values: tuple[Value, ...] | dict[str, Value]
     ) -> StoredTuple:
-        """Insert a WM element and notify listeners; returns the element."""
+        """Insert a WM element and notify listeners; returns the element.
+
+        Inside a batch scope the notification is buffered instead (the
+        storage write still happens immediately).
+        """
         table = self.relation(class_name)
         if isinstance(values, dict):
             wme = table.insert_mapping(values)
         else:
             wme = table.insert(values)
-        for listener in list(self._listeners):
-            listener.on_insert(wme)
+        if self._pending is not None:
+            self._pending.append(Delta(INSERT, wme))
+        else:
+            for listener in list(self._listeners):
+                listener.on_insert(wme)
         return wme
 
     def remove(self, wme: StoredTuple) -> StoredTuple:
         """Delete a WM element and notify listeners; returns the element."""
         removed = self.relation(wme.relation).delete(wme.tid)
-        for listener in list(self._listeners):
-            listener.on_delete(removed)
+        if self._pending is not None:
+            self._pending.append(Delta(DELETE, removed))
+        else:
+            for listener in list(self._listeners):
+                listener.on_delete(removed)
         return removed
 
     def modify(
@@ -124,3 +156,140 @@ class WorkingMemory:
             new_values[schema.position(attribute)] = value
         self.remove(wme)
         return self.insert(wme.relation, tuple(new_values))
+
+    # -- set-at-a-time mutation (the delta pipeline) ----------------------------
+
+    @property
+    def batching(self) -> bool:
+        """True while a batch scope is buffering notifications."""
+        return self._pending is not None
+
+    def pending_deltas(self) -> int:
+        """Number of buffered, not-yet-delivered deltas."""
+        return len(self._pending) if self._pending is not None else 0
+
+    def begin_batch(self) -> None:
+        """Start buffering change notifications into a batch."""
+        if self._pending is not None:
+            raise MatchError("a WM batch is already open")
+        self._pending = []
+
+    def flush_batch(self) -> DeltaBatch:
+        """Deliver buffered deltas as one batch; stay in batch mode."""
+        if self._pending is None:
+            raise MatchError("no WM batch is open")
+        batch = DeltaBatch(self._pending).net()
+        self._pending = []
+        if batch:
+            self._deliver(batch)
+        return batch
+
+    def end_batch(self) -> DeltaBatch:
+        """Deliver buffered deltas and leave batch mode."""
+        batch = self.flush_batch()
+        self._pending = None
+        return batch
+
+    @contextmanager
+    def batch(self):
+        """Scope mutations as one delta batch (re-entrant: nested scopes
+        join the outer batch rather than flushing early)."""
+        if self._pending is not None:
+            yield self
+            return
+        self.begin_batch()
+        try:
+            yield self
+        finally:
+            self.end_batch()
+
+    def apply_batch(
+        self, ops: list[tuple]
+    ) -> DeltaBatch:
+        """Apply an operation list set-at-a-time; notify listeners once.
+
+        Each op is ``("insert", class_name, values)``,
+        ``("delete", wme)`` or ``("modify", wme, changes)`` (the latter
+        expands to delete + insert, §3.1).  Storage writes are grouped per
+        relation (``delete_many``/``insert_many``) inside a single backend
+        transaction; timetags are pre-assigned in op order so recency
+        agrees with sequential application.  Deletes must reference
+        elements stored before this batch.  The returned batch lists the
+        realized deltas in op order.
+        """
+        if self._pending is not None:
+            raise MatchError("apply_batch cannot run inside an open WM batch")
+        expanded: list[tuple] = []
+        for op in ops:
+            kind = op[0]
+            if kind == "insert":
+                _, class_name, values = op
+                schema = self.schema(class_name)
+                if isinstance(values, dict):
+                    values = schema.row_from_mapping(values)
+                expanded.append((INSERT, class_name, tuple(values)))
+            elif kind == "delete":
+                expanded.append((DELETE, op[1]))
+            elif kind == "modify":
+                _, wme, changes = op
+                schema = self.schema(wme.relation)
+                new_values = list(wme.values)
+                for attribute, value in changes.items():
+                    new_values[schema.position(attribute)] = value
+                expanded.append((DELETE, wme))
+                expanded.append((INSERT, wme.relation, tuple(new_values)))
+            else:
+                raise MatchError(f"unknown batch op kind {kind!r}")
+
+        clock = self.catalog.clock
+        deltas: list[Delta | None] = [None] * len(expanded)
+        delete_groups: dict[str, tuple[list[int], list[int]]] = {}
+        insert_groups: dict[
+            str, tuple[list[int], list[tuple], list[int]]
+        ] = {}
+        for position, op in enumerate(expanded):
+            if op[0] == DELETE:
+                wme = op[1]
+                positions, tids = delete_groups.setdefault(
+                    wme.relation, ([], [])
+                )
+                positions.append(position)
+                tids.append(wme.tid)
+            else:
+                _, class_name, values = op
+                positions, rows, timetags = insert_groups.setdefault(
+                    class_name, ([], [], [])
+                )
+                positions.append(position)
+                rows.append(values)
+                timetags.append(clock.tick())
+
+        with self.catalog.transaction():
+            for class_name, (positions, tids) in delete_groups.items():
+                removed = self.relation(class_name).delete_many(tids)
+                for position, row in zip(positions, removed):
+                    deltas[position] = Delta(DELETE, row)
+            for class_name, (positions, rows, timetags) in (
+                insert_groups.items()
+            ):
+                stored = self.relation(class_name).insert_many(rows, timetags)
+                for position, row in zip(positions, stored):
+                    deltas[position] = Delta(INSERT, row)
+
+        batch = DeltaBatch(d for d in deltas if d is not None)
+        if batch:
+            self._deliver(batch)
+        return batch
+
+    def _deliver(self, batch: DeltaBatch) -> None:
+        """Fan one batch out to every listener, preferring ``on_delta``."""
+        for listener in list(self._listeners):
+            on_delta = getattr(listener, "on_delta", None)
+            if on_delta is not None:
+                on_delta(batch)
+                continue
+            for delta in batch:
+                if delta.op == INSERT:
+                    listener.on_insert(delta.wme)
+                else:
+                    listener.on_delete(delta.wme)

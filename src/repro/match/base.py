@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.delta import INSERT, DeltaBatch
 from repro.engine.conflict import ConflictSet, Instantiation
 from repro.engine.wm import WorkingMemory
 from repro.errors import MatchError
@@ -100,9 +101,11 @@ class MatchStrategy:
         self.conflict_set = ConflictSet()
         self._prepare()
         wm.add_listener(self)
-        for class_name in wm.schemas:
-            for wme in wm.tuples(class_name):
-                self.on_insert(wme)
+        replay = DeltaBatch.of_inserts(
+            wme for class_name in wm.schemas for wme in wm.tuples(class_name)
+        )
+        if replay:
+            self.on_delta(replay)
 
     # -- hooks ------------------------------------------------------------
 
@@ -116,6 +119,51 @@ class MatchStrategy:
     def on_delete(self, wme: StoredTuple) -> None:
         """Propagate a WM deletion."""
         raise NotImplementedError
+
+    def on_delta(self, batch: DeltaBatch) -> None:
+        """Propagate a whole batch of WM changes (set-at-a-time, §4.2.3).
+
+        The engine delivers one call per batch however many elements
+        changed; :meth:`_apply_delta` does the strategy-specific work.  The
+        base implementation simply replays the batch through the per-tuple
+        callbacks in order, so every strategy is batch-capable; set-oriented
+        strategies override ``_apply_delta`` to group maintenance by target
+        relation.  The surrounding span/metrics record batch size and the
+        per-relation group fan-out (the width available to the paper's
+        "fully parallelizable" claim).
+        """
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            self._apply_delta(batch)
+            return
+        groups = batch.by_relation()
+        group_max = max((len(g) for g in groups.values()), default=0)
+        started = time.perf_counter()
+        with obs.span(
+            "match.batch",
+            strategy=self.strategy_name,
+            size=len(batch),
+            relations=len(groups),
+            group_max=group_max,
+        ):
+            self._apply_delta(batch)
+        metrics = obs.metrics
+        metrics.counter("match.batches").inc()
+        metrics.counter("match.batch_deltas").inc(len(batch))
+        metrics.histogram("match.batch_size").observe(len(batch))
+        metrics.histogram("match.batch_relations").observe(len(groups))
+        metrics.histogram("match.batch_group_max").observe(group_max)
+        metrics.histogram("match.batch_us").observe(
+            (time.perf_counter() - started) * 1e6
+        )
+
+    def _apply_delta(self, batch: DeltaBatch) -> None:
+        """Strategy-specific batch maintenance; default is sequential."""
+        for delta in batch:
+            if delta.op == INSERT:
+                self.on_insert(delta.wme)
+            else:
+                self.on_delete(delta.wme)
 
     def _trace_match(self, op: str, wme: StoredTuple, impl) -> None:
         """Run ``impl(wme)`` inside this strategy's match span.
@@ -190,8 +238,17 @@ class MatchStrategy:
         return diagnosis
 
     def detach(self) -> None:
-        """Stop listening to WM changes."""
-        self.wm.remove_listener(self)
+        """Stop listening to WM changes and empty the conflict set.
+
+        Idempotent: detaching an already-detached strategy is a no-op.
+        The conflict set is cleared without firing its listeners, so a
+        detached strategy never reports stale instantiations.
+        """
+        try:
+            self.wm.remove_listener(self)
+        except ValueError:
+            pass
+        self.conflict_set.clear()
 
     def instantiations(self) -> list[Instantiation]:
         """Current conflict set contents."""

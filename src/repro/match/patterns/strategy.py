@@ -26,6 +26,7 @@ fired candidates that select zero combinations are counted as false drops
 
 from __future__ import annotations
 
+from repro.delta import INSERT, DeltaBatch
 from repro.instrument import SpaceReport
 from repro.lang.analysis import AnalyzedCondition, RuleAnalysis
 from repro.match.base import MatchStrategy
@@ -83,6 +84,56 @@ class MatchingPatternsStrategy(MatchStrategy):
 
     def _insert_impl(self, wme: StoredTuple) -> None:
         self._event_profile = {}
+        seeded: list[tuple[RuleAnalysis, AnalyzedCondition, StoredTuple]] = []
+        self._insert_maintenance(wme, seeded)
+        self._close_event_profile()
+        for analysis, condition, seed in seeded:
+            self._select_seeded(analysis, condition, seed)
+
+    def _delete_impl(self, wme: StoredTuple) -> None:
+        self._event_profile = {}
+        fired: dict[int, tuple[RuleAnalysis, AnalyzedCondition, PatternTuple]] = {}
+        self._delete_maintenance(wme, fired)
+        self._close_event_profile()
+        for analysis, condition, pattern in fired.values():
+            self._select_pattern(analysis, condition, pattern)
+
+    def _apply_delta(self, batch: DeltaBatch) -> None:
+        """Set-at-a-time maintenance (§4.2.3): one pass, deferred selection.
+
+        Pattern maintenance runs per delta in batch order, but the §4.2.3
+        parallelism profile closes once for the whole batch — maintenance
+        targeting distinct COND relations anywhere in the batch is
+        independent, so the batch is the paper's natural parallel unit.
+        Act-time selections (§5.1) are collected during the pass and run
+        once at the end, deduplicated; every selection evaluates against
+        the post-batch working memory, so deferral cannot admit blocked or
+        dead instantiations.
+        """
+        self._event_profile = {}
+        seeded: list[tuple[RuleAnalysis, AnalyzedCondition, StoredTuple]] = []
+        fired: dict[int, tuple[RuleAnalysis, AnalyzedCondition, PatternTuple]] = {}
+        for delta in batch:
+            if delta.op == INSERT:
+                self._insert_maintenance(delta.wme, seeded)
+            else:
+                self._delete_maintenance(delta.wme, fired)
+        self._close_event_profile()
+        for analysis, condition, seed in seeded:
+            self._select_seeded(analysis, condition, seed)
+        for analysis, condition, pattern in fired.values():
+            self._select_pattern(analysis, condition, pattern)
+
+    def _insert_maintenance(
+        self,
+        wme: StoredTuple,
+        seeded: list[tuple[RuleAnalysis, AnalyzedCondition, StoredTuple]],
+    ) -> None:
+        """COND-relation maintenance for one insertion.
+
+        Selections earned by fired patterns are appended to *seeded* for the
+        caller to run after maintenance settles.
+        """
         for analysis, condition in self._by_class.get(wme.relation, []):
             store = self.stores[condition.class_name]
             matches = store.matches_of(condition, analysis.name, wme)
@@ -101,7 +152,7 @@ class MatchingPatternsStrategy(MatchStrategy):
             else:
                 patterns = [p for p, _ in matches]
                 if self._union_full(analysis, condition, patterns):
-                    self._select_seeded(analysis, condition, wme)
+                    seeded.append((analysis, condition, wme))
                 for source in patterns:
                     self._propagate(
                         analysis,
@@ -110,14 +161,21 @@ class MatchingPatternsStrategy(MatchStrategy):
                         contributor=(wme.relation, wme.tid),
                         check_compatibility=True,
                     )
-        self._close_event_profile()
 
-    def _delete_impl(self, wme: StoredTuple) -> None:
-        self._event_profile = {}
+    def _delete_maintenance(
+        self,
+        wme: StoredTuple,
+        fired: dict[int, tuple[RuleAnalysis, AnalyzedCondition, PatternTuple]],
+    ) -> None:
+        """Support withdrawal for one deletion.
+
+        Patterns whose inverted marks become full (a blocker vanished) are
+        recorded in *fired* — keyed by pattern identity so a pattern
+        transitioning repeatedly within one batch selects once.
+        """
         self.conflict_set.remove_wme(wme)
         contributor: WmeKey = (wme.relation, wme.tid)
         entries = self._support_index.pop(contributor, set())
-        transitions: list[tuple[PatternTuple, AnalyzedCondition, RuleAnalysis]] = []
         for pattern, rce_index in entries:
             analysis = self.analyses[pattern.rid]
             negated = self._negated_indices[pattern.rid]
@@ -133,12 +191,9 @@ class MatchingPatternsStrategy(MatchStrategy):
                 and pattern.is_full(negated)
                 and not condition.negated
             ):
-                transitions.append((pattern, condition, analysis))
+                fired[id(pattern)] = (analysis, condition, pattern)
             if pattern.all_zero() and not pattern.original:
                 self.stores[condition.class_name].discard(pattern)
-        for pattern, condition, analysis in transitions:
-            self._select_pattern(analysis, condition, pattern)
-        self._close_event_profile()
 
     # -- §4.2.3 parallelism accounting ------------------------------------------
 

@@ -60,6 +60,7 @@ class RunManifest:
     resolution: str = ""
     backend: str = ""
     firing: str = ""
+    batch_size: int = 1
     seed: int = 0
     command: list[str] = field(default_factory=list)
     git_sha: str | None = None
@@ -87,6 +88,7 @@ class RunManifest:
                 "resolution": self.resolution,
                 "backend": self.backend,
                 "firing": self.firing,
+                "batch_size": self.batch_size,
                 "seed": self.seed,
             },
             "command": self.command,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import sqlite3
 from collections.abc import Iterator
+from contextlib import contextmanager
 
 from repro.errors import CatalogError
 from repro.instrument import Counters
@@ -59,6 +60,32 @@ class Catalog:
             self._connection = sqlite3.connect(
                 path or ":memory:", isolation_level=None
             )
+
+    @contextmanager
+    def transaction(self):
+        """Scope a group of writes as one backend transaction.
+
+        On the SQLite backend every statement issued inside the block joins
+        a single BEGIN/COMMIT (the per-DeltaBatch transaction of the
+        set-at-a-time pipeline); nested use and the memory backend are
+        no-ops.  On an exception the transaction rolls back before the
+        error propagates.
+        """
+        connection = self._connection
+        if connection is None or connection.in_transaction:
+            yield
+            return
+        connection.execute("BEGIN IMMEDIATE")
+        try:
+            yield
+        except BaseException:
+            if connection.in_transaction:
+                connection.execute("ROLLBACK")
+            raise
+        if connection.in_transaction:
+            connection.execute("COMMIT")
+        if self.obs is not None and self.obs.enabled:
+            self.obs.metrics.counter("storage.transactions").inc()
 
     def create(self, schema: RelationSchema) -> Table:
         """Create a table for *schema*; error if the name exists."""

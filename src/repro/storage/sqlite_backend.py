@@ -93,6 +93,34 @@ class SqliteTable(Table):
         )
         return cursor
 
+    def _executemany(
+        self, sql: str, rows: list[tuple]
+    ) -> sqlite3.Cursor:
+        """Run one statement over many parameter rows.
+
+        The whole batch counts as a single ``storage.sql_statements`` tick
+        (that is the point: N per-row round trips collapse into one), with
+        the row count recorded separately as ``storage.sql_batched_rows``.
+        """
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return self._conn.executemany(sql, rows)
+        started = time.perf_counter()
+        with obs.span(
+            "storage.sql",
+            verb=sql.split(None, 1)[0].upper(),
+            relation=self.schema.name,
+            rows=len(rows),
+        ):
+            cursor = self._conn.executemany(sql, rows)
+        metrics = obs.metrics
+        metrics.counter("storage.sql_statements").inc()
+        metrics.counter("storage.sql_batched_rows").inc(len(rows))
+        metrics.histogram("storage.sql_us").observe(
+            (time.perf_counter() - started) * 1e6
+        )
+        return cursor
+
     def _row_from_sql(self, record: tuple) -> StoredTuple:
         tid, timetag, *values = record
         self.counters.tuple_reads += 1
@@ -109,15 +137,9 @@ class SqliteTable(Table):
 
     # -- Table primitives ----------------------------------------------------
 
-    def insert(self, values: tuple[Value, ...]) -> StoredTuple:
+    def insert_at(self, values: tuple[Value, ...], timetag: int) -> StoredTuple:
         self.schema.validate_row(values)
-        timetag = self.clock.tick()
-        placeholders = ", ".join("?" for _ in range(self.schema.arity + 1))
-        cursor = self._execute(
-            f"INSERT INTO {self._table} "
-            f"(timetag, {', '.join(self._columns)}) VALUES ({placeholders})",
-            (timetag, *values),
-        )
+        cursor = self._execute(self._insert_sql(), (timetag, *values))
         self.counters.tuple_writes += 1
         return StoredTuple(
             relation=self.schema.name,
@@ -125,6 +147,55 @@ class SqliteTable(Table):
             timetag=timetag,
             values=tuple(values),
         )
+
+    def _insert_sql(self) -> str:
+        placeholders = ", ".join("?" for _ in range(self.schema.arity + 1))
+        return (
+            f"INSERT INTO {self._table} "
+            f"(timetag, {', '.join(self._columns)}) VALUES ({placeholders})"
+        )
+
+    def insert_many(
+        self,
+        rows: list[tuple[Value, ...]],
+        timetags: list[int] | None = None,
+    ) -> list[StoredTuple]:
+        rows = [tuple(row) for row in rows]
+        for row in rows:
+            self.schema.validate_row(row)
+        if not rows:
+            return []
+        if timetags is None:
+            timetags = [self.clock.tick() for _ in rows]
+        own_txn = not self._conn.in_transaction
+        if own_txn:
+            self._conn.execute("BEGIN")
+        try:
+            self._executemany(
+                self._insert_sql(),
+                [(timetag, *row) for timetag, row in zip(timetags, rows)],
+            )
+            # AUTOINCREMENT rowids are strictly increasing by one per insert
+            # on a single connection, so the batch occupies a contiguous
+            # range ending at last_insert_rowid().
+            (last,) = self._execute("SELECT last_insert_rowid()").fetchone()
+        except BaseException:
+            if own_txn:
+                self._conn.execute("ROLLBACK")
+            raise
+        if own_txn:
+            self._conn.execute("COMMIT")
+        self.counters.tuple_writes += len(rows)
+        first = last - len(rows) + 1
+        return [
+            StoredTuple(
+                relation=self.schema.name,
+                tid=first + offset,
+                timetag=timetag,
+                values=row,
+            )
+            for offset, (timetag, row) in enumerate(zip(timetags, rows))
+        ]
 
     def delete(self, tid: int) -> StoredTuple:
         row = self.get(tid)
@@ -134,6 +205,54 @@ class SqliteTable(Table):
         )
         self.counters.tuple_writes += 1
         return row
+
+    #: Parameter-list chunk size for IN (...) batch statements, comfortably
+    #: under SQLite's host-parameter limit.
+    _IN_CHUNK = 500
+
+    def delete_many(self, tids: list[int]) -> list[StoredTuple]:
+        tids = list(tids)
+        if not tids:
+            return []
+        own_txn = not self._conn.in_transaction
+        if own_txn:
+            self._conn.execute("BEGIN")
+        try:
+            fetched: dict[int, StoredTuple] = {}
+            for start in range(0, len(tids), self._IN_CHUNK):
+                chunk = tids[start:start + self._IN_CHUNK]
+                marks = ", ".join("?" for _ in chunk)
+                cursor = self._execute(
+                    f"SELECT tid, timetag, {', '.join(self._columns)} "
+                    f"FROM {self._table} WHERE tid IN ({marks})",
+                    tuple(chunk),
+                )
+                for record in cursor.fetchall():
+                    row = self._row_from_sql(record)
+                    fetched[row.tid] = row
+                missing = [tid for tid in chunk if tid not in fetched]
+                if missing:
+                    raise StorageError(
+                        f"relation {self.schema.name!r} has no tuple "
+                        f"#{missing[0]}"
+                    )
+                self._execute(
+                    f"DELETE FROM {self._table} WHERE tid IN ({marks})",
+                    tuple(chunk),
+                )
+                self._execute(
+                    f"DELETE FROM {self._marker_table} "
+                    f"WHERE tid IN ({marks})",
+                    tuple(chunk),
+                )
+        except BaseException:
+            if own_txn:
+                self._conn.execute("ROLLBACK")
+            raise
+        if own_txn:
+            self._conn.execute("COMMIT")
+        self.counters.tuple_writes += len(tids)
+        return [fetched[tid] for tid in tids]
 
     def get(self, tid: int) -> StoredTuple:
         record = self._execute(

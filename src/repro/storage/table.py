@@ -63,9 +63,19 @@ class Table:
 
     # -- primitives every backend implements -------------------------------
 
+    def insert_at(self, values: tuple[Value, ...], timetag: int) -> StoredTuple:
+        """Store a new row under an explicit *timetag*; return it.
+
+        Batch paths pre-assign timetags in operation order (recency must
+        follow the caller's logical order even when rows are regrouped per
+        relation for the backend), so the timetag is a parameter of the
+        storage primitive rather than drawn inside it.
+        """
+        raise NotImplementedError
+
     def insert(self, values: tuple[Value, ...]) -> StoredTuple:
         """Store a new row; return it with fresh tid and timetag."""
-        raise NotImplementedError
+        return self.insert_at(values, self.clock.tick())
 
     def delete(self, tid: int) -> StoredTuple:
         """Remove and return the row with id *tid*."""
@@ -114,6 +124,35 @@ class Table:
     def marker_count(self) -> int:
         """Total marker entries across all tuples (space accounting)."""
         raise NotImplementedError
+
+    # -- batch operations (set-at-a-time delta pipeline) ---------------------
+
+    def insert_many(
+        self,
+        rows: list[tuple[Value, ...]],
+        timetags: list[int] | None = None,
+    ) -> list[StoredTuple]:
+        """Store several rows; return them in input order.
+
+        *timetags*, when given, must parallel *rows*; otherwise fresh ones
+        are drawn per row.  Rows are validated up front so a malformed row
+        anywhere in the batch stores nothing.  Backends override this to
+        amortize per-call costs (the SQLite backend issues a single
+        ``executemany``).
+        """
+        rows = [tuple(row) for row in rows]
+        for row in rows:
+            self.schema.validate_row(row)
+        if timetags is None:
+            timetags = [self.clock.tick() for _ in rows]
+        return [
+            self.insert_at(row, timetag)
+            for row, timetag in zip(rows, timetags)
+        ]
+
+    def delete_many(self, tids: list[int]) -> list[StoredTuple]:
+        """Remove several rows by id; return them in input order."""
+        return [self.delete(tid) for tid in tids]
 
     # -- derived operations shared by all backends --------------------------
 
@@ -175,13 +214,13 @@ class MemoryTable(Table):
         self._markers: dict[int, set[str]] = {}
         self._marker_total = 0
 
-    def insert(self, values: tuple[Value, ...]) -> StoredTuple:
+    def insert_at(self, values: tuple[Value, ...], timetag: int) -> StoredTuple:
         self.schema.validate_row(values)
         self._next_tid += 1
         row = StoredTuple(
             relation=self.schema.name,
             tid=self._next_tid,
-            timetag=self.clock.tick(),
+            timetag=timetag,
             values=tuple(values),
         )
         self._rows[row.tid] = row

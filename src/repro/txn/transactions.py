@@ -175,7 +175,14 @@ class RuleTransaction:
             kind = "w" if request.mode in ("X", "IX") else "r"
             history.record(self.txn_id, kind, request.target)
         system.mark_fired(self.instantiation)
-        self.outcome = system.executor.execute(self.analysis, self.instantiation)
+        # One firing's WM changes are one delta batch: the maintenance
+        # process consumes the RHS effects set-at-a-time, and it still
+        # completes before the commit point below, preserving the paper's
+        # "no lock released before maintenance" discipline.
+        with system.wm.batch():
+            self.outcome = system.executor.execute(
+                self.analysis, self.instantiation
+            )
         system.output.extend(self.outcome.written)
         for row in self.outcome.inserted:
             history.record(self.txn_id, "w", tuple_target(row.relation, row.tid))

@@ -1,0 +1,219 @@
+"""Set-at-a-time WM mutation: apply_batch and deferred notification."""
+
+import pytest
+
+from repro.delta import DELETE, INSERT, Delta, DeltaBatch
+from repro.engine import WorkingMemory
+from repro.errors import MatchError
+from repro.storage import RelationSchema
+
+SCHEMAS = {
+    "Emp": RelationSchema("Emp", ("name", "salary")),
+    "Dept": RelationSchema("Dept", ("dno",)),
+}
+
+
+class Recorder:
+    """Per-tuple listener (no on_delta): exercises the fallback path."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_insert(self, wme):
+        self.events.append(("+", wme.relation, wme.tid))
+
+    def on_delete(self, wme):
+        self.events.append(("-", wme.relation, wme.tid))
+
+
+class BatchRecorder(Recorder):
+    """Listener with on_delta: receives batches whole."""
+
+    def __init__(self):
+        super().__init__()
+        self.batches = []
+
+    def on_delta(self, batch):
+        self.batches.append(batch)
+        for delta in batch:
+            sign = "+" if delta.op == INSERT else "-"
+            self.events.append((sign, delta.relation, delta.tid))
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def wm(request):
+    wm = WorkingMemory(SCHEMAS, backend=request.param)
+    yield wm
+    wm.catalog.close()
+
+
+class TestApplyBatch:
+    def test_ops_realized_in_order(self, wm):
+        victim = wm.insert("Emp", ("Old", 1))
+        batch = wm.apply_batch([
+            ("insert", "Emp", ("Mike", 100)),
+            ("delete", victim),
+            ("insert", "Dept", (7,)),
+        ])
+        assert [d.op for d in batch] == [INSERT, DELETE, INSERT]
+        assert [d.relation for d in batch] == ["Emp", "Emp", "Dept"]
+        assert wm.size() == 2
+
+    def test_modify_expands_to_delete_plus_insert(self, wm):
+        old = wm.insert("Emp", ("Mike", 100))
+        batch = wm.apply_batch([("modify", old, {"salary": 200})])
+        assert [d.op for d in batch] == [DELETE, INSERT]
+        new = batch.deltas[1].wme
+        assert new.values == ("Mike", 200)
+        assert new.tid != old.tid
+        assert new.timetag > old.timetag
+
+    def test_timetags_follow_op_order_across_relations(self, wm):
+        batch = wm.apply_batch([
+            ("insert", "Emp", ("A", 1)),
+            ("insert", "Dept", (1,)),
+            ("insert", "Emp", ("B", 2)),
+        ])
+        timetags = [d.wme.timetag for d in batch]
+        assert timetags == sorted(timetags)
+        assert len(set(timetags)) == 3
+
+    def test_mapping_values_accepted(self, wm):
+        batch = wm.apply_batch([("insert", "Emp", {"name": "Sam"})])
+        assert batch.deltas[0].wme.values == ("Sam", None)
+
+    def test_single_notification_per_batch(self, wm):
+        listener = BatchRecorder()
+        wm.add_listener(listener)
+        wm.apply_batch([
+            ("insert", "Emp", ("Mike", 100)),
+            ("insert", "Dept", (7,)),
+        ])
+        assert len(listener.batches) == 1
+        assert len(listener.batches[0]) == 2
+
+    def test_fallback_for_listeners_without_on_delta(self, wm):
+        listener = Recorder()
+        wm.add_listener(listener)
+        batch = wm.apply_batch([
+            ("insert", "Emp", ("Mike", 100)),
+            ("insert", "Dept", (7,)),
+        ])
+        assert listener.events == [
+            ("+", "Emp", batch.deltas[0].tid),
+            ("+", "Dept", batch.deltas[1].tid),
+        ]
+
+    def test_unknown_op_kind_rejected(self, wm):
+        with pytest.raises(MatchError, match="unknown batch op kind"):
+            wm.apply_batch([("upsert", "Emp", ("Mike", 100))])
+        assert wm.size() == 0
+
+    def test_rejected_inside_open_batch(self, wm):
+        wm.begin_batch()
+        with pytest.raises(MatchError, match="open WM batch"):
+            wm.apply_batch([("insert", "Emp", ("Mike", 100))])
+        wm.end_batch()
+
+    def test_empty_batch_is_silent(self, wm):
+        listener = BatchRecorder()
+        wm.add_listener(listener)
+        batch = wm.apply_batch([])
+        assert len(batch) == 0
+        assert listener.batches == []
+
+
+class TestDeferredNotification:
+    def test_notifications_buffer_until_flush(self, wm):
+        listener = BatchRecorder()
+        wm.add_listener(listener)
+        wm.begin_batch()
+        a = wm.insert("Emp", ("Mike", 100))
+        assert wm.batching and wm.pending_deltas() == 1
+        assert listener.events == []
+        # storage already reflects the write
+        assert wm.get("Emp", a.tid).values == ("Mike", 100)
+        wm.flush_batch()
+        assert listener.events == [("+", "Emp", a.tid)]
+        assert wm.batching  # flush stays in batch mode
+        wm.end_batch()
+        assert not wm.batching
+
+    def test_net_annihilates_insert_then_delete(self, wm):
+        listener = BatchRecorder()
+        wm.add_listener(listener)
+        with wm.batch():
+            ghost = wm.insert("Emp", ("Ghost", 0))
+            keeper = wm.insert("Emp", ("Keeper", 1))
+            wm.remove(ghost)
+        assert listener.events == [("+", "Emp", keeper.tid)]
+
+    def test_begin_twice_rejected(self, wm):
+        wm.begin_batch()
+        with pytest.raises(MatchError, match="already open"):
+            wm.begin_batch()
+        wm.end_batch()
+
+    def test_flush_without_batch_rejected(self, wm):
+        with pytest.raises(MatchError, match="no WM batch"):
+            wm.flush_batch()
+
+    def test_context_manager_is_reentrant(self, wm):
+        listener = BatchRecorder()
+        wm.add_listener(listener)
+        with wm.batch():
+            wm.insert("Emp", ("Mike", 100))
+            with wm.batch():  # joins the outer scope, no early flush
+                wm.insert("Emp", ("Sam", 200))
+            assert listener.batches == []
+        assert len(listener.batches) == 1
+        assert len(listener.batches[0]) == 2
+
+    def test_modify_inside_batch_orders_delete_before_insert(self, wm):
+        listener = BatchRecorder()
+        wm.add_listener(listener)
+        old = wm.insert("Emp", ("Mike", 100))
+        listener.events.clear()
+        with wm.batch():
+            new = wm.modify(old, {"salary": 200})
+        assert listener.events == [
+            ("-", "Emp", old.tid),
+            ("+", "Emp", new.tid),
+        ]
+
+
+class TestDeltaBatchNet:
+    def _wme(self, wm, values):
+        return wm.insert("Emp", values)
+
+    def test_net_drops_matched_pairs_only(self, wm):
+        a = self._wme(wm, ("A", 1))
+        b = self._wme(wm, ("B", 2))
+        batch = DeltaBatch([
+            Delta(INSERT, a),
+            Delta(INSERT, b),
+            Delta(DELETE, a),
+        ]).net()
+        assert [(d.op, d.tid) for d in batch] == [(INSERT, b.tid)]
+
+    def test_net_keeps_delete_of_preexisting_tuple(self, wm):
+        a = self._wme(wm, ("A", 1))
+        batch = DeltaBatch([Delta(DELETE, a)]).net()
+        assert [(d.op, d.tid) for d in batch] == [(DELETE, a.tid)]
+
+    def test_net_without_pairs_returns_same_deltas(self, wm):
+        a = self._wme(wm, ("A", 1))
+        batch = DeltaBatch([Delta(INSERT, a)])
+        assert batch.net() is batch
+
+    def test_relations_first_appearance_order(self, wm):
+        emp = self._wme(wm, ("A", 1))
+        dept = wm.insert("Dept", (1,))
+        batch = DeltaBatch([
+            Delta(INSERT, emp),
+            Delta(INSERT, dept),
+            Delta(DELETE, emp),
+        ])
+        assert batch.relations() == ["Emp", "Dept"]
+        groups = batch.by_relation()
+        assert [len(g) for g in groups.values()] == [2, 1]

@@ -1,0 +1,164 @@
+"""Batched vs tuple-at-a-time parity: the delta pipeline changes the
+granularity of change propagation, never its outcome.
+
+The same logical WM stream is driven three ways — tuple-at-a-time, as many
+small :class:`~repro.delta.DeltaBatch` deliveries, and as maximally large
+batches — through every registered strategy.  Conflict sets and space
+reports must be identical in all cases: §4.2.3's set-orientation is a
+performance property, not a semantic one.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.drivers import drive_stream
+from repro.engine import WorkingMemory
+from repro.instrument import Counters
+from repro.lang import analyze_program, parse_program
+from repro.match import STRATEGIES
+
+from tests.match.test_equivalence import RULES, assert_all_agree
+
+STRATEGY_NAMES = sorted(STRATEGIES)
+
+BATCH_SIZES = (1, 5, 10_000)
+
+
+def make_events(seed: int, length: int = 100):
+    """A reproducible insert/delete stream in bench-driver event format."""
+    rng = random.Random(seed)
+    names = ["Mike", "Sam", "Ann"]
+    events = []
+    live = 0
+    for _ in range(length):
+        if live > 0 and rng.random() >= 0.6:
+            events.append(("delete", rng.randrange(1 << 30)))
+            live -= 1
+            continue
+        cls = rng.choice(["Emp", "Emp", "Dept", "Audit"])
+        if cls == "Emp":
+            values = {
+                "name": rng.choice(names),
+                "salary": rng.randint(1, 4) * 50,
+                "dno": rng.randint(1, 3),
+                "manager": rng.choice(names),
+            }
+        elif cls == "Dept":
+            values = {
+                "dno": rng.randint(1, 3),
+                "dname": rng.choice(["Toy", "Shoe"]),
+                "floor": rng.randint(1, 2),
+                "manager": rng.choice(names),
+            }
+        else:
+            values = {"dno": rng.randint(1, 3)}
+        events.append(("insert", (cls, values)))
+        live += 1
+    return events
+
+
+def run_all_strategies(events, batch_size, backend="memory"):
+    program = parse_program(RULES)
+    analyses = analyze_program(program.rules, program.schemas)
+    wm = WorkingMemory(program.schemas, backend=backend)
+    strategies = [
+        STRATEGIES[name](wm, analyses, counters=Counters())
+        for name in STRATEGY_NAMES
+    ]
+    drive_stream(wm, events, batch_size=batch_size)
+    return strategies
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_batch_sizes_agree_per_strategy(seed):
+    events = make_events(seed)
+    outcomes = {}
+    for batch_size in BATCH_SIZES:
+        strategies = run_all_strategies(events, batch_size)
+        assert_all_agree(strategies, f"seed={seed} batch={batch_size}")
+        outcomes[batch_size] = {
+            s.strategy_name: (s.conflict_set_keys(), s.space_report())
+            for s in strategies
+        }
+    reference = outcomes[BATCH_SIZES[0]]
+    for batch_size in BATCH_SIZES[1:]:
+        for name, (keys, space) in outcomes[batch_size].items():
+            ref_keys, ref_space = reference[name]
+            assert keys == ref_keys, (
+                f"{name}: conflict set diverged at batch={batch_size}"
+            )
+            assert space == ref_space, (
+                f"{name}: space report diverged at batch={batch_size}"
+            )
+
+
+def test_batch_parity_on_sqlite_backend():
+    events = make_events(99, length=60)
+    outcomes = {}
+    for batch_size in (1, 7):
+        strategies = run_all_strategies(events, batch_size, backend="sqlite")
+        outcomes[batch_size] = {
+            s.strategy_name: s.conflict_set_keys() for s in strategies
+        }
+    assert outcomes[1] == outcomes[7]
+
+
+@pytest.mark.parametrize("seed", [3, 5])
+def test_deferred_notification_scope_agrees(seed):
+    """The act-phase mechanism — storage applied eagerly, notification
+    deferred via ``wm.batch()`` — also preserves the conflict sets."""
+    events = make_events(seed, length=80)
+
+    def apply_scoped(wm, chunk_size):
+        live = []
+        position = 0
+        while position < len(events):
+            chunk = events[position:position + chunk_size]
+            position += chunk_size
+            with wm.batch():
+                for kind, payload in chunk:
+                    if kind == "insert":
+                        class_name, values = payload
+                        live.append(wm.insert(class_name, values))
+                    else:
+                        live and wm.remove(live.pop(payload % len(live)))
+
+    program = parse_program(RULES)
+    analyses = analyze_program(program.rules, program.schemas)
+    outcomes = {}
+    for chunk_size in (1, 9, len(events)):
+        wm = WorkingMemory(program.schemas)
+        strategies = [
+            STRATEGIES[name](wm, analyses, counters=Counters())
+            for name in STRATEGY_NAMES
+        ]
+        apply_scoped(wm, chunk_size)
+        assert_all_agree(strategies, f"seed={seed} chunk={chunk_size}")
+        outcomes[chunk_size] = {
+            s.strategy_name: s.conflict_set_keys() for s in strategies
+        }
+    assert outcomes[1] == outcomes[9] == outcomes[len(events)]
+
+
+def test_annihilated_elements_never_reach_strategies():
+    """An element born and destroyed inside one deferred batch is invisible
+    to listeners (DeltaBatch.net), so e.g. markers never touch the dead
+    tuple's storage row."""
+    program = parse_program(RULES)
+    analyses = analyze_program(program.rules, program.schemas)
+    wm = WorkingMemory(program.schemas)
+    strategies = [
+        STRATEGIES[name](wm, analyses, counters=Counters())
+        for name in STRATEGY_NAMES
+    ]
+    with wm.batch():
+        ghost = wm.insert("Emp", ("Mike", 200, 1, "Sam"))
+        keeper = wm.insert("Emp", ("Sam", 100, 1, "Ann"))
+        wm.remove(ghost)
+    assert wm.size() == 1
+    assert_all_agree(strategies, "after annihilating batch")
+    # The surviving element is matched normally.
+    wm.insert("Dept", (1, "Toy", 1, "Sam"))
+    assert_all_agree(strategies, "after follow-up insert")
+    assert keeper.tid != ghost.tid

@@ -1,0 +1,166 @@
+"""Batch storage operations: ``insert_many``/``delete_many`` on both
+backends, and the SQL statement-count regression the batched path exists
+to win (§4.2.3 set-orientation at the storage layer).
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.obs import Observability
+from repro.storage import MemoryTable, RelationSchema, SqliteTable
+from repro.storage.catalog import Catalog
+
+SCHEMA = RelationSchema("Emp", ("name", "age", "dno"))
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def table(request):
+    if request.param == "memory":
+        yield MemoryTable(SCHEMA)
+    else:
+        t = SqliteTable(SCHEMA)
+        yield t
+        t.close()
+
+
+ROWS = [("Mike", 30, 1), ("Sam", 40, 1), ("Ann", 50, 2)]
+
+
+class TestInsertMany:
+    def test_returns_rows_in_input_order(self, table):
+        stored = table.insert_many(ROWS)
+        assert [r.values for r in stored] == ROWS
+        assert len(table) == 3
+
+    def test_tids_and_timetags_increase_in_input_order(self, table):
+        stored = table.insert_many(ROWS)
+        tids = [r.tid for r in stored]
+        timetags = [r.timetag for r in stored]
+        assert tids == sorted(tids)
+        assert timetags == sorted(timetags)
+        assert len(set(tids)) == 3
+
+    def test_explicit_timetags_are_preserved(self, table):
+        stored = table.insert_many(ROWS, timetags=[10, 20, 30])
+        assert [r.timetag for r in stored] == [10, 20, 30]
+
+    def test_stored_rows_are_fetchable(self, table):
+        for row in table.insert_many(ROWS):
+            assert table.get(row.tid).values == row.values
+
+    def test_empty_batch_is_noop(self, table):
+        assert table.insert_many([]) == []
+        assert len(table) == 0
+
+    def test_interleaves_with_single_inserts(self, table):
+        single = table.insert(("Solo", 1, 1))
+        batch = table.insert_many(ROWS)
+        after = table.insert(("Last", 2, 2))
+        tids = [single.tid, *[r.tid for r in batch], after.tid]
+        assert tids == sorted(tids)
+        assert len(table) == 5
+
+    def test_invalid_row_arity_rejected(self, table):
+        with pytest.raises(Exception):
+            table.insert_many([("Mike", 30)])
+        # A bad row anywhere in the batch must not store anything (the
+        # SQLite path validates before writing / rolls back).
+        with pytest.raises(Exception):
+            table.insert_many([("Mike", 30, 1), ("bad",)])
+        assert len(table) == 0
+
+
+class TestDeleteMany:
+    def test_returns_deleted_rows_in_input_order(self, table):
+        stored = table.insert_many(ROWS)
+        tids = [stored[2].tid, stored[0].tid]
+        deleted = table.delete_many(tids)
+        assert [r.tid for r in deleted] == tids
+        assert [r.values for r in deleted] == [("Ann", 50, 2), ("Mike", 30, 1)]
+        assert len(table) == 1
+
+    def test_missing_tid_raises(self, table):
+        stored = table.insert_many(ROWS)
+        with pytest.raises(StorageError):
+            table.delete_many([stored[0].tid, 9999])
+
+    def test_empty_batch_is_noop(self, table):
+        table.insert_many(ROWS)
+        assert table.delete_many([]) == []
+        assert len(table) == 3
+
+    def test_markers_dropped_with_rows(self, table):
+        stored = table.insert_many(ROWS)
+        table.add_marker(stored[0].tid, "c1")
+        table.add_marker(stored[1].tid, "c2")
+        table.delete_many([stored[0].tid, stored[1].tid])
+        assert table.marker_count() == 0
+
+
+class TestSqliteStatementCounts:
+    """The regression gate of the batched path: one executemany per batch,
+    counted once by ``storage.sql_statements``."""
+
+    def _catalog(self):
+        obs = Observability(collect_metrics=True)
+        catalog = Catalog(backend="sqlite", obs=obs)
+        table = catalog.create(SCHEMA)
+        return obs, catalog, table
+
+    def _statements(self, obs):
+        return obs.metrics.counter("storage.sql_statements").value
+
+    def test_insert_many_collapses_statements(self):
+        obs, _catalog, table = self._catalog()
+        rows = [(f"e{i}", i, i % 3) for i in range(50)]
+        before = self._statements(obs)
+        table.insert_many(rows)
+        batched = self._statements(obs) - before
+        obs2, _catalog2, table2 = self._catalog()
+        before = self._statements(obs2)
+        for row in rows:
+            table2.insert(row)
+        single = self._statements(obs2) - before
+        assert batched * 2 <= single
+        assert (
+            obs.metrics.counter("storage.sql_batched_rows").value == len(rows)
+        )
+
+    def test_delete_many_collapses_statements(self):
+        obs, _catalog, table = self._catalog()
+        rows = [(f"e{i}", i, i % 3) for i in range(50)]
+        stored = table.insert_many(rows)
+        before = self._statements(obs)
+        table.delete_many([r.tid for r in stored])
+        batched = self._statements(obs) - before
+
+        obs2, _catalog2, table2 = self._catalog()
+        stored2 = table2.insert_many(rows)
+        before = self._statements(obs2)
+        for row in stored2:
+            table2.delete(row.tid)
+        single = self._statements(obs2) - before
+        assert batched * 2 <= single
+
+    def test_catalog_transaction_counts_once(self):
+        obs, catalog, table = self._catalog()
+        with catalog.transaction():
+            table.insert_many([("a", 1, 1)])
+            table.insert_many([("b", 2, 2)])
+        assert obs.metrics.counter("storage.transactions").value == 1
+
+    def test_catalog_transaction_rolls_back_on_error(self):
+        _obs, catalog, table = self._catalog()
+        with pytest.raises(RuntimeError):
+            with catalog.transaction():
+                table.insert_many([("a", 1, 1)])
+                raise RuntimeError("boom")
+        assert len(table) == 0
+
+    def test_nested_transaction_is_flat(self):
+        obs, catalog, table = self._catalog()
+        with catalog.transaction():
+            with catalog.transaction():
+                table.insert_many([("a", 1, 1)])
+        assert len(table) == 1
+        assert obs.metrics.counter("storage.transactions").value == 1

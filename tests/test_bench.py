@@ -96,7 +96,7 @@ class TestReportsSmoke:
 
     def test_report_registry_complete(self):
         assert set(REPORTS) == {
-            "f1", "e1", "e2", "e3", "e4", "e6", "e7", "e8", "e9",
+            "f1", "e1", "e2", "e3", "e4", "e6", "e7", "e8", "e9", "a4",
         }
 
     def test_e9(self):

@@ -45,6 +45,33 @@ class TestRun:
         assert main(["run", program_file, "--max-cycles", "2"]) == 0
         assert "cycle limit reached" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("batch_size", ["1", "8"])
+    def test_batch_size_same_outcome(self, program_file, batch_size, capsys):
+        assert main(
+            ["run", program_file, "--batch-size", batch_size]
+        ) == 0
+        assert "3 cycles" in capsys.readouterr().out
+
+    def test_invalid_batch_size_rejected(self, program_file, capsys):
+        assert main(["run", program_file, "--batch-size", "0"]) == 1
+        assert "batch_size" in capsys.readouterr().err
+
+    def test_batch_size_recorded_in_manifest(self, program_file, tmp_path,
+                                             capsys, monkeypatch):
+        import json
+        import os
+
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["run", program_file, "--quiet", "--batch-size", "4",
+             "--manifest", str(tmp_path / "runs")]
+        ) == 0
+        out = capsys.readouterr().out
+        manifest_path = out.split("manifest:")[1].strip()
+        assert os.path.exists(manifest_path)
+        payload = json.loads(open(manifest_path).read())
+        assert payload["config"]["batch_size"] == 4
+
     def test_missing_file(self, capsys):
         assert main(["run", "/nonexistent.ops"]) == 2
         assert "error" in capsys.readouterr().err
