@@ -51,6 +51,21 @@ def _read(path: str) -> str:
         return handle.read()
 
 
+def _batch_size(text: str) -> int | str:
+    """Argparse type for ``--batch-size``: a positive int or ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
+    # Range validation happens in the engine (ExecutionError -> exit 1),
+    # matching the pre-'auto' CLI behaviour.
+    return value
+
+
 def _run_status(result) -> str:
     return (
         "halted" if result.halted
@@ -214,12 +229,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
         "--batch-size",
-        type=int,
+        type=_batch_size,
         default=1,
         metavar="N",
         help="act-phase delta batch size; 1 (default) propagates WM "
         "changes tuple-at-a-time, N>1 delivers them to the match "
-        "strategies as batches of up to N deltas (§4.2.3)",
+        "strategies as batches of up to N deltas (§4.2.3), and 'auto' "
+        "tunes the budget from the observed per-relation group fan-out",
     )
     run.add_argument("--quiet", action="store_true")
     run.add_argument(

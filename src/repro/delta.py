@@ -14,12 +14,20 @@ provides the batch currency the whole pipeline now speaks:
   transaction) and notifies listeners once;
 * :meth:`repro.match.base.MatchStrategy.on_delta` consumes a batch, by
   default falling back to the per-tuple callbacks, while the matching-
-  pattern and query strategies override it with genuinely set-oriented
-  maintenance grouped by target relation.
+  pattern and query strategies override it with set-oriented maintenance
+  grouped by target relation, and the Rete family turns a batch into
+  per-class token sets probing each opposing join memory once per
+  (node, group) — ``docs/ALGORITHMS.md`` §7–§8;
+* the §5 concurrent scheduler delivers one batch per transaction commit
+  point (:class:`repro.txn.transactions.RuleTransaction`, ``batched_act``),
+  so the maintenance process still completes before any lock is released.
 
 A batch is an *ordered* sequence of deltas; order matters to the sequential
 fallback and is preserved by :meth:`DeltaBatch.by_relation` within each
-relation group.
+relation group.  Before delivery a batch is *netted*
+(:meth:`DeltaBatch.net`): an insert/delete pair for the same
+``(relation, tid)`` annihilates, so listeners never see an element that
+does not outlive its batch.
 """
 
 from __future__ import annotations

@@ -118,6 +118,36 @@ class _WmTracer:
             )
 
 
+class BatchSizeTuner:
+    """Auto-tunes the act-phase batch size from delivered delta batches.
+
+    The signal is the same one the ``match.batch_group_max`` histogram
+    records: how wide the largest per-relation group of each batch is.
+    A full batch whose largest group covers most of it means set-at-a-time
+    maintenance is amortizing well — double the budget (up to ``ceiling``).
+    A batch fragmented across many relations (largest group ≤ a quarter of
+    the batch) means grouping is not biting — halve toward ``floor``.
+    """
+
+    def __init__(
+        self, initial: int = 8, floor: int = 2, ceiling: int = 256
+    ) -> None:
+        self.size = initial
+        self.floor = floor
+        self.ceiling = ceiling
+
+    def observe(self, batch: DeltaBatch) -> int:
+        """Feed one delivered batch; returns the (possibly new) size."""
+        observed = len(batch)
+        if observed:
+            group_max = max(len(g) for g in batch.by_relation().values())
+            if observed >= self.size and group_max * 2 >= observed:
+                self.size = min(self.size * 2, self.ceiling)
+            elif group_max * 4 <= observed:
+                self.size = max(self.size // 2, self.floor)
+        return self.size
+
+
 @dataclass
 class RunResult:
     """Summary of a :meth:`ProductionSystem.run` call."""
@@ -157,6 +187,12 @@ class ProductionSystem:
     by a not-yet-propagated negated-condition witness is only suppressed
     once the batch flushes, the one (documented) semantic difference of
     batched act.
+
+    ``batch_size="auto"`` delegates the budget to a
+    :class:`BatchSizeTuner`: every delivered batch's per-relation group
+    fan-out (the ``match.batch_group_max`` signal) grows or shrinks the
+    next cycle's budget; the current value is published as the
+    ``engine.auto_batch_size`` gauge when observability is on.
     """
 
     def __init__(
@@ -172,15 +208,19 @@ class ProductionSystem:
         firing: str = "instance",
         path: str | None = None,
         obs: Observability | None = None,
-        batch_size: int = 1,
+        batch_size: int | str = 1,
     ) -> None:
         if firing not in ("instance", "set"):
             raise ExecutionError(
                 f"unknown firing mode {firing!r}; use 'instance' or 'set'"
             )
-        if not isinstance(batch_size, int) or batch_size < 1:
+        self._auto_tuner: BatchSizeTuner | None = None
+        if batch_size == "auto":
+            self._auto_tuner = BatchSizeTuner()
+        elif not isinstance(batch_size, int) or batch_size < 1:
             raise ExecutionError(
-                f"batch_size must be a positive integer, got {batch_size!r}"
+                f"batch_size must be a positive integer or 'auto', "
+                f"got {batch_size!r}"
             )
         self.firing = firing
         self.batch_size = batch_size
@@ -314,6 +354,28 @@ class ProductionSystem:
             return
         obs.event(kind, cycle=self._current_cycle, detail=detail)
 
+    @property
+    def effective_batch_size(self) -> int:
+        """The act-phase batch budget for the next cycle.
+
+        The configured value when fixed; the tuner's current size under
+        ``batch_size="auto"``.
+        """
+        if self._auto_tuner is not None:
+            return self._auto_tuner.size
+        assert isinstance(self.batch_size, int)
+        return self.batch_size
+
+    def _observe_flush(self, batch: DeltaBatch) -> int | None:
+        """Feed one flushed batch to the auto-tuner; returns the new size
+        (``None`` when the batch size is fixed)."""
+        if self._auto_tuner is None:
+            return None
+        size = self._auto_tuner.observe(batch)
+        if self.obs.enabled:
+            self.obs.metrics.gauge("engine.auto_batch_size").set(size)
+        return size
+
     def _instantiation_live(self, instantiation: Instantiation) -> bool:
         """True while every matched element still exists in storage.
 
@@ -368,7 +430,8 @@ class ProductionSystem:
         self._current_cycle = cycle
         analysis = self.analyses[chosen.rule_name]
         tracing = obs.tracer.enabled
-        batching = self.batch_size > 1
+        batch_size = self.effective_batch_size
+        batching = batch_size > 1
         with obs.span("act", cycle=cycle, rule=chosen.rule_name) as act_span:
             if tracing:
                 obs.tracer.set_context(rule=chosen.rule_name)
@@ -400,12 +463,14 @@ class ProductionSystem:
                         break
                     if (
                         batching
-                        and self.wm.pending_deltas() >= self.batch_size
+                        and self.wm.pending_deltas() >= batch_size
                     ):
-                        self.wm.flush_batch()
+                        tuned = self._observe_flush(self.wm.flush_batch())
+                        if tuned is not None:
+                            batch_size = tuned
             finally:
                 if batching:
-                    self.wm.end_batch()
+                    self._observe_flush(self.wm.end_batch())
                 if tracing:
                     obs.tracer.clear_context("rule")
             act_span.set("fires", len(records))

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.delta import DeltaBatch
 from repro.engine.conflict import ConflictSet
 from repro.errors import RuleError
 from repro.instrument import Counters
@@ -59,6 +60,8 @@ class ReteNetwork:
     join_nodes: list[JoinNode] = field(default_factory=list)
     negative_nodes: list[NegativeNode] = field(default_factory=list)
     production_nodes: list[ProductionNode] = field(default_factory=list)
+    mirrors: list[MemoryMirror] = field(default_factory=list)
+    mirror_catalog: Catalog | None = None
 
     def insert(self, wme: StoredTuple) -> None:
         """Propagate a "+" token through the network."""
@@ -71,6 +74,73 @@ class ReteNetwork:
         """Propagate a "−" token: retract everything built on *wme*."""
         self.counters.tokens += 1
         self.runtime.remove_wme(wme)
+
+    def apply_batch(self, batch: DeltaBatch) -> None:
+        """Propagate a whole delta batch set-at-a-time (§4.2.3 for Rete).
+
+        The batch is netted first (an element born and destroyed inside
+        one batch never touches a join), then propagated in two phases:
+
+        1. every "−" token retracts its token tree; negative-node unblocks
+           are deferred and re-propagated as *sets* once all deletes ran;
+        2. "+" tokens flow as one token set per WM class — each alpha
+           memory filters the set in bulk and each successor join probes
+           its opposing memory once for the whole admitted set.
+
+        Mirrored LEFT/RIGHT relations buffer their writes for the duration
+        and flush through ``insert_many``/``delete_many`` in one catalog
+        transaction.  The final network state (memories, witness sets,
+        conflict set) equals the tuple-at-a-time result: deltas of distinct
+        elements commute, and each probe joins a consistent snapshot of the
+        opposing memory, so every cross pair of the batch's own deltas is
+        produced exactly once (the semi-naive two-sided delta-join
+        argument; see ``docs/ALGORITHMS.md`` §8).
+        """
+        batch = batch.net()
+        if not batch:
+            return
+        runtime = self.runtime
+        runtime.batch_seq += 1
+        for mirror in self.mirrors:
+            mirror.begin_buffer()
+        try:
+            deletes = batch.deletes
+            if deletes:
+                runtime.pending_unblocks = {}
+                try:
+                    for delta in deletes:
+                        self.counters.tokens += 1
+                        runtime.remove_wme(delta.wme)
+                    pending = runtime.pending_unblocks
+                finally:
+                    runtime.pending_unblocks = None
+                for node, entries in pending.items():
+                    node.flush_unblocked(runtime, entries, "(unblock)")
+            groups: dict[str, list[StoredTuple]] = {}
+            for delta in batch.inserts:
+                groups.setdefault(delta.relation, []).append(delta.wme)
+            for class_name, wmes in groups.items():
+                self.counters.tokens += len(wmes)
+                for amem in self.alpha_by_class.get(class_name, ()):
+                    admitted = amem.insert_set(wmes)
+                    for wme in admitted:
+                        runtime.register_alpha(wme, amem)
+                    if admitted:
+                        for successor in list(amem.successors):
+                            successor.right_activate_set(admitted, class_name)
+        finally:
+            self._flush_mirrors()
+
+    def _flush_mirrors(self) -> None:
+        if not self.mirrors:
+            return
+        if self.mirror_catalog is not None:
+            with self.mirror_catalog.transaction():
+                for mirror in self.mirrors:
+                    mirror.flush_buffer()
+        else:
+            for mirror in self.mirrors:
+                mirror.flush_buffer()
 
     # -- introspection / accounting ----------------------------------------
 
@@ -236,6 +306,7 @@ class NetworkBuilder:
             runtime=runtime,
             conflict_set=ConflictSet(),
             top=top,
+            mirror_catalog=mirror_catalog,
         )
         self.network.beta_memories.append(top)
 
@@ -245,9 +316,11 @@ class NetworkBuilder:
         if self.mirror_catalog is None:
             return None
         self._mirror_serial += 1
-        return MemoryMirror(
+        mirror = MemoryMirror(
             self.mirror_catalog, f"{prefix}_{self._mirror_serial}", arity
         )
+        self.network.mirrors.append(mirror)
+        return mirror
 
     # -- alpha network ----------------------------------------------------------
 

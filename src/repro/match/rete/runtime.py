@@ -14,6 +14,20 @@ condition elements.
 Memories optionally *mirror* their contents into storage-engine tables —
 the LEFT/RIGHT relations of the paper's §3.2 DBMS implementation — so space
 and I/O accounting flows through the storage counters.
+
+Two propagation granularities coexist (§4.2.3's set-orientation applied to
+the Rete family):
+
+* tuple-at-a-time — ``try_activate`` / ``right_activate`` /
+  ``left_activate_new_token`` process one "+"/"−" token exactly as OPS5
+  does; this remains the path for single-delta changes and retraction
+  cascades;
+* set-at-a-time — the ``*_set`` variants carry whole *token sets* (all
+  same-class WM elements of one delta batch, or all tokens one upstream
+  group produced) and probe the opposing LEFT/RIGHT memory relation **once
+  per (node, batch group)** instead of once per token.  Each probe is
+  traced as a ``rete.batch_join`` span; mirrored memories buffer their
+  writes during a batch and flush through ``insert_many``/``delete_many``.
 """
 
 from __future__ import annotations
@@ -24,6 +38,9 @@ from dataclasses import dataclass, field
 from repro.engine.conflict import ConflictSet, Instantiation
 from repro.instrument import Counters
 from repro.lang.analysis import RuleAnalysis
+from repro.obs import Observability
+from repro.obs.metrics import SIZE_BUCKETS
+from repro.obs.tracing import NULL_SPAN
 from repro.storage.catalog import Catalog
 from repro.storage.predicate import compare
 from repro.storage.schema import RelationSchema
@@ -89,21 +106,61 @@ class Token:
 
 
 class MemoryMirror:
-    """Mirrors a memory's contents into a storage-engine table (§3.2)."""
+    """Mirrors a memory's contents into a storage-engine table (§3.2).
+
+    Handles are the mirrored objects themselves (a :class:`StoredTuple` for
+    alpha rows, a :class:`Token` for beta rows), so an add/remove pair for
+    one object always cancels correctly even inside a buffered batch.
+
+    During set-at-a-time propagation the owning network brackets changes in
+    :meth:`begin_buffer` / :meth:`flush_buffer`: writes are accumulated and
+    applied through ``delete_many``/``insert_many`` — one bulk statement per
+    LEFT/RIGHT relation per batch, inside one catalog transaction.  An
+    object added *and* removed while buffering never reaches storage.
+    """
 
     def __init__(self, catalog: Catalog, name: str, arity: int) -> None:
         attributes = tuple(f"w{i + 1}" for i in range(max(arity, 1)))
         self.table = catalog.create(RelationSchema(name, attributes))
-        self._rows: dict[int, int] = {}
+        self._rows: dict[object, int] = {}
+        self._buffering = False
+        self._pending_adds: dict[object, tuple] = {}
+        self._pending_removes: list[int] = []
 
-    def add(self, handle: int, tids: tuple[int | None, ...]) -> None:
-        row = self.table.insert(tuple(tids) or (None,))
+    def add(self, handle: object, tids: tuple[int | None, ...]) -> None:
+        values = tuple(tids) or (None,)
+        if self._buffering:
+            self._pending_adds[handle] = values
+            return
+        row = self.table.insert(values)
         self._rows[handle] = row.tid
 
-    def remove(self, handle: int) -> None:
+    def remove(self, handle: object) -> None:
+        if self._buffering and self._pending_adds.pop(handle, None) is not None:
+            return  # born and retracted inside the batch: annihilates
         row_tid = self._rows.pop(handle, None)
-        if row_tid is not None:
+        if row_tid is None:
+            return
+        if self._buffering:
+            self._pending_removes.append(row_tid)
+        else:
             self.table.delete(row_tid)
+
+    def begin_buffer(self) -> None:
+        """Start accumulating writes for one delta batch."""
+        self._buffering = True
+
+    def flush_buffer(self) -> None:
+        """Apply the accumulated writes set-at-a-time."""
+        self._buffering = False
+        if self._pending_removes:
+            self.table.delete_many(self._pending_removes)
+            self._pending_removes = []
+        if self._pending_adds:
+            stored = self.table.insert_many(list(self._pending_adds.values()))
+            for handle, row in zip(self._pending_adds, stored):
+                self._rows[handle] = row.tid
+            self._pending_adds = {}
 
     def cells(self) -> int:
         return len(self.table) * self.table.schema.arity
@@ -136,18 +193,38 @@ class AlphaMemory:
             return False
         self.items[wme_key(wme)] = wme
         if self.mirror is not None:
-            self.mirror.add(id(wme), (wme.tid,))
+            self.mirror.add(wme, (wme.tid,))
         self.counters.tokens += 1
         for successor in list(self.successors):
             successor.right_activate(wme)
         return True
+
+    def insert_set(self, wmes: list[StoredTuple]) -> list[StoredTuple]:
+        """Run the constant test over a whole token set; admit survivors.
+
+        One node activation covers the set.  Successors are *not* activated
+        here — the caller propagates the admitted set once per successor,
+        so each opposing memory is probed once per (node, batch group).
+        """
+        self.counters.node_activations += 1
+        admitted: list[StoredTuple] = []
+        for wme in wmes:
+            self.counters.comparisons += 1
+            if not self.test(wme.values):
+                continue
+            self.items[wme_key(wme)] = wme
+            if self.mirror is not None:
+                self.mirror.add(wme, (wme.tid,))
+            self.counters.tokens += 1
+            admitted.append(wme)
+        return admitted
 
     def retract(self, wme: StoredTuple) -> bool:
         """Remove *wme* if present; returns whether it was stored."""
         if self.items.pop(wme_key(wme), None) is None:
             return False
         if self.mirror is not None:
-            self.mirror.remove(id(wme))
+            self.mirror.remove(wme)
         return True
 
     def __len__(self) -> int:
@@ -190,14 +267,43 @@ class BetaMemory:
             tids = tuple(
                 w.tid if w is not None else None for w in token.chain()
             )
-            self.mirror.add(id(token), tids)
+            self.mirror.add(token, tids)
         for child in list(self.children):
             child.left_activate_new_token(runtime, token)
+
+    def left_activate_set(
+        self,
+        runtime: "ReteRuntime",
+        pairs: list[tuple[Token, StoredTuple | None]],
+        group: str,
+    ) -> None:
+        """Set counterpart of :meth:`left_activate`.
+
+        Admits one token per ``(parent, wme)`` pair, then activates each
+        child exactly once with the whole new-token set, preserving the
+        one-probe-per-(node, group) invariant downstream.
+        """
+        self.counters.node_activations += 1
+        tokens: list[Token] = []
+        for parent, wme in pairs:
+            token = Token(parent, wme, self)
+            self.items.append(token)
+            self.counters.tokens += 1
+            if wme is not None:
+                runtime.register_token(wme, token)
+            if self.mirror is not None:
+                tids = tuple(
+                    w.tid if w is not None else None for w in token.chain()
+                )
+                self.mirror.add(token, tids)
+            tokens.append(token)
+        for child in list(self.children):
+            child.left_activate_token_set(runtime, tokens, group)
 
     def remove_token(self, token: Token) -> None:
         self.items.remove(token)
         if self.mirror is not None:
-            self.mirror.remove(id(token))
+            self.mirror.remove(token)
         for child in self.children:
             child.forget_token(token)
 
@@ -221,6 +327,44 @@ def _run_join_tests(
         ):
             return False
     return True
+
+
+def _probe_span(
+    runtime: "ReteRuntime",
+    node_name: str,
+    input_side: str,
+    probed: str,
+    group: str,
+    size: int,
+):
+    """Open the ``rete.batch_join`` span for one opposing-memory probe.
+
+    Counts the probe (``rete.join_probes``) and the incoming token-set size
+    (``rete.tokenset_size``); returns :data:`NULL_SPAN` when unobserved so
+    the disabled path stays a single predicate check.
+    """
+    obs = runtime.obs
+    if obs is None or not obs.enabled:
+        return NULL_SPAN
+    metrics = obs.metrics
+    metrics.counter("rete.join_probes").inc()
+    metrics.histogram("rete.tokenset_size", SIZE_BUCKETS).observe(size)
+    return obs.span(
+        "rete.batch_join",
+        node=node_name,
+        input=input_side,
+        probed=probed,
+        seq=runtime.batch_seq,
+        group=group,
+        size=size,
+    )
+
+
+def _record_pairs(runtime: "ReteRuntime", count: int) -> None:
+    """Record how many join pairs one probe produced."""
+    obs = runtime.obs
+    if obs is not None and obs.enabled:
+        obs.metrics.histogram("rete.join_pairs", SIZE_BUCKETS).observe(count)
 
 
 class JoinNode:
@@ -258,6 +402,47 @@ class JoinNode:
             if _run_join_tests(self.tests, token, wme, self.counters):
                 for child in list(self.children):
                     child.left_activate(runtime, token, wme)
+
+    def left_activate_token_set(
+        self, runtime: "ReteRuntime", tokens: list[Token], group: str
+    ) -> None:
+        """A LEFT token set arrives: probe the RIGHT memory once for all."""
+        self.counters.node_activations += 1
+        with _probe_span(
+            runtime, self.name, "left", "RIGHT", group, len(tokens)
+        ) as span:
+            rights = list(self.amem.items.values())
+            pairs = [
+                (token, wme)
+                for token in tokens
+                for wme in rights
+                if _run_join_tests(self.tests, token, wme, self.counters)
+            ]
+            span.set("pairs", len(pairs))
+        _record_pairs(runtime, len(pairs))
+        if pairs:
+            for child in list(self.children):
+                child.left_activate_set(runtime, pairs, group)
+
+    def right_activate_set(self, wmes: list[StoredTuple], group: str) -> None:
+        """A RIGHT token set arrives: probe the LEFT memory once for all."""
+        self.counters.node_activations += 1
+        runtime = self.runtime
+        with _probe_span(
+            runtime, self.name, "right", "LEFT", group, len(wmes)
+        ) as span:
+            lefts = list(self.bmem.items)
+            pairs = [
+                (token, wme)
+                for wme in wmes
+                for token in lefts
+                if _run_join_tests(self.tests, token, wme, self.counters)
+            ]
+            span.set("pairs", len(pairs))
+        _record_pairs(runtime, len(pairs))
+        if pairs:
+            for child in list(self.children):
+                child.left_activate_set(runtime, pairs, group)
 
     def forget_token(self, token: Token) -> None:
         """A LEFT token disappeared; plain joins keep no per-token state."""
@@ -316,6 +501,62 @@ class NegativeNode:
                 if was_empty:
                     self._retract_propagation(runtime, token)
 
+    def left_activate_token_set(
+        self, runtime: "ReteRuntime", tokens: list[Token], group: str
+    ) -> None:
+        """A LEFT token set: one RIGHT probe computes every witness set."""
+        self.counters.node_activations += 1
+        with _probe_span(
+            runtime, self.name, "left", "RIGHT", group, len(tokens)
+        ) as span:
+            rights = list(self.amem.items.values())
+            unblocked: list[tuple[Token, StoredTuple | None]] = []
+            for token in tokens:
+                matches = {
+                    wme_key(wme)
+                    for wme in rights
+                    if _run_join_tests(self.tests, token, wme, self.counters)
+                }
+                self.results[token] = matches
+                for key in matches:
+                    runtime.register_negative(key, self, token)
+                if not matches:
+                    unblocked.append((token, None))
+            span.set("pairs", len(unblocked))
+        _record_pairs(runtime, len(unblocked))
+        if unblocked:
+            for child in list(self.children):
+                child.left_activate_set(runtime, unblocked, group)
+
+    def right_activate_set(self, wmes: list[StoredTuple], group: str) -> None:
+        """A RIGHT token set: one LEFT probe updates every witness set.
+
+        Tokens whose witness set became non-empty have their downstream
+        propagation retracted after the probe (final state is the same as
+        retracting at the first new witness, since retraction only depends
+        on the token, not on which witness blocked it).
+        """
+        self.counters.node_activations += 1
+        runtime = self.runtime
+        newly_blocked: list[Token] = []
+        with _probe_span(
+            runtime, self.name, "right", "LEFT", group, len(wmes)
+        ) as span:
+            for token, matches in list(self.results.items()):
+                was_empty = not matches
+                hit = False
+                for wme in wmes:
+                    if _run_join_tests(self.tests, token, wme, self.counters):
+                        key = wme_key(wme)
+                        matches.add(key)
+                        runtime.register_negative(key, self, token)
+                        hit = True
+                if was_empty and hit:
+                    newly_blocked.append(token)
+            span.set("pairs", len(newly_blocked))
+        for token in newly_blocked:
+            self._retract_propagation(runtime, token)
+
     def wme_unblocked(self, runtime: "ReteRuntime", key: WmeKey, token: Token) -> None:
         """A RIGHT witness vanished; re-propagate when none remain."""
         matches = self.results.get(token)
@@ -325,6 +566,35 @@ class NegativeNode:
         if not matches:
             for child in list(self.children):
                 child.left_activate(runtime, token, None)
+
+    def flush_unblocked(
+        self,
+        runtime: "ReteRuntime",
+        entries: list[tuple[WmeKey, Token]],
+        group: str,
+    ) -> None:
+        """Deferred batch unblocks: re-propagate tokens with no witnesses.
+
+        During a batch's delete phase the runtime records vanished
+        witnesses instead of re-propagating immediately; once every "−"
+        token has been processed, the survivors are propagated as one set.
+        A token retracted later in the same delete phase has left
+        ``results`` by now and is skipped — it no longer exists.
+        """
+        self.counters.node_activations += 1
+        pairs: list[tuple[Token, StoredTuple | None]] = []
+        seen: set[int] = set()
+        for key, token in entries:
+            matches = self.results.get(token)
+            if matches is None:
+                continue
+            matches.discard(key)
+            if not matches and id(token) not in seen:
+                seen.add(id(token))
+                pairs.append((token, None))
+        if pairs:
+            for child in list(self.children):
+                child.left_activate_set(runtime, pairs, group)
 
     def _retract_propagation(self, runtime: "ReteRuntime", token: Token) -> None:
         """Remove this node's downstream tokens built on *token*."""
@@ -373,6 +643,21 @@ class ProductionNode:
             runtime.register_token(wme, token)
         self.conflict_set.add(self._instantiation(token))
 
+    def left_activate_set(
+        self,
+        runtime: "ReteRuntime",
+        pairs: list[tuple[Token, StoredTuple | None]],
+        group: str,
+    ) -> None:
+        """Set counterpart of :meth:`left_activate` (one activation)."""
+        self.counters.node_activations += 1
+        for parent, wme in pairs:
+            token = Token(parent, wme, self)
+            self.items.append(token)
+            if wme is not None:
+                runtime.register_token(wme, token)
+            self.conflict_set.add(self._instantiation(token))
+
     def token_deleted(self, token: Token) -> None:
         self.items.remove(token)
         self.conflict_set.remove(self._instantiation(token))
@@ -403,6 +688,18 @@ class ReteRuntime:
         self.wme_tokens: dict[WmeKey, list[Token]] = {}
         self.wme_alpha: dict[WmeKey, list[AlphaMemory]] = {}
         self.wme_negatives: dict[WmeKey, list[tuple[NegativeNode, Token]]] = {}
+        #: Observability used by the batched propagation path (set by the
+        #: owning strategy; ``None`` keeps every probe unobserved).
+        self.obs: Observability | None = None
+        #: Monotone id of the delta batch currently propagating; stamped on
+        #: every ``rete.batch_join`` span so probes can be grouped per batch.
+        self.batch_seq = 0
+        #: While a batch's delete phase runs, vanished negative-node
+        #: witnesses are parked here instead of re-propagating one at a
+        #: time; the network flushes them as token sets afterwards.
+        self.pending_unblocks: (
+            dict[NegativeNode, list[tuple[WmeKey, Token]]] | None
+        ) = None
 
     def register_token(self, wme: StoredTuple, token: Token) -> None:
         self.wme_tokens.setdefault(wme_key(wme), []).append(token)
@@ -428,7 +725,10 @@ class ReteRuntime:
             self.delete_token(bucket[0])
         self.wme_tokens.pop(key, None)
         for node, token in self.wme_negatives.pop(key, []):
-            node.wme_unblocked(self, key, token)
+            if self.pending_unblocks is not None:
+                self.pending_unblocks.setdefault(node, []).append((key, token))
+            else:
+                node.wme_unblocked(self, key, token)
 
     def delete_token(self, token: Token) -> None:
         """Delete *token* and every descendant (retraction)."""

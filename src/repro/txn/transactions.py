@@ -79,7 +79,15 @@ def plan_locks(
 
 @dataclass
 class RuleTransaction:
-    """One conflict-set entry executing under 2PL."""
+    """One conflict-set entry executing under 2PL.
+
+    ``batched_act`` (the default) is §5's batched act mode: the firing's
+    RHS effects are grouped into one :class:`~repro.delta.DeltaBatch` per
+    commit point, so the maintenance process consumes them set-at-a-time
+    — once, just before the locks are released.  ``batched_act=False``
+    propagates each WM change tuple-at-a-time as the RHS executes (the
+    pre-batching behaviour, kept for comparison runs).
+    """
 
     txn_id: int
     instantiation: Instantiation
@@ -91,6 +99,9 @@ class RuleTransaction:
     blocked_ticks: int = 0
     retries_left: int = 3
     outcome: ActionOutcome | None = None
+    batched_act: bool = True
+    #: WM deltas this transaction's commit point delivered (batched mode).
+    commit_deltas: int = 0
 
     @classmethod
     def build(
@@ -99,6 +110,7 @@ class RuleTransaction:
         instantiation: Instantiation,
         analysis: RuleAnalysis,
         retries: int = 3,
+        batched_act: bool = True,
     ) -> "RuleTransaction":
         return cls(
             txn_id=txn_id,
@@ -106,6 +118,7 @@ class RuleTransaction:
             analysis=analysis,
             requests=plan_locks(analysis, instantiation),
             retries_left=retries,
+            batched_act=batched_act,
         )
 
     @property
@@ -153,6 +166,7 @@ class RuleTransaction:
             ) as span:
                 self._execute(system, locks, history)
                 span.set("state", self.state)
+                span.set("deltas", self.commit_deltas)
         else:
             self._execute(system, locks, history)
         self.steps_taken += 1
@@ -175,11 +189,19 @@ class RuleTransaction:
             kind = "w" if request.mode in ("X", "IX") else "r"
             history.record(self.txn_id, kind, request.target)
         system.mark_fired(self.instantiation)
-        # One firing's WM changes are one delta batch: the maintenance
-        # process consumes the RHS effects set-at-a-time, and it still
-        # completes before the commit point below, preserving the paper's
-        # "no lock released before maintenance" discipline.
-        with system.wm.batch():
+        if self.batched_act:
+            # One firing's WM changes are one delta batch per commit
+            # point: the maintenance process consumes the RHS effects
+            # set-at-a-time, and it still completes before the commit
+            # point below, preserving the paper's "no lock released
+            # before maintenance" discipline.
+            before = system.wm.pending_deltas()
+            with system.wm.batch():
+                self.outcome = system.executor.execute(
+                    self.analysis, self.instantiation
+                )
+                self.commit_deltas = system.wm.pending_deltas() - before
+        else:
             self.outcome = system.executor.execute(
                 self.analysis, self.instantiation
             )
@@ -194,6 +216,9 @@ class RuleTransaction:
         history.committed(self.txn_id)
         locks.release_all(self.txn_id)
         self.state = COMMITTED
+        obs = system.obs
+        if obs.enabled and self.batched_act:
+            obs.metrics.counter("txn.commit_deltas").inc(self.commit_deltas)
 
     def abort(self, locks: LockManager, consume_retry: bool = True) -> None:
         """Abort: release locks, rewind for retry.

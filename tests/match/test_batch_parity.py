@@ -141,6 +141,90 @@ def test_deferred_notification_scope_agrees(seed):
     assert outcomes[1] == outcomes[9] == outcomes[len(events)]
 
 
+RETE_FAMILY = ("rete", "rete-shared", "rete-dbms")
+
+RETE_BATCH_SIZES = (1, 8, 64)
+
+
+def _rete_memory_snapshot(strategy):
+    """Canonical contents of every Rete memory, comparable across runs.
+
+    Alpha memories as WME-key sets, beta memories as multisets of token
+    tid chains, negative nodes as (chain, witness-set) multisets, and the
+    persisted LEFT/RIGHT mirror relations as multisets of row *values*
+    (mirror row tids depend on write order, the values do not).
+    """
+    network = strategy.network
+
+    def chain_key(token):
+        return tuple(
+            (w.relation, w.tid) if w is not None else None
+            for w in token.chain()
+        )
+
+    alpha = {
+        amem.name: frozenset(amem.items) for amem in network.alpha_memories
+    }
+    beta = {
+        bmem.name: sorted(
+            (chain_key(token) for token in bmem.items), key=repr
+        )
+        for bmem in network.beta_memories
+    }
+    negative = {
+        node.name: sorted(
+            (
+                (chain_key(token), tuple(sorted(matches)))
+                for token, matches in node.results.items()
+            ),
+            key=repr,
+        )
+        for node in network.negative_nodes
+    }
+    mirrors = {
+        mirror.table.schema.name: sorted(
+            (row.values for row in mirror.table.scan()), key=repr
+        )
+        for mirror in network.mirrors
+    }
+    return {
+        "alpha": alpha, "beta": beta, "negative": negative, "mirrors": mirrors
+    }
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_rete_memory_contents_agree_across_batch_sizes(backend):
+    """Token-batched propagation leaves the network in the exact state
+    tuple-at-a-time propagation does: same conflict sets, same alpha/beta
+    memory contents, same negative-node witness sets, same LEFT/RIGHT
+    mirror relations — at batch sizes 1, 8 and 64, on both backends."""
+    events = make_events(11, length=90)
+    program = parse_program(RULES)
+    analyses = analyze_program(program.rules, program.schemas)
+    snapshots = {}
+    for batch_size in RETE_BATCH_SIZES:
+        wm = WorkingMemory(program.schemas, backend=backend)
+        strategies = {
+            name: STRATEGIES[name](wm, analyses, counters=Counters())
+            for name in RETE_FAMILY
+        }
+        drive_stream(wm, events, batch_size=batch_size)
+        snapshots[batch_size] = {
+            name: (s.conflict_set_keys(), _rete_memory_snapshot(s))
+            for name, s in strategies.items()
+        }
+    reference = snapshots[RETE_BATCH_SIZES[0]]
+    for batch_size in RETE_BATCH_SIZES[1:]:
+        for name, (keys, memories) in snapshots[batch_size].items():
+            ref_keys, ref_memories = reference[name]
+            assert keys == ref_keys, (
+                f"{name}: conflict set diverged at batch={batch_size}"
+            )
+            assert memories == ref_memories, (
+                f"{name}: memory contents diverged at batch={batch_size}"
+            )
+
+
 def test_annihilated_elements_never_reach_strategies():
     """An element born and destroyed inside one deferred batch is invisible
     to listeners (DeltaBatch.net), so e.g. markers never touch the dead

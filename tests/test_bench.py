@@ -97,7 +97,17 @@ class TestReportsSmoke:
     def test_report_registry_complete(self):
         assert set(REPORTS) == {
             "f1", "e1", "e2", "e3", "e4", "e6", "e7", "e8", "e9", "a4",
+            "a5",
         }
+
+    def test_a5(self):
+        from repro.bench.report import report_a5
+
+        _, rows = report_a5(
+            stream_length=60, batch_sizes=(1, 8), strategies=("rete",)
+        )
+        assert len(rows) == 2
+        assert len({r["conflict_size"] for r in rows}) == 1
 
     def test_e9(self):
         from repro.bench.report import report_e9
