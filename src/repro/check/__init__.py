@@ -1,0 +1,68 @@
+"""repro.check — differential fuzzing of the match/engine stack.
+
+The paper's central claim is that many match algorithms — Rete variants,
+the simplified/TREAT-like schemes, the matching-patterns store, marker
+passing and predicate indexing — compute the *same* conflict set over the
+same working memory.  This package turns that claim into an executable
+oracle:
+
+* :mod:`repro.check.trace` — a :class:`Trace` is a seeded program plus a
+  WM op script (insert/delete/modify/detach/attach), JSON-serializable.
+* :mod:`repro.check.generator` — seeded trace generation over rotating
+  profiles (negation, disjunction, modify-heavy, churn, pool-sharing,
+  mid-run reattach).
+* :mod:`repro.check.oracle` — replays one trace through every
+  (strategy × backend × batch-size) configuration and compares conflict
+  sets, fired-rule sequences, final WM contents and (within the Rete
+  family) memory-node snapshots at shared sync points.
+* :mod:`repro.check.shrinker` — ddmin over ops plus greedy rule pruning,
+  minimizing a failing trace to the smallest repro.
+* :mod:`repro.check.corpus` — promotes shrunk repros into
+  ``tests/corpus/`` where tier-1 pytest replays them forever.
+* :mod:`repro.check.runner` — the ``repro check --budget N`` campaign
+  driver with ``check.*`` spans and metrics.
+"""
+
+from repro.check.corpus import load_corpus, load_trace, replay, save_repro
+from repro.check.generator import PROFILES, TraceProfile, generate_trace
+from repro.check.oracle import (
+    DEFAULT_BACKENDS,
+    DEFAULT_BATCH_SIZES,
+    RETE_FAMILY,
+    CheckConfig,
+    Divergence,
+    ReplayResult,
+    default_matrix,
+    replay_config,
+    rete_memory_snapshot,
+    run_trace,
+)
+from repro.check.runner import CheckFailure, CheckReport, run_check
+from repro.check.shrinker import shrink
+from repro.check.trace import Trace, TraceOp
+
+__all__ = [
+    "CheckConfig",
+    "CheckFailure",
+    "CheckReport",
+    "DEFAULT_BACKENDS",
+    "DEFAULT_BATCH_SIZES",
+    "Divergence",
+    "PROFILES",
+    "RETE_FAMILY",
+    "ReplayResult",
+    "Trace",
+    "TraceOp",
+    "TraceProfile",
+    "default_matrix",
+    "generate_trace",
+    "load_corpus",
+    "load_trace",
+    "replay",
+    "replay_config",
+    "rete_memory_snapshot",
+    "run_check",
+    "run_trace",
+    "save_repro",
+    "shrink",
+]

@@ -1,0 +1,166 @@
+"""Seeded trace generation for the differential harness.
+
+Builds on :mod:`repro.workload`: each trace pairs a generated program with
+a random WM op script.  Trace *profiles* rotate with the trace index so a
+budget of N traces sweeps plain joins, negation-heavy rule bases,
+disjunctive tests, modify-heavy action mixes, interleaved insert/delete
+churn, shared-condition pools, and mid-run strategy attach/detach.
+
+Generation is a pure function of ``(seed, index)``: the program comes from
+:func:`repro.workload.generate_program` (whose RNG-stream invariant keeps
+profiles orthogonal) and the op script from a dedicated
+``random.Random(f"{seed}/{index}/ops")`` stream, so any failing trace is
+reproducible from its seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.check.trace import Trace, TraceOp
+from repro.lang.format import format_program
+from repro.lang.parser import parse_program
+from repro.workload.generator import WorkloadSpec, generate_program
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """One family of traces: workload-spec knobs plus an op mix."""
+
+    name: str
+    spec_overrides: tuple[tuple[str, object], ...] = ()
+    ops: int = 28
+    delete_fraction: float = 0.2
+    modify_fraction: float = 0.1
+    reattach_fraction: float = 0.0
+
+    def spec(self, seed: int) -> WorkloadSpec:
+        base = WorkloadSpec(
+            classes=3,
+            attributes=3,
+            rules=6,
+            min_conditions=1,
+            max_conditions=3,
+            domain=4,
+            seed=seed,
+        )
+        return replace(base, **dict(self.spec_overrides))
+
+
+#: The rotation; ``generate_trace(seed, i)`` uses ``PROFILES[i % len]``.
+PROFILES: tuple[TraceProfile, ...] = (
+    TraceProfile(name="plain"),
+    TraceProfile(
+        name="negation",
+        spec_overrides=(("negation_probability", 0.45), ("rules", 7)),
+    ),
+    TraceProfile(
+        name="disjunction",
+        spec_overrides=(
+            ("disjunction_probability", 0.5),
+            ("negation_probability", 0.2),
+        ),
+    ),
+    TraceProfile(
+        name="modify-heavy",
+        spec_overrides=(("modify_action_probability", 0.8),),
+        modify_fraction=0.3,
+    ),
+    TraceProfile(
+        name="churn",
+        ops=36,
+        delete_fraction=0.4,
+        spec_overrides=(("negation_probability", 0.25),),
+    ),
+    TraceProfile(
+        name="pool-sharing",
+        spec_overrides=(
+            ("shared_condition_pool", 4),
+            ("negation_probability", 0.25),
+            ("rules", 8),
+        ),
+    ),
+    TraceProfile(
+        name="reattach",
+        reattach_fraction=0.12,
+        spec_overrides=(("negation_probability", 0.25),),
+    ),
+)
+
+
+def generate_ops(
+    profile: TraceProfile,
+    rng: random.Random,
+    targets: list[tuple[str, tuple[str, ...]]],
+    domain: int,
+) -> tuple[TraceOp, ...]:
+    """The op script: inserts, index-addressed deletes/modifies, reattaches.
+
+    *targets* lists the insertable classes as (name, attributes) pairs;
+    values and modify payloads are drawn from ``0..domain-1``.
+    """
+    ops: list[TraceOp] = []
+    for _ in range(profile.ops):
+        roll = rng.random()
+        if roll < profile.reattach_fraction:
+            # Detach and attach as separate ops: the gap between them (and
+            # a shrunk trace keeping only one of the pair) are both valid.
+            ops.append(TraceOp.detach())
+            ops.append(TraceOp.attach())
+            continue
+        roll = rng.random()
+        class_name, attributes = targets[rng.randrange(len(targets))]
+        if roll < profile.delete_fraction:
+            ops.append(TraceOp.delete(rng.randrange(1 << 16)))
+        elif roll < profile.delete_fraction + profile.modify_fraction:
+            attribute = attributes[min(1, len(attributes) - 1)]
+            ops.append(
+                TraceOp.modify(
+                    rng.randrange(1 << 16),
+                    {attribute: rng.randrange(domain)},
+                )
+            )
+        else:
+            values = tuple(
+                rng.randrange(domain) for _ in range(len(attributes))
+            )
+            ops.append(TraceOp.insert(class_name, values))
+    return tuple(ops)
+
+
+def generate_trace(
+    seed: int, index: int, program: str | None = None
+) -> Trace:
+    """Trace number *index* of the fuzz run seeded with *seed*.
+
+    With *program* given (the ``repro check FILE`` form), only the op
+    script is generated; insert/modify targets come from the program's own
+    ``literalize`` schemas rather than the profile's synthetic spec.
+    """
+    profile = PROFILES[index % len(PROFILES)]
+    spec = profile.spec(seed * 10_007 + index)
+    if program is None:
+        program = format_program(generate_program(spec).program)
+        targets = [
+            (spec.class_name(i),
+             tuple(spec.attribute_name(j) for j in range(spec.attributes)))
+            for i in range(spec.classes)
+        ]
+    else:
+        schemas = parse_program(program).schemas
+        targets = [
+            (schema.name, tuple(schema.attributes))
+            for schema in schemas.values()
+        ]
+        if not targets:
+            raise ValueError("program declares no WM classes to fuzz")
+    rng = random.Random(f"{seed}/{index}/ops")
+    ops = generate_ops(profile, rng, targets, spec.domain)
+    return Trace(
+        name=f"seed{seed}-{index}-{profile.name}",
+        seed=seed,
+        program=program,
+        ops=ops,
+        max_cycles=30,
+    )

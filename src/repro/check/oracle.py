@@ -1,0 +1,446 @@
+"""The cross-strategy differential oracle.
+
+Every registered match strategy computes the *same* match function; the
+engine's batched act path and both storage backends change only *how* it
+is computed.  The oracle replays one :class:`~repro.check.trace.Trace`
+through a configuration matrix — strategy × backend × act batch size —
+and asserts that every observable agrees:
+
+* conflict-set keys at every synchronization point (after every op for
+  tuple-at-a-time configs, after every control op and at end-of-ops for
+  all configs, and after every recognize-act cycle — act flushes its
+  delta batch at cycle end, so cycle boundaries are sync points in every
+  configuration);
+* the fired-rule sequence, as (cycle, rule, instantiation-key) triples;
+* final working-memory contents, as (tid, timetag, values) rows;
+* for the Rete family, the contents of every alpha/beta memory, negative
+  node and persisted mirror relation after every cycle — compared across
+  configs sharing a strategy, since different strategies legitimately
+  build different networks.
+
+A disagreement (or an exception inside any replay) is reported as a
+:class:`Divergence` naming the two configurations and the first sync
+point where they differ.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+
+from repro.engine import BatchSizeTuner, ProductionSystem
+from repro.match import STRATEGIES
+from repro.check.trace import Trace, TraceOp
+
+#: Strategies whose ``network`` attribute exposes Rete memories.
+RETE_FAMILY = ("rete", "rete-shared", "rete-dbms")
+
+DEFAULT_BACKENDS = ("memory", "sqlite")
+DEFAULT_BATCH_SIZES = (1, 8, "auto")
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """One cell of the oracle's configuration matrix."""
+
+    strategy: str
+    backend: str = "memory"
+    batch_size: int | str = 1
+
+    @property
+    def label(self) -> str:
+        return f"{self.strategy}/{self.backend}/batch={self.batch_size}"
+
+
+def resolve_strategies(strategies) -> dict:
+    """Normalize a strategies argument to a name → class mapping.
+
+    Accepts ``None`` (the full :data:`repro.match.STRATEGIES` registry), a
+    list of registered names, or an explicit mapping of name → class (the
+    mapping form lets tests inject broken shims under synthetic names).
+    """
+    if strategies is None:
+        return dict(STRATEGIES)
+    if isinstance(strategies, dict):
+        return dict(strategies)
+    return {name: STRATEGIES[name] for name in strategies}
+
+
+def default_matrix(
+    strategies=None,
+    backends=DEFAULT_BACKENDS,
+    batch_sizes=DEFAULT_BATCH_SIZES,
+) -> list[CheckConfig]:
+    """The full strategy × backend × batch-size matrix.
+
+    *strategies* may be a list of names or a mapping of name → strategy
+    class (the mapping form lets tests inject broken shims).
+    """
+    names = sorted(resolve_strategies(strategies))
+    return [
+        CheckConfig(strategy=name, backend=backend, batch_size=batch_size)
+        for name in names
+        for backend in backends
+        for batch_size in batch_sizes
+    ]
+
+
+@dataclass
+class Divergence:
+    """A reproducible disagreement between two oracle configurations."""
+
+    kind: str  # "conflict" | "fired" | "wm" | "rete-memory" | "error"
+    config: str
+    reference: str
+    detail: str
+    sync_point: tuple | None = None
+
+    def describe(self) -> str:
+        where = f" at {self.sync_point}" if self.sync_point else ""
+        return (
+            f"[{self.kind}] {self.config} vs {self.reference}{where}: "
+            f"{self.detail}"
+        )
+
+
+@dataclass
+class ReplayResult:
+    """Observables of one configuration's replay of one trace."""
+
+    config: CheckConfig
+    checkpoints: dict[tuple, frozenset] = field(default_factory=dict)
+    fired: list[tuple[int, str, tuple]] = field(default_factory=list)
+    final_wm: dict[str, tuple] = field(default_factory=dict)
+    rete_memories: dict[tuple, dict] = field(default_factory=dict)
+
+
+def rete_memory_snapshot(strategy) -> dict:
+    """Canonical contents of every Rete memory, comparable across runs.
+
+    Alpha memories as WME-key sets, beta memories as multisets of token
+    tid chains, negative nodes as (chain, witness-set) multisets, and the
+    persisted LEFT/RIGHT mirror relations as multisets of row *values*
+    (mirror row tids depend on write order, the values do not).
+    """
+    network = strategy.network
+
+    def chain_key(token):
+        return tuple(
+            (w.relation, w.tid) if w is not None else None
+            for w in token.chain()
+        )
+
+    alpha = {
+        amem.name: frozenset(amem.items) for amem in network.alpha_memories
+    }
+    beta = {
+        bmem.name: sorted(
+            (chain_key(token) for token in bmem.items), key=repr
+        )
+        for bmem in network.beta_memories
+    }
+    negative = {
+        node.name: sorted(
+            (
+                (chain_key(token), tuple(sorted(matches)))
+                for token, matches in node.results.items()
+            ),
+            key=repr,
+        )
+        for node in network.negative_nodes
+    }
+    mirrors = {
+        mirror.table.schema.name: sorted(
+            (row.values for row in mirror.table.scan()), key=repr
+        )
+        for mirror in network.mirrors
+    }
+    return {
+        "alpha": alpha, "beta": beta, "negative": negative, "mirrors": mirrors
+    }
+
+
+def _wm_contents(system: ProductionSystem) -> dict[str, tuple]:
+    return {
+        class_name: tuple(
+            sorted(
+                (wme.tid, wme.timetag, wme.values)
+                for wme in system.wm.tuples(class_name)
+            )
+        )
+        for class_name in system.wm.schemas
+    }
+
+
+class _Replayer:
+    """Applies a trace to one configured system, recording observables."""
+
+    def __init__(self, trace: Trace, config: CheckConfig, strategies) -> None:
+        self.trace = trace
+        self.config = config
+        self.strategy_cls = resolve_strategies(strategies)[config.strategy]
+        self.system = ProductionSystem(
+            trace.program,
+            strategy=self.strategy_cls,
+            resolution="lex",
+            backend=config.backend,
+            batch_size=config.batch_size,
+        )
+        self.result = ReplayResult(config=config)
+        self.attached = True
+        # Ops are applied in chunks matching the act-phase granularity:
+        # size 1 replays tuple-at-a-time, fixed N replays as delta batches
+        # of up to N, and "auto" follows a local BatchSizeTuner fed with
+        # every flushed batch (the same policy the engine's act phase
+        # uses).
+        self._tuner = (
+            BatchSizeTuner() if config.batch_size == "auto" else None
+        )
+
+    # -- op application ------------------------------------------------------
+
+    def _chunk_budget(self) -> int:
+        if self._tuner is not None:
+            return self._tuner.size
+        assert isinstance(self.config.batch_size, int)
+        return self.config.batch_size
+
+    def _apply_chunk(self, chunk: list[TraceOp], live: list) -> None:
+        wm = self.system.wm
+        if len(chunk) == 1 and self._chunk_budget() == 1:
+            self._apply_op(chunk[0], live)
+            return
+        wm.begin_batch()
+        try:
+            for op in chunk:
+                self._apply_op(op, live)
+        finally:
+            batch = wm.end_batch()
+            if self._tuner is not None:
+                self._tuner.observe(batch)
+
+    def _apply_op(self, op: TraceOp, live: list) -> None:
+        wm = self.system.wm
+        if op.kind == "insert":
+            live.append(wm.insert(op.class_name, op.values))
+        elif op.kind == "delete":
+            if live:
+                wm.remove(live.pop(op.index % len(live)))
+        elif op.kind == "modify":
+            if live:
+                slot = op.index % len(live)
+                changes = dict(op.changes or ())
+                schema = wm.schema(live[slot].relation)
+                applicable = {
+                    k: v for k, v in changes.items() if k in schema.attributes
+                }
+                if applicable:
+                    live[slot] = wm.modify(live[slot], applicable)
+
+    def _control(self, op: TraceOp) -> None:
+        system = self.system
+        if op.kind == "detach":
+            if self.attached:
+                system.strategy.detach()
+                self.attached = False
+        elif op.kind == "attach":
+            if self.attached:
+                system.strategy.detach()
+            system.strategy = self.strategy_cls(
+                system.wm, system.analyses, counters=system.counters
+            )
+            self.attached = True
+
+    def _checkpoint(self, tag: tuple) -> None:
+        self.result.checkpoints[tag] = frozenset(
+            self.system.strategy.conflict_set_keys()
+        )
+        if self.config.strategy in RETE_FAMILY and self.attached:
+            self.result.rete_memories[tag] = rete_memory_snapshot(
+                self.system.strategy
+            )
+
+    # -- phases --------------------------------------------------------------
+
+    def apply_ops(self) -> None:
+        live: list = []
+        per_op = self._chunk_budget() == 1 and self._tuner is None
+        chunk: list[TraceOp] = []
+        for position, op in enumerate(self.trace.ops):
+            if op.kind in ("detach", "attach"):
+                if chunk:
+                    self._apply_chunk(chunk, live)
+                    chunk = []
+                self._control(op)
+                self._checkpoint(("ctl", position))
+                continue
+            chunk.append(op)
+            if per_op:
+                self._apply_chunk(chunk, live)
+                chunk = []
+                self._checkpoint(("op", position))
+            elif len(chunk) >= self._chunk_budget():
+                self._apply_chunk(chunk, live)
+                chunk = []
+        if chunk:
+            self._apply_chunk(chunk, live)
+        self._checkpoint(("end_ops",))
+
+    def run_cycles(self) -> None:
+        system = self.system
+        for cycle in range(1, self.trace.max_cycles + 1):
+            records = system.step_records(cycle)
+            if not records:
+                break
+            for record in records:
+                self.result.fired.append(
+                    (cycle, record.instantiation.rule_name,
+                     record.instantiation.key)
+                )
+            self._checkpoint(("cycle", cycle))
+            if any(record.outcome.halted for record in records):
+                break
+        self.result.final_wm = _wm_contents(system)
+
+    def replay(self) -> ReplayResult:
+        self.apply_ops()
+        self.run_cycles()
+        return self.result
+
+
+def replay_config(
+    trace: Trace, config: CheckConfig, strategies=None
+) -> ReplayResult:
+    """Replay *trace* under one configuration, returning its observables."""
+    return _Replayer(trace, config, strategies).replay()
+
+
+def _compare(
+    reference: ReplayResult, candidate: ReplayResult
+) -> Divergence | None:
+    """First disagreement between two replays, or ``None``."""
+    ref_label = reference.config.label
+    cand_label = candidate.config.label
+    shared = sorted(
+        set(reference.checkpoints) & set(candidate.checkpoints), key=repr
+    )
+    for tag in shared:
+        if reference.checkpoints[tag] != candidate.checkpoints[tag]:
+            missing = reference.checkpoints[tag] - candidate.checkpoints[tag]
+            extra = candidate.checkpoints[tag] - reference.checkpoints[tag]
+            return Divergence(
+                kind="conflict",
+                config=cand_label,
+                reference=ref_label,
+                sync_point=tag,
+                detail=(
+                    f"conflict sets differ: missing={sorted(missing, key=repr)} "
+                    f"extra={sorted(extra, key=repr)}"
+                ),
+            )
+    if reference.fired != candidate.fired:
+        length = min(len(reference.fired), len(candidate.fired))
+        position = next(
+            (
+                i
+                for i in range(length)
+                if reference.fired[i] != candidate.fired[i]
+            ),
+            length,
+        )
+        ref_at = reference.fired[position] if position < len(reference.fired) else None
+        cand_at = candidate.fired[position] if position < len(candidate.fired) else None
+        return Divergence(
+            kind="fired",
+            config=cand_label,
+            reference=ref_label,
+            sync_point=("fire", position),
+            detail=f"fired sequences differ: {ref_at} vs {cand_at}",
+        )
+    if reference.final_wm != candidate.final_wm:
+        differing = sorted(
+            rel
+            for rel in set(reference.final_wm) | set(candidate.final_wm)
+            if reference.final_wm.get(rel) != candidate.final_wm.get(rel)
+        )
+        return Divergence(
+            kind="wm",
+            config=cand_label,
+            reference=ref_label,
+            detail=f"final WM differs in relations {differing}",
+        )
+    return None
+
+
+def _compare_rete(
+    reference: ReplayResult, candidate: ReplayResult
+) -> Divergence | None:
+    shared = sorted(
+        set(reference.rete_memories) & set(candidate.rete_memories), key=repr
+    )
+    for tag in shared:
+        if reference.rete_memories[tag] != candidate.rete_memories[tag]:
+            ref_snap = reference.rete_memories[tag]
+            cand_snap = candidate.rete_memories[tag]
+            parts = [
+                part
+                for part in ("alpha", "beta", "negative", "mirrors")
+                if ref_snap[part] != cand_snap[part]
+            ]
+            return Divergence(
+                kind="rete-memory",
+                config=candidate.config.label,
+                reference=reference.config.label,
+                sync_point=tag,
+                detail=f"memory-node contents differ in {parts}",
+            )
+    return None
+
+
+def run_trace(
+    trace: Trace,
+    configs: list[CheckConfig] | None = None,
+    strategies=None,
+    obs=None,
+) -> Divergence | None:
+    """Replay *trace* across the matrix; return the first divergence.
+
+    The first configuration of the matrix is the reference.  An exception
+    inside any replay is itself a finding (kind ``"error"``), since every
+    trace is valid by construction.
+    """
+    if configs is None:
+        configs = default_matrix(strategies)
+    if not configs:
+        raise ValueError("oracle needs at least one configuration")
+    results: list[ReplayResult] = []
+    for config in configs:
+        try:
+            if obs is not None and obs.enabled:
+                with obs.span("check.replay", config=config.label):
+                    results.append(replay_config(trace, config, strategies))
+            else:
+                results.append(replay_config(trace, config, strategies))
+        except Exception:
+            return Divergence(
+                kind="error",
+                config=config.label,
+                reference=configs[0].label,
+                detail=traceback.format_exc(limit=8),
+            )
+    reference = results[0]
+    for candidate in results[1:]:
+        divergence = _compare(reference, candidate)
+        if divergence is not None:
+            return divergence
+    # Memory-node contents are only comparable within one strategy.
+    by_strategy: dict[str, ReplayResult] = {}
+    for result in results:
+        if result.config.strategy not in RETE_FAMILY:
+            continue
+        anchor = by_strategy.setdefault(result.config.strategy, result)
+        if anchor is not result:
+            divergence = _compare_rete(anchor, result)
+            if divergence is not None:
+                return divergence
+    return None

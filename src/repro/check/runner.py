@@ -1,0 +1,162 @@
+"""The fuzz campaign driver behind ``repro check --budget N``.
+
+Generates *budget* traces (profiles rotating per index), runs each through
+the differential oracle, shrinks any failure to a minimal repro, and
+optionally promotes the shrunk trace into a corpus directory.
+
+Observability: each trace replays inside a ``check.trace`` span; the run
+emits ``check.traces`` / ``check.failures`` / ``check.replays`` counters
+and a ``check.trace_us`` histogram, and failures are reported as
+``check.divergence`` events — all through the standard
+:class:`repro.obs.Observability` facade, so ``--trace-out`` /
+``--metrics-out`` work for fuzz runs exactly as for ``repro run``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.check.corpus import save_repro
+from repro.check.generator import generate_trace
+from repro.check.oracle import (
+    CheckConfig,
+    Divergence,
+    default_matrix,
+    run_trace,
+)
+from repro.check.shrinker import shrink
+from repro.check.trace import Trace
+from repro.obs import Observability
+
+
+@dataclass
+class CheckFailure:
+    """One fuzz finding: the original and shrunk traces plus the verdict."""
+
+    trace: Trace
+    divergence: Divergence
+    shrunk: Trace | None = None
+    repro_path: str | None = None
+
+
+@dataclass
+class CheckReport:
+    """Summary of one fuzz campaign."""
+
+    budget: int
+    seed: int
+    configs: int
+    traces_run: int = 0
+    elapsed_s: float = 0.0
+    failures: list[CheckFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return (
+            f"check: {self.traces_run}/{self.budget} traces × "
+            f"{self.configs} configs in {self.elapsed_s:.1f}s — {status}"
+        )
+
+
+#: Shrinking re-runs the oracle per ddmin candidate; cap how many findings
+#: get the full treatment so a broken build doesn't turn the campaign into
+#: an hours-long shrink-fest.
+MAX_SHRINKS = 3
+
+
+def _pair_matrix(
+    divergence: Divergence, configs: list[CheckConfig]
+) -> list[CheckConfig]:
+    """The [reference, diverging] sub-matrix used as the shrink predicate.
+
+    Falls back to the full matrix when the labels cannot be resolved
+    (e.g. an "error" divergence raised before any comparison).
+    """
+    by_label = {config.label: config for config in configs}
+    reference = by_label.get(divergence.reference)
+    diverging = by_label.get(divergence.config)
+    if reference is None or diverging is None or reference == diverging:
+        return configs
+    return [reference, diverging]
+
+
+def run_check(
+    budget: int,
+    seed: int = 0,
+    strategies=None,
+    backends=None,
+    batch_sizes=None,
+    program: str | None = None,
+    save_repro_dir: str | None = None,
+    obs: Observability | None = None,
+    shrink_failures: bool = True,
+) -> CheckReport:
+    """Run a fuzz campaign of *budget* traces; returns the report.
+
+    *strategies* restricts (or, as a mapping of name → class, replaces)
+    the strategy set; *backends* / *batch_sizes* restrict their axes.
+    *program* pins the rule base (only op scripts are fuzzed).
+    """
+    obs = obs or Observability()
+    matrix_kwargs = {}
+    if backends is not None:
+        matrix_kwargs["backends"] = tuple(backends)
+    if batch_sizes is not None:
+        matrix_kwargs["batch_sizes"] = tuple(batch_sizes)
+    configs = default_matrix(strategies, **matrix_kwargs)
+    report = CheckReport(budget=budget, seed=seed, configs=len(configs))
+    observing = obs.enabled
+    started = time.perf_counter()
+    for index in range(budget):
+        trace = generate_trace(seed, index, program=program)
+        trace_started = time.perf_counter()
+        with obs.span(
+            "check.trace", trace=trace.name, ops=len(trace.ops)
+        ) as span:
+            divergence = run_trace(
+                trace, configs=configs, strategies=strategies, obs=obs
+            )
+            span.set("ok", divergence is None)
+        report.traces_run += 1
+        if observing:
+            metrics = obs.metrics
+            metrics.counter("check.traces").inc()
+            metrics.counter("check.replays").inc(len(configs))
+            metrics.histogram("check.trace_us").observe(
+                (time.perf_counter() - trace_started) * 1e6
+            )
+        if divergence is None:
+            continue
+        failure = CheckFailure(trace=trace, divergence=divergence)
+        report.failures.append(failure)
+        if observing:
+            obs.metrics.counter("check.failures").inc()
+        obs.event(
+            "check.divergence",
+            trace=trace.name,
+            detail=divergence.describe(),
+        )
+        if shrink_failures and len(report.failures) <= MAX_SHRINKS:
+            pair = _pair_matrix(divergence, configs)
+
+            def still_fails(candidate: Trace) -> bool:
+                return (
+                    run_trace(candidate, configs=pair, strategies=strategies)
+                    is not None
+                )
+
+            with obs.span("check.shrink", trace=trace.name) as span:
+                failure.shrunk = shrink(trace, still_fails)
+                span.set("ops", len(failure.shrunk.ops))
+        if save_repro_dir is not None:
+            promoted = failure.shrunk or failure.trace
+            failure.repro_path = save_repro(
+                promoted, save_repro_dir, divergence
+            )
+    report.elapsed_s = time.perf_counter() - started
+    return report

@@ -1,0 +1,94 @@
+"""Trace minimization by delta debugging.
+
+Given a failing trace and a predicate that re-runs the oracle, the
+shrinker produces the smallest trace it can that still fails:
+
+1. **Op ddmin** — classic delta debugging over the op script.  Every op
+   is total (deletes/modifies of an empty live list are no-ops), so any
+   subsequence is a valid trace and can be tested directly.
+2. **Rule pruning** — greedily drop whole productions from the program,
+   keeping the drop whenever the trace still fails.
+3. A final op-ddmin pass, since a smaller rule base usually lets more ops
+   go.
+
+The predicate is typically restricted to the two configurations named by
+the original :class:`~repro.check.oracle.Divergence` — re-running the full
+matrix for every candidate would make shrinking quadratically expensive
+without changing the result.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.check.trace import Trace
+from repro.lang.format import format_program
+from repro.lang.parser import parse_program
+
+FailingPredicate = Callable[[Trace], bool]
+
+
+def _ddmin_ops(trace: Trace, failing: FailingPredicate) -> Trace:
+    """Zeller/Hildebrandt ddmin over the op sequence."""
+    ops = list(trace.ops)
+    granularity = 2
+    while len(ops) >= 2:
+        chunk = max(1, len(ops) // granularity)
+        reduced = False
+        for start in range(0, len(ops), chunk):
+            candidate = ops[:start] + ops[start + chunk:]
+            if not candidate:
+                continue
+            attempt = trace.with_ops(candidate)
+            if failing(attempt):
+                ops = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(ops):
+                break
+            granularity = min(granularity * 2, len(ops))
+    # Try the empty script last: some bugs live purely in rule compilation.
+    if ops and failing(trace.with_ops([])):
+        ops = []
+    return trace.with_ops(ops)
+
+
+def _prune_rules(trace: Trace, failing: FailingPredicate) -> Trace:
+    """Greedily drop productions while the trace still fails."""
+    program = parse_program(trace.program)
+    rules = list(program.rules)
+    changed = True
+    while changed and len(rules) > 1:
+        changed = False
+        for index in range(len(rules)):
+            candidate_rules = rules[:index] + rules[index + 1:]
+            candidate = trace.with_program(
+                format_program(
+                    type(program)(
+                        schemas=program.schemas, rules=candidate_rules
+                    )
+                )
+            )
+            if failing(candidate):
+                rules = candidate_rules
+                changed = True
+                break
+    return trace.with_program(
+        format_program(type(program)(schemas=program.schemas, rules=rules))
+    )
+
+
+def shrink(trace: Trace, failing: FailingPredicate) -> Trace:
+    """Minimize *trace* under *failing*; the input must itself fail.
+
+    Raises ``ValueError`` when the input trace does not fail — a shrink
+    of a passing trace would "minimize" to an arbitrary passing trace.
+    """
+    if not failing(trace):
+        raise ValueError("shrink() needs a failing trace")
+    shrunk = _ddmin_ops(trace, failing)
+    shrunk = _prune_rules(shrunk, failing)
+    shrunk = _ddmin_ops(shrunk, failing)
+    return shrunk

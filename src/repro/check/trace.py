@@ -1,0 +1,144 @@
+"""Fuzz traces: a program plus a working-memory operation script.
+
+A :class:`Trace` is the unit the differential harness generates, replays,
+shrinks and checks into the regression corpus: an OPS5 program (stored as
+source text, so corpus files are human-readable and diff-able) and a
+sequence of :class:`TraceOp` working-memory operations applied before the
+recognize-act cycles run.
+
+Op vocabulary
+-------------
+* ``insert`` — insert ``values`` into ``class_name``.
+* ``delete`` — remove the live element at ``index % len(live)``; a no-op
+  when nothing is live.
+* ``modify`` — apply ``changes`` to the live element at
+  ``index % len(live)``; a no-op when nothing is live.
+* ``detach`` — detach the match strategy mid-stream (conflict set empties);
+  a no-op when already detached.
+* ``attach`` — (re)attach a fresh strategy instance, which replays the
+  whole WM through its constructor.
+
+Every op is *total*: it is valid in any state, so any subsequence of a
+trace's ops is itself a valid trace — the property the delta-debugging
+shrinker relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from repro.storage.schema import Value
+
+#: JSON wire format of one op: ["insert", class, [values]] /
+#: ["delete", index] / ["modify", index, {attr: value}] / ["detach"] /
+#: ["attach"].
+OpJson = list
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One working-memory operation of a fuzz trace."""
+
+    kind: str
+    class_name: str | None = None
+    values: tuple[Value, ...] | None = None
+    index: int | None = None
+    changes: tuple[tuple[str, Value], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "delete", "modify", "detach", "attach"):
+            raise ValueError(f"unknown trace op kind {self.kind!r}")
+
+    def to_json(self) -> OpJson:
+        if self.kind == "insert":
+            return ["insert", self.class_name, list(self.values or ())]
+        if self.kind == "delete":
+            return ["delete", self.index]
+        if self.kind == "modify":
+            return ["modify", self.index, dict(self.changes or ())]
+        return [self.kind]
+
+    @classmethod
+    def from_json(cls, data: OpJson) -> "TraceOp":
+        kind = data[0]
+        if kind == "insert":
+            return cls(kind, class_name=data[1], values=tuple(data[2]))
+        if kind == "delete":
+            return cls(kind, index=int(data[1]))
+        if kind == "modify":
+            return cls(
+                kind,
+                index=int(data[1]),
+                changes=tuple(sorted(data[2].items())),
+            )
+        return cls(kind)
+
+    @classmethod
+    def insert(cls, class_name: str, values: tuple[Value, ...]) -> "TraceOp":
+        return cls("insert", class_name=class_name, values=tuple(values))
+
+    @classmethod
+    def delete(cls, index: int) -> "TraceOp":
+        return cls("delete", index=index)
+
+    @classmethod
+    def modify(cls, index: int, changes: dict[str, Value]) -> "TraceOp":
+        return cls("modify", index=index, changes=tuple(sorted(changes.items())))
+
+    @classmethod
+    def detach(cls) -> "TraceOp":
+        return cls("detach")
+
+    @classmethod
+    def attach(cls) -> "TraceOp":
+        return cls("attach")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A differential-fuzz test case: program text + WM op script."""
+
+    name: str
+    seed: int
+    program: str
+    ops: tuple[TraceOp, ...] = ()
+    max_cycles: int = 30
+    reason: str = ""
+
+    def with_ops(self, ops) -> "Trace":
+        return replace(self, ops=tuple(ops))
+
+    def with_program(self, program: str) -> "Trace":
+        return replace(self, program=program)
+
+    def with_reason(self, reason: str) -> "Trace":
+        return replace(self, reason=reason)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "reason": self.reason,
+            "program": self.program,
+            "ops": [op.to_json() for op in self.ops],
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Trace":
+        return cls(
+            name=data["name"],
+            seed=int(data.get("seed", 0)),
+            program=data["program"],
+            ops=tuple(TraceOp.from_json(op) for op in data.get("ops", [])),
+            max_cycles=int(data.get("max_cycles", 30)),
+            reason=data.get("reason", ""),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        return cls.from_json(json.loads(text))

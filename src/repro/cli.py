@@ -125,7 +125,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             metrics=snapshot,
             trace_path=args.trace_out,
             metrics_path=args.metrics_out,
-            result={"cycles": result.cycles, "status": status},
+            result={
+                "cycles": result.cycles,
+                "status": status,
+                # The batch size actually used by the act phase: for
+                # --batch-size auto this is the tuner's final budget, so
+                # a manifest alone is enough to replay the run exactly.
+                "resolved_batch_size": system.effective_batch_size,
+            },
         )
         print("manifest:", manifest.write(base_dir=args.manifest))
     return 0
@@ -162,7 +169,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv(text: str) -> list[str]:
+    return [item for item in (part.strip() for part in text.split(",")) if item]
+
+
 def cmd_check(args: argparse.Namespace) -> int:
+    if args.budget is not None or args.file is None:
+        return _cmd_check_fuzz(args)
     program = parse_program(_read(args.file))
     analyses = analyze_program(program.rules, program.schemas)
     print(
@@ -181,6 +194,64 @@ def cmd_check(args: argparse.Namespace) -> int:
             f"{len(analysis.rule.actions)} action(s)"
         )
     return 0
+
+
+def _cmd_check_fuzz(args: argparse.Namespace) -> int:
+    """``repro check [FILE] --budget N``: the differential fuzz campaign.
+
+    Replays each generated trace through every configured
+    strategy × backend × batch-size combination and reports the first
+    divergence per trace; failures are shrunk with ddmin and, under
+    ``--save-repro``, written into the regression corpus.  With FILE the
+    rule base is pinned and only op scripts are fuzzed.
+    """
+    from repro.check import run_check
+
+    budget = args.budget if args.budget is not None else 50
+    strategies = None
+    if args.strategies:
+        names = _csv(args.strategies)
+        unknown = sorted(set(names) - set(STRATEGIES))
+        if unknown:
+            print(f"error: unknown strategies: {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        strategies = names
+    backends = _csv(args.backends) if args.backends else None
+    batch_sizes = None
+    if args.batch_sizes:
+        batch_sizes = [_batch_size(text) for text in _csv(args.batch_sizes)]
+    obs = Observability()
+    if args.trace_out:
+        obs.add_sink(JsonlFileSink(args.trace_out))
+    if args.metrics_out:
+        obs.enable_metrics()
+    report = run_check(
+        budget=budget,
+        seed=args.seed,
+        strategies=strategies,
+        backends=backends,
+        batch_sizes=batch_sizes,
+        program=_read(args.file) if args.file else None,
+        save_repro_dir=args.save_repro,
+        obs=obs,
+    )
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(obs.metrics.snapshot(), handle, indent=2, default=str)
+            handle.write("\n")
+    obs.close()
+    for failure in report.failures:
+        print(f"FAIL {failure.trace.name}: {failure.divergence.describe()}")
+        if failure.shrunk is not None:
+            print(
+                f"  shrunk to {len(failure.shrunk.ops)} op(s), "
+                f"{failure.shrunk.program.count('(p ')} rule(s)"
+            )
+        if failure.repro_path:
+            print(f"  repro saved: {failure.repro_path}")
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_format(args: argparse.Namespace) -> int:
@@ -275,8 +346,58 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=0)
     stats.set_defaults(handler=cmd_stats)
 
-    check = commands.add_parser("check", help="validate and summarize rules")
-    check.add_argument("file")
+    check = commands.add_parser(
+        "check",
+        help="validate a program, or fuzz the strategy matrix (--budget)",
+    )
+    check.add_argument(
+        "file",
+        nargs="?",
+        help="program to validate; with --budget, pins the fuzzed rule base",
+    )
+    check.add_argument(
+        "--budget",
+        type=int,
+        metavar="N",
+        help="differential-fuzz N generated traces across the "
+        "strategy × backend × batch-size matrix (omitting FILE "
+        "defaults the budget to 50)",
+    )
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--strategies",
+        metavar="A,B,...",
+        help="comma-separated strategy subset (default: all)",
+    )
+    check.add_argument(
+        "--backends",
+        metavar="A,B",
+        help="comma-separated backend subset (default: memory,sqlite)",
+    )
+    check.add_argument(
+        "--batch-sizes",
+        metavar="N,M,...",
+        help="comma-separated batch sizes, ints or 'auto' "
+        "(default: 1,8,auto)",
+    )
+    check.add_argument(
+        "--save-repro",
+        nargs="?",
+        const="tests/corpus",
+        metavar="DIR",
+        help="write shrunk failing traces into DIR "
+        "(default: tests/corpus/)",
+    )
+    check.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write check.* spans and events as JSON lines to FILE",
+    )
+    check.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the final metrics snapshot as JSON to FILE",
+    )
     check.set_defaults(handler=cmd_check)
 
     fmt = commands.add_parser("format", help="normalize a program to text")

@@ -8,6 +8,7 @@ from repro.engine.actions import (
 )
 from repro.engine.conflict import ConflictSet, Instantiation, InstantiationKey
 from repro.engine.interpreter import (
+    BatchSizeTuner,
     FiredRule,
     ProductionSystem,
     RunResult,
@@ -26,6 +27,7 @@ from repro.engine.wm import WMListener, WorkingMemory
 __all__ = [
     "ActionExecutor",
     "ActionOutcome",
+    "BatchSizeTuner",
     "ConflictSet",
     "FiredRule",
     "Halt",

@@ -9,6 +9,14 @@ of §5.2.
 
 All strategies apply *refraction*: an instantiation that has fired does not
 fire again (tracked by the engine, not here).
+
+Every resolver here induces a **total** order: the primary criterion is
+followed by the instantiation's canonical key, so candidates that tie on
+recency/salience resolve identically no matter how the conflict set happens
+to enumerate them.  Match strategies build the conflict set in different
+orders, so without this tie-break the *fired sequence* (not the conflict
+set) could differ between strategies — the differential-fuzz oracle in
+``repro.check`` depends on it not doing so.
 """
 
 from __future__ import annotations
@@ -22,12 +30,34 @@ from repro.errors import ExecutionError
 Resolver = Callable[[Sequence[Instantiation]], Instantiation]
 
 
+def canonical_key(instantiation: Instantiation) -> tuple:
+    """A strategy-independent total order over instantiations.
+
+    Based on the identity key (rule name + per-CE (relation, tid) slots)
+    with ``None`` slots (negated condition elements) mapped to a sortable
+    sentinel — the raw key is not comparable across instantiations because
+    ``None`` and tuples do not order.
+    """
+    rule_name, slots = instantiation.key
+    return (
+        rule_name,
+        tuple(
+            (0, "", -1) if slot is None else (1, slot[0], slot[1])
+            for slot in slots
+        ),
+    )
+
+
 def _recency_key(instantiation: Instantiation) -> tuple:
-    """LEX ordering key: timetags descending, then specificity."""
+    """LEX ordering key: timetags descending, then specificity.
+
+    The canonical key rides along as the final component, making the
+    order total (see the module docstring).
+    """
     specificity = sum(
         1 for wme in instantiation.wmes if wme is not None
     )
-    return (instantiation.timetags, specificity)
+    return (instantiation.timetags, specificity, canonical_key(instantiation))
 
 
 def lex(candidates: Sequence[Instantiation]) -> Instantiation:
@@ -63,7 +93,7 @@ class SeededRandom:
         self._rng = random.Random(seed)
 
     def __call__(self, candidates: Sequence[Instantiation]) -> Instantiation:
-        ordered = sorted(candidates, key=lambda i: i.key)
+        ordered = sorted(candidates, key=canonical_key)
         return ordered[self._rng.randrange(len(ordered))]
 
 

@@ -29,6 +29,7 @@ from repro.lang.ast import (
     ConditionElement,
     Constant,
     ConstExpr,
+    DisjunctionTest,
     Expression,
     HaltAction,
     MakeAction,
@@ -62,6 +63,18 @@ def test(op: str, operand: Variable | Value) -> _OpTest:
     return _OpTest(op, wrapped)
 
 
+class _MemberTest:
+    """Internal marker produced by :func:`member`."""
+
+    def __init__(self, values: tuple[Value, ...]) -> None:
+        self.values = values
+
+
+def member(*values: Value) -> _MemberTest:
+    """A ``<< v1 v2 ... >>`` value-disjunction (membership) test."""
+    return _MemberTest(tuple(values))
+
+
 def _tests_for(attribute: str, spec: object) -> list[AttributeTest]:
     if isinstance(spec, tuple):
         tests: list[AttributeTest] = []
@@ -70,6 +83,8 @@ def _tests_for(attribute: str, spec: object) -> list[AttributeTest]:
         return tests
     if isinstance(spec, _OpTest):
         return [AttributeTest(attribute, spec.op, spec.operand)]
+    if isinstance(spec, _MemberTest):
+        return [DisjunctionTest(attribute, spec.values)]
     if isinstance(spec, Variable):
         return [AttributeTest(attribute, "=", spec)]
     return [AttributeTest(attribute, "=", Constant(spec))]

@@ -129,6 +129,13 @@ class PatternTuple:
             (no blockers) for a negated one.
         original: True for the row created at rule-compilation time (these
             are never garbage-collected).
+        approximate: True once folding compaction has unioned a narrower
+            sibling's supports into this row.  The counters then over-claim
+            joinability for bindings the contributor only supported more
+            narrowly, so mark-based *pruning* decisions (the §4.2.2
+            compatibility check, the unblock-transition test) must not
+            trust them — see ``PatternStore.compact``.  Copies made from an
+            approximate row inherit the flag.
     """
 
     rid: str
@@ -137,6 +144,7 @@ class PatternTuple:
     rce: tuple[int, ...]
     supports: dict[int, set[WmeKey]] = field(default_factory=dict)
     original: bool = False
+    approximate: bool = False
 
     @property
     def index(self) -> int:

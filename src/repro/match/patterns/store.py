@@ -149,18 +149,27 @@ class PatternStore:
             rce=source.rce,
             supports={k: set(v) for k, v in source.supports.items()},
             original=False,
+            approximate=source.approximate,
         )
         group[merged] = pattern
         self.counters.patterns_created += 1
         return pattern, True
 
     def discard(self, pattern: PatternTuple) -> None:
-        """Drop a fully-unsupported derived pattern."""
+        """Drop a fully-unsupported derived pattern.
+
+        Identity-guarded: compaction removes rows from the group without
+        touching the owner's reverse support index, so a later deletion can
+        drain a *zombie* row and ask to discard it after a live successor
+        with the same restrictions has been re-derived.  Popping by
+        restriction key alone would evict the successor and lose its
+        supports; only the exact object stored in the group is removed.
+        """
         if pattern.original:
             return
         group = self._groups.get((pattern.rid, pattern.cen))
-        if group is not None:
-            group.pop(pattern.restrictions, None)
+        if group is not None and group.get(pattern.restrictions) is pattern:
+            del group[pattern.restrictions]
 
     # -- compaction (§4.2.3 future work) ----------------------------------------
 
@@ -248,6 +257,10 @@ class PatternStore:
                 target.supports.setdefault(rce_index, set()).update(bucket)
                 if on_transfer is not None:
                     on_transfer(target, rce_index, frozenset(bucket))
+            # The target's counters now over-claim joinability for the
+            # victim's narrower bindings; flag it so mark-based pruning
+            # stops trusting them (completeness over precision).
+            target.approximate = True
             del group[victim.restrictions]
             removed += 1
         return removed

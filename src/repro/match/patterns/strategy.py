@@ -171,7 +171,11 @@ class MatchingPatternsStrategy(MatchStrategy):
 
         Patterns whose inverted marks become full (a blocker vanished) are
         recorded in *fired* — keyed by pattern identity so a pattern
-        transitioning repeatedly within one batch selects once.
+        transitioning repeatedly within one batch selects once.  On an
+        *approximate* pattern (post-folding) the blocked→full transition
+        test is unreliable — folded-in supports can keep unrelated marks
+        non-zero — so any blocker withdrawal fires it; over-firing only
+        costs a counted false drop because act-time selection is exact.
         """
         self.conflict_set.remove_wme(wme)
         contributor: WmeKey = (wme.relation, wme.tid)
@@ -187,9 +191,11 @@ class MatchingPatternsStrategy(MatchStrategy):
             self._tally_maintenance(condition.class_name)
             if (
                 rce_index in negated
-                and not was_full
-                and pattern.is_full(negated)
                 and not condition.negated
+                and (
+                    pattern.approximate
+                    or (not was_full and pattern.is_full(negated))
+                )
             ):
                 fired[id(pattern)] = (analysis, condition, pattern)
             if pattern.all_zero() and not pattern.original:
@@ -314,7 +320,18 @@ class MatchingPatternsStrategy(MatchStrategy):
     ) -> bool:
         """§4.2.2: "each Mark bit must be set in T if the corresponding Mark
         bit is set in the matching tuple M" — over the third-party positive
-        related conditions the two patterns share."""
+        related conditions the two patterns share.
+
+        A target made *approximate* by folding compaction carries inflated
+        counters, so a set mark on it no longer proves binding-consistent
+        support; pruning on it would lose completeness (a specialization
+        the inflated mark suppresses may be the only row able to accept a
+        later contributor's support).  Approximate targets are therefore
+        always accepted — the cost is extra patterns and counted false
+        drops, never a missed match.
+        """
+        if target.approximate:
+            return True
         shared = set(source.rce) & set(target.rce)
         for index in shared:
             if index in negated:

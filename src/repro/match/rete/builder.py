@@ -126,7 +126,11 @@ class ReteNetwork:
                     for wme in admitted:
                         runtime.register_alpha(wme, amem)
                     if admitted:
-                        for successor in list(amem.successors):
+                        # Downstream-first, mirroring ``try_activate``: with
+                        # a shared alpha memory a deep join must consume the
+                        # admitted set before upstream joins push the same
+                        # set's tokens into its left memory.
+                        for successor in reversed(list(amem.successors)):
                             successor.right_activate_set(admitted, class_name)
         finally:
             self._flush_mirrors()

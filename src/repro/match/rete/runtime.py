@@ -195,7 +195,13 @@ class AlphaMemory:
         if self.mirror is not None:
             self.mirror.add(wme, (wme.tid,))
         self.counters.tokens += 1
-        for successor in list(self.successors):
+        # Downstream-first: successors append as beta chains grow top-down,
+        # so creation order is topological (upstream before downstream).
+        # When this memory is shared by several CEs of one rule (MQO), a
+        # deep join's right activation must run before the shallow joins
+        # push this wme's own token into its left memory, or each
+        # self-join pair is produced twice.
+        for successor in reversed(list(self.successors)):
             successor.right_activate(wme)
         return True
 

@@ -5,6 +5,32 @@ classes, join arity of the LHSs, selectivity of the variable-free tests,
 and how much conditions overlap across rules — are all knobs of
 :class:`WorkloadSpec`.  Generation is fully seeded, so every benchmark run
 is reproducible.
+
+RNG-stream invariant
+--------------------
+Every independent generation concern draws from its **own** seeded RNG
+stream (derived as ``random.Random(f"{seed}/<stream>")``, which seeds
+deterministically across processes):
+
+* ``pool``       — the shared-condition pool contents;
+* ``rules``      — rule sizes and condition skeletons (or pool indexes);
+* ``negation``   — the per-condition negation roll, drawn *unconditionally*
+  for every condition position;
+* ``disjunction``— the per-condition ``<< ... >>`` roll and its values;
+* ``actions``    — the RHS action mix (``remove`` vs ``modify``).
+
+Consequences, relied on by the differential-fuzz harness (``repro.check``)
+and safe to depend on elsewhere:
+
+* toggling ``negation_probability``, ``disjunction_probability`` or
+  ``modify_action_probability`` never changes which classes/tests the
+  other streams draw — only the feature it controls;
+* enabling ``shared_condition_pool`` consumes pool-stream state only; the
+  rule stream always spends exactly one draw per condition choice when a
+  pool is active, so pool draws cannot shift unrelated draws;
+* generation happens once per spec and is a pure function of the spec —
+  replaying the same spec for different match strategies (or replaying it
+  twice within one process) can never observe different programs.
 """
 
 from __future__ import annotations
@@ -13,7 +39,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.lang.ast import Program, Rule
-from repro.lang.builder import RuleBuilder, test, var
+from repro.lang.builder import RuleBuilder, member, test, var
 from repro.storage.schema import RelationSchema, Value
 
 
@@ -31,10 +57,17 @@ class WorkloadSpec:
             on ``a1`` (selectivity knob).
         comparison_probability: Chance of an extra ``>`` test on ``a2``.
         negation_probability: Chance a non-first condition is negated.
+        disjunction_probability: Chance a condition's ``a1`` test is a
+            ``<< v1 v2 ... >>`` membership disjunction instead of an
+            equality constant.
+        modify_action_probability: Chance a rule's RHS is
+            ``(modify 1 ^a1 c)`` instead of ``(remove 1)`` (modify-heavy
+            action mixes; runs of such rules are bounded by the caller's
+            cycle limit, not by consumption of WM elements).
         domain: Attribute values are drawn from ``0..domain-1``.
         shared_condition_pool: When > 0, conditions are drawn from a pool
             of this size so rules overlap (the §3.2 sharing/MQO knob).
-        seed: RNG seed.
+        seed: RNG seed (see the module docstring's RNG-stream invariant).
     """
 
     classes: int = 4
@@ -45,6 +78,8 @@ class WorkloadSpec:
     constant_probability: float = 0.7
     comparison_probability: float = 0.2
     negation_probability: float = 0.0
+    disjunction_probability: float = 0.0
+    modify_action_probability: float = 0.0
     domain: int = 8
     shared_condition_pool: int = 0
     seed: int = 0
@@ -54,6 +89,10 @@ class WorkloadSpec:
 
     def attribute_name(self, index: int) -> str:
         return f"a{index}"
+
+    def stream(self, name: str) -> random.Random:
+        """The named seeded RNG stream (module docstring invariant)."""
+        return random.Random(f"{self.seed}/{name}")
 
 
 @dataclass
@@ -77,22 +116,33 @@ def _schemas(spec: WorkloadSpec) -> dict[str, RelationSchema]:
     }
 
 
-def _condition_choices(
-    spec: WorkloadSpec, rng: random.Random
-) -> list[tuple[str, dict]]:
-    """Pre-draw a pool of (class, extra tests) condition skeletons."""
-    pool_size = spec.shared_condition_pool or 10_000
-    pool: list[tuple[str, dict]] = []
-    for _ in range(min(pool_size, 10_000) if spec.shared_condition_pool else 0):
-        pool.append(_draw_condition(spec, rng))
-    return pool
+def _draw_condition(
+    spec: WorkloadSpec, rng: random.Random, disjunction_rng: random.Random
+) -> tuple[str, dict]:
+    """One (class, extra tests) condition skeleton.
 
-
-def _draw_condition(spec: WorkloadSpec, rng: random.Random) -> tuple[str, dict]:
+    Content draws come from *rng* (the pool or rule stream); disjunction
+    rolls come from the dedicated *disjunction_rng* stream so toggling
+    ``disjunction_probability`` cannot shift the other draws.
+    """
     class_name = spec.class_name(rng.randrange(spec.classes))
     extras: dict = {}
-    if spec.attributes >= 2 and rng.random() < spec.constant_probability:
-        extras[spec.attribute_name(1)] = rng.randrange(spec.domain)
+    disjunction_roll = disjunction_rng.random()
+    if spec.attributes >= 2:
+        # The roll and the value are consumed on every call so that
+        # toggling the disjunction knob never shifts the content stream.
+        constant_roll = rng.random()
+        constant_value = rng.randrange(spec.domain)
+        if disjunction_roll < spec.disjunction_probability:
+            width = disjunction_rng.randint(2, 3)
+            extras[spec.attribute_name(1)] = member(
+                *sorted(
+                    {disjunction_rng.randrange(spec.domain)
+                     for _ in range(width)}
+                )
+            )
+        elif constant_roll < spec.constant_probability:
+            extras[spec.attribute_name(1)] = constant_value
     if spec.attributes >= 3 and rng.random() < spec.comparison_probability:
         extras[spec.attribute_name(2)] = test(">", rng.randrange(spec.domain))
     return class_name, extras
@@ -100,29 +150,56 @@ def _draw_condition(spec: WorkloadSpec, rng: random.Random) -> tuple[str, dict]:
 
 def generate_program(spec: WorkloadSpec) -> GeneratedWorkload:
     """Generate the schemas and rules of *spec* (no WM stream yet)."""
-    rng = random.Random(spec.seed)
+    rng_pool = spec.stream("pool")
+    rng_rules = spec.stream("rules")
+    rng_negation = spec.stream("negation")
+    rng_disjunction = spec.stream("disjunction")
+    rng_actions = spec.stream("actions")
     schemas = _schemas(spec)
-    pool = _condition_choices(spec, rng)
+    pool: list[tuple[str, dict]] = [
+        _draw_condition(spec, rng_pool, rng_disjunction)
+        for _ in range(min(spec.shared_condition_pool, 10_000))
+    ]
     rules: list[Rule] = []
     for rule_index in range(spec.rules):
-        count = rng.randint(spec.min_conditions, spec.max_conditions)
+        count = rng_rules.randint(spec.min_conditions, spec.max_conditions)
         builder = RuleBuilder(f"rule{rule_index}")
         for position in range(count):
             if pool:
-                class_name, extras = pool[rng.randrange(len(pool))]
+                # One random() per choice: unlike randrange(n), which
+                # consumes a pool-size-dependent number of bits, this keeps
+                # rule-stream state independent of the pool size.
+                roll = rng_rules.random()
+                class_name, extras = pool[
+                    min(int(roll * len(pool)), len(pool) - 1)
+                ]
             else:
-                class_name, extras = _draw_condition(spec, rng)
+                class_name, extras = _draw_condition(
+                    spec, rng_rules, rng_disjunction
+                )
             attrs = dict(extras)
             # Chain join: every condition binds the shared variable <j>.
             attrs[spec.attribute_name(0)] = var("j")
-            negated = (
-                position > 0 and rng.random() < spec.negation_probability
-            )
+            # The roll is drawn unconditionally (even at position 0, where
+            # negation is never applied) so the negation stream advances
+            # identically for every condition position.
+            negation_roll = rng_negation.random()
+            negated = position > 0 and negation_roll < spec.negation_probability
             if negated:
                 builder.unless(class_name, **attrs)
             else:
                 builder.when(class_name, **attrs)
-        builder.remove(1)
+        action_roll = rng_actions.random()
+        if (
+            spec.attributes >= 2
+            and action_roll < spec.modify_action_probability
+        ):
+            builder.modify(
+                1,
+                **{spec.attribute_name(1): rng_actions.randrange(spec.domain)},
+            )
+        else:
+            builder.remove(1)
         rules.append(builder.build())
     program = Program(schemas=schemas, rules=rules)
     return GeneratedWorkload(spec=spec, program=program)

@@ -1,0 +1,180 @@
+"""The differential oracle: clean parity, injected faults, error capture."""
+
+import pytest
+
+from repro.check import (
+    CheckConfig,
+    PROFILES,
+    default_matrix,
+    generate_trace,
+    replay_config,
+    run_trace,
+)
+from repro.check.trace import Trace, TraceOp
+from repro.match import STRATEGIES, SimplifiedStrategy
+
+#: A cheap sub-matrix for tests that exercise the machinery rather than
+#: the full strategy space (the full matrix runs in test_full_matrix and
+#: the corpus replay).
+FAST = [
+    CheckConfig("rete", "memory", 1),
+    CheckConfig("patterns", "memory", 8),
+    CheckConfig("simplified-indexed", "memory", "auto"),
+]
+
+
+class BrokenStrategy(SimplifiedStrategy):
+    """Intentionally faulty shim: silently drops every third insert."""
+
+    strategy_name = "broken"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._seen = 0
+
+    def on_insert(self, wme):
+        self._seen += 1
+        if self._seen % 3 == 0:
+            return
+        super().on_insert(wme)
+
+
+class ExplodingStrategy(SimplifiedStrategy):
+    """Raises on the fifth insert — exercises the error-capture path."""
+
+    strategy_name = "exploding"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._seen = 0
+
+    def on_insert(self, wme):
+        self._seen += 1
+        if self._seen == 5:
+            raise RuntimeError("boom")
+        super().on_insert(wme)
+
+
+class TestMatrix:
+    def test_default_matrix_covers_all_axes(self):
+        configs = default_matrix()
+        assert len(configs) == len(STRATEGIES) * 2 * 3
+        assert {c.strategy for c in configs} == set(STRATEGIES)
+        assert {c.backend for c in configs} == {"memory", "sqlite"}
+        assert {c.batch_size for c in configs} == {1, 8, "auto"}
+
+    def test_strategy_names_subset(self):
+        configs = default_matrix(["rete", "patterns"], backends=("memory",))
+        assert {c.strategy for c in configs} == {"rete", "patterns"}
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            run_trace(generate_trace(0, 0), configs=[])
+
+
+class TestCleanParity:
+    @pytest.mark.parametrize("index", range(len(PROFILES)))
+    def test_profiles_agree_on_fast_matrix(self, index):
+        trace = generate_trace(11, index)
+        assert run_trace(trace, configs=FAST) is None
+
+    def test_full_matrix_agrees(self):
+        """One trace through all strategies × backends × batch sizes."""
+        trace = generate_trace(5, 1)  # negation profile
+        assert run_trace(trace) is None
+
+
+class TestReplay:
+    def test_checkpoints_and_final_wm_recorded(self):
+        trace = generate_trace(2, 0)
+        result = replay_config(trace, CheckConfig("rete", "memory", 1))
+        assert ("end_ops",) in result.checkpoints
+        # batch=1 checkpoints after every data op
+        data_ops = [
+            i for i, op in enumerate(trace.ops)
+            if op.kind in ("insert", "delete", "modify")
+        ]
+        for position in data_ops:
+            assert ("op", position) in result.checkpoints
+        assert result.final_wm is not None
+        assert result.rete_memories  # rete-family records snapshots
+
+    def test_batched_replay_skips_per_op_checkpoints(self):
+        trace = generate_trace(2, 0)
+        result = replay_config(trace, CheckConfig("patterns", "memory", 8))
+        assert ("end_ops",) in result.checkpoints
+        assert not any(tag[0] == "op" for tag in result.checkpoints)
+        assert not result.rete_memories  # non-rete takes no snapshots
+
+    def test_detach_attach_trace_replays(self):
+        program = "(literalize item kind)\n"
+        trace = Trace(
+            name="ctl", seed=0, program=program,
+            ops=(
+                TraceOp.insert("item", (1,)),
+                TraceOp.detach(),
+                TraceOp.insert("item", (2,)),
+                TraceOp.attach(),
+                TraceOp.insert("item", (3,)),
+            ),
+        )
+        result = replay_config(trace, CheckConfig("rete", "memory", 1))
+        assert ("ctl", 1) in result.checkpoints
+        assert ("ctl", 3) in result.checkpoints
+        assert result.final_wm["item"][0][2] == (1,)
+        assert len(result.final_wm["item"]) == 3
+
+    def test_delete_and_modify_on_empty_wm_are_noops(self):
+        trace = Trace(
+            name="empty", seed=0, program="(literalize item kind)\n",
+            ops=(TraceOp.delete(7), TraceOp.modify(3, {"kind": 1})),
+        )
+        assert run_trace(trace, configs=FAST) is None
+
+
+class TestFaultDetection:
+    def test_broken_strategy_diverges(self):
+        strategies = {"rete": STRATEGIES["rete"], "broken": BrokenStrategy}
+        trace = generate_trace(0, 0)
+        divergence = run_trace(
+            trace,
+            configs=default_matrix(
+                strategies, backends=("memory",), batch_sizes=(1,)
+            ),
+            strategies=strategies,
+        )
+        assert divergence is not None
+        assert divergence.kind == "conflict"
+        # "broken" sorts first, so it becomes the matrix reference; the
+        # divergence must name it on one side either way.
+        assert "broken" in divergence.config + divergence.reference
+        assert divergence.sync_point is not None
+
+    def test_exception_becomes_error_divergence(self):
+        strategies = {
+            "rete": STRATEGIES["rete"], "exploding": ExplodingStrategy,
+        }
+        trace = generate_trace(0, 0)
+        divergence = run_trace(
+            trace,
+            configs=default_matrix(
+                strategies, backends=("memory",), batch_sizes=(1,)
+            ),
+            strategies=strategies,
+        )
+        assert divergence is not None
+        assert divergence.kind == "error"
+        assert "boom" in divergence.detail
+
+    def test_describe_mentions_both_configs(self):
+        strategies = {"rete": STRATEGIES["rete"], "broken": BrokenStrategy}
+        divergence = run_trace(
+            generate_trace(0, 0),
+            configs=default_matrix(
+                strategies, backends=("memory",), batch_sizes=(1,)
+            ),
+            strategies=strategies,
+        )
+        text = divergence.describe()
+        assert "broken/memory/batch=1" in text
+        assert "rete/memory/batch=1" in text

@@ -1,0 +1,94 @@
+"""Edge cases of ``batch_size="auto"`` and its manifest plumbing.
+
+The tuner only learns from flushed act-phase batches; runs that never
+flush one (empty conflict set on the first cycle, rule bases that never
+fire) must leave it at the initial budget rather than crash or drift.
+"""
+
+import json
+
+from repro.cli import main
+from repro.engine import BatchSizeTuner, ProductionSystem
+from repro.delta import DeltaBatch
+
+EMPTY_MATCH = """
+(literalize Item kind)
+(p impossible (Item ^kind 0) (Item ^kind 1) -->
+    (write never))
+(make Item ^kind 2)
+"""
+
+COUNTER = """
+(literalize Counter value limit)
+(p count-up
+    (Counter ^value <V> ^limit {<L> > <V>})
+    -->
+    (modify 1 ^value (compute <V> + 1)))
+(make Counter ^value 0 ^limit 3)
+"""
+
+
+class TestTunerUnfed:
+    def test_untouched_without_observations(self):
+        tuner = BatchSizeTuner()
+        assert tuner.size == 8
+
+    def test_empty_batch_leaves_size_alone(self):
+        tuner = BatchSizeTuner()
+        tuner.observe(DeltaBatch())
+        assert tuner.size == 8
+
+
+class TestAutoFirstCycle:
+    def test_empty_conflict_set_on_first_cycle(self):
+        system = ProductionSystem(EMPTY_MATCH, batch_size="auto")
+        result = system.run(max_cycles=10)
+        assert result.cycles == 0
+        assert not result.fired
+        # match.batch_group_max was never emitted — the tuner must still
+        # report its initial budget, not 0 or garbage.
+        assert system.effective_batch_size == 8
+
+    def test_quiescent_run_keeps_initial_budget(self):
+        system = ProductionSystem(COUNTER, batch_size="auto")
+        system.run(max_cycles=50)
+        # Tiny per-cycle batches never justify growth; the resolved size
+        # must stay inside the tuner's [floor, ceiling] band.
+        assert 2 <= system.effective_batch_size <= 256
+
+    def test_fixed_batch_size_reports_itself(self):
+        system = ProductionSystem(COUNTER, batch_size=4)
+        system.run(max_cycles=50)
+        assert system.effective_batch_size == 4
+
+
+class TestManifestRecordsResolvedSize:
+    def write_program(self, tmp_path):
+        path = tmp_path / "counter.ops"
+        path.write_text(COUNTER)
+        return str(path)
+
+    def read_manifest(self, base):
+        runs = sorted(base.iterdir())
+        assert len(runs) == 1
+        return json.loads((runs[0] / "manifest.json").read_text())
+
+    def test_auto_records_resolved_integer(self, tmp_path, capsys):
+        base = tmp_path / "runs"
+        assert main(
+            ["run", self.write_program(tmp_path), "--quiet",
+             "--batch-size", "auto", "--manifest", str(base)]
+        ) == 0
+        manifest = self.read_manifest(base)
+        assert manifest["config"]["batch_size"] == "auto"
+        resolved = manifest["result"]["resolved_batch_size"]
+        assert isinstance(resolved, int) and 2 <= resolved <= 256
+
+    def test_fixed_size_round_trips(self, tmp_path, capsys):
+        base = tmp_path / "runs"
+        assert main(
+            ["run", self.write_program(tmp_path), "--quiet",
+             "--batch-size", "4", "--manifest", str(base)]
+        ) == 0
+        manifest = self.read_manifest(base)
+        assert manifest["result"]["resolved_batch_size"] == 4

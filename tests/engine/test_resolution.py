@@ -79,6 +79,40 @@ class TestSeededRandom:
         assert a.rule_name == b.rule_name
 
 
+class TestTotalOrder:
+    """Resolvers must be insensitive to conflict-set enumeration order."""
+
+    def exact_tie(self, rule):
+        # Same timetags and specificity: only the canonical key differs.
+        return Instantiation(rule, (wme(1, 5), wme(2, 3)))
+
+    @pytest.mark.parametrize(
+        "resolver", [lex, mea, priority, fifo], ids=lambda r: r.__name__
+    )
+    def test_exact_ties_resolve_identically_in_any_order(self, resolver):
+        a, b, c = (self.exact_tie(r) for r in ("ra", "rb", "rc"))
+        picks = {
+            resolver(order).rule_name
+            for order in ([a, b, c], [c, a, b], [b, c, a], [c, b, a])
+        }
+        assert len(picks) == 1
+
+    @pytest.mark.parametrize(
+        "resolver", [lex, mea, priority, fifo], ids=lambda r: r.__name__
+    )
+    def test_negated_slots_are_comparable(self, resolver):
+        # A None (negated) slot against a positive slot must not TypeError.
+        with_neg = Instantiation("n", (wme(1, 5), None))
+        without = Instantiation("p", (wme(1, 5), wme(9, 5)))
+        assert resolver([with_neg, without]).rule_name in ("n", "p")
+
+    def test_seeded_random_handles_negated_slots(self):
+        with_neg = Instantiation("n", (wme(1, 5), None))
+        without = Instantiation("p", (wme(1, 5), wme(9, 5)))
+        pick = SeededRandom(0)([with_neg, without])
+        assert pick.rule_name in ("n", "p")
+
+
 class TestMakeResolver:
     @pytest.mark.parametrize("name", ["lex", "mea", "priority", "fifo", "random"])
     def test_known_names(self, name):

@@ -13,6 +13,7 @@ import random
 import pytest
 
 from repro.bench.drivers import drive_stream
+from repro.check.oracle import rete_memory_snapshot
 from repro.engine import WorkingMemory
 from repro.instrument import Counters
 from repro.lang import analyze_program, parse_program
@@ -147,49 +148,10 @@ RETE_BATCH_SIZES = (1, 8, 64)
 
 
 def _rete_memory_snapshot(strategy):
-    """Canonical contents of every Rete memory, comparable across runs.
-
-    Alpha memories as WME-key sets, beta memories as multisets of token
-    tid chains, negative nodes as (chain, witness-set) multisets, and the
-    persisted LEFT/RIGHT mirror relations as multisets of row *values*
-    (mirror row tids depend on write order, the values do not).
-    """
-    network = strategy.network
-
-    def chain_key(token):
-        return tuple(
-            (w.relation, w.tid) if w is not None else None
-            for w in token.chain()
-        )
-
-    alpha = {
-        amem.name: frozenset(amem.items) for amem in network.alpha_memories
-    }
-    beta = {
-        bmem.name: sorted(
-            (chain_key(token) for token in bmem.items), key=repr
-        )
-        for bmem in network.beta_memories
-    }
-    negative = {
-        node.name: sorted(
-            (
-                (chain_key(token), tuple(sorted(matches)))
-                for token, matches in node.results.items()
-            ),
-            key=repr,
-        )
-        for node in network.negative_nodes
-    }
-    mirrors = {
-        mirror.table.schema.name: sorted(
-            (row.values for row in mirror.table.scan()), key=repr
-        )
-        for mirror in network.mirrors
-    }
-    return {
-        "alpha": alpha, "beta": beta, "negative": negative, "mirrors": mirrors
-    }
+    """Delegates to :func:`repro.check.oracle.rete_memory_snapshot` — the
+    differential fuzz oracle and this parity test must compare the exact
+    same canonical network state."""
+    return rete_memory_snapshot(strategy)
 
 
 @pytest.mark.parametrize("backend", ["memory", "sqlite"])

@@ -115,7 +115,11 @@ class TestRunArtifacts:
         manifest = json.loads((run_dir / "manifest.json").read_text())
         assert manifest["config"]["strategy"] == "patterns"
         assert manifest["program"]["path"] == program_file
-        assert manifest["result"] == {"cycles": 3, "status": "quiescent"}
+        assert manifest["result"] == {
+            "cycles": 3,
+            "status": "quiescent",
+            "resolved_batch_size": 1,
+        }
         assert (run_dir / "metrics.json").exists()
 
 

@@ -89,6 +89,182 @@ class TestGeneratedPrograms:
         assert len(set(signatures)) < len(signatures)
 
 
+def _class_skeleton(program):
+    """Per rule: the (class name, comparison-test) shape of each condition."""
+    return [
+        [
+            (
+                ce.class_name,
+                sorted(
+                    str(t)
+                    for t in ce.tests
+                    if getattr(t, "op", "=") not in ("=",)
+                ),
+            )
+            for ce in rule.condition_elements
+        ]
+        for rule in program.rules
+    ]
+
+
+class TestRngStreamInvariant:
+    """The module-docstring invariant: knobs never shift unrelated streams."""
+
+    def test_negation_toggle_preserves_class_skeleton(self):
+        base = WorkloadSpec(rules=25, min_conditions=2, max_conditions=4, seed=7)
+        heavy = WorkloadSpec(
+            rules=25, min_conditions=2, max_conditions=4, seed=7,
+            negation_probability=0.9,
+        )
+        a = generate_program(base).program
+        b = generate_program(heavy).program
+        assert _class_skeleton(a) == _class_skeleton(b)
+        assert any(
+            ce.negated for r in b.rules for ce in r.condition_elements
+        )
+
+    def test_negation_composes_with_shared_pool(self):
+        """Satellite regression: pool draws must not consume RNG state
+        differently once negation is enabled — the same pooled conditions
+        appear in the same rule slots with and without negation."""
+        base = WorkloadSpec(
+            rules=25, min_conditions=2, max_conditions=4,
+            shared_condition_pool=4, seed=11,
+        )
+        negated = WorkloadSpec(
+            rules=25, min_conditions=2, max_conditions=4,
+            shared_condition_pool=4, seed=11, negation_probability=0.6,
+        )
+        a = generate_program(base).program
+        b = generate_program(negated).program
+        # Same pooled condition (class AND tests) in every slot; only the
+        # negation flag may differ.
+        for rule_a, rule_b in zip(a.rules, b.rules):
+            assert len(rule_a.condition_elements) == len(
+                rule_b.condition_elements
+            )
+            for ce_a, ce_b in zip(
+                rule_a.condition_elements, rule_b.condition_elements
+            ):
+                assert ce_a.class_name == ce_b.class_name
+                assert ce_a.tests == ce_b.tests
+        assert any(
+            ce.negated for r in b.rules for ce in r.condition_elements
+        )
+
+    def test_disjunction_toggle_preserves_skeleton_and_negation(self):
+        base = WorkloadSpec(
+            rules=25, min_conditions=2, max_conditions=3, seed=13,
+            negation_probability=0.4,
+        )
+        disjunctive = WorkloadSpec(
+            rules=25, min_conditions=2, max_conditions=3, seed=13,
+            negation_probability=0.4, disjunction_probability=0.8,
+        )
+        a = generate_program(base).program
+        b = generate_program(disjunctive).program
+        assert _class_skeleton(a) == _class_skeleton(b)
+        assert [
+            [ce.negated for ce in r.condition_elements] for r in a.rules
+        ] == [[ce.negated for ce in r.condition_elements] for r in b.rules]
+
+    def test_modify_toggle_preserves_entire_lhs(self):
+        base = WorkloadSpec(rules=20, seed=17)
+        heavy = WorkloadSpec(rules=20, seed=17, modify_action_probability=1.0)
+        a = generate_program(base).program
+        b = generate_program(heavy).program
+        assert [r.condition_elements for r in a.rules] == [
+            r.condition_elements for r in b.rules
+        ]
+
+    def test_pool_size_does_not_shift_rule_sizes(self):
+        """With any active pool, each condition costs exactly one rule-stream
+        draw, so pool size never changes the LHS size sequence."""
+        small = generate_program(
+            WorkloadSpec(rules=30, shared_condition_pool=3, seed=19)
+        ).program
+        large = generate_program(
+            WorkloadSpec(rules=30, shared_condition_pool=9, seed=19)
+        ).program
+        assert [len(r.condition_elements) for r in small.rules] == [
+            len(r.condition_elements) for r in large.rules
+        ]
+
+    def test_all_knobs_deterministic(self):
+        spec = WorkloadSpec(
+            rules=20, min_conditions=1, max_conditions=4,
+            negation_probability=0.3, disjunction_probability=0.3,
+            modify_action_probability=0.5, shared_condition_pool=5, seed=23,
+        )
+        assert (
+            generate_program(spec).program
+            == generate_program(spec).program
+        )
+
+
+class TestNewKnobs:
+    def test_disjunction_probability_generates_member_tests(self):
+        from repro.lang import DisjunctionTest
+
+        spec = WorkloadSpec(
+            rules=20, seed=3, constant_probability=1.0,
+            disjunction_probability=1.0,
+        )
+        program = generate_program(spec).program
+        disjunctions = [
+            t
+            for r in program.rules
+            for ce in r.condition_elements
+            for t in ce.tests
+            if isinstance(t, DisjunctionTest)
+        ]
+        assert disjunctions
+        for d in disjunctions:
+            assert 2 <= len(d.values) <= 3 or len(d.values) == 1
+            assert all(0 <= v < spec.domain for v in d.values)
+
+    def test_modify_probability_one_yields_modify_actions(self):
+        from repro.lang import ModifyAction
+
+        spec = WorkloadSpec(rules=15, seed=5, modify_action_probability=1.0)
+        program = generate_program(spec).program
+        for rule in program.rules:
+            assert len(rule.actions) == 1
+            assert isinstance(rule.actions[0], ModifyAction)
+
+    def test_knobbed_programs_round_trip_through_text(self):
+        from repro.lang import format_program, parse_program
+
+        spec = WorkloadSpec(
+            rules=15, seed=29, negation_probability=0.3,
+            disjunction_probability=0.5, modify_action_probability=0.5,
+        )
+        program = generate_program(spec).program
+        text = format_program(program)
+        assert parse_program(text) == program
+
+    def test_knobbed_programs_run_under_every_strategy(self):
+        spec = WorkloadSpec(
+            rules=10, classes=3, seed=37, negation_probability=0.25,
+            disjunction_probability=0.4,
+        )
+        workload = generate_workload(spec, stream_length=80)
+        analyses = analyze_program(
+            workload.program.rules, workload.program.schemas
+        )
+        reference = None
+        for name in sorted(STRATEGIES):
+            wm = WorkingMemory(workload.program.schemas)
+            strategy = STRATEGIES[name](wm, analyses)
+            for class_name, values in workload.insert_stream:
+                wm.insert(class_name, values)
+            keys = strategy.conflict_set_keys()
+            if reference is None:
+                reference = keys
+            else:
+                assert keys == reference, name
+
+
 class TestStreams:
     def test_insert_stream_respects_domain(self):
         spec = WorkloadSpec(domain=3, classes=2, attributes=2, seed=5)

@@ -35,6 +35,7 @@ sys.path.insert(0, str(REPO / "src"))
 EXTERNAL_FLAGS = {
     "--benchmark-only",
     "--find-links",
+    "--hypothesis-seed",
     "--quiet",
     "-e",
     "-m",
