@@ -21,9 +21,19 @@ oracle:
   ``tests/corpus/`` where tier-1 pytest replays them forever.
 * :mod:`repro.check.runner` — the ``repro check --budget N`` campaign
   driver with ``check.*`` spans and metrics.
+* :mod:`repro.check.crash` — the ``repro check --crash`` fault-injection
+  campaign: kill a durable run at an armed crash site, recover from the
+  WAL (:mod:`repro.recovery`), finish, and compare every observable
+  against the uninterrupted reference.
 """
 
 from repro.check.corpus import load_corpus, load_trace, replay, save_repro
+from repro.check.crash import (
+    CrashFinding,
+    CrashReport,
+    run_crash_check,
+    run_crash_trace,
+)
 from repro.check.generator import PROFILES, TraceProfile, generate_trace
 from repro.check.oracle import (
     DEFAULT_BACKENDS,
@@ -45,6 +55,8 @@ __all__ = [
     "CheckConfig",
     "CheckFailure",
     "CheckReport",
+    "CrashFinding",
+    "CrashReport",
     "DEFAULT_BACKENDS",
     "DEFAULT_BATCH_SIZES",
     "Divergence",
@@ -62,6 +74,8 @@ __all__ = [
     "replay_config",
     "rete_memory_snapshot",
     "run_check",
+    "run_crash_check",
+    "run_crash_trace",
     "run_trace",
     "save_repro",
     "shrink",

@@ -1,0 +1,657 @@
+"""Crash-equivalence fuzzing: kill a run mid-flight, recover, compare.
+
+The ``repro check --crash`` profile drives one generated trace twice:
+
+1. *reference* — a plain, WAL-less replay recording the conflict set at
+   every commit point, the fired sequence, the program output and the
+   final working memory;
+2. *durable* — the same trace under a :class:`~repro.recovery.session.
+   DurableRun` with a :class:`~repro.recovery.crashpoints.Crashpoints`
+   registry armed at one named site.  When the simulated crash fires, the
+   run is abandoned exactly as a killed process would leave it,
+   :func:`~repro.recovery.recover.recover` rebuilds a system from the log
+   (plus an optional checkpoint), and the replay finishes from the
+   recovered position.
+
+Every observable of the finished crashed-and-recovered run must equal the
+uninterrupted reference — including the conflict set *at the recovery
+point itself*, compared against the reference's conflict set at the same
+boundary.  An uninterrupted durable dry run is also compared against the
+plain reference, pinning the "a WAL-attached run is bit-identical to a
+WAL-off run" guarantee and measuring which crash sites the trace
+actually crosses (so arming is never a no-op).
+
+A crash before the first commit point leaves nothing durable;
+recovery refuses (:class:`~repro.errors.RecoveryError`) and the harness
+restarts the run from scratch — the legitimate real-world response.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.engine import BatchSizeTuner, ProductionSystem
+from repro.errors import RecoveryError
+from repro.check.generator import generate_trace
+from repro.check.trace import Trace, TraceOp
+from repro.obs import Observability
+from repro.recovery import (
+    CRASH_SITES,
+    Crashpoints,
+    DurableRun,
+    SimulatedCrash,
+    recover,
+)
+
+DEFAULT_CRASH_BACKENDS = ("memory", "sqlite")
+DEFAULT_CRASH_BATCH_SIZES = (1, 8, "auto")
+DEFAULT_CRASH_STRATEGY = "rete"
+
+
+@dataclass
+class CrashFinding:
+    """One observable that differed from the uninterrupted reference."""
+
+    trace: Trace
+    label: str
+    kind: str  # "wal-parity" | "conflict" | "fired" | "output" | "wm" | "error"
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.kind}] {self.label}: {self.detail}"
+
+
+@dataclass
+class CrashReport:
+    """Summary of one crash-fuzz campaign."""
+
+    budget: int
+    seed: int
+    traces_run: int = 0
+    crashes_fired: int = 0
+    recoveries: int = 0
+    restarts: int = 0
+    elapsed_s: float = 0.0
+    findings: list[CrashFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.findings)} FINDING(S)"
+        return (
+            f"crash-check: {self.traces_run}/{self.budget} traces, "
+            f"{self.crashes_fired} crashes, {self.recoveries} recoveries, "
+            f"{self.restarts} restarts in {self.elapsed_s:.1f}s — {status}"
+        )
+
+
+@dataclass
+class _Observables:
+    """What both sides of the comparison must agree on."""
+
+    checkpoints: dict = field(default_factory=dict)
+    fired: list = field(default_factory=list)
+    output: list = field(default_factory=list)
+    final_wm: dict = field(default_factory=dict)
+    final_conflict: frozenset = frozenset()
+
+
+def _wm_contents(system: ProductionSystem) -> dict:
+    return {
+        name: tuple(
+            sorted(
+                (wme.tid, wme.timetag, wme.values)
+                for wme in system.wm.tuples(name)
+            )
+        )
+        for name in system.wm.schemas
+    }
+
+
+def _strip_control_ops(trace: Trace) -> Trace:
+    """Crash runs don't model detach/attach (strategy identity is not
+    durable state); drop control ops so every profile's traces apply."""
+    return trace.with_ops(
+        op for op in trace.ops if op.kind not in ("detach", "attach")
+    )
+
+
+class _OpDriver:
+    """Applies trace ops in act-granularity chunks, durable or not.
+
+    Mirrors the oracle's chunking policy: budget 1 applies eagerly, a
+    fixed budget groups ops into WM batch scopes, and ``"auto"`` follows a
+    :class:`BatchSizeTuner` fed with every flushed batch.  The live-element
+    list and the tuner's size are exactly the state a crashed harness must
+    rebuild, so both ride in the boundary records' ``extra``.
+    """
+
+    def __init__(self, system: ProductionSystem, batch_size) -> None:
+        self.system = system
+        self.batch_size = batch_size
+        self.tuner = BatchSizeTuner() if batch_size == "auto" else None
+        self.live: list = []
+
+    def budget(self) -> int:
+        if self.tuner is not None:
+            return self.tuner.size
+        return self.batch_size
+
+    def extra(self, position: int) -> dict:
+        return {
+            "live": [[wme.relation, wme.tid] for wme in self.live],
+            "ops_tuner": self.tuner.size if self.tuner is not None else None,
+            "position": position,
+        }
+
+    def restore(self, extra: dict) -> None:
+        wm = self.system.wm
+        self.live = [
+            wm.get(relation, tid) for relation, tid in extra.get("live", [])
+        ]
+        if self.tuner is not None and extra.get("ops_tuner"):
+            self.tuner.size = extra["ops_tuner"]
+
+    def _apply_op(self, op: TraceOp) -> None:
+        wm = self.system.wm
+        live = self.live
+        if op.kind == "insert":
+            live.append(wm.insert(op.class_name, op.values))
+        elif op.kind == "delete":
+            if live:
+                wm.remove(live.pop(op.index % len(live)))
+        elif op.kind == "modify":
+            if live:
+                slot = op.index % len(live)
+                changes = dict(op.changes or ())
+                schema = wm.schema(live[slot].relation)
+                applicable = {
+                    k: v for k, v in changes.items() if k in schema.attributes
+                }
+                if applicable:
+                    live[slot] = wm.modify(live[slot], applicable)
+
+    def apply_ops(self, ops, start: int, boundary) -> None:
+        """Apply ``ops[start:]``; call ``boundary(position, driver)`` after
+        each committed chunk (*position* = ops applied so far)."""
+        position = start
+        chunk: list[TraceOp] = []
+        for op in ops[start:]:
+            chunk.append(op)
+            if len(chunk) >= self.budget():
+                position += len(chunk)
+                self._apply_chunk(chunk)
+                chunk = []
+                boundary(position, self)
+        if chunk:
+            position += len(chunk)
+            self._apply_chunk(chunk)
+            boundary(position, self)
+
+    def _apply_chunk(self, chunk: list[TraceOp]) -> None:
+        wm = self.system.wm
+        if len(chunk) == 1 and self.tuner is None and self.budget() == 1:
+            self._apply_op(chunk[0])
+            return
+        wm.begin_batch()
+        try:
+            for op in chunk:
+                self._apply_op(op)
+        finally:
+            batch = wm.end_batch()
+            if self.tuner is not None:
+                self.tuner.observe(batch)
+
+
+def _run_cycles(system: ProductionSystem, trace: Trace, observables,
+                start_cycle: int = 1) -> None:
+    for cycle in range(start_cycle, trace.max_cycles + 1):
+        records = system.step_records(cycle)
+        if not records:
+            break
+        observables.fired.extend(
+            (cycle, r.instantiation.rule_name, r.instantiation.key)
+            for r in records
+        )
+        observables.checkpoints[("cycle", cycle)] = frozenset(
+            system.strategy.conflict_set_keys()
+        )
+        if any(r.outcome.halted for r in records):
+            break
+
+
+def _finalize(system: ProductionSystem, observables: _Observables) -> None:
+    observables.output = list(system.output)
+    observables.final_wm = _wm_contents(system)
+    observables.final_conflict = frozenset(
+        system.strategy.conflict_set_keys()
+    )
+
+
+def _plain_reference(
+    trace: Trace, backend: str, batch_size, strategy: str
+) -> _Observables:
+    """The uninterrupted, WAL-less replay every variant must match."""
+    system = ProductionSystem(
+        trace.program,
+        strategy=strategy,
+        resolution=trace.resolution,
+        backend=backend,
+        seed=trace.seed,
+        batch_size=batch_size,
+    )
+    observables = _Observables()
+    driver = _OpDriver(system, batch_size)
+
+    def boundary(position, _driver):
+        observables.checkpoints[("ops", position)] = frozenset(
+            system.strategy.conflict_set_keys()
+        )
+
+    driver.apply_ops(trace.ops, 0, boundary)
+    _run_cycles(system, trace, observables)
+    _finalize(system, observables)
+    return observables
+
+
+def _durable_config(trace: Trace, backend: str, batch_size, strategy: str):
+    return {
+        "strategy": strategy,
+        "resolution": trace.resolution,
+        "backend": backend,
+        "seed": trace.seed,
+        "batch_size": batch_size,
+        "firing": "instance",
+    }
+
+
+def _durable_replay(
+    trace: Trace,
+    backend: str,
+    batch_size,
+    strategy: str,
+    wal_path: str,
+    crashpoints: Crashpoints | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 0,
+    fsync_every: int = 4,
+) -> _Observables:
+    """One complete WAL-attached replay, including the closing sync.
+
+    Raises :class:`SimulatedCrash` (after abandoning the run, so nothing
+    post-crash becomes durable) when *crashpoints* fires anywhere in the
+    replay.  A small ``fsync_every`` keeps several unsynced records in
+    flight at typical trace sizes, so append-site crashes actually lose
+    data.
+    """
+    system = ProductionSystem(
+        trace.program,
+        strategy=strategy,
+        resolution=trace.resolution,
+        backend=backend,
+        seed=trace.seed,
+        batch_size=batch_size,
+    )
+    run = DurableRun.start(
+        system,
+        wal_path,
+        trace.program,
+        _durable_config(trace, backend, batch_size, strategy),
+        crashpoints=crashpoints,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        fsync_every=fsync_every,
+        include_rete=checkpoint_path is not None,
+    )
+    observables = _Observables()
+    driver = _OpDriver(system, batch_size)
+    try:
+        driver.apply_ops(
+            trace.ops,
+            0,
+            lambda position, d: run.ops_boundary(
+                position, extra=d.extra(position)
+            ),
+        )
+        _durable_cycles(run, trace, observables)
+        _finalize(system, observables)
+        run.close()
+    except SimulatedCrash:
+        run.abandon()
+        raise
+    return observables
+
+
+def _durable_cycles(run: DurableRun, trace: Trace, observables) -> None:
+    """Cycle loop over a DurableRun, recording the same observables."""
+    system = run.system
+    while run.next_cycle <= trace.max_cycles and not run.halted:
+        cycle = run.next_cycle
+        result = run.run(max_cycles=1)
+        if not result.fired:
+            break
+        observables.fired.extend(
+            (cycle, r.instantiation.rule_name, r.instantiation.key)
+            for r in result.fired
+        )
+        observables.checkpoints[("cycle", cycle)] = frozenset(
+            system.strategy.conflict_set_keys()
+        )
+
+
+def _finish_recovered(
+    state,
+    trace: Trace,
+    batch_size,
+    checkpoint_path: str | None,
+    checkpoint_every: int,
+) -> tuple[_Observables, frozenset, tuple | None]:
+    """Resume a recovered run to completion.
+
+    Returns the finished observables, the conflict set *at the recovery
+    point*, and the reference sync tag it must be compared against.
+    """
+    system = state.system
+    observables = _Observables()
+    observables.fired = list(state.fired)
+    at_recovery = frozenset(system.strategy.conflict_set_keys())
+    if state.phase == "ops":
+        tag = ("ops", state.position)
+    elif state.phase == "cycle":
+        tag = ("cycle", state.cycle)
+    else:
+        tag = None
+    run = DurableRun.resume(
+        state,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        include_rete=checkpoint_path is not None,
+    )
+    try:
+        driver = _OpDriver(system, batch_size)
+        if state.phase in (None, "setup", "ops"):
+            driver.restore(state.extra)
+            driver.apply_ops(
+                trace.ops,
+                state.position,
+                lambda position, d: run.ops_boundary(
+                    position, extra=d.extra(position)
+                ),
+            )
+        _durable_cycles(run, trace, observables)
+    finally:
+        run.close()
+    _finalize(system, observables)
+    return observables, at_recovery, tag
+
+
+def _compare(
+    trace: Trace,
+    label: str,
+    reference: _Observables,
+    candidate: _Observables,
+) -> CrashFinding | None:
+    """First disagreement between the reference and a finished variant.
+
+    Conflict-set checkpoints are compared at *shared* tags only: a run
+    recovered mid-flight legitimately lacks the tags it crossed before
+    the crash.  The fired sequence, output and final state are cumulative
+    (recovery folds the pre-crash prefix back in), so those are compared
+    in full.
+    """
+    shared = sorted(
+        set(reference.checkpoints) & set(candidate.checkpoints), key=repr
+    )
+    for tag in shared:
+        if reference.checkpoints[tag] != candidate.checkpoints[tag]:
+            return CrashFinding(
+                trace=trace,
+                label=label,
+                kind="conflict",
+                detail=f"conflict sets differ at {tag}",
+            )
+    if reference.fired != candidate.fired:
+        return CrashFinding(
+            trace=trace,
+            label=label,
+            kind="fired",
+            detail=(
+                f"fired sequences differ: {len(reference.fired)} vs "
+                f"{len(candidate.fired)} firings"
+            ),
+        )
+    if reference.output != candidate.output:
+        return CrashFinding(
+            trace=trace,
+            label=label,
+            kind="output",
+            detail=(
+                f"program output differs: {reference.output!r} vs "
+                f"{candidate.output!r}"
+            ),
+        )
+    if reference.final_wm != candidate.final_wm:
+        differing = sorted(
+            rel
+            for rel in set(reference.final_wm) | set(candidate.final_wm)
+            if reference.final_wm.get(rel) != candidate.final_wm.get(rel)
+        )
+        return CrashFinding(
+            trace=trace,
+            label=label,
+            kind="wm",
+            detail=f"final WM differs in relations {differing}",
+        )
+    if reference.final_conflict != candidate.final_conflict:
+        return CrashFinding(
+            trace=trace,
+            label=label,
+            kind="conflict",
+            detail="final conflict sets differ",
+        )
+    return None
+
+
+def run_crash_trace(
+    trace: Trace,
+    backend: str = "memory",
+    batch_size=1,
+    strategy: str = DEFAULT_CRASH_STRATEGY,
+    site: str | None = None,
+    after: int = 1,
+    rng: random.Random | None = None,
+    checkpoint_every: int = 0,
+    workdir: str | None = None,
+) -> tuple[CrashFinding | None, dict]:
+    """Crash one trace at *site* (or a random reachable site), recover,
+    finish, and compare against the uninterrupted reference.
+
+    Returns ``(finding_or_None, stats)`` where *stats* records what
+    happened: ``{"crashed": site_or_None, "recovered": bool,
+    "restarted": bool, "hits": {site: count}}``.
+    """
+    trace = _strip_control_ops(trace)
+    rng = rng or random.Random(trace.seed)
+    stats = {"crashed": None, "recovered": False, "restarted": False,
+             "hits": {}}
+
+    def _run(directory: str):
+        wal_path = os.path.join(directory, "crash.wal")
+        checkpoint_path = (
+            os.path.join(directory, "crash.ckpt") if checkpoint_every else None
+        )
+        reference = _plain_reference(trace, backend, batch_size, strategy)
+
+        # Uninterrupted durable dry run: pins WAL-attached == WAL-off and
+        # measures which sites this configuration actually crosses.  It
+        # checkpoints on the same schedule as the armed run, so
+        # ``checkpoint.mid`` crossings are counted too.
+        probe = Crashpoints()
+        dry = _durable_replay(
+            trace, backend, batch_size, strategy,
+            os.path.join(directory, "dry.wal"), crashpoints=probe,
+            checkpoint_path=(
+                os.path.join(directory, "dry.ckpt") if checkpoint_every else None
+            ),
+            checkpoint_every=checkpoint_every,
+        )
+        stats["hits"] = {
+            name: probe.hits(name) for name in CRASH_SITES if probe.hits(name)
+        }
+        finding = _compare(trace, f"{backend}/batch={batch_size}/wal-dry",
+                           reference, dry)
+        if finding is not None:
+            finding.kind = "wal-parity"
+            return finding
+
+        chosen = site
+        if chosen is None:
+            reachable = sorted(stats["hits"])
+            if not reachable:
+                return None
+            chosen = reachable[rng.randrange(len(reachable))]
+        crossings = stats["hits"].get(chosen, 0)
+        if crossings == 0:
+            return None  # site unreachable for this configuration
+        arm_after = after if site is not None else rng.randint(1, crossings)
+        arm_after = min(arm_after, crossings)
+
+        crashpoints = Crashpoints()
+        crashpoints.arm(chosen, after=arm_after)
+        label = (
+            f"{backend}/batch={batch_size}/{chosen}@{arm_after}"
+        )
+        try:
+            finished = _durable_replay(
+                trace, backend, batch_size, strategy, wal_path,
+                crashpoints=crashpoints, checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+            )
+            # The armed hit count exceeded the run's crossings (can happen
+            # for caller-pinned sites); the run finished uninterrupted.
+            return _compare(trace, label, reference, finished)
+        except SimulatedCrash:
+            stats["crashed"] = chosen
+
+        try:
+            state = recover(wal_path, checkpoint_path)
+        except RecoveryError:
+            # Nothing durable — restart from scratch, as an operator would.
+            stats["restarted"] = True
+            rerun = _durable_replay(
+                trace, backend, batch_size, strategy,
+                os.path.join(directory, "restart.wal"),
+            )
+            return _compare(trace, f"{label}/restart", reference, rerun)
+
+        stats["recovered"] = True
+        finished, at_recovery, tag = _finish_recovered(
+            state, trace, batch_size, checkpoint_path, checkpoint_every
+        )
+        if tag is not None and tag in reference.checkpoints:
+            if at_recovery != reference.checkpoints[tag]:
+                return CrashFinding(
+                    trace=trace,
+                    label=label,
+                    kind="conflict",
+                    detail=(
+                        f"conflict set at recovery point {tag} differs "
+                        "from the uninterrupted reference"
+                    ),
+                )
+        return _compare(trace, label, reference, finished)
+
+    if workdir is not None:
+        os.makedirs(workdir, exist_ok=True)
+        return _run(workdir), stats
+    with tempfile.TemporaryDirectory() as directory:
+        return _run(directory), stats
+
+
+def run_crash_check(
+    budget: int,
+    seed: int = 0,
+    backends=DEFAULT_CRASH_BACKENDS,
+    batch_sizes=DEFAULT_CRASH_BATCH_SIZES,
+    strategy: str = DEFAULT_CRASH_STRATEGY,
+    resolutions: tuple[str, ...] | None = None,
+    program: str | None = None,
+    checkpoint_every: int = 3,
+    save_repro_dir: str | None = None,
+    obs: Observability | None = None,
+) -> CrashReport:
+    """The ``repro check --crash`` campaign: *budget* traces, each crashed
+    at a random reachable site under a rotating backend × batch-size
+    configuration (checkpoints cut every few cycles on half the traces,
+    so both the checkpoint fast path and pure log replay are exercised).
+    """
+    from repro.check.corpus import save_repro
+
+    obs = obs or Observability()
+    report = CrashReport(budget=budget, seed=seed)
+    observing = obs.enabled
+    started = time.perf_counter()
+    generate_kwargs = (
+        {} if resolutions is None else {"resolutions": tuple(resolutions)}
+    )
+    backends = tuple(backends)
+    batch_sizes = tuple(batch_sizes)
+    for index in range(budget):
+        trace = generate_trace(seed, index, program=program, **generate_kwargs)
+        backend = backends[index % len(backends)]
+        batch_size = batch_sizes[(index // len(backends)) % len(batch_sizes)]
+        ckpt_every = checkpoint_every if index % 2 else 0
+        rng = random.Random(f"{seed}/{index}/crash")
+        with obs.span(
+            "check.crash_trace",
+            trace=trace.name,
+            backend=backend,
+            batch=str(batch_size),
+        ) as span:
+            finding, stats = run_crash_trace(
+                trace,
+                backend=backend,
+                batch_size=batch_size,
+                strategy=strategy,
+                rng=rng,
+                checkpoint_every=ckpt_every,
+            )
+            span.set("crashed", stats["crashed"] or "(none)")
+            span.set("ok", finding is None)
+        report.traces_run += 1
+        if stats["crashed"]:
+            report.crashes_fired += 1
+        if stats["recovered"]:
+            report.recoveries += 1
+        if stats["restarted"]:
+            report.restarts += 1
+        if observing:
+            metrics = obs.metrics
+            metrics.counter("check.crash_traces").inc()
+            if stats["crashed"]:
+                metrics.counter("check.crashes").inc()
+            if stats["recovered"]:
+                metrics.counter("check.recoveries").inc()
+        if finding is None:
+            continue
+        report.findings.append(finding)
+        if observing:
+            obs.metrics.counter("check.crash_failures").inc()
+        obs.event(
+            "check.crash_divergence",
+            trace=trace.name,
+            detail=finding.describe(),
+        )
+        if save_repro_dir is not None:
+            save_repro(
+                finding.trace.with_reason(finding.describe()),
+                save_repro_dir,
+            )
+    report.elapsed_s = time.perf_counter() - started
+    return report

@@ -129,16 +129,27 @@ def generate_ops(
     return tuple(ops)
 
 
+#: Default conflict-resolution rotation; ``--resolutions`` widens it.
+DEFAULT_RESOLUTIONS = ("lex",)
+
+
 def generate_trace(
-    seed: int, index: int, program: str | None = None
+    seed: int,
+    index: int,
+    program: str | None = None,
+    resolutions: tuple[str, ...] = DEFAULT_RESOLUTIONS,
 ) -> Trace:
     """Trace number *index* of the fuzz run seeded with *seed*.
 
     With *program* given (the ``repro check FILE`` form), only the op
     script is generated; insert/modify targets come from the program's own
     ``literalize`` schemas rather than the profile's synthetic spec.
+    *resolutions* rotates with the index (orthogonally to the profile
+    rotation, which has co-prime length for the built-in lists), so a
+    budget of N traces sweeps profile × resolver combinations.
     """
     profile = PROFILES[index % len(PROFILES)]
+    resolution = resolutions[index % len(resolutions)]
     spec = profile.spec(seed * 10_007 + index)
     if program is None:
         program = format_program(generate_program(spec).program)
@@ -163,4 +174,5 @@ def generate_trace(
         program=program,
         ops=ops,
         max_cycles=30,
+        resolution=resolution,
     )

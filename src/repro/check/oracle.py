@@ -182,8 +182,9 @@ class _Replayer:
         self.system = ProductionSystem(
             trace.program,
             strategy=self.strategy_cls,
-            resolution="lex",
+            resolution=trace.resolution,
             backend=config.backend,
+            seed=trace.seed,
             batch_size=config.batch_size,
         )
         self.result = ReplayResult(config=config)

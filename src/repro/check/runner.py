@@ -95,12 +95,15 @@ def run_check(
     save_repro_dir: str | None = None,
     obs: Observability | None = None,
     shrink_failures: bool = True,
+    resolutions: tuple[str, ...] | None = None,
 ) -> CheckReport:
     """Run a fuzz campaign of *budget* traces; returns the report.
 
     *strategies* restricts (or, as a mapping of name → class, replaces)
     the strategy set; *backends* / *batch_sizes* restrict their axes.
     *program* pins the rule base (only op scripts are fuzzed).
+    *resolutions* rotates conflict-resolution strategies across traces
+    (each trace records the one it used, so repros stay self-contained).
     """
     obs = obs or Observability()
     matrix_kwargs = {}
@@ -112,8 +115,11 @@ def run_check(
     report = CheckReport(budget=budget, seed=seed, configs=len(configs))
     observing = obs.enabled
     started = time.perf_counter()
+    generate_kwargs = (
+        {} if resolutions is None else {"resolutions": tuple(resolutions)}
+    )
     for index in range(budget):
-        trace = generate_trace(seed, index, program=program)
+        trace = generate_trace(seed, index, program=program, **generate_kwargs)
         trace_started = time.perf_counter()
         with obs.span(
             "check.trace", trace=trace.name, ops=len(trace.ops)

@@ -105,6 +105,10 @@ class Trace:
     ops: tuple[TraceOp, ...] = ()
     max_cycles: int = 30
     reason: str = ""
+    #: Conflict-resolution strategy every replay of this trace uses; part
+    #: of the trace (not the config matrix) because the resolver decides
+    #: the fired sequence, which must agree across configurations.
+    resolution: str = "lex"
 
     def with_ops(self, ops) -> "Trace":
         return replace(self, ops=tuple(ops))
@@ -120,6 +124,7 @@ class Trace:
             "name": self.name,
             "seed": self.seed,
             "reason": self.reason,
+            "resolution": self.resolution,
             "program": self.program,
             "ops": [op.to_json() for op in self.ops],
             "max_cycles": self.max_cycles,
@@ -134,6 +139,7 @@ class Trace:
             ops=tuple(TraceOp.from_json(op) for op in data.get("ops", [])),
             max_cycles=int(data.get("max_cycles", 30)),
             reason=data.get("reason", ""),
+            resolution=data.get("resolution", "lex"),
         )
 
     def dumps(self) -> str:

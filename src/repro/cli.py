@@ -7,8 +7,12 @@
                                         [--trace-out t.jsonl]
                                         [--metrics-out m.json]
                                         [--manifest [DIR]]
-    python -m repro.cli stats program.ops
+                                        [--wal run.wal]
+                                        [--checkpoint-every N]
+    python -m repro.cli resume run.wal [--checkpoint FILE]
+    python -m repro.cli stats program.ops [--flamegraph [OUT]]
     python -m repro.cli check program.ops
+    python -m repro.cli check --budget N [--resolutions lex,mea] [--crash]
     python -m repro.cli format program.ops
     python -m repro.cli report [f1 e1 ... e9]
 
@@ -17,11 +21,16 @@
 the firing trace, ``(write ...)`` output, and the final working memory;
 ``--trace-out`` streams spans/events as JSON lines, ``--metrics-out``
 writes the final metrics snapshot, ``--manifest`` records the run under
-``runs/<run_id>/``.  ``stats`` runs the program with the phase-stats sink
-and prints a per-rule Match/Select/Act cost table.  ``check`` validates a
-program and summarizes its rules; ``format`` normalizes it back to
-canonical text; ``report`` regenerates the experiment tables of
-EXPERIMENTS.md.
+``runs/<run_id>/``, ``--wal`` makes the run durable (a write-ahead log of
+every committed delta batch and cycle boundary, optionally
+checkpointed).  ``resume`` recovers an interrupted ``--wal`` run and
+finishes it.  ``stats`` runs the program with the phase-stats sink and
+prints a per-rule Match/Select/Act cost table, or with ``--flamegraph``
+emits collapsed stacks for flamegraph.pl.  ``check`` validates a program
+and summarizes its rules; with ``--budget`` it differential-fuzzes the
+strategy matrix, and ``--crash`` turns that into the crash-recovery
+equivalence campaign; ``format`` normalizes a program back to canonical
+text; ``report`` regenerates the experiment tables of EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -44,6 +53,10 @@ from repro.obs import (
     git_sha,
     program_hash,
 )
+
+
+#: Conflict-resolution strategy names accepted by ``--resolution``.
+RESOLUTIONS = ("lex", "mea", "priority", "fifo", "random")
 
 
 def _read(path: str) -> str:
@@ -74,7 +87,21 @@ def _run_status(result) -> str:
     )
 
 
+def _checkpoint_path(args: argparse.Namespace) -> str | None:
+    """The checkpoint file a ``--wal`` run writes, if any."""
+    if args.checkpoint:
+        return args.checkpoint
+    if args.checkpoint_every or args.checkpoint_bytes:
+        return args.wal + ".ckpt"
+    return None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if not args.wal and (
+        args.checkpoint or args.checkpoint_every or args.checkpoint_bytes
+    ):
+        print("error: checkpoint options require --wal", file=sys.stderr)
+        return 2
     source = _read(args.file)
     obs = Observability()
     if args.trace_out:
@@ -91,7 +118,32 @@ def cmd_run(args: argparse.Namespace) -> int:
         obs=obs,
         batch_size=args.batch_size,
     )
-    result = system.run(max_cycles=args.max_cycles)
+    if args.wal:
+        from repro.recovery import DurableRun
+
+        durable = DurableRun.start(
+            system,
+            args.wal,
+            source,
+            {
+                "strategy": args.strategy,
+                "resolution": args.resolution,
+                "backend": args.backend,
+                "seed": args.seed,
+                "batch_size": args.batch_size,
+                "firing": "instance",
+            },
+            fsync_every=args.fsync_every,
+            checkpoint_path=_checkpoint_path(args),
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_bytes=args.checkpoint_bytes,
+        )
+        try:
+            result = durable.run(max_cycles=args.max_cycles)
+        finally:
+            durable.close()
+    else:
+        result = system.run(max_cycles=args.max_cycles)
     if not args.quiet:
         for record in result.fired:
             print(f"{record.cycle:4d}. {record.instantiation}")
@@ -138,9 +190,51 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_resume(args: argparse.Namespace) -> int:
+    """``repro resume run.wal``: recover a crashed run and finish it."""
+    from repro.recovery import recover, resume_run
+
+    obs = Observability()
+    if args.trace_out:
+        obs.add_sink(JsonlFileSink(args.trace_out))
+    state = recover(args.wal, args.checkpoint, obs=obs)
+    print(
+        f"recovered {args.wal}: phase={state.phase} cycle={state.cycle} "
+        f"position={state.position} "
+        f"({state.replayed_batches} batches, {state.replayed_deltas} deltas"
+        f"{', checkpoint' if state.checkpoint_used else ''}"
+        f"{', torn tail truncated' if state.torn else ''})"
+    )
+    if state.halted:
+        print("run had already halted; nothing to resume")
+    result = resume_run(
+        state,
+        max_cycles=args.max_cycles,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_bytes=args.checkpoint_bytes,
+    )
+    system = state.system
+    if not args.quiet:
+        for record in result.fired:
+            print(f"{record.cycle:4d}. {record.instantiation}")
+        for line in system.output:
+            print("write:", *line)
+    print(f"{result.cycles} cycles after recovery, {_run_status(result)}")
+    if not args.quiet:
+        print("final working memory:")
+        for class_name in system.wm.schemas:
+            for wme in system.wm.tuples(class_name):
+                print(" ", wme)
+    obs.close()
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.bench.tables import render_table
 
+    if args.flamegraph is not None:
+        return _cmd_stats_flamegraph(args)
     sink = PhaseStatsSink()
     obs = Observability(sinks=[sink], collect_metrics=True)
     system = ProductionSystem(
@@ -169,12 +263,47 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats_flamegraph(args: argparse.Namespace) -> int:
+    """``repro stats --flamegraph``: collapsed stacks for flamegraph.pl.
+
+    FILE may be a ``--trace-out`` span stream (``*.jsonl``), which is
+    folded as-is — the way to see a ``--wal`` run's ``recovery.fsync``
+    time — or an OPS5 program, which is executed here with tracing on.
+    """
+    from repro.obs import CallbackSink, fold_spans, fold_trace_file
+    from repro.obs.flame import render_folded
+
+    if args.file.endswith(".jsonl"):
+        stacks = fold_trace_file(args.file)
+    else:
+        records: list[dict] = []
+        obs = Observability(sinks=[CallbackSink(records.append)])
+        system = ProductionSystem(
+            _read(args.file),
+            strategy=args.strategy,
+            resolution=args.resolution,
+            backend=args.backend,
+            seed=args.seed,
+            obs=obs,
+        )
+        system.run(max_cycles=args.max_cycles)
+        stacks = fold_spans(records)
+    folded = render_folded(stacks)
+    if args.flamegraph == "-":
+        sys.stdout.write(folded)
+    else:
+        with open(args.flamegraph, "w", encoding="utf-8") as handle:
+            handle.write(folded)
+        print(f"{len(stacks)} stacks -> {args.flamegraph}")
+    return 0
+
+
 def _csv(text: str) -> list[str]:
     return [item for item in (part.strip() for part in text.split(",")) if item]
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    if args.budget is not None or args.file is None:
+    if args.budget is not None or args.file is None or args.crash:
         return _cmd_check_fuzz(args)
     program = parse_program(_read(args.file))
     analyses = analyze_program(program.rules, program.schemas)
@@ -221,11 +350,24 @@ def _cmd_check_fuzz(args: argparse.Namespace) -> int:
     batch_sizes = None
     if args.batch_sizes:
         batch_sizes = [_batch_size(text) for text in _csv(args.batch_sizes)]
+    resolutions = None
+    if args.resolutions:
+        names = _csv(args.resolutions)
+        unknown = sorted(set(names) - set(RESOLUTIONS))
+        if unknown:
+            print(f"error: unknown resolutions: {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        resolutions = tuple(names)
     obs = Observability()
     if args.trace_out:
         obs.add_sink(JsonlFileSink(args.trace_out))
     if args.metrics_out:
         obs.enable_metrics()
+    if args.crash:
+        return _cmd_check_crash(
+            args, budget, backends, batch_sizes, resolutions, obs
+        )
     report = run_check(
         budget=budget,
         seed=args.seed,
@@ -235,6 +377,7 @@ def _cmd_check_fuzz(args: argparse.Namespace) -> int:
         program=_read(args.file) if args.file else None,
         save_repro_dir=args.save_repro,
         obs=obs,
+        resolutions=resolutions,
     )
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
@@ -250,6 +393,37 @@ def _cmd_check_fuzz(args: argparse.Namespace) -> int:
             )
         if failure.repro_path:
             print(f"  repro saved: {failure.repro_path}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_check_crash(
+    args, budget, backends, batch_sizes, resolutions, obs
+) -> int:
+    """``repro check --crash``: the crash-recovery equivalence campaign."""
+    from repro.check import run_crash_check
+
+    kwargs = {}
+    if backends is not None:
+        kwargs["backends"] = tuple(backends)
+    if batch_sizes is not None:
+        kwargs["batch_sizes"] = tuple(batch_sizes)
+    report = run_crash_check(
+        budget=budget,
+        seed=args.seed,
+        resolutions=resolutions,
+        program=_read(args.file) if args.file else None,
+        save_repro_dir=args.save_repro,
+        obs=obs,
+        **kwargs,
+    )
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(obs.metrics.snapshot(), handle, indent=2, default=str)
+            handle.write("\n")
+    obs.close()
+    for finding in report.findings:
+        print(f"FAIL {finding.trace.name}: {finding.describe()}")
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -290,14 +464,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", default="patterns", choices=sorted(STRATEGIES)
     )
     run.add_argument(
-        "--resolution",
-        default="lex",
-        choices=["lex", "mea", "priority", "fifo", "random"],
+        "--resolution", default="lex", choices=list(RESOLUTIONS)
     )
     run.add_argument("--backend", default="memory",
                      choices=["memory", "sqlite"])
     run.add_argument("--max-cycles", type=int, default=10_000)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--wal",
+        metavar="FILE",
+        help="attach a write-ahead log: every committed delta batch and "
+        "cycle boundary is logged to FILE, making the run resumable with "
+        "'repro resume FILE' after a crash",
+    )
+    run.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="checkpoint snapshot path (default: WAL path + '.ckpt' when "
+        "--checkpoint-every/--checkpoint-bytes is set)",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cut a checkpoint every N engine cycles (requires --wal)",
+    )
+    run.add_argument(
+        "--checkpoint-bytes",
+        type=int,
+        default=0,
+        metavar="M",
+        help="cut a checkpoint every M durable log bytes (requires --wal)",
+    )
+    run.add_argument(
+        "--fsync-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="fsync the WAL every N buffered records (boundaries always "
+        "sync; default: 64)",
+    )
     run.add_argument(
         "--batch-size",
         type=_batch_size,
@@ -328,6 +535,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(handler=cmd_run)
 
+    resume = commands.add_parser(
+        "resume",
+        help="recover a crashed --wal run from its log and finish it",
+    )
+    resume.add_argument("wal", help="write-ahead log of the crashed run")
+    resume.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="checkpoint to fast-start from (validated against the log)",
+    )
+    resume.add_argument("--max-cycles", type=int, default=10_000)
+    resume.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="keep checkpointing every N cycles while finishing",
+    )
+    resume.add_argument(
+        "--checkpoint-bytes", type=int, default=0, metavar="M",
+        help="keep checkpointing every M durable log bytes",
+    )
+    resume.add_argument("--quiet", action="store_true")
+    resume.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write recovery.* spans and events as JSON lines to FILE",
+    )
+    resume.set_defaults(handler=cmd_resume)
+
     stats = commands.add_parser(
         "stats", help="per-rule Match/Select/Act cost table for one run"
     )
@@ -336,14 +570,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", default="patterns", choices=sorted(STRATEGIES)
     )
     stats.add_argument(
-        "--resolution",
-        default="lex",
-        choices=["lex", "mea", "priority", "fifo", "random"],
+        "--resolution", default="lex", choices=list(RESOLUTIONS)
     )
     stats.add_argument("--backend", default="memory",
                        choices=["memory", "sqlite"])
     stats.add_argument("--max-cycles", type=int, default=10_000)
     stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--flamegraph",
+        nargs="?",
+        const="-",
+        metavar="OUT",
+        help="emit collapsed stacks (flamegraph.pl format) instead of the "
+        "cost table; FILE may be a --trace-out *.jsonl span stream (folded "
+        "as-is, showing e.g. recovery.fsync time of a --wal run) or a "
+        "program to execute with tracing; OUT defaults to stdout",
+    )
     stats.set_defaults(handler=cmd_stats)
 
     check = commands.add_parser(
@@ -379,6 +621,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N,M,...",
         help="comma-separated batch sizes, ints or 'auto' "
         "(default: 1,8,auto)",
+    )
+    check.add_argument(
+        "--resolutions",
+        metavar="A,B,...",
+        help="comma-separated conflict-resolution strategies rotated "
+        "across generated traces (default: lex)",
+    )
+    check.add_argument(
+        "--crash",
+        action="store_true",
+        help="run the crash-recovery equivalence campaign instead: each "
+        "trace runs under a WAL, is killed at a random armed crash site, "
+        "recovered, finished, and compared to its uninterrupted reference",
     )
     check.add_argument(
         "--save-repro",

@@ -366,6 +366,32 @@ class ProductionSystem:
         assert isinstance(self.batch_size, int)
         return self.batch_size
 
+    @property
+    def auto_batch_size(self) -> int | None:
+        """The tuner's current size under ``batch_size="auto"``, else None.
+
+        Recorded in WAL boundary records so a recovered run resumes with
+        the budget the crashed run had tuned its way to.
+        """
+        return self._auto_tuner.size if self._auto_tuner is not None else None
+
+    def restore_run_state(
+        self,
+        fired_keys,
+        output,
+        auto_batch_size: int | None = None,
+    ) -> None:
+        """Reinstate run state captured in WAL boundary records.
+
+        *fired_keys* refill the refraction set, *output* rows (JSON lists
+        or tuples) re-extend the program output, and *auto_batch_size*
+        restores the tuner when ``batch_size="auto"``.
+        """
+        self._fired_keys.update(fired_keys)
+        self.output.extend(tuple(row) for row in output)
+        if auto_batch_size is not None and self._auto_tuner is not None:
+            self._auto_tuner.size = auto_batch_size
+
     def _observe_flush(self, batch: DeltaBatch) -> int | None:
         """Feed one flushed batch to the auto-tuner; returns the new size
         (``None`` when the batch size is fixed)."""

@@ -96,6 +96,19 @@ class SeededRandom:
         ordered = sorted(candidates, key=canonical_key)
         return ordered[self._rng.randrange(len(ordered))]
 
+    def getstate(self) -> tuple:
+        """The underlying RNG state (for WAL boundary records)."""
+        return self._rng.getstate()
+
+    def setstate(self, state) -> None:
+        """Restore a state captured by :meth:`getstate`.
+
+        Accepts the JSON round-tripped form (lists instead of tuples), so
+        crash recovery can feed it straight from a log record.
+        """
+        version, internal, gauss_next = state
+        self._rng.setstate((version, tuple(internal), gauss_next))
+
 
 def make_resolver(name: str, seed: int = 0) -> Resolver:
     """Build a resolver by name: lex, mea, priority, fifo, random."""

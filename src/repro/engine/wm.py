@@ -16,13 +16,29 @@ Two change-propagation granularities exist (§4.2.3's set-orientation):
 * set-at-a-time — :meth:`apply_batch` applies a whole operation list to
   storage first (grouped per relation, one backend transaction) and then
   notifies each listener *once* with a :class:`~repro.delta.DeltaBatch`;
-  :meth:`begin_batch`/:meth:`flush_batch`/:meth:`end_batch` buffer the
-  notifications of ordinary mutations the same way (used by the act phase
-  and the transaction layer, where returned tuples must be real
-  immediately but maintenance may run per batch).
+  :meth:`begin_batch`/:meth:`flush_batch`/:meth:`end_batch` buffer both
+  the notifications *and the storage writes* of ordinary mutations the
+  same way (used by the act phase and the transaction layer).
+
+Batch scopes *stage* their writes: an insert reserves a real tuple id and
+timetag immediately (so the returned element is identical to what an
+eager write would produce) but the row only reaches the backend at flush,
+grouped per relation through ``delete_many``/``insert_prepared`` inside
+one backend transaction.  Inside a scope, point reads through
+:meth:`WorkingMemory.get` consult the staged overlay, so RHS actions and
+the engine's liveness check observe their own writes; raw table scans see
+the pre-batch storage state until the flush.  Insert/delete pairs netted
+away by :meth:`~repro.delta.DeltaBatch.net` never reach storage at all
+(their tid and timetag stay consumed, exactly as under eager writes).
 
 Listeners that implement ``on_delta(batch)`` receive the batch whole;
 anything else gets the classic per-tuple callbacks in batch order.
+
+When a write-ahead log is attached (``wm.wal``, see
+:mod:`repro.recovery.wal`), every delivered batch — and every
+tuple-at-a-time mutation — is appended to the log *after* the listeners
+(the maintenance process) have consumed it, matching §5's
+commit-after-maintenance discipline.
 """
 
 from __future__ import annotations
@@ -32,7 +48,7 @@ from contextlib import contextmanager
 from typing import Protocol
 
 from repro.delta import DELETE, INSERT, Delta, DeltaBatch
-from repro.errors import MatchError
+from repro.errors import MatchError, StorageError
 from repro.instrument import Counters
 from repro.obs import Observability
 from repro.storage.catalog import Catalog
@@ -76,6 +92,14 @@ class WorkingMemory:
             self.catalog.create(schema)
         self._listeners: list[WMListener] = []
         self._pending: list[Delta] | None = None
+        #: Staged-row overlay, non-None exactly while a batch scope is
+        #: open: ``(relation, tid) -> StoredTuple`` for rows inserted but
+        #: not yet flushed, ``-> None`` for rows deleted in this scope.
+        self._staged: dict[tuple[str, int], StoredTuple | None] | None = None
+        #: Optional write-ahead log (:class:`repro.recovery.wal.WalWriter`
+        #: or anything with ``log_batch(DeltaBatch)``); when attached,
+        #: every delivered batch is appended after listener fan-out.
+        self.wal = None
 
     # -- listeners ------------------------------------------------------------
 
@@ -107,12 +131,45 @@ class WorkingMemory:
         return self.relation(class_name).scan()
 
     def get(self, class_name: str, tid: int) -> StoredTuple:
-        """Fetch one element by tuple id."""
+        """Fetch one element by tuple id.
+
+        Inside a batch scope the staged overlay answers first, so callers
+        observe the scope's own not-yet-flushed writes (and deletes).
+        """
+        staged = self._staged
+        if staged is not None:
+            key = (class_name, tid)
+            if key in staged:
+                entry = staged[key]
+                if entry is None:
+                    raise StorageError(
+                        f"relation {class_name!r} has no tuple #{tid}"
+                    )
+                return entry
         return self.relation(class_name).get(tid)
 
     def size(self) -> int:
         """Total number of WM elements across all classes."""
         return sum(len(self.relation(name)) for name in self.schemas)
+
+    def tid_marks(self) -> dict[str, int]:
+        """Per-relation tuple-id high-water marks (identity allocation).
+
+        Recorded at WAL boundaries: reserved tids whose rows were netted
+        away never reach storage, so the marks — not ``MAX(tid)`` — are
+        what recovery must restore for a resumed run to allocate the same
+        identities the uninterrupted run would have.
+        """
+        return {
+            name: self.relation(name).tid_high_water()
+            for name in self.schemas
+        }
+
+    def restore_tid_marks(self, marks: dict[str, int]) -> None:
+        """Push every relation's allocation mark to at least *marks*."""
+        for name, tid in marks.items():
+            if name in self.schemas:
+                self.relation(name).advance_tid(tid)
 
     # -- mutation ----------------------------------------------------------------
 
@@ -121,30 +178,60 @@ class WorkingMemory:
     ) -> StoredTuple:
         """Insert a WM element and notify listeners; returns the element.
 
-        Inside a batch scope the notification is buffered instead (the
-        storage write still happens immediately).
+        Inside a batch scope the notification is buffered and the storage
+        write staged: the element gets its real tid and timetag now (so it
+        is bit-identical to an eager write) but reaches the backend only
+        at the next flush, batched per relation.
         """
         table = self.relation(class_name)
         if isinstance(values, dict):
-            wme = table.insert_mapping(values)
-        else:
-            wme = table.insert(values)
-        if self._pending is not None:
+            values = table.schema.row_from_mapping(values)
+        if self._staged is not None:
+            values = tuple(values)
+            table.schema.validate_row(values)
+            wme = StoredTuple(
+                relation=class_name,
+                tid=table.reserve_tid(),
+                timetag=self.catalog.clock.tick(),
+                values=values,
+            )
+            self._staged[(class_name, wme.tid)] = wme
             self._pending.append(Delta(INSERT, wme))
-        else:
-            for listener in list(self._listeners):
-                listener.on_insert(wme)
+            return wme
+        wme = table.insert(tuple(values))
+        self._notify(Delta(INSERT, wme))
         return wme
 
     def remove(self, wme: StoredTuple) -> StoredTuple:
         """Delete a WM element and notify listeners; returns the element."""
-        removed = self.relation(wme.relation).delete(wme.tid)
-        if self._pending is not None:
+        table = self.relation(wme.relation)
+        staged = self._staged
+        if staged is not None:
+            key = (wme.relation, wme.tid)
+            if key in staged:
+                removed = staged[key]
+                if removed is None:
+                    raise StorageError(
+                        f"relation {wme.relation!r} has no tuple #{wme.tid}"
+                    )
+            else:
+                removed = table.get(wme.tid)
+            staged[key] = None
             self._pending.append(Delta(DELETE, removed))
-        else:
-            for listener in list(self._listeners):
-                listener.on_delete(removed)
+            return removed
+        removed = table.delete(wme.tid)
+        self._notify(Delta(DELETE, removed))
         return removed
+
+    def _notify(self, delta: Delta) -> None:
+        """Tuple-at-a-time fan-out (no batch scope open), then the WAL."""
+        for listener in list(self._listeners):
+            if delta.op == INSERT:
+                listener.on_insert(delta.wme)
+            else:
+                listener.on_delete(delta.wme)
+        if self.wal is not None:
+            self.wal.log_batch(DeltaBatch([delta]))
 
     def modify(
         self, wme: StoredTuple, changes: dict[str, Value]
@@ -169,26 +256,57 @@ class WorkingMemory:
         return len(self._pending) if self._pending is not None else 0
 
     def begin_batch(self) -> None:
-        """Start buffering change notifications into a batch."""
+        """Start buffering change notifications (and storage writes)."""
         if self._pending is not None:
             raise MatchError("a WM batch is already open")
         self._pending = []
+        self._staged = {}
 
     def flush_batch(self) -> DeltaBatch:
-        """Deliver buffered deltas as one batch; stay in batch mode."""
+        """Flush staged writes and deliver buffered deltas as one batch;
+        stay in batch mode."""
         if self._pending is None:
             raise MatchError("no WM batch is open")
         batch = DeltaBatch(self._pending).net()
         self._pending = []
+        self._staged = {}
         if batch:
+            self._apply_storage(batch)
             self._deliver(batch)
+            if self.wal is not None:
+                self.wal.log_batch(batch)
         return batch
 
     def end_batch(self) -> DeltaBatch:
         """Deliver buffered deltas and leave batch mode."""
         batch = self.flush_batch()
         self._pending = None
+        self._staged = None
         return batch
+
+    def _apply_storage(self, batch: DeltaBatch) -> None:
+        """Persist one netted staged batch: deletes then inserts, grouped
+        per relation, in a single backend transaction.
+
+        Rows already carry their reserved tid and timetag, so inserts go
+        through ``insert_prepared``; netted insert/delete pairs are gone
+        from *batch* and never touch the backend.
+        """
+        deletes = batch.deletes
+        inserts = batch.inserts
+        with self.catalog.transaction():
+            if deletes:
+                groups: dict[str, list[int]] = {}
+                for delta in deletes:
+                    groups.setdefault(delta.relation, []).append(delta.tid)
+                for relation, tids in groups.items():
+                    self.relation(relation).delete_many(tids)
+            if inserts:
+                rows: dict[str, list[StoredTuple]] = {}
+                for delta in inserts:
+                    rows.setdefault(delta.relation, []).append(delta.wme)
+                for relation, staged_rows in rows.items():
+                    self.relation(relation).insert_prepared(staged_rows)
 
     @contextmanager
     def batch(self):
@@ -279,7 +397,26 @@ class WorkingMemory:
         batch = DeltaBatch(d for d in deltas if d is not None)
         if batch:
             self._deliver(batch)
+            if self.wal is not None:
+                self.wal.log_batch(batch)
         return batch
+
+    def restore_batch(self, batch: DeltaBatch) -> None:
+        """Re-apply one committed batch during crash recovery.
+
+        Rows keep the exact tid and timetag recorded in the log
+        (``insert_prepared``), the shared clock is advanced past every
+        replayed timetag, and listeners are notified once — replaying the
+        maintenance process.  Never logged to the WAL (the records came
+        *from* it).
+        """
+        if self._pending is not None:
+            raise MatchError("restore_batch cannot run inside an open WM batch")
+        self._apply_storage(batch)
+        for delta in batch:
+            self.catalog.clock.advance_to(delta.wme.timetag)
+        if batch:
+            self._deliver(batch)
 
     def _deliver(self, batch: DeltaBatch) -> None:
         """Fan one batch out to every listener, preferring ``on_delta``."""

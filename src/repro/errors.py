@@ -60,3 +60,13 @@ class DeadlockError(TransactionError):
 
 class IndexError_(ReproError):
     """An R-tree/predicate-index operation failed (name avoids builtin)."""
+
+
+class RecoveryError(ReproError):
+    """Durability machinery misuse or an unrecoverable log/checkpoint."""
+
+
+class WalCorruptError(RecoveryError):
+    """A WAL record failed its checksum or sequence check *before* the
+    torn tail — the log is damaged, not merely truncated, and recovery
+    refuses to guess."""

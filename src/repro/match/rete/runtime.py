@@ -477,9 +477,35 @@ class NegativeNode:
         self.counters = counters
         self.children: list[BetaMemory | NegativeNode | ProductionNode] = []
         self.results: dict[Token, set[WmeKey]] = {}
+        #: Pure-equality tests admit hash-keyed witness probes on the
+        #: batch paths (``compare("=", a, b)`` agrees exactly with dict
+        #: key equality over the value domain); any other operator falls
+        #: back to the nested scan.  Vacuously true for test-free nodes.
+        self.hash_eligible = all(test.op == "=" for test in tests)
         bmem.children.append(self)
         amem.successors.append(self)
         self.runtime: ReteRuntime | None = None
+
+    def _witness_key(self, wme: StoredTuple) -> tuple:
+        """The RIGHT element's values at the tested positions."""
+        self.counters.comparisons += len(self.tests)
+        return tuple(wme.values[test.own_position] for test in self.tests)
+
+    def _probe_key(self, token: Token) -> tuple | None:
+        """The LEFT token's values at the tested positions.
+
+        ``None`` when an ancestor slot holds no element (a negated CE
+        upstream): every join test fails against it, so the token can
+        have no witnesses at all.
+        """
+        values = []
+        for test in self.tests:
+            other = token.ancestor(test.levels_up - 1).wme
+            self.counters.comparisons += 1
+            if other is None:
+                return None
+            values.append(other.values[test.other_position])
+        return tuple(values)
 
     def left_activate_new_token(self, runtime: "ReteRuntime", token: Token) -> None:
         self.counters.node_activations += 1
@@ -510,19 +536,42 @@ class NegativeNode:
     def left_activate_token_set(
         self, runtime: "ReteRuntime", tokens: list[Token], group: str
     ) -> None:
-        """A LEFT token set: one RIGHT probe computes every witness set."""
+        """A LEFT token set: one RIGHT probe computes every witness set.
+
+        With pure-equality tests the RIGHT memory is indexed once by the
+        tested positions and each token's witnesses come from a single
+        hash lookup — O(T + R) instead of the O(T × R) nested scan.
+        """
         self.counters.node_activations += 1
         with _probe_span(
             runtime, self.name, "left", "RIGHT", group, len(tokens)
         ) as span:
             rights = list(self.amem.items.values())
             unblocked: list[tuple[Token, StoredTuple | None]] = []
-            for token in tokens:
-                matches = {
-                    wme_key(wme)
-                    for wme in rights
-                    if _run_join_tests(self.tests, token, wme, self.counters)
-                }
+            if self.hash_eligible:
+                span.set("probe", "hash")
+                index: dict[tuple, list[StoredTuple]] = {}
+                for wme in rights:
+                    index.setdefault(self._witness_key(wme), []).append(wme)
+                witness_lists = []
+                for token in tokens:
+                    probe = self._probe_key(token)
+                    witness_lists.append(
+                        index.get(probe, ()) if probe is not None else ()
+                    )
+            else:
+                witness_lists = [
+                    [
+                        wme
+                        for wme in rights
+                        if _run_join_tests(
+                            self.tests, token, wme, self.counters
+                        )
+                    ]
+                    for token in tokens
+                ]
+            for token, witnesses in zip(tokens, witness_lists):
+                matches = {wme_key(wme) for wme in witnesses}
                 self.results[token] = matches
                 for key in matches:
                     runtime.register_negative(key, self, token)
@@ -548,16 +597,34 @@ class NegativeNode:
         with _probe_span(
             runtime, self.name, "right", "LEFT", group, len(wmes)
         ) as span:
-            for token, matches in list(self.results.items()):
-                was_empty = not matches
-                hit = False
+            buckets: dict[tuple, list[StoredTuple]] | None = None
+            if self.hash_eligible:
+                span.set("probe", "hash")
+                buckets = {}
                 for wme in wmes:
-                    if _run_join_tests(self.tests, token, wme, self.counters):
-                        key = wme_key(wme)
-                        matches.add(key)
-                        runtime.register_negative(key, self, token)
-                        hit = True
-                if was_empty and hit:
+                    buckets.setdefault(self._witness_key(wme), []).append(wme)
+            for token, matches in list(self.results.items()):
+                if buckets is not None:
+                    probe = self._probe_key(token)
+                    hits = (
+                        buckets.get(probe, ()) if probe is not None else ()
+                    )
+                else:
+                    hits = [
+                        wme
+                        for wme in wmes
+                        if _run_join_tests(
+                            self.tests, token, wme, self.counters
+                        )
+                    ]
+                if not hits:
+                    continue
+                was_empty = not matches
+                for wme in hits:
+                    key = wme_key(wme)
+                    matches.add(key)
+                    runtime.register_negative(key, self, token)
+                if was_empty:
                     newly_blocked.append(token)
             span.set("pairs", len(newly_blocked))
         for token in newly_blocked:

@@ -10,6 +10,8 @@ benchmarks:
   histograms, absorbing :class:`repro.instrument.Counters`;
 * :mod:`repro.obs.sinks` — ring buffer, console, JSON-lines file;
 * :mod:`repro.obs.manifest` — ``runs/<run_id>/manifest.json`` records;
+* :mod:`repro.obs.flame` — collapsed-stack (flamegraph) folding of span
+  streams, for ``repro stats --flamegraph``;
 * :mod:`repro.obs.stats` — per-rule per-phase cost aggregation.
 
 The facade is :class:`Observability`: one object bundling a tracer, a
@@ -23,6 +25,7 @@ from __future__ import annotations
 
 import time
 
+from repro.obs.flame import fold_spans, fold_trace_file, render_folded
 from repro.obs.manifest import (
     RunManifest,
     git_sha,
@@ -149,8 +152,11 @@ __all__ = [
     "Span",
     "Tracer",
     "close_sink",
+    "fold_spans",
+    "fold_trace_file",
     "git_sha",
     "new_run_id",
     "program_hash",
+    "render_folded",
     "repro_footer",
 ]

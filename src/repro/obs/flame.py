@@ -1,0 +1,76 @@
+"""Collapsed-stack (flamegraph) folding of span streams.
+
+Spans are emitted on exit, post-order, each carrying the nesting
+``depth`` it was opened at (:mod:`repro.obs.tracing`).  That is exactly
+enough to rebuild the call tree without timestamps: when a span at depth
+*d* completes, every not-yet-claimed completed span at depth *d+1* is one
+of its children.
+
+:func:`fold_spans` turns a record stream into the collapsed-stack format
+Brendan Gregg's ``flamegraph.pl`` (and every compatible viewer — speedscope,
+inferno) consumes: one line per unique stack, ``root;child;leaf <weight>``,
+where the weight is the stack's *self* time in integer microseconds — its
+own duration minus its children's.  Folding ``repro run --wal x.wal
+--trace-out t.jsonl`` output makes the durability tax visible as the
+``cycle;act;recovery.fsync`` stacks sitting alongside the match work.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+
+
+def fold_spans(records) -> dict[str, int]:
+    """Fold span *records* (dicts, post-order) into collapsed stacks.
+
+    Returns ``{"a;b;c": self_us}`` aggregated over every occurrence of the
+    stack.  Non-span records (events, metrics) are ignored, as are
+    malformed spans without a depth.  Self time is clamped at zero —
+    clock jitter can make a parent measure marginally less than the sum
+    of its children.
+    """
+    #: Completed spans waiting to be claimed by a parent, by depth.
+    pending: defaultdict[int, list] = defaultdict(list)
+    totals: defaultdict[str, int] = defaultdict(int)
+
+    def close(span: dict) -> None:
+        depth = span["depth"]
+        children = pending.pop(depth + 1, [])
+        child_us = sum(child["dur_us"] for child in children)
+        span["_children"] = children
+        span["_self_us"] = max(span["dur_us"] - child_us, 0.0)
+        pending[depth].append(span)
+
+    for record in records:
+        if record.get("type") != "span" or "depth" not in record:
+            continue
+        close(record)
+
+    def walk(span: dict, prefix: str) -> None:
+        path = f"{prefix};{span['name']}" if prefix else span["name"]
+        totals[path] += int(span["_self_us"])
+        for child in span["_children"]:
+            walk(child, path)
+
+    # Roots are whatever was never claimed; tolerate truncated streams
+    # where inner depths were orphaned by a missing ancestor.
+    for depth in sorted(pending):
+        for span in pending[depth]:
+            walk(span, "")
+    return dict(totals)
+
+
+def render_folded(stacks: dict[str, int]) -> str:
+    """The collapsed-stack text: one ``path weight`` line, sorted by path."""
+    return "".join(
+        f"{path} {weight}\n" for path, weight in sorted(stacks.items())
+    )
+
+
+def fold_trace_file(path: str) -> dict[str, int]:
+    """Fold a ``--trace-out`` JSONL file into collapsed stacks."""
+    with open(path, encoding="utf-8") as handle:
+        return fold_spans(
+            json.loads(line) for line in handle if line.strip()
+        )

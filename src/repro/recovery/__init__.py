@@ -1,0 +1,58 @@
+"""repro.recovery — durability and crash recovery for production runs.
+
+The paper's core pitch is that hosting a production system in a DBMS buys
+the DBMS's services, concurrency control *and recovery* (§1); §5 places
+the commit point after the maintenance process precisely so that each
+fired instance is a recoverable transaction.  This package supplies that
+recovery half:
+
+* :mod:`repro.recovery.wal` — an append-only JSONL write-ahead log of
+  committed :class:`~repro.delta.DeltaBatch` records plus engine-cycle /
+  commit-point boundary records (sequence-numbered, CRC-checksummed,
+  fsync-batched);
+* :mod:`repro.recovery.checkpoint` — periodic atomic snapshots of the WM
+  relations, run progress and resolver state (every N cycles or M log
+  bytes);
+* :mod:`repro.recovery.recover` — ``recover(log, checkpoint)`` rebuilds a
+  :class:`~repro.engine.interpreter.ProductionSystem` by replaying the
+  durable log prefix *through the match network*, then
+  :func:`~repro.recovery.recover.resume_run` finishes the interrupted
+  recognize-act loop;
+* :mod:`repro.recovery.session` — :class:`DurableRun`, the engine driver
+  behind ``repro run --wal`` / ``repro resume``;
+* :mod:`repro.recovery.crashpoints` — fault injection: a registry of
+  named crash sites that kills a run mid-flight for the
+  ``repro check --crash`` equivalence campaign.
+"""
+
+from repro.recovery.crashpoints import CRASH_SITES, Crashpoints, SimulatedCrash
+from repro.recovery.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.recovery.recover import RecoveredState, recover, resume_run
+from repro.recovery.session import DurableRun
+from repro.recovery.wal import (
+    WalReadResult,
+    WalRecord,
+    WalWriter,
+    read_wal,
+)
+
+__all__ = [
+    "CRASH_SITES",
+    "CheckpointError",
+    "Crashpoints",
+    "DurableRun",
+    "RecoveredState",
+    "SimulatedCrash",
+    "WalReadResult",
+    "WalRecord",
+    "WalWriter",
+    "load_checkpoint",
+    "read_wal",
+    "recover",
+    "resume_run",
+    "write_checkpoint",
+]

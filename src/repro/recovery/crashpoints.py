@@ -1,0 +1,81 @@
+"""Fault injection: named crash sites threaded through the durability path.
+
+A :class:`Crashpoints` registry is armed at one of the :data:`CRASH_SITES`
+and raises :class:`SimulatedCrash` the N-th time execution reaches it.
+The simulation models a process death, not an exception: once the
+registry has fired, every subsequent durability operation on the same run
+goes dead silently — the :class:`~repro.recovery.wal.WalWriter` drops its
+buffered (never-synced) records and refuses further appends, and
+checkpoint writes refuse to complete — so nothing that happens while the
+exception unwinds (``finally`` blocks flushing batches, listeners firing)
+can become durable after the "crash".  Recovery then sees exactly what a
+killed process would have left on disk: the log up to the last completed
+fsync.
+"""
+
+from __future__ import annotations
+
+#: Every named crash site, in log-path order.  ``wal.pre_append`` /
+#: ``wal.post_append`` bracket buffering one record; ``wal.pre_sync`` /
+#: ``wal.post_sync`` bracket the fsync; ``commit.pre`` / ``commit.post``
+#: bracket writing a boundary (commit-point) record; ``checkpoint.mid``
+#: fires after the checkpoint temp file is written but before the atomic
+#: rename.
+CRASH_SITES = (
+    "wal.pre_append",
+    "wal.post_append",
+    "wal.pre_sync",
+    "wal.post_sync",
+    "commit.pre",
+    "commit.post",
+    "checkpoint.mid",
+)
+
+
+class SimulatedCrash(Exception):
+    """Raised at an armed crash site; the run is considered dead."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"simulated crash at {site}")
+        self.site = site
+
+
+class Crashpoints:
+    """Registry of armed crash sites, shared by one run's durability path.
+
+    ``arm(site, after=N)`` makes the N-th hit of *site* raise.  ``hit``
+    is called by the WAL writer, the checkpoint writer and the durable
+    session at each named site; it is a no-op for unarmed sites, so an
+    un-instrumented run pays one dict lookup per site crossing.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, int] = {}
+        self._hits: dict[str, int] = {}
+        #: The site that fired, or ``None`` while the run is alive.
+        self.crashed: str | None = None
+
+    def arm(self, site: str, after: int = 1) -> None:
+        """Arm *site* to crash on its *after*-th hit (1-based)."""
+        if site not in CRASH_SITES:
+            raise ValueError(
+                f"unknown crash site {site!r}; choose from {CRASH_SITES}"
+            )
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        self._armed[site] = after
+
+    def hit(self, site: str) -> None:
+        """Record one crossing of *site*; raise when its trigger is due."""
+        if self.crashed is not None:
+            return
+        count = self._hits.get(site, 0) + 1
+        self._hits[site] = count
+        due = self._armed.get(site)
+        if due is not None and count >= due:
+            self.crashed = site
+            raise SimulatedCrash(site)
+
+    def hits(self, site: str) -> int:
+        """How many times *site* has been crossed."""
+        return self._hits.get(site, 0)

@@ -1,0 +1,290 @@
+"""Crash recovery: rebuild a production system from its log.
+
+``recover(log, checkpoint)`` reads the durable prefix of a write-ahead
+log and reconstructs the run at its last committed boundary:
+
+1. the ``meta`` record rebuilds an identical (but empty) system —
+   same program, match strategy, resolver, backend, seed and batch size;
+2. a checkpoint, if one is offered and passes its consistency checks,
+   restores the WM relations wholesale (exact tids and timetags) and the
+   cumulative run state at its ``wal_seq``;
+3. every committed batch record after that point replays *through the
+   match network* (:meth:`~repro.engine.wm.WorkingMemory.restore_batch`),
+   so the conflict set is rebuilt by the same maintenance process that
+   built it the first time — there is no separate matcher serialization
+   to drift out of sync;
+4. boundary records restore the allocation marks (clock, per-relation
+   tid high-water), the refraction set, program output and the
+   resolver/tuner state.
+
+Records *after* the last durable boundary are crash debris from an
+uncommitted cycle; they are ignored, and
+:func:`~repro.recovery.session.DurableRun.resume` physically truncates
+them before appending.  Determinism makes re-executing that lost cycle
+bit-identical to the run that crashed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.delta import DeltaBatch
+from repro.engine.interpreter import ProductionSystem, RunResult
+from repro.engine.resolution import SeededRandom
+from repro.errors import RecoveryError
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+from repro.obs import Observability
+from repro.recovery.checkpoint import (
+    CheckpointError,
+    _normalize,
+    canonical_rete_snapshot,
+    load_checkpoint,
+)
+from repro.recovery.session import DurableRun, program_crc
+from repro.recovery.wal import decode_batch, decode_fired, read_wal
+from repro.storage.tuples import StoredTuple
+
+
+@dataclass
+class RecoveredState:
+    """A production system restored to its last durable boundary."""
+
+    system: ProductionSystem
+    meta: dict
+    wal_path: str
+    #: Byte offset of the end of the last durable boundary — everything
+    #: past it is crash debris a resumed writer truncates away.
+    durable_offset: int
+    next_seq: int
+    phase: str | None
+    cycle: int
+    position: int
+    halted: bool
+    #: Decoded firing triples ``(cycle, rule_name, key)`` in order.
+    fired: list = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+    torn: bool = False
+    checkpoint_used: bool = False
+    replayed_batches: int = 0
+    replayed_deltas: int = 0
+
+
+def _build_system(meta: dict, obs: Observability | None) -> ProductionSystem:
+    """An empty twin of the crashed run's system.
+
+    The program's top-level ``(make ...)`` elements are stripped: they
+    were inserted before the log attached and live in the log's first
+    batch record, so letting the constructor insert them again would
+    double them (with the wrong tids).
+    """
+    program = parse_program(meta["program"])
+    return ProductionSystem(
+        Program(
+            schemas=program.schemas,
+            rules=program.rules,
+            initial_elements=[],
+        ),
+        strategy=meta["strategy"],
+        resolution=meta["resolution"],
+        backend=meta["backend"],
+        seed=meta["seed"],
+        firing=meta.get("firing", "instance"),
+        batch_size=meta["batch_size"],
+        obs=obs or Observability(),
+    )
+
+
+def _checkpoint_rows(relations: dict) -> list[StoredTuple]:
+    rows = [
+        StoredTuple(
+            relation=name,
+            tid=int(tid),
+            timetag=int(timetag),
+            values=tuple(values),
+        )
+        for name, entries in relations.items()
+        for tid, timetag, values in entries
+    ]
+    rows.sort(key=lambda row: row.timetag)
+    return rows
+
+
+def recover(
+    wal_path: str,
+    checkpoint_path: str | None = None,
+    obs: Observability | None = None,
+) -> RecoveredState:
+    """Rebuild the run recorded in *wal_path*; see the module docstring.
+
+    Raises :class:`~repro.errors.WalCorruptError` for damage before the
+    torn tail, :class:`~repro.recovery.checkpoint.CheckpointError` for a
+    damaged or inconsistent checkpoint, and plain
+    :class:`~repro.errors.RecoveryError` when the log never reached its
+    first commit point (nothing durable happened — rerun from scratch).
+    """
+    started = time.perf_counter()
+    result = read_wal(wal_path)
+    records = result.records
+    if not records or records[0].kind != "meta":
+        raise RecoveryError(
+            f"{wal_path!r} has no durable meta record; "
+            "the run died before its first commit point"
+        )
+    meta = records[0].body
+    boundaries = [r for r in records if r.kind == "boundary"]
+    if not boundaries:
+        raise RecoveryError(
+            f"{wal_path!r} has no durable boundary record; "
+            "the run died before its first commit point"
+        )
+    last = boundaries[-1]
+
+    ckpt = load_checkpoint(checkpoint_path) if checkpoint_path else None
+    if ckpt is not None:
+        if ckpt["program_crc"] != program_crc(meta["program"]):
+            raise CheckpointError(
+                f"checkpoint {checkpoint_path!r} does not belong to "
+                f"the program recorded in {wal_path!r}"
+            )
+        if ckpt["wal_seq"] > last.seq:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_path!r} (wal_seq "
+                f"{ckpt['wal_seq']}) is newer than the durable log "
+                f"(last boundary seq {last.seq}); the log was truncated "
+                "or swapped — refusing to guess"
+            )
+        if ckpt["wal_seq"] not in {b.seq for b in boundaries}:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_path!r} references seq "
+                f"{ckpt['wal_seq']}, which is not a boundary record in "
+                f"{wal_path!r}"
+            )
+
+    system = _build_system(meta, obs)
+    state = RecoveredState(
+        system=system,
+        meta=meta,
+        wal_path=wal_path,
+        durable_offset=last.end_offset,
+        next_seq=last.seq + 1,
+        phase=None,
+        cycle=0,
+        position=0,
+        halted=False,
+        torn=result.torn,
+    )
+
+    fired_encoded: list = []
+    output: list = []
+    auto_batch_size = None
+    resolver_state = None
+
+    if ckpt is not None:
+        rows = _checkpoint_rows(ckpt["relations"])
+        if rows:
+            system.wm.restore_batch(DeltaBatch.of_inserts(rows))
+        system.wm.catalog.clock.advance_to(ckpt["clock"])
+        system.wm.restore_tid_marks(ckpt["tids"])
+        snapshot = ckpt.get("rete")
+        if snapshot is not None and hasattr(system.strategy, "network"):
+            rebuilt = _normalize(canonical_rete_snapshot(system.strategy))
+            if rebuilt != snapshot:
+                raise CheckpointError(
+                    "Rete memories rebuilt by replay do not match the "
+                    f"snapshot in {checkpoint_path!r}"
+                )
+        ckpt_state = ckpt["state"]
+        state.phase = ckpt_state["phase"]
+        state.cycle = ckpt_state["cycle"]
+        state.position = ckpt_state["position"]
+        state.halted = ckpt_state["halted"]
+        state.extra = dict(ckpt_state.get("extra") or {})
+        fired_encoded = list(ckpt_state["fired"])
+        output = list(ckpt_state["output"])
+        auto_batch_size = ckpt_state.get("auto_batch_size")
+        resolver_state = ckpt_state.get("resolver_state")
+        state.checkpoint_used = True
+
+    start_seq = ckpt["wal_seq"] if ckpt is not None else 0
+    for record in records:
+        if record.seq <= start_seq or record.seq > last.seq:
+            continue
+        if record.kind == "batch":
+            batch = decode_batch(record.body)
+            system.wm.restore_batch(batch)
+            state.replayed_batches += 1
+            state.replayed_deltas += len(batch)
+        elif record.kind == "boundary":
+            body = record.body
+            state.phase = body["phase"]
+            state.cycle = body["cycle"]
+            state.position = body["position"]
+            state.halted = body["halted"]
+            state.extra = dict(body.get("extra") or {})
+            fired_encoded.extend(body["fired"])
+            output.extend(body["output_delta"])
+            system.wm.catalog.clock.advance_to(body["clock"])
+            system.wm.restore_tid_marks(body["tids"])
+            if body.get("auto_batch_size") is not None:
+                auto_batch_size = body["auto_batch_size"]
+            if body.get("resolver_state") is not None:
+                resolver_state = body["resolver_state"]
+
+    state.fired = [decode_fired(entry) for entry in fired_encoded]
+    system.restore_run_state(
+        fired_keys={key for _, _, key in state.fired},
+        output=output,
+        auto_batch_size=auto_batch_size,
+    )
+    if resolver_state is not None and isinstance(system.resolver, SeededRandom):
+        system.resolver.setstate(resolver_state)
+
+    live_obs = system.obs
+    if live_obs.enabled:
+        metrics = live_obs.metrics
+        metrics.counter("recovery.recoveries").inc()
+        metrics.counter("recovery.replayed_batches").inc(
+            state.replayed_batches
+        )
+        metrics.counter("recovery.replayed_deltas").inc(state.replayed_deltas)
+        metrics.histogram("recovery.recover_us").observe(
+            (time.perf_counter() - started) * 1e6
+        )
+    return state
+
+
+def resume_run(
+    state: RecoveredState,
+    max_cycles: int = 10_000,
+    *,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_bytes: int = 0,
+    fsync_every: int | None = None,
+    crashpoints=None,
+    include_rete: bool = False,
+) -> RunResult:
+    """Finish a recovered run's recognize-act loop, continuing its log.
+
+    The log's dead suffix is truncated, boundaries keep appending where
+    the crashed run left off, and the writer is closed when the loop
+    stops.  A run that had already halted returns immediately.
+    """
+    if state.halted:
+        return RunResult(cycles=0, halted=True, exhausted=False, fired=[])
+    kwargs = {} if fsync_every is None else {"fsync_every": fsync_every}
+    run = DurableRun.resume(
+        state,
+        crashpoints=crashpoints,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        checkpoint_bytes=checkpoint_bytes,
+        include_rete=include_rete,
+        **kwargs,
+    )
+    try:
+        return run.run(max_cycles)
+    finally:
+        run.close()

@@ -1,0 +1,384 @@
+"""The write-ahead log: append-only JSONL with checksums and fsync batching.
+
+One log records one run.  Each line is a JSON object::
+
+    {"seq": 3, "kind": "batch", "body": {...}, "crc": 2468133518}
+
+* ``seq`` — 1-based, strictly consecutive; a gap means a damaged log.
+* ``kind`` — ``"meta"`` (first record: program text + run configuration),
+  ``"batch"`` (one committed, netted :class:`~repro.delta.DeltaBatch`,
+  appended *after* the maintenance process consumed it), or
+  ``"boundary"`` (a commit point: end of an engine cycle, an op-script
+  position, or end-of-setup — the atomic units of recovery).
+* ``crc`` — CRC-32 of the canonical JSON of ``[seq, kind, body]``.
+
+Durability model: appends are buffered in the writer and reach the file
+only at :meth:`WalWriter.sync` (explicit, every ``fsync_every`` records,
+or at a boundary via :meth:`WalWriter.commit`, which always syncs —
+boundary records *are* the commit points of §5, written after the
+maintenance process).  A crash loses at most the unsynced suffix;
+recovery replays batch records only up to the last durable boundary, so a
+cycle is atomic: either its boundary record survived and the cycle is
+replayed exactly, or the whole cycle is re-executed from the previous
+boundary (determinism makes the re-execution bit-identical).
+
+Reading classifies damage: a torn *tail* (the final record truncated
+mid-write) is expected crash debris and the log is readable up to it; a
+bad checksum or sequence gap *followed by further valid records* means
+the log was damaged in place, and :class:`~repro.errors.WalCorruptError`
+refuses it loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass
+
+from repro.delta import Delta, DeltaBatch
+from repro.errors import RecoveryError, WalCorruptError
+from repro.storage.tuples import StoredTuple
+
+#: Wire form of one delta: [op, relation, tid, timetag, [values...]].
+DeltaJson = list
+
+#: Default number of buffered records between automatic fsyncs.
+DEFAULT_FSYNC_EVERY = 64
+
+
+def encode_delta(delta: Delta) -> DeltaJson:
+    wme = delta.wme
+    return [delta.op, wme.relation, wme.tid, wme.timetag, list(wme.values)]
+
+
+def decode_delta(data: DeltaJson) -> Delta:
+    op, relation, tid, timetag, values = data
+    return Delta(
+        op,
+        StoredTuple(
+            relation=relation,
+            tid=int(tid),
+            timetag=int(timetag),
+            values=tuple(values),
+        ),
+    )
+
+
+def encode_batch(batch: DeltaBatch) -> dict:
+    return {"deltas": [encode_delta(delta) for delta in batch]}
+
+
+def decode_batch(body: dict) -> DeltaBatch:
+    return DeltaBatch(decode_delta(data) for data in body["deltas"])
+
+
+def encode_key(key) -> list:
+    """Wire form of an instantiation identity key:
+    ``[rule, [[relation, tid] | null, ...]]``."""
+    rule_name, slots = key
+    return [
+        rule_name,
+        [list(slot) if slot is not None else None for slot in slots],
+    ]
+
+
+def decode_key(data) -> tuple:
+    rule_name, slots = data
+    return (
+        rule_name,
+        tuple(
+            (slot[0], int(slot[1])) if slot is not None else None
+            for slot in slots
+        ),
+    )
+
+
+def encode_fired(triple) -> list:
+    """Wire form of one firing: ``[cycle, rule, key]``."""
+    cycle, rule_name, key = triple
+    return [cycle, rule_name, encode_key(key)]
+
+
+def decode_fired(data) -> tuple:
+    cycle, rule_name, key = data
+    return (int(cycle), rule_name, decode_key(key))
+
+
+def _crc(seq: int, kind: str, body: dict) -> int:
+    canonical = json.dumps(
+        [seq, kind, body], sort_keys=True, separators=(",", ":")
+    )
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One parsed log record plus its end offset in the file."""
+
+    seq: int
+    kind: str
+    body: dict
+    end_offset: int
+
+
+@dataclass
+class WalReadResult:
+    """Outcome of :func:`read_wal`."""
+
+    records: list[WalRecord]
+    #: True when the file ended in a truncated (torn) record — expected
+    #: after a crash; the readable prefix is still trustworthy.
+    torn: bool
+    #: Byte offset just past the last valid record (truncation point for
+    #: a writer continuing this log).
+    durable_offset: int
+
+    @property
+    def next_seq(self) -> int:
+        return self.records[-1].seq + 1 if self.records else 1
+
+
+def read_wal(path: str) -> WalReadResult:
+    """Parse *path*, tolerating a torn tail but refusing inner damage.
+
+    A record counts as durable only when its terminating newline made it
+    to disk; a parseable final line without one is still treated as torn
+    (a writer continuing the log must be able to append cleanly).
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    records: list[WalRecord] = []
+    torn = False
+    position = 0
+    size = len(raw)
+    while position < size:
+        newline = raw.find(b"\n", position)
+        complete = newline != -1
+        end = (newline + 1) if complete else size
+        line = raw[position:newline] if complete else raw[position:]
+        parsed = (
+            _parse_line(line, expect_seq=len(records) + 1)
+            if complete
+            else None
+        )
+        if parsed is None:
+            if any(
+                _parse_line(later, expect_seq=None) is not None
+                for later in raw[end:].split(b"\n")
+            ):
+                raise WalCorruptError(
+                    f"damaged WAL record at byte {position} of {path} "
+                    "with valid records after it"
+                )
+            torn = True
+            break
+        records.append(
+            WalRecord(parsed[0], parsed[1], parsed[2], end_offset=end)
+        )
+        position = end
+    durable = records[-1].end_offset if records else 0
+    return WalReadResult(records=records, torn=torn, durable_offset=durable)
+
+
+def _parse_line(line: bytes, expect_seq: int | None):
+    """``(seq, kind, body)`` when *line* is a valid record, else None."""
+    try:
+        data = json.loads(line.decode("utf-8"))
+        seq = data["seq"]
+        kind = data["kind"]
+        body = data["body"]
+        crc = data["crc"]
+    except Exception:
+        return None
+    if not isinstance(seq, int) or not isinstance(kind, str):
+        return None
+    if _crc(seq, kind, body) != crc:
+        return None
+    if expect_seq is not None and seq != expect_seq:
+        return None
+    return (seq, kind, body)
+
+
+class WalWriter:
+    """Appends records to one log file with batched fsyncs.
+
+    Construct with :meth:`create` for a fresh run or :meth:`continue_log`
+    to resume an existing log (the non-durable suffix is physically
+    truncated first, so the file never holds records a previous recovery
+    decided to discard).
+
+    The optional :class:`~repro.recovery.crashpoints.Crashpoints`
+    registry is consulted at every named site; after it fires, the writer
+    plays dead — buffered records are dropped and all further operations
+    are silent no-ops, modelling the process death the registry simulates.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        crashpoints=None,
+        obs=None,
+        fsync_every: int = DEFAULT_FSYNC_EVERY,
+        _mode: str = "w",
+        _next_seq: int = 1,
+        _start_offset: int = 0,
+    ) -> None:
+        self.path = path
+        self.crashpoints = crashpoints
+        self.obs = obs
+        self.fsync_every = max(1, fsync_every)
+        self._handle = open(path, _mode, encoding="utf-8")
+        self._buffer: list[str] = []
+        self._next_seq = _next_seq
+        self._closed = False
+        #: Bytes durably on disk (past the last completed sync).
+        self.synced_bytes = _start_offset
+        self.records_written = 0
+        self.syncs = 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, **kwargs) -> "WalWriter":
+        """Start a fresh log at *path* (truncates any existing file)."""
+        return cls(path, **kwargs)
+
+    @classmethod
+    def continue_log(
+        cls, path: str, durable_offset: int, next_seq: int, **kwargs
+    ) -> "WalWriter":
+        """Append to an existing log after truncating its dead suffix.
+
+        *durable_offset* / *next_seq* come from :func:`read_wal` (or from
+        the recovery pass that decided how much of the log to keep); the
+        bytes past the offset are crash debris and are removed so they can
+        never shadow the records a resumed run appends.
+        """
+        size = os.path.getsize(path)
+        if durable_offset > size:
+            raise RecoveryError(
+                f"durable offset {durable_offset} beyond end of {path!r}"
+            )
+        if durable_offset < size:
+            with open(path, "r+b") as handle:
+                handle.truncate(durable_offset)
+        return cls(
+            path,
+            _mode="a",
+            _next_seq=next_seq,
+            _start_offset=durable_offset,
+            **kwargs,
+        )
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def dead(self) -> bool:
+        """True once a simulated crash fired or the writer was closed."""
+        if self._closed:
+            return True
+        return (
+            self.crashpoints is not None
+            and self.crashpoints.crashed is not None
+        )
+
+    def _hit(self, site: str) -> None:
+        if self.crashpoints is not None:
+            self.crashpoints.hit(site)
+
+    # -- appending -------------------------------------------------------------
+
+    def append(self, kind: str, body: dict) -> int:
+        """Buffer one record; returns its sequence number.
+
+        Auto-syncs when ``fsync_every`` records have accumulated.
+        """
+        if self.dead:
+            return self._next_seq
+        self._hit("wal.pre_append")
+        seq = self._next_seq
+        self._next_seq += 1
+        record = {
+            "seq": seq,
+            "kind": kind,
+            "body": body,
+            "crc": _crc(seq, kind, body),
+        }
+        self._buffer.append(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self.records_written += 1
+        if self.obs is not None and self.obs.enabled:
+            self.obs.metrics.counter("recovery.wal_records").inc()
+        self._hit("wal.post_append")
+        if len(self._buffer) >= self.fsync_every:
+            self.sync()
+        return seq
+
+    def commit(self, kind: str, body: dict) -> int:
+        """Append one boundary record and make the log durable through it.
+
+        This is the §5 commit point: it runs *after* the maintenance
+        process (the listeners already consumed the cycle's batches) and
+        nothing of the cycle is considered recovered unless this record
+        survived.
+        """
+        self._hit("commit.pre")
+        seq = self.append(kind, body)
+        self.sync()
+        self._hit("commit.post")
+        return seq
+
+    def log_batch(self, batch: DeltaBatch) -> int:
+        """Append one committed delta batch (the WM's WAL hook)."""
+        return self.append("batch", encode_batch(batch))
+
+    def sync(self) -> None:
+        """Write buffered records and fsync the file."""
+        if self.dead:
+            return
+        self._hit("wal.pre_sync")
+        if self._buffer:
+            payload = "".join(self._buffer)
+            self._buffer = []
+            started = time.perf_counter()
+            obs = self.obs
+            if obs is not None and obs.tracer.enabled:
+                with obs.span("recovery.fsync", bytes=len(payload)):
+                    self._write_and_fsync(payload)
+            else:
+                self._write_and_fsync(payload)
+            self.synced_bytes += len(payload.encode("utf-8"))
+            self.syncs += 1
+            if obs is not None and obs.enabled:
+                metrics = obs.metrics
+                metrics.counter("recovery.fsyncs").inc()
+                metrics.counter("recovery.wal_bytes").inc(
+                    len(payload.encode("utf-8"))
+                )
+                metrics.histogram("recovery.sync_us").observe(
+                    (time.perf_counter() - started) * 1e6
+                )
+        self._hit("wal.post_sync")
+
+    def _write_and_fsync(self, payload: str) -> None:
+        self._handle.write(payload)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def abandon(self) -> None:
+        """Drop buffered records and close — the simulated process died."""
+        self._buffer = []
+        self._closed = True
+        self._handle.close()
+
+    def close(self) -> None:
+        """Sync outstanding records and close the file."""
+        if not self._closed:
+            self.sync()
+            self._closed = True
+            self._handle.close()

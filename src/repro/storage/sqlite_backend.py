@@ -52,7 +52,13 @@ class SqliteTable(Table):
         )
         self._owns_connection = connection is None
         self._table = _quote_ident(f"t_{schema.name}")
+        self._table_name = f"t_{schema.name}"
         self._marker_table = _quote_ident(f"m_{schema.name}")
+        #: Cache of the highest tid ever issued (AUTOINCREMENT sequence);
+        #: populated lazily by :meth:`reserve_tid` and kept coherent by
+        #: every insert path so reserved and auto-assigned tids interleave
+        #: exactly like the memory backend's counter.
+        self._next_tid: int | None = None
         self._columns = [_quote_ident(f"a_{a}") for a in schema.attributes]
         self._indexed: set[str] = set()
         columns_sql = ", ".join(f"{c} BLOB" for c in self._columns)
@@ -141,12 +147,87 @@ class SqliteTable(Table):
         self.schema.validate_row(values)
         cursor = self._execute(self._insert_sql(), (timetag, *values))
         self.counters.tuple_writes += 1
+        if self._next_tid is not None:
+            self._next_tid = max(self._next_tid, cursor.lastrowid)
         return StoredTuple(
             relation=self.schema.name,
             tid=cursor.lastrowid,
             timetag=timetag,
             values=tuple(values),
         )
+
+    def reserve_tid(self) -> int:
+        # Push the AUTOINCREMENT sequence forward as well: a reservation
+        # held only in the Python-side cache would be re-issued by a later
+        # auto-assigned insert if the reserved row nets out of its batch
+        # and never reaches storage.
+        tid = self.tid_high_water() + 1
+        self.advance_tid(tid)
+        return tid
+
+    def tid_high_water(self) -> int:
+        if self._next_tid is None:
+            # AUTOINCREMENT's high-water mark lives in sqlite_sequence
+            # (created on the first auto insert); it never shrinks on
+            # deletes, so it dominates MAX(tid).
+            try:
+                record = self._conn.execute(
+                    "SELECT seq FROM sqlite_sequence WHERE name = ?",
+                    (self._table_name,),
+                ).fetchone()
+            except sqlite3.OperationalError:
+                record = None
+            sequence = record[0] if record else 0
+            (highest,) = self._conn.execute(
+                f"SELECT COALESCE(MAX(tid), 0) FROM {self._table}"
+            ).fetchone()
+            self._next_tid = max(sequence, highest)
+        return self._next_tid
+
+    def advance_tid(self, tid: int) -> None:
+        if self.tid_high_water() >= tid:
+            return
+        # Auto-assigned rowids must also start above the mark, so push the
+        # AUTOINCREMENT sequence forward alongside the cache.
+        updated = self._conn.execute(
+            "UPDATE sqlite_sequence SET seq = ? WHERE name = ? AND seq < ?",
+            (tid, self._table_name, tid),
+        )
+        if updated.rowcount == 0:
+            exists = self._conn.execute(
+                "SELECT 1 FROM sqlite_sequence WHERE name = ?",
+                (self._table_name,),
+            ).fetchone()
+            if exists is None:
+                self._conn.execute(
+                    "INSERT INTO sqlite_sequence (name, seq) VALUES (?, ?)",
+                    (self._table_name, tid),
+                )
+        self._next_tid = tid
+
+    def insert_prepared(self, rows: list[StoredTuple]) -> None:
+        for row in rows:
+            if row.relation != self.schema.name:
+                raise StorageError(
+                    f"row for {row.relation!r} offered to "
+                    f"{self.schema.name!r}"
+                )
+            self.schema.validate_row(row.values)
+        if not rows:
+            return
+        placeholders = ", ".join("?" for _ in range(self.schema.arity + 2))
+        # Explicit tids advance the AUTOINCREMENT sequence, so later auto
+        # inserts continue above the staged range.
+        self._executemany(
+            f"INSERT INTO {self._table} "
+            f"(tid, timetag, {', '.join(self._columns)}) "
+            f"VALUES ({placeholders})",
+            [(row.tid, row.timetag, *row.values) for row in rows],
+        )
+        self.counters.tuple_writes += len(rows)
+        highest = max(row.tid for row in rows)
+        if self._next_tid is not None:
+            self._next_tid = max(self._next_tid, highest)
 
     def _insert_sql(self) -> str:
         placeholders = ", ".join("?" for _ in range(self.schema.arity + 1))
@@ -186,6 +267,8 @@ class SqliteTable(Table):
         if own_txn:
             self._conn.execute("COMMIT")
         self.counters.tuple_writes += len(rows)
+        if self._next_tid is not None:
+            self._next_tid = max(self._next_tid, last)
         first = last - len(rows) + 1
         return [
             StoredTuple(

@@ -77,6 +77,43 @@ class Table:
         """Store a new row; return it with fresh tid and timetag."""
         return self.insert_at(values, self.clock.tick())
 
+    def reserve_tid(self) -> int:
+        """Claim the next tuple id without storing a row.
+
+        The staged-write path of :class:`repro.engine.wm.WorkingMemory`
+        (and crash recovery) must hand out real tuple identities *before*
+        the storage write happens, and those identities must be the same
+        ones an immediate write would have produced.  A reserved tid is
+        consumed whether or not a row is ever stored under it — tids are
+        never reused.
+        """
+        raise NotImplementedError
+
+    def insert_prepared(self, rows: list[StoredTuple]) -> None:
+        """Store rows that already carry their tid and timetag.
+
+        The batch counterpart of :meth:`reserve_tid`: callers that staged
+        rows (WM batch scopes) or replay a log (crash recovery) persist
+        them here.  Rows must belong to this relation; tids must be unused.
+        """
+        raise NotImplementedError
+
+    def tid_high_water(self) -> int:
+        """The highest tuple id ever issued (0 for a virgin table).
+
+        Reserved-but-never-stored tids count: the mark tracks identity
+        allocation, not storage contents, so crash recovery can restore it
+        exactly even when a staged batch netted rows away.
+        """
+        raise NotImplementedError
+
+    def advance_tid(self, tid: int) -> None:
+        """Ensure future allocations start above *tid* (recovery restore).
+
+        A no-op when the table has already issued *tid* or higher.
+        """
+        raise NotImplementedError
+
     def delete(self, tid: int) -> StoredTuple:
         """Remove and return the row with id *tid*."""
         raise NotImplementedError
@@ -223,12 +260,44 @@ class MemoryTable(Table):
             timetag=timetag,
             values=tuple(values),
         )
+        self._store_row(row)
+        return row
+
+    def _store_row(self, row: StoredTuple) -> None:
         self._rows[row.tid] = row
         for attribute, index in self._indexes.items():
             pos = self.schema.position(attribute)
-            index.setdefault(values[pos], set()).add(row.tid)
+            index.setdefault(row.values[pos], set()).add(row.tid)
         self.counters.tuple_writes += 1
-        return row
+
+    def reserve_tid(self) -> int:
+        self._next_tid += 1
+        return self._next_tid
+
+    def tid_high_water(self) -> int:
+        return self._next_tid
+
+    def advance_tid(self, tid: int) -> None:
+        self._next_tid = max(self._next_tid, tid)
+
+    def insert_prepared(self, rows: list[StoredTuple]) -> None:
+        for row in rows:
+            if row.relation != self.schema.name:
+                raise StorageError(
+                    f"row for {row.relation!r} offered to "
+                    f"{self.schema.name!r}"
+                )
+            self.schema.validate_row(row.values)
+            if row.tid in self._rows:
+                raise StorageError(
+                    f"relation {self.schema.name!r} already has tuple "
+                    f"#{row.tid}"
+                )
+        for row in rows:
+            self._store_row(row)
+            # Recovery replays rows with externally assigned tids; keep
+            # fresh allocations above them.
+            self._next_tid = max(self._next_tid, row.tid)
 
     def delete(self, tid: int) -> StoredTuple:
         try:

@@ -131,7 +131,7 @@ class TestDeferredNotification:
         a = wm.insert("Emp", ("Mike", 100))
         assert wm.batching and wm.pending_deltas() == 1
         assert listener.events == []
-        # storage already reflects the write
+        # the staged overlay serves point reads before the flush
         assert wm.get("Emp", a.tid).values == ("Mike", 100)
         wm.flush_batch()
         assert listener.events == [("+", "Emp", a.tid)]

@@ -107,6 +107,31 @@ class TestNegativeWitnessBatching:
         assert len(keys) == 4
         assert keys == build(1)["rete"].conflict_set_keys()
 
+    def test_hash_probe_matches_nested_scan(self):
+        """The equality-keyed hash index on the batch paths must reach
+        the same witness sets as the O(T×R) nested scan it replaces."""
+
+        def build_forced(batch_size, hash_eligible):
+            program = parse_program(RULES)
+            analyses = analyze_program(program.rules, program.schemas)
+            wm = WorkingMemory(program.schemas)
+            strategy = STRATEGIES["rete"](wm, analyses, counters=Counters())
+            for node in strategy.network.negative_nodes:
+                assert node.hash_eligible, "equality tests expected"
+                node.hash_eligible = hash_eligible
+            drive_stream(wm, witness_events(), batch_size=batch_size)
+            return strategy
+
+        for batch_size in (1, 8, 64):
+            hashed = build_forced(batch_size, True)
+            scanned = build_forced(batch_size, False)
+            assert (
+                rete_memory_snapshot(hashed) == rete_memory_snapshot(scanned)
+            ), f"batch={batch_size}: hash probe diverged from nested scan"
+            assert (
+                hashed.conflict_set_keys() == scanned.conflict_set_keys()
+            ), f"batch={batch_size}: conflict sets diverged"
+
     @pytest.mark.parametrize("backend", ["memory", "sqlite"])
     def test_negative_node_state_matches_across_batch_sizes(self, backend):
         """Beyond the conflict set: the negative nodes' witness sets and

@@ -1,0 +1,108 @@
+"""Collapsed-stack folding of post-order span streams (repro.obs.flame)."""
+
+import json
+
+from repro.obs import Observability, CallbackSink, fold_spans, fold_trace_file, render_folded
+
+
+def span(name, depth, dur_us, ts=0.0):
+    return {
+        "type": "span",
+        "name": name,
+        "ts": ts,
+        "dur_us": dur_us,
+        "depth": depth,
+        "attrs": {},
+    }
+
+
+class TestFoldSpans:
+    def test_single_span_is_its_own_stack(self):
+        assert fold_spans([span("run", 0, 100)]) == {"run": 100}
+
+    def test_child_self_time_subtracts_from_parent(self):
+        # Post-order: the child closes before its parent.
+        records = [span("match", 1, 30), span("cycle", 0, 100)]
+        assert fold_spans(records) == {"cycle": 70, "cycle;match": 30}
+
+    def test_self_time_clamped_at_zero(self):
+        records = [span("match", 1, 120), span("cycle", 0, 100)]
+        assert fold_spans(records) == {"cycle": 0, "cycle;match": 120}
+
+    def test_repeated_stacks_aggregate(self):
+        records = [
+            span("match", 1, 10),
+            span("match", 1, 15),
+            span("cycle", 0, 40),
+        ]
+        assert fold_spans(records) == {"cycle": 15, "cycle;match": 25}
+
+    def test_sibling_parents_claim_only_their_own_children(self):
+        records = [
+            span("fsync", 1, 5),
+            span("act", 0, 20),
+            span("join", 1, 8),
+            span("match", 0, 10),
+        ]
+        assert fold_spans(records) == {
+            "act": 15,
+            "act;fsync": 5,
+            "match": 2,
+            "match;join": 8,
+        }
+
+    def test_three_levels_deep(self):
+        records = [
+            span("fsync", 2, 4),
+            span("act", 1, 10),
+            span("cycle", 0, 25),
+        ]
+        assert fold_spans(records) == {
+            "cycle": 15,
+            "cycle;act": 6,
+            "cycle;act;fsync": 4,
+        }
+
+    def test_non_span_records_are_ignored(self):
+        records = [
+            {"type": "event", "kind": "halt"},
+            {"type": "metrics", "counters": {}},
+            {"type": "span", "name": "broken"},  # no depth: malformed
+            span("run", 0, 7),
+        ]
+        assert fold_spans(records) == {"run": 7}
+
+    def test_orphaned_inner_spans_become_roots(self):
+        """A truncated stream whose outer span never closed still folds:
+        the unclaimed inner spans are walked as roots."""
+        records = [span("fsync", 2, 4), span("act", 1, 10)]
+        assert fold_spans(records) == {"act": 6, "act;fsync": 4}
+
+    def test_real_observability_stream_folds(self):
+        records = []
+        obs = Observability(sinks=[CallbackSink(records.append)])
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        stacks = fold_spans(records)
+        assert set(stacks) == {"outer", "outer;inner"}
+
+
+class TestRendering:
+    def test_render_folded_is_sorted_lines(self):
+        text = render_folded({"b;c": 2, "a": 1})
+        assert text == "a 1\nb;c 2\n"
+
+    def test_fold_trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [
+            json.dumps({"type": "event", "kind": "noise"}),
+            json.dumps(span("match", 1, 30)),
+            json.dumps(span("cycle", 0, 100)),
+            "",  # blank lines are tolerated
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert fold_trace_file(str(path)) == {
+            "cycle": 70,
+            "cycle;match": 30,
+        }

@@ -1,0 +1,1 @@
+"""Tier-1 tests for repro.recovery: WAL, checkpoints, crash recovery."""

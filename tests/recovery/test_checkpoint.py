@@ -1,0 +1,123 @@
+"""Checkpoint files: round trip, damage refusal, atomic replacement."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import ProductionSystem
+from repro.recovery import (
+    Crashpoints,
+    SimulatedCrash,
+    CheckpointError,
+    load_checkpoint,
+    write_checkpoint,
+)
+
+PROGRAM = """
+(literalize item n)
+(p keep (item ^n <x>) --> (write <x>))
+(make item ^n 1)
+(make item ^n 2)
+"""
+
+
+def system(**kwargs):
+    return ProductionSystem(PROGRAM, **kwargs)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        state = {"phase": "cycle", "cycle": 3, "fired": []}
+        body = write_checkpoint(
+            system(), path, wal_seq=7, state=state, program_crc=123
+        )
+        loaded = load_checkpoint(path)
+        assert loaded == json.loads(json.dumps(body))
+        assert loaded["wal_seq"] == 7
+        assert loaded["program_crc"] == 123
+        assert loaded["state"]["cycle"] == 3
+        rows = loaded["relations"]["item"]
+        assert [row[2] for row in rows] == [[1], [2]]
+        assert loaded["tids"]["item"] >= max(row[0] for row in rows)
+
+    def test_rete_snapshot_included_on_request(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        body = write_checkpoint(
+            system(strategy="rete"), path, wal_seq=1, state={},
+            include_rete=True,
+        )
+        assert "rete" in body
+        assert any(body["rete"]["alpha"].values())
+
+    def test_missing_file_loads_as_none(self, tmp_path):
+        assert load_checkpoint(str(tmp_path / "absent.ckpt")) is None
+
+
+class TestDamage:
+    def test_bad_checksum_refused(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        write_checkpoint(system(), path, wal_seq=1, state={})
+        data = json.loads(open(path, encoding="utf-8").read())
+        data["body"]["wal_seq"] = 99  # tamper without refreshing the crc
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_unparseable_file_refused(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_unknown_version_refused(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        write_checkpoint(system(), path, wal_seq=1, state={})
+        data = json.loads(open(path, encoding="utf-8").read())
+        data["body"]["version"] = 999
+        import zlib
+
+        payload = json.dumps(
+            data["body"], sort_keys=True, separators=(",", ":")
+        )
+        data["crc"] = zlib.crc32(payload.encode("utf-8"))
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+
+class TestAtomicity:
+    def test_crash_mid_checkpoint_keeps_previous(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        write_checkpoint(system(), path, wal_seq=1, state={"cycle": 1})
+        crashpoints = Crashpoints()
+        crashpoints.arm("checkpoint.mid")
+        with pytest.raises(SimulatedCrash):
+            write_checkpoint(
+                system(), path, wal_seq=2, state={"cycle": 2},
+                crashpoints=crashpoints,
+            )
+        # The rename never ran: the old checkpoint is intact, the new
+        # content is stranded in the temp file.
+        assert load_checkpoint(path)["wal_seq"] == 1
+        assert os.path.exists(path + ".tmp")
+
+    def test_write_is_refused_after_a_crash(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        crashpoints = Crashpoints()
+        crashpoints.arm("checkpoint.mid")
+        with pytest.raises(SimulatedCrash):
+            write_checkpoint(
+                system(), path, wal_seq=1, state={}, crashpoints=crashpoints
+            )
+        assert (
+            write_checkpoint(
+                system(), path, wal_seq=2, state={}, crashpoints=crashpoints
+            )
+            is None
+        )
+        assert load_checkpoint(path) is None  # nothing ever landed

@@ -1,0 +1,71 @@
+"""Fault-injection registry semantics and the writer's play-dead rule."""
+
+import pytest
+
+from repro.recovery import (
+    CRASH_SITES,
+    Crashpoints,
+    SimulatedCrash,
+    WalWriter,
+    read_wal,
+)
+
+
+class TestRegistry:
+    def test_unarmed_sites_count_without_raising(self):
+        crashpoints = Crashpoints()
+        for _ in range(3):
+            crashpoints.hit("wal.pre_sync")
+        assert crashpoints.hits("wal.pre_sync") == 3
+        assert crashpoints.crashed is None
+
+    def test_armed_site_fires_on_nth_hit(self):
+        crashpoints = Crashpoints()
+        crashpoints.arm("commit.pre", after=2)
+        crashpoints.hit("commit.pre")
+        with pytest.raises(SimulatedCrash) as excinfo:
+            crashpoints.hit("commit.pre")
+        assert excinfo.value.site == "commit.pre"
+        assert crashpoints.crashed == "commit.pre"
+
+    def test_hits_after_the_crash_are_ignored(self):
+        crashpoints = Crashpoints()
+        crashpoints.arm("wal.pre_append")
+        with pytest.raises(SimulatedCrash):
+            crashpoints.hit("wal.pre_append")
+        crashpoints.hit("wal.pre_append")  # the process is already dead
+        assert crashpoints.hits("wal.pre_append") == 1
+
+    def test_unknown_site_refused(self):
+        with pytest.raises(ValueError):
+            Crashpoints().arm("wal.nonsense")
+
+    def test_after_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Crashpoints().arm("commit.pre", after=0)
+
+    def test_every_documented_site_is_armable(self):
+        crashpoints = Crashpoints()
+        for site in CRASH_SITES:
+            crashpoints.arm(site, after=10_000)
+
+
+class TestWriterPlaysDead:
+    def test_crashed_writer_drops_everything_silently(self, tmp_path):
+        path = str(tmp_path / "run.wal")
+        crashpoints = Crashpoints()
+        writer = WalWriter.create(
+            path, crashpoints=crashpoints, fsync_every=100
+        )
+        writer.commit("boundary", {"cycle": 1})
+        writer.append("batch", {"deltas": []})  # buffered, never synced
+        crashpoints.arm("wal.pre_sync")
+        with pytest.raises(SimulatedCrash):
+            writer.sync()
+        assert writer.dead
+        # finally-block style cleanup after the crash must not leak
+        # anything onto disk: appends no-op, sync no-ops, close is safe.
+        writer.append("batch", {"deltas": []})
+        writer.commit("boundary", {"cycle": 2})
+        writer.abandon()
+        assert [r.body["cycle"] for r in read_wal(path).records] == [1]

@@ -1,0 +1,91 @@
+"""Tuple-id high-water marks: the identity-allocation contract recovery
+relies on.
+
+Reserved tids count against the mark whether or not a row is ever stored
+under them — a netted insert+delete must not let a later insert reuse
+the ghost's identity, on either backend.
+"""
+
+import pytest
+
+from repro.engine import ProductionSystem
+from repro.storage import MemoryTable, RelationSchema, SqliteTable
+
+SCHEMA = RelationSchema("Emp", ("name", "age"))
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def table(request):
+    if request.param == "memory":
+        yield MemoryTable(SCHEMA)
+    else:
+        t = SqliteTable(SCHEMA)
+        yield t
+        t.close()
+
+
+class TestHighWater:
+    def test_virgin_table_is_at_zero(self, table):
+        assert table.tid_high_water() == 0
+
+    def test_inserts_raise_the_mark(self, table):
+        table.insert(("Mike", 30))
+        row = table.insert(("Sam", 40))
+        assert table.tid_high_water() == row.tid
+
+    def test_delete_does_not_lower_the_mark(self, table):
+        row = table.insert(("Mike", 30))
+        table.delete(row.tid)
+        assert table.tid_high_water() == row.tid
+
+    def test_reservations_count_without_storage(self, table):
+        reserved = table.reserve_tid()
+        assert table.tid_high_water() == reserved
+        row = table.insert(("Mike", 30))
+        assert row.tid > reserved
+
+    def test_advance_pushes_future_allocations(self, table):
+        table.advance_tid(50)
+        assert table.tid_high_water() == 50
+        assert table.insert(("Mike", 30)).tid == 51
+
+    def test_advance_backwards_is_a_no_op(self, table):
+        table.advance_tid(50)
+        table.advance_tid(7)
+        assert table.tid_high_water() == 50
+
+
+class TestWorkingMemoryMarks:
+    PROGRAM = """
+(literalize item n)
+(literalize other n)
+"""
+
+    @pytest.fixture(params=["memory", "sqlite"])
+    def system(self, request):
+        return ProductionSystem(self.PROGRAM, backend=request.param)
+
+    def test_marks_cover_every_relation(self, system):
+        system.wm.insert("item", (1,))
+        marks = system.wm.tid_marks()
+        assert set(marks) == {"item", "other"}
+        assert marks["item"] == 1
+        assert marks["other"] == 0
+
+    def test_restore_is_monotonic(self, system):
+        system.wm.insert("item", (1,))
+        system.wm.restore_tid_marks({"item": 9, "other": 3})
+        assert system.wm.tid_marks() == {"item": 9, "other": 3}
+        system.wm.restore_tid_marks({"item": 2})  # stale mark: no-op
+        assert system.wm.tid_marks()["item"] == 9
+
+    def test_ghost_tid_is_never_reissued(self, system):
+        """Regression: a reservation whose row nets out of its batch must
+        still consume the tid — the SQLite backend once let AUTOINCREMENT
+        re-issue it to the next eager insert."""
+        with system.wm.batch():
+            ghost = system.wm.insert("item", (77,))
+            system.wm.remove(ghost)
+        keeper = system.wm.insert("item", (88,))
+        assert keeper.tid > ghost.tid
+        assert system.wm.tid_marks()["item"] == keeper.tid

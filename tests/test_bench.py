@@ -97,7 +97,7 @@ class TestReportsSmoke:
     def test_report_registry_complete(self):
         assert set(REPORTS) == {
             "f1", "e1", "e2", "e3", "e4", "e6", "e7", "e8", "e9", "a4",
-            "a5",
+            "a5", "a6",
         }
 
     def test_a5(self):
@@ -108,6 +108,17 @@ class TestReportsSmoke:
         )
         assert len(rows) == 2
         assert len({r["conflict_size"] for r in rows}) == 1
+
+    def test_a6(self):
+        from repro.bench.report import report_a6
+
+        _, rows = report_a6(cycles=20, fsync_everys=(64,),
+                            checkpoint_every=8)
+        assert [r["mode"] for r in rows] == [
+            "wal off", "wal fsync=64", "wal+ckpt every 8",
+        ]
+        assert len({r["wm"] for r in rows}) == 1
+        assert rows[2]["replayed"] < rows[1]["replayed"]
 
     def test_e9(self):
         from repro.bench.report import report_e9
