@@ -41,15 +41,23 @@ DEFAULT_BATCH_SIZES = (1, 8, "auto")
 
 @dataclass(frozen=True)
 class CheckConfig:
-    """One cell of the oracle's configuration matrix."""
+    """One cell of the oracle's configuration matrix.
+
+    ``lineage`` replays the trace with provenance recording attached
+    (:class:`repro.obs.xray.LineageRecorder`); because the recorder is a
+    pure conflict-set listener, a lineage-on cell must be bit-identical
+    to its lineage-off twin — the fuzz matrix pins that claim.
+    """
 
     strategy: str
     backend: str = "memory"
     batch_size: int | str = 1
+    lineage: bool = False
 
     @property
     def label(self) -> str:
-        return f"{self.strategy}/{self.backend}/batch={self.batch_size}"
+        suffix = "/lineage" if self.lineage else ""
+        return f"{self.strategy}/{self.backend}/batch={self.batch_size}{suffix}"
 
 
 def resolve_strategies(strategies) -> dict:
@@ -186,6 +194,7 @@ class _Replayer:
             backend=config.backend,
             seed=trace.seed,
             batch_size=config.batch_size,
+            lineage=config.lineage,
         )
         self.result = ReplayResult(config=config)
         self.attached = True

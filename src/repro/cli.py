@@ -3,8 +3,10 @@
     python -m repro.cli run program.ops [--strategy patterns]
                                         [--resolution lex] [--max-cycles N]
                                         [--backend memory] [--quiet]
-                                        [--batch-size N]
-                                        [--trace-out t.jsonl]
+                                        [--batch-size N] [--lineage]
+                                        [--trace-out t.jsonl] [--otel]
+                                        [--trace-rotate-bytes N]
+                                        [--trace-keep K]
                                         [--metrics-out m.json]
                                         [--manifest [DIR]]
                                         [--wal run.wal]
@@ -14,6 +16,10 @@
     python -m repro.cli check program.ops
     python -m repro.cli check --budget N [--resolutions lex,mea] [--crash]
     python -m repro.cli format program.ops
+    python -m repro.cli explain program.ops [RULE ...] [--why-not]
+                                        [--instantiation N] [--wal f.wal]
+                                        [--network] [--dot [OUT]]
+    python -m repro.cli top trace.jsonl [--follow] [--interval SEC]
     python -m repro.cli report [f1 e1 ... e9]
 
 ``run`` executes an OPS5 program file (literalize + rules + top-level
@@ -30,7 +36,11 @@ emits collapsed stacks for flamegraph.pl.  ``check`` validates a program
 and summarizes its rules; with ``--budget`` it differential-fuzzes the
 strategy matrix, and ``--crash`` turns that into the crash-recovery
 equivalence campaign; ``format`` normalizes a program back to canonical
-text; ``report`` regenerates the experiment tables of EXPERIMENTS.md.
+text; ``explain`` answers why a rule is (not) in the conflict set — with
+provenance-backed support chains, ``--why-not`` blame analysis and
+``--network``/``--dot`` Rete introspection (see OBSERVABILITY.md);
+``top`` renders a live dashboard over a ``--trace-out`` stream;
+``report`` regenerates the experiment tables of EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.engine.interpreter import ProductionSystem
 from repro.errors import ReproError
@@ -105,7 +116,25 @@ def cmd_run(args: argparse.Namespace) -> int:
     source = _read(args.file)
     obs = Observability()
     if args.trace_out:
-        obs.add_sink(JsonlFileSink(args.trace_out))
+        obs.add_sink(
+            JsonlFileSink(
+                args.trace_out,
+                rotate_bytes=args.trace_rotate_bytes,
+                keep=args.trace_keep,
+            )
+        )
+    if args.otel:
+        from repro.obs.otel import make_otel_sink
+
+        otel_sink = make_otel_sink()
+        if otel_sink is None:
+            print(
+                "warning: --otel requested but the opentelemetry "
+                "distribution is not installed; continuing without it",
+                file=sys.stderr,
+            )
+        else:
+            obs.add_sink(otel_sink)
     want_metrics = bool(args.metrics_out) or args.manifest is not None
     if want_metrics:
         obs.enable_metrics()
@@ -117,6 +146,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         obs=obs,
         batch_size=args.batch_size,
+        lineage=args.lineage,
     )
     if args.wal:
         from repro.recovery import DurableRun
@@ -435,11 +465,127 @@ def cmd_format(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    system = ProductionSystem(_read(args.file), strategy=args.strategy)
+    """``repro explain``: diagnosis plus provenance-backed support chains.
+
+    The system is built with lineage recording on, so every conflict-set
+    instantiation — including those derived from the initial WM load —
+    carries its support chain (WM tuples, join-node path, cycle, WAL
+    sequence number when ``--wal`` is given).  By default the initial
+    state is diagnosed without running; ``--max-cycles`` runs the engine
+    first so the chains include firing/retraction history.
+    """
+    from repro.obs.xray import render_support, why_not
+
+    source = _read(args.file)
+    system = ProductionSystem(source, strategy=args.strategy, lineage=True)
     names = args.rules or list(system.analyses)
+    unknown = [name for name in names if name not in system.analyses]
+    if unknown:
+        print(f"error: no rule named {unknown[0]!r}", file=sys.stderr)
+        return 1
+    durable = None
+    if args.wal:
+        from repro.recovery import DurableRun
+
+        durable = DurableRun.start(
+            system,
+            args.wal,
+            source,
+            {
+                "strategy": args.strategy,
+                "resolution": "lex",
+                "backend": "memory",
+                "seed": 0,
+                "batch_size": 1,
+                "firing": "instance",
+            },
+        )
+    try:
+        if args.max_cycles:
+            if durable is not None:
+                durable.run(max_cycles=args.max_cycles)
+            else:
+                system.run(max_cycles=args.max_cycles)
+    finally:
+        if durable is not None:
+            durable.close()
+    if args.dot is not None:
+        return _explain_dot(args, system)
+    if args.network:
+        print(json.dumps(system.strategy.describe(), indent=2, default=str))
+        return 0
+    recorder = system.lineage_recorder
     for name in names:
+        if args.why_not:
+            print(why_not(system, name))
+            print()
+            continue
         print(system.explain(name))
+        lineages = recorder.for_rule(name)
+        if args.instantiation is not None:
+            if not 1 <= args.instantiation <= len(lineages):
+                print(
+                    f"error: {name} has {len(lineages)} recorded "
+                    f"instantiation(s), no #{args.instantiation}",
+                    file=sys.stderr,
+                )
+                return 1
+            lineages = [lineages[args.instantiation - 1]]
+        conditions = system.analyses[name].conditions
+        for lineage in lineages:
+            print()
+            print(render_support(lineage, conditions))
         print()
+    return 0
+
+
+def _explain_dot(args: argparse.Namespace, system: ProductionSystem) -> int:
+    """``repro explain --dot``: the network as Graphviz DOT."""
+    to_dot = getattr(system.strategy, "to_dot", None)
+    if to_dot is None:
+        print(
+            f"error: strategy {args.strategy!r} has no node graph to "
+            "render (use a rete strategy)",
+            file=sys.stderr,
+        )
+        return 1
+    text = to_dot()
+    if args.dot == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"network graph -> {args.dot}")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``repro top trace.jsonl``: dashboard over a ``--trace-out`` stream.
+
+    One frame summarizes throughput, cycle-latency percentiles, the
+    hottest join nodes and WAL lag; ``--follow`` keeps tailing the file
+    and redraws the frame in place every ``--interval`` seconds.
+    """
+    from repro.obs.xray import TopAggregator, render_top
+
+    aggregator = TopAggregator(window=args.window)
+    frames = 0
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            while True:
+                for line in handle:
+                    aggregator.feed_line(line)
+                frame = render_top(aggregator)
+                if args.follow and frames:
+                    height = frame.count("\n") + 1
+                    sys.stdout.write(f"\x1b[{height}A\x1b[J")
+                print(frame, flush=True)
+                frames += 1
+                if not args.follow or (args.frames and frames >= args.frames):
+                    break
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -517,9 +663,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--quiet", action="store_true")
     run.add_argument(
+        "--lineage",
+        action="store_true",
+        help="record token provenance for every conflict-set "
+        "instantiation (the support chains 'repro explain' renders); "
+        "off by default, and the match/act hot paths are untouched "
+        "when disabled",
+    )
+    run.add_argument(
         "--trace-out",
         metavar="FILE",
         help="write spans and events as JSON lines to FILE",
+    )
+    run.add_argument(
+        "--trace-rotate-bytes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="size-rotate the --trace-out file when it reaches N bytes "
+        "(0 = never rotate); rotations shift to FILE.1, FILE.2, ...",
+    )
+    run.add_argument(
+        "--trace-keep",
+        type=int,
+        default=3,
+        metavar="K",
+        help="rotated trace files to keep before the oldest is deleted "
+        "(default: 3)",
+    )
+    run.add_argument(
+        "--otel",
+        action="store_true",
+        help="also forward spans and events to OpenTelemetry when the "
+        "SDK is installed (warns and continues without it)",
     )
     run.add_argument(
         "--metrics-out",
@@ -661,14 +837,89 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain = commands.add_parser(
         "explain",
-        help="diagnose why rules are (not) satisfied by the initial WM",
+        help="diagnose why rules are (not) satisfied, with provenance",
     )
     explain.add_argument("file")
     explain.add_argument("rules", nargs="*")
     explain.add_argument(
         "--strategy", default="patterns", choices=sorted(STRATEGIES)
     )
+    explain.add_argument(
+        "--max-cycles",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run up to N engine cycles before explaining (default 0: "
+        "diagnose the initial WM) so support chains carry firing and "
+        "retraction history",
+    )
+    explain.add_argument(
+        "--instantiation",
+        type=int,
+        metavar="N",
+        help="show only the Nth recorded instantiation's support chain "
+        "(1-based, in first-seen order)",
+    )
+    explain.add_argument(
+        "--why-not",
+        action="store_true",
+        help="name the first failing alpha test, empty join or blocking "
+        "negation preventing each rule from matching",
+    )
+    explain.add_argument(
+        "--wal",
+        metavar="FILE",
+        help="run durably under a fresh write-ahead log at FILE so every "
+        "support chain carries the WAL sequence number it is covered by",
+    )
+    explain.add_argument(
+        "--network",
+        action="store_true",
+        help="print the strategy's introspection report (node graph with "
+        "live per-node gauges) as JSON and exit",
+    )
+    explain.add_argument(
+        "--dot",
+        nargs="?",
+        const="-",
+        metavar="OUT",
+        help="write the Rete network as Graphviz DOT to OUT "
+        "(default: stdout) and exit",
+    )
     explain.set_defaults(handler=cmd_explain)
+
+    top = commands.add_parser(
+        "top",
+        help="live engine dashboard over a --trace-out JSONL stream",
+    )
+    top.add_argument("trace", help="trace file written by run --trace-out")
+    top.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing the file, redrawing the dashboard in place",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="seconds between --follow redraws (default: 1.0)",
+    )
+    top.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        metavar="N",
+        help="cycles in the sliding throughput window (default: 64)",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --follow, stop after N redraws (0 = until ^C)",
+    )
+    top.set_defaults(handler=cmd_top)
 
     report = commands.add_parser(
         "report", help="regenerate experiment tables"

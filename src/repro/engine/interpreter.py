@@ -209,6 +209,7 @@ class ProductionSystem:
         path: str | None = None,
         obs: Observability | None = None,
         batch_size: int | str = 1,
+        lineage: bool = False,
     ) -> None:
         if firing not in ("instance", "set"):
             raise ExecutionError(
@@ -254,6 +255,16 @@ class ProductionSystem:
         self._fired_keys: set[InstantiationKey] = set()
         self._trace_sinks: list[TraceEventSink] = []
         self._current_cycle = 0
+        # Provenance capture (repro.obs.xray) is strictly opt-in: with
+        # lineage=False no listener is registered and the match/act hot
+        # paths see a single None check per firing.  The recorder must
+        # attach before the initial elements load so setup-time
+        # instantiations carry lineage too.
+        self.lineage_recorder = None
+        if lineage:
+            from repro.obs.xray import LineageRecorder
+
+            self.lineage_recorder = LineageRecorder(self)
         # WM changes always feed the event bus; _emit bails out in one
         # check when no sink is attached, so the idle cost is negligible.
         self._wm_tracer = _WmTracer(self)
@@ -484,6 +495,10 @@ class ProductionSystem:
                     )
                     records.append(record)
                     self._emit("fire", record)
+                    if self.lineage_recorder is not None:
+                        self.lineage_recorder.note_fired(
+                            instantiation.key, cycle
+                        )
                     if outcome.halted:
                         self._emit("halt", record)
                         break
@@ -501,15 +516,29 @@ class ProductionSystem:
                     obs.tracer.clear_context("rule")
             act_span.set("fires", len(records))
         if observing:
+            dur_us = (time.perf_counter() - started) * 1e6
             metrics = obs.metrics
             metrics.counter("engine.cycles").inc()
             metrics.counter("engine.fires").inc(len(records))
             metrics.histogram("engine.conflict_set_size", SIZE_BUCKETS).observe(
                 len(candidates)
             )
-            metrics.histogram("engine.cycle_us").observe(
-                (time.perf_counter() - started) * 1e6
-            )
+            metrics.log2_histogram("engine.cycle_us").observe(dur_us)
+            if obs.sinks:
+                # One structured event per cycle: the stream `repro top`
+                # tails.  TraceEventSink filters it out of the classic
+                # OPS5-watch view.
+                wal = self.wm.wal
+                obs.event(
+                    "cycle",
+                    cycle=cycle,
+                    dur_us=dur_us,
+                    rule=chosen.rule_name,
+                    conflict_set=len(candidates),
+                    fires=len(records),
+                    wal_seq=getattr(wal, "last_seq", None),
+                    wal_pending=getattr(wal, "pending_records", None),
+                )
         return records
 
     def snapshot_metrics(self) -> dict:

@@ -43,6 +43,7 @@ commit-after-maintenance discipline.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterator
 from contextlib import contextmanager
 from typing import Protocol
@@ -271,10 +272,16 @@ class WorkingMemory:
         self._pending = []
         self._staged = {}
         if batch:
+            observing = self.obs.enabled
+            started = time.perf_counter() if observing else 0.0
             self._apply_storage(batch)
             self._deliver(batch)
             if self.wal is not None:
                 self.wal.log_batch(batch)
+            if observing:
+                self.obs.metrics.log2_histogram("wm.flush_us").observe(
+                    (time.perf_counter() - started) * 1e6
+                )
         return batch
 
     def end_batch(self) -> DeltaBatch:

@@ -153,7 +153,7 @@ class MatchStrategy:
         metrics.histogram("match.batch_size").observe(len(batch))
         metrics.histogram("match.batch_relations").observe(len(groups))
         metrics.histogram("match.batch_group_max").observe(group_max)
-        metrics.histogram("match.batch_us").observe(
+        metrics.log2_histogram("match.batch_us").observe(
             (time.perf_counter() - started) * 1e6
         )
 
@@ -187,13 +187,30 @@ class MatchStrategy:
             impl(wme)
         metrics = obs.metrics
         metrics.counter("match.wm_events").inc()
-        metrics.histogram("match.event_us").observe(
+        metrics.log2_histogram("match.event_us").observe(
             (time.perf_counter() - started) * 1e6
         )
 
     def space_report(self) -> SpaceReport:
         """Report the strategy's auxiliary-storage footprint (§4.2.3)."""
         raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-ready structural summary of this strategy's match state.
+
+        The base form reports the space-report gauges plus the conflict
+        set; the Rete strategies override it with the full node graph
+        (:meth:`repro.match.rete.builder.ReteNetwork.describe`) and the
+        pattern scheme with its per-store cardinalities — the non-Rete
+        equivalent of per-node introspection.
+        """
+        report = self.space_report()
+        return {
+            "strategy": self.strategy_name,
+            "rules": sorted(self.analyses),
+            "conflict_set": len(self.conflict_set),
+            "space": {**report.as_dict(), **report.detail},
+        }
 
     # -- shared helpers ------------------------------------------------------
 

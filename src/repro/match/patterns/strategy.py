@@ -444,6 +444,24 @@ class MatchingPatternsStrategy(MatchStrategy):
         """The COND relation of *class_name* in the paper's table format."""
         return self.stores[class_name].display_rows(self._negated_indices)
 
+    def describe(self) -> dict:
+        """Base summary plus per-COND-relation pattern cardinalities —
+        the pattern scheme's analogue of per-node Rete introspection."""
+        description = super().describe()
+        description["stores"] = {
+            class_name: {
+                "patterns": store.pattern_count(),
+                "derived": store.derived_count(),
+                "cells": store.cell_count(),
+            }
+            for class_name, store in sorted(self.stores.items())
+        }
+        description["maintenance"] = {
+            "serial_ops": self.maintenance_serial_ops,
+            "parallel_ops": self.maintenance_parallel_ops,
+        }
+        return description
+
     def space_report(self) -> SpaceReport:
         patterns = sum(store.pattern_count() for store in self.stores.values())
         derived = sum(store.derived_count() for store in self.stores.values())

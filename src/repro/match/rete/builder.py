@@ -62,6 +62,13 @@ class ReteNetwork:
     production_nodes: list[ProductionNode] = field(default_factory=list)
     mirrors: list[MemoryMirror] = field(default_factory=list)
     mirror_catalog: Catalog | None = None
+    #: Per-rule join chain, recorded at compile time: one
+    #: ``(condition, alpha_memory, two_input_node)`` triple per condition
+    #: element, in LHS order.  The chain is *static* in this network (one
+    #: linear chain per rule, joins in LHS order), which is what lets
+    #: lineage capture (:mod:`repro.obs.xray`) reconstruct a token's join
+    #: path without tagging any token on the hot path.
+    rule_chains: dict[str, list[tuple]] = field(default_factory=dict)
 
     def insert(self, wme: StoredTuple) -> None:
         """Propagate a "+" token through the network."""
@@ -177,6 +184,142 @@ class ReteNetwork:
                     if wme is not None:
                         cells += len(wme.values)
         return cells
+
+    def describe(self) -> dict:
+        """The node graph with live per-node gauges, JSON-ready.
+
+        ``nodes`` carries one entry per network node (memory sizes, probe
+        counts, largest batch group, negative witness counts), ``edges``
+        the dataflow arcs, ``rules`` each rule's static join chain (node
+        ids in LHS order), ``counts`` the aggregate totals.  This is the
+        engine-side answer to "which join is hot / which memory is big"
+        without attaching a debugger.
+        """
+        nodes: list[dict] = []
+        edges: list[list[str]] = []
+        for amem in self.alpha_memories:
+            nodes.append(
+                {
+                    "id": amem.name,
+                    "kind": "alpha",
+                    "class": amem.class_name,
+                    "size": len(amem),
+                }
+            )
+            for successor in amem.successors:
+                edges.append([amem.name, successor.name])
+        for bmem in self.beta_memories:
+            nodes.append(
+                {
+                    "id": bmem.name,
+                    "kind": "beta",
+                    "level": bmem.level,
+                    "size": len(bmem),
+                }
+            )
+            for child in bmem.children:
+                edges.append([bmem.name, child.name])
+        for join in self.join_nodes:
+            nodes.append(
+                {
+                    "id": join.name,
+                    "kind": "join",
+                    "left": join.bmem.name,
+                    "right": join.amem.name,
+                    "left_size": len(join.bmem),
+                    "right_size": len(join.amem),
+                    "tests": len(join.tests),
+                    "probes": join.probes,
+                    "max_group": join.max_group,
+                }
+            )
+        for negative in self.negative_nodes:
+            nodes.append(
+                {
+                    "id": negative.name,
+                    "kind": "negative",
+                    "left": negative.bmem.name,
+                    "right": negative.amem.name,
+                    "left_size": len(negative.bmem),
+                    "right_size": len(negative.amem),
+                    "tests": len(negative.tests),
+                    "probes": negative.probes,
+                    "max_group": negative.max_group,
+                    "witnesses": negative.stored_results(),
+                }
+            )
+        for production in self.production_nodes:
+            node_id = f"p:{production.analysis.name}"
+            nodes.append(
+                {
+                    "id": node_id,
+                    "kind": "production",
+                    "rule": production.analysis.name,
+                    "size": len(production.items),
+                }
+            )
+        for two_input in [*self.join_nodes, *self.negative_nodes]:
+            for child in two_input.children:
+                if isinstance(child, ProductionNode):
+                    edges.append(
+                        [two_input.name, f"p:{child.analysis.name}"]
+                    )
+                else:
+                    edges.append([two_input.name, child.name])
+        return {
+            "nodes": nodes,
+            "edges": edges,
+            "rules": {
+                rule: [node.name for _, _, node in chain]
+                for rule, chain in sorted(self.rule_chains.items())
+            },
+            "counts": {
+                "alpha_memories": len(self.alpha_memories),
+                "beta_memories": len(self.beta_memories),
+                "join_nodes": len(self.join_nodes),
+                "negative_nodes": len(self.negative_nodes),
+                "production_nodes": len(self.production_nodes),
+                "stored_tokens": self.stored_tokens(),
+                "stored_cells": self.stored_cells(),
+            },
+        }
+
+    def to_dot(self) -> str:
+        """The node graph as Graphviz DOT (``dot -Tsvg`` renders it)."""
+        description = self.describe()
+        shapes = {
+            "alpha": "ellipse",
+            "beta": "box",
+            "join": "diamond",
+            "negative": "diamond",
+            "production": "doubleoctagon",
+        }
+        lines = ["digraph rete {", "  rankdir=TB;"]
+        for node in description["nodes"]:
+            kind = node["kind"]
+            label = node["id"]
+            if kind == "alpha":
+                label = f"{node['id']}\\n{node['class']} ({node['size']})"
+            elif kind == "beta":
+                label = f"{node['id']}\\nlevel {node['level']} ({node['size']})"
+            elif kind in ("join", "negative"):
+                extra = (
+                    f"\\nwitnesses {node['witnesses']}"
+                    if kind == "negative"
+                    else ""
+                )
+                label = f"{node['id']}\\nprobes {node['probes']}{extra}"
+            elif kind == "production":
+                label = f"{node['rule']}\\n({node['size']})"
+            style = ' style=dashed' if kind == "negative" else ""
+            lines.append(
+                f'  "{node["id"]}" [shape={shapes[kind]} '
+                f'label="{label}"{style}];'
+            )
+        for src, dst in description["edges"]:
+            lines.append(f'  "{src}" -> "{dst}";')
+        lines.append("}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -423,6 +566,7 @@ class NetworkBuilder:
         current: BetaMemory = self.network.top
         last_node: JoinNode | NegativeNode | None = None
         count = len(analysis.conditions)
+        chain: list[tuple] = []
         for condition in analysis.conditions:
             intra = [t for i, t in alpha_tagged if i == condition.index]
             joins = tuple(
@@ -435,11 +579,13 @@ class NetworkBuilder:
             node = self._two_input_node(
                 current, amem, joins, condition.negated, rule_tag
             )
+            chain.append((condition, amem, node))
             last_node = node
             if condition.index < count - 1:
                 current = self._beta_memory_below(
                     node, condition.index + 1, rule_tag
                 )
+        self.network.rule_chains[analysis.name] = chain
         production = ProductionNode(
             analysis=analysis,
             conflict_set=self.network.conflict_set,

@@ -393,9 +393,14 @@ class JoinNode:
         bmem.children.append(self)
         amem.successors.append(self)
         self.runtime: ReteRuntime | None = None
+        #: Lifetime opposing-memory probes / largest token set seen — plain
+        #: ints read by :meth:`ReteNetwork.describe` (per-node hotspots).
+        self.probes = 0
+        self.max_group = 0
 
     def left_activate_new_token(self, runtime: "ReteRuntime", token: Token) -> None:
         self.counters.node_activations += 1
+        self.probes += 1
         for wme in list(self.amem.items.values()):
             if _run_join_tests(self.tests, token, wme, self.counters):
                 for child in list(self.children):
@@ -403,6 +408,7 @@ class JoinNode:
 
     def right_activate(self, wme: StoredTuple) -> None:
         self.counters.node_activations += 1
+        self.probes += 1
         runtime = self.runtime
         for token in list(self.bmem.items):
             if _run_join_tests(self.tests, token, wme, self.counters):
@@ -414,6 +420,9 @@ class JoinNode:
     ) -> None:
         """A LEFT token set arrives: probe the RIGHT memory once for all."""
         self.counters.node_activations += 1
+        self.probes += 1
+        if len(tokens) > self.max_group:
+            self.max_group = len(tokens)
         with _probe_span(
             runtime, self.name, "left", "RIGHT", group, len(tokens)
         ) as span:
@@ -433,6 +442,9 @@ class JoinNode:
     def right_activate_set(self, wmes: list[StoredTuple], group: str) -> None:
         """A RIGHT token set arrives: probe the LEFT memory once for all."""
         self.counters.node_activations += 1
+        self.probes += 1
+        if len(wmes) > self.max_group:
+            self.max_group = len(wmes)
         runtime = self.runtime
         with _probe_span(
             runtime, self.name, "right", "LEFT", group, len(wmes)
@@ -485,6 +497,9 @@ class NegativeNode:
         bmem.children.append(self)
         amem.successors.append(self)
         self.runtime: ReteRuntime | None = None
+        #: Same per-node hotspot counters as :class:`JoinNode`.
+        self.probes = 0
+        self.max_group = 0
 
     def _witness_key(self, wme: StoredTuple) -> tuple:
         """The RIGHT element's values at the tested positions."""
@@ -509,6 +524,7 @@ class NegativeNode:
 
     def left_activate_new_token(self, runtime: "ReteRuntime", token: Token) -> None:
         self.counters.node_activations += 1
+        self.probes += 1
         matches = {
             wme_key(wme)
             for wme in self.amem.items.values()
@@ -523,6 +539,7 @@ class NegativeNode:
 
     def right_activate(self, wme: StoredTuple) -> None:
         self.counters.node_activations += 1
+        self.probes += 1
         runtime = self.runtime
         key = wme_key(wme)
         for token, matches in list(self.results.items()):
@@ -543,6 +560,9 @@ class NegativeNode:
         hash lookup — O(T + R) instead of the O(T × R) nested scan.
         """
         self.counters.node_activations += 1
+        self.probes += 1
+        if len(tokens) > self.max_group:
+            self.max_group = len(tokens)
         with _probe_span(
             runtime, self.name, "left", "RIGHT", group, len(tokens)
         ) as span:
@@ -592,6 +612,9 @@ class NegativeNode:
         on the token, not on which witness blocked it).
         """
         self.counters.node_activations += 1
+        self.probes += 1
+        if len(wmes) > self.max_group:
+            self.max_group = len(wmes)
         runtime = self.runtime
         newly_blocked: list[Token] = []
         with _probe_span(

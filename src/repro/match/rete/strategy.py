@@ -77,6 +77,18 @@ class ReteStrategy(MatchStrategy):
             return
         self.network.apply_batch(batch)
 
+    def describe(self) -> dict:
+        """The live node graph (memories, probes, witnesses) — §3's network
+        rendered as data; see :meth:`ReteNetwork.describe`."""
+        description = self.network.describe()
+        description["strategy"] = self.strategy_name
+        description["conflict_set"] = len(self.conflict_set)
+        return description
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering of the compiled network."""
+        return self.network.to_dot()
+
     def space_report(self) -> SpaceReport:
         network = self.network
         stored = network.stored_tokens()

@@ -8,11 +8,17 @@ benchmarks:
   maintenance, lock/commit, SQL statements);
 * :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
   histograms, absorbing :class:`repro.instrument.Counters`;
-* :mod:`repro.obs.sinks` — ring buffer, console, JSON-lines file;
+* :mod:`repro.obs.hist` — power-of-two latency histograms with
+  percentile estimation (cycle, batch-flush, fsync latency);
+* :mod:`repro.obs.sinks` — ring buffer, console, JSON-lines file (with
+  size rotation);
+* :mod:`repro.obs.otel` — gated OpenTelemetry bridge (``--otel``);
 * :mod:`repro.obs.manifest` — ``runs/<run_id>/manifest.json`` records;
 * :mod:`repro.obs.flame` — collapsed-stack (flamegraph) folding of span
   streams, for ``repro stats --flamegraph``;
-* :mod:`repro.obs.stats` — per-rule per-phase cost aggregation.
+* :mod:`repro.obs.stats` — per-rule per-phase cost aggregation;
+* :mod:`repro.obs.xray` — token provenance (``repro explain``), why-not
+  analysis and the ``repro top`` dashboard aggregator.
 
 The facade is :class:`Observability`: one object bundling a tracer, a
 metrics registry and a sink list.  It is **disabled by default** — with
@@ -26,9 +32,17 @@ from __future__ import annotations
 import time
 
 from repro.obs.flame import fold_spans, fold_trace_file, render_folded
+from repro.obs.hist import (
+    LOG2_BUCKET_COUNT,
+    SNAPSHOT_PERCENTILES,
+    Log2Histogram,
+    log2_buckets,
+    percentile_from_buckets,
+)
 from repro.obs.manifest import (
     RunManifest,
     git_sha,
+    latency_summary,
     new_run_id,
     program_hash,
     repro_footer,
@@ -41,6 +55,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.otel import OtelBridgeSink, make_otel_sink
 from repro.obs.sinks import (
     CallbackSink,
     ConsoleSink,
@@ -51,6 +66,15 @@ from repro.obs.sinks import (
 )
 from repro.obs.stats import PhaseStatsSink
 from repro.obs.tracing import NULL_SPAN, NullSpan, Span, Tracer
+from repro.obs.xray import (
+    Lineage,
+    LineageRecorder,
+    TopAggregator,
+    WhyNot,
+    render_support,
+    render_top,
+    why_not,
+)
 
 
 class Observability:
@@ -140,23 +164,38 @@ __all__ = [
     "Histogram",
     "JsonlFileSink",
     "LATENCY_BUCKETS_US",
+    "LOG2_BUCKET_COUNT",
+    "Lineage",
+    "LineageRecorder",
+    "Log2Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
     "Observability",
+    "OtelBridgeSink",
     "PhaseStatsSink",
     "RingBufferSink",
     "RunManifest",
     "SIZE_BUCKETS",
+    "SNAPSHOT_PERCENTILES",
     "Sink",
     "Span",
+    "TopAggregator",
     "Tracer",
+    "WhyNot",
     "close_sink",
     "fold_spans",
     "fold_trace_file",
     "git_sha",
+    "latency_summary",
+    "log2_buckets",
+    "make_otel_sink",
     "new_run_id",
+    "percentile_from_buckets",
     "program_hash",
     "render_folded",
+    "render_support",
+    "render_top",
     "repro_footer",
+    "why_not",
 ]

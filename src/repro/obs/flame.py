@@ -43,8 +43,13 @@ def fold_spans(records) -> dict[str, int]:
         pending[depth].append(span)
 
     for record in records:
-        if record.get("type") != "span" or "depth" not in record:
-            continue
+        if (
+            record.get("type") != "span"
+            or not isinstance(record.get("depth"), int)
+            or not isinstance(record.get("dur_us"), (int, float))
+            or not isinstance(record.get("name"), str)
+        ):
+            continue  # skip-unknown: events and newer-schema records
         close(record)
 
     def walk(span: dict, prefix: str) -> None:
@@ -69,8 +74,22 @@ def render_folded(stacks: dict[str, int]) -> str:
 
 
 def fold_trace_file(path: str) -> dict[str, int]:
-    """Fold a ``--trace-out`` JSONL file into collapsed stacks."""
+    """Fold a ``--trace-out`` JSONL file into collapsed stacks.
+
+    Unparseable lines (a torn tail from a crashed run, records from a
+    newer schema serialized oddly) are skipped, not fatal.
+    """
+
+    def parse(lines):
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
     with open(path, encoding="utf-8") as handle:
-        return fold_spans(
-            json.loads(line) for line in handle if line.strip()
-        )
+        return fold_spans(parse(handle))

@@ -77,6 +77,13 @@ def collect_metrics(
             if name.endswith(_TIME_SUFFIXES):
                 continue
             values[name] = value
+    # Histogram *counts* are operation counts — one observation per
+    # cycle, delta batch, WM flush, fsync — and thus deterministic even
+    # when the observed values are wall-clock.  Gating them catches a
+    # latency instrument that silently stops recording (or
+    # double-records) without gating any timing value itself.
+    for name, summary in snapshot.get("histograms", {}).items():
+        values[f"hist.{name}.count"] = summary.get("count", 0)
     return values
 
 

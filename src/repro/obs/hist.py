@@ -1,0 +1,100 @@
+"""Fixed-bucket log2 latency histograms with percentile estimation.
+
+Latency distributions are heavy-tailed, so the linear decades of
+:data:`repro.obs.metrics.LATENCY_BUCKETS_US` lose all resolution exactly
+where operators look (the p95/p99 shoulder).  A :class:`Log2Histogram`
+uses power-of-two bucket bounds instead: bucket *i* covers
+``(2**(i-1), 2**i]`` microseconds, so every doubling of latency gets its
+own bucket, the bucket index is one ``bit_length()`` call (no scan), and
+28 buckets span sub-microsecond to over two minutes.
+
+:func:`percentile_from_buckets` estimates quantiles from any
+upper-inclusive bucket layout by linear interpolation inside the bucket
+holding the target rank — the classic Prometheus ``histogram_quantile``
+estimate.  It works for both histogram flavours and for snapshots that
+round-tripped through JSON (the drift test in ``tests/obs`` pins the
+p99 round-trip through sinks and manifests).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Histogram
+
+#: Number of power-of-two buckets; the last finite bound is 2**27 us
+#: (~134 s) — anything slower lands in the overflow bucket.
+LOG2_BUCKET_COUNT = 28
+
+#: Percentiles rendered into ``as_dict`` snapshots (and manifests).
+SNAPSHOT_PERCENTILES = (0.50, 0.95, 0.99)
+
+
+def log2_buckets(count: int = LOG2_BUCKET_COUNT) -> tuple[float, ...]:
+    """Upper-inclusive power-of-two bounds: 1, 2, 4, ... 2**(count-1)."""
+    return tuple(float(1 << i) for i in range(count))
+
+
+def percentile_from_buckets(
+    buckets: tuple[float, ...],
+    counts: list[int],
+    count: int,
+    q: float,
+    max_value: float | None = None,
+) -> float:
+    """Estimate the *q*-quantile (0 < q <= 1) of a bucketed distribution.
+
+    *counts* has one entry per bound plus the overflow bucket.  The value
+    is interpolated linearly inside the bucket containing the target rank
+    (lower bound = previous bucket's bound, 0 for the first).  Ranks
+    landing in the overflow bucket report *max_value* when known, else
+    the last finite bound — an estimate is still more useful than +Inf.
+    """
+    if count <= 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0.0
+    for i, bound in enumerate(buckets):
+        previous = cumulative
+        cumulative += counts[i]
+        if cumulative >= rank:
+            lower = buckets[i - 1] if i > 0 else 0.0
+            if counts[i] == 0:
+                return bound
+            fraction = (rank - previous) / counts[i]
+            return lower + (bound - lower) * fraction
+    if max_value is not None:
+        return float(max_value)
+    return float(buckets[-1]) if buckets else 0.0
+
+
+class Log2Histogram(Histogram):
+    """A :class:`~repro.obs.metrics.Histogram` over power-of-two buckets.
+
+    ``observe()`` finds the bucket in O(1) via ``bit_length`` instead of
+    scanning the bound list, so it is cheap enough for per-cycle and
+    per-fsync latency points.  Inherits count/sum/min/max bookkeeping and
+    the JSON snapshot shape (plus the percentile estimates every
+    histogram snapshot now carries).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, name: str, buckets: int = LOG2_BUCKET_COUNT) -> None:
+        super().__init__(name, log2_buckets(buckets))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 1.0:
+            index = 0
+        else:
+            # Bucket i is (2**(i-1), 2**i]; ceil(log2(v)) via bit_length.
+            whole = int(value)
+            index = whole.bit_length() - (1 if whole == value and
+                                          whole & (whole - 1) == 0 else 0)
+            if index >= len(self.buckets):
+                index = len(self.counts) - 1
+        self.counts[index] += 1

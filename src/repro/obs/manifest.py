@@ -39,6 +39,30 @@ def program_hash(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
 
 
+def latency_summary(metrics: dict) -> dict:
+    """Per-instrument latency percentiles from a metrics snapshot.
+
+    Collects every histogram whose name marks it as a wall-clock
+    instrument (``*_us``) and reports its count, mean and the
+    p50/p95/p99 estimates the snapshot carries — the at-a-glance
+    latency record a manifest reader wants without digging through
+    bucket arrays.  Tolerates snapshots from older runs whose
+    histograms predate the ``percentiles`` key.
+    """
+    summary: dict[str, dict] = {}
+    for name, data in metrics.get("histograms", {}).items():
+        if not name.endswith("_us") or not isinstance(data, dict):
+            continue
+        entry = {
+            "count": data.get("count", 0),
+            "mean_us": data.get("mean", 0.0),
+        }
+        for label, value in (data.get("percentiles") or {}).items():
+            entry[f"{label}_us"] = value
+        summary[name] = entry
+    return summary
+
+
 def new_run_id(clock: float | None = None) -> str:
     """A sortable, collision-resistant run identifier."""
     now = time.time() if clock is None else clock
@@ -97,6 +121,7 @@ class RunManifest:
                 "metrics": self.metrics_path,
             },
             "result": self.result,
+            "latency": latency_summary(self.metrics),
             "metrics": self.metrics,
             "extra": self.extra,
         }

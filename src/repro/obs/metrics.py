@@ -88,8 +88,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated *q*-quantile (0 < q <= 1), interpolated from buckets."""
+        from repro.obs.hist import percentile_from_buckets
+
+        return percentile_from_buckets(
+            self.buckets, self.counts, self.count, q, max_value=self.max
+        )
+
     def as_dict(self) -> dict:
         """JSON-ready summary of this histogram."""
+        from repro.obs.hist import SNAPSHOT_PERCENTILES
+
         labels = [str(b) for b in self.buckets] + ["+Inf"]
         return {
             "count": self.count,
@@ -97,6 +107,10 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "percentiles": {
+                f"p{int(q * 100)}": self.percentile(q)
+                for q in SNAPSHOT_PERCENTILES
+            },
             "buckets": dict(zip(labels, self.counts)),
         }
 
@@ -137,6 +151,20 @@ class MetricsRegistry:
         metric = self._histograms.get(name)
         if metric is None:
             metric = self._histograms[name] = Histogram(name, buckets)
+        return metric
+
+    def log2_histogram(self, name: str) -> Histogram:
+        """The histogram named *name* with power-of-two buckets.
+
+        Created on first use as a :class:`repro.obs.hist.Log2Histogram`;
+        like :meth:`histogram`, an existing instrument wins, so all call
+        sites for one name must agree on the flavour.
+        """
+        metric = self._histograms.get(name)
+        if metric is None:
+            from repro.obs.hist import Log2Histogram
+
+            metric = self._histograms[name] = Log2Histogram(name)
         return metric
 
     def absorb_counters(self, counters: Counters, prefix: str = "ops.") -> None:

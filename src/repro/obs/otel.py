@@ -1,0 +1,82 @@
+"""OpenTelemetry bridge: forward the span stream to an OTel tracer.
+
+The repo's observability layer is deliberately zero-dependency, so the
+bridge is *gated*: :func:`make_otel_sink` imports ``opentelemetry`` only
+when called and returns ``None`` when the distribution is absent —
+``repro run --otel`` warns and continues without it.  Nothing in this
+module imports the SDK at module load time, so merely having the file on
+the path costs nothing.
+
+Because repro spans are emitted on *exit* (post-order, see
+:mod:`repro.obs.tracing`), the bridge cannot use the SDK's
+context-manager API; instead each record becomes an OTel span with
+explicit start/end timestamps reconstructed from ``ts`` (wall-clock
+start, seconds) and ``dur_us``.  Point events become zero-duration spans
+named ``event.<kind>``.  Parent/child links are not reconstructed — the
+``depth`` attribute is forwarded so a backend can still group them.
+"""
+
+from __future__ import annotations
+
+#: Attribute value types OTel accepts verbatim; anything else is str()ed.
+_PLAIN = (bool, int, float, str)
+
+
+class OtelBridgeSink:
+    """A sink that replays repro span/event records into an OTel tracer.
+
+    *tracer* is anything with OTel's ``start_span(name, start_time=...)``
+    returning a span with ``set_attribute(key, value)`` and
+    ``end(end_time=...)`` — the real SDK tracer, or a test double.
+    Timestamps are integer nanoseconds since the epoch, per the OTel API.
+    """
+
+    def __init__(self, tracer) -> None:
+        self.tracer = tracer
+        self.forwarded = 0
+
+    def emit(self, record: dict) -> None:
+        kind = record.get("type")
+        if kind == "span":
+            name = record.get("name", "span")
+            attrs = dict(record.get("attrs") or {})
+            attrs["depth"] = record.get("depth", 0)
+            start_s = record.get("ts", 0.0)
+            duration_us = record.get("dur_us", 0.0)
+        elif kind == "event":
+            name = f"event.{record.get('kind', 'unknown')}"
+            attrs = {
+                key: value
+                for key, value in record.items()
+                if key not in ("type", "kind", "ts") and value is not None
+            }
+            start_s = record.get("ts", 0.0)
+            duration_us = 0.0
+        else:
+            return
+        start_ns = int(start_s * 1e9)
+        span = self.tracer.start_span(name, start_time=start_ns)
+        for key, value in attrs.items():
+            span.set_attribute(
+                key, value if isinstance(value, _PLAIN) else str(value)
+            )
+        span.end(end_time=start_ns + int(duration_us * 1_000))
+        self.forwarded += 1
+
+
+def make_otel_sink(tracer=None, service_name: str = "repro"):
+    """An :class:`OtelBridgeSink`, or ``None`` when OTel is unavailable.
+
+    With *tracer* given (tests, embedders) no import happens at all.
+    Otherwise the ``opentelemetry`` API package is imported lazily and
+    the global tracer provider supplies a tracer named *service_name*;
+    a missing distribution returns ``None`` so callers can degrade with
+    a warning instead of an ImportError.
+    """
+    if tracer is None:
+        try:
+            from opentelemetry import trace
+        except ImportError:
+            return None
+        tracer = trace.get_tracer(service_name)
+    return OtelBridgeSink(tracer)

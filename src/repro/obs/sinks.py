@@ -11,6 +11,7 @@ that serialize must stringify it.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from collections import deque
 from typing import IO, Protocol
@@ -96,16 +97,60 @@ class ConsoleSink:
 
 
 class JsonlFileSink:
-    """Appends records as JSON lines; non-JSON values are stringified."""
+    """Appends records as JSON lines; non-JSON values are stringified.
 
-    def __init__(self, path: str) -> None:
+    With ``rotate_bytes`` > 0 the file is size-rotated logrotate-style:
+    when the next record would push the current file past the limit, it
+    is renamed to ``path.1`` (existing rotations shift to ``path.2``,
+    ``path.3``, ...) and a fresh file is started.  At most *keep* rotated
+    files are retained — the oldest is deleted — so a long ``--follow``ed
+    run occupies at most ``(keep + 1) * rotate_bytes`` bytes on disk.
+    A record is never split across files.
+    """
+
+    def __init__(
+        self, path: str, rotate_bytes: int = 0, keep: int = 3
+    ) -> None:
         self.path = path
+        self.rotate_bytes = rotate_bytes
+        self.keep = keep
         self._handle: IO[str] | None = None
+        self._written = 0
 
     def emit(self, record: dict) -> None:
         if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(record, default=str) + "\n")
+            self._open()
+        line = json.dumps(record, default=str) + "\n"
+        if (
+            self.rotate_bytes > 0
+            and self._written > 0
+            and self._written + len(line) > self.rotate_bytes
+        ):
+            self._rotate()
+        self._handle.write(line)
+        self._written += len(line)
+
+    def _open(self) -> None:
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._written = self._handle.tell()
+
+    def _rotate(self) -> None:
+        """Shift ``path.i`` → ``path.i+1`` and restart ``path`` empty."""
+        self._handle.close()
+        self._handle = None
+        if self.keep > 0:
+            oldest = f"{self.path}.{self.keep}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self.keep - 1, 0, -1):
+                source = f"{self.path}.{index}"
+                if os.path.exists(source):
+                    os.replace(source, f"{self.path}.{index + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        else:
+            os.remove(self.path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._written = 0
 
     def close(self) -> None:
         """Flush and close the output file."""

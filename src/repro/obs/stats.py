@@ -28,10 +28,17 @@ class PhaseStatsSink:
         self._rows: dict[str, dict[str, float]] = {}
 
     def emit(self, record: dict) -> None:
+        # Skip-unknown: traces written by newer engine versions may carry
+        # record shapes this sink predates (new event kinds, span records
+        # with extra or missing fields).  Anything without the fields the
+        # aggregation needs is ignored rather than raising.
         if record.get("type") != "span":
             return
-        name = record["name"]
-        attrs = record.get("attrs", {})
+        name = record.get("name")
+        duration = record.get("dur_us")
+        if not isinstance(name, str) or not isinstance(duration, (int, float)):
+            return
+        attrs = record.get("attrs") or {}
         if name.startswith("match."):
             phase = "match"
         elif name == "select":
@@ -49,7 +56,7 @@ class PhaseStatsSink:
             str(rule),
             {"match_us": 0.0, "select_us": 0.0, "act_us": 0.0, "fires": 0},
         )
-        row[f"{phase}_us"] += record["dur_us"]
+        row[f"{phase}_us"] += duration
         if phase == "act":
             row["fires"] += int(attrs.get("fires", 1))
 

@@ -132,6 +132,12 @@ class DurableRun:
             include_rete=include_rete,
         )
         run._commit_boundary("setup", extra=extra)
+        # Setup-time instantiations were recorded before the WAL existed;
+        # stamp them with the setup boundary's sequence number so every
+        # lineage in a wal-enabled run carries a durable reference point.
+        recorder = getattr(system, "lineage_recorder", None)
+        if recorder is not None:
+            recorder.backfill_wal_seq()
         return run
 
     @classmethod

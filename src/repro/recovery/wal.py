@@ -275,6 +275,21 @@ class WalWriter:
     # -- state ----------------------------------------------------------------
 
     @property
+    def last_seq(self) -> int:
+        """Sequence number of the last appended record (0 = none yet).
+
+        Lineage capture (:mod:`repro.obs.xray`) stamps this on every
+        conflict-set instantiation so provenance questions can be answered
+        against the durable log.
+        """
+        return self._next_seq - 1
+
+    @property
+    def pending_records(self) -> int:
+        """Appended records not yet durable (the WAL lag ``repro top`` shows)."""
+        return len(self._buffer)
+
+    @property
     def dead(self) -> bool:
         """True once a simulated crash fired or the writer was closed."""
         if self._closed:
@@ -358,7 +373,7 @@ class WalWriter:
                 metrics.counter("recovery.wal_bytes").inc(
                     len(payload.encode("utf-8"))
                 )
-                metrics.histogram("recovery.sync_us").observe(
+                metrics.log2_histogram("recovery.sync_us").observe(
                     (time.perf_counter() - started) * 1e6
                 )
         self._hit("wal.post_sync")

@@ -22,6 +22,7 @@ construction no lock is released before maintenance completes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.engine.actions import ActionOutcome
@@ -158,15 +159,22 @@ class RuleTransaction:
                 )
             return False
         obs = system.obs
-        if obs.tracer.enabled:
-            with obs.span(
-                "txn.commit",
-                txn=self.txn_id,
-                rule=self.instantiation.rule_name,
-            ) as span:
+        if obs.enabled:
+            started = time.perf_counter()
+            if obs.tracer.enabled:
+                with obs.span(
+                    "txn.commit",
+                    txn=self.txn_id,
+                    rule=self.instantiation.rule_name,
+                ) as span:
+                    self._execute(system, locks, history)
+                    span.set("state", self.state)
+                    span.set("deltas", self.commit_deltas)
+            else:
                 self._execute(system, locks, history)
-                span.set("state", self.state)
-                span.set("deltas", self.commit_deltas)
+            obs.metrics.log2_histogram("txn.commit_us").observe(
+                (time.perf_counter() - started) * 1e6
+            )
         else:
             self._execute(system, locks, history)
         self.steps_taken += 1

@@ -106,3 +106,26 @@ class TestRendering:
             "cycle": 70,
             "cycle;match": 30,
         }
+
+
+class TestSchemaTolerance:
+    def test_fold_spans_requires_numeric_duration_and_string_name(self):
+        records = [
+            {"type": "span", "name": "x", "depth": 0, "dur_us": "fast"},
+            {"type": "span", "name": 7, "depth": 0, "dur_us": 1.0},
+            {"type": "span", "name": "x", "depth": "deep", "dur_us": 1.0},
+            span("run", 0, 7),
+        ]
+        assert fold_spans(records) == {"run": 7}
+
+    def test_fold_trace_file_skips_garbage_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [
+            "{not json at all",
+            '"a bare string"',
+            "[1, 2, 3]",
+            "42",
+            json.dumps(span("cycle", 0, 10)),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert fold_trace_file(str(path)) == {"cycle": 10}

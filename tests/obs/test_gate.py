@@ -121,3 +121,36 @@ def test_violation_str_is_informative():
     v = Violation("ops.comparisons", 100, 150, "grew 50.0%")
     text = str(v)
     assert "ops.comparisons" in text and "100" in text and "150" in text
+
+
+class TestHistogramCounts:
+    """Histogram observation counts are gated; timing values are not."""
+
+    def test_collect_includes_histogram_counts(self):
+        values = collect_metrics()
+        hist_keys = {k for k in values if k.startswith("hist.")}
+        assert "hist.engine.cycle_us.count" in hist_keys
+        assert all(k.endswith(".count") for k in hist_keys)
+        assert all(isinstance(values[k], int) for k in hist_keys)
+
+    def test_histogram_counts_are_deterministic(self):
+        first = collect_metrics()
+        second = collect_metrics()
+        for key in first:
+            if key.startswith("hist."):
+                assert first[key] == second[key]
+
+    def test_checked_in_baseline_covers_histograms(self):
+        payload = json.loads(open(DEFAULT_BASELINE).read())
+        assert any(k.startswith("hist.") for k in payload["metrics"])
+
+    def test_dropped_histogram_fails_the_gate(self):
+        baseline = collect_metrics()
+        current = {
+            k: v for k, v in baseline.items()
+            if k != "hist.engine.cycle_us.count"
+        }
+        violations = compare(baseline, current)
+        assert any(
+            v.metric == "hist.engine.cycle_us.count" for v in violations
+        )

@@ -1,0 +1,159 @@
+"""Log2 histograms, percentile estimation, and the snapshot round-trip."""
+
+import json
+
+from repro.obs import (
+    LOG2_BUCKET_COUNT,
+    JsonlFileSink,
+    Log2Histogram,
+    MetricsRegistry,
+    SNAPSHOT_PERCENTILES,
+    log2_buckets,
+    percentile_from_buckets,
+)
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import Histogram
+
+
+class TestBuckets:
+    def test_bounds_are_powers_of_two(self):
+        assert log2_buckets(5) == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_default_count(self):
+        bounds = log2_buckets()
+        assert len(bounds) == LOG2_BUCKET_COUNT
+        assert bounds[-1] == float(2 ** (LOG2_BUCKET_COUNT - 1))
+
+
+class TestObserve:
+    def bucket_of(self, value):
+        hist = Log2Histogram("t")
+        hist.observe(value)
+        return hist.counts.index(1)
+
+    def test_sub_microsecond_lands_in_first_bucket(self):
+        assert self.bucket_of(0.25) == 0
+        assert self.bucket_of(1.0) == 0
+
+    def test_exact_power_of_two_is_upper_inclusive(self):
+        # Bucket i covers (2**(i-1), 2**i]: 4 belongs to bucket 2, not 3.
+        assert self.bucket_of(4) == 2
+        assert self.bucket_of(4.0) == 2
+
+    def test_between_powers_rounds_up(self):
+        assert self.bucket_of(3) == 2       # (2, 4]
+        assert self.bucket_of(4.5) == 3     # (4, 8]
+        assert self.bucket_of(5) == 3
+
+    def test_huge_value_lands_in_overflow(self):
+        hist = Log2Histogram("t")
+        hist.observe(float(2 ** 40))
+        assert hist.counts[-1] == 1
+
+    def test_matches_linear_scan_of_same_bounds(self):
+        log2 = Log2Histogram("fast")
+        scan = Histogram("slow", log2_buckets())
+        for value in (0.1, 1, 1.5, 2, 3, 4, 4.5, 100, 1e9):
+            log2.observe(value)
+            scan.observe(value)
+        assert log2.counts == scan.counts
+
+    def test_bookkeeping(self):
+        hist = Log2Histogram("t")
+        for value in (2.0, 8.0):
+            hist.observe(value)
+        assert hist.count == 2
+        assert hist.total == 10.0
+        assert (hist.min, hist.max) == (2.0, 8.0)
+        assert hist.mean == 5.0
+
+
+class TestPercentile:
+    def test_empty_histogram_reports_zero(self):
+        assert Log2Histogram("t").percentile(0.99) == 0.0
+        assert percentile_from_buckets((1.0, 2.0), [0, 0, 0], 0, 0.5) == 0.0
+
+    def test_interpolates_inside_the_bucket(self):
+        hist = Log2Histogram("t")
+        for _ in range(100):
+            hist.observe(3)  # all in (2, 4]
+        # Median rank is halfway through the bucket: 2 + (4-2) * 0.5.
+        assert hist.percentile(0.50) == 3.0
+        assert hist.percentile(1.0) == 4.0
+
+    def test_ranks_split_across_buckets(self):
+        hist = Log2Histogram("t")
+        for _ in range(90):
+            hist.observe(1.0)
+        for _ in range(10):
+            hist.observe(1000.0)
+        assert hist.percentile(0.50) <= 1.0
+        assert hist.percentile(0.99) > 512.0
+
+    def test_overflow_rank_reports_max_value(self):
+        bounds = (1.0, 2.0)
+        assert percentile_from_buckets(
+            bounds, [0, 0, 5], 5, 0.99, max_value=77.0
+        ) == 77.0
+        # Without a known max, the last finite bound is the estimate.
+        assert percentile_from_buckets(bounds, [0, 0, 5], 5, 0.99) == 2.0
+
+
+class TestRegistry:
+    def test_log2_histogram_created_on_first_use(self):
+        registry = MetricsRegistry()
+        hist = registry.log2_histogram("engine.cycle_us")
+        assert isinstance(hist, Log2Histogram)
+        assert registry.log2_histogram("engine.cycle_us") is hist
+
+    def test_snapshot_carries_percentiles(self):
+        registry = MetricsRegistry()
+        registry.log2_histogram("x_us").observe(3.0)
+        summary = registry.snapshot()["histograms"]["x_us"]
+        assert set(summary["percentiles"]) == {
+            f"p{int(q * 100)}" for q in SNAPSHOT_PERCENTILES
+        }
+
+
+def reconstructed_percentile(summary, q):
+    """Re-estimate a quantile from a JSON histogram snapshot."""
+    labels = list(summary["buckets"])
+    bounds = tuple(float(label) for label in labels if label != "+Inf")
+    counts = [summary["buckets"][label] for label in labels]
+    return percentile_from_buckets(
+        bounds, counts, summary["count"], q, max_value=summary["max"]
+    )
+
+
+class TestRoundTrip:
+    """The satellite-4 drift pin: p99 survives sinks and manifests."""
+
+    def observed_registry(self):
+        registry = MetricsRegistry()
+        hist = registry.log2_histogram("engine.cycle_us")
+        for value in (1, 3, 3, 5, 9, 17, 900, 1500, 40000):
+            hist.observe(value)
+        return registry, hist
+
+    def test_p99_survives_a_jsonl_sink(self, tmp_path):
+        registry, hist = self.observed_registry()
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlFileSink(str(path))
+        sink.emit({"type": "metrics", **registry.snapshot()})
+        sink.close()
+        record = json.loads(path.read_text())
+        summary = record["histograms"]["engine.cycle_us"]
+        for q in SNAPSHOT_PERCENTILES:
+            assert reconstructed_percentile(summary, q) == hist.percentile(q)
+            assert summary["percentiles"][f"p{int(q * 100)}"] == \
+                hist.percentile(q)
+
+    def test_p99_survives_the_manifest(self, tmp_path):
+        registry, hist = self.observed_registry()
+        manifest = RunManifest(metrics=registry.snapshot())
+        path = manifest.write(base_dir=str(tmp_path))
+        payload = json.loads(open(path).read())
+        latency = payload["latency"]["engine.cycle_us"]
+        assert latency["count"] == hist.count
+        assert latency["p99_us"] == hist.percentile(0.99)
+        assert latency["p50_us"] == hist.percentile(0.50)

@@ -1,0 +1,93 @@
+"""The gated OpenTelemetry bridge sink (repro.obs.otel)."""
+
+import sys
+
+from repro.obs import Observability, OtelBridgeSink, make_otel_sink
+
+
+class FakeSpan:
+    def __init__(self, name, start_time):
+        self.name = name
+        self.start_time = start_time
+        self.end_time = None
+        self.attributes = {}
+
+    def set_attribute(self, key, value):
+        self.attributes[key] = value
+
+    def end(self, end_time=None):
+        self.end_time = end_time
+
+
+class FakeTracer:
+    def __init__(self):
+        self.spans = []
+
+    def start_span(self, name, start_time=None):
+        span = FakeSpan(name, start_time)
+        self.spans.append(span)
+        return span
+
+
+SPAN = {"type": "span", "name": "rete.batch_join", "ts": 2.0,
+        "dur_us": 1500.0, "depth": 3, "attrs": {"node": "j0", "pairs": 4}}
+
+
+class TestBridge:
+    def test_span_record_becomes_an_otel_span(self):
+        tracer = FakeTracer()
+        OtelBridgeSink(tracer).emit(SPAN)
+        [span] = tracer.spans
+        assert span.name == "rete.batch_join"
+        assert span.start_time == 2_000_000_000  # ts seconds -> ns
+        assert span.end_time == 2_001_500_000  # + dur_us * 1000
+        assert span.attributes["node"] == "j0"
+        assert span.attributes["depth"] == 3
+
+    def test_event_record_becomes_a_zero_duration_span(self):
+        tracer = FakeTracer()
+        OtelBridgeSink(tracer).emit(
+            {"type": "event", "kind": "cycle", "ts": 1.0, "cycle": 7,
+             "rule": None}
+        )
+        [span] = tracer.spans
+        assert span.name == "event.cycle"
+        assert span.end_time == span.start_time
+        assert span.attributes["cycle"] == 7
+        assert "rule" not in span.attributes  # None values dropped
+        assert "ts" not in span.attributes
+
+    def test_non_plain_attribute_values_are_stringified(self):
+        tracer = FakeTracer()
+        record = dict(SPAN, attrs={"node": "j0", "chain": ("a", "b")})
+        OtelBridgeSink(tracer).emit(record)
+        assert tracer.spans[0].attributes["chain"] == "('a', 'b')"
+
+    def test_other_record_types_are_skipped(self):
+        tracer = FakeTracer()
+        sink = OtelBridgeSink(tracer)
+        sink.emit({"type": "metrics", "counters": {}})
+        assert tracer.spans == [] and sink.forwarded == 0
+
+    def test_forwards_a_real_observability_stream(self):
+        tracer = FakeTracer()
+        obs = Observability(sinks=[OtelBridgeSink(tracer)])
+        with obs.span("outer", op="x"):
+            with obs.span("inner"):
+                pass
+        obs.event("fire", cycle=1, detail="r1")
+        names = [span.name for span in tracer.spans]
+        # Post-order exit: inner closes (and forwards) before outer.
+        assert names == ["inner", "outer", "event.fire"]
+
+
+class TestGatedImport:
+    def test_explicit_tracer_skips_the_import(self):
+        sink = make_otel_sink(tracer=FakeTracer())
+        assert isinstance(sink, OtelBridgeSink)
+
+    def test_absent_distribution_returns_none(self, monkeypatch):
+        # A None sys.modules entry makes `import opentelemetry` raise
+        # ImportError even if a real distribution were installed.
+        monkeypatch.setitem(sys.modules, "opentelemetry", None)
+        assert make_otel_sink() is None

@@ -74,3 +74,32 @@ class TestAgainstEngine:
         totals = sink.totals()
         assert totals["fires"] == 1
         assert totals["total_us"] >= rows["step"]["total_us"]
+
+
+class TestSchemaTolerance:
+    """Newer-schema trace records must be skipped, never crash the fold."""
+
+    def test_span_without_duration_is_skipped(self):
+        sink = PhaseStatsSink()
+        sink.emit({"type": "span", "name": "act", "attrs": {"rule": "r"}})
+        assert sink.table_rows() == []
+
+    def test_non_string_name_is_skipped(self):
+        sink = PhaseStatsSink()
+        sink.emit({"type": "span", "name": 7, "dur_us": 5.0, "attrs": {}})
+        assert sink.table_rows() == []
+
+    def test_futuristic_record_shapes_are_skipped(self):
+        sink = PhaseStatsSink()
+        sink.emit({"type": "span", "name": "select", "dur_us": "quick",
+                   "rule": "r"})
+        sink.emit({"type": "quantum_trace", "dur_us": 5.0})
+        sink.emit({"type": "span"})
+        assert sink.table_rows() == []
+
+    def test_known_spans_still_fold_amid_unknown_records(self):
+        sink = PhaseStatsSink()
+        sink.emit({"type": "span", "name": "select", "shards": [1, 2]})
+        sink.emit(span("select", 2.0, rule="r"))
+        [row] = sink.table_rows()
+        assert row["select_us"] == 2.0

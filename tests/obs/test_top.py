@@ -1,0 +1,133 @@
+"""TopAggregator: folding trace streams into the live dashboard."""
+
+import json
+
+from repro.obs import TopAggregator, render_top
+
+
+def cycle_event(n, ts, dur_us, fires=1, **extra):
+    return {"type": "event", "kind": "cycle", "cycle": n, "ts": ts,
+            "dur_us": dur_us, "fires": fires, "conflict_set": 2, **extra}
+
+
+def join_span(node, dur_us, pairs=4):
+    return {"type": "span", "name": "rete.batch_join", "ts": 0.0,
+            "dur_us": dur_us, "depth": 3,
+            "attrs": {"node": node, "pairs": pairs}}
+
+
+def fsync_span(dur_us):
+    return {"type": "span", "name": "recovery.fsync", "ts": 0.0,
+            "dur_us": dur_us, "depth": 2, "attrs": {}}
+
+
+class TestFeed:
+    def test_cycle_events_accumulate(self):
+        top = TopAggregator()
+        for n in range(3):
+            top.feed(cycle_event(n, ts=float(n), dur_us=100.0, fires=2))
+        assert top.total_cycles == 3
+        assert top.total_fires == 6
+        assert top.cycle_hist.count == 3
+        assert top.last_cycle["cycle"] == 2
+
+    def test_throughput_from_wall_clock_spacing(self):
+        top = TopAggregator()
+        top.feed(cycle_event(0, ts=10.0, dur_us=50.0))
+        top.feed(cycle_event(1, ts=10.5, dur_us=50.0))
+        assert top.cycles_per_second() == 2.0
+
+    def test_throughput_needs_two_cycles(self):
+        top = TopAggregator()
+        assert top.cycles_per_second() == 0.0
+        top.feed(cycle_event(0, ts=1.0, dur_us=50.0))
+        assert top.cycles_per_second() == 0.0
+
+    def test_window_bounds_the_throughput_sample(self):
+        top = TopAggregator(window=2)
+        for n in range(10):
+            top.feed(cycle_event(n, ts=float(n), dur_us=10.0))
+        assert len(top._recent) == 2
+        assert top.total_cycles == 10  # totals are not windowed
+
+    def test_join_spans_heat_nodes(self):
+        top = TopAggregator()
+        top.feed(join_span("j0", 5.0, pairs=10))
+        top.feed(join_span("j0", 7.0, pairs=2))
+        top.feed(join_span("neg0", 1.0))
+        assert top.node_heat["j0"] == {"probes": 2, "pairs": 12, "us": 12.0}
+        assert [node for node, _ in top.hottest_nodes()] == ["j0", "neg0"]
+
+    def test_fsync_spans_feed_the_wal_histogram(self):
+        top = TopAggregator()
+        top.feed(fsync_span(200.0))
+        assert top.fsync_hist.count == 1
+
+    def test_wal_lag_from_the_last_cycle(self):
+        top = TopAggregator()
+        assert top.wal_lag() is None
+        top.feed(cycle_event(0, ts=0.0, dur_us=10.0, wal_seq=9,
+                             wal_pending=3))
+        assert top.wal_lag() == 3
+
+
+class TestTolerance:
+    """Traces from newer schemas must be skipped, never crash."""
+
+    def test_unknown_records_are_ignored(self):
+        top = TopAggregator()
+        top.feed({"type": "metrics", "counters": {}})
+        top.feed({"type": "hologram", "v": 9})
+        top.feed("not a dict")
+        top.feed(None)
+        assert top.total_cycles == 0
+
+    def test_cycle_event_with_futuristic_fields(self):
+        top = TopAggregator()
+        top.feed({"type": "event", "kind": "cycle", "fires": "many",
+                  "dur_us": "fast", "shards": [1, 2]})
+        assert top.total_cycles == 1  # counted
+        assert top.total_fires == 0  # non-int fires skipped
+        assert top.cycle_hist.count == 0  # non-numeric duration skipped
+
+    def test_feed_line_skips_garbage(self):
+        top = TopAggregator()
+        top.feed_line("{not json")
+        top.feed_line("")
+        top.feed_line("   \n")
+        top.feed_line('[1, 2, 3]')  # valid JSON, wrong shape
+        top.feed_line(json.dumps(cycle_event(0, ts=0.0, dur_us=10.0)))
+        assert top.total_cycles == 1
+
+
+class TestSnapshotAndRender:
+    def loaded(self):
+        top = TopAggregator()
+        for n in range(4):
+            top.feed(cycle_event(n, ts=float(n) / 10, dur_us=100.0,
+                                 wal_seq=5 + n, wal_pending=1))
+        top.feed(join_span("j0", 5.0))
+        top.feed(fsync_span(300.0))
+        return top
+
+    def test_snapshot_is_json_ready(self):
+        snap = self.loaded().snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["cycles"] == 4
+        assert snap["cycle_us"]["p99"] > 0
+        assert snap["wal_seq"] == 8
+        assert snap["wal_pending"] == 1
+        assert snap["hot_nodes"][0]["node"] == "j0"
+
+    def test_render_contains_the_headline_figures(self):
+        text = render_top(self.loaded())
+        assert "repro top" in text
+        assert "cycles 4" in text
+        assert "p99" in text
+        assert "wal" in text and "seq 8" in text
+        assert "hottest join nodes" in text and "j0" in text
+
+    def test_render_of_an_empty_aggregator(self):
+        text = render_top(TopAggregator())
+        assert "cycles 0" in text
+        assert "wal" not in text  # no WAL figures without a wal_seq

@@ -1,0 +1,214 @@
+"""Engine X-ray: lineage capture, why-not analysis, network introspection."""
+
+import pytest
+
+from repro.engine import ProductionSystem
+from repro.obs import render_support, why_not
+
+JOIN_SOURCE = """
+(literalize Emp name dno)
+(literalize Dept dno dname)
+(p works-in (Emp ^name <N> ^dno <D>) (Dept ^dno <D>) --> (remove 1))
+"""
+
+NEGATION_SOURCE = """
+(literalize Emp name dno)
+(literalize Audit dno)
+(p unaudited (Emp ^name <N> ^dno <D>) -(Audit ^dno <D>) --> (remove 1))
+"""
+
+
+def system(source, strategy="rete", **kwargs):
+    return ProductionSystem(source, strategy=strategy, resolution="fifo",
+                            **kwargs)
+
+
+class TestLineageRecorder:
+    def test_off_by_default(self):
+        assert system(JOIN_SOURCE).lineage_recorder is None
+
+    def test_records_supporting_wm_tuples(self):
+        sys_ = system(JOIN_SOURCE, lineage=True)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Dept", (7, "ops"))
+        [lineage] = sys_.lineage_recorder.for_rule("works-in")
+        assert lineage.rule == "works-in"
+        assert [slot[0] for slot in lineage.slots] == ["Emp", "Dept"]
+        assert lineage.slots[0][3] == ("ann", 7)
+        assert lineage.live
+        assert lineage.cycle == 0  # entered during setup
+        assert lineage.wal_seq is None  # no WAL attached
+
+    def test_negated_slot_is_none(self):
+        sys_ = system(NEGATION_SOURCE, lineage=True)
+        sys_.insert("Emp", ("ann", 7))
+        [lineage] = sys_.lineage_recorder.for_rule("unaudited")
+        assert lineage.slots[1] is None
+        assert "[Emp#" in lineage.display() and lineage.display().endswith(
+            ", -]"
+        )
+
+    def test_join_path_is_the_static_chain(self):
+        sys_ = system(JOIN_SOURCE, lineage=True)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Dept", (7, "ops"))
+        [lineage] = sys_.lineage_recorder.for_rule("works-in")
+        assert len(lineage.path) == 2  # one two-input node per CE
+        # The path is a per-rule constant, computed once and cached.
+        assert sys_.lineage_recorder.path_of("works-in") is lineage.path
+
+    def test_non_rete_strategies_record_empty_paths(self):
+        sys_ = system(JOIN_SOURCE, strategy="patterns", lineage=True)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Dept", (7, "ops"))
+        [lineage] = sys_.lineage_recorder.for_rule("works-in")
+        assert lineage.path == ()
+
+    def test_fired_and_retracted_cycles(self):
+        sys_ = system(JOIN_SOURCE, lineage=True)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Dept", (7, "ops"))
+        sys_.run()
+        [lineage] = sys_.lineage_recorder.for_rule("works-in")
+        assert lineage.fired_cycles == [1]
+        assert lineage.removed_cycle == 1  # (remove 1) retracts its support
+        assert not lineage.live
+
+    def test_backfill_stamps_pre_wal_entries(self):
+        sys_ = system(JOIN_SOURCE, lineage=True)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Dept", (7, "ops"))
+
+        class FakeWal:
+            last_seq = 42
+
+        sys_.wm.wal = FakeWal()
+        sys_.lineage_recorder.backfill_wal_seq()
+        [lineage] = sys_.lineage_recorder.for_rule("works-in")
+        assert lineage.wal_seq == 42
+
+    @pytest.mark.parametrize("strategy", ["rete", "rete-shared", "patterns"])
+    def test_conflict_sets_identical_with_and_without(self, strategy):
+        def keys(**kwargs):
+            sys_ = system(NEGATION_SOURCE, strategy=strategy, **kwargs)
+            sys_.insert("Emp", ("ann", 7))
+            sys_.insert("Emp", ("bob", 8))
+            sys_.insert("Audit", (8,))
+            return sys_.strategy.conflict_set_keys()
+
+        assert keys(lineage=True) == keys(lineage=False)
+
+
+class TestRenderSupport:
+    def test_chain_facts_bindings_and_path(self):
+        sys_ = system(JOIN_SOURCE, lineage=True)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Dept", (7, "ops"))
+        [lineage] = sys_.lineage_recorder.for_rule("works-in")
+        text = render_support(
+            lineage, conditions=sys_.analyses["works-in"].conditions
+        )
+        assert "CE1" in text and "CE2" in text
+        assert "Emp#" in text and "Dept#" in text
+        assert "via " in text
+        assert "<N>=ann" in text and "<D>=7" in text
+
+    def test_negated_slot_and_retraction_annotations(self):
+        sys_ = system(NEGATION_SOURCE, lineage=True)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.run()
+        [lineage] = sys_.lineage_recorder.for_rule("unaudited")
+        text = render_support(lineage)
+        assert "negated CE holds" in text
+        assert "retracted at cycle" in text
+        assert "fired at cycle(s): 1" in text
+
+
+class TestWhyNot:
+    def test_satisfied_rule(self):
+        sys_ = system(JOIN_SOURCE)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Dept", (7, "ops"))
+        result = why_not(sys_, "works-in")
+        assert result.satisfied
+        assert "satisfied" in str(result)
+
+    def test_empty_alpha_memory_blames_the_first_ce(self):
+        sys_ = system(JOIN_SOURCE)
+        sys_.insert("Dept", (7, "ops"))
+        result = why_not(sys_, "works-in")
+        assert (result.kind, result.cond_number) == ("alpha", 1)
+        assert "Emp" in result.message
+
+    def test_populated_inputs_but_no_join_pair(self):
+        sys_ = system(JOIN_SOURCE)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Dept", (8, "ops"))
+        result = why_not(sys_, "works-in")
+        assert (result.kind, result.cond_number) == ("join", 2)
+        assert "no pair" in result.message
+
+    def test_negation_names_a_blocking_witness(self):
+        sys_ = system(NEGATION_SOURCE)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Audit", (7,))
+        result = why_not(sys_, "unaudited")
+        assert result.kind == "negation"
+        assert result.negated
+        assert result.witness and result.witness.startswith("Audit#")
+        assert "blocking witness" in str(result)
+
+    def test_non_rete_falls_back_to_the_check_bit_diagnosis(self):
+        sys_ = system(JOIN_SOURCE, strategy="patterns")
+        sys_.insert("Dept", (7, "ops"))
+        result = why_not(sys_, "works-in")
+        assert result.kind == "alpha"
+        assert result.cond_number == 1
+
+    def test_non_rete_join_combination(self):
+        sys_ = system(JOIN_SOURCE, strategy="patterns")
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Dept", (8, "ops"))
+        result = why_not(sys_, "works-in")
+        assert result.kind == "join-combination"
+
+
+class TestDescribe:
+    def test_rete_nodes_edges_rules_counts(self):
+        sys_ = system(JOIN_SOURCE)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Dept", (7, "ops"))
+        description = sys_.strategy.describe()
+        kinds = {node["kind"] for node in description["nodes"]}
+        assert {"alpha", "beta", "join", "production"} <= kinds
+        assert description["edges"]
+        assert "works-in" in description["rules"]
+        sizes = {
+            node["id"]: node["size"]
+            for node in description["nodes"]
+            if node["kind"] == "alpha"
+        }
+        assert sum(sizes.values()) == 2  # both inserted WMEs are visible
+
+    def test_negative_nodes_report_witnesses(self):
+        sys_ = system(NEGATION_SOURCE)
+        sys_.insert("Emp", ("ann", 7))
+        sys_.insert("Audit", (7,))
+        description = sys_.strategy.describe()
+        negatives = [
+            node for node in description["nodes"]
+            if node["kind"] == "negative"
+        ]
+        assert negatives and negatives[0]["witnesses"] >= 1
+
+    def test_to_dot_is_graphviz(self):
+        sys_ = system(JOIN_SOURCE)
+        dot = sys_.strategy.to_dot()
+        assert dot.startswith("digraph")
+        assert "->" in dot and dot.rstrip().endswith("}")
+
+    def test_non_rete_describe_reports_stores(self):
+        sys_ = system(JOIN_SOURCE, strategy="patterns")
+        sys_.insert("Emp", ("ann", 7))
+        description = sys_.strategy.describe()
+        assert description["strategy"] == "patterns"

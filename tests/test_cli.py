@@ -213,3 +213,132 @@ class TestTopLevelMake:
 
         with pytest.raises(ParseError, match="constants"):
             parse_program("(literalize T x)(make T ^x <V>)")
+
+
+class TestExplainXray:
+    def test_support_chain_for_the_initial_wm(self, program_file, capsys):
+        assert main(["explain", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "count-up" in out
+        assert "count-up[Counter#" in out  # provenance header
+        assert "CE1" in out and "bindings:" in out
+
+    def test_run_first_records_firing_history(self, program_file, capsys):
+        assert main(["explain", program_file, "--strategy", "rete",
+                     "--max-cycles", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "via " in out  # join-node path annotations
+        assert "fired at cycle(s):" in out
+        assert "retracted at cycle" in out
+
+    def test_wal_run_stamps_sequence_numbers(self, program_file, tmp_path,
+                                             capsys):
+        wal = tmp_path / "explain.wal"
+        assert main(["explain", program_file, "--strategy", "rete",
+                     "--max-cycles", "10", "--wal", str(wal)]) == 0
+        assert "wal_seq=" in capsys.readouterr().out
+        assert wal.exists()
+
+    def test_instantiation_selector(self, program_file, capsys):
+        assert main(["explain", program_file, "--instantiation", "1"]) == 0
+        assert "count-up[" in capsys.readouterr().out
+
+    def test_instantiation_out_of_range(self, program_file, capsys):
+        assert main(["explain", program_file, "--instantiation", "9"]) == 1
+        err = capsys.readouterr().err
+        assert "no #9" in err
+
+    def test_why_not_on_a_quiescent_rule(self, program_file, capsys):
+        assert main(["explain", program_file, "--strategy", "rete",
+                     "--max-cycles", "10", "--why-not"]) == 0
+        out = capsys.readouterr().out
+        assert "not satisfied" in out
+        assert "blocked at CE1" in out
+
+    def test_why_not_on_a_satisfied_rule(self, program_file, capsys):
+        assert main(["explain", program_file, "--why-not"]) == 0
+        assert "satisfied — no blocking condition" in \
+            capsys.readouterr().out
+
+    def test_network_json(self, program_file, capsys):
+        import json as json_
+
+        assert main(["explain", program_file, "--strategy", "rete",
+                     "--network"]) == 0
+        description = json_.loads(capsys.readouterr().out)
+        assert {"alpha", "join", "production"} <= {
+            node["kind"] for node in description["nodes"]
+        }
+
+    def test_dot_to_stdout(self, program_file, capsys):
+        assert main(["explain", program_file, "--strategy", "rete",
+                     "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_dot_to_file(self, program_file, tmp_path, capsys):
+        target = tmp_path / "net.dot"
+        assert main(["explain", program_file, "--strategy", "rete",
+                     "--dot", str(target)]) == 0
+        assert target.read_text().startswith("digraph")
+
+    def test_dot_requires_a_rete_strategy(self, program_file, capsys):
+        assert main(["explain", program_file, "--strategy", "patterns",
+                     "--dot"]) == 1
+        assert "no node graph" in capsys.readouterr().err
+
+
+class TestTopCommand:
+    def make_trace(self, program_file, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", program_file, "--strategy", "rete",
+                     "--batch-size", "8", "--trace-out", str(trace),
+                     "--quiet"]) == 0
+        return trace
+
+    def test_static_dashboard(self, program_file, tmp_path, capsys):
+        trace = self.make_trace(program_file, tmp_path)
+        capsys.readouterr()
+        assert main(["top", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "cycles 3" in out
+        assert "p99" in out
+        assert "hottest join nodes" in out
+
+    def test_follow_mode_bounded_by_frames(self, program_file, tmp_path,
+                                           capsys):
+        trace = self.make_trace(program_file, tmp_path)
+        capsys.readouterr()
+        assert main(["top", str(trace), "--follow", "--frames", "2",
+                     "--interval", "0.01"]) == 0
+        assert capsys.readouterr().out.count("repro top") == 2
+
+    def test_missing_trace_file(self, capsys):
+        assert main(["top", "no/such/trace.jsonl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRunXrayFlags:
+    def test_lineage_flag_keeps_the_outcome(self, program_file, capsys):
+        assert main(["run", program_file, "--lineage"]) == 0
+        assert "3 cycles" in capsys.readouterr().out
+
+    def test_otel_without_the_sdk_warns_and_continues(self, program_file,
+                                                      capsys, monkeypatch):
+        import sys as sys_
+
+        monkeypatch.setitem(sys_.modules, "opentelemetry", None)
+        assert main(["run", program_file, "--otel"]) == 0
+        captured = capsys.readouterr()
+        assert "opentelemetry" in captured.err
+        assert "3 cycles" in captured.out
+
+    def test_trace_rotation_produces_segments(self, program_file, tmp_path,
+                                              capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", program_file, "--trace-out", str(trace),
+                     "--trace-rotate-bytes", "400", "--trace-keep", "2",
+                     "--quiet"]) == 0
+        backups = sorted(p.name for p in tmp_path.glob("trace.jsonl.*"))
+        assert backups and backups[0] == "trace.jsonl.1"
+        assert len(backups) <= 2

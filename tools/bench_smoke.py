@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Nightly bench smoke: reduced A5/A6 runs plus a regression gate.
+
+Runs the A5 (token-batched Rete propagation) and A6 (WAL overhead and
+crash recovery) experiments at a fraction of their report budgets and
+writes a ``BENCH_obs.json`` trajectory artifact: every row with its
+wall-clock figures (recorded for trend charts, never gated — CI runners
+are noisy) and a ``gate`` section of *deterministic operation counts*
+(node activations, comparisons, join probes, batches, fsyncs, replayed
+batches, final WM/conflict sizes).
+
+With ``--baseline PREV.json`` the gate compares those counts against the
+previous trajectory and fails (exit 1) when any grew more than the
+tolerance (default 20%) — the nightly job's definition of a perf
+regression that survives runner noise.  Without a baseline it only
+writes the artifact (first night, or after an intentional reset)::
+
+    PYTHONPATH=src python tools/bench_smoke.py --out BENCH_obs.json \
+        [--baseline previous/BENCH_obs.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+#: Allowed relative growth of a gated count before the smoke fails.
+DEFAULT_TOLERANCE = 0.20
+
+#: Deterministic row columns gated per experiment; everything else in a
+#: row (ms, us/event, run_ms, recover_ms) is trajectory-only.
+GATED_COLUMNS = {
+    "a5": ("activations", "comparisons", "join_probes", "batches",
+           "conflict_size"),
+    "a6": ("fsyncs", "replayed", "wm"),
+}
+
+
+def collect(stream_length: int, cycles: int) -> dict:
+    """Run the reduced experiments and assemble the trajectory payload."""
+    from repro.bench.report import report_a5, report_a6
+
+    title_a5, rows_a5 = report_a5(
+        stream_length=stream_length,
+        batch_sizes=(1, 16),
+        strategies=("rete", "rete-shared", "patterns"),
+    )
+    title_a6, rows_a6 = report_a6(cycles=cycles, fsync_everys=(64,),
+                                  checkpoint_every=20)
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "budget": {"a5_stream_length": stream_length, "a6_cycles": cycles},
+        "a5": {"title": title_a5, "rows": rows_a5},
+        "a6": {"title": title_a6, "rows": rows_a6},
+        "gate": {},
+    }
+    gate = payload["gate"]
+    for row in rows_a5:
+        label = f"a5[{row['strategy']}/batch={row['batch']}]"
+        for column in GATED_COLUMNS["a5"]:
+            gate[f"{label}.{column}"] = row[column]
+    for row in rows_a6:
+        label = f"a6[{row['mode']}]"
+        for column in GATED_COLUMNS["a6"]:
+            gate[f"{label}.{column}"] = row[column]
+    return payload
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Gate current counts against the baseline; returns failure lines."""
+    failures: list[str] = []
+    for name, base_value in sorted(baseline.get("gate", {}).items()):
+        value = current["gate"].get(name)
+        if value is None:
+            failures.append(f"{name}: disappeared (baseline={base_value})")
+            continue
+        if value > base_value + abs(base_value) * tolerance:
+            grown = (
+                (value - base_value) / base_value * 100.0
+                if base_value
+                else float("inf")
+            )
+            failures.append(
+                f"{name}: grew {grown:.1f}% "
+                f"(baseline={base_value}, current={value}, "
+                f"tolerance={tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools/bench_smoke.py", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--out", default="BENCH_obs.json",
+                        help="trajectory artifact to write")
+    parser.add_argument("--baseline", default=None,
+                        help="previous trajectory to gate against")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE)
+    parser.add_argument("--stream-length", type=int, default=120,
+                        help="A5 churn-stream length (default: 120)")
+    parser.add_argument("--cycles", type=int, default=60,
+                        help="A6 counter cycles (default: 60)")
+    args = parser.parse_args(argv)
+
+    current = collect(args.stream_length, args.cycles)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(current, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"trajectory written: {args.out} "
+          f"({len(current['gate'])} gated counts)")
+
+    if args.baseline is None:
+        print("no baseline given; gate skipped")
+        return 0
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = compare(baseline, current, args.tolerance)
+    if not failures:
+        print(f"bench smoke gate passed "
+              f"(vs {baseline.get('generated_at', 'unknown')})")
+        return 0
+    print("bench smoke gate FAILED:", file=sys.stderr)
+    for failure in failures:
+        print(f"  {failure}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

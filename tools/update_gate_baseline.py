@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate the metric-snapshot gate baseline.
+
+Thin wrapper over ``python -m repro.obs.gate --update`` that first runs
+the gate in *check* mode and prints the drift being banked, so a
+baseline refresh in a PR shows reviewers exactly which counters moved::
+
+    PYTHONPATH=src python tools/update_gate_baseline.py
+
+Run it whenever instrumentation legitimately changes — a new counter or
+histogram appears (the gate tracks ``hist.<name>.count`` observation
+counts), an algorithm change shifts operation counts, or a metric is
+renamed.  The refreshed baseline lives at
+``tests/baselines/metrics_baseline.json`` and is asserted by
+``tests/obs/test_gate.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.obs.gate import DEFAULT_BASELINE, DEFAULT_TOLERANCE, run_gate
+
+    parser = argparse.ArgumentParser(
+        prog="tools/update_gate_baseline.py",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="show the drift without rewriting the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        ok, violations, _ = run_gate(
+            baseline_path=args.baseline, tolerance=args.tolerance
+        )
+    except FileNotFoundError:
+        ok, violations = False, []
+        print(f"no baseline at {args.baseline}; creating one")
+    if ok:
+        print("gate already passes; baseline refresh only banks decreases")
+    for violation in violations:
+        print(f"  banking: {violation}")
+    if args.dry_run:
+        return 0
+    _, _, current = run_gate(
+        baseline_path=args.baseline, tolerance=args.tolerance, update=True
+    )
+    print(f"baseline updated: {args.baseline} ({len(current)} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
