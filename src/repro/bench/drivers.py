@@ -58,11 +58,14 @@ def build_system(
     strategy_name: str,
     backend: str = "memory",
     obs: Observability | None = None,
+    compile_mode: str = "off",
 ) -> tuple[WorkingMemory, MatchStrategy]:
     """A fresh WM plus one attached strategy with its own counters."""
     program, analyses = resolve_program(source)
     wm = WorkingMemory(program.schemas, backend=backend, obs=obs)
-    strategy = STRATEGIES[strategy_name](wm, analyses, counters=Counters())
+    strategy = STRATEGIES[strategy_name](
+        wm, analyses, counters=Counters(), compile_mode=compile_mode
+    )
     return wm, strategy
 
 
@@ -144,13 +147,17 @@ def run_stream(
     backend: str = "memory",
     obs: Observability | None = None,
     batch_size: int = 1,
+    compile_mode: str = "off",
 ) -> StrategyRun:
     """Drive *events* through one strategy, measuring time and counters.
 
     With an enabled *obs*, the run's final metrics snapshot (including the
     absorbed operation counters) is attached as ``StrategyRun.metrics``.
     """
-    wm, strategy = build_system(source, strategy_name, backend=backend, obs=obs)
+    wm, strategy = build_system(
+        source, strategy_name, backend=backend, obs=obs,
+        compile_mode=compile_mode,
+    )
     start = time.perf_counter()
     count, _live = drive_stream(wm, events, batch_size=batch_size)
     elapsed = time.perf_counter() - start

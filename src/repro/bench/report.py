@@ -564,6 +564,72 @@ def report_a5(
 
 
 # ---------------------------------------------------------------------------
+# A7 — compiled match kernels vs the interpreted reference
+# ---------------------------------------------------------------------------
+
+
+def report_a7(
+    stream_length: int = 1000,
+    batch_sizes: tuple[int, ...] = (1, 64),
+    strategies: tuple[str, ...] = ("rete", "rete-shared", "patterns"),
+) -> Report:
+    """Per-rule compiled kernels against the interpreted AST walk.
+
+    The A5 churn workload is driven through each strategy twice — compile
+    off (the interpreted reference) and compile on (columnar hash-probe
+    kernels plus generated alpha tests).  ``comparisons`` counts
+    interpreter-dispatch operations: one per predicate/test evaluation
+    interpreted, one per hash-key build or in-bucket residual compiled —
+    the span-countable work the lowering removes.  Conflict sets are
+    bit-identical in every paired row; only the operation counts and
+    wall-clock change.
+    """
+    from repro.obs import Observability
+    from repro.workload.generator import mixed_stream
+
+    spec = WorkloadSpec(rules=15, classes=5, seed=23)
+    workload = generate_program(spec)
+    stream = mixed_stream(spec, stream_length, delete_fraction=0.25)
+    rows: list[dict] = []
+    for strategy_name in strategies:
+        for batch_size in batch_sizes:
+            runs = {}
+            for mode in ("off", "on"):
+                obs = Observability(collect_metrics=True)
+                runs[mode] = run_stream(
+                    workload.program,
+                    stream,
+                    strategy_name,
+                    obs=obs,
+                    batch_size=batch_size,
+                    compile_mode=mode,
+                )
+            reference, compiled = runs["off"], runs["on"]
+            assert compiled.conflict_size == reference.conflict_size
+            comparisons = {
+                mode: run.counters["comparisons"]
+                for mode, run in runs.items()
+            }
+            rows.append(
+                {
+                    "strategy": strategy_name,
+                    "batch": batch_size,
+                    "interp_cmp": comparisons["off"],
+                    "compiled_cmp": comparisons["on"],
+                    "cmp_ratio": (
+                        comparisons["off"] / comparisons["on"]
+                        if comparisons["on"]
+                        else 0.0
+                    ),
+                    "interp_ms": reference.wall_seconds * 1000,
+                    "compiled_ms": compiled.wall_seconds * 1000,
+                    "conflict_size": compiled.conflict_size,
+                }
+            )
+    return ("A7  compiled match kernels vs interpreted (CORGI-bounded)", rows)
+
+
+# ---------------------------------------------------------------------------
 # A6 — WAL overhead and crash-recovery time
 # ---------------------------------------------------------------------------
 
@@ -665,6 +731,7 @@ REPORTS = {
     "a4": report_a4,
     "a5": report_a5,
     "a6": report_a6,
+    "a7": report_a7,
     "e1": report_e1,
     "e2": report_e2,
     "e3": report_e3,

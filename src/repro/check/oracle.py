@@ -35,8 +35,15 @@ from repro.check.trace import Trace, TraceOp
 #: Strategies whose ``network`` attribute exposes Rete memories.
 RETE_FAMILY = ("rete", "rete-shared", "rete-dbms")
 
+#: Strategies with a native compiled path (``repro.match.compile``):
+#: the Rete family attaches join kernels, patterns compiles its
+#: COND-relation constant checkers.  Only these get ``compile="on"``
+#: cells — other strategies ignore the mode.
+COMPILED_FAMILY = (*RETE_FAMILY, "patterns")
+
 DEFAULT_BACKENDS = ("memory", "sqlite")
 DEFAULT_BATCH_SIZES = (1, 8, "auto")
+DEFAULT_COMPILE_MODES = ("off", "on")
 
 
 @dataclass(frozen=True)
@@ -47,16 +54,24 @@ class CheckConfig:
     (:class:`repro.obs.xray.LineageRecorder`); because the recorder is a
     pure conflict-set listener, a lineage-on cell must be bit-identical
     to its lineage-off twin — the fuzz matrix pins that claim.
+
+    ``compile`` selects the match compilation mode
+    (:mod:`repro.match.compile`): interpreted ``"off"`` cells are the
+    reference and compiled ``"on"`` cells must agree bit-for-bit on every
+    observable, including rete memory snapshots.
     """
 
     strategy: str
     backend: str = "memory"
     batch_size: int | str = 1
     lineage: bool = False
+    compile: str = "off"
 
     @property
     def label(self) -> str:
         suffix = "/lineage" if self.lineage else ""
+        if self.compile != "off":
+            suffix += "/compiled"
         return f"{self.strategy}/{self.backend}/batch={self.batch_size}{suffix}"
 
 
@@ -78,18 +93,31 @@ def default_matrix(
     strategies=None,
     backends=DEFAULT_BACKENDS,
     batch_sizes=DEFAULT_BATCH_SIZES,
+    compile_modes=DEFAULT_COMPILE_MODES,
 ) -> list[CheckConfig]:
-    """The full strategy × backend × batch-size matrix.
+    """The full strategy × backend × batch-size × compile-mode matrix.
 
     *strategies* may be a list of names or a mapping of name → strategy
-    class (the mapping form lets tests inject broken shims).
+    class (the mapping form lets tests inject broken shims).  Compiled
+    cells are only generated for :data:`COMPILED_FAMILY` strategies, with
+    the interpreted ``"off"`` cell always first so it anchors as the
+    reference.
     """
     names = sorted(resolve_strategies(strategies))
+    ordered_modes = sorted(set(compile_modes), key=("off", "auto", "on").index)
     return [
-        CheckConfig(strategy=name, backend=backend, batch_size=batch_size)
+        CheckConfig(
+            strategy=name,
+            backend=backend,
+            batch_size=batch_size,
+            compile=mode,
+        )
         for name in names
         for backend in backends
         for batch_size in batch_sizes
+        for mode in (
+            ordered_modes if name in COMPILED_FAMILY else ordered_modes[:1]
+        )
     ]
 
 
@@ -139,11 +167,12 @@ def rete_memory_snapshot(strategy) -> dict:
         )
 
     alpha = {
-        amem.name: frozenset(amem.items) for amem in network.alpha_memories
+        amem.name: frozenset(amem.wme_keys())
+        for amem in network.alpha_memories
     }
     beta = {
         bmem.name: sorted(
-            (chain_key(token) for token in bmem.items), key=repr
+            (chain_key(token) for token in bmem.tokens()), key=repr
         )
         for bmem in network.beta_memories
     }
@@ -195,6 +224,7 @@ class _Replayer:
             seed=trace.seed,
             batch_size=config.batch_size,
             lineage=config.lineage,
+            compile=config.compile,
         )
         self.result = ReplayResult(config=config)
         self.attached = True
@@ -257,7 +287,10 @@ class _Replayer:
             if self.attached:
                 system.strategy.detach()
             system.strategy = self.strategy_cls(
-                system.wm, system.analyses, counters=system.counters
+                system.wm,
+                system.analyses,
+                counters=system.counters,
+                compile_mode=self.config.compile,
             )
             self.attached = True
 

@@ -96,6 +96,7 @@ def run_check(
     obs: Observability | None = None,
     shrink_failures: bool = True,
     resolutions: tuple[str, ...] | None = None,
+    compile_modes: tuple[str, ...] | None = None,
 ) -> CheckReport:
     """Run a fuzz campaign of *budget* traces; returns the report.
 
@@ -104,6 +105,8 @@ def run_check(
     *program* pins the rule base (only op scripts are fuzzed).
     *resolutions* rotates conflict-resolution strategies across traces
     (each trace records the one it used, so repros stay self-contained).
+    *compile_modes* restricts the match-compilation axis (the default
+    matrix pairs every compiled-family cell with a compile="on" twin).
     """
     obs = obs or Observability()
     matrix_kwargs = {}
@@ -111,6 +114,8 @@ def run_check(
         matrix_kwargs["backends"] = tuple(backends)
     if batch_sizes is not None:
         matrix_kwargs["batch_sizes"] = tuple(batch_sizes)
+    if compile_modes is not None:
+        matrix_kwargs["compile_modes"] = tuple(compile_modes)
     configs = default_matrix(strategies, **matrix_kwargs)
     report = CheckReport(budget=budget, seed=seed, configs=len(configs))
     observing = obs.enabled

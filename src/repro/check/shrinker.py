@@ -8,7 +8,11 @@ shrinker produces the smallest trace it can that still fails:
    subsequence is a valid trace and can be tested directly.
 2. **Rule pruning** — greedily drop whole productions from the program,
    keeping the drop whenever the trace still fails.
-3. A final op-ddmin pass, since a smaller rule base usually lets more ops
+3. **Arity shrinking** — drop attribute slots no remaining rule or op
+   references from the class declarations, narrowing every insert's
+   value tuple with them.  Smaller schemas make corpus repros easier to
+   read and rule out whole columns as the cause.
+4. A final op-ddmin pass, since a smaller rule base usually lets more ops
    go.
 
 The predicate is typically restricted to the two configurations named by
@@ -21,9 +25,11 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from repro.check.trace import Trace
+from repro.check.trace import Trace, TraceOp
+from repro.lang.ast import MakeAction, ModifyAction, Program
 from repro.lang.format import format_program
 from repro.lang.parser import parse_program
+from repro.storage.schema import RelationSchema
 
 FailingPredicate = Callable[[Trace], bool]
 
@@ -80,6 +86,120 @@ def _prune_rules(trace: Trace, failing: FailingPredicate) -> Trace:
     )
 
 
+def _referenced_attributes(
+    program: Program, ops: tuple[TraceOp, ...]
+) -> dict[str, set[str]]:
+    """Attribute names each class cannot lose without changing meaning.
+
+    Condition tests and ``(make ...)`` assignments name their class
+    directly; ``(modify N ...)`` resolves through the rule's Nth
+    condition element.  A ``modify`` *op* carries no class, so its
+    attribute names block every class that declares them.
+    """
+    referenced: dict[str, set[str]] = {
+        name: set() for name in program.schemas
+    }
+    for rule in program.rules:
+        for condition in rule.condition_elements:
+            bucket = referenced.setdefault(condition.class_name, set())
+            bucket.update(test.attribute for test in condition.tests)
+        for action in rule.actions:
+            if isinstance(action, MakeAction):
+                target = action.class_name
+            elif isinstance(action, ModifyAction) and (
+                1 <= action.ce_index <= len(rule.condition_elements)
+            ):
+                target = rule.condition_elements[
+                    action.ce_index - 1
+                ].class_name
+            else:
+                continue
+            referenced.setdefault(target, set()).update(
+                attribute for attribute, _ in action.assignments
+            )
+    for op in ops:
+        if op.kind == "modify" and op.changes:
+            names = {attribute for attribute, _ in op.changes}
+            for bucket in referenced.values():
+                bucket.update(names)
+    return referenced
+
+
+def _drop_attribute(
+    trace: Trace, program: Program, class_name: str, attribute: str
+) -> Trace | None:
+    """The candidate trace with *attribute* removed from *class_name*.
+
+    Narrows the class declaration, the program's initial elements and
+    every insert op's value tuple positionally; ``None`` when an insert's
+    values do not line up with the schema (never produced by the
+    generator, but corpus files are hand-editable).
+    """
+    schema = program.schemas[class_name]
+    position = schema.position(attribute)
+    schemas = dict(program.schemas)
+    schemas[class_name] = RelationSchema(
+        class_name,
+        tuple(a for a in schema.attributes if a != attribute),
+    )
+    initial_elements = [
+        (
+            name,
+            {k: v for k, v in values.items() if k != attribute}
+            if name == class_name
+            else values,
+        )
+        for name, values in program.initial_elements
+    ]
+    ops: list[TraceOp] = []
+    for op in trace.ops:
+        if op.kind == "insert" and op.class_name == class_name:
+            if len(op.values or ()) != schema.arity:
+                return None
+            op = TraceOp.insert(
+                class_name,
+                op.values[:position] + op.values[position + 1:],
+            )
+        ops.append(op)
+    program = Program(
+        schemas=schemas,
+        rules=program.rules,
+        initial_elements=initial_elements,
+    )
+    return trace.with_program(format_program(program)).with_ops(ops)
+
+
+def _shrink_arity(trace: Trace, failing: FailingPredicate) -> Trace:
+    """Greedily drop unreferenced attribute slots, one at a time.
+
+    Only attributes nothing tests, assigns or modifies are candidates, so
+    a drop cannot change matching — but like every shrink step it is
+    still verified against *failing* before being kept.
+    """
+    changed = True
+    while changed:
+        changed = False
+        program = parse_program(trace.program)
+        referenced = _referenced_attributes(program, trace.ops)
+        for class_name, schema in program.schemas.items():
+            if schema.arity <= 1:
+                continue
+            blocked = referenced.get(class_name, set())
+            for attribute in schema.attributes:
+                if attribute in blocked:
+                    continue
+                candidate = _drop_attribute(
+                    trace, program, class_name, attribute
+                )
+                if candidate is not None and failing(candidate):
+                    trace = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return trace
+
+
 def shrink(trace: Trace, failing: FailingPredicate) -> Trace:
     """Minimize *trace* under *failing*; the input must itself fail.
 
@@ -90,5 +210,6 @@ def shrink(trace: Trace, failing: FailingPredicate) -> Trace:
         raise ValueError("shrink() needs a failing trace")
     shrunk = _ddmin_ops(trace, failing)
     shrunk = _prune_rules(shrunk, failing)
+    shrunk = _shrink_arity(shrunk, failing)
     shrunk = _ddmin_ops(shrunk, failing)
     return shrunk

@@ -4,6 +4,7 @@
                                         [--resolution lex] [--max-cycles N]
                                         [--backend memory] [--quiet]
                                         [--batch-size N] [--lineage]
+                                        [--compile on|off|auto]
                                         [--trace-out t.jsonl] [--otel]
                                         [--trace-rotate-bytes N]
                                         [--trace-keep K]
@@ -14,7 +15,8 @@
     python -m repro.cli resume run.wal [--checkpoint FILE]
     python -m repro.cli stats program.ops [--flamegraph [OUT]]
     python -m repro.cli check program.ops
-    python -m repro.cli check --budget N [--resolutions lex,mea] [--crash]
+    python -m repro.cli check --budget N [--resolutions lex,mea]
+                                        [--compile-modes off,on] [--crash]
     python -m repro.cli format program.ops
     python -m repro.cli explain program.ops [RULE ...] [--why-not]
                                         [--instantiation N] [--wal f.wal]
@@ -147,6 +149,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         obs=obs,
         batch_size=args.batch_size,
         lineage=args.lineage,
+        compile=args.compile,
     )
     if args.wal:
         from repro.recovery import DurableRun
@@ -161,6 +164,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "backend": args.backend,
                 "seed": args.seed,
                 "batch_size": args.batch_size,
+                "compile": args.compile,
                 "firing": "instance",
             },
             fsync_every=args.fsync_every,
@@ -201,6 +205,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             backend=args.backend,
             firing="instance",
             batch_size=args.batch_size,
+            compile=args.compile,
             seed=args.seed,
             command=list(sys.argv[1:]) or ["run", args.file],
             git_sha=git_sha(),
@@ -389,6 +394,15 @@ def _cmd_check_fuzz(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         resolutions = tuple(names)
+    compile_modes = None
+    if args.compile_modes:
+        names = _csv(args.compile_modes)
+        unknown = sorted(set(names) - {"off", "on", "auto"})
+        if unknown:
+            print(f"error: unknown compile modes: {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        compile_modes = tuple(names)
     obs = Observability()
     if args.trace_out:
         obs.add_sink(JsonlFileSink(args.trace_out))
@@ -408,6 +422,7 @@ def _cmd_check_fuzz(args: argparse.Namespace) -> int:
         save_repro_dir=args.save_repro,
         obs=obs,
         resolutions=resolutions,
+        compile_modes=compile_modes,
     )
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
@@ -661,6 +676,15 @@ def build_parser() -> argparse.ArgumentParser:
         "strategies as batches of up to N deltas (§4.2.3), and 'auto' "
         "tunes the budget from the observed per-relation group fan-out",
     )
+    run.add_argument(
+        "--compile",
+        default="auto",
+        choices=["off", "on", "auto"],
+        help="match compilation: lower alpha tests and join predicates "
+        "into specialized kernels at network-build time ('auto', the "
+        "default, falls back to the interpreted path per node on any "
+        "lowering failure; both modes are bit-for-bit equivalent)",
+    )
     run.add_argument("--quiet", action="store_true")
     run.add_argument(
         "--lineage",
@@ -803,6 +827,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="A,B,...",
         help="comma-separated conflict-resolution strategies rotated "
         "across generated traces (default: lex)",
+    )
+    check.add_argument(
+        "--compile-modes",
+        metavar="A,B",
+        help="comma-separated match-compilation modes; the default matrix "
+        "pairs every compiled-family cell with a compile='on' twin "
+        "(default: off,on)",
     )
     check.add_argument(
         "--crash",

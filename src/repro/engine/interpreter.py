@@ -210,10 +210,15 @@ class ProductionSystem:
         obs: Observability | None = None,
         batch_size: int | str = 1,
         lineage: bool = False,
+        compile: str = "auto",
     ) -> None:
         if firing not in ("instance", "set"):
             raise ExecutionError(
                 f"unknown firing mode {firing!r}; use 'instance' or 'set'"
+            )
+        if compile not in ("off", "on", "auto"):
+            raise ExecutionError(
+                f"unknown compile mode {compile!r}; use 'on', 'off' or 'auto'"
             )
         self._auto_tuner: BatchSizeTuner | None = None
         if batch_size == "auto":
@@ -225,6 +230,11 @@ class ProductionSystem:
             )
         self.firing = firing
         self.batch_size = batch_size
+        #: Match-compilation mode (:mod:`repro.match.compile`).  ``"auto"``
+        #: compiles kernels where possible and falls back per node;
+        #: ``"off"`` is the interpreted reference the parity suites pin
+        #: compiled runs against.
+        self.compile_mode = compile
         program = self._resolve_program(source, rules, schemas)
         self.program = program
         self.analyses: dict[str, RuleAnalysis] = analyze_program(
@@ -243,7 +253,10 @@ class ProductionSystem:
             STRATEGIES[strategy] if isinstance(strategy, str) else strategy
         )
         self.strategy: MatchStrategy = strategy_cls(
-            self.wm, self.analyses, counters=self.counters
+            self.wm,
+            self.analyses,
+            counters=self.counters,
+            compile_mode=self.compile_mode,
         )
         self.resolver: Resolver = (
             make_resolver(resolution, seed)

@@ -93,11 +93,17 @@ class MatchStrategy:
         analyses: dict[str, RuleAnalysis],
         counters: Counters | None = None,
         obs: Observability | None = None,
+        compile_mode: str = "off",
     ) -> None:
         self.wm = wm
         self.analyses = dict(analyses)
         self.counters = counters or wm.counters
         self.obs = obs or wm.obs
+        #: Match-compilation mode (:mod:`repro.match.compile`): ``"off"``
+        #: keeps the interpreted reference path; strategies with a native
+        #: compiled path consult this during :meth:`_prepare`, the rest
+        #: ignore it.
+        self.compile_mode = compile_mode
         self.conflict_set = ConflictSet()
         self._prepare()
         wm.add_listener(self)

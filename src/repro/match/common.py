@@ -17,6 +17,7 @@ def match_condition(
     schema: RelationSchema,
     wme: StoredTuple,
     bindings: Bindings | None = None,
+    check=None,
 ) -> Bindings | None:
     """Match one WM element against one condition element.
 
@@ -27,9 +28,14 @@ def match_condition(
     condition elements are skipped — they are join conditions, to be checked
     when combinations are formed.
 
+    *check* overrides the constant-test evaluator — callers with a cached
+    (or compiled, :mod:`repro.match.compile`) checker skip the per-call
+    :func:`compile_predicate` closure build.
+
     Returns the extended bindings on success, ``None`` on failure.
     """
-    check = compile_predicate(condition.constant_predicate, schema)
+    if check is None:
+        check = compile_predicate(condition.constant_predicate, schema)
     if not check(wme.values):
         return None
     env: Bindings = dict(bindings or {})

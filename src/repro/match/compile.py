@@ -1,0 +1,557 @@
+"""Attach-time rule compilation: join plans and specialized kernels.
+
+The interpreted match stack evaluates alpha tests by walking predicate
+AST closures (:func:`repro.storage.predicate.compile_predicate`) and join
+tests by dispatching :class:`~repro.match.rete.runtime.JoinTest` records
+per candidate pair.  This module lowers both at *attach* time:
+
+* :func:`compile_alpha_test` fuses a whole constant-test conjunction into
+  one ``compile()``-generated code object over the row tuple — positions
+  resolved, equality and membership inlined (``compare("=", a, b)`` is
+  exactly ``a == b`` over the value domain: a string never equals a
+  non-string under either), ordering guarded by the same ``_orderable``
+  rules as :func:`~repro.storage.predicate.compare`.
+* :func:`plan_join` splits a node's join tests into the *equality subset*
+  (hash-indexable — ``compare("=")`` agrees with dict-key equality, the
+  invariant ``NegativeNode.hash_eligible`` already relies on) and the
+  *residual*, ordered by operator selectivity, and rejects any plan that
+  would exceed the CORGI-style quadratic per-probe envelope
+  (:class:`PlanBoundError`).
+* :class:`JoinKernel` executes a plan over the columnar memories: one
+  hash build over the opposing memory's value columns plus one probe per
+  token — O(T + R + output) instead of the O(T × R) interpreted scan —
+  with residual tests filtered inside each bucket.  Pair order is
+  bit-identical to the interpreted nested loop (token-major on LEFT
+  activations, element-major on RIGHT; buckets preserve memory insertion
+  order), which is what keeps compiled and interpreted modes
+  snapshot-equal.
+
+Interpreted mode stays the reference: a network built with
+``compile_mode="off"`` never touches this module, and ``"auto"`` falls
+back per node when a kernel cannot be built.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.storage.predicate import (
+    And,
+    AttributeComparison,
+    Comparison,
+    Membership,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    compare,
+)
+from repro.storage.schema import RelationSchema
+
+#: Recognized ``--compile`` modes.
+COMPILE_MODES = ("off", "on", "auto")
+
+#: The CORGI-style envelope: no per-probe plan may cost more than
+#: O(T × R) — the interpreted nested scan.  Hash-keyed plans are linear.
+MAX_COST_EXPONENT = 2
+
+#: Deterministic selectivity rank per operator, best first: equality keys
+#: the hash index; orderings halve on average; ``<>`` barely filters.
+_SELECTIVITY = {"=": 0, "<": 1, ">": 1, "<=": 2, ">=": 2, "<>": 3}
+
+
+class PlanBoundError(Exception):
+    """A join plan violates the quadratic worst-case envelope."""
+
+
+class CompileError(Exception):
+    """A rule could not be lowered to a kernel (``--compile on`` only)."""
+
+
+# ---------------------------------------------------------------------------
+# Join planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """An executable ordering of one two-input node's join tests.
+
+    ``level`` is the LEFT memory's level (condition elements covered by
+    its tokens); a test ``levels_up`` above the candidate reads the LEFT
+    slot column ``level - levels_up``.
+    """
+
+    level: int
+    eq_tests: tuple
+    residual: tuple
+
+    @property
+    def kind(self) -> str:
+        """``hash`` (keyed probe), ``nested`` (scan), or ``cross``."""
+        if self.eq_tests:
+            return "hash"
+        return "nested" if self.residual else "cross"
+
+    @property
+    def cost_exponent(self) -> int:
+        """Per-probe cost as the exponent of O((T + R)^e).
+
+        Hash-keyed and cross-product plans are output-linear (1); a
+        residual-only plan scans every pair (2); any test reaching above
+        the LEFT memory's level cannot be answered from the slot columns
+        and would force a per-pair chain walk (+1) — those plans are
+        rejected by :func:`validate_plan`.
+        """
+        exponent = 1 if (self.eq_tests or not self.residual) else 2
+        if any(
+            test.levels_up > self.level
+            for test in (*self.eq_tests, *self.residual)
+        ):
+            exponent += 1
+        return exponent
+
+    def describe(self) -> dict:
+        """JSON-ready plan summary for ``ReteNetwork.describe()``."""
+        return {
+            "kind": self.kind,
+            "eq": len(self.eq_tests),
+            "residual": [test.key() for test in self.residual],
+            "cost_exponent": self.cost_exponent,
+        }
+
+
+def validate_plan(plan: JoinPlan) -> JoinPlan:
+    """Reject *plan* unless it fits the quadratic envelope."""
+    if plan.cost_exponent > MAX_COST_EXPONENT:
+        raise PlanBoundError(
+            f"join plan exceeds the O(n^{MAX_COST_EXPONENT}) bound "
+            f"(cost exponent {plan.cost_exponent}): eq={plan.eq_tests} "
+            f"residual={plan.residual} at level {plan.level}"
+        )
+    return plan
+
+
+def plan_join(tests: tuple, level: int) -> JoinPlan:
+    """Order *tests* by selectivity into a validated :class:`JoinPlan`.
+
+    Equality tests form the hash key (sorted by their canonical key for
+    determinism); the residual runs inside each bucket, most selective
+    operator first.
+    """
+    eq = tuple(
+        sorted((t for t in tests if t.op == "="), key=lambda t: t.key())
+    )
+    residual = tuple(
+        sorted(
+            (t for t in tests if t.op != "="),
+            key=lambda t: (_SELECTIVITY.get(t.op, 9), t.key()),
+        )
+    )
+    return validate_plan(JoinPlan(level=level, eq_tests=eq, residual=residual))
+
+
+# ---------------------------------------------------------------------------
+# Join kernels
+# ---------------------------------------------------------------------------
+
+
+class JoinKernel:
+    """Executes one :class:`JoinPlan` over columnar LEFT/RIGHT memories.
+
+    Comparison accounting: building a hash key costs one counted
+    comparison per equality test per element (the ``_witness_key``
+    precedent), and each evaluated residual test costs one — so a keyed
+    probe counts O((T + R)·eq + candidates·residual) dispatches where the
+    interpreted scan counts O(T·R·tests).
+    """
+
+    __slots__ = ("plan", "label", "_eq", "_res", "_all", "_n_eq")
+
+    def __init__(self, plan: JoinPlan) -> None:
+        self.plan = plan
+        self.label = plan.kind
+        level = plan.level
+        # spec: (left slot column, other position, own position, op, levels_up)
+        self._eq = tuple(
+            (level - t.levels_up, t.other_position, t.own_position, t.op,
+             t.levels_up)
+            for t in plan.eq_tests
+        )
+        self._res = tuple(
+            (level - t.levels_up, t.other_position, t.own_position, t.op,
+             t.levels_up)
+            for t in plan.residual
+        )
+        self._all = self._eq + self._res
+        self._n_eq = len(self._eq)
+
+    # -- shared key/test primitives ----------------------------------------
+
+    def token_key(self, bmem, row: int, counters) -> tuple | None:
+        """The LEFT token's values at the tested slots (``None``: no key).
+
+        A ``None`` ancestor slot (negated CE upstream) fails every join
+        test, so such a token can match nothing at all.
+        """
+        key = []
+        for slot, other_pos, _own, _op, _u in self._eq:
+            counters.comparisons += 1
+            other = bmem.slot_column(slot)[row]
+            if other is None:
+                return None
+            key.append(other.values[other_pos])
+        return tuple(key)
+
+    def wme_eq_key(self, values: tuple, counters) -> tuple:
+        """The RIGHT element's values at the equality-tested positions."""
+        counters.comparisons += self._n_eq
+        return tuple(values[own] for _s, _o, own, _op, _u in self._eq)
+
+    def residual_ok(self, bmem, row: int, values: tuple, counters) -> bool:
+        for slot, other_pos, own_pos, op, _u in self._res:
+            counters.comparisons += 1
+            other = bmem.slot_column(slot)[row]
+            if other is None:
+                return False
+            if not compare(op, values[own_pos], other.values[other_pos]):
+                return False
+        return True
+
+    def pair_test(self, token, wme, counters) -> bool:
+        """Fused per-pair test for the tuple-at-a-time paths.
+
+        Walks the token chain like the interpreted ``_run_join_tests``
+        but over the precompiled, selectivity-ordered spec tuples.
+        """
+        values = wme.values
+        for _slot, other_pos, own_pos, op, levels_up in self._all:
+            counters.comparisons += 1
+            other = token.ancestor(levels_up - 1).wme
+            if other is None:
+                return False
+            if op == "=":
+                if values[own_pos] != other.values[other_pos]:
+                    return False
+            elif not compare(op, values[own_pos], other.values[other_pos]):
+                return False
+        return True
+
+    def _right_index(self, amem, counters) -> dict:
+        """Hash-build over the RIGHT memory's equality value columns."""
+        rows = list(amem.rows())
+        counters.comparisons += self._n_eq * len(rows)
+        columns = [amem.column(own) for _s, _o, own, _op, _u in self._eq]
+        wme_at = amem.wme_at
+        index: dict[tuple, list] = {}
+        for row in rows:
+            key = tuple(column[row] for column in columns)
+            index.setdefault(key, []).append(wme_at(row))
+        return index
+
+    # -- join-node probes ---------------------------------------------------
+
+    def probe_left(self, node, tokens: list, counters) -> list:
+        """Token-major pairs for a LEFT token-set arrival."""
+        bmem, amem = node.bmem, node.amem
+        pairs: list = []
+        if self._n_eq:
+            index = self._right_index(amem, counters)
+            for token in tokens:
+                row = bmem.row_of(token)
+                key = self.token_key(bmem, row, counters)
+                if key is None:
+                    continue
+                bucket = index.get(key)
+                if not bucket:
+                    continue
+                if self._res:
+                    pairs.extend(
+                        (token, wme)
+                        for wme in bucket
+                        if self.residual_ok(bmem, row, wme.values, counters)
+                    )
+                else:
+                    pairs.extend((token, wme) for wme in bucket)
+            return pairs
+        rights = amem.wmes()
+        if not self._res:
+            return [(token, wme) for token in tokens for wme in rights]
+        for token in tokens:
+            row = bmem.row_of(token)
+            pairs.extend(
+                (token, wme)
+                for wme in rights
+                if self.residual_ok(bmem, row, wme.values, counters)
+            )
+        return pairs
+
+    def probe_right(self, node, wmes: list, counters) -> list:
+        """Element-major pairs for a RIGHT token-set arrival."""
+        bmem = node.bmem
+        pairs: list = []
+        if self._n_eq:
+            index: dict[tuple, list] = {}
+            for token, row in bmem.row_items():
+                key = self.token_key(bmem, row, counters)
+                if key is not None:
+                    index.setdefault(key, []).append((token, row))
+            for wme in wmes:
+                values = wme.values
+                bucket = index.get(self.wme_eq_key(values, counters))
+                if not bucket:
+                    continue
+                if self._res:
+                    pairs.extend(
+                        (token, wme)
+                        for token, row in bucket
+                        if self.residual_ok(bmem, row, values, counters)
+                    )
+                else:
+                    pairs.extend((token, wme) for token, _row in bucket)
+            return pairs
+        lefts = list(bmem.row_items())
+        if not self._res:
+            return [(token, wme) for wme in wmes for token, _row in lefts]
+        for wme in wmes:
+            values = wme.values
+            pairs.extend(
+                (token, wme)
+                for token, row in lefts
+                if self.residual_ok(bmem, row, values, counters)
+            )
+        return pairs
+
+    # -- negative-node witness maintenance ----------------------------------
+
+    def witness_lists(self, node, tokens: list, counters) -> list:
+        """Per-token witness candidates for a LEFT token-set arrival."""
+        bmem, amem = node.bmem, node.amem
+        lists: list = []
+        if self._n_eq:
+            index = self._right_index(amem, counters)
+            for token in tokens:
+                row = bmem.row_of(token)
+                key = self.token_key(bmem, row, counters)
+                bucket = index.get(key, ()) if key is not None else ()
+                if bucket and self._res:
+                    bucket = [
+                        wme
+                        for wme in bucket
+                        if self.residual_ok(bmem, row, wme.values, counters)
+                    ]
+                lists.append(bucket)
+            return lists
+        rights = amem.wmes()
+        for token in tokens:
+            row = bmem.row_of(token)
+            lists.append(
+                [
+                    wme
+                    for wme in rights
+                    if self.residual_ok(bmem, row, wme.values, counters)
+                ]
+                if self._res
+                else rights
+            )
+        return lists
+
+    def index_right(self, wmes: list, counters) -> dict | None:
+        """Bucket an incoming RIGHT set by equality key (``None``: no eq)."""
+        if not self._n_eq:
+            return None
+        buckets: dict[tuple, list] = {}
+        for wme in wmes:
+            buckets.setdefault(
+                self.wme_eq_key(wme.values, counters), []
+            ).append(wme)
+        return buckets
+
+    def bucket_hits(self, node, token, buckets, wmes: list, counters) -> list:
+        """The incoming RIGHT elements that witness *token*."""
+        bmem = node.bmem
+        row = bmem.row_of(token)
+        if buckets is not None:
+            key = self.token_key(bmem, row, counters)
+            candidates = buckets.get(key, ()) if key is not None else ()
+        else:
+            candidates = wmes
+        if not self._res:
+            return candidates
+        return [
+            wme
+            for wme in candidates
+            if self.residual_ok(bmem, row, wme.values, counters)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Alpha-test compilation
+# ---------------------------------------------------------------------------
+
+_ORDERING_PYOPS = {"<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _const_ref(value, consts: list) -> str:
+    consts.append(value)
+    return f"_K[{len(consts) - 1}]"
+
+
+def _predicate_expr(
+    predicate: Predicate, schema: RelationSchema, consts: list
+) -> str:
+    """One Python expression equivalent to *predicate* over row tuple ``v``."""
+    if isinstance(predicate, TruePredicate):
+        return "True"
+    if isinstance(predicate, Comparison):
+        slot = f"v[{schema.position(predicate.attribute)}]"
+        value = predicate.value
+        if predicate.op == "=":
+            return f"({slot} == {_const_ref(value, consts)})"
+        if predicate.op == "<>":
+            return f"({slot} != {_const_ref(value, consts)})"
+        pyop = _ORDERING_PYOPS[predicate.op]
+        if value is None:
+            return "False"  # ordering against nil never holds
+        if isinstance(value, (int, float)):
+            return (
+                f"(isinstance({slot}, (int, float)) and "
+                f"{slot} {pyop} {_const_ref(value, consts)})"
+            )
+        return (
+            f"({slot} is not None and not isinstance({slot}, (int, float)) "
+            f"and {slot} {pyop} {_const_ref(value, consts)})"
+        )
+    if isinstance(predicate, Membership):
+        slot = f"v[{schema.position(predicate.attribute)}]"
+        return f"({slot} in {_const_ref(tuple(predicate.values), consts)})"
+    if isinstance(predicate, AttributeComparison):
+        left = f"v[{schema.position(predicate.left)}]"
+        right = f"v[{schema.position(predicate.right)}]"
+        if predicate.op == "=":
+            return f"({left} == {right})"
+        if predicate.op == "<>":
+            return f"({left} != {right})"
+        return f"_compare({predicate.op!r}, {left}, {right})"
+    if isinstance(predicate, And):
+        if not predicate.parts:
+            return "True"
+        return "(" + " and ".join(
+            _predicate_expr(part, schema, consts) for part in predicate.parts
+        ) + ")"
+    if isinstance(predicate, Or):
+        if not predicate.parts:
+            return "False"
+        return "(" + " or ".join(
+            _predicate_expr(part, schema, consts) for part in predicate.parts
+        ) + ")"
+    if isinstance(predicate, Not):
+        return f"(not {_predicate_expr(predicate.part, schema, consts)})"
+    raise CompileError(f"cannot lower predicate {predicate!r}")
+
+
+def compile_alpha_test(
+    predicate: Predicate, schema: RelationSchema
+) -> Callable[[tuple], bool]:
+    """Fuse a constant-test conjunction into one generated code object.
+
+    Equality and membership are inlined as plain ``==`` / ``in`` (exactly
+    :func:`compare`'s ``=`` over the value domain); ordering against a
+    constant is specialized on the constant's type, reproducing the
+    ``_orderable`` guard.  The interpreted closure chain this replaces
+    costs one Python call per predicate node per row.
+    """
+    consts: list = []
+    expression = _predicate_expr(predicate, schema, consts)
+    source = f"lambda v: {expression}"
+    namespace = {
+        "_compare": compare,
+        "_K": tuple(consts),
+        "isinstance": isinstance,
+        "int": int,
+        "float": float,
+        "__builtins__": {},
+    }
+    return eval(compile(source, "<repro.match.compile>", "eval"), namespace)
+
+
+def compile_condition_checks(
+    analyses: dict, schemas: dict[str, RelationSchema], mode: str = "auto"
+) -> dict[int, Callable[[tuple], bool]]:
+    """Compiled constant-predicate checkers for every rule condition.
+
+    Keyed by ``id(condition)`` — callers must keep *analyses* alive for
+    the mapping's lifetime (strategies hold them for exactly that long).
+    Used by the matching-patterns strategy so ``match_condition`` stops
+    re-deriving the checker per element.
+    """
+    checks: dict[int, Callable[[tuple], bool]] = {}
+    for analysis in analyses.values():
+        for condition in analysis.conditions:
+            schema = schemas[condition.class_name]
+            try:
+                checks[id(condition)] = compile_alpha_test(
+                    condition.constant_predicate, schema
+                )
+            except Exception as error:
+                if mode == "on":
+                    raise CompileError(
+                        f"rule {analysis.name!r} condition "
+                        f"{condition.index}: {error}"
+                    ) from error
+    return checks
+
+
+# ---------------------------------------------------------------------------
+# Network attachment
+# ---------------------------------------------------------------------------
+
+
+def attach_network_kernels(network, mode: str = "auto") -> dict:
+    """Compile alpha tests and two-input kernels onto a built network.
+
+    Returns (and stores as ``network.compile_summary``) a summary dict:
+    ``mode`` is the resolved mode (``"on"`` once anything compiled),
+    ``kernels``/``alpha`` count compiled nodes, ``ns`` the attach-time
+    compilation cost (the ``rete.kernel_ns`` metric).  Under ``"auto"``
+    a node that fails to compile silently keeps its interpreted path;
+    under ``"on"`` the failure raises :class:`CompileError`.
+    """
+    summary = {"mode": "off", "kernels": 0, "alpha": 0, "ns": 0}
+    network.compile_summary = summary
+    if mode == "off":
+        return summary
+    if mode not in COMPILE_MODES:
+        raise ValueError(f"unknown compile mode {mode!r}")
+    started = time.perf_counter_ns()
+    for amem in network.alpha_memories:
+        predicate = getattr(amem, "predicate", None)
+        schema = getattr(amem, "schema", None)
+        if predicate is None or schema is None:
+            if mode == "on":
+                raise CompileError(
+                    f"alpha memory {amem.name} carries no predicate AST"
+                )
+            continue
+        try:
+            amem.test = compile_alpha_test(predicate, schema)
+            summary["alpha"] += 1
+        except Exception as error:
+            if mode == "on":
+                raise CompileError(
+                    f"alpha memory {amem.name}: {error}"
+                ) from error
+    for node in (*network.join_nodes, *network.negative_nodes):
+        try:
+            plan = plan_join(node.tests, node.bmem.level)
+            node.kernel = JoinKernel(plan)
+            node.plan = plan
+            summary["kernels"] += 1
+        except Exception as error:
+            if mode == "on":
+                raise CompileError(f"node {node.name}: {error}") from error
+    summary["ns"] = time.perf_counter_ns() - started
+    summary["mode"] = "on"
+    return summary

@@ -34,6 +34,9 @@ class PatternStore:
         self.class_name = class_name
         self.schema = schema
         self.counters = counters
+        # id(condition) -> compiled constant-test checker, installed by the
+        # owning strategy when match compilation is on (repro.match.compile).
+        self.checks: dict[int, object] = {}
         # (rid, cen) -> restrictions -> pattern
         self._groups: dict[tuple[str, int], dict[Restrictions, PatternTuple]] = {}
         self._templates: dict[tuple[str, int], PatternTuple] = {}
@@ -100,7 +103,9 @@ class PatternStore:
         group = self._groups.get((rid, condition.cond_number))
         if not group:
             return results
-        env = match_condition(condition, self.schema, wme)
+        env = match_condition(
+            condition, self.schema, wme, check=self.checks.get(id(condition))
+        )
         self.counters.comparisons += 1
         if env is None:
             return results

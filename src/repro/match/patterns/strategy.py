@@ -53,6 +53,18 @@ class MatchingPatternsStrategy(MatchStrategy):
         self.stores: dict[str, PatternStore] = make_stores(
             self.analyses, self.wm.schemas, self.counters
         )
+        # Compiled constant-test checkers (repro.match.compile), keyed by
+        # condition identity; the interpreted per-call closure build stays
+        # the reference path when compilation is off.
+        self._checks: dict[int, object] = {}
+        if self.compile_mode != "off":
+            from repro.match.compile import compile_condition_checks
+
+            self._checks = compile_condition_checks(
+                self.analyses, self.wm.schemas, self.compile_mode
+            )
+            for store in self.stores.values():
+                store.checks = self._checks
         self._by_class: dict[str, list[tuple[RuleAnalysis, AnalyzedCondition]]] = {}
         self._negated_indices: dict[str, frozenset[int]] = {}
         # (wme key) -> {(pattern, rce index)} reverse map for exact deletion.
@@ -391,9 +403,11 @@ class MatchingPatternsStrategy(MatchStrategy):
     ) -> None:
         """A new negated-condition witness retracts blocked instantiations."""
         schema = self.wm.schema(wme.relation)
+        check = self._checks.get(id(condition))
         for instantiation in self.conflict_set.for_rule(analysis.name):
             env = match_condition(
-                condition, schema, wme, instantiation.binding_map()
+                condition, schema, wme, instantiation.binding_map(),
+                check=check,
             )
             if env is not None:
                 self.conflict_set.remove(instantiation)
@@ -459,6 +473,10 @@ class MatchingPatternsStrategy(MatchStrategy):
         description["maintenance"] = {
             "serial_ops": self.maintenance_serial_ops,
             "parallel_ops": self.maintenance_parallel_ops,
+        }
+        description["compile"] = {
+            "mode": "on" if self._checks else "off",
+            "checks": len(self._checks),
         }
         return description
 

@@ -62,6 +62,9 @@ class ReteNetwork:
     production_nodes: list[ProductionNode] = field(default_factory=list)
     mirrors: list[MemoryMirror] = field(default_factory=list)
     mirror_catalog: Catalog | None = None
+    #: Attach-time compilation summary (``repro.match.compile``); stays
+    #: ``{"mode": "off", ...}``-shaped or ``None`` for interpreted networks.
+    compile_summary: dict | None = None
     #: Per-rule join chain, recorded at compile time: one
     #: ``(condition, alpha_memory, two_input_node)`` triple per condition
     #: element, in LHS order.  The chain is *static* in this network (one
@@ -176,10 +179,10 @@ class ReteNetwork:
         """Attribute cells held in memories (tuples stored at full width)."""
         cells = 0
         for amem in self.alpha_memories:
-            for wme in amem.items.values():
+            for wme in amem.wmes():
                 cells += len(wme.values)
         for bmem in self.beta_memories:
-            for token in bmem.items:
+            for token in bmem.tokens():
                 for wme in token.chain():
                     if wme is not None:
                         cells += len(wme.values)
@@ -220,34 +223,36 @@ class ReteNetwork:
             for child in bmem.children:
                 edges.append([bmem.name, child.name])
         for join in self.join_nodes:
-            nodes.append(
-                {
-                    "id": join.name,
-                    "kind": "join",
-                    "left": join.bmem.name,
-                    "right": join.amem.name,
-                    "left_size": len(join.bmem),
-                    "right_size": len(join.amem),
-                    "tests": len(join.tests),
-                    "probes": join.probes,
-                    "max_group": join.max_group,
-                }
-            )
+            entry = {
+                "id": join.name,
+                "kind": "join",
+                "left": join.bmem.name,
+                "right": join.amem.name,
+                "left_size": len(join.bmem),
+                "right_size": len(join.amem),
+                "tests": len(join.tests),
+                "probes": join.probes,
+                "max_group": join.max_group,
+            }
+            if join.plan is not None:
+                entry["plan"] = join.plan.describe()
+            nodes.append(entry)
         for negative in self.negative_nodes:
-            nodes.append(
-                {
-                    "id": negative.name,
-                    "kind": "negative",
-                    "left": negative.bmem.name,
-                    "right": negative.amem.name,
-                    "left_size": len(negative.bmem),
-                    "right_size": len(negative.amem),
-                    "tests": len(negative.tests),
-                    "probes": negative.probes,
-                    "max_group": negative.max_group,
-                    "witnesses": negative.stored_results(),
-                }
-            )
+            entry = {
+                "id": negative.name,
+                "kind": "negative",
+                "left": negative.bmem.name,
+                "right": negative.amem.name,
+                "left_size": len(negative.bmem),
+                "right_size": len(negative.amem),
+                "tests": len(negative.tests),
+                "probes": negative.probes,
+                "max_group": negative.max_group,
+                "witnesses": negative.stored_results(),
+            }
+            if negative.plan is not None:
+                entry["plan"] = negative.plan.describe()
+            nodes.append(entry)
         for production in self.production_nodes:
             node_id = f"p:{production.analysis.name}"
             nodes.append(
@@ -282,6 +287,7 @@ class ReteNetwork:
                 "stored_tokens": self.stored_tokens(),
                 "stored_cells": self.stored_cells(),
             },
+            "compile": self.compile_summary or {"mode": "off"},
         }
 
     def to_dot(self) -> str:
@@ -435,11 +441,13 @@ class NetworkBuilder:
         counters: Counters | None = None,
         share: bool = False,
         mirror_catalog: Catalog | None = None,
+        compile_mode: str = "off",
     ) -> None:
         self.schemas = schemas
         self.counters = counters or Counters()
         self.share = share
         self.mirror_catalog = mirror_catalog
+        self.compile_mode = compile_mode
         self._mirror_serial = 0
         self._alpha_cache: dict[tuple, AlphaMemory] = {}
         self._join_cache: dict[tuple, JoinNode] = {}
@@ -494,7 +502,12 @@ class NetworkBuilder:
             test=compile_predicate(predicate, schema),
             counters=self.counters,
             mirror=self._mirror("am", 1),
+            arity=schema.arity,
         )
+        # Stashed for attach-time lowering (``repro.match.compile``): the
+        # kernel compiler regenerates ``test`` from the predicate AST.
+        amem.predicate = predicate
+        amem.schema = schema
         self._alpha_cache[key] = amem
         self.network.alpha_memories.append(amem)
         self.network.alpha_by_class.setdefault(condition.class_name, []).append(
@@ -601,6 +614,10 @@ class NetworkBuilder:
         """Compile every rule and return the finished network."""
         for analysis in analyses.values():
             self.add_rule(analysis)
+        # Deferred import: repro.match.compile imports JoinTest consumers.
+        from repro.match.compile import attach_network_kernels
+
+        attach_network_kernels(self.network, self.compile_mode)
         return self.network
 
 
@@ -637,9 +654,14 @@ def build_network(
     counters: Counters | None = None,
     share: bool = False,
     mirror_catalog: Catalog | None = None,
+    compile_mode: str = "off",
 ) -> ReteNetwork:
     """Convenience wrapper: build a network for *analyses* in one call."""
     builder = NetworkBuilder(
-        schemas, counters=counters, share=share, mirror_catalog=mirror_catalog
+        schemas,
+        counters=counters,
+        share=share,
+        mirror_catalog=mirror_catalog,
+        compile_mode=compile_mode,
     )
     return builder.build(analyses)

@@ -167,7 +167,16 @@ class MemoryMirror:
 
 
 class AlphaMemory:
-    """Stores the WM elements passing one constant-test conjunction."""
+    """Stores the WM elements passing one constant-test conjunction.
+
+    Storage is columnar (the RIGHT relation of §3.2 viewed column-wise):
+    admitted elements occupy a compact row id indexing a parallel list of
+    element references plus one value column per attribute position.  The
+    insertion-ordered ``_index`` maps element identity to its row; deleted
+    rows join a free list and are reused by later inserts, so columns never
+    shrink mid-batch and row ids stay dense.  Join kernels probe the value
+    columns directly instead of materializing per-element tuples.
+    """
 
     def __init__(
         self,
@@ -176,14 +185,35 @@ class AlphaMemory:
         test: Callable[[tuple], bool],
         counters: Counters,
         mirror: MemoryMirror | None = None,
+        arity: int | None = None,
     ) -> None:
         self.name = name
         self.class_name = class_name
         self.test = test
         self.counters = counters
         self.mirror = mirror
-        self.items: dict[WmeKey, StoredTuple] = {}
+        self._index: dict[WmeKey, int] = {}
+        self._wme_rows: list[StoredTuple | None] = []
+        self._columns: list[list] | None = (
+            [[] for _ in range(arity)] if arity is not None else None
+        )
+        self._free: list[int] = []
         self.successors: list[JoinNode | NegativeNode] = []
+
+    def _admit(self, wme: StoredTuple) -> None:
+        if self._columns is None:
+            self._columns = [[] for _ in wme.values]
+        if self._free:
+            row = self._free.pop()
+            self._wme_rows[row] = wme
+            for column, value in zip(self._columns, wme.values):
+                column[row] = value
+        else:
+            self._wme_rows.append(wme)
+            for column, value in zip(self._columns, wme.values):
+                column.append(value)
+            row = len(self._wme_rows) - 1
+        self._index[wme_key(wme)] = row
 
     def try_activate(self, wme: StoredTuple) -> bool:
         """Run the constant test; admit and propagate on success."""
@@ -191,7 +221,7 @@ class AlphaMemory:
         self.counters.comparisons += 1
         if not self.test(wme.values):
             return False
-        self.items[wme_key(wme)] = wme
+        self._admit(wme)
         if self.mirror is not None:
             self.mirror.add(wme, (wme.tid,))
         self.counters.tokens += 1
@@ -218,7 +248,7 @@ class AlphaMemory:
             self.counters.comparisons += 1
             if not self.test(wme.values):
                 continue
-            self.items[wme_key(wme)] = wme
+            self._admit(wme)
             if self.mirror is not None:
                 self.mirror.add(wme, (wme.tid,))
             self.counters.tokens += 1
@@ -227,18 +257,54 @@ class AlphaMemory:
 
     def retract(self, wme: StoredTuple) -> bool:
         """Remove *wme* if present; returns whether it was stored."""
-        if self.items.pop(wme_key(wme), None) is None:
+        row = self._index.pop(wme_key(wme), None)
+        if row is None:
             return False
+        self._wme_rows[row] = None
+        for column in self._columns or ():
+            column[row] = None
+        self._free.append(row)
         if self.mirror is not None:
             self.mirror.remove(wme)
         return True
 
+    def wme_keys(self):
+        """Identities of the stored elements, in insertion order."""
+        return self._index.keys()
+
+    def wmes(self) -> list[StoredTuple]:
+        """The stored elements, in insertion order."""
+        rows = self._wme_rows
+        return [rows[row] for row in self._index.values()]
+
+    def rows(self):
+        """Live row ids, in insertion order (kernel probes)."""
+        return self._index.values()
+
+    def column(self, position: int) -> list:
+        """The value column for one attribute position."""
+        assert self._columns is not None
+        return self._columns[position]
+
+    def wme_at(self, row: int) -> StoredTuple | None:
+        return self._wme_rows[row]
+
     def __len__(self) -> int:
-        return len(self.items)
+        return len(self._index)
 
 
 class BetaMemory:
-    """Stores tokens covering a prefix of a rule's condition elements."""
+    """Stores tokens covering a prefix of a rule's condition elements.
+
+    Storage is columnar (the LEFT relation of §3.2 viewed column-wise): a
+    compact row id indexes a parallel list of token references plus one
+    *slot column* per covered condition element, holding that level's WM
+    element (``None`` under a negated CE).  ``_order`` maps a token to its
+    row in insertion order; freed rows are reused, making
+    :meth:`remove_token` O(1) instead of the former ``list.remove`` scan.
+    A join test ``levels_up`` above a candidate reads slot column
+    ``level - levels_up`` directly — no token-chain pointer chase.
+    """
 
     def __init__(
         self,
@@ -251,28 +317,45 @@ class BetaMemory:
         self.level = level  # number of condition elements covered
         self.counters = counters
         self.mirror = mirror
-        self.items: list[Token] = []
+        self._order: dict[Token, int] = {}
+        self._token_rows: list[Token | None] = []
+        self._slots: list[list[StoredTuple | None]] = [
+            [] for _ in range(level)
+        ]
+        self._free: list[int] = []
         self.children: list[JoinNode | NegativeNode] = []
         self.dummy_token: Token | None = None
+
+    def _admit(self, token: Token, chain: list[StoredTuple | None]) -> None:
+        if self._free:
+            row = self._free.pop()
+            self._token_rows[row] = token
+            for slot, wme in zip(self._slots, chain):
+                slot[row] = wme
+        else:
+            self._token_rows.append(token)
+            for slot, wme in zip(self._slots, chain):
+                slot.append(wme)
+            row = len(self._token_rows) - 1
+        self._order[token] = row
 
     def make_dummy(self) -> Token:
         """Install the dummy top token (for the network root)."""
         self.dummy_token = Token(None, None, self)
-        self.items.append(self.dummy_token)
+        self._admit(self.dummy_token, self.dummy_token.chain())
         return self.dummy_token
 
     def left_activate(self, runtime: "ReteRuntime", parent: Token,
                       wme: StoredTuple | None) -> None:
         self.counters.node_activations += 1
         token = Token(parent, wme, self)
-        self.items.append(token)
+        chain = token.chain()
+        self._admit(token, chain)
         self.counters.tokens += 1
         if wme is not None:
             runtime.register_token(wme, token)
         if self.mirror is not None:
-            tids = tuple(
-                w.tid if w is not None else None for w in token.chain()
-            )
+            tids = tuple(w.tid if w is not None else None for w in chain)
             self.mirror.add(token, tids)
         for child in list(self.children):
             child.left_activate_new_token(runtime, token)
@@ -293,28 +376,46 @@ class BetaMemory:
         tokens: list[Token] = []
         for parent, wme in pairs:
             token = Token(parent, wme, self)
-            self.items.append(token)
+            chain = token.chain()
+            self._admit(token, chain)
             self.counters.tokens += 1
             if wme is not None:
                 runtime.register_token(wme, token)
             if self.mirror is not None:
-                tids = tuple(
-                    w.tid if w is not None else None for w in token.chain()
-                )
+                tids = tuple(w.tid if w is not None else None for w in chain)
                 self.mirror.add(token, tids)
             tokens.append(token)
         for child in list(self.children):
             child.left_activate_token_set(runtime, tokens, group)
 
     def remove_token(self, token: Token) -> None:
-        self.items.remove(token)
+        row = self._order.pop(token)
+        self._token_rows[row] = None
+        for slot in self._slots:
+            slot[row] = None
+        self._free.append(row)
         if self.mirror is not None:
             self.mirror.remove(token)
         for child in self.children:
             child.forget_token(token)
 
+    def tokens(self) -> list[Token]:
+        """The stored tokens, in insertion order."""
+        return list(self._order)
+
+    def row_items(self):
+        """(token, row) pairs in insertion order (kernel probes)."""
+        return self._order.items()
+
+    def row_of(self, token: Token) -> int:
+        return self._order[token]
+
+    def slot_column(self, index: int) -> list[StoredTuple | None]:
+        """The WM-element column for condition-element level *index*."""
+        return self._slots[index]
+
     def __len__(self) -> int:
-        return len(self.items)
+        return len(self._order)
 
 
 def _run_join_tests(
@@ -393,16 +494,25 @@ class JoinNode:
         bmem.children.append(self)
         amem.successors.append(self)
         self.runtime: ReteRuntime | None = None
+        #: Compiled join kernel + plan (``repro.match.compile``); ``None``
+        #: keeps the interpreted ``_run_join_tests`` reference path.
+        self.kernel = None
+        self.plan = None
         #: Lifetime opposing-memory probes / largest token set seen — plain
         #: ints read by :meth:`ReteNetwork.describe` (per-node hotspots).
         self.probes = 0
         self.max_group = 0
 
+    def _pair_matches(self, token: Token, wme: StoredTuple) -> bool:
+        if self.kernel is not None:
+            return self.kernel.pair_test(token, wme, self.counters)
+        return _run_join_tests(self.tests, token, wme, self.counters)
+
     def left_activate_new_token(self, runtime: "ReteRuntime", token: Token) -> None:
         self.counters.node_activations += 1
         self.probes += 1
-        for wme in list(self.amem.items.values()):
-            if _run_join_tests(self.tests, token, wme, self.counters):
+        for wme in self.amem.wmes():
+            if self._pair_matches(token, wme):
                 for child in list(self.children):
                     child.left_activate(runtime, token, wme)
 
@@ -410,8 +520,8 @@ class JoinNode:
         self.counters.node_activations += 1
         self.probes += 1
         runtime = self.runtime
-        for token in list(self.bmem.items):
-            if _run_join_tests(self.tests, token, wme, self.counters):
+        for token in self.bmem.tokens():
+            if self._pair_matches(token, wme):
                 for child in list(self.children):
                     child.left_activate(runtime, token, wme)
 
@@ -426,13 +536,17 @@ class JoinNode:
         with _probe_span(
             runtime, self.name, "left", "RIGHT", group, len(tokens)
         ) as span:
-            rights = list(self.amem.items.values())
-            pairs = [
-                (token, wme)
-                for token in tokens
-                for wme in rights
-                if _run_join_tests(self.tests, token, wme, self.counters)
-            ]
+            if self.kernel is not None:
+                span.set("kernel", self.kernel.label)
+                pairs = self.kernel.probe_left(self, tokens, self.counters)
+            else:
+                rights = self.amem.wmes()
+                pairs = [
+                    (token, wme)
+                    for token in tokens
+                    for wme in rights
+                    if _run_join_tests(self.tests, token, wme, self.counters)
+                ]
             span.set("pairs", len(pairs))
         _record_pairs(runtime, len(pairs))
         if pairs:
@@ -449,13 +563,17 @@ class JoinNode:
         with _probe_span(
             runtime, self.name, "right", "LEFT", group, len(wmes)
         ) as span:
-            lefts = list(self.bmem.items)
-            pairs = [
-                (token, wme)
-                for wme in wmes
-                for token in lefts
-                if _run_join_tests(self.tests, token, wme, self.counters)
-            ]
+            if self.kernel is not None:
+                span.set("kernel", self.kernel.label)
+                pairs = self.kernel.probe_right(self, wmes, self.counters)
+            else:
+                lefts = self.bmem.tokens()
+                pairs = [
+                    (token, wme)
+                    for wme in wmes
+                    for token in lefts
+                    if _run_join_tests(self.tests, token, wme, self.counters)
+                ]
             span.set("pairs", len(pairs))
         _record_pairs(runtime, len(pairs))
         if pairs:
@@ -497,9 +615,20 @@ class NegativeNode:
         bmem.children.append(self)
         amem.successors.append(self)
         self.runtime: ReteRuntime | None = None
+        #: Compiled kernel + plan, as on :class:`JoinNode`.  A kernel
+        #: generalizes ``hash_eligible``: the *equality subset* of the
+        #: tests keys the witness index and any remaining tests filter
+        #: within a bucket, so mixed-operator negations hash too.
+        self.kernel = None
+        self.plan = None
         #: Same per-node hotspot counters as :class:`JoinNode`.
         self.probes = 0
         self.max_group = 0
+
+    def _pair_matches(self, token: Token, wme: StoredTuple) -> bool:
+        if self.kernel is not None:
+            return self.kernel.pair_test(token, wme, self.counters)
+        return _run_join_tests(self.tests, token, wme, self.counters)
 
     def _witness_key(self, wme: StoredTuple) -> tuple:
         """The RIGHT element's values at the tested positions."""
@@ -527,8 +656,8 @@ class NegativeNode:
         self.probes += 1
         matches = {
             wme_key(wme)
-            for wme in self.amem.items.values()
-            if _run_join_tests(self.tests, token, wme, self.counters)
+            for wme in self.amem.wmes()
+            if self._pair_matches(token, wme)
         }
         self.results[token] = matches
         for key in matches:
@@ -543,7 +672,7 @@ class NegativeNode:
         runtime = self.runtime
         key = wme_key(wme)
         for token, matches in list(self.results.items()):
-            if _run_join_tests(self.tests, token, wme, self.counters):
+            if self._pair_matches(token, wme):
                 was_empty = not matches
                 matches.add(key)
                 runtime.register_negative(key, self, token)
@@ -566,10 +695,15 @@ class NegativeNode:
         with _probe_span(
             runtime, self.name, "left", "RIGHT", group, len(tokens)
         ) as span:
-            rights = list(self.amem.items.values())
             unblocked: list[tuple[Token, StoredTuple | None]] = []
-            if self.hash_eligible:
+            if self.kernel is not None:
+                span.set("kernel", self.kernel.label)
+                witness_lists = self.kernel.witness_lists(
+                    self, tokens, self.counters
+                )
+            elif self.hash_eligible:
                 span.set("probe", "hash")
+                rights = self.amem.wmes()
                 index: dict[tuple, list[StoredTuple]] = {}
                 for wme in rights:
                     index.setdefault(self._witness_key(wme), []).append(wme)
@@ -580,6 +714,7 @@ class NegativeNode:
                         index.get(probe, ()) if probe is not None else ()
                     )
             else:
+                rights = self.amem.wmes()
                 witness_lists = [
                     [
                         wme
@@ -621,13 +756,21 @@ class NegativeNode:
             runtime, self.name, "right", "LEFT", group, len(wmes)
         ) as span:
             buckets: dict[tuple, list[StoredTuple]] | None = None
-            if self.hash_eligible:
+            kernel = self.kernel
+            if kernel is not None:
+                span.set("kernel", kernel.label)
+                buckets = kernel.index_right(wmes, self.counters)
+            elif self.hash_eligible:
                 span.set("probe", "hash")
                 buckets = {}
                 for wme in wmes:
                     buckets.setdefault(self._witness_key(wme), []).append(wme)
             for token, matches in list(self.results.items()):
-                if buckets is not None:
+                if kernel is not None:
+                    hits = kernel.bucket_hits(
+                        self, token, buckets, wmes, self.counters
+                    )
+                elif buckets is not None:
                     probe = self._probe_key(token)
                     hits = (
                         buckets.get(probe, ()) if probe is not None else ()

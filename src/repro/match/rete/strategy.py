@@ -49,9 +49,26 @@ class ReteStrategy(MatchStrategy):
             counters=self.counters,
             share=self._share,
             mirror_catalog=self.mirror_catalog,
+            compile_mode=self.compile_mode,
         )
         self.conflict_set = self.network.conflict_set
         self.network.runtime.obs = self.obs
+        summary = self.network.compile_summary
+        obs = self.obs
+        if obs is not None and obs.enabled and summary is not None:
+            with obs.span(
+                "compile.attach",
+                strategy=self.strategy_name,
+                mode=summary["mode"],
+                kernels=summary["kernels"],
+                alpha=summary["alpha"],
+            ):
+                pass
+            if summary["mode"] != "off":
+                metrics = obs.metrics
+                metrics.counter("rete.kernel_ns").inc(summary["ns"])
+                metrics.counter("rete.kernels").inc(summary["kernels"])
+                metrics.counter("rete.compiled_alpha").inc(summary["alpha"])
 
     def on_insert(self, wme: StoredTuple) -> None:
         self._trace_match("insert", wme, self.network.insert)
@@ -135,6 +152,7 @@ class DbmsReteStrategy(ReteStrategy):
         analyses: dict[str, RuleAnalysis],
         counters: Counters | None = None,
         memory_backend: str = "memory",
+        compile_mode: str = "off",
     ) -> None:
         self._mirror_backend = memory_backend
-        super().__init__(wm, analyses, counters)
+        super().__init__(wm, analyses, counters, compile_mode=compile_mode)

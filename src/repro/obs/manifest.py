@@ -85,6 +85,7 @@ class RunManifest:
     backend: str = ""
     firing: str = ""
     batch_size: int = 1
+    compile: str = "auto"
     seed: int = 0
     command: list[str] = field(default_factory=list)
     git_sha: str | None = None
@@ -113,6 +114,7 @@ class RunManifest:
                 "backend": self.backend,
                 "firing": self.firing,
                 "batch_size": self.batch_size,
+                "compile": self.compile,
                 "seed": self.seed,
             },
             "command": self.command,

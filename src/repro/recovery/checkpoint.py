@@ -54,12 +54,14 @@ def canonical_rete_snapshot(strategy) -> dict:
 
     return {
         "alpha": {
-            amem.name: sorted([list(key) for key in amem.items], key=repr)
+            amem.name: sorted(
+                [list(key) for key in amem.wme_keys()], key=repr
+            )
             for amem in network.alpha_memories
         },
         "beta": {
             bmem.name: sorted(
-                (chain(token) for token in bmem.items), key=repr
+                (chain(token) for token in bmem.tokens()), key=repr
             )
             for bmem in network.beta_memories
         },

@@ -92,6 +92,7 @@ def _build_system(meta: dict, obs: Observability | None) -> ProductionSystem:
         seed=meta["seed"],
         firing=meta.get("firing", "instance"),
         batch_size=meta["batch_size"],
+        compile=meta.get("compile", "auto"),
         obs=obs or Observability(),
     )
 

@@ -10,6 +10,7 @@ from repro.check import (
     replay_config,
     run_trace,
 )
+from repro.check.oracle import COMPILED_FAMILY
 from repro.check.trace import Trace, TraceOp
 from repro.match import STRATEGIES, SimplifiedStrategy
 
@@ -58,10 +59,26 @@ class ExplodingStrategy(SimplifiedStrategy):
 class TestMatrix:
     def test_default_matrix_covers_all_axes(self):
         configs = default_matrix()
-        assert len(configs) == len(STRATEGIES) * 2 * 3
+        # Every strategy gets an interpreted cell per backend × batch size;
+        # the compiled family doubles up with a compile="on" twin.
+        expected = (len(STRATEGIES) + len(COMPILED_FAMILY)) * 2 * 3
+        assert len(configs) == expected
         assert {c.strategy for c in configs} == set(STRATEGIES)
         assert {c.backend for c in configs} == {"memory", "sqlite"}
         assert {c.batch_size for c in configs} == {1, 8, "auto"}
+        compiled = {c.strategy for c in configs if c.compile == "on"}
+        assert compiled == set(COMPILED_FAMILY)
+
+    def test_interpreted_cell_precedes_its_compiled_twin(self):
+        configs = default_matrix()
+        for index, config in enumerate(configs):
+            if config.compile == "on":
+                reference = CheckConfig(
+                    strategy=config.strategy,
+                    backend=config.backend,
+                    batch_size=config.batch_size,
+                )
+                assert configs.index(reference) < index
 
     def test_strategy_names_subset(self):
         configs = default_matrix(["rete", "patterns"], backends=("memory",))

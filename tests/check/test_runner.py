@@ -9,7 +9,7 @@ from repro.obs import Observability, RingBufferSink
 
 from tests.check.test_oracle import BrokenStrategy
 
-FAST = dict(backends=("memory",), batch_sizes=(1,))
+FAST = dict(backends=("memory",), batch_sizes=(1,), compile_modes=("off",))
 
 
 class TestCleanRun:
@@ -22,6 +22,12 @@ class TestCleanRun:
         assert report.failures == []
         assert "2/2 traces" in report.summary()
         assert "OK" in report.summary()
+
+    def test_compiled_twins_join_by_default(self):
+        report = run_check(budget=1, seed=0, strategies=["rete", "patterns"],
+                           backends=("memory",), batch_sizes=(1,))
+        assert report.ok
+        assert report.configs == 4  # each strategy + its compiled twin
 
     def test_spans_and_metrics(self):
         sink = RingBufferSink()

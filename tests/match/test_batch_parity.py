@@ -59,12 +59,15 @@ def make_events(seed: int, length: int = 100):
     return events
 
 
-def run_all_strategies(events, batch_size, backend="memory"):
+def run_all_strategies(events, batch_size, backend="memory",
+                       compile_mode="off"):
     program = parse_program(RULES)
     analyses = analyze_program(program.rules, program.schemas)
     wm = WorkingMemory(program.schemas, backend=backend)
     strategies = [
-        STRATEGIES[name](wm, analyses, counters=Counters())
+        STRATEGIES[name](
+            wm, analyses, counters=Counters(), compile_mode=compile_mode
+        )
         for name in STRATEGY_NAMES
     ]
     drive_stream(wm, events, batch_size=batch_size)
@@ -154,12 +157,16 @@ def _rete_memory_snapshot(strategy):
     return rete_memory_snapshot(strategy)
 
 
+@pytest.mark.parametrize("compile_mode", ["off", "on"])
 @pytest.mark.parametrize("backend", ["memory", "sqlite"])
-def test_rete_memory_contents_agree_across_batch_sizes(backend):
+def test_rete_memory_contents_agree_across_batch_sizes(
+    backend, compile_mode
+):
     """Token-batched propagation leaves the network in the exact state
     tuple-at-a-time propagation does: same conflict sets, same alpha/beta
     memory contents, same negative-node witness sets, same LEFT/RIGHT
-    mirror relations — at batch sizes 1, 8 and 64, on both backends."""
+    mirror relations — at batch sizes 1, 8 and 64, on both backends,
+    whether the join kernels are interpreted or compiled."""
     events = make_events(11, length=90)
     program = parse_program(RULES)
     analyses = analyze_program(program.rules, program.schemas)
@@ -167,7 +174,10 @@ def test_rete_memory_contents_agree_across_batch_sizes(backend):
     for batch_size in RETE_BATCH_SIZES:
         wm = WorkingMemory(program.schemas, backend=backend)
         strategies = {
-            name: STRATEGIES[name](wm, analyses, counters=Counters())
+            name: STRATEGIES[name](
+                wm, analyses, counters=Counters(),
+                compile_mode=compile_mode,
+            )
             for name in RETE_FAMILY
         }
         drive_stream(wm, events, batch_size=batch_size)
@@ -185,6 +195,31 @@ def test_rete_memory_contents_agree_across_batch_sizes(backend):
             assert memories == ref_memories, (
                 f"{name}: memory contents diverged at batch={batch_size}"
             )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_compiled_mode_is_bit_identical_to_interpreted(seed):
+    """The compiled kernels are a pure lowering: for the same stream at
+    every batch size, conflict sets, space reports and the rete family's
+    canonical memory snapshots agree bit-for-bit with the interpreted
+    reference."""
+    events = make_events(seed)
+    for batch_size in BATCH_SIZES:
+        interpreted = run_all_strategies(events, batch_size)
+        compiled = run_all_strategies(events, batch_size, compile_mode="on")
+        for ref, cand in zip(interpreted, compiled):
+            label = f"{ref.strategy_name} seed={seed} batch={batch_size}"
+            assert cand.conflict_set_keys() == ref.conflict_set_keys(), (
+                f"{label}: compiled conflict set diverged"
+            )
+            assert cand.space_report() == ref.space_report(), (
+                f"{label}: compiled space report diverged"
+            )
+            if ref.strategy_name in RETE_FAMILY:
+                assert (
+                    _rete_memory_snapshot(cand)
+                    == _rete_memory_snapshot(ref)
+                ), f"{label}: compiled memory contents diverged"
 
 
 def test_annihilated_elements_never_reach_strategies():

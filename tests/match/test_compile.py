@@ -1,0 +1,349 @@
+"""The match compiler: columnar memories, join plans, lowered kernels.
+
+Covers the storage layer the kernels probe (compact row ids with
+free-list reuse, mirror consistency under batched churn), the planning
+pass (selectivity ordering, the CORGI-style quadratic bound), the alpha
+codegen's equivalence with the interpreted predicate walk, and a
+property test pinning compiled-vs-interpreted network state over random
+op streams.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.drivers import drive_stream
+from repro.check.oracle import rete_memory_snapshot
+from repro.engine import WorkingMemory
+from repro.instrument import Counters
+from repro.lang import analyze_program, parse_program
+from repro.match import STRATEGIES
+from repro.match.compile import (
+    CompileError,
+    JoinPlan,
+    PlanBoundError,
+    attach_network_kernels,
+    compile_alpha_test,
+    plan_join,
+)
+from repro.match.rete.runtime import AlphaMemory, JoinTest
+from repro.storage.predicate import (
+    And,
+    AttributeComparison,
+    Comparison,
+    Membership,
+    Not,
+    Or,
+    TruePredicate,
+)
+from repro.storage.schema import RelationSchema
+from repro.storage.tuples import StoredTuple
+
+RULES = """
+(literalize Task owner state)
+(literalize Worker name)
+(literalize Hold owner)
+(literalize Note owner)
+(p assign
+    (Task ^owner <w> ^state 0)
+    (Worker ^name <w>)
+    - (Hold ^owner <w>)
+    -->
+    (make Note ^owner <w>))
+"""
+
+
+def _wme(tid, values, relation="Task"):
+    return StoredTuple(
+        relation=relation, tid=tid, timetag=tid, values=tuple(values)
+    )
+
+
+class TestColumnarAlphaMemory:
+    def _memory(self):
+        return AlphaMemory(
+            "a-Task", "Task", lambda values: True, Counters(), arity=2
+        )
+
+    def test_rows_are_reused_after_delete_churn(self):
+        memory = self._memory()
+        first = [_wme(tid, (tid, 0)) for tid in range(8)]
+        for wme in first:
+            memory.try_activate(wme)
+        high_water = len(memory._wme_rows)
+        for wme in first[2:6]:
+            assert memory.retract(wme)
+        assert len(memory._free) == 4
+        replacements = [_wme(100 + tid, (tid, 1)) for tid in range(4)]
+        for wme in replacements:
+            memory.try_activate(wme)
+        # Freed rows were recycled: the backing columns never grew.
+        assert len(memory._wme_rows) == high_water
+        assert not memory._free
+        assert len(memory) == 8
+
+    def test_iteration_order_is_insertion_order_across_reuse(self):
+        memory = self._memory()
+        for tid in range(6):
+            memory.try_activate(_wme(tid, (tid, 0)))
+        memory.retract(_wme(1, (1, 0)))
+        memory.retract(_wme(4, (4, 0)))
+        memory.try_activate(_wme(10, (10, 0)))
+        memory.try_activate(_wme(11, (11, 0)))
+        # Survivors first (in original order), then the late arrivals —
+        # exactly what per-token dict storage used to produce.
+        assert [w.tid for w in memory.wmes()] == [0, 2, 3, 5, 10, 11]
+        assert list(memory.wme_keys()) == [
+            ("Task", tid) for tid in (0, 2, 3, 5, 10, 11)
+        ]
+
+    def test_columns_track_rows(self):
+        memory = self._memory()
+        for tid in range(4):
+            memory.try_activate(_wme(tid, (tid * 10, tid)))
+        memory.retract(_wme(2, (20, 2)))
+        memory.try_activate(_wme(9, (90, 9)))
+        for row in memory.rows():
+            wme = memory.wme_at(row)
+            assert memory.column(0)[row] == wme.values[0]
+            assert memory.column(1)[row] == wme.values[1]
+
+
+class TestMirrorConsistency:
+    def test_mirror_rows_track_batched_delete_then_insert(self):
+        """The rete-dbms LEFT/RIGHT mirror relations must agree with the
+        in-memory columnar stores after a batch that deletes and
+        re-inserts rows of the same class (free-list reuse territory)."""
+        program = parse_program(RULES)
+        analyses = analyze_program(program.rules, program.schemas)
+        wm = WorkingMemory(program.schemas)
+        strategy = STRATEGIES["rete-dbms"](wm, analyses, counters=Counters())
+        inserted = []
+        with wm.batch():
+            for owner in range(6):
+                inserted.append(wm.insert("Task", (owner, 0)))
+                wm.insert("Worker", (owner,))
+        with wm.batch():
+            for wme in inserted[1:4]:
+                wm.remove(wme)
+            for owner in range(10, 14):
+                wm.insert("Task", (owner, 0))
+        mirrored_memories = [
+            a for a in strategy.network.alpha_memories if a.mirror is not None
+        ]
+        assert mirrored_memories, "rete-dbms mirrors its alpha memories"
+        for amem in mirrored_memories:
+            mirror = amem.mirror
+            mirrored = sorted(row.values for row in mirror.table.scan())
+            stored = sorted((w.tid,) for w in amem.wmes())
+            assert mirrored == stored, f"{mirror.table.schema.name} diverged"
+
+
+class TestJoinPlanning:
+    def test_equality_tests_key_the_hash_plan(self):
+        eq = JoinTest(0, "=", 1, 2)
+        residual = JoinTest(1, ">", 1, 0)
+        plan = plan_join((residual, eq), level=1)
+        assert plan.kind == "hash"
+        assert plan.eq_tests == (eq,)
+        assert plan.residual == (residual,)
+        assert plan.cost_exponent == 1
+
+    def test_residual_only_plan_is_quadratic_but_admitted(self):
+        plan = plan_join((JoinTest(0, "<", 1, 1),), level=1)
+        assert plan.kind == "nested"
+        assert plan.cost_exponent == 2
+
+    def test_residual_ordering_is_by_selectivity(self):
+        loose = JoinTest(0, "<>", 1, 0)
+        tight = JoinTest(1, "<", 1, 1)
+        plan = plan_join((loose, tight), level=1)
+        assert plan.residual == (tight, loose)
+
+    def test_cross_product_plan(self):
+        plan = plan_join((), level=1)
+        assert plan.kind == "cross"
+        assert plan.cost_exponent == 1
+
+    def test_chain_walking_plan_is_rejected(self):
+        # A residual test reaching above the LEFT memory's level cannot be
+        # answered from the slot columns: exponent 3, over the bound.
+        with pytest.raises(PlanBoundError):
+            plan_join((JoinTest(0, "<", 5, 0),), level=1)
+        # The same reach with a hash key is exponent 2 — admitted.
+        plan = plan_join(
+            (JoinTest(0, "=", 1, 0), JoinTest(0, "<", 5, 0)), level=1
+        )
+        assert plan.cost_exponent == 2
+
+    def test_describe_shape(self):
+        plan = JoinPlan(
+            level=2,
+            eq_tests=(JoinTest(0, "=", 1, 2),),
+            residual=(JoinTest(1, ">", 2, 0),),
+        )
+        description = plan.describe()
+        assert description["kind"] == "hash"
+        assert description["eq"] == 1
+        assert description["residual"] == [(1, ">", 2, 0)]
+        assert description["cost_exponent"] == 1
+
+
+class TestAttachModes:
+    def _network(self, compile_mode="off"):
+        program = parse_program(RULES)
+        analyses = analyze_program(program.rules, program.schemas)
+        wm = WorkingMemory(program.schemas)
+        return STRATEGIES["rete"](
+            wm, analyses, counters=Counters(), compile_mode=compile_mode
+        ).network
+
+    def test_off_attaches_nothing(self):
+        network = self._network()
+        assert all(n.kernel is None for n in network.join_nodes)
+        assert all(n.kernel is None for n in network.negative_nodes)
+
+    def test_on_attaches_everywhere(self):
+        network = self._network("on")
+        assert all(n.kernel is not None for n in network.join_nodes)
+        assert all(n.kernel is not None for n in network.negative_nodes)
+        summary = network.compile_summary
+        assert summary["mode"] == "on"
+        assert summary["kernels"] == len(network.join_nodes) + len(
+            network.negative_nodes
+        )
+
+    def test_describe_carries_compiled_plans(self):
+        description = self._network("on").describe()
+        assert description["compile"]["mode"] == "on"
+        plans = [
+            node["plan"]
+            for node in description["nodes"]
+            if node.get("plan") is not None
+        ]
+        assert plans, "compiled join nodes expose their plans"
+        assert all("cost_exponent" in plan for plan in plans)
+
+    def test_on_raises_when_a_node_cannot_lower(self):
+        network = self._network()
+        network.join_nodes[0].tests = (
+            # Residual-only and reaching far above any level: exponent 3,
+            # over the plan bound, so lowering must fail.
+            JoinTest(0, "<", 99, 0),
+        )
+        with pytest.raises(CompileError):
+            attach_network_kernels(network, "on")
+
+    def test_auto_falls_back_per_node(self):
+        network = self._network()
+        broken = network.join_nodes[0]
+        broken.tests = (JoinTest(0, "<", 99, 0),)
+        attach_network_kernels(network, "auto")
+        assert broken.kernel is None
+        others = [n for n in network.join_nodes if n is not broken]
+        assert all(n.kernel is not None for n in others)
+
+
+SCHEMA = RelationSchema("thing", ("a", "b", "c"))
+
+#: Every predicate node type the lowering handles, with operand shapes
+#: chosen to exercise the type-specialized codegen branches.
+PREDICATES = [
+    TruePredicate(),
+    Comparison("a", "=", 3),
+    Comparison("a", "=", "x"),
+    Comparison("b", "<>", None),
+    Comparison("b", "<", 10),
+    Comparison("c", ">=", 2.5),
+    Comparison("c", "<", "m"),
+    Comparison("a", ">", None),
+    Membership("a", (1, "x", None)),
+    AttributeComparison("a", "=", "b"),
+    AttributeComparison("b", "<", "c"),
+    AttributeComparison("a", "<>", "c"),
+    And((Comparison("a", "=", 1), Comparison("b", ">", 0))),
+    Or((Comparison("a", "=", "x"), Comparison("c", "<", 5))),
+    Not(Comparison("b", "=", 2)),
+    And(()),
+    Or(()),
+]
+
+_value = st.one_of(
+    st.none(),
+    st.integers(min_value=-5, max_value=10),
+    st.floats(allow_nan=False, allow_infinity=False, width=16),
+    st.sampled_from(["x", "y", "m", "z", ""]),
+)
+
+
+class TestAlphaCodegenEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(row=st.tuples(_value, _value, _value))
+    def test_compiled_matches_interpreted_on_random_rows(self, row):
+        for predicate in PREDICATES:
+            compiled = compile_alpha_test(predicate, SCHEMA)
+            assert compiled(row) == predicate.matches(SCHEMA, row), (
+                f"{predicate!r} diverged on {row!r}"
+            )
+
+
+def _events(choices):
+    """Decode a hypothesis choice list into a driver event stream."""
+    events = []
+    live = 0
+    for kind, payload in choices:
+        if kind == "delete":
+            if live == 0:
+                continue
+            events.append(("delete", payload))
+            live -= 1
+            continue
+        events.append(("insert", payload))
+        live += 1
+    return events
+
+
+_insert = st.one_of(
+    st.tuples(
+        st.just("insert"),
+        st.tuples(
+            st.just("Task"),
+            st.tuples(st.integers(0, 4), st.integers(0, 1)),
+        ),
+    ),
+    st.tuples(
+        st.just("insert"),
+        st.tuples(st.just("Worker"), st.tuples(st.integers(0, 4))),
+    ),
+    st.tuples(
+        st.just("insert"),
+        st.tuples(st.just("Hold"), st.tuples(st.integers(0, 4))),
+    ),
+    st.tuples(st.just("delete"), st.integers(0, 1 << 20)),
+)
+
+
+class TestCompiledKernelProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        choices=st.lists(_insert, max_size=40),
+        batch_size=st.sampled_from([1, 7, 64]),
+    )
+    def test_compiled_network_state_equals_interpreted(
+        self, choices, batch_size
+    ):
+        events = _events(choices)
+        program = parse_program(RULES)
+        analyses = analyze_program(program.rules, program.schemas)
+        results = {}
+        for mode in ("off", "on"):
+            wm = WorkingMemory(program.schemas)
+            strategy = STRATEGIES["rete"](
+                wm, analyses, counters=Counters(), compile_mode=mode
+            )
+            drive_stream(wm, events, batch_size=batch_size)
+            results[mode] = (
+                strategy.conflict_set_keys(),
+                rete_memory_snapshot(strategy),
+            )
+        assert results["on"] == results["off"]

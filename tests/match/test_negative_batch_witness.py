@@ -70,12 +70,14 @@ def witness_events():
     return events
 
 
-def build(batch_size, backend="memory"):
+def build(batch_size, backend="memory", compile_mode="off"):
     program = parse_program(RULES)
     analyses = analyze_program(program.rules, program.schemas)
     wm = WorkingMemory(program.schemas, backend=backend)
     strategies = {
-        name: STRATEGIES[name](wm, analyses, counters=Counters())
+        name: STRATEGIES[name](
+            wm, analyses, counters=Counters(), compile_mode=compile_mode
+        )
         for name in STRATEGY_NAMES
     }
     drive_stream(wm, witness_events(), batch_size=batch_size)
@@ -131,6 +133,29 @@ class TestNegativeWitnessBatching:
             assert (
                 hashed.conflict_set_keys() == scanned.conflict_set_keys()
             ), f"batch={batch_size}: conflict sets diverged"
+
+    @pytest.mark.parametrize("batch_size", [1, 8, 64])
+    def test_compiled_witness_maintenance_matches_interpreted(
+        self, batch_size
+    ):
+        """The compiled negative-node kernels (witness_lists/index_right/
+        bucket_hits) must reach the exact witness sets and result tokens
+        the interpreted walk does, at every batch size."""
+        interpreted = build(batch_size)
+        compiled = build(batch_size, compile_mode="on")
+        for name in RETE_FAMILY:
+            ref = rete_memory_snapshot(interpreted[name])
+            cand = rete_memory_snapshot(compiled[name])
+            assert cand["negative"] == ref["negative"], (
+                f"{name}/batch={batch_size}: compiled witness state diverged"
+            )
+            assert cand == ref, (
+                f"{name}/batch={batch_size}: compiled memories diverged"
+            )
+            assert (
+                compiled[name].conflict_set_keys()
+                == interpreted[name].conflict_set_keys()
+            ), f"{name}/batch={batch_size}: compiled conflict set diverged"
 
     @pytest.mark.parametrize("backend", ["memory", "sqlite"])
     def test_negative_node_state_matches_across_batch_sizes(self, backend):

@@ -97,7 +97,7 @@ class TestReportsSmoke:
     def test_report_registry_complete(self):
         assert set(REPORTS) == {
             "f1", "e1", "e2", "e3", "e4", "e6", "e7", "e8", "e9", "a4",
-            "a5", "a6",
+            "a5", "a6", "a7",
         }
 
     def test_a5(self):
@@ -119,6 +119,21 @@ class TestReportsSmoke:
         ]
         assert len({r["wm"] for r in rows}) == 1
         assert rows[2]["replayed"] < rows[1]["replayed"]
+
+    def test_a7(self):
+        from repro.bench.report import report_a7
+
+        _, rows = report_a7(
+            stream_length=60, batch_sizes=(8,), strategies=("rete",)
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        # The pairing asserts bit-identical conflict sets internally; at
+        # this tiny scale the hash build can outweigh the scan, so only
+        # the row shape is checked here (the payoff is gated at full
+        # size by benchmarks/bench_a7_compile.py).
+        assert row["interp_cmp"] > 0 and row["compiled_cmp"] > 0
+        assert row["conflict_size"] > 0
 
     def test_e9(self):
         from repro.bench.report import report_e9

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
-"""Nightly bench smoke: reduced A5/A6 runs plus a regression gate.
+"""Nightly bench smoke: reduced A5/A6/A7 runs plus a regression gate.
 
-Runs the A5 (token-batched Rete propagation) and A6 (WAL overhead and
-crash recovery) experiments at a fraction of their report budgets and
+Runs the A5 (token-batched Rete propagation), A6 (WAL overhead and
+crash recovery) and A7 (compiled match kernels vs the interpreted
+walk) experiments at a fraction of their report budgets and
 writes a ``BENCH_obs.json`` trajectory artifact: every row with its
 wall-clock figures (recorded for trend charts, never gated — CI runners
 are noisy) and a ``gate`` section of *deterministic operation counts*
@@ -35,12 +36,13 @@ GATED_COLUMNS = {
     "a5": ("activations", "comparisons", "join_probes", "batches",
            "conflict_size"),
     "a6": ("fsyncs", "replayed", "wm"),
+    "a7": ("interp_cmp", "compiled_cmp", "conflict_size"),
 }
 
 
 def collect(stream_length: int, cycles: int) -> dict:
     """Run the reduced experiments and assemble the trajectory payload."""
-    from repro.bench.report import report_a5, report_a6
+    from repro.bench.report import report_a5, report_a6, report_a7
 
     title_a5, rows_a5 = report_a5(
         stream_length=stream_length,
@@ -49,11 +51,18 @@ def collect(stream_length: int, cycles: int) -> dict:
     )
     title_a6, rows_a6 = report_a6(cycles=cycles, fsync_everys=(64,),
                                   checkpoint_every=20)
+    title_a7, rows_a7 = report_a7(
+        stream_length=stream_length,
+        batch_sizes=(64,),
+        strategies=("rete", "rete-shared"),
+    )
     payload = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "budget": {"a5_stream_length": stream_length, "a6_cycles": cycles},
+        "budget": {"a5_stream_length": stream_length, "a6_cycles": cycles,
+                   "a7_stream_length": stream_length},
         "a5": {"title": title_a5, "rows": rows_a5},
         "a6": {"title": title_a6, "rows": rows_a6},
+        "a7": {"title": title_a7, "rows": rows_a7},
         "gate": {},
     }
     gate = payload["gate"]
@@ -64,6 +73,10 @@ def collect(stream_length: int, cycles: int) -> dict:
     for row in rows_a6:
         label = f"a6[{row['mode']}]"
         for column in GATED_COLUMNS["a6"]:
+            gate[f"{label}.{column}"] = row[column]
+    for row in rows_a7:
+        label = f"a7[{row['strategy']}/batch={row['batch']}]"
+        for column in GATED_COLUMNS["a7"]:
             gate[f"{label}.{column}"] = row[column]
     return payload
 
