@@ -1,0 +1,113 @@
+"""A8 — parallel sharded match vs the serial reference loop.
+
+``repro.parallel`` partitions each WM batch by class (hash-sharding by
+``tid % shards``) so alpha evaluation and per-(join, batch-group) probes
+fan out across a worker pool; a deterministic merge — shard masks
+scattered back by position, chunk results concatenated in chunk order —
+keeps the network bit-identical to the serial reference at any worker
+count (the contract in docs/PARALLELISM.md, mirroring ALGORITHMS §11).
+
+This bench drives the A5 churn workload (inserts and deletes) through
+the Rete strategies at several pool sizes and asserts the acceptance
+properties:
+
+* the conflict set is **bit-identical** at every worker count;
+* the fanned-out work itself is identical across pool sizes (same items
+  enter the pool; only their distribution changes);
+* the deterministic ``speedup_bound = items / critical_path`` — the
+  §5.2 makespan measure over a round-robin slot assignment — scales
+  with the pool: measurably above 1 at two workers, and strictly better
+  again at four.
+
+Wall-clock figures and events/sec are recorded by the timing benchmarks
+below (and in the A8 report table) but never gated — on a GIL build
+with few cores they understate the bound, and CI runners are noisy.
+
+Run: pytest benchmarks/bench_a8_parallel.py --benchmark-only
+Table: python -m repro.bench.report a8
+"""
+
+import pytest
+
+from repro.bench.drivers import build_system, drive_stream
+from repro.bench.report import report_a8
+from repro.workload.generator import WorkloadSpec, generate_program, mixed_stream
+
+SPEC = WorkloadSpec(rules=15, classes=5, seed=23)
+STREAM_LENGTH = 1000
+BATCH_SIZE = 64
+RETE_FAMILY = ("rete", "rete-shared")
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    generated = generate_program(SPEC)
+    events = mixed_stream(SPEC, STREAM_LENGTH, delete_fraction=0.25)
+    return generated.program, events
+
+
+def _drive(program, events, strategy_name, workers):
+    wm, strategy = build_system(program, strategy_name, workers=workers)
+    drive_stream(wm, events, batch_size=BATCH_SIZE)
+    if strategy.pool is not None:
+        strategy.pool.close()
+    return strategy
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("strategy_name", RETE_FAMILY)
+def test_match_time(benchmark, workload, strategy_name, workers):
+    program, events = workload
+    benchmark(lambda: _drive(program, events, strategy_name, workers))
+
+
+class TestA8Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        _, rows = report_a8(stream_length=STREAM_LENGTH)
+        return rows
+
+    def _by_workers(self, rows, strategy_name):
+        return {
+            row["workers"]: row
+            for row in rows
+            if row["strategy"] == strategy_name
+        }
+
+    def test_conflict_sets_identical_at_every_worker_count(self, rows):
+        # report_a8 asserts key-level identity inside each pairing; the
+        # published sizes must also agree across strategies and pools.
+        sizes = {row["conflict_size"] for row in rows}
+        assert len(sizes) == 1, sizes
+
+    def test_serial_rows_never_touch_the_pool(self, rows):
+        for row in rows:
+            if row["workers"] == 1:
+                assert row["fanouts"] == 0, row
+                assert row["speedup_bound"] == 1.0, row
+
+    def test_same_work_enters_the_pool_at_every_size(self, rows):
+        """Pool size changes the distribution of fanned work, never the
+        work itself: the same fan-outs with the same item totals."""
+        for strategy_name in RETE_FAMILY:
+            by_workers = self._by_workers(rows, strategy_name)
+            assert by_workers[2]["fanouts"] == by_workers[4]["fanouts"] > 0
+            assert (
+                by_workers[2]["fanned_items"]
+                == by_workers[4]["fanned_items"]
+                > 0
+            )
+
+    def test_speedup_bound_scales_with_workers(self, rows):
+        """The acceptance bar: the deterministic makespan bound shows a
+        worker-scaling win — measurably parallel at two workers, and a
+        strictly shorter critical path again at four."""
+        for strategy_name in RETE_FAMILY:
+            by_workers = self._by_workers(rows, strategy_name)
+            assert by_workers[2]["speedup_bound"] >= 1.5, by_workers[2]
+            assert by_workers[4]["speedup_bound"] >= 3.0, by_workers[4]
+            assert (
+                by_workers[4]["critical_path"]
+                < by_workers[2]["critical_path"]
+            ), (by_workers[2], by_workers[4])

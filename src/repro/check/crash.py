@@ -235,7 +235,7 @@ def _finalize(system: ProductionSystem, observables: _Observables) -> None:
 
 
 def _plain_reference(
-    trace: Trace, backend: str, batch_size, strategy: str
+    trace: Trace, backend: str, batch_size, strategy: str, workers: int = 1
 ) -> _Observables:
     """The uninterrupted, WAL-less replay every variant must match."""
     system = ProductionSystem(
@@ -245,6 +245,7 @@ def _plain_reference(
         backend=backend,
         seed=trace.seed,
         batch_size=batch_size,
+        workers=workers,
     )
     observables = _Observables()
     driver = _OpDriver(system, batch_size)
@@ -260,7 +261,9 @@ def _plain_reference(
     return observables
 
 
-def _durable_config(trace: Trace, backend: str, batch_size, strategy: str):
+def _durable_config(
+    trace: Trace, backend: str, batch_size, strategy: str, workers: int = 1
+):
     return {
         "strategy": strategy,
         "resolution": trace.resolution,
@@ -268,6 +271,7 @@ def _durable_config(trace: Trace, backend: str, batch_size, strategy: str):
         "seed": trace.seed,
         "batch_size": batch_size,
         "firing": "instance",
+        "workers": workers,
     }
 
 
@@ -281,6 +285,7 @@ def _durable_replay(
     checkpoint_path: str | None = None,
     checkpoint_every: int = 0,
     fsync_every: int = 4,
+    workers: int = 1,
 ) -> _Observables:
     """One complete WAL-attached replay, including the closing sync.
 
@@ -288,7 +293,9 @@ def _durable_replay(
     post-crash becomes durable) when *crashpoints* fires anywhere in the
     replay.  A small ``fsync_every`` keeps several unsynced records in
     flight at typical trace sizes, so append-site crashes actually lose
-    data.
+    data.  ``workers`` is recorded in the WAL meta, so a recovered run
+    rebuilds its worker pool too (and must still match the serial
+    reference bit for bit).
     """
     system = ProductionSystem(
         trace.program,
@@ -297,12 +304,13 @@ def _durable_replay(
         backend=backend,
         seed=trace.seed,
         batch_size=batch_size,
+        workers=workers,
     )
     run = DurableRun.start(
         system,
         wal_path,
         trace.program,
-        _durable_config(trace, backend, batch_size, strategy),
+        _durable_config(trace, backend, batch_size, strategy, workers),
         crashpoints=crashpoints,
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
@@ -468,9 +476,15 @@ def run_crash_trace(
     rng: random.Random | None = None,
     checkpoint_every: int = 0,
     workdir: str | None = None,
+    workers: int = 1,
 ) -> tuple[CrashFinding | None, dict]:
     """Crash one trace at *site* (or a random reachable site), recover,
     finish, and compare against the uninterrupted reference.
+
+    ``workers`` sizes the match worker pool for every replay in the cell
+    — reference, dry run, crashed run and recovery — so crash-recovery
+    is exercised under parallel match too (the determinism contract of
+    docs/PARALLELISM.md extends through the WAL).
 
     Returns ``(finding_or_None, stats)`` where *stats* records what
     happened: ``{"crashed": site_or_None, "recovered": bool,
@@ -486,7 +500,9 @@ def run_crash_trace(
         checkpoint_path = (
             os.path.join(directory, "crash.ckpt") if checkpoint_every else None
         )
-        reference = _plain_reference(trace, backend, batch_size, strategy)
+        reference = _plain_reference(
+            trace, backend, batch_size, strategy, workers
+        )
 
         # Uninterrupted durable dry run: pins WAL-attached == WAL-off and
         # measures which sites this configuration actually crosses.  It
@@ -500,12 +516,16 @@ def run_crash_trace(
                 os.path.join(directory, "dry.ckpt") if checkpoint_every else None
             ),
             checkpoint_every=checkpoint_every,
+            workers=workers,
         )
         stats["hits"] = {
             name: probe.hits(name) for name in CRASH_SITES if probe.hits(name)
         }
-        finding = _compare(trace, f"{backend}/batch={batch_size}/wal-dry",
-                           reference, dry)
+        w_tag = f"/w{workers}" if workers != 1 else ""
+        finding = _compare(
+            trace, f"{backend}/batch={batch_size}{w_tag}/wal-dry",
+            reference, dry,
+        )
         if finding is not None:
             finding.kind = "wal-parity"
             return finding
@@ -525,13 +545,14 @@ def run_crash_trace(
         crashpoints = Crashpoints()
         crashpoints.arm(chosen, after=arm_after)
         label = (
-            f"{backend}/batch={batch_size}/{chosen}@{arm_after}"
+            f"{backend}/batch={batch_size}{w_tag}/{chosen}@{arm_after}"
         )
         try:
             finished = _durable_replay(
                 trace, backend, batch_size, strategy, wal_path,
                 crashpoints=crashpoints, checkpoint_path=checkpoint_path,
                 checkpoint_every=checkpoint_every,
+                workers=workers,
             )
             # The armed hit count exceeded the run's crossings (can happen
             # for caller-pinned sites); the run finished uninterrupted.
@@ -547,6 +568,7 @@ def run_crash_trace(
             rerun = _durable_replay(
                 trace, backend, batch_size, strategy,
                 os.path.join(directory, "restart.wal"),
+                workers=workers,
             )
             return _compare(trace, f"{label}/restart", reference, rerun)
 
@@ -585,11 +607,14 @@ def run_crash_check(
     checkpoint_every: int = 3,
     save_repro_dir: str | None = None,
     obs: Observability | None = None,
+    worker_counts: tuple[int, ...] = (1,),
 ) -> CrashReport:
     """The ``repro check --crash`` campaign: *budget* traces, each crashed
-    at a random reachable site under a rotating backend × batch-size
-    configuration (checkpoints cut every few cycles on half the traces,
-    so both the checkpoint fast path and pure log replay are exercised).
+    at a random reachable site under a rotating backend × batch-size ×
+    worker-count configuration (checkpoints cut every few cycles on half
+    the traces, so both the checkpoint fast path and pure log replay are
+    exercised; *worker_counts* beyond ``(1,)`` rotates parallel-match
+    cells in, crashing and recovering runs with a live worker pool).
     """
     from repro.check.corpus import save_repro
 
@@ -602,10 +627,14 @@ def run_crash_check(
     )
     backends = tuple(backends)
     batch_sizes = tuple(batch_sizes)
+    worker_counts = tuple(worker_counts) or (1,)
     for index in range(budget):
         trace = generate_trace(seed, index, program=program, **generate_kwargs)
         backend = backends[index % len(backends)]
         batch_size = batch_sizes[(index // len(backends)) % len(batch_sizes)]
+        workers = worker_counts[
+            (index // (len(backends) * len(batch_sizes))) % len(worker_counts)
+        ]
         ckpt_every = checkpoint_every if index % 2 else 0
         rng = random.Random(f"{seed}/{index}/crash")
         with obs.span(
@@ -613,6 +642,7 @@ def run_crash_check(
             trace=trace.name,
             backend=backend,
             batch=str(batch_size),
+            workers=workers,
         ) as span:
             finding, stats = run_crash_trace(
                 trace,
@@ -621,6 +651,7 @@ def run_crash_check(
                 strategy=strategy,
                 rng=rng,
                 checkpoint_every=ckpt_every,
+                workers=workers,
             )
             span.set("crashed", stats["crashed"] or "(none)")
             span.set("ok", finding is None)

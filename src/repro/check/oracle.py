@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.engine import BatchSizeTuner, ProductionSystem
 from repro.match import STRATEGIES
 from repro.check.trace import Trace, TraceOp
+from repro.txn.scheduler import ConcurrentScheduler
 
 #: Strategies whose ``network`` attribute exposes Rete memories.
 RETE_FAMILY = ("rete", "rete-shared", "rete-dbms")
@@ -44,6 +45,12 @@ COMPILED_FAMILY = (*RETE_FAMILY, "patterns")
 DEFAULT_BACKENDS = ("memory", "sqlite")
 DEFAULT_BATCH_SIZES = (1, 8, "auto")
 DEFAULT_COMPILE_MODES = ("off", "on")
+DEFAULT_WORKER_COUNTS = (1,)
+DEFAULT_EXEC_MODES = ("cycle",)
+
+#: Execution modes for the run-cycles phase: the serial recognize-act
+#: reference, §5.1 set-firing, and the §5.2 concurrent 2PL scheduler.
+EXEC_MODES = ("cycle", "set", "txn")
 
 
 @dataclass(frozen=True)
@@ -59,6 +66,16 @@ class CheckConfig:
     (:mod:`repro.match.compile`): interpreted ``"off"`` cells are the
     reference and compiled ``"on"`` cells must agree bit-for-bit on every
     observable, including rete memory snapshots.
+
+    ``workers`` sizes the match-phase worker pool (``repro.parallel``):
+    a workers>1 cell must stay bit-identical to its workers=1 twin — the
+    determinism contract of ``docs/PARALLELISM.md``, pinned by fuzzing.
+
+    ``exec`` selects the run-cycles phase: ``"cycle"`` (the serial
+    recognize-act loop), ``"set"`` (§5.1 set-firing) or ``"txn"`` (the
+    §5.2 concurrent 2PL scheduler with WAL-style group commit rounds).
+    Different exec modes legitimately fire differently, so the oracle
+    compares each mode's cells against that mode's own serial reference.
     """
 
     strategy: str
@@ -66,12 +83,18 @@ class CheckConfig:
     batch_size: int | str = 1
     lineage: bool = False
     compile: str = "off"
+    workers: int = 1
+    exec: str = "cycle"
 
     @property
     def label(self) -> str:
         suffix = "/lineage" if self.lineage else ""
         if self.compile != "off":
             suffix += "/compiled"
+        if self.workers != 1:
+            suffix += f"/w{self.workers}"
+        if self.exec != "cycle":
+            suffix += f"/{self.exec}"
         return f"{self.strategy}/{self.backend}/batch={self.batch_size}{suffix}"
 
 
@@ -94,6 +117,8 @@ def default_matrix(
     backends=DEFAULT_BACKENDS,
     batch_sizes=DEFAULT_BATCH_SIZES,
     compile_modes=DEFAULT_COMPILE_MODES,
+    worker_counts=DEFAULT_WORKER_COUNTS,
+    exec_modes=DEFAULT_EXEC_MODES,
 ) -> list[CheckConfig]:
     """The full strategy × backend × batch-size × compile-mode matrix.
 
@@ -101,16 +126,23 @@ def default_matrix(
     class (the mapping form lets tests inject broken shims).  Compiled
     cells are only generated for :data:`COMPILED_FAMILY` strategies, with
     the interpreted ``"off"`` cell always first so it anchors as the
-    reference.
+    reference.  Likewise workers>1 cells are only generated for the
+    :data:`RETE_FAMILY` (the only strategies whose match phase fans out),
+    with the smallest worker count first so it anchors; exec modes keep
+    ``"cycle"`` first for the same reason.
     """
     names = sorted(resolve_strategies(strategies))
     ordered_modes = sorted(set(compile_modes), key=("off", "auto", "on").index)
+    ordered_workers = sorted(set(worker_counts))
+    ordered_execs = sorted(set(exec_modes), key=EXEC_MODES.index)
     return [
         CheckConfig(
             strategy=name,
             backend=backend,
             batch_size=batch_size,
             compile=mode,
+            workers=workers,
+            exec=exec_mode,
         )
         for name in names
         for backend in backends
@@ -118,6 +150,10 @@ def default_matrix(
         for mode in (
             ordered_modes if name in COMPILED_FAMILY else ordered_modes[:1]
         )
+        for workers in (
+            ordered_workers if name in RETE_FAMILY else ordered_workers[:1]
+        )
+        for exec_mode in ordered_execs
     ]
 
 
@@ -222,9 +258,14 @@ class _Replayer:
             resolution=trace.resolution,
             backend=config.backend,
             seed=trace.seed,
+            # §5.1 set-firing replaces the per-cycle select step; the
+            # txn mode drives its own scheduler below, firing whole
+            # conflict-set snapshots, so it keeps the instance resolver.
+            firing="set" if config.exec == "set" else "instance",
             batch_size=config.batch_size,
             lineage=config.lineage,
             compile=config.compile,
+            workers=config.workers,
         )
         self.result = ReplayResult(config=config)
         self.attached = True
@@ -291,6 +332,7 @@ class _Replayer:
                 system.analyses,
                 counters=system.counters,
                 compile_mode=self.config.compile,
+                pool=system.pool,
             )
             self.attached = True
 
@@ -331,19 +373,39 @@ class _Replayer:
 
     def run_cycles(self) -> None:
         system = self.system
-        for cycle in range(1, self.trace.max_cycles + 1):
-            records = system.step_records(cycle)
-            if not records:
-                break
-            for record in records:
-                self.result.fired.append(
-                    (cycle, record.instantiation.rule_name,
-                     record.instantiation.key)
-                )
-            self._checkpoint(("cycle", cycle))
-            if any(record.outcome.halted for record in records):
-                break
+        if self.config.exec == "txn":
+            self._run_txn_rounds()
+        else:
+            for cycle in range(1, self.trace.max_cycles + 1):
+                records = system.step_records(cycle)
+                if not records:
+                    break
+                for record in records:
+                    self.result.fired.append(
+                        (cycle, record.instantiation.rule_name,
+                         record.instantiation.key)
+                    )
+                self._checkpoint(("cycle", cycle))
+                if any(record.outcome.halted for record in records):
+                    break
         self.result.final_wm = _wm_contents(system)
+
+    def _run_txn_rounds(self) -> None:
+        """§5.2 concurrent execution: drain conflict-set snapshots Ψi.
+
+        Fired records are ``(round, rule, key)`` triples in the round's
+        commit order, so a workers>1 cell must replay the identical
+        commit sequence as its serial twin — the scheduler only fans out
+        the pure lock-planning phase.
+        """
+        scheduler = ConcurrentScheduler(self.system)
+        for round_no in range(1, self.trace.max_cycles + 1):
+            stats = scheduler.run_round()
+            if stats.transactions == 0:
+                break
+            for key in stats.committed_seq:
+                self.result.fired.append((round_no, key[0], key))
+            self._checkpoint(("round", round_no))
 
     def replay(self) -> ReplayResult:
         self.apply_ops()
@@ -448,9 +510,12 @@ def run_trace(
 ) -> Divergence | None:
     """Replay *trace* across the matrix; return the first divergence.
 
-    The first configuration of the matrix is the reference.  An exception
-    inside any replay is itself a finding (kind ``"error"``), since every
-    trace is valid by construction.
+    Within each exec mode, the first configuration of the matrix is that
+    mode's reference — different exec modes legitimately fire different
+    sequences (§5.1 fires whole sets, §5.2 commits in 2PL order), so
+    comparing ``cycle`` against ``txn`` would report a false divergence.
+    An exception inside any replay is itself a finding (kind
+    ``"error"``), since every trace is valid by construction.
     """
     if configs is None:
         configs = default_matrix(strategies)
@@ -471,17 +536,22 @@ def run_trace(
                 reference=configs[0].label,
                 detail=traceback.format_exc(limit=8),
             )
-    reference = results[0]
-    for candidate in results[1:]:
-        divergence = _compare(reference, candidate)
-        if divergence is not None:
-            return divergence
-    # Memory-node contents are only comparable within one strategy.
-    by_strategy: dict[str, ReplayResult] = {}
+    by_exec: dict[str, ReplayResult] = {}
+    for candidate in results:
+        reference = by_exec.setdefault(candidate.config.exec, candidate)
+        if reference is not candidate:
+            divergence = _compare(reference, candidate)
+            if divergence is not None:
+                return divergence
+    # Memory-node contents are only comparable within one strategy (and
+    # one exec mode, whose firing order shapes the memories).
+    by_strategy: dict[tuple, ReplayResult] = {}
     for result in results:
         if result.config.strategy not in RETE_FAMILY:
             continue
-        anchor = by_strategy.setdefault(result.config.strategy, result)
+        anchor = by_strategy.setdefault(
+            (result.config.strategy, result.config.exec), result
+        )
         if anchor is not result:
             divergence = _compare_rete(anchor, result)
             if divergence is not None:

@@ -255,6 +255,41 @@ class AlphaMemory:
             admitted.append(wme)
         return admitted
 
+    def evaluate(self, wmes: list[StoredTuple], counters: Counters) -> list[bool]:
+        """Pure half of :meth:`insert_set`: the constant-test mask.
+
+        Reads nothing but the compiled test and the elements' values, so
+        worker threads can evaluate disjoint shards concurrently; the
+        caller admits serially with :meth:`admit_set`.  Comparison counts
+        go to *counters* (a per-task bag on the parallel path).
+        """
+        test = self.test
+        counters.comparisons += len(wmes)
+        return [test(wme.values) for wme in wmes]
+
+    def admit_set(
+        self, wmes: list[StoredTuple], mask: list[bool]
+    ) -> list[StoredTuple]:
+        """Mutating half of :meth:`insert_set`: admit per a computed mask.
+
+        Consumes *wmes* in their original order, so the memory's
+        insertion order — and everything downstream — is independent of
+        how the mask was sharded.  Counter totals match the serial
+        :meth:`insert_set` exactly (one activation per set, one token
+        per admitted element; comparisons were counted by ``evaluate``).
+        """
+        self.counters.node_activations += 1
+        admitted: list[StoredTuple] = []
+        for wme, ok in zip(wmes, mask):
+            if not ok:
+                continue
+            self._admit(wme)
+            if self.mirror is not None:
+                self.mirror.add(wme, (wme.tid,))
+            self.counters.tokens += 1
+            admitted.append(wme)
+        return admitted
+
     def retract(self, wme: StoredTuple) -> bool:
         """Remove *wme* if present; returns whether it was stored."""
         row = self._index.pop(wme_key(wme), None)
@@ -474,6 +509,19 @@ def _record_pairs(runtime: "ReteRuntime", count: int) -> None:
         obs.metrics.histogram("rete.join_pairs", SIZE_BUCKETS).observe(count)
 
 
+def _fanout_pool(runtime: "ReteRuntime | None", size: int):
+    """The worker pool to fan a *size*-item probe out on, or ``None``.
+
+    Serial stays the default: no pool, an inactive (one-worker) pool, or
+    a token set below the pool's fan-out threshold all return ``None``
+    and the caller runs the classic single-threaded probe.
+    """
+    pool = runtime.pool if runtime is not None else None
+    if pool is not None and pool.active and size >= pool.min_fanout_items:
+        return pool
+    return None
+
+
 class JoinNode:
     """Two-input node joining a beta memory (LEFT) and alpha memory (RIGHT)."""
 
@@ -536,17 +584,44 @@ class JoinNode:
         with _probe_span(
             runtime, self.name, "left", "RIGHT", group, len(tokens)
         ) as span:
+            pool = _fanout_pool(runtime, len(tokens))
             if self.kernel is not None:
                 span.set("kernel", self.kernel.label)
-                pairs = self.kernel.probe_left(self, tokens, self.counters)
+                if pool is not None:
+                    span.set("workers", pool.workers)
+                    pairs = pool.map_chunks(
+                        tokens,
+                        lambda chunk, counters: self.kernel.probe_left(
+                            self, chunk, counters
+                        ),
+                        counters=self.counters,
+                        label=self.name,
+                    )
+                else:
+                    pairs = self.kernel.probe_left(self, tokens, self.counters)
             else:
                 rights = self.amem.wmes()
-                pairs = [
-                    (token, wme)
-                    for token in tokens
-                    for wme in rights
-                    if _run_join_tests(self.tests, token, wme, self.counters)
-                ]
+                tests = self.tests
+                if pool is not None:
+                    span.set("workers", pool.workers)
+                    pairs = pool.map_chunks(
+                        tokens,
+                        lambda chunk, counters: [
+                            (token, wme)
+                            for token in chunk
+                            for wme in rights
+                            if _run_join_tests(tests, token, wme, counters)
+                        ],
+                        counters=self.counters,
+                        label=self.name,
+                    )
+                else:
+                    pairs = [
+                        (token, wme)
+                        for token in tokens
+                        for wme in rights
+                        if _run_join_tests(tests, token, wme, self.counters)
+                    ]
             span.set("pairs", len(pairs))
         _record_pairs(runtime, len(pairs))
         if pairs:
@@ -563,17 +638,44 @@ class JoinNode:
         with _probe_span(
             runtime, self.name, "right", "LEFT", group, len(wmes)
         ) as span:
+            pool = _fanout_pool(runtime, len(wmes))
             if self.kernel is not None:
                 span.set("kernel", self.kernel.label)
-                pairs = self.kernel.probe_right(self, wmes, self.counters)
+                if pool is not None:
+                    span.set("workers", pool.workers)
+                    pairs = pool.map_chunks(
+                        wmes,
+                        lambda chunk, counters: self.kernel.probe_right(
+                            self, chunk, counters
+                        ),
+                        counters=self.counters,
+                        label=self.name,
+                    )
+                else:
+                    pairs = self.kernel.probe_right(self, wmes, self.counters)
             else:
                 lefts = self.bmem.tokens()
-                pairs = [
-                    (token, wme)
-                    for wme in wmes
-                    for token in lefts
-                    if _run_join_tests(self.tests, token, wme, self.counters)
-                ]
+                tests = self.tests
+                if pool is not None:
+                    span.set("workers", pool.workers)
+                    pairs = pool.map_chunks(
+                        wmes,
+                        lambda chunk, counters: [
+                            (token, wme)
+                            for wme in chunk
+                            for token in lefts
+                            if _run_join_tests(tests, token, wme, counters)
+                        ],
+                        counters=self.counters,
+                        label=self.name,
+                    )
+                else:
+                    pairs = [
+                        (token, wme)
+                        for wme in wmes
+                        for token in lefts
+                        if _run_join_tests(tests, token, wme, self.counters)
+                    ]
             span.set("pairs", len(pairs))
         _record_pairs(runtime, len(pairs))
         if pairs:
@@ -635,17 +737,22 @@ class NegativeNode:
         self.counters.comparisons += len(self.tests)
         return tuple(wme.values[test.own_position] for test in self.tests)
 
-    def _probe_key(self, token: Token) -> tuple | None:
+    def _probe_key(
+        self, token: Token, counters: Counters | None = None
+    ) -> tuple | None:
         """The LEFT token's values at the tested positions.
 
         ``None`` when an ancestor slot holds no element (a negated CE
         upstream): every join test fails against it, so the token can
-        have no witnesses at all.
+        have no witnesses at all.  *counters* routes the comparison
+        counts to a per-task bag on the parallel path.
         """
+        if counters is None:
+            counters = self.counters
         values = []
         for test in self.tests:
             other = token.ancestor(test.levels_up - 1).wme
-            self.counters.comparisons += 1
+            counters.comparisons += 1
             if other is None:
                 return None
             values.append(other.values[test.other_position])
@@ -696,35 +803,89 @@ class NegativeNode:
             runtime, self.name, "left", "RIGHT", group, len(tokens)
         ) as span:
             unblocked: list[tuple[Token, StoredTuple | None]] = []
+            pool = _fanout_pool(runtime, len(tokens))
             if self.kernel is not None:
                 span.set("kernel", self.kernel.label)
-                witness_lists = self.kernel.witness_lists(
-                    self, tokens, self.counters
-                )
+                if pool is not None:
+                    span.set("workers", pool.workers)
+                    witness_lists = pool.map_chunks(
+                        tokens,
+                        lambda chunk, counters: self.kernel.witness_lists(
+                            self, chunk, counters
+                        ),
+                        counters=self.counters,
+                        label=self.name,
+                    )
+                else:
+                    witness_lists = self.kernel.witness_lists(
+                        self, tokens, self.counters
+                    )
             elif self.hash_eligible:
                 span.set("probe", "hash")
+                # The witness index is built once on the caller (its
+                # comparison counts land in the shared counters, exactly
+                # as on the serial path) and shared read-only by every
+                # probe chunk.
                 rights = self.amem.wmes()
                 index: dict[tuple, list[StoredTuple]] = {}
                 for wme in rights:
                     index.setdefault(self._witness_key(wme), []).append(wme)
-                witness_lists = []
-                for token in tokens:
-                    probe = self._probe_key(token)
-                    witness_lists.append(
-                        index.get(probe, ()) if probe is not None else ()
+                if pool is not None:
+                    span.set("workers", pool.workers)
+
+                    def probe_chunk(chunk, counters):
+                        lists = []
+                        for token in chunk:
+                            probe = self._probe_key(token, counters)
+                            lists.append(
+                                index.get(probe, ())
+                                if probe is not None
+                                else ()
+                            )
+                        return lists
+
+                    witness_lists = pool.map_chunks(
+                        tokens,
+                        probe_chunk,
+                        counters=self.counters,
+                        label=self.name,
                     )
+                else:
+                    witness_lists = []
+                    for token in tokens:
+                        probe = self._probe_key(token)
+                        witness_lists.append(
+                            index.get(probe, ()) if probe is not None else ()
+                        )
             else:
                 rights = self.amem.wmes()
-                witness_lists = [
-                    [
-                        wme
-                        for wme in rights
-                        if _run_join_tests(
-                            self.tests, token, wme, self.counters
-                        )
+                if pool is not None:
+                    span.set("workers", pool.workers)
+                    tests = self.tests
+                    witness_lists = pool.map_chunks(
+                        tokens,
+                        lambda chunk, counters: [
+                            [
+                                wme
+                                for wme in rights
+                                if _run_join_tests(tests, token, wme, counters)
+                            ]
+                            for token in chunk
+                        ],
+                        counters=self.counters,
+                        label=self.name,
+                    )
+                else:
+                    witness_lists = [
+                        [
+                            wme
+                            for wme in rights
+                            if _run_join_tests(
+                                self.tests, token, wme, self.counters
+                            )
+                        ]
+                        for token in tokens
                     ]
-                    for token in tokens
-                ]
             for token, witnesses in zip(tokens, witness_lists):
                 matches = {wme_key(wme) for wme in witnesses}
                 self.results[token] = matches
@@ -745,6 +906,11 @@ class NegativeNode:
         propagation retracted after the probe (final state is the same as
         retracting at the first new witness, since retraction only depends
         on the token, not on which witness blocked it).
+
+        This path stays serial even under a worker pool: it mutates the
+        per-token witness sets in place while probing, so there is no
+        pure read phase to fan out (a known serial fallback — see
+        ``docs/PARALLELISM.md``).
         """
         self.counters.node_activations += 1
         self.probes += 1
@@ -939,6 +1105,10 @@ class ReteRuntime:
         self.pending_unblocks: (
             dict[NegativeNode, list[tuple[WmeKey, Token]]] | None
         ) = None
+        #: Worker pool for sharded batch propagation
+        #: (:class:`repro.parallel.WorkerPool`), set by the owning
+        #: strategy; ``None`` keeps every batch path strictly serial.
+        self.pool = None
 
     def register_token(self, wme: StoredTuple, token: Token) -> None:
         self.wme_tokens.setdefault(wme_key(wme), []).append(token)

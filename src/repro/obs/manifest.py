@@ -86,6 +86,7 @@ class RunManifest:
     firing: str = ""
     batch_size: int = 1
     compile: str = "auto"
+    workers: int = 1
     seed: int = 0
     command: list[str] = field(default_factory=list)
     git_sha: str | None = None
@@ -115,6 +116,7 @@ class RunManifest:
                 "firing": self.firing,
                 "batch_size": self.batch_size,
                 "compile": self.compile,
+                "workers": self.workers,
                 "seed": self.seed,
             },
             "command": self.command,

@@ -1,0 +1,36 @@
+"""Parallel sharded match execution (§4.2's "fully parallelizable").
+
+The paper observes that set-oriented matching-pattern propagation is
+"flat, hence parallelizable"; this package supplies the machinery that
+makes the claim concrete without giving up determinism:
+
+* :class:`~repro.parallel.pool.WorkerPool` — a small thread pool with a
+  *deterministic ordered fan-out* primitive: work is split into
+  deterministically-planned tasks, workers compute pure results over
+  frozen memory snapshots, and the caller merges results in task order.
+  The merged sequence is bit-identical to the serial computation no
+  matter how many workers run or how the OS schedules them.
+* :mod:`~repro.parallel.shard` — shard planning: working memory is
+  partitioned by class, large per-class groups are hash-sharded by
+  tuple id, and probe token sets are split into contiguous chunks.
+
+See ``docs/PARALLELISM.md`` for the sharding model and the determinism
+contract, and ``docs/ALGORITHMS.md`` §11 for the equivalence argument.
+"""
+
+from repro.parallel.pool import PoolStats, WorkerPool
+from repro.parallel.shard import (
+    chunk_spans,
+    contiguous_chunks,
+    hash_shards,
+    plan_shard_count,
+)
+
+__all__ = [
+    "PoolStats",
+    "WorkerPool",
+    "chunk_spans",
+    "contiguous_chunks",
+    "hash_shards",
+    "plan_shard_count",
+]

@@ -1,0 +1,342 @@
+"""A worker pool with a deterministic ordered fan-out primitive.
+
+The pool owns ``workers - 1`` daemon threads; the calling thread is the
+remaining worker, so ``workers=2`` means "the engine thread plus one
+helper".  One fan-out (:meth:`WorkerPool.map_tasks`) pushes every task
+onto a shared queue, lets the caller and the helpers race through them,
+and then returns the results **in task-submission order** — which tasks
+ran on which thread is invisible to the merged result.  Tasks must be
+pure with respect to engine state: they read frozen memory snapshots and
+return values; all mutation happens on the caller after the merge.
+
+Cost accounting stays deterministic too: each task works against its own
+:class:`~repro.instrument.Counters` and the caller folds them into the
+shared counters in task order, so totals are independent of scheduling.
+:class:`PoolStats` tracks the work distribution itself — items fanned
+out and the critical path of a round-robin assignment over the worker
+slots — giving benchmarks a scheduling-independent speedup bound
+(`items / critical_path_items`), the §5.2-style makespan measure.  Wall
+clock is recorded in the ``parallel.*`` metrics but never asserted on.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import weakref
+from dataclasses import dataclass
+from dataclasses import fields as dataclass_fields
+
+from repro.instrument import Counters
+from repro.obs import Observability
+from repro.obs.metrics import SIZE_BUCKETS
+from repro.obs.tracing import NULL_SPAN
+
+from repro.parallel.shard import contiguous_chunks, plan_shard_count
+
+
+def merge_counters(target: Counters, part: Counters) -> None:
+    """Fold *part* into *target* field-by-field (commutative sums)."""
+    for spec in dataclass_fields(part):
+        setattr(
+            target,
+            spec.name,
+            getattr(target, spec.name) + getattr(part, spec.name),
+        )
+
+
+@dataclass
+class PoolStats:
+    """Deterministic work-distribution totals for one pool's lifetime.
+
+    All four counts are functions of the fanned-out work itself, never of
+    thread scheduling: ``critical_path_items`` models a round-robin
+    assignment of tasks to worker slots and accumulates the largest
+    per-slot share of each fan-out — the §5.2 makespan bound for this
+    pool's worker count.
+    """
+
+    workers: int = 1
+    fanouts: int = 0
+    tasks: int = 0
+    items: int = 0
+    critical_path_items: int = 0
+
+    @property
+    def speedup_bound(self) -> float:
+        """Serial items over the critical path (≥ 1 when fan-out paid)."""
+        if self.critical_path_items == 0:
+            return 1.0
+        return self.items / self.critical_path_items
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "fanouts": self.fanouts,
+            "tasks": self.tasks,
+            "items": self.items,
+            "critical_path_items": self.critical_path_items,
+            "speedup_bound": round(self.speedup_bound, 3),
+        }
+
+
+class _Task:
+    """One unit of fanned-out work: a thunk plus its completion latch."""
+
+    __slots__ = ("fn", "result", "error", "done", "duration", "_pool")
+
+    def __init__(self, fn, pool: "WorkerPool") -> None:
+        self.fn = fn
+        self.result = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+        self.duration = 0.0
+        self._pool = pool
+
+    def run(self) -> None:
+        started = time.perf_counter()
+        try:
+            self.result = self.fn()
+        except BaseException as exc:  # re-raised on the caller at merge
+            self.error = exc
+        finally:
+            self.duration = time.perf_counter() - started
+            self.done.set()
+            self._pool._task_done()
+
+
+def _worker_loop(task_queue: "queue.SimpleQueue") -> None:
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        task.run()
+
+
+def _shutdown(task_queue: "queue.SimpleQueue", thread_count: int) -> None:
+    for _ in range(thread_count):
+        task_queue.put(None)
+
+
+class WorkerPool:
+    """Deterministic fan-out over ``workers`` threads (caller included).
+
+    ``workers=1`` (or a closed pool) runs every fan-out inline — the
+    serial reference path with zero thread traffic.  *min_fanout_items*
+    is the smallest work-set worth fanning out at all; callers consult
+    it before splitting, so small probes stay serial.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        obs: Observability | None = None,
+        min_fanout_items: int = 8,
+        min_shard_items: int = 4,
+        name: str = "match",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.workers = workers
+        self.obs = obs
+        self.min_fanout_items = min_fanout_items
+        self.min_shard_items = min_shard_items
+        self.name = name
+        self.stats = PoolStats(workers=workers)
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._pending = 0
+        self._closed = False
+        self._threads: list[threading.Thread] = []
+        for index in range(workers - 1):
+            thread = threading.Thread(
+                target=_worker_loop,
+                args=(self._queue,),
+                name=f"repro-{name}-w{index + 1}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        # Helper threads park on the queue forever; shut them down when
+        # the pool is garbage-collected so short-lived systems (tests,
+        # fuzz replays) do not accumulate idle threads.
+        self._finalizer = weakref.finalize(
+            self, _shutdown, self._queue, len(self._threads)
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether fan-outs actually use helper threads."""
+        return self.workers > 1 and not self._closed
+
+    def drain(self) -> None:
+        """Block until no fanned-out task is in flight.
+
+        Topology changes (detaching a strategy, attaching a new one)
+        call this first so no worker can be probing a memory that is
+        about to be torn down.
+        """
+        with self._idle:
+            while self._pending > 0:
+                self._idle.wait(timeout=0.1)
+
+    def close(self) -> None:
+        """Drain outstanding work and stop the helper threads."""
+        self.drain()
+        if not self._closed:
+            self._closed = True
+            self._finalizer()
+
+    def _task_done(self) -> None:
+        with self._idle:
+            self._pending -= 1
+            if self._pending <= 0:
+                self._idle.notify_all()
+
+    # -- shard planning ----------------------------------------------------
+
+    def shard_count(self, count: int) -> int:
+        """Shards to cut *count* items into (see :func:`plan_shard_count`)."""
+        return plan_shard_count(count, self.workers, self.min_shard_items)
+
+    # -- fan-out -----------------------------------------------------------
+
+    def _account(self, sizes: list[int]) -> None:
+        stats = self.stats
+        stats.fanouts += 1
+        stats.tasks += len(sizes)
+        stats.items += sum(sizes)
+        shares = [0] * self.workers
+        for index, size in enumerate(sizes):
+            shares[index % self.workers] += size
+        stats.critical_path_items += max(shares)
+
+    def map_tasks(
+        self,
+        thunks: list,
+        sizes: list[int] | None = None,
+        label: str = "",
+    ) -> list:
+        """Run *thunks* and return their results in submission order.
+
+        *sizes* (items per task, defaulting to 1 each) feeds the
+        deterministic work-distribution stats and the shard-size
+        metrics.  A task exception is re-raised here on the caller once
+        every task of the fan-out has finished.
+        """
+        count = len(thunks)
+        if count == 0:
+            return []
+        if sizes is None:
+            sizes = [1] * count
+        self._account(sizes)
+        if not self.active or count == 1:
+            return [fn() for fn in thunks]
+        obs = self.obs
+        observing = obs is not None and obs.enabled
+        span = (
+            obs.span(
+                "parallel.fanout",
+                pool=self.name,
+                label=label,
+                workers=self.workers,
+                tasks=count,
+                items=sum(sizes),
+            )
+            if observing
+            else NULL_SPAN
+        )
+        with span:
+            started = time.perf_counter()
+            tasks = [_Task(fn, self) for fn in thunks]
+            with self._idle:
+                self._pending += count
+            for task in tasks:
+                self._queue.put(task)
+            # The caller is a worker too: race the helpers down the queue.
+            while True:
+                try:
+                    grabbed = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if grabbed is None:  # shutdown sentinel from close(); re-park
+                    self._queue.put(None)
+                    break
+                grabbed.run()
+            merge_started = time.perf_counter()
+            for task in tasks:
+                task.done.wait()
+            merge_wait = time.perf_counter() - merge_started
+            span.set("merge_wait_us", int(merge_wait * 1e6))
+            if observing:
+                elapsed = time.perf_counter() - started
+                busy = sum(task.duration for task in tasks)
+                metrics = obs.metrics
+                metrics.counter("parallel.fanouts").inc()
+                metrics.counter("parallel.tasks").inc(count)
+                shard_hist = metrics.histogram(
+                    "parallel.shard_size", SIZE_BUCKETS
+                )
+                for size in sizes:
+                    shard_hist.observe(size)
+                metrics.log2_histogram("parallel.merge_wait_us").observe(
+                    merge_wait * 1e6
+                )
+                if elapsed > 0:
+                    metrics.histogram(
+                        "parallel.utilization_pct",
+                        buckets=(10.0, 25.0, 50.0, 75.0, 90.0, 100.0),
+                    ).observe(
+                        min(100.0, 100.0 * busy / (elapsed * self.workers))
+                    )
+        for task in tasks:
+            if task.error is not None:
+                raise task.error
+        return [task.result for task in tasks]
+
+    def map_chunks(
+        self,
+        items: list,
+        compute,
+        counters: Counters | None = None,
+        label: str = "",
+    ) -> list:
+        """Chunked pure fan-out: ``compute(chunk, task_counters)`` per chunk.
+
+        *items* is split into contiguous chunks (one per worker slot);
+        each task calls *compute* with its chunk and a private
+        :class:`Counters`; the per-chunk result lists are concatenated
+        in chunk order — bit-identical to ``compute(items, counters)``
+        for any order-preserving *compute*.  Task counters fold into
+        *counters* afterwards, in chunk order.
+        """
+        chunks = contiguous_chunks(items, self.workers)
+        if len(chunks) <= 1:
+            task_counters = Counters()
+            merged = compute(items, task_counters)
+            if counters is not None:
+                merge_counters(counters, task_counters)
+            return merged
+
+        def make_thunk(chunk):
+            def thunk():
+                task_counters = Counters()
+                return compute(chunk, task_counters), task_counters
+
+            return thunk
+
+        results = self.map_tasks(
+            [make_thunk(chunk) for chunk in chunks],
+            sizes=[len(chunk) for chunk in chunks],
+            label=label,
+        )
+        merged = []
+        for chunk_result, task_counters in results:
+            merged.extend(chunk_result)
+            if counters is not None:
+                merge_counters(counters, task_counters)
+        return merged

@@ -1,0 +1,84 @@
+"""Shard planning for parallel match execution.
+
+Two partitioning schemes, both deterministic functions of the data:
+
+* **hash shards** — a per-class WM group is split by ``tid % shards``
+  for the alpha phase.  Every shard remembers the original positions of
+  its elements, so per-shard results scatter back into a full-length
+  mask in the original order; the admission that follows consumes the
+  mask serially, making shard assignment invisible to the outcome.
+* **contiguous chunks** — a probe token set is split into contiguous
+  runs for the join/negation phase.  Each chunk's pair list preserves
+  the serial token-major (or element-major) order internally, so
+  concatenating the chunk results in chunk order reproduces the serial
+  pair sequence exactly.
+
+Neither scheme consults anything besides the input sequence and the
+requested shard count — no clocks, no thread identities — which is what
+lets ``workers=N`` stay bit-identical to ``workers=1``.
+"""
+
+from __future__ import annotations
+
+
+def chunk_spans(count: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into up to *chunks* contiguous spans.
+
+    Spans are near-equal (sizes differ by at most one, larger spans
+    first) and cover the range exactly.  Empty spans are never produced.
+    """
+    chunks = max(1, min(chunks, count))
+    base, extra = divmod(count, chunks)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for index in range(chunks):
+        size = base + (1 if index < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+def contiguous_chunks(items: list, chunks: int) -> list[list]:
+    """Split *items* into up to *chunks* contiguous, order-preserving runs."""
+    if not items:
+        return []
+    return [
+        items[start:stop] for start, stop in chunk_spans(len(items), chunks)
+    ]
+
+
+def plan_shard_count(
+    count: int, workers: int, min_shard_items: int
+) -> int:
+    """How many shards to cut *count* items into for *workers* workers.
+
+    One shard per worker, but never shards smaller than
+    *min_shard_items* — tiny shards cost more in task dispatch than
+    their matching saves.
+    """
+    if count <= 0 or workers <= 1:
+        return 1
+    by_size = count // max(1, min_shard_items)
+    return max(1, min(workers, by_size))
+
+
+def hash_shards(
+    wmes: list, shards: int
+) -> list[tuple[list[int], list]]:
+    """Partition *wmes* into hash shards keyed by ``tid % shards``.
+
+    Returns ``(positions, elements)`` per non-empty shard, where
+    *positions* are the elements' indices in the input list.  Tuple ids
+    are engine-assigned integers, so the bucketing is stable across
+    processes (unlike ``hash(str)``, which is seeded per interpreter).
+    """
+    if shards <= 1 or len(wmes) <= 1:
+        return [(list(range(len(wmes))), list(wmes))] if wmes else []
+    buckets: list[tuple[list[int], list]] = [
+        ([], []) for _ in range(shards)
+    ]
+    for position, wme in enumerate(wmes):
+        positions, elements = buckets[wme.tid % shards]
+        positions.append(position)
+        elements.append(wme)
+    return [bucket for bucket in buckets if bucket[1]]

@@ -93,6 +93,9 @@ def _build_system(meta: dict, obs: Observability | None) -> ProductionSystem:
         firing=meta.get("firing", "instance"),
         batch_size=meta["batch_size"],
         compile=meta.get("compile", "auto"),
+        # Logs from before the parallel-match PR carry no workers key;
+        # they recover onto the serial reference loop.
+        workers=meta.get("workers", 1),
         obs=obs or Observability(),
     )
 

@@ -30,7 +30,12 @@ from repro.engine.interpreter import ProductionSystem
 from repro.obs.metrics import SIZE_BUCKETS
 from repro.txn.locks import LockManager
 from repro.txn.serializability import History
-from repro.txn.transactions import COMMITTED, SKIPPED, RuleTransaction
+from repro.txn.transactions import (
+    COMMITTED,
+    SKIPPED,
+    RuleTransaction,
+    plan_locks,
+)
 
 
 @dataclass
@@ -44,6 +49,10 @@ class RoundStats:
     makespan_ticks: int = 0
     serial_steps: int = 0
     updates_by_relation: dict[str, int] = field(default_factory=dict)
+    #: Instantiation keys in the order their transactions committed —
+    #: the fired sequence the differential-fuzz oracle compares across
+    #: worker counts.
+    committed_seq: list = field(default_factory=list)
 
     @property
     def critical_path_bound(self) -> int:
@@ -111,6 +120,7 @@ class ConcurrentScheduler:
         retries: int = 3,
         policy: str = "detect",
         batched_act: bool = True,
+        pool=None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(
@@ -122,22 +132,53 @@ class ConcurrentScheduler:
         #: §5 batched act mode: each transaction's maintenance is one
         #: delta batch per commit point (see RuleTransaction.batched_act).
         self.batched_act = batched_act
+        #: Worker pool for the round's pure phases (lock planning; the
+        #: match maintenance inside each commit step also fans out when
+        #: the owning system runs with ``workers > 1``).  Defaults to the
+        #: system's own pool.  Act execution itself stays a single-writer
+        #: loop — WM mutation is serial by design (docs/PARALLELISM.md).
+        self.pool = pool if pool is not None else getattr(system, "pool", None)
         self.history = History()
         self._next_txn_id = 0
 
     def _build_transactions(self) -> list[RuleTransaction]:
-        transactions = []
-        for instantiation in sorted(
-            self.system.eligible(), key=lambda i: i.key
+        eligible = sorted(self.system.eligible(), key=lambda i: i.key)
+        analyses = self.system.analyses
+        pool = self.pool
+        if (
+            pool is not None
+            and pool.active
+            and len(eligible) >= pool.min_fanout_items
         ):
+            # Lock planning is a pure function of (analysis,
+            # instantiation): fan it out and merge the plans back in the
+            # sorted-instantiation order, so txn ids, lock order and
+            # everything downstream match the serial build exactly.
+            plans = pool.map_tasks(
+                [
+                    (lambda inst=inst: plan_locks(
+                        analyses[inst.rule_name], inst
+                    ))
+                    for inst in eligible
+                ],
+                label="plan_locks",
+            )
+        else:
+            plans = [
+                plan_locks(analyses[inst.rule_name], inst)
+                for inst in eligible
+            ]
+        transactions = []
+        for instantiation, requests in zip(eligible, plans):
             self._next_txn_id += 1
             transactions.append(
                 RuleTransaction.build(
                     self._next_txn_id,
                     instantiation,
-                    self.system.analyses[instantiation.rule_name],
+                    analyses[instantiation.rule_name],
                     retries=self.retries,
                     batched_act=self.batched_act,
+                    requests=requests,
                 )
             )
         return transactions
@@ -149,10 +190,27 @@ class ConcurrentScheduler:
         if not transactions:
             return stats
         obs = self.system.obs
+        commit_mark = len(self.history.commit_order)
         with obs.span(
             "txn.round", policy=self.policy, transactions=len(transactions)
         ) as round_span:
             self._drain(transactions, stats)
+            by_id = {t.txn_id: t for t in transactions}
+            stats.committed_seq = [
+                by_id[txn_id].instantiation.key
+                for txn_id in self.history.commit_order[commit_mark:]
+                if txn_id in by_id
+            ]
+            # Group-commit barrier (§5 + PR 5's WAL): the round's commit
+            # points stream into the WAL as the transactions execute;
+            # one sync per round makes the whole snapshot durable at a
+            # single barrier instead of per-firing.
+            wal = self.system.wm.wal
+            if wal is not None:
+                wal.sync()
+                round_span.set("group_commit_seq", wal.last_seq)
+                if obs.enabled:
+                    obs.metrics.counter("txn.group_commits").inc()
             round_span.set("committed", stats.committed)
             round_span.set("makespan_ticks", stats.makespan_ticks)
         if obs.enabled:

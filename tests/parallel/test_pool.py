@@ -1,0 +1,116 @@
+"""WorkerPool: ordered merges, deterministic accounting, clean lifecycle."""
+
+import pytest
+
+from repro.instrument import Counters
+from repro.parallel import PoolStats, WorkerPool
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(4)
+    yield p
+    p.close()
+
+
+class TestMapTasks:
+    def test_results_in_submission_order(self, pool):
+        thunks = [lambda i=i: i * i for i in range(50)]
+        assert pool.map_tasks(thunks) == [i * i for i in range(50)]
+
+    def test_inline_when_single_task(self, pool):
+        assert pool.map_tasks([lambda: "only"]) == ["only"]
+
+    def test_inline_when_workers_is_one(self):
+        serial = WorkerPool(1)
+        assert not serial.active
+        assert serial.map_tasks([lambda: 1, lambda: 2]) == [1, 2]
+
+    def test_empty_fanout(self, pool):
+        assert pool.map_tasks([]) == []
+
+    def test_task_error_reraises_on_caller(self, pool):
+        def boom():
+            raise RuntimeError("shard failed")
+
+        with pytest.raises(RuntimeError, match="shard failed"):
+            pool.map_tasks([lambda: 1, boom, lambda: 3])
+        # The pool survives a failed fan-out.
+        assert pool.map_tasks([lambda: "ok", lambda: "ok"]) == ["ok", "ok"]
+
+
+class TestMapChunks:
+    def test_concatenates_in_chunk_order(self, pool):
+        items = list(range(100))
+        result = pool.map_chunks(items, lambda chunk, c: [x + 1 for x in chunk])
+        assert result == [x + 1 for x in items]
+
+    def test_counters_merge_matches_serial(self, pool):
+        items = list(range(37))
+
+        def compute(chunk, counters):
+            counters.comparisons += len(chunk)
+            return list(chunk)
+
+        parallel = Counters()
+        pool.map_chunks(items, compute, counters=parallel)
+        serial = Counters()
+        compute(items, serial)
+        assert parallel.comparisons == serial.comparisons == 37
+
+    def test_small_input_runs_as_one_chunk(self, pool):
+        before = pool.stats.tasks
+        assert pool.map_chunks([7], lambda chunk, c: chunk) == [7]
+        # One chunk → inline, no fan-out tasks recorded.
+        assert pool.stats.tasks == before
+
+
+class TestAccounting:
+    def test_stats_are_scheduling_independent(self):
+        a, b = WorkerPool(3), WorkerPool(3)
+        for p in (a, b):
+            p.map_tasks([lambda: None] * 7, sizes=[5, 1, 5, 1, 5, 1, 5])
+            p.close()
+        assert a.stats == b.stats
+        # Round-robin shares: w0 gets sizes 5+1+5, w1 gets 1+5, w2 gets 5+1.
+        assert a.stats == PoolStats(
+            workers=3, fanouts=1, tasks=7, items=23, critical_path_items=11
+        )
+
+    def test_speedup_bound(self):
+        stats = PoolStats(workers=4, items=100, critical_path_items=25)
+        assert stats.speedup_bound == 4.0
+        assert PoolStats(workers=4).speedup_bound == 1.0
+
+    def test_as_dict_round_trips(self):
+        pool = WorkerPool(2)
+        pool.map_tasks([lambda: 1, lambda: 2], sizes=[3, 4])
+        snapshot = pool.stats.as_dict()
+        assert snapshot["workers"] == 2
+        assert snapshot["items"] == 7
+        assert snapshot["critical_path_items"] == 4
+        pool.close()
+
+
+class TestLifecycle:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_close_is_idempotent_and_deactivates(self):
+        pool = WorkerPool(3)
+        assert pool.active
+        pool.close()
+        pool.close()
+        assert not pool.active
+        # Closed pools still run fan-outs, inline.
+        assert pool.map_tasks([lambda: 1, lambda: 2]) == [1, 2]
+
+    def test_drain_on_idle_pool_returns(self, pool):
+        pool.drain()  # must not block
+
+    def test_shard_count_respects_min_items(self):
+        pool = WorkerPool(4, min_shard_items=4)
+        assert pool.shard_count(3) == 1
+        assert pool.shard_count(100) == 4
+        pool.close()

@@ -1,0 +1,93 @@
+"""Shard planning is a pure, deterministic function of the input."""
+
+from dataclasses import dataclass
+
+from repro.parallel import (
+    chunk_spans,
+    contiguous_chunks,
+    hash_shards,
+    plan_shard_count,
+)
+
+
+@dataclass
+class FakeWme:
+    tid: int
+
+
+class TestChunkSpans:
+    def test_covers_range_exactly(self):
+        for count in (1, 2, 7, 16, 100):
+            for chunks in (1, 2, 3, 8):
+                spans = chunk_spans(count, chunks)
+                flat = [i for start, stop in spans for i in range(start, stop)]
+                assert flat == list(range(count))
+
+    def test_near_equal_larger_first(self):
+        spans = chunk_spans(10, 4)
+        sizes = [stop - start for start, stop in spans]
+        assert sizes == [3, 3, 2, 2]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_never_more_spans_than_items(self):
+        assert len(chunk_spans(3, 8)) == 3
+        assert all(stop > start for start, stop in chunk_spans(3, 8))
+
+    def test_single_chunk(self):
+        assert chunk_spans(5, 1) == [(0, 5)]
+
+
+class TestContiguousChunks:
+    def test_concatenation_round_trips(self):
+        items = list(range(23))
+        for chunks in (1, 2, 4, 23, 50):
+            parts = contiguous_chunks(items, chunks)
+            assert [x for part in parts for x in part] == items
+
+    def test_empty_input(self):
+        assert contiguous_chunks([], 4) == []
+
+
+class TestPlanShardCount:
+    def test_serial_cases(self):
+        assert plan_shard_count(0, 4, 4) == 1
+        assert plan_shard_count(100, 1, 4) == 1
+        assert plan_shard_count(-5, 4, 4) == 1
+
+    def test_small_inputs_stay_whole(self):
+        # 6 items with min shard 4 → one shard, not two tiny ones.
+        assert plan_shard_count(6, 4, 4) == 1
+
+    def test_capped_by_workers(self):
+        assert plan_shard_count(1000, 4, 4) == 4
+
+    def test_capped_by_min_shard_items(self):
+        assert plan_shard_count(9, 4, 4) == 2
+
+
+class TestHashShards:
+    def test_partition_is_exact(self):
+        wmes = [FakeWme(tid) for tid in (5, 12, 3, 8, 21, 4, 17)]
+        shards = hash_shards(wmes, 3)
+        seen = sorted(
+            position for positions, _ in shards for position in positions
+        )
+        assert seen == list(range(len(wmes)))
+        for positions, elements in shards:
+            assert [wmes[p] for p in positions] == elements
+
+    def test_keyed_by_tid_mod_shards(self):
+        wmes = [FakeWme(tid) for tid in range(10)]
+        shards = hash_shards(wmes, 2)
+        for _, elements in shards:
+            residues = {wme.tid % 2 for wme in elements}
+            assert len(residues) == 1
+
+    def test_single_shard_short_circuits(self):
+        wmes = [FakeWme(1), FakeWme(2)]
+        assert hash_shards(wmes, 1) == [([0, 1], wmes)]
+        assert hash_shards([], 4) == []
+
+    def test_deterministic(self):
+        wmes = [FakeWme(tid) for tid in (9, 2, 2, 7, 40)]
+        assert hash_shards(wmes, 4) == hash_shards(list(wmes), 4)

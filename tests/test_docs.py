@@ -2,8 +2,10 @@
 
 Runs ``tools/check_docs.py`` (the CI docs job) in-process: every
 intra-repo markdown link resolves, every ``repro.*`` dotted code
-reference imports, every path-like reference exists, and every CLI flag
-mentioned in ``docs/*.md``/``README.md`` is declared under ``src/``.
+reference imports, every path-like reference exists, every CLI flag
+mentioned in ``docs/*.md``/``README.md`` (inline or in fenced command
+blocks) is declared under ``src/`` or ``tools/``, and every file under
+``docs/`` is cross-linked from some other markdown file.
 """
 
 import importlib.util
@@ -44,8 +46,35 @@ def test_checker_catches_broken_link(tmp_path):
     checker = load_checker()
     problems = []
     doc = REPO / "docs" / "ARCHITECTURE.md"
-    checker.check_links(doc, "[x](no-such-file.md)", problems)
+    checker.check_links(doc, "[x](no-such-file.md)", problems, set())
     assert problems and "broken link" in problems[0]
+
+
+def test_checker_records_cross_links():
+    checker = load_checker()
+    problems, linked = [], set()
+    doc = REPO / "docs" / "ARCHITECTURE.md"
+    checker.check_links(doc, "[p](PARALLELISM.md)", problems, linked)
+    assert not problems
+    assert (REPO / "docs" / "PARALLELISM.md").resolve() in linked
+    # Backtick file references count as reachability too.
+    checker.check_code_refs(doc, "`docs/RECOVERY.md`", "", problems, linked)
+    assert not problems
+    assert (REPO / "docs" / "RECOVERY.md").resolve() in linked
+
+
+def test_checker_catches_unknown_flag_in_fenced_block():
+    checker = load_checker()
+    problems = []
+    doc = REPO / "docs" / "ARCHITECTURE.md"
+    text = "```bash\npython -m repro.cli run x.ops --no-such-flag\n```\n"
+    checker.check_code_refs(doc, text, "", problems, set())
+    assert problems and "--no-such-flag" in problems[0]
+    # Known external flags stay exempt wherever they appear.
+    problems = []
+    text = "```sh\npytest benchmarks/ --benchmark-only\n```\n"
+    checker.check_code_refs(doc, text, "", problems, set())
+    assert not problems
 
 
 def test_checker_catches_bad_code_ref():

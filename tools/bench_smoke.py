@@ -1,14 +1,20 @@
 #!/usr/bin/env python
-"""Nightly bench smoke: reduced A5/A6/A7 runs plus a regression gate.
+"""Nightly bench smoke: reduced A5/A6/A7/A8 runs plus a regression gate.
 
 Runs the A5 (token-batched Rete propagation), A6 (WAL overhead and
-crash recovery) and A7 (compiled match kernels vs the interpreted
-walk) experiments at a fraction of their report budgets and
-writes a ``BENCH_obs.json`` trajectory artifact: every row with its
-wall-clock figures (recorded for trend charts, never gated — CI runners
-are noisy) and a ``gate`` section of *deterministic operation counts*
-(node activations, comparisons, join probes, batches, fsyncs, replayed
-batches, final WM/conflict sizes).
+crash recovery), A7 (compiled match kernels vs the interpreted walk)
+and A8 (parallel sharded match) experiments at a fraction of their
+report budgets and writes a ``BENCH_obs.json`` trajectory artifact:
+every row with its wall-clock figures (recorded for trend charts, never
+gated — CI runners are noisy) and a ``gate`` section of *deterministic
+operation counts* (node activations, comparisons, join probes, batches,
+fsyncs, replayed batches, fanned items, critical-path items, final
+WM/conflict sizes).
+
+The A8 rows also carry an unconditional acceptance check, baseline or
+not: the deterministic ``speedup_bound`` (fanned items over the
+round-robin critical path) must show at least one worker-scaling win —
+a multi-worker row measurably above the serial bound of 1.
 
 With ``--baseline PREV.json`` the gate compares those counts against the
 previous trajectory and fails (exit 1) when any grew more than the
@@ -37,12 +43,22 @@ GATED_COLUMNS = {
            "conflict_size"),
     "a6": ("fsyncs", "replayed", "wm"),
     "a7": ("interp_cmp", "compiled_cmp", "conflict_size"),
+    "a8": ("fanouts", "fanned_items", "critical_path", "conflict_size"),
 }
+
+#: The deterministic speedup bound a multi-worker A8 row must clear for
+#: the nightly to count a worker-scaling win.
+SCALING_WIN_BOUND = 1.5
 
 
 def collect(stream_length: int, cycles: int) -> dict:
     """Run the reduced experiments and assemble the trajectory payload."""
-    from repro.bench.report import report_a5, report_a6, report_a7
+    from repro.bench.report import (
+        report_a5,
+        report_a6,
+        report_a7,
+        report_a8,
+    )
 
     title_a5, rows_a5 = report_a5(
         stream_length=stream_length,
@@ -56,13 +72,20 @@ def collect(stream_length: int, cycles: int) -> dict:
         batch_sizes=(64,),
         strategies=("rete", "rete-shared"),
     )
+    title_a8, rows_a8 = report_a8(
+        stream_length=stream_length,
+        worker_counts=(1, 2, 4),
+        strategies=("rete",),
+    )
     payload = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "budget": {"a5_stream_length": stream_length, "a6_cycles": cycles,
-                   "a7_stream_length": stream_length},
+                   "a7_stream_length": stream_length,
+                   "a8_stream_length": stream_length},
         "a5": {"title": title_a5, "rows": rows_a5},
         "a6": {"title": title_a6, "rows": rows_a6},
         "a7": {"title": title_a7, "rows": rows_a7},
+        "a8": {"title": title_a8, "rows": rows_a8},
         "gate": {},
     }
     gate = payload["gate"]
@@ -78,7 +101,30 @@ def collect(stream_length: int, cycles: int) -> dict:
         label = f"a7[{row['strategy']}/batch={row['batch']}]"
         for column in GATED_COLUMNS["a7"]:
             gate[f"{label}.{column}"] = row[column]
+    for row in rows_a8:
+        label = f"a8[{row['strategy']}/w{row['workers']}]"
+        for column in GATED_COLUMNS["a8"]:
+            gate[f"{label}.{column}"] = row[column]
     return payload
+
+
+def scaling_failures(payload: dict, bound: float = SCALING_WIN_BOUND) -> list[str]:
+    """A8 acceptance: at least one multi-worker row clears *bound*.
+
+    The speedup bound is a deterministic function of the fanned work, so
+    this check needs no baseline and survives runner noise.
+    """
+    rows = payload.get("a8", {}).get("rows", [])
+    parallel = [row for row in rows if row["workers"] > 1]
+    if not parallel:
+        return ["a8: no multi-worker rows produced"]
+    best = max(row["speedup_bound"] for row in parallel)
+    if best < bound:
+        return [
+            f"a8: no worker-scaling win — best speedup_bound {best} "
+            f"across {len(parallel)} multi-worker rows is below {bound}"
+        ]
+    return []
 
 
 def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
@@ -125,6 +171,13 @@ def main(argv: list[str] | None = None) -> int:
         handle.write("\n")
     print(f"trajectory written: {args.out} "
           f"({len(current['gate'])} gated counts)")
+
+    failures = scaling_failures(current)
+    if failures:
+        print("bench smoke gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
 
     if args.baseline is None:
         print("no baseline given; gate skipped")

@@ -14,9 +14,14 @@ cannot silently rot:
     (``repro.match.base.MatchStrategy``, ``repro.bench.report`` …);
   - path-like fragments ending in ``.py``/``.md``/``.ops``/``.yml`` must
     exist on disk;
-  - ``--flag`` fragments appearing in ``docs/*.md`` or ``README.md`` must
-    be declared somewhere under ``src/`` (CLI surface), unless they belong
+  - ``--flag`` fragments appearing in ``docs/*.md`` or ``README.md`` —
+    inline code *and* fenced command blocks — must be declared somewhere
+    under ``src/`` or ``tools/`` (the CLI surface), unless they belong
     to well-known external tools (pytest, pip).
+
+* **Cross-links** — every file under ``docs/`` must be the target of at
+  least one markdown link from *another* tracked markdown file, so a new
+  guide cannot land unreachable from the documentation graph.
 
 Exit status 0 when clean; 1 with one line per problem otherwise.
 """
@@ -45,6 +50,7 @@ EXTERNAL_FLAGS = {
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CODE_RE = re.compile(r"`([^`\n]+)`")
+FENCE_RE = re.compile(r"^```.*?\n(.*?)^```", re.MULTILINE | re.DOTALL)
 DOTTED_RE = re.compile(r"^repro(\.[A-Za-z_][A-Za-z0-9_]*)+(\(\))?$")
 FLAG_RE = re.compile(r"^--[a-z][a-z0-9-]*$")
 PATHLIKE_RE = re.compile(r"^[\w./-]+\.(py|md|ops|yml)$")
@@ -60,7 +66,9 @@ def tracked_markdown() -> list[Path]:
     return [p for p in docs if p.is_file() and p.name not in EXCLUDED]
 
 
-def check_links(path: Path, text: str, problems: list[str]) -> None:
+def check_links(
+    path: Path, text: str, problems: list[str], linked: set[Path]
+) -> None:
     for match in LINK_RE.finditer(text):
         target = match.group(1)
         if "://" in target or target.startswith(("#", "mailto:")):
@@ -68,6 +76,21 @@ def check_links(path: Path, text: str, problems: list[str]) -> None:
         resolved = (path.parent / target.split("#", 1)[0]).resolve()
         if not resolved.exists():
             problems.append(f"{path.relative_to(REPO)}: broken link {target}")
+        elif resolved != path:
+            linked.add(resolved)
+
+
+def check_flags(
+    path: Path, fragment: str, src_text: str, problems: list[str]
+) -> None:
+    for flag in re.findall(r"--[a-z][a-z0-9-]*", fragment):
+        if flag in EXTERNAL_FLAGS:
+            continue
+        if FLAG_RE.match(flag) and flag not in src_text:
+            problems.append(
+                f"{path.relative_to(REPO)}: flag {flag} "
+                "not declared under src/ or tools/"
+            )
 
 
 def check_dotted(path: Path, ref: str, problems: list[str]) -> None:
@@ -95,9 +118,13 @@ def check_dotted(path: Path, ref: str, problems: list[str]) -> None:
 
 
 def check_code_refs(
-    path: Path, text: str, src_text: str, problems: list[str]
+    path: Path,
+    text: str,
+    src_text: str,
+    problems: list[str],
+    linked: set[Path],
 ) -> None:
-    check_flags = path.parent.name == "docs" or path.name == "README.md"
+    flags_checked = path.parent.name == "docs" or path.name == "README.md"
     for match in CODE_RE.finditer(text):
         ref = match.group(1).strip()
         if DOTTED_RE.match(ref):
@@ -107,26 +134,35 @@ def check_code_refs(
                 problems.append(
                     f"{path.relative_to(REPO)}: missing file ref {ref}"
                 )
-        elif check_flags:
-            for flag in re.findall(r"--[a-z][a-z0-9-]*", ref):
-                if flag in EXTERNAL_FLAGS:
-                    continue
-                if FLAG_RE.match(flag) and flag not in src_text:
-                    problems.append(
-                        f"{path.relative_to(REPO)}: flag {flag} "
-                        "not declared under src/"
-                    )
+            elif ref.endswith(".md"):
+                resolved = (REPO / ref).resolve()
+                if resolved != path:
+                    linked.add(resolved)
+        elif flags_checked:
+            check_flags(path, ref, src_text, problems)
+    if flags_checked:
+        for block in FENCE_RE.findall(text):
+            check_flags(path, block, src_text, problems)
 
 
 def main() -> int:
     src_text = "\n".join(
-        p.read_text(encoding="utf-8") for p in (REPO / "src").rglob("*.py")
+        p.read_text(encoding="utf-8")
+        for root in ("src", "tools")
+        for p in sorted((REPO / root).rglob("*.py"))
     )
     problems: list[str] = []
+    linked: set[Path] = set()
     for path in tracked_markdown():
         text = path.read_text(encoding="utf-8")
-        check_links(path, text, problems)
-        check_code_refs(path, text, src_text, problems)
+        check_links(path, text, problems, linked)
+        check_code_refs(path, text, src_text, problems, linked)
+    for path in tracked_markdown():
+        if path.parent.name == "docs" and path not in linked:
+            problems.append(
+                f"{path.relative_to(REPO)}: orphan — no other markdown "
+                "file links to it"
+            )
     for problem in problems:
         print(problem)
     if problems:
