@@ -1,0 +1,86 @@
+"""A9 — multi-tenant serving: throughput, tail latency, crash recovery.
+
+``repro serve`` hosts many tenant sessions in one engine process
+(docs/SERVING.md): one reader coroutine per connection, one engine task
+draining tenants in sorted order, one group-commit fsync barrier per
+round, acks released only after the flush.  This bench drives the
+k8s-auto-fix workload (``repro.workload.k8s``) through an in-process
+server over real TCP and asserts the serving acceptance properties:
+
+* **exactly-once across kill -9**: the report abandons the server's
+  logs without the final sync or checkpoint and recovers the data
+  directory cold; every tenant's ``applied_seq`` must equal the last
+  acked client seq;
+* **every event consumed**: the pack routes each event to exactly one
+  rule, so a quiescent (and a recovered) engine has an empty event
+  relation;
+* **tenant isolation on a shared pack**: both tenants run the same
+  program object yet reach different fixed points from their seeds;
+* **nothing shed at the nominal rate**: one request in flight per
+  tenant never exceeds the defer threshold, so ``shed == 0``.
+
+Wall-clock figures (events/sec, p50/p99 latency, recovery time) are
+recorded in the A9 report table but never gated — CI runners are noisy.
+
+Run: pytest benchmarks/bench_a9_serve.py --benchmark-only
+Table: python -m repro.bench.report a9
+"""
+
+import pytest
+
+from repro.bench.report import report_a9
+from repro.workload.k8s import k8s_setup
+
+EVENTS = 120
+TENANTS = 2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    _, produced = report_a9(events_per_tenant=EVENTS, tenants=TENANTS)
+    return produced
+
+
+def test_serve_stream_time(benchmark):
+    # One full serve lifecycle per iteration: start, attach, stream,
+    # crash, recover.  Expensive, so the benchmark rounds stay small.
+    benchmark.pedantic(
+        lambda: report_a9(events_per_tenant=40, tenants=TENANTS),
+        rounds=3,
+        iterations=1,
+    )
+
+
+class TestA9Shape:
+    def test_one_row_per_tenant(self, rows):
+        assert [row["tenant"] for row in rows] == [
+            f"tenant-{i}" for i in range(TENANTS)
+        ]
+
+    def test_exactly_once_survives_the_crash(self, rows):
+        """Recovered ``applied_seq`` equals the full acked stream —
+        inventory plus every event — for every tenant."""
+        expected = len(k8s_setup()) + EVENTS
+        for row in rows:
+            assert row["applied_seq"] == expected, row
+
+    def test_every_event_consumed(self, rows):
+        for row in rows:
+            assert row["events_left"] == 0, row
+
+    def test_nothing_shed_at_nominal_rate(self, rows):
+        for row in rows:
+            assert row["shed"] == 0, row
+
+    def test_tenants_diverge_on_a_shared_pack(self, rows):
+        """Different event seeds must produce different fixed points —
+        the cheap smoke that tenant state never bleeds across."""
+        fingerprints = {
+            (row["remediations"], row["tickets"], row["wm"]) for row in rows
+        }
+        assert len(fingerprints) == TENANTS, rows
+
+    def test_remediations_and_tickets_produced(self, rows):
+        for row in rows:
+            assert row["remediations"] > 0, row
+            assert row["tickets"] > 0, row

@@ -795,6 +795,138 @@ def report_a6(
 
 
 # ---------------------------------------------------------------------------
+# A9 — multi-tenant serving: throughput, tail latency, crash recovery
+# ---------------------------------------------------------------------------
+
+
+def report_a9(
+    events_per_tenant: int = 150,
+    tenants: int = 2,
+) -> Report:
+    """The serving profile: k8s-auto-fix events through ``repro serve``.
+
+    An in-process :class:`~repro.serve.server.RuleServer` hosts *tenants*
+    sessions sharing one k8s-auto-fix rule pack (docs/SERVING.md).  Each
+    tenant streams its inventory plus *events_per_tenant* cluster events
+    over a real TCP connection, one request per ack, so every latency
+    sample spans parse → apply → recognize-act → group-commit fsync.
+    After the stream the server is *abandoned* — logs dropped without the
+    final sync or checkpoint, the in-process stand-in for ``kill -9`` —
+    and a second server recovers the data directory cold.
+
+    Wall-clock columns (``events/s``, ``p50/p99``, ``recover_ms``) are
+    trajectory-only; the gated columns are deterministic in the seed:
+    ``applied_seq`` (exactly-once high-water mark survives the crash),
+    ``remediations``/``tickets``/``wm`` (the pack's fixed point), and
+    ``events_left``/``shed`` (both must be zero — every event consumed,
+    nothing shed at the nominal one-in-flight rate).
+    """
+    import asyncio
+    import json
+    import tempfile
+
+    from repro.obs import Observability
+    from repro.serve.server import RuleServer
+    from repro.workload.k8s import (
+        K8S_PROGRAM,
+        as_requests,
+        k8s_events,
+        k8s_setup,
+    )
+
+    names = [f"tenant-{i}" for i in range(tenants)]
+    streamed: dict[str, int] = {}
+
+    async def drive(server: RuleServer) -> float:
+        await server.start()
+
+        async def run_tenant(index: int, name: str) -> None:
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+
+            async def call(body: dict) -> dict:
+                writer.write(json.dumps(body).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            reply = await call(
+                {"op": "attach", "tenant": name, "program": K8S_PROGRAM}
+            )
+            assert reply["ok"], reply
+            ops = k8s_setup() + k8s_events(events_per_tenant, seed=index)
+            for request in as_requests(name, ops):
+                reply = await call(request)
+                assert reply.get("durable"), reply
+                streamed[name] = reply["seq"]
+            writer.close()
+            await writer.wait_closed()
+
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(run_tenant(i, name) for i, name in enumerate(names))
+        )
+        elapsed = time.perf_counter() - started
+        # kill -9 stand-in: stop the loop machinery, then drop every log
+        # on the floor — no final sync, no checkpoint, no clean close.
+        server._stopping.set()
+        server._work.set()
+        if server._engine_task is not None:
+            await server._engine_task
+        if server._server is not None:
+            server._server.close()
+            await server._server.wait_closed()
+        for name in server.registry.names():
+            server.registry.get(name).run.abandon()
+        return elapsed
+
+    rows: list[dict] = []
+    with tempfile.TemporaryDirectory() as directory:
+        obs = Observability(collect_metrics=True)
+        server = RuleServer(directory, obs=obs, checkpoint_rounds=16)
+        elapsed = asyncio.run(drive(server))
+        shed = server.admission.shed
+
+        started = time.perf_counter()
+        revived = RuleServer(directory, obs=Observability())
+        recovered = revived.recover_all()
+        recover_ms = (time.perf_counter() - started) * 1000
+        assert recovered == names, (recovered, names)
+
+        total = len(k8s_setup()) + events_per_tenant
+        for name in names:
+            session = revived.registry.get(name)
+            stats = session.stats()
+            assert stats["applied_seq"] == streamed[name] == total
+            latency = obs.metrics.log2_histogram(
+                f"serve.latency_us[{name}]"
+            )
+            rows.append(
+                {
+                    "tenant": name,
+                    "events": events_per_tenant,
+                    "events/s": (
+                        tenants * events_per_tenant / elapsed
+                        if elapsed
+                        else 0.0
+                    ),
+                    "p50_ms": latency.percentile(0.50) / 1000,
+                    "p99_ms": latency.percentile(0.99) / 1000,
+                    "shed": shed,
+                    "applied_seq": stats["applied_seq"],
+                    "events_left": len(session.query("event")),
+                    "remediations": len(session.query("remediation")),
+                    "tickets": len(session.query("ticket")),
+                    "wm": stats["wm_size"],
+                    "recover_ms": recover_ms,
+                }
+            )
+        for name in revived.registry.names():
+            revived.registry.get(name).close()
+    return ("A9  multi-tenant serving (docs/SERVING.md k8s-auto-fix)", rows)
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -805,6 +937,7 @@ REPORTS = {
     "a6": report_a6,
     "a7": report_a7,
     "a8": report_a8,
+    "a9": report_a9,
     "e1": report_e1,
     "e2": report_e2,
     "e3": report_e3,

@@ -50,6 +50,13 @@ from repro.recovery import (
 DEFAULT_CRASH_BACKENDS = ("memory", "sqlite")
 DEFAULT_CRASH_BATCH_SIZES = (1, 8, "auto")
 DEFAULT_CRASH_STRATEGY = "rete"
+#: Execution modes a crash cell can run the recognize-act loop in:
+#: ``"cycle"`` (serial OPS5 cycles) or ``"txn"`` (§5.2 concurrent rounds,
+#: whose mid-round ``txn.*`` crash sites this profile faults).
+CRASH_EXEC_MODES = ("cycle", "txn")
+#: Segment budget used for checkpointed cells, small enough that typical
+#: traces rotate (and compact) their logs mid-run.
+CRASH_ROTATE_BYTES = 1024
 
 
 @dataclass
@@ -209,6 +216,43 @@ class _OpDriver:
                 self.tuner.observe(batch)
 
 
+def _run_txn_rounds(system: ProductionSystem, trace: Trace,
+                    observables) -> None:
+    """§5.2 rounds over a plain system — the txn-mode reference loop."""
+    from repro.txn.scheduler import ConcurrentScheduler
+
+    scheduler = ConcurrentScheduler(system)
+    for round_no in range(1, trace.max_cycles + 1):
+        stats = scheduler.run_round()
+        if stats.transactions == 0:
+            break
+        observables.fired.extend(
+            (round_no, key[0], key) for key in stats.committed_seq
+        )
+        observables.checkpoints[("round", round_no)] = frozenset(
+            system.strategy.conflict_set_keys()
+        )
+
+
+def _durable_rounds(run, trace: Trace, observables) -> None:
+    """§5.2 rounds over a DurableRun, recording the same observables."""
+    from repro.txn.scheduler import ConcurrentScheduler
+
+    system = run.system
+    scheduler = ConcurrentScheduler(system)
+    while run.next_cycle <= trace.max_cycles:
+        round_no = run.next_cycle
+        rounds = run.run_txn(max_rounds=1, scheduler=scheduler)
+        if not rounds:
+            break
+        observables.fired.extend(
+            (round_no, key[0], key) for key in rounds[0].committed_seq
+        )
+        observables.checkpoints[("round", round_no)] = frozenset(
+            system.strategy.conflict_set_keys()
+        )
+
+
 def _run_cycles(system: ProductionSystem, trace: Trace, observables,
                 start_cycle: int = 1) -> None:
     for cycle in range(start_cycle, trace.max_cycles + 1):
@@ -235,7 +279,8 @@ def _finalize(system: ProductionSystem, observables: _Observables) -> None:
 
 
 def _plain_reference(
-    trace: Trace, backend: str, batch_size, strategy: str, workers: int = 1
+    trace: Trace, backend: str, batch_size, strategy: str, workers: int = 1,
+    exec_mode: str = "cycle",
 ) -> _Observables:
     """The uninterrupted, WAL-less replay every variant must match."""
     system = ProductionSystem(
@@ -256,7 +301,10 @@ def _plain_reference(
         )
 
     driver.apply_ops(trace.ops, 0, boundary)
-    _run_cycles(system, trace, observables)
+    if exec_mode == "txn":
+        _run_txn_rounds(system, trace, observables)
+    else:
+        _run_cycles(system, trace, observables)
     _finalize(system, observables)
     return observables
 
@@ -286,6 +334,8 @@ def _durable_replay(
     checkpoint_every: int = 0,
     fsync_every: int = 4,
     workers: int = 1,
+    exec_mode: str = "cycle",
+    wal_rotate_bytes: int = 0,
 ) -> _Observables:
     """One complete WAL-attached replay, including the closing sync.
 
@@ -316,6 +366,7 @@ def _durable_replay(
         checkpoint_every=checkpoint_every,
         fsync_every=fsync_every,
         include_rete=checkpoint_path is not None,
+        wal_rotate_bytes=wal_rotate_bytes,
     )
     observables = _Observables()
     driver = _OpDriver(system, batch_size)
@@ -327,7 +378,10 @@ def _durable_replay(
                 position, extra=d.extra(position)
             ),
         )
-        _durable_cycles(run, trace, observables)
+        if exec_mode == "txn":
+            _durable_rounds(run, trace, observables)
+        else:
+            _durable_cycles(run, trace, observables)
         _finalize(system, observables)
         run.close()
     except SimulatedCrash:
@@ -359,6 +413,8 @@ def _finish_recovered(
     batch_size,
     checkpoint_path: str | None,
     checkpoint_every: int,
+    exec_mode: str = "cycle",
+    wal_rotate_bytes: int = 0,
 ) -> tuple[_Observables, frozenset, tuple | None]:
     """Resume a recovered run to completion.
 
@@ -373,6 +429,8 @@ def _finish_recovered(
         tag = ("ops", state.position)
     elif state.phase == "cycle":
         tag = ("cycle", state.cycle)
+    elif state.phase == "round":
+        tag = ("round", state.cycle)
     else:
         tag = None
     run = DurableRun.resume(
@@ -380,6 +438,7 @@ def _finish_recovered(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         include_rete=checkpoint_path is not None,
+        wal_rotate_bytes=wal_rotate_bytes,
     )
     try:
         driver = _OpDriver(system, batch_size)
@@ -392,7 +451,10 @@ def _finish_recovered(
                     position, extra=d.extra(position)
                 ),
             )
-        _durable_cycles(run, trace, observables)
+        if exec_mode == "txn":
+            _durable_rounds(run, trace, observables)
+        else:
+            _durable_cycles(run, trace, observables)
     finally:
         run.close()
     _finalize(system, observables)
@@ -477,6 +539,8 @@ def run_crash_trace(
     checkpoint_every: int = 0,
     workdir: str | None = None,
     workers: int = 1,
+    exec_mode: str = "cycle",
+    wal_rotate_bytes: int | None = None,
 ) -> tuple[CrashFinding | None, dict]:
     """Crash one trace at *site* (or a random reachable site), recover,
     finish, and compare against the uninterrupted reference.
@@ -484,16 +548,30 @@ def run_crash_trace(
     ``workers`` sizes the match worker pool for every replay in the cell
     — reference, dry run, crashed run and recovery — so crash-recovery
     is exercised under parallel match too (the determinism contract of
-    docs/PARALLELISM.md extends through the WAL).
+    docs/PARALLELISM.md extends through the WAL).  ``exec_mode="txn"``
+    runs the recognize-act loop as §5.2 concurrent rounds instead of
+    serial cycles, reaching the mid-round ``txn.*`` crash sites.
+    Checkpointed cells also rotate their logs every
+    :data:`CRASH_ROTATE_BYTES`, so segment rotation, compaction and the
+    torn-rotation window (``wal.rotate``) are crashed and recovered too.
 
     Returns ``(finding_or_None, stats)`` where *stats* records what
     happened: ``{"crashed": site_or_None, "recovered": bool,
     "restarted": bool, "hits": {site: count}}``.
     """
+    if exec_mode not in CRASH_EXEC_MODES:
+        raise ValueError(
+            f"unknown crash exec mode {exec_mode!r}; "
+            f"choose from {CRASH_EXEC_MODES}"
+        )
     trace = _strip_control_ops(trace)
     rng = rng or random.Random(trace.seed)
     stats = {"crashed": None, "recovered": False, "restarted": False,
              "hits": {}}
+    if wal_rotate_bytes is not None:
+        rotate_bytes = wal_rotate_bytes
+    else:
+        rotate_bytes = CRASH_ROTATE_BYTES if checkpoint_every else 0
 
     def _run(directory: str):
         wal_path = os.path.join(directory, "crash.wal")
@@ -501,7 +579,7 @@ def run_crash_trace(
             os.path.join(directory, "crash.ckpt") if checkpoint_every else None
         )
         reference = _plain_reference(
-            trace, backend, batch_size, strategy, workers
+            trace, backend, batch_size, strategy, workers, exec_mode
         )
 
         # Uninterrupted durable dry run: pins WAL-attached == WAL-off and
@@ -517,13 +595,16 @@ def run_crash_trace(
             ),
             checkpoint_every=checkpoint_every,
             workers=workers,
+            exec_mode=exec_mode,
+            wal_rotate_bytes=rotate_bytes,
         )
         stats["hits"] = {
             name: probe.hits(name) for name in CRASH_SITES if probe.hits(name)
         }
         w_tag = f"/w{workers}" if workers != 1 else ""
+        mode_tag = f"/{exec_mode}" if exec_mode != "cycle" else ""
         finding = _compare(
-            trace, f"{backend}/batch={batch_size}{w_tag}/wal-dry",
+            trace, f"{backend}/batch={batch_size}{w_tag}{mode_tag}/wal-dry",
             reference, dry,
         )
         if finding is not None:
@@ -545,7 +626,8 @@ def run_crash_trace(
         crashpoints = Crashpoints()
         crashpoints.arm(chosen, after=arm_after)
         label = (
-            f"{backend}/batch={batch_size}{w_tag}/{chosen}@{arm_after}"
+            f"{backend}/batch={batch_size}{w_tag}{mode_tag}"
+            f"/{chosen}@{arm_after}"
         )
         try:
             finished = _durable_replay(
@@ -553,6 +635,8 @@ def run_crash_trace(
                 crashpoints=crashpoints, checkpoint_path=checkpoint_path,
                 checkpoint_every=checkpoint_every,
                 workers=workers,
+                exec_mode=exec_mode,
+                wal_rotate_bytes=rotate_bytes,
             )
             # The armed hit count exceeded the run's crossings (can happen
             # for caller-pinned sites); the run finished uninterrupted.
@@ -569,12 +653,14 @@ def run_crash_trace(
                 trace, backend, batch_size, strategy,
                 os.path.join(directory, "restart.wal"),
                 workers=workers,
+                exec_mode=exec_mode,
             )
             return _compare(trace, f"{label}/restart", reference, rerun)
 
         stats["recovered"] = True
         finished, at_recovery, tag = _finish_recovered(
-            state, trace, batch_size, checkpoint_path, checkpoint_every
+            state, trace, batch_size, checkpoint_path, checkpoint_every,
+            exec_mode=exec_mode, wal_rotate_bytes=rotate_bytes,
         )
         if tag is not None and tag in reference.checkpoints:
             if at_recovery != reference.checkpoints[tag]:
@@ -608,13 +694,17 @@ def run_crash_check(
     save_repro_dir: str | None = None,
     obs: Observability | None = None,
     worker_counts: tuple[int, ...] = (1,),
+    exec_modes: tuple[str, ...] = ("cycle",),
 ) -> CrashReport:
     """The ``repro check --crash`` campaign: *budget* traces, each crashed
     at a random reachable site under a rotating backend × batch-size ×
-    worker-count configuration (checkpoints cut every few cycles on half
-    the traces, so both the checkpoint fast path and pure log replay are
-    exercised; *worker_counts* beyond ``(1,)`` rotates parallel-match
-    cells in, crashing and recovering runs with a live worker pool).
+    worker-count × exec-mode configuration (checkpoints cut every few
+    cycles on half the traces, so both the checkpoint fast path and pure
+    log replay are exercised — and those cells also rotate/compact their
+    log segments; *worker_counts* beyond ``(1,)`` rotates parallel-match
+    cells in, crashing and recovering runs with a live worker pool;
+    *exec_modes* including ``"txn"`` kills §5.2 scheduler rounds at the
+    mid-round ``txn.*`` sites).
     """
     from repro.check.corpus import save_repro
 
@@ -628,6 +718,7 @@ def run_crash_check(
     backends = tuple(backends)
     batch_sizes = tuple(batch_sizes)
     worker_counts = tuple(worker_counts) or (1,)
+    exec_modes = tuple(exec_modes) or ("cycle",)
     for index in range(budget):
         trace = generate_trace(seed, index, program=program, **generate_kwargs)
         backend = backends[index % len(backends)]
@@ -635,6 +726,7 @@ def run_crash_check(
         workers = worker_counts[
             (index // (len(backends) * len(batch_sizes))) % len(worker_counts)
         ]
+        exec_mode = exec_modes[index % len(exec_modes)]
         ckpt_every = checkpoint_every if index % 2 else 0
         rng = random.Random(f"{seed}/{index}/crash")
         with obs.span(
@@ -643,6 +735,7 @@ def run_crash_check(
             backend=backend,
             batch=str(batch_size),
             workers=workers,
+            exec=exec_mode,
         ) as span:
             finding, stats = run_crash_trace(
                 trace,
@@ -652,6 +745,7 @@ def run_crash_check(
                 rng=rng,
                 checkpoint_every=ckpt_every,
                 workers=workers,
+                exec_mode=exec_mode,
             )
             span.set("crashed", stats["crashed"] or "(none)")
             span.set("ok", finding is None)

@@ -435,7 +435,7 @@ def _cmd_check_fuzz(args: argparse.Namespace) -> int:
     if args.crash:
         return _cmd_check_crash(
             args, budget, backends, batch_sizes, resolutions, obs,
-            worker_counts,
+            worker_counts, exec_modes,
         )
     report = run_check(
         budget=budget,
@@ -471,10 +471,11 @@ def _cmd_check_fuzz(args: argparse.Namespace) -> int:
 
 def _cmd_check_crash(
     args, budget, backends, batch_sizes, resolutions, obs,
-    worker_counts=None,
+    worker_counts=None, exec_modes=None,
 ) -> int:
     """``repro check --crash``: the crash-recovery equivalence campaign."""
     from repro.check import run_crash_check
+    from repro.check.crash import CRASH_EXEC_MODES
 
     kwargs = {}
     if backends is not None:
@@ -483,6 +484,12 @@ def _cmd_check_crash(
         kwargs["batch_sizes"] = tuple(batch_sizes)
     if worker_counts is not None:
         kwargs["worker_counts"] = worker_counts
+    if exec_modes is not None:
+        # The crash profile replays serial cycles or §5.2 txn rounds;
+        # "set" firing has no distinct durability path, so drop it here.
+        modes = tuple(m for m in exec_modes if m in CRASH_EXEC_MODES)
+        if modes:
+            kwargs["exec_modes"] = modes
     report = run_crash_check(
         budget=budget,
         seed=args.seed,
@@ -638,6 +645,56 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.bench.report import main as report_main
 
     report_main(args.experiments)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve --data-dir DIR``: the multi-tenant rule service.
+
+    Recovers every tenant log under the data directory, then listens for
+    newline-delimited JSON requests (see ``docs/SERVING.md``).  SIGTERM
+    and SIGINT trigger a graceful shutdown: drain, group-flush, final
+    checkpoint per tenant, close the logs.
+    """
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.obs import Observability
+    from repro.serve.backpressure import AdmissionController, AdmissionPolicy
+    from repro.serve.server import RuleServer
+
+    obs = Observability(collect_metrics=True)
+    server = RuleServer(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        obs=obs,
+        admission=AdmissionController(
+            AdmissionPolicy(
+                defer_depth=args.defer_depth, shed_depth=args.shed_depth
+            ),
+            obs=obs,
+        ),
+        checkpoint_rounds=args.checkpoint_rounds,
+        wal_rotate_bytes=args.rotate_bytes,
+    )
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, server._stopping.set)
+        await server.start()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -1013,6 +1070,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("experiments", nargs="*")
     report.set_defaults(handler=cmd_report)
+
+    serve = commands.add_parser(
+        "serve",
+        help="host many tenant sessions over newline-delimited JSON/TCP",
+    )
+    serve.add_argument(
+        "--data-dir",
+        required=True,
+        metavar="DIR",
+        help="directory holding one WAL + checkpoint per tenant; every "
+        "log found here is recovered before the socket opens",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = ephemeral; the bound port is "
+        "announced on stdout as 'serving on HOST:PORT')",
+    )
+    serve.add_argument(
+        "--checkpoint-rounds",
+        type=int,
+        default=8,
+        metavar="N",
+        help="checkpoint a tenant every N group-commit rounds it took "
+        "part in (default: 8)",
+    )
+    serve.add_argument(
+        "--rotate-bytes",
+        type=int,
+        default=256 * 1024,
+        metavar="BYTES",
+        help="archive a tenant's WAL segment past this size; "
+        "checkpoints then compact superseded segments (default: 256k)",
+    )
+    serve.add_argument(
+        "--defer-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queue depth at which new ops defer to the next drain",
+    )
+    serve.add_argument(
+        "--shed-depth",
+        type=int,
+        default=256,
+        metavar="N",
+        help="queue depth at which new ops are shed (client retries)",
+    )
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 

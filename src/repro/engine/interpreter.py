@@ -219,6 +219,7 @@ class ProductionSystem:
         lineage: bool = False,
         compile: str = "auto",
         workers: int = 1,
+        analyses: dict[str, RuleAnalysis] | None = None,
     ) -> None:
         if firing not in ("instance", "set"):
             raise ExecutionError(
@@ -249,8 +250,13 @@ class ProductionSystem:
         self.compile_mode = compile
         program = self._resolve_program(source, rules, schemas)
         self.program = program
-        self.analyses: dict[str, RuleAnalysis] = analyze_program(
-            program.rules, program.schemas
+        #: Rule analyses are pure functions of the program text, so
+        #: callers hosting many systems over one program (a rule pack in
+        #: ``repro.serve``) may pass a shared dict and skip re-analysis.
+        self.analyses: dict[str, RuleAnalysis] = (
+            analyses
+            if analyses is not None
+            else analyze_program(program.rules, program.schemas)
         )
         self.counters = counters or Counters()
         self.obs = obs or Observability()

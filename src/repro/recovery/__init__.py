@@ -34,10 +34,14 @@ from repro.recovery.checkpoint import (
 from repro.recovery.recover import RecoveredState, recover, resume_run
 from repro.recovery.session import DurableRun
 from repro.recovery.wal import (
+    GroupCommit,
+    WalChainResult,
     WalReadResult,
     WalRecord,
     WalWriter,
+    list_segments,
     read_wal,
+    read_wal_chain,
 )
 
 __all__ = [
@@ -45,13 +49,17 @@ __all__ = [
     "CheckpointError",
     "Crashpoints",
     "DurableRun",
+    "GroupCommit",
     "RecoveredState",
     "SimulatedCrash",
+    "WalChainResult",
     "WalReadResult",
     "WalRecord",
     "WalWriter",
+    "list_segments",
     "load_checkpoint",
     "read_wal",
+    "read_wal_chain",
     "recover",
     "resume_run",
     "write_checkpoint",

@@ -18,17 +18,26 @@ from __future__ import annotations
 #: Every named crash site, in log-path order.  ``wal.pre_append`` /
 #: ``wal.post_append`` bracket buffering one record; ``wal.pre_sync`` /
 #: ``wal.post_sync`` bracket the fsync; ``commit.pre`` / ``commit.post``
-#: bracket writing a boundary (commit-point) record; ``checkpoint.mid``
+#: bracket writing a boundary (commit-point) record; ``wal.rotate`` fires
+#: mid-rotation, after the full segment was archived but before the new
+#: active file exists (the torn-rotation window); ``checkpoint.mid``
 #: fires after the checkpoint temp file is written but before the atomic
-#: rename.
+#: rename.  The ``txn.*`` sites live inside one §5.2 scheduler round:
+#: ``txn.post_plan`` after the lock-planning fan-out, ``txn.post_commit``
+#: after each transaction's commit step, and ``txn.pre_group_sync`` just
+#: before the round's group-commit WAL barrier.
 CRASH_SITES = (
     "wal.pre_append",
     "wal.post_append",
     "wal.pre_sync",
     "wal.post_sync",
+    "wal.rotate",
     "commit.pre",
     "commit.post",
     "checkpoint.mid",
+    "txn.post_plan",
+    "txn.post_commit",
+    "txn.pre_group_sync",
 )
 
 

@@ -43,7 +43,7 @@ from repro.recovery.checkpoint import (
     load_checkpoint,
 )
 from repro.recovery.session import DurableRun, program_crc
-from repro.recovery.wal import decode_batch, decode_fired, read_wal
+from repro.recovery.wal import decode_batch, decode_fired, read_wal_chain
 from repro.storage.tuples import StoredTuple
 
 
@@ -69,6 +69,9 @@ class RecoveredState:
     checkpoint_used: bool = False
     replayed_batches: int = 0
     replayed_deltas: int = 0
+    #: Sequence number the active WAL file starts at (1 for an unrotated
+    #: log) — a resumed writer needs it to name its next archived segment.
+    active_base_seq: int = 1
 
 
 def _build_system(meta: dict, obs: Observability | None) -> ProductionSystem:
@@ -129,55 +132,79 @@ def recover(
     first commit point (nothing durable happened — rerun from scratch).
     """
     started = time.perf_counter()
-    result = read_wal(wal_path)
+    result = read_wal_chain(wal_path)
     records = result.records
-    if not records or records[0].kind != "meta":
+    meta = result.meta
+    if meta is None:
         raise RecoveryError(
             f"{wal_path!r} has no durable meta record; "
             "the run died before its first commit point"
         )
-    meta = records[0].body
+    compacted = result.first_seq > 1
+    if compacted and not checkpoint_path:
+        raise RecoveryError(
+            f"the log prefix of {wal_path!r} was compacted away "
+            "(first surviving record has seq "
+            f"{result.first_seq}); recovery requires the checkpoint "
+            "that superseded it"
+        )
     boundaries = [r for r in records if r.kind == "boundary"]
-    if not boundaries:
+    if not boundaries and not compacted:
         raise RecoveryError(
             f"{wal_path!r} has no durable boundary record; "
             "the run died before its first commit point"
         )
-    last = boundaries[-1]
+    last_boundary_seq = boundaries[-1].seq if boundaries else 0
 
     ckpt = load_checkpoint(checkpoint_path) if checkpoint_path else None
+    if ckpt is None and compacted:
+        raise RecoveryError(
+            f"the log prefix of {wal_path!r} was compacted away but "
+            f"checkpoint {checkpoint_path!r} is missing or empty"
+        )
     if ckpt is not None:
         if ckpt["program_crc"] != program_crc(meta["program"]):
             raise CheckpointError(
                 f"checkpoint {checkpoint_path!r} does not belong to "
                 f"the program recorded in {wal_path!r}"
             )
-        if ckpt["wal_seq"] > last.seq:
-            raise CheckpointError(
-                f"checkpoint {checkpoint_path!r} (wal_seq "
-                f"{ckpt['wal_seq']}) is newer than the durable log "
-                f"(last boundary seq {last.seq}); the log was truncated "
-                "or swapped — refusing to guess"
-            )
-        if ckpt["wal_seq"] not in {b.seq for b in boundaries}:
+        if ckpt["wal_seq"] > last_boundary_seq:
+            # Legitimate only when compaction deleted the boundary the
+            # checkpoint names: the chain must then resume right after it.
+            if not (compacted and result.first_seq == ckpt["wal_seq"] + 1):
+                raise CheckpointError(
+                    f"checkpoint {checkpoint_path!r} (wal_seq "
+                    f"{ckpt['wal_seq']}) is newer than the durable log "
+                    f"(last boundary seq {last_boundary_seq}); the log "
+                    "was truncated or swapped — refusing to guess"
+                )
+        elif ckpt["wal_seq"] >= result.first_seq and ckpt[
+            "wal_seq"
+        ] not in {b.seq for b in boundaries}:
             raise CheckpointError(
                 f"checkpoint {checkpoint_path!r} references seq "
                 f"{ckpt['wal_seq']}, which is not a boundary record in "
                 f"{wal_path!r}"
             )
 
+    #: The recovery point: the last durable commit, whether it survives
+    #: as a boundary record or only as the checkpoint that replaced it.
+    recovery_seq = max(
+        last_boundary_seq, ckpt["wal_seq"] if ckpt is not None else 0
+    )
     system = _build_system(meta, obs)
     state = RecoveredState(
         system=system,
         meta=meta,
         wal_path=wal_path,
-        durable_offset=last.end_offset,
-        next_seq=last.seq + 1,
+        durable_offset=result.active_offset(recovery_seq),
+        next_seq=recovery_seq + 1,
         phase=None,
         cycle=0,
         position=0,
         halted=False,
         torn=result.torn,
+        active_base_seq=result.active_base_seq,
     )
 
     fired_encoded: list = []
@@ -213,7 +240,7 @@ def recover(
 
     start_seq = ckpt["wal_seq"] if ckpt is not None else 0
     for record in records:
-        if record.seq <= start_seq or record.seq > last.seq:
+        if record.seq <= start_seq or record.seq > recovery_seq:
             continue
         if record.kind == "batch":
             batch = decode_batch(record.body)

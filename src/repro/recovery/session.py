@@ -92,6 +92,8 @@ class DurableRun:
         checkpoint_bytes: int = 0,
         include_rete: bool = False,
         extra: dict | None = None,
+        wal_rotate_bytes: int = 0,
+        group=None,
     ) -> "DurableRun":
         """Open a fresh log for *system* and commit the setup boundary.
 
@@ -100,15 +102,21 @@ class DurableRun:
         ``seed``, ``batch_size`` and ``firing``.  The system's current WM
         (its initial elements were inserted before any log existed) is
         logged as the first batch record, so recovery replays it like any
-        other committed batch.
+        other committed batch.  *wal_rotate_bytes* > 0 turns on segment
+        rotation (and compaction at each checkpoint); *group* defers
+        boundary fsyncs to a shared
+        :class:`~repro.recovery.wal.GroupCommit` barrier.
         """
+        meta = {"version": 1, "program": program_text, **config}
         writer = WalWriter.create(
             wal_path,
             crashpoints=crashpoints,
             obs=system.obs,
             fsync_every=fsync_every,
+            rotate_bytes=wal_rotate_bytes,
+            wal_meta=meta,
+            group=group,
         )
-        meta = {"version": 1, "program": program_text, **config}
         writer.append("meta", meta)
         rows = sorted(
             (
@@ -151,6 +159,8 @@ class DurableRun:
         checkpoint_every: int = 0,
         checkpoint_bytes: int = 0,
         include_rete: bool = False,
+        wal_rotate_bytes: int = 0,
+        group=None,
     ) -> "DurableRun":
         """Continue a recovered run's log in place.
 
@@ -164,6 +174,16 @@ class DurableRun:
             crashpoints=crashpoints,
             obs=state.system.obs,
             fsync_every=fsync_every,
+            rotate_bytes=wal_rotate_bytes,
+            wal_meta=state.meta,
+            group=group,
+            # An active file truncated to empty restarts its segment at
+            # the next appended record, not at the pre-crash base.
+            _segment_first_seq=(
+                state.active_base_seq
+                if state.durable_offset
+                else state.next_seq
+            ),
         )
         state.system.wm.wal = writer
         run = cls(
@@ -278,6 +298,38 @@ class DurableRun:
             fired=fired_records,
         )
 
+    def run_txn(self, max_rounds: int = 100, scheduler=None) -> list:
+        """§5.2 concurrent rounds under the WAL, one boundary per round.
+
+        Mirrors the oracle's txn replay: each round drains one
+        conflict-set snapshot through a
+        :class:`~repro.txn.scheduler.ConcurrentScheduler` (whose
+        group-commit sync makes the round's batches durable), then a
+        ``"round"`` boundary commits the round's fired keys.  Returns the
+        per-round stats; round numbering continues across recovery.
+        """
+        if scheduler is None:
+            from repro.txn.scheduler import ConcurrentScheduler
+
+            scheduler = ConcurrentScheduler(self.system)
+        rounds = []
+        for _ in range(max_rounds):
+            round_no = self.next_cycle
+            stats = scheduler.run_round()
+            if stats.transactions == 0:
+                break
+            self.next_cycle += 1
+            delta = [
+                encode_fired((round_no, key[0], key))
+                for key in stats.committed_seq
+            ]
+            self._fired.extend(delta)
+            self._commit_boundary("round", fired_delta=delta)
+            self._cycles_since_checkpoint += 1
+            self._maybe_checkpoint()
+            rounds.append(stats)
+        return rounds
+
     # -- checkpoints ----------------------------------------------------------
 
     def _state_snapshot(self) -> dict:
@@ -326,6 +378,9 @@ class DurableRun:
         if body is not None:
             self._cycles_since_checkpoint = 0
             self._bytes_at_checkpoint = self.writer.synced_bytes
+            # The checkpoint supersedes every record up to its wal_seq;
+            # archived segments fully below it carry no recovery value.
+            self.writer.compact(self.last_boundary_seq)
         return body
 
     # -- lifecycle -------------------------------------------------------------

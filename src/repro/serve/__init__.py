@@ -1,0 +1,62 @@
+"""repro.serve — a long-lived, multi-tenant rule service.
+
+The paper's premise is a *production system hosted in a DBMS*: a shared,
+durable engine that many applications talk to, not a batch process that
+owns its working memory for one run.  This package supplies that shape:
+
+* :mod:`repro.serve.protocol` — newline-delimited JSON over TCP: WM ops
+  (``insert`` / ``delete`` / ``modify``), queries and admin verbs, each
+  routed to a named tenant and acknowledged exactly once;
+* :mod:`repro.serve.registry` — tenant sessions plus shared *rule
+  packs*: tenants running the same program text share one parsed
+  :class:`~repro.lang.ast.Program` and one analysis table, so N tenants
+  cost one compilation;
+* :mod:`repro.serve.session` — one
+  :class:`~repro.recovery.session.DurableRun` per tenant: every applied
+  op batch ends in a WAL boundary, engine cycles run to quiescence after
+  each batch, and a crash replays from the tenant's own log;
+* :mod:`repro.serve.backpressure` — deterministic admission control
+  (accept / defer / shed) on per-tenant queue depth, feeding the
+  ``serve.*`` metrics ``repro top`` renders;
+* :mod:`repro.serve.server` — the asyncio front end: per-connection
+  readers, one engine task draining tenants in sorted order, a
+  cross-tenant :class:`~repro.recovery.wal.GroupCommit` fsync barrier
+  (no ack leaves before the flush covering it), and crash-restart
+  recovery of every tenant log found on disk before the socket opens.
+
+``repro serve --data-dir DIR`` is the CLI entry point;
+``docs/SERVING.md`` walks the protocol and the durability contract.
+"""
+
+from repro.serve.backpressure import (
+    ACCEPT,
+    DEFER,
+    SHED,
+    AdmissionController,
+)
+from repro.serve.protocol import (
+    MUTATION_OPS,
+    ProtocolError,
+    Request,
+    encode_reply,
+    parse_request,
+)
+from repro.serve.registry import RulePack, SessionRegistry
+from repro.serve.server import RuleServer
+from repro.serve.session import TenantSession
+
+__all__ = [
+    "ACCEPT",
+    "AdmissionController",
+    "DEFER",
+    "MUTATION_OPS",
+    "ProtocolError",
+    "Request",
+    "RulePack",
+    "RuleServer",
+    "SHED",
+    "SessionRegistry",
+    "TenantSession",
+    "encode_reply",
+    "parse_request",
+]

@@ -1,0 +1,73 @@
+"""Admission control: deterministic accept / defer / shed on queue depth.
+
+The server cannot let one tenant's burst grow an unbounded queue (the
+engine task drains tenants at group-commit cadence, so queued ops are
+exactly the ops whose acks are owed).  Admission is a pure function of
+the observed depth against two thresholds:
+
+* depth < ``defer_depth`` — **accept**: enqueue immediately;
+* depth < ``shed_depth`` — **defer**: the reader awaits the next drain
+  before enqueueing (TCP backpressure propagates to the client);
+* otherwise — **shed**: refuse with ``{"ok": false, "shed": true}``;
+  the client retries with the same seq (exactly-once makes retry safe).
+
+Determinism matters because the shed counters and queue-depth gauges are
+gated against a metrics baseline: the same op stream against the same
+thresholds must shed the same ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ACCEPT = "accept"
+DEFER = "defer"
+SHED = "shed"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Thresholds, in queued-ops per tenant."""
+
+    defer_depth: int = 64
+    shed_depth: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0 < self.defer_depth <= self.shed_depth:
+            raise ValueError(
+                "need 0 < defer_depth <= shed_depth, got "
+                f"{self.defer_depth} / {self.shed_depth}"
+            )
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` and keeps score.
+
+    ``admit(depth)`` is pure in the depth argument; the controller only
+    accumulates counters (mirrored into the ``serve.admission_*``
+    metrics when observability is on) so tests can assert shed behaviour
+    without a metrics registry.
+    """
+
+    def __init__(self, policy: AdmissionPolicy | None = None,
+                 obs=None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self.obs = obs
+        self.accepted = 0
+        self.deferred = 0
+        self.shed = 0
+
+    def admit(self, depth: int) -> str:
+        """Decide for one op observing *depth* queued ops."""
+        if depth >= self.policy.shed_depth:
+            decision = SHED
+            self.shed += 1
+        elif depth >= self.policy.defer_depth:
+            decision = DEFER
+            self.deferred += 1
+        else:
+            decision = ACCEPT
+            self.accepted += 1
+        if self.obs is not None and self.obs.enabled:
+            self.obs.metrics.counter(f"serve.admission_{decision}").inc()
+        return decision

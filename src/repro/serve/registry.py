@@ -1,0 +1,82 @@
+"""Rule packs and the tenant-session registry.
+
+Many tenants of one server typically run the *same* program (the k8s
+auto-fix pack, say) against their own working memories.  Parsing and
+rule analysis are pure functions of the program text, so the registry
+interns them: one :class:`RulePack` per distinct text (keyed by the same
+CRC that binds checkpoints to their log), shared by every session built
+from it.  Working memory, match network state, conflict set and WAL stay
+strictly per tenant — sharing stops at the immutable compile artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.analysis import RuleAnalysis, analyze_program
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+from repro.recovery.session import program_crc
+
+
+@dataclass
+class RulePack:
+    """The shared, immutable compile artifacts of one program text."""
+
+    text: str
+    crc: int
+    program: Program
+    analyses: dict[str, RuleAnalysis]
+    #: Tenants currently built on this pack (bookkeeping for ``status``).
+    tenants: set[str] = field(default_factory=set)
+
+    @classmethod
+    def build(cls, text: str) -> "RulePack":
+        program = parse_program(text)
+        return cls(
+            text=text,
+            crc=program_crc(text),
+            program=program,
+            analyses=analyze_program(program.rules, program.schemas),
+        )
+
+
+class SessionRegistry:
+    """Tenant sessions plus the rule packs they share."""
+
+    def __init__(self) -> None:
+        self.sessions: dict = {}
+        self._packs: dict[int, RulePack] = {}
+
+    # -- rule packs -----------------------------------------------------------
+
+    def pack_for(self, text: str) -> RulePack:
+        """The interned pack for *text*, building it on first sight."""
+        crc = program_crc(text)
+        pack = self._packs.get(crc)
+        if pack is None or pack.text != text:  # CRC collision: rebuild
+            pack = RulePack.build(text)
+            self._packs[pack.crc] = pack
+        return pack
+
+    @property
+    def packs(self) -> list[RulePack]:
+        return [self._packs[crc] for crc in sorted(self._packs)]
+
+    # -- sessions -------------------------------------------------------------
+
+    def add(self, session) -> None:
+        self.sessions[session.name] = session
+        session.pack.tenants.add(session.name)
+
+    def get(self, name: str):
+        return self.sessions.get(name)
+
+    def names(self) -> list[str]:
+        """Tenant names in the deterministic drain order."""
+        return sorted(self.sessions)
+
+    def remove(self, name: str) -> None:
+        session = self.sessions.pop(name, None)
+        if session is not None:
+            session.pack.tenants.discard(name)

@@ -1,0 +1,392 @@
+"""The asyncio front end: many tenants, one engine, one fsync barrier.
+
+Concurrency model — deliberately simple and deterministic:
+
+* one reader coroutine per connection parses requests and routes them;
+  mutations pass admission control and join their tenant's queue with a
+  future for the eventual ack;
+* one *engine task* owns every production system.  Each round it drains
+  the tenants with queued work **in sorted tenant order** (apply ops,
+  commit the ops boundary, run cycles to quiescence), then flushes the
+  shared :class:`~repro.recovery.wal.GroupCommit` — one fsync barrier
+  covering every tenant's boundaries — and only then resolves the acks.
+  An acknowledged op is therefore durable by construction: ``kill -9``
+  after the ack replays it from the tenant's log.
+* checkpoints are cut after the flush (never inside a round), so a
+  checkpoint can never name a boundary that isn't durable yet.
+
+On start the server scans its data directory and recovers **every**
+tenant log it finds — including logs whose active file is missing
+(the torn-rotation window) — before the listening socket opens, so
+``repro serve`` *is* ``repro resume`` for the whole fleet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import time
+
+from repro.obs import Observability
+from repro.recovery.wal import GroupCommit
+from repro.serve.backpressure import (
+    ACCEPT,
+    DEFER,
+    AdmissionController,
+    AdmissionPolicy,
+)
+from repro.serve.protocol import (
+    MUTATION_OPS,
+    ProtocolError,
+    Request,
+    encode_reply,
+    parse_request,
+)
+from repro.serve.registry import SessionRegistry
+from repro.serve.session import DEFAULT_ROTATE_BYTES, TenantSession
+
+#: Anything that is (or once was) a tenant WAL: ``<tenant>.wal``, an
+#: archived segment, or the meta sidecar left by rotation.
+_TENANT_FILE_RE = re.compile(r"^([A-Za-z0-9_-]+)\.wal(?:$|\.)")
+
+
+def scan_tenants(data_dir: str) -> list[str]:
+    """Tenant names with durable state under *data_dir*, sorted."""
+    names = set()
+    for entry in os.listdir(data_dir):
+        match = _TENANT_FILE_RE.match(entry)
+        if match is not None:
+            names.add(match.group(1))
+    return sorted(names)
+
+
+class RuleServer:
+    """One engine process hosting many tenant sessions over TCP."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        obs: Observability | None = None,
+        admission: AdmissionController | None = None,
+        checkpoint_rounds: int = 8,
+        wal_rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+    ) -> None:
+        self.data_dir = data_dir
+        self.host = host
+        self.port = port
+        self.obs = obs or Observability()
+        self.group = GroupCommit(self.obs)
+        self.registry = SessionRegistry()
+        self.admission = admission or AdmissionController(
+            AdmissionPolicy(), obs=self.obs
+        )
+        self.checkpoint_rounds = checkpoint_rounds
+        self.wal_rotate_bytes = wal_rotate_bytes
+        self.recovered_tenants: list[str] = []
+        self.rounds = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._engine_task: asyncio.Task | None = None
+        self._work = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._stopping = asyncio.Event()
+        self._closed = False
+
+    # -- recovery on start ------------------------------------------------------
+
+    def recover_all(self) -> list[str]:
+        """Recover every tenant log under the data dir; returns names.
+
+        Each recovered session immediately finishes any interrupted
+        recognize-act work (determinism makes the re-execution identical
+        to the run that died), and the resulting boundaries are flushed
+        before the server accepts traffic.
+        """
+        os.makedirs(self.data_dir, exist_ok=True)
+        started = time.perf_counter()
+        recovered = []
+        for name in scan_tenants(self.data_dir):
+            session = TenantSession.recover_from_disk(
+                name,
+                self.data_dir,
+                self.registry,
+                group=self.group,
+                obs=self.obs,
+                wal_rotate_bytes=self.wal_rotate_bytes,
+                checkpoint_rounds=self.checkpoint_rounds,
+            )
+            self.registry.add(session)
+            session.run_to_quiescence()
+            recovered.append(name)
+        self.group.flush()
+        self.recovered_tenants = recovered
+        if self.obs.enabled and recovered:
+            metrics = self.obs.metrics
+            metrics.counter("serve.tenants_recovered").inc(len(recovered))
+            metrics.log2_histogram("serve.recovery_us").observe(
+                (time.perf_counter() - started) * 1e6
+            )
+        return recovered
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover, bind, announce, and start the engine task."""
+        self.recover_all()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._engine_task = asyncio.ensure_future(self._engine_loop())
+        print(f"serving on {self.host}:{self.port}", flush=True)
+
+    async def serve_forever(self) -> None:
+        await self._stopping.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: drain queues, flush, checkpoint, close logs."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._engine_task is not None:
+            self._work.set()  # wake it so it can observe _stopping
+            await self._engine_task
+        self._drain_round()  # anything admitted after the last round
+        for name in self.registry.names():
+            session = self.registry.get(name)
+            session.maybe_checkpoint(force=True)
+            session.close()
+
+    # -- the engine task --------------------------------------------------------
+
+    async def _engine_loop(self) -> None:
+        while not self._stopping.is_set():
+            await self._work.wait()
+            self._work.clear()
+            if self._stopping.is_set():
+                break
+            self._drain_round()
+            # Release readers deferred by admission control, then hand
+            # them a fresh event for the next round.
+            self._drained.set()
+            self._drained = asyncio.Event()
+            await asyncio.sleep(0)
+
+    def _drain_round(self) -> None:
+        """One group-commit round over every tenant with queued work."""
+        busy = [
+            self.registry.get(name)
+            for name in self.registry.names()
+            if self.registry.get(name).depth
+        ]
+        if not busy:
+            return
+        per_session = [(session, session.drain()) for session in busy]
+        self.group.flush()
+        self.rounds += 1
+        now = time.perf_counter()
+        observing = self.obs.enabled
+        for session, acks in per_session:
+            for future, body, enqueued_at in acks:
+                body["durable"] = True
+                if future is not None and not future.done():
+                    future.set_result(body)
+                if observing:
+                    micros = (now - enqueued_at) * 1e6
+                    metrics = self.obs.metrics
+                    metrics.log2_histogram("serve.latency_us").observe(
+                        micros
+                    )
+                    metrics.log2_histogram(
+                        f"serve.latency_us[{session.name}]"
+                    ).observe(micros)
+            session.maybe_checkpoint()
+
+    # -- request handling -------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._stopping.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = parse_request(line)
+                except ProtocolError as exc:
+                    writer.write(encode_reply(exc.reply))
+                    await writer.drain()
+                    continue
+                reply = await self._dispatch(request)
+                writer.write(encode_reply(reply))
+                await writer.drain()
+                if request.op == "shutdown":
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # The listener was closed with this reader in flight (server
+            # shutdown); finish quietly rather than exploding the task.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Request) -> dict:
+        if self.obs.enabled:
+            self.obs.metrics.counter("serve.requests").inc()
+        op = request.op
+        if op == "ping":
+            return {"ok": True, "op": "ping", "pong": True}
+        if op == "status":
+            return self._status()
+        if op == "shutdown":
+            asyncio.get_running_loop().call_soon(self._stopping.set)
+            self._work.set()
+            return {"ok": True, "op": "shutdown"}
+        if op == "attach":
+            return self._attach(request)
+        session = self.registry.get(request.tenant)
+        if session is None:
+            return {
+                "ok": False, "op": op, "seq": request.seq,
+                "error": f"unknown tenant {request.tenant!r}; attach first",
+            }
+        if op == "stats":
+            return {"ok": True, "op": "stats", **session.stats()}
+        if op == "query":
+            try:
+                rows = session.query(request.relation)
+            except Exception as exc:
+                return {"ok": False, "op": op, "error": str(exc)}
+            return {
+                "ok": True, "op": "query", "tenant": session.name,
+                "relation": request.relation, "rows": rows,
+            }
+        # -- mutations --
+        if request.seq <= session.applied_seq:
+            if self.obs.enabled:
+                self.obs.metrics.counter("serve.dup_acks").inc()
+            return {
+                "ok": True, "op": op, "seq": request.seq,
+                "tenant": session.name, "dup": True, "durable": True,
+            }
+        decision = self.admission.admit(session.depth)
+        if decision == DEFER:
+            await self._drained.wait()
+        elif decision != ACCEPT:  # SHED
+            return {
+                "ok": False, "op": op, "seq": request.seq,
+                "tenant": session.name, "shed": True,
+                "error": "queue full; retry with the same seq",
+            }
+        future = asyncio.get_running_loop().create_future()
+        session.enqueue(request, future)
+        self._work.set()
+        return await future
+
+    def _attach(self, request: Request) -> dict:
+        session = self.registry.get(request.tenant)
+        if session is not None:
+            if (
+                request.program is not None
+                and request.program != session.pack.text
+            ):
+                return {
+                    "ok": False, "op": "attach", "tenant": request.tenant,
+                    "error": "tenant already attached with a different "
+                             "program",
+                }
+            return {
+                "ok": True, "op": "attach", "tenant": request.tenant,
+                "recovered": session.recovered, "existing": True,
+                "applied_seq": session.applied_seq,
+                "pack_crc": session.pack.crc,
+            }
+        if request.program is None:
+            return {
+                "ok": False, "op": "attach", "tenant": request.tenant,
+                "error": "new tenant needs a program",
+            }
+        try:
+            pack = self.registry.pack_for(request.program)
+            session = TenantSession.start(
+                request.tenant,
+                pack,
+                self.data_dir,
+                group=self.group,
+                obs=self.obs,
+                config=request.config,
+                wal_rotate_bytes=self.wal_rotate_bytes,
+                checkpoint_rounds=self.checkpoint_rounds,
+            )
+        except Exception as exc:
+            return {
+                "ok": False, "op": "attach", "tenant": request.tenant,
+                "error": str(exc),
+            }
+        self.registry.add(session)
+        # The setup boundary enlisted with the group; make it durable
+        # before acknowledging the tenant exists.
+        self.group.flush()
+        if self.obs.enabled:
+            self.obs.metrics.counter("serve.attaches").inc()
+            self.obs.metrics.gauge("serve.tenants").set(
+                len(self.registry.sessions)
+            )
+        return {
+            "ok": True, "op": "attach", "tenant": request.tenant,
+            "recovered": False, "existing": False, "applied_seq": 0,
+            "pack_crc": pack.crc,
+        }
+
+    def _status(self) -> dict:
+        return {
+            "ok": True,
+            "op": "status",
+            "tenants": {
+                name: self.registry.get(name).stats()
+                for name in self.registry.names()
+            },
+            "packs": [
+                {"crc": pack.crc, "tenants": sorted(pack.tenants)}
+                for pack in self.registry.packs
+            ],
+            "recovered_tenants": self.recovered_tenants,
+            "rounds": self.rounds,
+            "group_commits": self.group.flushes,
+            "admission": {
+                "accepted": self.admission.accepted,
+                "deferred": self.admission.deferred,
+                "shed": self.admission.shed,
+            },
+        }
+
+
+async def serve(
+    data_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs,
+) -> RuleServer:
+    """Build, start and run a server until shutdown; returns it."""
+    server = RuleServer(data_dir, host, port, **kwargs)
+    await server.start()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.shutdown()
+    return server

@@ -141,6 +141,19 @@ class ConcurrentScheduler:
         self.history = History()
         self._next_txn_id = 0
 
+    def _hit(self, site: str) -> None:
+        """Cross a named crash site mid-round (``repro check --crash``).
+
+        The :class:`~repro.recovery.crashpoints.Crashpoints` registry
+        rides on the attached WAL writer, so an un-instrumented run pays
+        one attribute lookup per crossing and a WAL-less run none of the
+        sites at all — matching the durability path they fault.
+        """
+        wal = self.system.wm.wal
+        crashpoints = getattr(wal, "crashpoints", None)
+        if crashpoints is not None:
+            crashpoints.hit(site)
+
     def _build_transactions(self) -> list[RuleTransaction]:
         eligible = sorted(self.system.eligible(), key=lambda i: i.key)
         analyses = self.system.analyses
@@ -189,6 +202,9 @@ class ConcurrentScheduler:
         stats = RoundStats(transactions=len(transactions))
         if not transactions:
             return stats
+        # Between lock planning and execution: the plans exist only in
+        # memory, so a crash here loses the whole round.
+        self._hit("txn.post_plan")
         obs = self.system.obs
         commit_mark = len(self.history.commit_order)
         with obs.span(
@@ -207,6 +223,10 @@ class ConcurrentScheduler:
             # single barrier instead of per-firing.
             wal = self.system.wm.wal
             if wal is not None:
+                # Between the last per-txn commit and the barrier: batch
+                # records buffered since the previous sync die with the
+                # process, rolling the whole round back to its boundary.
+                self._hit("txn.pre_group_sync")
                 wal.sync()
                 round_span.set("group_commit_seq", wal.last_seq)
                 if obs.enabled:
@@ -238,8 +258,13 @@ class ConcurrentScheduler:
             for transaction in transactions:
                 if transaction.finished:
                     continue
+                was_committed = transaction.state == COMMITTED
                 if transaction.step(self.system, locks, self.history):
                     progressed = True
+                if transaction.state == COMMITTED and not was_committed:
+                    # Between this transaction's commit and the round's
+                    # group sync (a killed-mid-round window).
+                    self._hit("txn.post_commit")
             stats.makespan_ticks += 1
             if self.policy == "detect":
                 cycle = locks.deadlocked()

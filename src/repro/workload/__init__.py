@@ -8,6 +8,12 @@ from repro.workload.generator import (
     generate_workload,
     mixed_stream,
 )
+from repro.workload.k8s import (
+    K8S_PROGRAM,
+    as_requests,
+    k8s_events,
+    k8s_setup,
+)
 from repro.workload.programs import (
     EXAMPLE2_SOURCE,
     EXAMPLE3_SOURCE,
@@ -26,7 +32,9 @@ __all__ = [
     "EXAMPLE4_SOURCE",
     "EXAMPLE5_INSERTS",
     "GeneratedWorkload",
+    "K8S_PROGRAM",
     "WorkloadSpec",
+    "as_requests",
     "chain_program",
     "contended_rules_program",
     "counter_program",
@@ -34,6 +42,8 @@ __all__ = [
     "generate_program",
     "generate_workload",
     "independent_rules_program",
+    "k8s_events",
+    "k8s_setup",
     "mixed_stream",
     "monkey_bananas_program",
 ]

@@ -1,0 +1,110 @@
+"""Shared serve-test machinery: a real server subprocess + line client.
+
+The e2e suites spawn ``repro serve`` exactly as an operator would
+(``python -m repro.cli serve --data-dir ...``), parse the announce line
+for the bound port, and speak the newline-delimited JSON protocol over a
+blocking socket.  Crash tests SIGKILL the subprocess — no atexit, no
+flush, the real ``kill -9`` — and restart it on the same data directory.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+#: Tiny accumulator pack used by the crash-equivalence e2e: every event
+#: is folded into the running total and consumed, so the fixed point is
+#: a pure function of the acked stream — ideal for bit-equivalence.
+ABSORB_PROGRAM = """
+(literalize ev n)
+(literalize acc total count)
+(p absorb
+    (ev ^n <n>)
+    (acc ^total <t> ^count <c>)
+    -->
+    (modify 2 ^total (compute <t> + <n>) ^count (compute <c> + 1))
+    (remove 1))
+"""
+
+
+def spawn_server(data_dir, *extra_args, timeout=30.0):
+    """Start ``repro serve`` on *data_dir*; returns (proc, host, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--data-dir", str(data_dir), *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    if not line.startswith("serving on "):
+        stderr = ""
+        if proc.poll() is not None:
+            stderr = proc.stderr.read()
+        proc.kill()
+        raise AssertionError(
+            f"server failed to announce: stdout={line!r} stderr={stderr!r}"
+        )
+    host, _, port = line.strip().rpartition(" ")[2].rpartition(":")
+    return proc, host, int(port)
+
+
+def kill9(proc):
+    """The real thing: SIGKILL, no cleanup handlers run."""
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=30)
+    proc.stdout.close()
+    proc.stderr.close()
+
+
+def graceful_stop(proc, client=None):
+    """Protocol shutdown (when a client is given) or SIGTERM; waits."""
+    if client is not None:
+        try:
+            client.call(op="shutdown")
+        except (ConnectionError, OSError):
+            pass
+    else:
+        proc.send_signal(signal.SIGTERM)
+    proc.wait(timeout=30)
+    proc.stdout.close()
+    proc.stderr.close()
+
+
+class Client:
+    """A blocking line-protocol client for one connection."""
+
+    def __init__(self, host, port, timeout=30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.file = self.sock.makefile("rwb")
+
+    def call(self, **body):
+        self.file.write(json.dumps(body).encode("utf-8") + b"\n")
+        self.file.flush()
+        line = self.file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def close(self):
+        try:
+            self.file.close()
+        finally:
+            self.sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -1,0 +1,70 @@
+"""Admission control: the decision is a pure function of queue depth."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.serve.backpressure import (
+    ACCEPT,
+    DEFER,
+    SHED,
+    AdmissionController,
+    AdmissionPolicy,
+)
+
+
+class TestPolicy:
+    def test_defaults_are_ordered(self):
+        policy = AdmissionPolicy()
+        assert 0 < policy.defer_depth <= policy.shed_depth
+
+    @pytest.mark.parametrize(
+        "defer_depth,shed_depth", [(0, 10), (-1, 10), (20, 10)]
+    )
+    def test_misordered_thresholds_rejected(self, defer_depth, shed_depth):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(defer_depth=defer_depth, shed_depth=shed_depth)
+
+
+class TestDecisions:
+    @pytest.fixture
+    def controller(self):
+        return AdmissionController(AdmissionPolicy(defer_depth=2,
+                                                   shed_depth=4))
+
+    def test_depth_bands(self, controller):
+        assert controller.admit(0) == ACCEPT
+        assert controller.admit(1) == ACCEPT
+        assert controller.admit(2) == DEFER
+        assert controller.admit(3) == DEFER
+        assert controller.admit(4) == SHED
+        assert controller.admit(400) == SHED
+
+    def test_decisions_are_deterministic(self, controller):
+        """Same depth, same answer — the metrics-baseline prerequisite."""
+        depths = [0, 3, 4, 1, 2, 9, 0]
+        first = [controller.admit(d) for d in depths]
+        again = [controller.admit(d) for d in depths]
+        assert first == again
+
+    def test_counters_keep_score(self, controller):
+        for depth in [0, 1, 2, 4, 4, 0]:
+            controller.admit(depth)
+        assert controller.accepted == 3
+        assert controller.deferred == 1
+        assert controller.shed == 2
+
+    def test_metrics_mirror_the_counters(self):
+        obs = Observability(collect_metrics=True)
+        controller = AdmissionController(
+            AdmissionPolicy(defer_depth=1, shed_depth=2), obs=obs
+        )
+        for depth in [0, 1, 2, 2]:
+            controller.admit(depth)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["serve.admission_accept"] == 1
+        assert counters["serve.admission_defer"] == 1
+        assert counters["serve.admission_shed"] == 2
+
+    def test_no_observability_is_fine(self):
+        controller = AdmissionController()
+        assert controller.admit(0) == ACCEPT

@@ -1,0 +1,172 @@
+"""Serve metrics regression gate: a canned multi-tenant round script.
+
+Replays a fixed, fully deterministic serving scenario — two tenants on
+one shared pack, four drain rounds with per-op admission decisions that
+deterministically accept, defer and shed — and gates every ``serve.*``
+operation count against ``tests/baselines/serve_metrics_baseline.json``
+via :func:`repro.obs.gate.compare` (the same comparator CI runs for the
+engine baseline).  Wall-clock histograms contribute only their *counts*.
+
+Regenerate after an intentional serving change::
+
+    PYTHONPATH=src:. python tests/serve/test_metrics_baseline.py --update
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.obs import Observability
+from repro.obs.gate import compare
+from repro.recovery.wal import GroupCommit
+from repro.serve.backpressure import AdmissionController, AdmissionPolicy
+from repro.serve.protocol import parse_request
+from repro.serve.registry import SessionRegistry
+from repro.serve.session import TenantSession
+
+BASELINE = (
+    Path(__file__).resolve().parents[1]
+    / "baselines"
+    / "serve_metrics_baseline.json"
+)
+
+PROGRAM = """
+(literalize ev n)
+(literalize acc total count)
+(p absorb
+    (ev ^n <n>)
+    (acc ^total <t> ^count <c>)
+    -->
+    (modify 2 ^total (compute <t> + <n>) ^count (compute <c> + 1))
+    (remove 1))
+"""
+
+TENANTS = ("t1", "t2")
+ROUNDS = 4
+OPS_PER_ROUND = 8  # depths 0..7 against the thresholds below
+POLICY = AdmissionPolicy(defer_depth=4, shed_depth=6)
+
+_TIME_SUFFIXES = ("_us", "_seconds", "_ms")
+
+
+def _request(tenant, seq, relation, values):
+    return parse_request(json.dumps(
+        {"op": "insert", "tenant": tenant, "seq": seq,
+         "relation": relation, "values": values}
+    ))
+
+
+def collect_serve_metrics(data_dir: str) -> dict:
+    """Run the canned scenario; returns gated ``serve.*`` values."""
+    import os
+
+    os.makedirs(data_dir, exist_ok=True)
+    obs = Observability(collect_metrics=True)
+    group = GroupCommit(obs)
+    registry = SessionRegistry()
+    admission = AdmissionController(POLICY, obs=obs)
+    pack = registry.pack_for(PROGRAM)
+    sessions = {}
+    for name in TENANTS:
+        session = TenantSession.start(
+            name, pack, data_dir, group=group, obs=obs,
+            checkpoint_rounds=2,
+        )
+        registry.add(session)
+        sessions[name] = session
+    group.flush()
+
+    next_seq = dict.fromkeys(TENANTS, 1)
+    for round_index in range(ROUNDS):
+        for name in TENANTS:
+            session = sessions[name]
+            if round_index == 0:
+                session.enqueue(_request(name, next_seq[name], "acc",
+                                         {"total": 0, "count": 0}))
+                next_seq[name] += 1
+            for _ in range(OPS_PER_ROUND):
+                request = _request(name, next_seq[name], "ev",
+                                   {"n": next_seq[name]})
+                next_seq[name] += 1
+                if admission.admit(session.depth) == "shed":
+                    continue  # dropped exactly like the server would
+                session.enqueue(request)
+        for name in TENANTS:
+            sessions[name].drain()
+        group.flush()
+        for name in TENANTS:
+            sessions[name].maybe_checkpoint()
+    for name in TENANTS:
+        sessions[name].close()
+
+    snapshot = obs.metrics.snapshot()
+    values: dict[str, float] = {}
+    for section in ("counters", "gauges"):
+        for metric, value in snapshot.get(section, {}).items():
+            if not metric.startswith("serve."):
+                continue
+            if metric.endswith(_TIME_SUFFIXES) or "_us[" in metric:
+                continue
+            values[metric] = value
+    for metric, summary in snapshot.get("histograms", {}).items():
+        if metric.startswith("serve."):
+            values[f"hist.{metric}.count"] = summary.get("count", 0)
+    return values
+
+
+class TestServeMetricsBaseline:
+    def test_scenario_is_deterministic(self, tmp_path):
+        first = collect_serve_metrics(str(tmp_path / "a"))
+        second = collect_serve_metrics(str(tmp_path / "b"))
+        assert first == second
+
+    def test_gate_passes_against_checked_in_baseline(self, tmp_path):
+        baseline = json.loads(BASELINE.read_text())
+        current = collect_serve_metrics(str(tmp_path))
+        violations = compare(
+            baseline["metrics"], current, baseline["tolerance"]
+        )
+        assert not violations, "\n".join(str(v) for v in violations)
+
+    def test_baseline_tracks_the_load_bearing_counters(self):
+        metrics = json.loads(BASELINE.read_text())["metrics"]
+        for name in (
+            "serve.ops_applied",
+            "serve.group_commits",
+            "serve.group_commit_members",
+            "serve.admission_accept",
+            "serve.admission_defer",
+            "serve.admission_shed",
+            "hist.serve.drain_us.count",
+        ):
+            assert name in metrics, name
+
+    def test_shed_and_defer_actually_happen_in_the_scenario(self, tmp_path):
+        """The gate is only worth its salt if the canned scenario walks
+        all three admission bands."""
+        current = collect_serve_metrics(str(tmp_path))
+        assert current["serve.admission_accept"] > 0
+        assert current["serve.admission_defer"] > 0
+        assert current["serve.admission_shed"] > 0
+
+
+def _update() -> None:
+    with tempfile.TemporaryDirectory() as directory:
+        current = collect_serve_metrics(directory)
+    payload = {
+        "scenario": "tests/serve/test_metrics_baseline.py",
+        "tolerance": 0.10,
+        "metrics": current,
+    }
+    BASELINE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"baseline rewritten: {BASELINE} ({len(current)} metrics)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--update" in sys.argv:
+        _update()
+    else:
+        print(json.dumps(collect_serve_metrics(tempfile.mkdtemp()),
+                         indent=2, sort_keys=True))

@@ -1,0 +1,124 @@
+"""The serve wire protocol: parsing, validation, reply encoding."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MUTATION_OPS,
+    ProtocolError,
+    encode_reply,
+    parse_request,
+)
+
+
+def parse(body: dict):
+    return parse_request(json.dumps(body))
+
+
+class TestParseRequest:
+    def test_minimal_insert(self):
+        request = parse(
+            {"op": "insert", "tenant": "t1", "seq": 1,
+             "relation": "ev", "values": {"n": 1}}
+        )
+        assert request.op == "insert"
+        assert request.tenant == "t1"
+        assert request.seq == 1
+        assert request.relation == "ev"
+        assert request.values == {"n": 1}
+
+    def test_bytes_lines_accepted(self):
+        line = json.dumps({"op": "ping"}).encode("utf-8")
+        assert parse_request(line).op == "ping"
+
+    def test_row_list_values_accepted(self):
+        request = parse(
+            {"op": "insert", "tenant": "t1", "seq": 1,
+             "relation": "ev", "values": [7]}
+        )
+        assert request.values == [7]
+
+    def test_config_defaults_to_empty_mapping(self):
+        assert parse({"op": "attach", "tenant": "t1"}).config == {}
+
+    @pytest.mark.parametrize("bad", ["not json", "[1, 2]", '"just a string"'])
+    def test_non_object_lines_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_request(bad)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            parse({"op": "explode"})
+
+    @pytest.mark.parametrize("op", MUTATION_OPS)
+    def test_mutations_require_positive_seq(self, op):
+        with pytest.raises(ProtocolError, match="seq"):
+            parse({"op": op, "tenant": "t1", "relation": "ev",
+                   "values": {}, "tid": 1, "changes": {"n": 1}})
+
+    @pytest.mark.parametrize("op", MUTATION_OPS)
+    def test_mutations_require_a_relation(self, op):
+        with pytest.raises(ProtocolError, match="relation"):
+            parse({"op": op, "tenant": "t1", "seq": 1,
+                   "values": {}, "tid": 1, "changes": {"n": 1}})
+
+    def test_insert_requires_values(self):
+        with pytest.raises(ProtocolError, match="values"):
+            parse({"op": "insert", "tenant": "t1", "seq": 1,
+                   "relation": "ev"})
+
+    @pytest.mark.parametrize("op", ["delete", "modify"])
+    def test_delete_and_modify_require_tid(self, op):
+        with pytest.raises(ProtocolError, match="tid"):
+            parse({"op": op, "tenant": "t1", "seq": 1,
+                   "relation": "ev", "changes": {"n": 1}})
+
+    def test_modify_requires_nonempty_changes(self):
+        with pytest.raises(ProtocolError, match="changes"):
+            parse({"op": "modify", "tenant": "t1", "seq": 1,
+                   "relation": "ev", "tid": 1, "changes": {}})
+
+    def test_query_requires_a_relation(self):
+        with pytest.raises(ProtocolError, match="relation"):
+            parse({"op": "query", "tenant": "t1"})
+
+    @pytest.mark.parametrize(
+        "tenant", ["", "has space", "a/b", "../../etc", "x" * 65]
+    )
+    def test_path_unsafe_tenants_rejected(self, tenant):
+        """Tenant names become WAL filenames; traversal must not parse."""
+        with pytest.raises(ProtocolError, match="tenant"):
+            parse({"op": "attach", "tenant": tenant})
+
+    def test_tenantless_mutation_rejected(self):
+        with pytest.raises(ProtocolError, match="requires a tenant"):
+            parse({"op": "insert", "seq": 1, "relation": "ev",
+                   "values": {}})
+
+    def test_ping_and_status_need_no_tenant(self):
+        assert parse({"op": "ping"}).tenant is None
+        assert parse({"op": "status"}).tenant is None
+
+    def test_error_reply_carries_op_and_seq(self):
+        try:
+            parse({"op": "insert", "tenant": "t1", "seq": 4,
+                   "relation": "ev"})
+        except ProtocolError as exc:
+            assert exc.reply["ok"] is False
+            assert exc.reply["op"] == "insert"
+            assert exc.reply["seq"] == 4
+        else:
+            pytest.fail("expected ProtocolError")
+
+
+class TestEncodeReply:
+    def test_one_line_sorted_compact_json(self):
+        raw = encode_reply({"b": 1, "a": {"z": 2, "y": 3}})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        assert raw == b'{"a":{"y":3,"z":2},"b":1}\n'
+
+    def test_round_trips_through_the_parser_side(self):
+        body = {"ok": True, "op": "ping", "pong": True}
+        assert json.loads(encode_reply(body)) == body

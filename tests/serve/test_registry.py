@@ -1,0 +1,81 @@
+"""Rule packs are interned per program text; sessions stay per tenant."""
+
+from repro.lang.ast import Program
+from repro.serve.registry import RulePack, SessionRegistry
+from repro.workload.k8s import K8S_PROGRAM
+
+COUNTER = """
+(literalize Counter value limit)
+(p count-up
+    (Counter ^value <V> ^limit {<L> > <V>})
+    -->
+    (modify 1 ^value (compute <V> + 1)))
+"""
+
+
+class FakeSession:
+    def __init__(self, name, pack):
+        self.name = name
+        self.pack = pack
+
+
+class TestRulePack:
+    def test_build_parses_and_analyzes_once(self):
+        pack = RulePack.build(K8S_PROGRAM)
+        assert isinstance(pack.program, Program)
+        assert set(pack.analyses) == {
+            rule.name for rule in pack.program.rules
+        }
+        assert pack.crc == RulePack.build(K8S_PROGRAM).crc
+
+    def test_distinct_texts_get_distinct_crcs(self):
+        assert RulePack.build(K8S_PROGRAM).crc != RulePack.build(COUNTER).crc
+
+
+class TestPackSharing:
+    def test_same_text_returns_the_same_object(self):
+        """The tentpole property: N tenants on one program share one
+        parse and one analysis table — ``pack_for`` interns by CRC."""
+        registry = SessionRegistry()
+        first = registry.pack_for(K8S_PROGRAM)
+        second = registry.pack_for(K8S_PROGRAM)
+        assert first is second
+        assert first.analyses is second.analyses
+
+    def test_different_texts_do_not_share(self):
+        registry = SessionRegistry()
+        assert registry.pack_for(K8S_PROGRAM) is not registry.pack_for(
+            COUNTER
+        )
+
+    def test_packs_listed_in_crc_order(self):
+        registry = SessionRegistry()
+        registry.pack_for(K8S_PROGRAM)
+        registry.pack_for(COUNTER)
+        crcs = [pack.crc for pack in registry.packs]
+        assert crcs == sorted(crcs)
+
+
+class TestSessions:
+    def test_add_get_names_remove(self):
+        registry = SessionRegistry()
+        pack = registry.pack_for(COUNTER)
+        registry.add(FakeSession("zeta", pack))
+        registry.add(FakeSession("alpha", pack))
+        assert registry.names() == ["alpha", "zeta"]  # drain order
+        assert registry.get("alpha").name == "alpha"
+        assert pack.tenants == {"alpha", "zeta"}
+        registry.remove("alpha")
+        assert registry.get("alpha") is None
+        assert pack.tenants == {"zeta"}
+        registry.remove("alpha")  # idempotent
+
+    def test_pack_tracks_its_tenants(self):
+        registry = SessionRegistry()
+        shared = registry.pack_for(K8S_PROGRAM)
+        other = registry.pack_for(COUNTER)
+        registry.add(FakeSession("a", shared))
+        registry.add(FakeSession("b", shared))
+        registry.add(FakeSession("c", other))
+        assert shared.tenants == {"a", "b"}
+        assert other.tenants == {"c"}

@@ -1,9 +1,10 @@
 #!/usr/bin/env python
-"""Nightly bench smoke: reduced A5/A6/A7/A8 runs plus a regression gate.
+"""Nightly bench smoke: reduced A5/A6/A7/A8/A9 runs plus a regression gate.
 
 Runs the A5 (token-batched Rete propagation), A6 (WAL overhead and
-crash recovery), A7 (compiled match kernels vs the interpreted walk)
-and A8 (parallel sharded match) experiments at a fraction of their
+crash recovery), A7 (compiled match kernels vs the interpreted walk),
+A8 (parallel sharded match) and A9 (multi-tenant serving over the
+k8s-auto-fix workload) experiments at a fraction of their
 report budgets and writes a ``BENCH_obs.json`` trajectory artifact:
 every row with its wall-clock figures (recorded for trend charts, never
 gated — CI runners are noisy) and a ``gate`` section of *deterministic
@@ -14,7 +15,11 @@ WM/conflict sizes).
 The A8 rows also carry an unconditional acceptance check, baseline or
 not: the deterministic ``speedup_bound`` (fanned items over the
 round-robin critical path) must show at least one worker-scaling win —
-a multi-worker row measurably above the serial bound of 1.
+a multi-worker row measurably above the serial bound of 1.  The A9 rows
+carry their own baseline-free acceptance: nothing shed at the nominal
+one-in-flight rate, every event consumed at quiescence, and every
+tenant's exactly-once ``applied_seq`` recovered intact after the
+in-process ``kill -9`` stand-in.
 
 With ``--baseline PREV.json`` the gate compares those counts against the
 previous trajectory and fails (exit 1) when any grew more than the
@@ -44,6 +49,8 @@ GATED_COLUMNS = {
     "a6": ("fsyncs", "replayed", "wm"),
     "a7": ("interp_cmp", "compiled_cmp", "conflict_size"),
     "a8": ("fanouts", "fanned_items", "critical_path", "conflict_size"),
+    "a9": ("applied_seq", "events_left", "remediations", "tickets", "wm",
+           "shed"),
 }
 
 #: The deterministic speedup bound a multi-worker A8 row must clear for
@@ -51,13 +58,14 @@ GATED_COLUMNS = {
 SCALING_WIN_BOUND = 1.5
 
 
-def collect(stream_length: int, cycles: int) -> dict:
+def collect(stream_length: int, cycles: int, serve_events: int = 60) -> dict:
     """Run the reduced experiments and assemble the trajectory payload."""
     from repro.bench.report import (
         report_a5,
         report_a6,
         report_a7,
         report_a8,
+        report_a9,
     )
 
     title_a5, rows_a5 = report_a5(
@@ -77,15 +85,18 @@ def collect(stream_length: int, cycles: int) -> dict:
         worker_counts=(1, 2, 4),
         strategies=("rete",),
     )
+    title_a9, rows_a9 = report_a9(events_per_tenant=serve_events, tenants=2)
     payload = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "budget": {"a5_stream_length": stream_length, "a6_cycles": cycles,
                    "a7_stream_length": stream_length,
-                   "a8_stream_length": stream_length},
+                   "a8_stream_length": stream_length,
+                   "a9_events_per_tenant": serve_events},
         "a5": {"title": title_a5, "rows": rows_a5},
         "a6": {"title": title_a6, "rows": rows_a6},
         "a7": {"title": title_a7, "rows": rows_a7},
         "a8": {"title": title_a8, "rows": rows_a8},
+        "a9": {"title": title_a9, "rows": rows_a9},
         "gate": {},
     }
     gate = payload["gate"]
@@ -104,6 +115,10 @@ def collect(stream_length: int, cycles: int) -> dict:
     for row in rows_a8:
         label = f"a8[{row['strategy']}/w{row['workers']}]"
         for column in GATED_COLUMNS["a8"]:
+            gate[f"{label}.{column}"] = row[column]
+    for row in rows_a9:
+        label = f"a9[{row['tenant']}]"
+        for column in GATED_COLUMNS["a9"]:
             gate[f"{label}.{column}"] = row[column]
     return payload
 
@@ -125,6 +140,40 @@ def scaling_failures(payload: dict, bound: float = SCALING_WIN_BOUND) -> list[st
             f"across {len(parallel)} multi-worker rows is below {bound}"
         ]
     return []
+
+
+def serving_failures(payload: dict) -> list[str]:
+    """A9 acceptance: the serving invariants hold, no baseline needed.
+
+    Every column here is deterministic in the workload seed, so a
+    violation is a real serving bug (shed at nominal load, an event the
+    pack failed to consume, or an exactly-once mark lost across the
+    crash), never runner noise.
+    """
+    from repro.workload.k8s import k8s_setup
+
+    rows = payload.get("a9", {}).get("rows", [])
+    if not rows:
+        return ["a9: no serving rows produced"]
+    inventory = len(k8s_setup())
+    failures = []
+    for row in rows:
+        tenant = row["tenant"]
+        if row["shed"]:
+            failures.append(
+                f"a9[{tenant}]: {row['shed']} ops shed at the nominal rate"
+            )
+        if row["events_left"]:
+            failures.append(
+                f"a9[{tenant}]: {row['events_left']} events unconsumed "
+                "at quiescence"
+            )
+        if row["applied_seq"] != row["events"] + inventory:
+            failures.append(
+                f"a9[{tenant}]: recovered applied_seq {row['applied_seq']} "
+                f"!= acked stream {row['events'] + inventory}"
+            )
+    return failures
 
 
 def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
@@ -163,16 +212,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="A5 churn-stream length (default: 120)")
     parser.add_argument("--cycles", type=int, default=60,
                         help="A6 counter cycles (default: 60)")
+    parser.add_argument("--serve-events", type=int, default=60,
+                        help="A9 events per tenant (default: 60)")
     args = parser.parse_args(argv)
 
-    current = collect(args.stream_length, args.cycles)
+    current = collect(args.stream_length, args.cycles, args.serve_events)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(current, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"trajectory written: {args.out} "
           f"({len(current['gate'])} gated counts)")
 
-    failures = scaling_failures(current)
+    failures = scaling_failures(current) + serving_failures(current)
     if failures:
         print("bench smoke gate FAILED:", file=sys.stderr)
         for failure in failures:
