@@ -1,0 +1,104 @@
+"""A10 — warm-standby replication: steady-state lag, failover time.
+
+``repro serve`` can ship its write-ahead logs to a warm standby after
+every group-commit barrier (docs/REPLICATION.md): the primary accepts
+one ``follow`` handshake, streams snapshot and record frames, and holds
+client acks until the follower acknowledges the round — semi-synchronous
+replication.  This bench drives the k8s-auto-fix workload through an
+in-process primary/standby pair over real TCP and asserts the
+replication acceptance properties:
+
+* **zero steady-state lag**: with semi-sync acks, the standby trails
+  the primary by zero records the moment the last client ack lands;
+* **nothing lost across failover**: the primary is abandoned without a
+  final sync or checkpoint (the in-process ``kill -9`` stand-in), the
+  standby is promoted, and every tenant's ``applied_seq`` equals the
+  full acked stream;
+* **bit-equivalent fixed point**: the promoted server reaches the same
+  remediation/ticket/WM state a never-crashed run would — the standby
+  replayed the shipped records through the same recognize-act path;
+* **exactly one promotion**: the fencing epoch lands at 2, never more —
+  the old primary stays fenced out, not re-promoted.
+
+Wall-clock figures (events/sec with the standby attached, promotion
+time, promotion-to-first-ack) are recorded in the A10 report table but
+never gated — CI runners are noisy.
+
+Run: pytest benchmarks/bench_a10_replica.py --benchmark-only
+Table: python -m repro.bench.report a10
+"""
+
+import pytest
+
+from repro.bench.report import report_a9, report_a10
+from repro.workload.k8s import k8s_setup
+
+EVENTS = 120
+TENANTS = 2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    _, produced = report_a10(events_per_tenant=EVENTS, tenants=TENANTS)
+    return produced
+
+
+def test_replicated_failover_time(benchmark):
+    # One full pair lifecycle per iteration: start both, attach, stream
+    # semi-sync, kill the primary, promote, land the final ack.
+    benchmark.pedantic(
+        lambda: report_a10(events_per_tenant=40, tenants=TENANTS),
+        rounds=3,
+        iterations=1,
+    )
+
+
+class TestA10Shape:
+    def test_one_row_per_tenant(self, rows):
+        assert [row["tenant"] for row in rows] == [
+            f"tenant-{i}" for i in range(TENANTS)
+        ]
+
+    def test_zero_steady_state_lag(self, rows):
+        """Semi-sync acks imply a caught-up standby: zero records of
+        lag at the measurement point, for every tenant."""
+        for row in rows:
+            assert row["lag_records"] == 0, row
+
+    def test_nothing_lost_across_failover(self, rows):
+        """The promoted standby holds the full acked stream — inventory
+        plus every event, including the post-promotion ack."""
+        expected = len(k8s_setup()) + EVENTS
+        for row in rows:
+            assert row["applied_seq"] == expected, row
+
+    def test_every_event_consumed_after_promotion(self, rows):
+        for row in rows:
+            assert row["events_left"] == 0, row
+
+    def test_exactly_one_promotion(self, rows):
+        for row in rows:
+            assert row["epoch"] == 2, row
+
+    def test_promotion_times_are_measured(self, rows):
+        for row in rows:
+            assert row["promote_ms"] > 0, row
+            assert row["first_ack_ms"] >= row["promote_ms"], row
+
+
+class TestA10MatchesA9:
+    def test_failover_fixed_point_equals_the_crash_recovery_one(self):
+        """The promoted standby and A9's cold-recovered primary are two
+        routes to the same state: identical workload, identical gated
+        fixed point (remediations, tickets, WM size, applied_seq)."""
+        _, a9_rows = report_a9(events_per_tenant=EVENTS, tenants=TENANTS)
+        _, a10_rows = report_a10(events_per_tenant=EVENTS, tenants=TENANTS)
+        compared = ("applied_seq", "events_left", "remediations",
+                    "tickets", "wm")
+        for a9_row, a10_row in zip(a9_rows, a10_rows):
+            assert a9_row["tenant"] == a10_row["tenant"]
+            for column in compared:
+                assert a9_row[column] == a10_row[column], (
+                    a9_row["tenant"], column, a9_row[column],
+                    a10_row[column],
+                )

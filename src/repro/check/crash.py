@@ -46,14 +46,17 @@ from repro.recovery import (
     SimulatedCrash,
     recover,
 )
+from repro.replica import FollowerState
 
 DEFAULT_CRASH_BACKENDS = ("memory", "sqlite")
 DEFAULT_CRASH_BATCH_SIZES = (1, 8, "auto")
 DEFAULT_CRASH_STRATEGY = "rete"
 #: Execution modes a crash cell can run the recognize-act loop in:
-#: ``"cycle"`` (serial OPS5 cycles) or ``"txn"`` (§5.2 concurrent rounds,
-#: whose mid-round ``txn.*`` crash sites this profile faults).
-CRASH_EXEC_MODES = ("cycle", "txn")
+#: ``"cycle"`` (serial OPS5 cycles), ``"set"`` (§5.1 set-firing cycles —
+#: every conflict-set instantiation fires per cycle, recorded in one
+#: boundary) or ``"txn"`` (§5.2 concurrent rounds, whose mid-round
+#: ``txn.*`` crash sites this profile faults).
+CRASH_EXEC_MODES = ("cycle", "set", "txn")
 #: Segment budget used for checkpointed cells, small enough that typical
 #: traces rotate (and compact) their logs mid-run.
 CRASH_ROTATE_BYTES = 1024
@@ -82,6 +85,7 @@ class CrashReport:
     crashes_fired: int = 0
     recoveries: int = 0
     restarts: int = 0
+    promotions: int = 0
     elapsed_s: float = 0.0
     findings: list[CrashFinding] = field(default_factory=list)
 
@@ -91,9 +95,13 @@ class CrashReport:
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.findings)} FINDING(S)"
+        promoted = (
+            f", {self.promotions} promotions" if self.promotions else ""
+        )
         return (
             f"crash-check: {self.traces_run}/{self.budget} traces, "
-            f"{self.crashes_fired} crashes, {self.recoveries} recoveries, "
+            f"{self.crashes_fired} crashes, {self.recoveries} recoveries"
+            f"{promoted}, "
             f"{self.restarts} restarts in {self.elapsed_s:.1f}s — {status}"
         )
 
@@ -278,6 +286,12 @@ def _finalize(system: ProductionSystem, observables: _Observables) -> None:
     )
 
 
+def _firing(exec_mode: str) -> str:
+    """§5.1 set-firing replaces the select step; the other modes keep
+    the instance resolver (txn fires whole snapshots on its own)."""
+    return "set" if exec_mode == "set" else "instance"
+
+
 def _plain_reference(
     trace: Trace, backend: str, batch_size, strategy: str, workers: int = 1,
     exec_mode: str = "cycle",
@@ -291,6 +305,7 @@ def _plain_reference(
         seed=trace.seed,
         batch_size=batch_size,
         workers=workers,
+        firing=_firing(exec_mode),
     )
     observables = _Observables()
     driver = _OpDriver(system, batch_size)
@@ -310,7 +325,8 @@ def _plain_reference(
 
 
 def _durable_config(
-    trace: Trace, backend: str, batch_size, strategy: str, workers: int = 1
+    trace: Trace, backend: str, batch_size, strategy: str, workers: int = 1,
+    exec_mode: str = "cycle",
 ):
     return {
         "strategy": strategy,
@@ -318,7 +334,7 @@ def _durable_config(
         "backend": backend,
         "seed": trace.seed,
         "batch_size": batch_size,
-        "firing": "instance",
+        "firing": _firing(exec_mode),
         "workers": workers,
     }
 
@@ -336,6 +352,7 @@ def _durable_replay(
     workers: int = 1,
     exec_mode: str = "cycle",
     wal_rotate_bytes: int = 0,
+    wal_tap=None,
 ) -> _Observables:
     """One complete WAL-attached replay, including the closing sync.
 
@@ -345,7 +362,9 @@ def _durable_replay(
     flight at typical trace sizes, so append-site crashes actually lose
     data.  ``workers`` is recorded in the WAL meta, so a recovered run
     rebuilds its worker pool too (and must still match the serial
-    reference bit for bit).
+    reference bit for bit).  *wal_tap* ships every fsynced record to a
+    replica-cell follower — abandoning the run never taps the unsynced
+    buffer, exactly like a real ``kill -9``.
     """
     system = ProductionSystem(
         trace.program,
@@ -355,18 +374,21 @@ def _durable_replay(
         seed=trace.seed,
         batch_size=batch_size,
         workers=workers,
+        firing=_firing(exec_mode),
     )
     run = DurableRun.start(
         system,
         wal_path,
         trace.program,
-        _durable_config(trace, backend, batch_size, strategy, workers),
+        _durable_config(trace, backend, batch_size, strategy, workers,
+                        exec_mode),
         crashpoints=crashpoints,
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         fsync_every=fsync_every,
         include_rete=checkpoint_path is not None,
         wal_rotate_bytes=wal_rotate_bytes,
+        wal_tap=wal_tap,
     )
     observables = _Observables()
     driver = _OpDriver(system, batch_size)
@@ -528,6 +550,14 @@ def _compare(
     return None
 
 
+def _follower_observables(state) -> _Observables:
+    """The promoted follower's view, shaped for :func:`_compare`."""
+    observables = _Observables()
+    observables.fired = list(state.fired)
+    _finalize(state.system, observables)
+    return observables
+
+
 def run_crash_trace(
     trace: Trace,
     backend: str = "memory",
@@ -541,6 +571,7 @@ def run_crash_trace(
     workers: int = 1,
     exec_mode: str = "cycle",
     wal_rotate_bytes: int | None = None,
+    replicate: bool = False,
 ) -> tuple[CrashFinding | None, dict]:
     """Crash one trace at *site* (or a random reachable site), recover,
     finish, and compare against the uninterrupted reference.
@@ -550,14 +581,23 @@ def run_crash_trace(
     is exercised under parallel match too (the determinism contract of
     docs/PARALLELISM.md extends through the WAL).  ``exec_mode="txn"``
     runs the recognize-act loop as §5.2 concurrent rounds instead of
-    serial cycles, reaching the mid-round ``txn.*`` crash sites.
+    serial cycles, reaching the mid-round ``txn.*`` crash sites;
+    ``"set"`` runs §5.1 set-firing cycles, so whole-conflict-set
+    boundary records are crashed and replayed too.
     Checkpointed cells also rotate their logs every
     :data:`CRASH_ROTATE_BYTES`, so segment rotation, compaction and the
     torn-rotation window (``wal.rotate``) are crashed and recovered too.
 
+    ``replicate=True`` is the failover-equivalence cell: the armed run
+    ships every fsynced record to an in-process
+    :class:`~repro.replica.FollowerState`; when the crash fires, the
+    *follower* is promoted (its local materialization resumed in place)
+    instead of recovering the primary's log — and the promoted run must
+    still match the uninterrupted reference bit for bit.
+
     Returns ``(finding_or_None, stats)`` where *stats* records what
     happened: ``{"crashed": site_or_None, "recovered": bool,
-    "restarted": bool, "hits": {site: count}}``.
+    "restarted": bool, "promoted": bool, "hits": {site: count}}``.
     """
     if exec_mode not in CRASH_EXEC_MODES:
         raise ValueError(
@@ -567,7 +607,7 @@ def run_crash_trace(
     trace = _strip_control_ops(trace)
     rng = rng or random.Random(trace.seed)
     stats = {"crashed": None, "recovered": False, "restarted": False,
-             "hits": {}}
+             "promoted": False, "hits": {}}
     if wal_rotate_bytes is not None:
         rotate_bytes = wal_rotate_bytes
     else:
@@ -625,10 +665,20 @@ def run_crash_trace(
 
         crashpoints = Crashpoints()
         crashpoints.arm(chosen, after=arm_after)
+        replica_tag = "/replica" if replicate else ""
         label = (
-            f"{backend}/batch={batch_size}{w_tag}{mode_tag}"
+            f"{backend}/batch={batch_size}{w_tag}{mode_tag}{replica_tag}"
             f"/{chosen}@{arm_after}"
         )
+        follower = None
+        wal_tap = None
+        if replicate:
+            follower = FollowerState(
+                os.path.join(directory, "follower"), epoch=1
+            )
+            wal_tap = lambda _first, lines: follower.ingest_lines(  # noqa: E731
+                "t", list(lines)
+            )
         try:
             finished = _durable_replay(
                 trace, backend, batch_size, strategy, wal_path,
@@ -637,12 +687,62 @@ def run_crash_trace(
                 workers=workers,
                 exec_mode=exec_mode,
                 wal_rotate_bytes=rotate_bytes,
+                wal_tap=wal_tap,
             )
             # The armed hit count exceeded the run's crossings (can happen
             # for caller-pinned sites); the run finished uninterrupted.
-            return _compare(trace, label, reference, finished)
+            finding = _compare(trace, label, reference, finished)
+            if finding is None and follower is not None:
+                # The fully-shipped standby must sit at the final state.
+                states = follower.pop_states()
+                if "t" in states:
+                    finding = _compare(
+                        trace, f"{label}/standby", reference,
+                        _follower_observables(states["t"]),
+                    )
+            return finding
         except SimulatedCrash:
             stats["crashed"] = chosen
+
+        if follower is not None:
+            # Failover: promote the standby's own materialization; the
+            # primary's log is never read again (it is "gone" with the
+            # killed machine).
+            states = follower.pop_states()
+            if "t" not in states:
+                # Crash before the tenant's first shipped boundary —
+                # nothing durable anywhere; restart from scratch.
+                stats["restarted"] = True
+                rerun = _durable_replay(
+                    trace, backend, batch_size, strategy,
+                    os.path.join(directory, "restart.wal"),
+                    workers=workers,
+                    exec_mode=exec_mode,
+                )
+                return _compare(trace, f"{label}/restart", reference, rerun)
+            stats["promoted"] = True
+            stats["recovered"] = True
+            state = states["t"]
+            promoted_ckpt = (
+                os.path.join(directory, "follower", "t.ckpt")
+                if checkpoint_every else None
+            )
+            finished, at_recovery, tag = _finish_recovered(
+                state, trace, batch_size, promoted_ckpt, checkpoint_every,
+                exec_mode=exec_mode, wal_rotate_bytes=rotate_bytes,
+            )
+            if tag is not None and tag in reference.checkpoints:
+                if at_recovery != reference.checkpoints[tag]:
+                    return CrashFinding(
+                        trace=trace,
+                        label=label,
+                        kind="conflict",
+                        detail=(
+                            f"conflict set at promotion point {tag} "
+                            "differs from the uninterrupted reference"
+                        ),
+                    )
+            return _compare(trace, label, reference, finished)
 
         try:
             state = recover(wal_path, checkpoint_path)
@@ -695,6 +795,7 @@ def run_crash_check(
     obs: Observability | None = None,
     worker_counts: tuple[int, ...] = (1,),
     exec_modes: tuple[str, ...] = ("cycle",),
+    replicate: bool = False,
 ) -> CrashReport:
     """The ``repro check --crash`` campaign: *budget* traces, each crashed
     at a random reachable site under a rotating backend × batch-size ×
@@ -704,7 +805,10 @@ def run_crash_check(
     log segments; *worker_counts* beyond ``(1,)`` rotates parallel-match
     cells in, crashing and recovering runs with a live worker pool;
     *exec_modes* including ``"txn"`` kills §5.2 scheduler rounds at the
-    mid-round ``txn.*`` sites).
+    mid-round ``txn.*`` sites, and ``"set"`` crashes §5.1 set-firing
+    cycles).  *replicate* rotates warm-standby cells in on half the
+    traces: the crash is survived by promoting the shipped follower
+    instead of recovering the primary's log.
     """
     from repro.check.corpus import save_repro
 
@@ -728,6 +832,7 @@ def run_crash_check(
         ]
         exec_mode = exec_modes[index % len(exec_modes)]
         ckpt_every = checkpoint_every if index % 2 else 0
+        replica_cell = replicate and index % 2 == 1
         rng = random.Random(f"{seed}/{index}/crash")
         with obs.span(
             "check.crash_trace",
@@ -736,6 +841,7 @@ def run_crash_check(
             batch=str(batch_size),
             workers=workers,
             exec=exec_mode,
+            replica=replica_cell,
         ) as span:
             finding, stats = run_crash_trace(
                 trace,
@@ -746,6 +852,7 @@ def run_crash_check(
                 checkpoint_every=ckpt_every,
                 workers=workers,
                 exec_mode=exec_mode,
+                replicate=replica_cell,
             )
             span.set("crashed", stats["crashed"] or "(none)")
             span.set("ok", finding is None)
@@ -756,6 +863,10 @@ def run_crash_check(
             report.recoveries += 1
         if stats["restarted"]:
             report.restarts += 1
+        if stats.get("promoted"):
+            report.promotions += 1
+            if observing:
+                obs.metrics.counter("check.promotions").inc()
         if observing:
             metrics = obs.metrics
             metrics.counter("check.crash_traces").inc()

@@ -485,11 +485,11 @@ def _cmd_check_crash(
     if worker_counts is not None:
         kwargs["worker_counts"] = worker_counts
     if exec_modes is not None:
-        # The crash profile replays serial cycles or §5.2 txn rounds;
-        # "set" firing has no distinct durability path, so drop it here.
         modes = tuple(m for m in exec_modes if m in CRASH_EXEC_MODES)
         if modes:
             kwargs["exec_modes"] = modes
+    if getattr(args, "replica", False):
+        kwargs["replicate"] = True
     report = run_crash_check(
         budget=budget,
         seed=args.seed,
@@ -648,13 +648,26 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tenant_depths(entries, flag: str) -> dict[str, int]:
+    """Parse repeated ``TENANT=N`` per-tenant quota overrides."""
+    overrides: dict[str, int] = {}
+    for entry in entries or []:
+        tenant, sep, depth = entry.partition("=")
+        if not sep or not tenant or not depth.isdigit():
+            raise ReproError(f"{flag} expects TENANT=N, got {entry!r}")
+        overrides[tenant] = int(depth)
+    return overrides
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve --data-dir DIR``: the multi-tenant rule service.
 
     Recovers every tenant log under the data directory, then listens for
     newline-delimited JSON requests (see ``docs/SERVING.md``).  SIGTERM
     and SIGINT trigger a graceful shutdown: drain, group-flush, final
-    checkpoint per tenant, close the logs.
+    checkpoint per tenant, close the logs.  ``--follow HOST:PORT``
+    starts the server as a read-only warm standby of that primary
+    instead (see ``docs/REPLICATION.md``).
     """
     import asyncio
     import contextlib
@@ -663,6 +676,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import Observability
     from repro.serve.backpressure import AdmissionController, AdmissionPolicy
     from repro.serve.server import RuleServer
+
+    defer_overrides = _tenant_depths(
+        args.tenant_defer_depth, "--tenant-defer-depth"
+    )
+    shed_overrides = _tenant_depths(
+        args.tenant_shed_depth, "--tenant-shed-depth"
+    )
+    tenant_policies = {}
+    for tenant in sorted(set(defer_overrides) | set(shed_overrides)):
+        defer = defer_overrides.get(tenant, args.defer_depth)
+        shed = shed_overrides.get(tenant, args.shed_depth)
+        if not 0 < defer <= shed:
+            raise ReproError(
+                f"tenant {tenant!r} needs 0 < defer ({defer}) <= shed "
+                f"({shed}); adjust the per-tenant overrides"
+            )
+        tenant_policies[tenant] = AdmissionPolicy(
+            defer_depth=defer, shed_depth=shed
+        )
 
     obs = Observability(collect_metrics=True)
     server = RuleServer(
@@ -675,9 +707,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 defer_depth=args.defer_depth, shed_depth=args.shed_depth
             ),
             obs=obs,
+            tenant_policies=tenant_policies,
         ),
         checkpoint_rounds=args.checkpoint_rounds,
         wal_rotate_bytes=args.rotate_bytes,
+        follow=args.follow,
+        takeover_deadline=args.takeover_deadline,
     )
 
     async def _serve() -> None:
@@ -696,6 +731,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def cmd_promote(args: argparse.Namespace) -> int:
+    """``repro promote HOST:PORT``: turn a warm standby into the primary.
+
+    Sends the ``promote`` op; the follower finalizes every tenant at its
+    last shipped boundary, bumps the fencing epoch, and starts accepting
+    writes.  Prints the reply (new epoch, promoted tenants).
+    """
+    import socket
+
+    host, _, port = args.server.rpartition(":")
+    with socket.create_connection(
+        (host or "127.0.0.1", int(port)), timeout=args.timeout
+    ) as sock:
+        sock.sendall(b'{"op": "promote"}\n')
+        reply = json.loads(sock.makefile("r", encoding="utf-8").readline())
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0 if reply.get("ok") else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -956,6 +1010,14 @@ def build_parser() -> argparse.ArgumentParser:
         "recovered, finished, and compared to its uninterrupted reference",
     )
     check.add_argument(
+        "--replica",
+        action="store_true",
+        help="with --crash: rotate warm-standby cells in — the armed run "
+        "ships its WAL to an in-process follower, the crash is survived "
+        "by promoting the follower, and the promoted run must still "
+        "match the uninterrupted reference",
+    )
+    check.add_argument(
         "--save-repro",
         nargs="?",
         const="tests/corpus",
@@ -1120,7 +1182,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="queue depth at which new ops are shed (client retries)",
     )
+    serve.add_argument(
+        "--tenant-defer-depth",
+        action="append",
+        metavar="TENANT=N",
+        help="per-tenant defer-depth override (repeatable); other "
+        "tenants keep the global --defer-depth",
+    )
+    serve.add_argument(
+        "--tenant-shed-depth",
+        action="append",
+        metavar="TENANT=N",
+        help="per-tenant shed-depth override (repeatable); other "
+        "tenants keep the global --shed-depth",
+    )
+    serve.add_argument(
+        "--follow",
+        metavar="HOST:PORT",
+        help="start as a read-only warm standby of that primary: tail "
+        "its WAL shipments, stay bit-identical at every shipped "
+        "boundary, and promote on request (or automatically once the "
+        "primary is unreachable past --takeover-deadline)",
+    )
+    serve.add_argument(
+        "--takeover-deadline",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="with --follow: self-promote after the primary has been "
+        "unreachable this long (0 disables automatic takeover; "
+        "default: 10)",
+    )
     serve.set_defaults(handler=cmd_serve)
+
+    promote = commands.add_parser(
+        "promote",
+        help="promote a warm standby (a --follow server) to primary",
+    )
+    promote.add_argument(
+        "server",
+        metavar="HOST:PORT",
+        help="address of the follower to promote",
+    )
+    promote.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="connection timeout (default: 10)",
+    )
+    promote.set_defaults(handler=cmd_promote)
     return parser
 
 

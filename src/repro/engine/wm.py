@@ -319,9 +319,9 @@ class WorkingMemory:
         if batch:
             observing = self.obs.enabled
             started = time.perf_counter() if observing else 0.0
-            self._apply_storage(batch)
+            logged = self._apply_storage(batch, log_wal=True)
             self._deliver(batch)
-            if self.wal is not None:
+            if self.wal is not None and not logged:
                 self.wal.log_batch(batch)
             if observing:
                 self.obs.metrics.log2_histogram("wm.flush_us").observe(
@@ -336,17 +336,36 @@ class WorkingMemory:
         self._staged = None
         return batch
 
-    def _apply_storage(self, batch: DeltaBatch) -> None:
+    def _apply_storage(self, batch: DeltaBatch, log_wal: bool = False)  \
+            -> bool:
         """Persist one netted staged batch: deletes then inserts, grouped
         per relation, in a single backend transaction.
 
         Rows already carry their reserved tid and timetag, so inserts go
         through ``insert_prepared``; netted insert/delete pairs are gone
         from *batch* and never touch the backend.
+
+        With *log_wal* and a WAL attached, the batch's log record is
+        appended *and fsynced* inside the transaction's pre-commit hook —
+        write-ahead in the strict sense: the backend COMMIT waits on the
+        WAL fsync, so a crash between the two leaves the database behind
+        the log (recovery's replay direction), never ahead of it.
+        Returns True when the hook logged the batch (the caller must not
+        log it again); False on the memory backend and in nested scopes,
+        where there is no commit to order against.
         """
+        logged = False
+        pre_commit = None
+        if log_wal and self.wal is not None:
+            def pre_commit() -> bool:
+                nonlocal logged
+                logged = True
+                self.wal.log_batch(batch)
+                self.wal.sync()
+                return not self.wal.dead
         deletes = batch.deletes
         inserts = batch.inserts
-        with self.catalog.transaction():
+        with self.catalog.transaction(pre_commit=pre_commit):
             if deletes:
                 groups: dict[str, list[int]] = {}
                 for delta in deletes:
@@ -359,6 +378,7 @@ class WorkingMemory:
                     rows.setdefault(delta.relation, []).append(delta.wme)
                 for relation, staged_rows in rows.items():
                     self.relation(relation).insert_prepared(staged_rows)
+        return logged
 
     @contextmanager
     def batch(self):
@@ -434,7 +454,20 @@ class WorkingMemory:
                 rows.append(values)
                 timetags.append(clock.tick())
 
-        with self.catalog.transaction():
+        batch = DeltaBatch()
+        logged = False
+        pre_commit = None
+        if self.wal is not None:
+            def pre_commit() -> bool:
+                # Write-ahead: the realized batch is logged and fsynced
+                # before the backend COMMIT (see ``_apply_storage``).
+                nonlocal logged
+                logged = True
+                if batch:
+                    self.wal.log_batch(batch)
+                    self.wal.sync()
+                return not self.wal.dead
+        with self.catalog.transaction(pre_commit=pre_commit):
             for class_name, (positions, tids) in delete_groups.items():
                 removed = self.relation(class_name).delete_many(tids)
                 for position, row in zip(positions, removed):
@@ -445,11 +478,11 @@ class WorkingMemory:
                 stored = self.relation(class_name).insert_many(rows, timetags)
                 for position, row in zip(positions, stored):
                     deltas[position] = Delta(INSERT, row)
+            batch = DeltaBatch(d for d in deltas if d is not None)
 
-        batch = DeltaBatch(d for d in deltas if d is not None)
         if batch:
             self._deliver(batch)
-            if self.wal is not None:
+            if self.wal is not None and not logged:
                 self.wal.log_batch(batch)
         return batch
 

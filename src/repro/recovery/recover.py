@@ -43,7 +43,12 @@ from repro.recovery.checkpoint import (
     load_checkpoint,
 )
 from repro.recovery.session import DurableRun, program_crc
-from repro.recovery.wal import decode_batch, decode_fired, read_wal_chain
+from repro.recovery.wal import (
+    decode_batch,
+    decode_fired,
+    encode_fired,
+    read_wal_chain,
+)
 from repro.storage.tuples import StoredTuple
 
 
@@ -101,6 +106,139 @@ def _build_system(meta: dict, obs: Observability | None) -> ProductionSystem:
         workers=meta.get("workers", 1),
         obs=obs or Observability(),
     )
+
+
+class RecordApplier:
+    """The replay loop of :func:`recover`, in incremental form.
+
+    Feeds WAL records one at a time into a live system, preserving the
+    exact commit-point semantics of crash recovery: batch records are
+    *staged* and only replayed through the match network
+    (:meth:`~repro.engine.wm.WorkingMemory.restore_batch`) when the
+    boundary record covering them arrives.  Between boundaries the
+    system therefore always sits at the last durable commit point —
+    exactly where :func:`recover` would leave it — which is what lets a
+    warm-standby follower (:mod:`repro.replica`) tail a shipped log and
+    stay bit-identical to the primary at every shipped boundary.
+
+    Call :meth:`finalize` once, after the last record, to restore the
+    refraction set, program output and resolver state.
+    """
+
+    def __init__(self, system: ProductionSystem, meta: dict) -> None:
+        self.system = system
+        self.meta = meta
+        self.phase: str | None = None
+        self.cycle = 0
+        self.position = 0
+        self.halted = False
+        self.extra: dict = {}
+        self.fired_encoded: list = []
+        self.output: list = []
+        self.auto_batch_size = None
+        self.resolver_state = None
+        self.last_boundary_seq = 0
+        self.replayed_batches = 0
+        self.replayed_deltas = 0
+        self._staged: list[dict] = []  # batch bodies awaiting a boundary
+        self._finalized = False
+
+    @classmethod
+    def from_state(cls, state: "RecoveredState") -> "RecordApplier":
+        """Continue applying where a recovered run left off."""
+        applier = cls(state.system, state.meta)
+        applier.phase = state.phase
+        applier.cycle = state.cycle
+        applier.position = state.position
+        applier.halted = state.halted
+        applier.extra = dict(state.extra)
+        applier.fired_encoded = [
+            encode_fired(triple) for triple in state.fired
+        ]
+        applier.output = [list(row) for row in state.system.output]
+        applier.auto_batch_size = state.system.auto_batch_size
+        applier.last_boundary_seq = state.next_seq - 1
+        applier.replayed_batches = state.replayed_batches
+        applier.replayed_deltas = state.replayed_deltas
+        return applier
+
+    def seed_checkpoint(
+        self, ckpt: dict, checkpoint_path: str | None = None
+    ) -> None:
+        """Restore a checkpoint body wholesale (rows, marks, run state)."""
+        rows = _checkpoint_rows(ckpt["relations"])
+        if rows:
+            self.system.wm.restore_batch(DeltaBatch.of_inserts(rows))
+        self.system.wm.catalog.clock.advance_to(ckpt["clock"])
+        self.system.wm.restore_tid_marks(ckpt["tids"])
+        snapshot = ckpt.get("rete")
+        if snapshot is not None and hasattr(self.system.strategy, "network"):
+            rebuilt = _normalize(canonical_rete_snapshot(self.system.strategy))
+            if rebuilt != snapshot:
+                raise CheckpointError(
+                    "Rete memories rebuilt by replay do not match the "
+                    f"snapshot in {checkpoint_path!r}"
+                )
+        ckpt_state = ckpt["state"]
+        self.phase = ckpt_state["phase"]
+        self.cycle = ckpt_state["cycle"]
+        self.position = ckpt_state["position"]
+        self.halted = ckpt_state["halted"]
+        self.extra = dict(ckpt_state.get("extra") or {})
+        self.fired_encoded = list(ckpt_state["fired"])
+        self.output = list(ckpt_state["output"])
+        self.auto_batch_size = ckpt_state.get("auto_batch_size")
+        self.resolver_state = ckpt_state.get("resolver_state")
+        self.last_boundary_seq = ckpt["wal_seq"]
+
+    @property
+    def staged_records(self) -> int:
+        """Batch records received but not yet covered by a boundary."""
+        return len(self._staged)
+
+    def apply(self, seq: int, kind: str, body: dict) -> bool:
+        """Feed one record; returns True when a boundary was applied."""
+        if kind == "batch":
+            self._staged.append(body)
+            return False
+        if kind != "boundary":
+            return False  # meta records carry no replay state
+        for staged in self._staged:
+            batch = decode_batch(staged)
+            self.system.wm.restore_batch(batch)
+            self.replayed_batches += 1
+            self.replayed_deltas += len(batch)
+        self._staged = []
+        self.phase = body["phase"]
+        self.cycle = body["cycle"]
+        self.position = body["position"]
+        self.halted = body["halted"]
+        self.extra = dict(body.get("extra") or {})
+        self.fired_encoded.extend(body["fired"])
+        self.output.extend(body["output_delta"])
+        self.system.wm.catalog.clock.advance_to(body["clock"])
+        self.system.wm.restore_tid_marks(body["tids"])
+        if body.get("auto_batch_size") is not None:
+            self.auto_batch_size = body["auto_batch_size"]
+        if body.get("resolver_state") is not None:
+            self.resolver_state = body["resolver_state"]
+        self.last_boundary_seq = seq
+        return True
+
+    def finalize(self) -> list:
+        """Restore refraction/output/resolver; returns decoded firings."""
+        fired = [decode_fired(entry) for entry in self.fired_encoded]
+        self.system.restore_run_state(
+            fired_keys={key for _, _, key in fired},
+            output=self.output,
+            auto_batch_size=self.auto_batch_size,
+        )
+        if self.resolver_state is not None and isinstance(
+            self.system.resolver, SeededRandom
+        ):
+            self.system.resolver.setstate(self.resolver_state)
+        self._finalized = True
+        return fired
 
 
 def _checkpoint_rows(relations: dict) -> list[StoredTuple]:
@@ -207,70 +345,25 @@ def recover(
         active_base_seq=result.active_base_seq,
     )
 
-    fired_encoded: list = []
-    output: list = []
-    auto_batch_size = None
-    resolver_state = None
-
+    applier = RecordApplier(system, meta)
     if ckpt is not None:
-        rows = _checkpoint_rows(ckpt["relations"])
-        if rows:
-            system.wm.restore_batch(DeltaBatch.of_inserts(rows))
-        system.wm.catalog.clock.advance_to(ckpt["clock"])
-        system.wm.restore_tid_marks(ckpt["tids"])
-        snapshot = ckpt.get("rete")
-        if snapshot is not None and hasattr(system.strategy, "network"):
-            rebuilt = _normalize(canonical_rete_snapshot(system.strategy))
-            if rebuilt != snapshot:
-                raise CheckpointError(
-                    "Rete memories rebuilt by replay do not match the "
-                    f"snapshot in {checkpoint_path!r}"
-                )
-        ckpt_state = ckpt["state"]
-        state.phase = ckpt_state["phase"]
-        state.cycle = ckpt_state["cycle"]
-        state.position = ckpt_state["position"]
-        state.halted = ckpt_state["halted"]
-        state.extra = dict(ckpt_state.get("extra") or {})
-        fired_encoded = list(ckpt_state["fired"])
-        output = list(ckpt_state["output"])
-        auto_batch_size = ckpt_state.get("auto_batch_size")
-        resolver_state = ckpt_state.get("resolver_state")
+        applier.seed_checkpoint(ckpt, checkpoint_path)
         state.checkpoint_used = True
 
     start_seq = ckpt["wal_seq"] if ckpt is not None else 0
     for record in records:
         if record.seq <= start_seq or record.seq > recovery_seq:
             continue
-        if record.kind == "batch":
-            batch = decode_batch(record.body)
-            system.wm.restore_batch(batch)
-            state.replayed_batches += 1
-            state.replayed_deltas += len(batch)
-        elif record.kind == "boundary":
-            body = record.body
-            state.phase = body["phase"]
-            state.cycle = body["cycle"]
-            state.position = body["position"]
-            state.halted = body["halted"]
-            state.extra = dict(body.get("extra") or {})
-            fired_encoded.extend(body["fired"])
-            output.extend(body["output_delta"])
-            system.wm.catalog.clock.advance_to(body["clock"])
-            system.wm.restore_tid_marks(body["tids"])
-            if body.get("auto_batch_size") is not None:
-                auto_batch_size = body["auto_batch_size"]
-            if body.get("resolver_state") is not None:
-                resolver_state = body["resolver_state"]
+        applier.apply(record.seq, record.kind, record.body)
 
-    state.fired = [decode_fired(entry) for entry in fired_encoded]
-    system.restore_run_state(
-        fired_keys={key for _, _, key in state.fired},
-        output=output,
-        auto_batch_size=auto_batch_size,
-    )
-    if resolver_state is not None and isinstance(system.resolver, SeededRandom):
-        system.resolver.setstate(resolver_state)
+    state.fired = applier.finalize()
+    state.phase = applier.phase
+    state.cycle = applier.cycle
+    state.position = applier.position
+    state.halted = applier.halted
+    state.extra = dict(applier.extra)
+    state.replayed_batches = applier.replayed_batches
+    state.replayed_deltas = applier.replayed_deltas
 
     live_obs = system.obs
     if live_obs.enabled:

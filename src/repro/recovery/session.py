@@ -94,6 +94,8 @@ class DurableRun:
         extra: dict | None = None,
         wal_rotate_bytes: int = 0,
         group=None,
+        meta_extra: dict | None = None,
+        wal_tap=None,
     ) -> "DurableRun":
         """Open a fresh log for *system* and commit the setup boundary.
 
@@ -105,9 +107,14 @@ class DurableRun:
         other committed batch.  *wal_rotate_bytes* > 0 turns on segment
         rotation (and compaction at each checkpoint); *group* defers
         boundary fsyncs to a shared
-        :class:`~repro.recovery.wal.GroupCommit` barrier.
+        :class:`~repro.recovery.wal.GroupCommit` barrier.  *meta_extra*
+        merges additional keys (the serving epoch, say) into the meta
+        record; recovery ignores keys it does not know.  *wal_tap* is
+        installed as the writer's post-fsync tap
+        (:mod:`repro.replica` log shipping) from the very first record.
         """
-        meta = {"version": 1, "program": program_text, **config}
+        meta = {"version": 1, "program": program_text, **config,
+                **(meta_extra or {})}
         writer = WalWriter.create(
             wal_path,
             crashpoints=crashpoints,
@@ -116,6 +123,7 @@ class DurableRun:
             rotate_bytes=wal_rotate_bytes,
             wal_meta=meta,
             group=group,
+            tap=wal_tap,
         )
         writer.append("meta", meta)
         rows = sorted(

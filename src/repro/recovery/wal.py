@@ -494,6 +494,7 @@ class WalWriter:
         rotate_bytes: int = 0,
         wal_meta: dict | None = None,
         group: "GroupCommit | None" = None,
+        tap: "object | None" = None,
         _mode: str = "w",
         _next_seq: int = 1,
         _start_offset: int = 0,
@@ -512,6 +513,12 @@ class WalWriter:
         #: Optional :class:`GroupCommit` this writer's boundaries enlist
         #: with instead of syncing eagerly.
         self.group = group
+        #: Sync tap: ``tap(first_seq, lines)`` is called after every
+        #: completed fsync with the raw serialized record lines that just
+        #: became durable (``first_seq`` is the seq of ``lines[0]``).
+        #: ``repro.replica`` hangs its log shipper here — only records
+        #: that are durable on the primary are ever shipped.
+        self.tap = tap
         self._handle = open(path, _mode, encoding="utf-8")
         self._buffer: list[str] = []
         self._next_seq = _next_seq
@@ -660,7 +667,9 @@ class WalWriter:
             return
         self._hit("wal.pre_sync")
         if self._buffer:
-            payload = "".join(self._buffer)
+            lines = self._buffer
+            first_seq = self._next_seq - len(lines)
+            payload = "".join(lines)
             self._buffer = []
             started = time.perf_counter()
             obs = self.obs
@@ -680,6 +689,8 @@ class WalWriter:
                 metrics.log2_histogram("recovery.sync_us").observe(
                     (time.perf_counter() - started) * 1e6
                 )
+            if self.tap is not None:
+                self.tap(first_seq, lines)
         self._hit("wal.post_sync")
         if (
             self.rotate_bytes > 0

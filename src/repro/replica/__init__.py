@@ -1,0 +1,43 @@
+"""repro.replica — warm-standby replication for the rule service.
+
+Turns one ``repro serve`` process into a primary/warm-standby pair:
+
+* :class:`~repro.replica.shipper.LogShipper` (primary side) collects
+  every tenant's freshly-fsynced WAL records off the
+  :attr:`~repro.recovery.wal.WalWriter.tap` hook and ships them as
+  NDJSON frames after each group-commit barrier releases — nothing is
+  acked to a client before the attached follower confirmed the round
+  (semi-synchronous), and a slow or dead follower degrades the pair to
+  async rather than stalling the primary forever.
+* :class:`~repro.replica.follower.FollowerState` (standby side)
+  materializes byte-identical local WAL/checkpoint files and tails the
+  shipped records through :class:`~repro.recovery.recover.RecordApplier`
+  — the normal recover() replay-through-match path — so WM, Rete
+  memories and conflict sets stay bit-identical to the primary at every
+  shipped boundary.
+* :mod:`~repro.replica.epoch` persists the monotonic fencing epoch.
+  Promotion bumps it; a stale primary refuses to ship to (and is
+  refused by) anything carrying a higher epoch.
+
+See docs/REPLICATION.md for the protocol and the promotion runbook.
+"""
+
+from repro.replica.epoch import bump_epoch, read_epoch, write_epoch
+from repro.replica.follower import (
+    FencedError,
+    FollowerState,
+    FollowerTenant,
+    ReplicationError,
+)
+from repro.replica.shipper import LogShipper
+
+__all__ = [
+    "FencedError",
+    "FollowerState",
+    "FollowerTenant",
+    "LogShipper",
+    "ReplicationError",
+    "bump_epoch",
+    "read_epoch",
+    "write_epoch",
+]

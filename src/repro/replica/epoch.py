@@ -1,0 +1,64 @@
+"""The fencing epoch: one monotonic integer per data directory.
+
+The epoch is the replication pair's generation number.  A fresh primary
+starts at 1; every promotion bumps it by one and persists it *before*
+the promoted follower accepts its first write.  The current epoch is
+stamped into every WAL meta record the server creates, every client
+ack, and every shipped frame — so a stale primary (still running, or
+restarted after the ``kill -9`` that triggered the failover) can always
+be told apart from the live one, and its shipments refused with its
+epoch named in the error.
+
+Persisted as a one-line JSON file (``EPOCH``) in the server's data
+directory, written atomically (temp + fsync + rename) like every other
+durable artifact in :mod:`repro.recovery`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: Filename of the epoch marker inside a server data directory.
+EPOCH_FILE = "EPOCH"
+
+
+def epoch_path(data_dir: str) -> str:
+    return os.path.join(data_dir, EPOCH_FILE)
+
+
+def read_epoch(data_dir: str) -> int:
+    """The persisted epoch of *data_dir* (0 when none was ever written)."""
+    path = epoch_path(data_dir)
+    if not os.path.exists(path):
+        return 0
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    epoch = payload.get("epoch")
+    if not isinstance(epoch, int) or epoch < 0:
+        raise ValueError(f"{path!r} carries invalid epoch {epoch!r}")
+    return epoch
+
+
+def write_epoch(data_dir: str, epoch: int) -> None:
+    """Persist *epoch* atomically; the epoch only ever grows."""
+    if epoch < read_epoch(data_dir):
+        raise ValueError(
+            f"epoch must be monotonic: refusing to write {epoch} over "
+            f"{read_epoch(data_dir)} in {data_dir!r}"
+        )
+    path = epoch_path(data_dir)
+    temp = path + ".tmp"
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump({"epoch": epoch}, handle)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+def bump_epoch(data_dir: str) -> int:
+    """Advance the persisted epoch by one; returns the new value."""
+    epoch = read_epoch(data_dir) + 1
+    write_epoch(data_dir, epoch)
+    return epoch

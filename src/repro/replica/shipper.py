@@ -1,0 +1,201 @@
+"""The primary side: collect fsynced WAL records, frame them, ship them.
+
+:class:`LogShipper` is deliberately sans-io.  It plugs a tap into each
+tenant's :class:`~repro.recovery.wal.WalWriter` (called after every
+completed fsync with the raw record lines that just became durable) and
+turns the accumulated records into NDJSON frames:
+
+``snapshot``
+    One tenant's catch-up bootstrap: the run meta, the latest checkpoint
+    body when the log prefix was compacted away, and every durable
+    record past the follower's ``have`` seq — read segment-aware off
+    :func:`~repro.recovery.wal.read_wal_chain`, anchored on the sidecar
+    ``base_seq``.
+``records``
+    The records one group-commit barrier made durable for one tenant.
+``commit``
+    The round barrier: per-tenant durable tips.  The follower fsyncs its
+    local logs and answers with an ``ack`` frame; the server releases
+    client acks only after that answer (semi-synchronous replication).
+
+The asyncio send/receive glue lives in :mod:`repro.serve.server`; the
+crash fuzzer and the metrics baseline drive this core directly, in
+process, with no sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.recovery.checkpoint import load_checkpoint
+from repro.recovery.wal import _crc, read_wal_chain
+
+
+class LogShipper:
+    """Per-tenant pending records between group commits, plus framing."""
+
+    def __init__(self, obs=None, epoch: int = 1) -> None:
+        self.obs = obs
+        self.epoch = epoch
+        #: The attached follower link (opaque to this core; the server
+        #: stores its asyncio connection here, tests any truthy object).
+        #: While None, taps record only the durable tips — no buffering.
+        self.link = None
+        self._pending: dict[str, list[tuple[int, str]]] = {}
+        #: Last durably-synced seq per tenant (ships with commit frames).
+        self.tips: dict[str, int] = {}
+        #: What the follower last acked, per tenant.
+        self.follower_acked: dict[str, int] = {}
+        self.ship_rounds = 0
+        self.shipped_records = 0
+        self.shipped_bytes = 0
+        self.snapshots = 0
+        self.round_acks = 0
+        self.degraded = 0
+
+    # -- taps ------------------------------------------------------------------
+
+    def tap_for(self, tenant: str):
+        """The :attr:`WalWriter.tap` hook for one tenant's writer."""
+
+        def tap(first_seq: int, lines: list[str]) -> None:
+            self.on_sync(tenant, first_seq, lines)
+
+        return tap
+
+    def on_sync(self, tenant: str, first_seq: int, lines: list[str]) -> None:
+        self.tips[tenant] = first_seq + len(lines) - 1
+        if self.link is None:
+            return
+        bucket = self._pending.setdefault(tenant, [])
+        for offset, line in enumerate(lines):
+            bucket.append((first_seq + offset, line))
+
+    # -- follower attachment ---------------------------------------------------
+
+    def attach(self, link) -> None:
+        if self.link is not None:
+            raise RuntimeError("a follower is already attached")
+        self.link = link
+        self._pending = {}
+        self.follower_acked = {}
+        if self.obs is not None and self.obs.enabled:
+            self.obs.metrics.gauge("replica.followers").set(1)
+
+    def detach(self) -> None:
+        self.link = None
+        self._pending = {}
+        if self.obs is not None and self.obs.enabled:
+            self.obs.metrics.gauge("replica.followers").set(0)
+
+    # -- framing ---------------------------------------------------------------
+
+    def snapshot_frame(
+        self,
+        tenant: str,
+        wal_path: str,
+        checkpoint_path: str | None,
+        have_seq: int = 0,
+        meta: dict | None = None,
+    ) -> dict:
+        """The catch-up bootstrap frame for one tenant.
+
+        Must be called with the tenant's writer fully synced (no pending
+        buffer) and the tap attached in the same event-loop step, so no
+        record can fall between the chain read and the live tail.
+        """
+        chain = read_wal_chain(wal_path)
+        meta = chain.meta if chain.meta is not None else meta
+        checkpoint = None
+        base_seq = have_seq
+        if have_seq + 1 < chain.first_seq:
+            # The follower's position was compacted away; bootstrap from
+            # the checkpoint that superseded the deleted prefix.
+            if checkpoint_path and os.path.exists(checkpoint_path):
+                checkpoint = load_checkpoint(checkpoint_path)
+                base_seq = checkpoint["wal_seq"]
+            else:
+                base_seq = 0
+        records = [
+            {
+                "seq": record.seq,
+                "kind": record.kind,
+                "body": record.body,
+                "crc": None,
+            }
+            for record in chain.records
+            if record.seq > base_seq
+        ]
+        # Re-stamp CRCs from the parsed bodies (read_wal validated them;
+        # the wire frame re-serializes, so recompute canonically).
+        for record in records:
+            record["crc"] = _crc(
+                record["seq"], record["kind"], record["body"]
+            )
+        self.snapshots += 1
+        self.tips[tenant] = max(
+            self.tips.get(tenant, 0),
+            records[-1]["seq"] if records else base_seq,
+        )
+        if self.obs is not None and self.obs.enabled:
+            self.obs.metrics.counter("replica.snapshot_frames").inc()
+        return {
+            "frame": "snapshot",
+            "tenant": tenant,
+            "epoch": self.epoch,
+            "meta": meta,
+            "checkpoint": checkpoint,
+            "base_seq": base_seq,
+            "records": records,
+        }
+
+    def round_frames(self) -> list[dict]:
+        """Drain pending records into this round's frames (+ commit)."""
+        frames: list[dict] = []
+        for tenant in sorted(self._pending):
+            entries = self._pending[tenant]
+            if not entries:
+                continue
+            self._pending[tenant] = []
+            size = sum(len(line.encode("utf-8")) for _, line in entries)
+            records = [json.loads(line) for _, line in entries]
+            frames.append(
+                {
+                    "frame": "records",
+                    "tenant": tenant,
+                    "epoch": self.epoch,
+                    "records": records,
+                }
+            )
+            self.shipped_records += len(records)
+            self.shipped_bytes += size
+            if self.obs is not None and self.obs.enabled:
+                metrics = self.obs.metrics
+                metrics.counter("replica.shipped_records").inc(len(records))
+                metrics.counter("replica.shipped_bytes").inc(size)
+                metrics.gauge(f"replica.shipped_seq[{tenant}]").set(
+                    records[-1]["seq"]
+                )
+        frames.append(
+            {"frame": "commit", "epoch": self.epoch, "tips": dict(self.tips)}
+        )
+        self.ship_rounds += 1
+        if self.obs is not None and self.obs.enabled:
+            self.obs.metrics.counter("replica.ship_rounds").inc()
+        return frames
+
+    def handle_ack(self, ack: dict) -> None:
+        """Fold the follower's round ack (its applied positions)."""
+        self.follower_acked = dict(ack.get("applied") or {})
+        self.round_acks += 1
+        if self.obs is not None and self.obs.enabled:
+            self.obs.metrics.counter("replica.round_acks").inc()
+
+    def mark_degraded(self) -> None:
+        """The follower timed out or died mid-round; the pair is async
+        until a follower reattaches."""
+        self.degraded += 1
+        if self.obs is not None and self.obs.enabled:
+            self.obs.metrics.counter("replica.degraded").inc()
+        self.detach()

@@ -47,27 +47,50 @@ class AdmissionController:
     accumulates counters (mirrored into the ``serve.admission_*``
     metrics when observability is on) so tests can assert shed behaviour
     without a metrics registry.
+
+    *tenant_policies* maps tenant names to per-tenant quota overrides
+    (``repro serve --tenant-defer-depth t1=8``): a noisy tenant can be
+    shed early, or a critical one given headroom, without moving the
+    global thresholds.  Decisions stay a pure function of
+    ``(tenant, depth)``, so the per-tenant ``serve.admission_*[tenant]``
+    counters are as deterministic as the global ones.
     """
 
     def __init__(self, policy: AdmissionPolicy | None = None,
-                 obs=None) -> None:
+                 obs=None,
+                 tenant_policies: dict[str, AdmissionPolicy] | None = None,
+                 ) -> None:
         self.policy = policy or AdmissionPolicy()
+        self.tenant_policies = dict(tenant_policies or {})
         self.obs = obs
         self.accepted = 0
         self.deferred = 0
         self.shed = 0
 
-    def admit(self, depth: int) -> str:
+    def policy_for(self, tenant: str | None) -> AdmissionPolicy:
+        """The effective thresholds for *tenant* (global when no
+        override is registered, or no tenant is named)."""
+        if tenant is None:
+            return self.policy
+        return self.tenant_policies.get(tenant, self.policy)
+
+    def admit(self, depth: int, tenant: str | None = None) -> str:
         """Decide for one op observing *depth* queued ops."""
-        if depth >= self.policy.shed_depth:
+        policy = self.policy_for(tenant)
+        if depth >= policy.shed_depth:
             decision = SHED
             self.shed += 1
-        elif depth >= self.policy.defer_depth:
+        elif depth >= policy.defer_depth:
             decision = DEFER
             self.deferred += 1
         else:
             decision = ACCEPT
             self.accepted += 1
         if self.obs is not None and self.obs.enabled:
-            self.obs.metrics.counter(f"serve.admission_{decision}").inc()
+            metrics = self.obs.metrics
+            metrics.counter(f"serve.admission_{decision}").inc()
+            if tenant is not None:
+                metrics.counter(
+                    f"serve.admission_{decision}[{tenant}]"
+                ).inc()
         return decision

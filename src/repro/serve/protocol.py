@@ -11,6 +11,8 @@ Requests are JSON objects with an ``op`` field::
     {"op": "query", "tenant": "t1", "relation": "event"}
     {"op": "stats", "tenant": "t1"}     {"op": "status"}
     {"op": "ping"}                      {"op": "shutdown"}
+    {"op": "follow", "epoch": 0, "have": {"t1": 12}}
+    {"op": "promote"}
 
 Replies mirror the request's ``op`` (and ``seq`` when it carried one) and
 always carry ``ok``.  Mutations are *exactly-once*: each tenant's stream
@@ -32,8 +34,13 @@ from dataclasses import dataclass, field
 #: and exactly-once).
 MUTATION_OPS = ("insert", "delete", "modify")
 
-#: Every verb the server understands.
-OPS = MUTATION_OPS + ("attach", "query", "stats", "status", "ping", "shutdown")
+#: Every verb the server understands.  ``follow`` is the replication
+#: handshake (the connection becomes the shipping channel); ``promote``
+#: turns a warm standby into the primary, bumping the fencing epoch.
+OPS = MUTATION_OPS + (
+    "attach", "query", "stats", "status", "ping", "shutdown",
+    "follow", "promote",
+)
 
 #: Tenant names become WAL filenames; keep them path-safe.
 TENANT_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
@@ -65,6 +72,10 @@ class Request:
     changes: dict | None = None
     program: str | None = None
     config: dict = field(default_factory=dict)
+    #: Replication: the peer's fencing epoch (``follow``) and its last
+    #: locally-durable seq per tenant (the catch-up handshake).
+    epoch: int | None = None
+    have: dict = field(default_factory=dict)
 
 
 def _require(condition: bool, detail: str, op: str | None = None,
@@ -122,6 +133,19 @@ def parse_request(line: str | bytes) -> Request:
         _require(isinstance(program, str), "program must be a string", op=op)
     config = data.get("config") or {}
     _require(isinstance(config, dict), "config must be a mapping", op=op)
+    epoch = data.get("epoch")
+    have = data.get("have") or {}
+    if op == "follow":
+        _require(isinstance(epoch, int) and epoch >= 0,
+                 "follow requires an integer epoch >= 0", op=op)
+        _require(
+            isinstance(have, dict)
+            and all(
+                isinstance(k, str) and isinstance(v, int)
+                for k, v in have.items()
+            ),
+            "follow's have must map tenant names to integer seqs", op=op,
+        )
     return Request(
         op=op,
         tenant=tenant,
@@ -132,6 +156,8 @@ def parse_request(line: str | bytes) -> Request:
         changes=data.get("changes"),
         program=program,
         config=config,
+        epoch=epoch if isinstance(epoch, int) else None,
+        have=have if isinstance(have, dict) else {},
     )
 
 

@@ -102,8 +102,15 @@ class TenantSession:
         config: dict | None = None,
         wal_rotate_bytes: int = DEFAULT_ROTATE_BYTES,
         checkpoint_rounds: int = 8,
+        meta_extra: dict | None = None,
+        wal_tap=None,
     ) -> "TenantSession":
-        """A fresh tenant: new system on the shared pack, new log."""
+        """A fresh tenant: new system on the shared pack, new log.
+
+        *meta_extra* stamps extra keys (the serving epoch) into the WAL
+        meta record; *wal_tap* installs the replication shipper's tap so
+        even the setup records ship to an attached follower.
+        """
         cfg = dict(DEFAULT_CONFIG)
         for key, value in (config or {}).items():
             if key in CONFIG_KEYS:
@@ -124,6 +131,8 @@ class TenantSession:
             group=group,
             wal_rotate_bytes=wal_rotate_bytes,
             extra={"applied_seq": 0, "serve_position": 0},
+            meta_extra=meta_extra,
+            wal_tap=wal_tap,
         )
         return cls(
             name, pack, run,
@@ -154,10 +163,40 @@ class TenantSession:
             ckpt if os.path.exists(ckpt) else None,
             obs=obs,
         )
+        return cls.from_recovered(
+            name,
+            state,
+            registry,
+            checkpoint_file=ckpt,
+            group=group,
+            obs=obs,
+            wal_rotate_bytes=wal_rotate_bytes,
+            checkpoint_rounds=checkpoint_rounds,
+        )
+
+    @classmethod
+    def from_recovered(
+        cls,
+        name: str,
+        state,
+        registry,
+        *,
+        checkpoint_file: str | None = None,
+        group=None,
+        obs=None,
+        wal_rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+        checkpoint_rounds: int = 8,
+    ) -> "TenantSession":
+        """A live session over an already-recovered state.
+
+        Shared by the crash-restart path above and replica promotion
+        (where the state comes from the follower's local materialization
+        rather than a :func:`~repro.recovery.recover.recover` call).
+        """
         pack = registry.pack_for(state.meta["program"])
         run = DurableRun.resume(
             state,
-            checkpoint_path=ckpt,
+            checkpoint_path=checkpoint_file,
             checkpoint_every=0,
             group=group,
             wal_rotate_bytes=wal_rotate_bytes,

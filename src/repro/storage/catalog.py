@@ -62,7 +62,7 @@ class Catalog:
             )
 
     @contextmanager
-    def transaction(self):
+    def transaction(self, pre_commit=None):
         """Scope a group of writes as one backend transaction.
 
         On the SQLite backend every statement issued inside the block joins
@@ -70,6 +70,18 @@ class Catalog:
         set-at-a-time pipeline); nested use and the memory backend are
         no-ops.  On an exception the transaction rolls back before the
         error propagates.
+
+        *pre_commit*, when given, is called after the block body but
+        before COMMIT — the write-ahead hook: the working memory uses it
+        to append and fsync the batch's WAL record first, so the database
+        file can never hold rows the durable log lacks.  A *pre_commit*
+        that raises rolls the transaction back before the error
+        propagates; one that returns ``False`` (the log went dead under a
+        simulated crash — nothing it wrote is durable) rolls back
+        silently, keeping the database at or behind the log.  On the
+        memory backend and in nested scopes *pre_commit* is never called:
+        there is no commit for it to precede, and the caller falls back
+        to its ordinary post-apply logging.
         """
         connection = self._connection
         if connection is None or connection.in_transaction:
@@ -78,12 +90,15 @@ class Catalog:
         connection.execute("BEGIN IMMEDIATE")
         try:
             yield
+            committable = pre_commit is None or pre_commit() is not False
         except BaseException:
             if connection.in_transaction:
                 connection.execute("ROLLBACK")
             raise
         if connection.in_transaction:
-            connection.execute("COMMIT")
+            connection.execute("COMMIT" if committable else "ROLLBACK")
+        if not committable:
+            return
         if self.obs is not None and self.obs.enabled:
             self.obs.metrics.counter("storage.transactions").inc()
 

@@ -1,0 +1,156 @@
+"""Write-ahead ordering between the WAL and a SQLite-backed catalog.
+
+A file-backed database is a second durable store; without coordination a
+crash between the SQLite COMMIT and the WAL append leaves rows in the
+database the log never heard of — recovery would then double-apply them
+on replay.  ``Catalog.transaction(pre_commit=...)`` closes the window:
+the working memory appends *and fsyncs* each batch's WAL record inside
+the hook, before the backend COMMIT, so at every crashpoint the database
+is at or behind the durable log, never ahead of it.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.engine import ProductionSystem
+from repro.recovery.crashpoints import Crashpoints, SimulatedCrash
+from repro.recovery.wal import WalWriter
+
+PROGRAM = """
+(literalize ev n)
+"""
+
+
+def make_system(tmp_path, backend="sqlite"):
+    path = str(tmp_path / "wm.db") if backend == "sqlite" else None
+    return ProductionSystem(PROGRAM, backend=backend, path=path)
+
+
+def attach_wal(system, tmp_path, crashpoints=None, fsync_every=10_000):
+    writer = WalWriter.create(
+        str(tmp_path / "run.wal"),
+        fsync_every=fsync_every,
+        crashpoints=crashpoints,
+    )
+    system.wm.wal = writer
+    return writer
+
+
+def flush_one(system, n):
+    # A crashed flush leaves the batch scope open (a killed process has
+    # no one to close it); re-enter it rather than re-opening.
+    if not system.wm.batching:
+        system.wm.begin_batch()
+    system.wm.insert("ev", {"n": n})
+    system.wm.end_batch()
+
+
+def db_rows(tmp_path):
+    with sqlite3.connect(str(tmp_path / "wm.db")) as connection:
+        return connection.execute(
+            "SELECT COUNT(*) FROM t_ev"
+        ).fetchone()[0]
+
+
+def wal_batches(tmp_path):
+    records = []
+    with open(tmp_path / "run.wal", encoding="utf-8") as handle:
+        for line in handle:
+            records.append(json.loads(line))
+    return [r for r in records if r["kind"] == "batch"]
+
+
+class TestWriteAheadOrdering:
+    def test_commit_waits_on_the_wal_fsync(self, tmp_path):
+        """The batch record is durable on disk by the time the SQLite
+        transaction commits — even under a lazy fsync cadence."""
+        system = make_system(tmp_path)
+        writer = attach_wal(system, tmp_path, fsync_every=10_000)
+        flush_one(system, 1)
+        # the pre-commit hook forced the sync; nothing is buffered
+        assert writer.syncs == 1
+        assert writer.pending_records == 0
+        assert len(wal_batches(tmp_path)) == 1
+        assert db_rows(tmp_path) == 1
+
+    def test_pre_commit_runs_inside_the_open_transaction(self, tmp_path):
+        """The hook fires after the writes, before COMMIT."""
+        system = make_system(tmp_path)
+        catalog = system.wm.catalog
+        seen = {}
+
+        def probe():
+            seen["in_transaction"] = catalog._connection.in_transaction
+
+        with catalog.transaction(pre_commit=probe):
+            pass
+        assert seen == {"in_transaction": True}
+        assert not catalog._connection.in_transaction
+
+    def test_memory_backend_keeps_lazy_group_cadence(self, tmp_path):
+        """No second durable store, no forced fsync: the memory backend
+        leaves sync scheduling to fsync_every / the group barrier."""
+        system = make_system(tmp_path, backend="memory")
+        writer = attach_wal(system, tmp_path, fsync_every=10_000)
+        flush_one(system, 1)
+        assert writer.syncs == 0
+        assert writer.pending_records == 1
+
+
+class TestCrashpointOrdering:
+    """Walk the crash sites inside the write-ahead window and assert the
+    database never ends up ahead of the durable log."""
+
+    @pytest.mark.parametrize(
+        "site", ["wal.pre_append", "wal.post_append", "wal.pre_sync"]
+    )
+    def test_crash_before_durability_rolls_the_database_back(
+        self, tmp_path, site
+    ):
+        """Dying while the batch record is still non-durable (before its
+        fsync completed) must abort the SQLite transaction too."""
+        crashpoints = Crashpoints()
+        system = make_system(tmp_path)
+        attach_wal(system, tmp_path, crashpoints=crashpoints)
+        flush_one(system, 1)  # batch 1 is fully durable
+        crashpoints.arm(site, after={"wal.pre_append": 2,
+                                     "wal.post_append": 2,
+                                     "wal.pre_sync": 2}[site])
+        with pytest.raises(SimulatedCrash):
+            flush_one(system, 2)
+        # the crashed batch reached neither store: DB == durable log
+        assert db_rows(tmp_path) == 1
+        assert len(wal_batches(tmp_path)) == 1
+
+    def test_crash_after_fsync_commits_both_stores(self, tmp_path):
+        """Past the fsync the record is durable; the COMMIT that follows
+        may land (crash here is *after* the write-ahead window)."""
+        crashpoints = Crashpoints()
+        system = make_system(tmp_path)
+        attach_wal(system, tmp_path, crashpoints=crashpoints)
+        flush_one(system, 1)
+        crashpoints.arm("wal.post_sync", after=2)
+        with pytest.raises(SimulatedCrash):
+            flush_one(system, 2)
+        # the log kept the record — recovery replays it; whether the
+        # database also kept the rows is immaterial (it is rebuilt from
+        # the log), but it must never exceed the log
+        assert len(wal_batches(tmp_path)) == 2
+        assert db_rows(tmp_path) <= 2
+
+    def test_dead_log_refuses_the_commit_silently(self, tmp_path):
+        """After the simulated crash the writer is dead: later flushes
+        (finally-block cleanups and the like) append nothing durable, so
+        the database must not commit their rows either."""
+        crashpoints = Crashpoints()
+        system = make_system(tmp_path)
+        attach_wal(system, tmp_path, crashpoints=crashpoints)
+        flush_one(system, 1)
+        crashpoints.arm("wal.pre_sync", after=2)
+        with pytest.raises(SimulatedCrash):
+            flush_one(system, 2)
+        flush_one(system, 3)  # no raise: the dead log swallows it
+        assert db_rows(tmp_path) == 1
+        assert len(wal_batches(tmp_path)) == 1

@@ -1,0 +1,52 @@
+"""The fencing epoch file: persistence, monotonicity, atomicity."""
+
+import json
+import os
+
+import pytest
+
+from repro.replica import bump_epoch, read_epoch, write_epoch
+from repro.replica.epoch import epoch_path
+
+
+class TestEpochFile:
+    def test_missing_file_reads_as_zero(self, tmp_path):
+        assert read_epoch(str(tmp_path)) == 0
+
+    def test_round_trip(self, tmp_path):
+        write_epoch(str(tmp_path), 3)
+        assert read_epoch(str(tmp_path)) == 3
+
+    def test_bump_advances_by_one(self, tmp_path):
+        assert bump_epoch(str(tmp_path)) == 1
+        assert bump_epoch(str(tmp_path)) == 2
+        assert read_epoch(str(tmp_path)) == 2
+
+    def test_epoch_only_ever_grows(self, tmp_path):
+        write_epoch(str(tmp_path), 5)
+        with pytest.raises(ValueError, match="monotonic"):
+            write_epoch(str(tmp_path), 4)
+        assert read_epoch(str(tmp_path)) == 5
+
+    def test_rewrite_at_same_epoch_is_allowed(self, tmp_path):
+        """Restarting a primary re-persists its current epoch."""
+        write_epoch(str(tmp_path), 2)
+        write_epoch(str(tmp_path), 2)
+        assert read_epoch(str(tmp_path)) == 2
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path):
+        write_epoch(str(tmp_path), 1)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["EPOCH"]
+
+    def test_corrupt_epoch_raises(self, tmp_path):
+        with open(epoch_path(str(tmp_path)), "w", encoding="utf-8") as fh:
+            json.dump({"epoch": -3}, fh)
+        with pytest.raises(ValueError, match="invalid epoch"):
+            read_epoch(str(tmp_path))
+
+    def test_file_is_one_json_line(self, tmp_path):
+        write_epoch(str(tmp_path), 7)
+        with open(epoch_path(str(tmp_path)), encoding="utf-8") as fh:
+            raw = fh.read()
+        assert raw == '{"epoch": 7}\n' or json.loads(raw) == {"epoch": 7}
+        assert os.path.exists(epoch_path(str(tmp_path)))

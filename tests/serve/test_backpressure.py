@@ -68,3 +68,62 @@ class TestDecisions:
     def test_no_observability_is_fine(self):
         controller = AdmissionController()
         assert controller.admit(0) == ACCEPT
+
+
+class TestTenantQuotas:
+    @pytest.fixture
+    def controller(self):
+        return AdmissionController(
+            AdmissionPolicy(defer_depth=4, shed_depth=8),
+            tenant_policies={
+                "noisy": AdmissionPolicy(defer_depth=1, shed_depth=2),
+                "vip": AdmissionPolicy(defer_depth=16, shed_depth=32),
+            },
+        )
+
+    def test_policy_for_falls_back_to_global(self, controller):
+        assert controller.policy_for(None) == controller.policy
+        assert controller.policy_for("other") == controller.policy
+        assert controller.policy_for("noisy").shed_depth == 2
+
+    def test_overrides_bind_per_tenant(self, controller):
+        """Same depth, different tenants, different fates."""
+        assert controller.admit(2, tenant="noisy") == SHED
+        assert controller.admit(2, tenant="vip") == ACCEPT
+        assert controller.admit(2, tenant="other") == ACCEPT
+        assert controller.admit(5, tenant="other") == DEFER
+
+    def test_decisions_stay_deterministic_per_tenant(self, controller):
+        """(tenant, depth) is the whole input — the per-tenant counters
+        are baseline-gated like the global ones."""
+        probes = [("noisy", 0), ("noisy", 1), ("vip", 20), ("other", 8)]
+        first = [controller.admit(d, tenant=t) for t, d in probes]
+        again = [controller.admit(d, tenant=t) for t, d in probes]
+        assert first == again == [ACCEPT, DEFER, DEFER, SHED]
+
+    def test_tenant_labelled_metrics(self):
+        obs = Observability(collect_metrics=True)
+        controller = AdmissionController(
+            AdmissionPolicy(defer_depth=4, shed_depth=8),
+            obs=obs,
+            tenant_policies={"noisy": AdmissionPolicy(defer_depth=1,
+                                                      shed_depth=2)},
+        )
+        controller.admit(0, tenant="noisy")
+        controller.admit(2, tenant="noisy")
+        controller.admit(2, tenant="calm")
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["serve.admission_accept[noisy]"] == 1
+        assert counters["serve.admission_shed[noisy]"] == 1
+        assert counters["serve.admission_accept[calm]"] == 1
+        # the global counters still aggregate across tenants
+        assert counters["serve.admission_accept"] == 2
+        assert counters["serve.admission_shed"] == 1
+
+    def test_anonymous_ops_skip_tenant_labels(self):
+        obs = Observability(collect_metrics=True)
+        controller = AdmissionController(obs=obs)
+        controller.admit(0)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["serve.admission_accept"] == 1
+        assert not any("[" in key for key in counters)

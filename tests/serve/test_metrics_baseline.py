@@ -2,9 +2,11 @@
 
 Replays a fixed, fully deterministic serving scenario — two tenants on
 one shared pack, four drain rounds with per-op admission decisions that
-deterministically accept, defer and shed — and gates every ``serve.*``
-operation count against ``tests/baselines/serve_metrics_baseline.json``
-via :func:`repro.obs.gate.compare` (the same comparator CI runs for the
+deterministically accept, defer and shed (against global *and*
+per-tenant quotas), every round shipped to an in-process warm standby —
+and gates every ``serve.*`` and ``replica.*`` operation count against
+``tests/baselines/serve_metrics_baseline.json`` via
+:func:`repro.obs.gate.compare` (the same comparator CI runs for the
 engine baseline).  Wall-clock histograms contribute only their *counts*.
 
 Regenerate after an intentional serving change::
@@ -19,6 +21,7 @@ from pathlib import Path
 from repro.obs import Observability
 from repro.obs.gate import compare
 from repro.recovery.wal import GroupCommit
+from repro.replica import FollowerState, LogShipper
 from repro.serve.backpressure import AdmissionController, AdmissionPolicy
 from repro.serve.protocol import parse_request
 from repro.serve.registry import SessionRegistry
@@ -45,6 +48,9 @@ TENANTS = ("t1", "t2")
 ROUNDS = 4
 OPS_PER_ROUND = 8  # depths 0..7 against the thresholds below
 POLICY = AdmissionPolicy(defer_depth=4, shed_depth=6)
+#: t2 runs on a tighter per-tenant quota, so the tenant-labelled
+#: admission counters walk different bands than the global ones.
+TENANT_POLICIES = {"t2": AdmissionPolicy(defer_depth=3, shed_depth=5)}
 
 _TIME_SUFFIXES = ("_us", "_seconds", "_ms")
 
@@ -64,18 +70,31 @@ def collect_serve_metrics(data_dir: str) -> dict:
     obs = Observability(collect_metrics=True)
     group = GroupCommit(obs)
     registry = SessionRegistry()
-    admission = AdmissionController(POLICY, obs=obs)
+    admission = AdmissionController(POLICY, obs=obs,
+                                    tenant_policies=TENANT_POLICIES)
+    shipper = LogShipper(obs=obs, epoch=1)
+    shipper.attach(object())  # the in-process "link"
+    follower = FollowerState(os.path.join(data_dir, "standby"), obs=obs,
+                             epoch=1)
     pack = registry.pack_for(PROGRAM)
     sessions = {}
     for name in TENANTS:
         session = TenantSession.start(
             name, pack, data_dir, group=group, obs=obs,
-            checkpoint_rounds=2,
+            checkpoint_rounds=2, wal_tap=shipper.tap_for(name),
         )
         registry.add(session)
         sessions[name] = session
     group.flush()
 
+    def ship_round():
+        """One semi-sync ship round, exactly like the server's."""
+        ack = None
+        for frame in shipper.round_frames():
+            ack = follower.handle_frame(frame) or ack
+        shipper.handle_ack(ack)
+
+    ship_round()
     next_seq = dict.fromkeys(TENANTS, 1)
     for round_index in range(ROUNDS):
         for name in TENANTS:
@@ -88,28 +107,30 @@ def collect_serve_metrics(data_dir: str) -> dict:
                 request = _request(name, next_seq[name], "ev",
                                    {"n": next_seq[name]})
                 next_seq[name] += 1
-                if admission.admit(session.depth) == "shed":
+                if admission.admit(session.depth, tenant=name) == "shed":
                     continue  # dropped exactly like the server would
                 session.enqueue(request)
         for name in TENANTS:
             sessions[name].drain()
         group.flush()
+        ship_round()
         for name in TENANTS:
             sessions[name].maybe_checkpoint()
     for name in TENANTS:
         sessions[name].close()
+    follower.close()
 
     snapshot = obs.metrics.snapshot()
     values: dict[str, float] = {}
     for section in ("counters", "gauges"):
         for metric, value in snapshot.get(section, {}).items():
-            if not metric.startswith("serve."):
+            if not metric.startswith(("serve.", "replica.")):
                 continue
             if metric.endswith(_TIME_SUFFIXES) or "_us[" in metric:
                 continue
             values[metric] = value
     for metric, summary in snapshot.get("histograms", {}).items():
-        if metric.startswith("serve."):
+        if metric.startswith(("serve.", "replica.")):
             values[f"hist.{metric}.count"] = summary.get("count", 0)
     return values
 
@@ -137,7 +158,15 @@ class TestServeMetricsBaseline:
             "serve.admission_accept",
             "serve.admission_defer",
             "serve.admission_shed",
+            "serve.admission_accept[t2]",
             "hist.serve.drain_us.count",
+            "replica.shipped_records",
+            "replica.ship_rounds",
+            "replica.round_acks",
+            "replica.applied_records",
+            "replica.applied_boundaries",
+            "replica.commit_frames",
+            "replica.lag_records",
         ):
             assert name in metrics, name
 
@@ -148,6 +177,20 @@ class TestServeMetricsBaseline:
         assert current["serve.admission_accept"] > 0
         assert current["serve.admission_defer"] > 0
         assert current["serve.admission_shed"] > 0
+        # ... per tenant too: t2's tighter quota sheds more than t1's
+        assert current["serve.admission_shed[t2]"] > current.get(
+            "serve.admission_shed[t1]", 0
+        )
+
+    def test_standby_is_caught_up_at_every_commit_frame(self, tmp_path):
+        """The shipped scenario ends with zero replication lag and every
+        shipped record applied."""
+        current = collect_serve_metrics(str(tmp_path))
+        assert current["replica.lag_records"] == 0
+        assert current["replica.applied_records"] == (
+            current["replica.shipped_records"]
+        )
+        assert current["replica.round_acks"] == current["replica.ship_rounds"]
 
 
 def _update() -> None:

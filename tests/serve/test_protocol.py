@@ -100,6 +100,31 @@ class TestParseRequest:
         assert parse({"op": "ping"}).tenant is None
         assert parse({"op": "status"}).tenant is None
 
+    def test_follow_parses_epoch_and_have(self):
+        request = parse({"op": "follow", "epoch": 3,
+                         "have": {"t1": 12, "t2": 0}})
+        assert request.op == "follow"
+        assert request.epoch == 3
+        assert request.have == {"t1": 12, "t2": 0}
+
+    def test_follow_have_defaults_to_empty(self):
+        assert parse({"op": "follow", "epoch": 0}).have == {}
+
+    @pytest.mark.parametrize("epoch", [None, -1, "2", 1.5])
+    def test_follow_requires_nonnegative_integer_epoch(self, epoch):
+        with pytest.raises(ProtocolError, match="epoch"):
+            parse({"op": "follow", "epoch": epoch})
+
+    @pytest.mark.parametrize(
+        "have", [{"t1": "12"}, {"t1": 1.5}, ["t1"], "t1"]
+    )
+    def test_follow_have_must_map_tenants_to_seqs(self, have):
+        with pytest.raises(ProtocolError, match="have"):
+            parse({"op": "follow", "epoch": 0, "have": have})
+
+    def test_promote_needs_no_tenant(self):
+        assert parse({"op": "promote"}).tenant is None
+
     def test_error_reply_carries_op_and_seq(self):
         try:
             parse({"op": "insert", "tenant": "t1", "seq": 4,

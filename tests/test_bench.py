@@ -97,7 +97,7 @@ class TestReportsSmoke:
     def test_report_registry_complete(self):
         assert set(REPORTS) == {
             "f1", "e1", "e2", "e3", "e4", "e6", "e7", "e8", "e9", "a4",
-            "a5", "a6", "a7", "a8", "a9",
+            "a5", "a6", "a7", "a8", "a9", "a10",
         }
 
     def test_a5(self):

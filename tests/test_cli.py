@@ -342,3 +342,20 @@ class TestRunXrayFlags:
         backups = sorted(p.name for p in tmp_path.glob("trace.jsonl.*"))
         assert backups and backups[0] == "trace.jsonl.1"
         assert len(backups) <= 2
+
+
+class TestTenantQuotaFlags:
+    def test_tenant_depths_parse(self):
+        from repro.cli import _tenant_depths
+
+        parsed = _tenant_depths(["t1=8", "noisy=2"], "--tenant-defer-depth")
+        assert parsed == {"t1": 8, "noisy": 2}
+        assert _tenant_depths(None, "--tenant-defer-depth") == {}
+
+    @pytest.mark.parametrize("bad", ["t1", "t1=", "=8", "t1=eight", "t1=-2"])
+    def test_malformed_overrides_rejected(self, bad):
+        from repro.cli import _tenant_depths
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="TENANT=N"):
+            _tenant_depths([bad], "--tenant-defer-depth")

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Nightly bench smoke: reduced A5/A6/A7/A8/A9 runs plus a regression gate.
+"""Nightly bench smoke: reduced A5–A10 runs plus a regression gate.
 
 Runs the A5 (token-batched Rete propagation), A6 (WAL overhead and
 crash recovery), A7 (compiled match kernels vs the interpreted walk),
-A8 (parallel sharded match) and A9 (multi-tenant serving over the
-k8s-auto-fix workload) experiments at a fraction of their
+A8 (parallel sharded match), A9 (multi-tenant serving over the
+k8s-auto-fix workload) and A10 (warm-standby replication and kill -9
+failover) experiments at a fraction of their
 report budgets and writes a ``BENCH_obs.json`` trajectory artifact:
 every row with its wall-clock figures (recorded for trend charts, never
 gated — CI runners are noisy) and a ``gate`` section of *deterministic
@@ -19,7 +20,10 @@ a multi-worker row measurably above the serial bound of 1.  The A9 rows
 carry their own baseline-free acceptance: nothing shed at the nominal
 one-in-flight rate, every event consumed at quiescence, and every
 tenant's exactly-once ``applied_seq`` recovered intact after the
-in-process ``kill -9`` stand-in.
+in-process ``kill -9`` stand-in.  The A10 rows gate the replication
+invariants the same way: zero steady-state lag under semi-sync acks,
+the full acked stream surviving promotion, and exactly one fencing
+epoch bump.
 
 With ``--baseline PREV.json`` the gate compares those counts against the
 previous trajectory and fails (exit 1) when any grew more than the
@@ -51,6 +55,8 @@ GATED_COLUMNS = {
     "a8": ("fanouts", "fanned_items", "critical_path", "conflict_size"),
     "a9": ("applied_seq", "events_left", "remediations", "tickets", "wm",
            "shed"),
+    "a10": ("lag_records", "applied_seq", "events_left", "remediations",
+            "tickets", "wm", "epoch"),
 }
 
 #: The deterministic speedup bound a multi-worker A8 row must clear for
@@ -66,6 +72,7 @@ def collect(stream_length: int, cycles: int, serve_events: int = 60) -> dict:
         report_a7,
         report_a8,
         report_a9,
+        report_a10,
     )
 
     title_a5, rows_a5 = report_a5(
@@ -86,17 +93,21 @@ def collect(stream_length: int, cycles: int, serve_events: int = 60) -> dict:
         strategies=("rete",),
     )
     title_a9, rows_a9 = report_a9(events_per_tenant=serve_events, tenants=2)
+    title_a10, rows_a10 = report_a10(events_per_tenant=serve_events,
+                                     tenants=2)
     payload = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "budget": {"a5_stream_length": stream_length, "a6_cycles": cycles,
                    "a7_stream_length": stream_length,
                    "a8_stream_length": stream_length,
-                   "a9_events_per_tenant": serve_events},
+                   "a9_events_per_tenant": serve_events,
+                   "a10_events_per_tenant": serve_events},
         "a5": {"title": title_a5, "rows": rows_a5},
         "a6": {"title": title_a6, "rows": rows_a6},
         "a7": {"title": title_a7, "rows": rows_a7},
         "a8": {"title": title_a8, "rows": rows_a8},
         "a9": {"title": title_a9, "rows": rows_a9},
+        "a10": {"title": title_a10, "rows": rows_a10},
         "gate": {},
     }
     gate = payload["gate"]
@@ -119,6 +130,10 @@ def collect(stream_length: int, cycles: int, serve_events: int = 60) -> dict:
     for row in rows_a9:
         label = f"a9[{row['tenant']}]"
         for column in GATED_COLUMNS["a9"]:
+            gate[f"{label}.{column}"] = row[column]
+    for row in rows_a10:
+        label = f"a10[{row['tenant']}]"
+        for column in GATED_COLUMNS["a10"]:
             gate[f"{label}.{column}"] = row[column]
     return payload
 
@@ -176,6 +191,47 @@ def serving_failures(payload: dict) -> list[str]:
     return failures
 
 
+def replication_failures(payload: dict) -> list[str]:
+    """A10 acceptance: the failover invariants hold, no baseline needed.
+
+    Zero steady-state lag, the full acked stream surviving the
+    ``kill -9`` / promote failover, and exactly one epoch bump are all
+    deterministic in the workload seed; a violation is a replication
+    bug (a record the standby never applied, a lost exactly-once mark,
+    or a double promotion), never runner noise.
+    """
+    from repro.workload.k8s import k8s_setup
+
+    rows = payload.get("a10", {}).get("rows", [])
+    if not rows:
+        return ["a10: no replication rows produced"]
+    inventory = len(k8s_setup())
+    failures = []
+    for row in rows:
+        tenant = row["tenant"]
+        if row["lag_records"]:
+            failures.append(
+                f"a10[{tenant}]: {row['lag_records']} records of "
+                "steady-state lag under semi-sync acks"
+            )
+        if row["applied_seq"] != row["events"] + inventory:
+            failures.append(
+                f"a10[{tenant}]: promoted applied_seq {row['applied_seq']} "
+                f"!= acked stream {row['events'] + inventory}"
+            )
+        if row["events_left"]:
+            failures.append(
+                f"a10[{tenant}]: {row['events_left']} events unconsumed "
+                "on the promoted standby"
+            )
+        if row["epoch"] != 2:
+            failures.append(
+                f"a10[{tenant}]: fencing epoch {row['epoch']} after one "
+                "promotion (expected 2)"
+            )
+    return failures
+
+
 def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
     """Gate current counts against the baseline; returns failure lines."""
     failures: list[str] = []
@@ -223,7 +279,8 @@ def main(argv: list[str] | None = None) -> int:
     print(f"trajectory written: {args.out} "
           f"({len(current['gate'])} gated counts)")
 
-    failures = scaling_failures(current) + serving_failures(current)
+    failures = (scaling_failures(current) + serving_failures(current)
+                + replication_failures(current))
     if failures:
         print("bench smoke gate FAILED:", file=sys.stderr)
         for failure in failures:

@@ -101,7 +101,7 @@ class Client:
             self.sock.close()
 
 
-def spawn(data_dir: Path) -> tuple[subprocess.Popen, str, int]:
+def spawn(data_dir: Path, *extra: str) -> tuple[subprocess.Popen, str, int]:
     env = dict(os.environ)
     env["PYTHONPATH"] = (
         str(Path(__file__).resolve().parents[1] / "src")
@@ -109,7 +109,7 @@ def spawn(data_dir: Path) -> tuple[subprocess.Popen, str, int]:
     )
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
-         "--data-dir", str(data_dir)],
+         "--data-dir", str(data_dir), *extra],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
     )
     line = proc.stdout.readline()
@@ -232,6 +232,138 @@ def soak(duration: float, data_dir: Path, trace_dir: Path,
     }
 
 
+def failover_soak(duration: float, data_dir: Path, trace_dir: Path,
+                  events: int) -> dict:
+    """The replicated soak: primary + warm standby, ``kill -9`` of the
+    primary mid-stream, promotion over the wire, fenced stale primary.
+
+    Same hard assertions as the plain soak, plus: zero replication lag
+    under the nominal rate, no acked op lost across the failover, the
+    promoted standby finishes the stream, and the restarted old primary
+    is refused with its stale epoch named.
+    """
+    streams = {
+        tenant: k8s_events(events, seed=index)
+        for index, tenant in enumerate(TENANTS)
+    }
+    cursors = dict.fromkeys(TENANTS, 0)
+    acked = dict.fromkeys(TENANTS, 0)
+    started = time.perf_counter()
+    primary_dir = data_dir / "primary"
+    standby_dir = data_dir / "standby"
+
+    # -- phase 1: replicated streaming at the nominal rate -----------------
+    tracer = Tracer(trace_dir, "phase1-replicated-stream")
+    pproc, phost, pport = spawn(primary_dir)
+    client = Client(phost, pport, tracer)
+    for tenant in TENANTS:
+        reply = client.call(op="attach", tenant=tenant, program=K8S_PROGRAM)
+        check(reply.get("ok") is True, f"{tenant}: attach failed {reply}")
+        for relation, values in k8s_setup():
+            seq = acked[tenant] + 1
+            reply = client.call(
+                op="insert", tenant=tenant, seq=seq,
+                relation=relation, values=values,
+            )
+            check(reply.get("ok") is True, f"{tenant}: setup {reply}")
+            acked[tenant] = seq
+    fproc, fhost, fport = spawn(
+        standby_dir, "--follow", f"{phost}:{pport}",
+        "--takeover-deadline", "0",
+    )
+    attach_deadline = time.perf_counter() + 30
+    while True:
+        status = client.call(op="status")
+        if status["replication"].get("follower_attached"):
+            break
+        check(time.perf_counter() < attach_deadline,
+              "standby never attached to the primary")
+        time.sleep(0.1)
+    phase1 = stream_until(client, started + duration / 2,
+                          streams, cursors, acked)
+    assert_no_shed(client)
+    status = client.call(op="status")
+    check(status["replication"]["degraded"] == 0,
+          f"pair degraded during the stream: {status['replication']}")
+    client.close()
+    tracer.close()
+
+    # -- phase 2: kill -9 the primary --------------------------------------
+    pproc.send_signal(signal.SIGKILL)
+    pproc.wait(timeout=60)
+    check(pproc.returncode != 0, "SIGKILL produced a zero exit?")
+
+    # -- phase 3: promote the standby, verify, resume the stream -----------
+    tracer = Tracer(trace_dir, "phase3-promoted")
+    client = Client(fhost, fport, tracer)
+    lag = client.call(op="status")["replication"]
+    check(lag["lag_records"] == 0,
+          f"standby lagging at promotion time: {lag}")
+    promote_started = time.perf_counter()
+    reply = client.call(op="promote")
+    promote_ms = (time.perf_counter() - promote_started) * 1e3
+    check(reply.get("ok") is True, f"promote failed: {reply}")
+    check(sorted(reply["tenants"]) == sorted(TENANTS),
+          f"promotion missed tenants: {reply}")
+    epoch = reply["epoch"]
+    check(epoch >= 2, f"promotion did not bump the epoch: {reply}")
+    for tenant in TENANTS:
+        stats = client.call(op="stats", tenant=tenant)
+        check(stats["applied_seq"] == acked[tenant],
+              f"{tenant}: acked {acked[tenant]} but promoted standby has "
+              f"applied_seq {stats['applied_seq']} — an acked op was lost")
+        index = cursors[tenant] - 1
+        _, values = streams[tenant][index]
+        reply = client.call(**event_request(tenant, acked[tenant], values))
+        check(reply.get("dup") is True,
+              f"{tenant}: replayed acked op was not deduped: {reply}")
+    phase3 = stream_until(client, started + duration,
+                          streams, cursors, acked)
+    assert_no_shed(client)
+    for tenant in TENANTS:
+        rows = client.call(op="query", tenant=tenant,
+                           relation="event")["rows"]
+        check(rows == [],
+              f"{tenant}: {len(rows)} events unconsumed at quiescence")
+
+    # -- phase 4: the restarted old primary is fenced ----------------------
+    tracer2 = Tracer(trace_dir, "phase4-fencing")
+    p2proc, p2host, p2port = spawn(primary_dir)
+    stale = Client(p2host, p2port, tracer2)
+    refusal = stale.call(op="follow", epoch=epoch, have={})
+    check(refusal.get("ok") is False and refusal.get("fenced") is True,
+          f"stale primary was not fenced: {refusal}")
+    check("stale epoch" in refusal.get("error", ""),
+          f"fencing refusal does not name the stale epoch: {refusal}")
+    stale.close()
+    # a follow handshake ends its connection; shut down over a fresh one
+    stale = Client(p2host, p2port, tracer2)
+    stale.call(op="shutdown")
+    stale.close()
+    tracer2.close()
+    p2proc.wait(timeout=60)
+
+    # -- phase 5: clean shutdown of the promoted standby -------------------
+    client.call(op="shutdown")
+    client.close()
+    tracer.close()
+    fproc.wait(timeout=60)
+    check(fproc.returncode == 0,
+          f"promoted standby shutdown exited {fproc.returncode}")
+
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed_s": round(elapsed, 2),
+        "epoch": epoch,
+        "promote_ms": round(promote_ms, 1),
+        "events_phase1": phase1,
+        "events_phase3": phase3,
+        "events_total": phase1 + phase3,
+        "events_per_s": round((phase1 + phase3) / elapsed, 1),
+        "acked": acked,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tools/serve_soak.py", description=__doc__.splitlines()[0]
@@ -245,6 +377,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--events", type=int, default=200_000,
                         help="pre-generated events per tenant (the soak "
                              "fails if the stream runs dry)")
+    parser.add_argument("--failover", action="store_true",
+                        help="soak a primary/warm-standby pair instead: "
+                             "kill -9 the primary mid-stream, promote the "
+                             "standby, fence the restarted old primary")
     args = parser.parse_args(argv)
 
     if args.data_dir is None:
@@ -253,14 +389,16 @@ def main(argv: list[str] | None = None) -> int:
     else:
         data_dir = Path(args.data_dir)
         data_dir.mkdir(parents=True, exist_ok=True)
+    runner = failover_soak if args.failover else soak
+    label = "serve failover soak" if args.failover else "serve soak"
     try:
-        summary = soak(args.duration, data_dir, Path(args.trace_dir),
-                       args.events)
+        summary = runner(args.duration, data_dir, Path(args.trace_dir),
+                         args.events)
     except SoakFailure as failure:
-        print(f"serve soak FAILED: {failure}", file=sys.stderr)
+        print(f"{label} FAILED: {failure}", file=sys.stderr)
         print(f"traces: {args.trace_dir}/", file=sys.stderr)
         return 1
-    print("serve soak passed: " + json.dumps(summary, sort_keys=True))
+    print(f"{label} passed: " + json.dumps(summary, sort_keys=True))
     return 0
 
 
